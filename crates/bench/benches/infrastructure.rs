@@ -1,0 +1,128 @@
+//! Criterion benches of the supporting infrastructure: MESI replay,
+//! figure rendering (CSV/SVG), the artifact store, and the case-study
+//! simulators.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syncperf_core::svg::{render_svg, SvgStyle};
+use syncperf_core::{Affinity, DType, FigureData, ResultsStore, RunRecord, Series, SYSTEM3};
+use syncperf_cpu_sim::memline::line_of;
+use syncperf_cpu_sim::{
+    simulate_cpu_reduction, CpuModel, CpuReductionStrategy, MesiDirectory, Placement,
+};
+use syncperf_gpu_sim::{
+    simulate_histogram, simulate_scan, GpuModel, HistogramConfig, HistogramStrategy, ScanConfig,
+    ScanStrategy,
+};
+
+fn sample_figure(points: usize) -> FigureData {
+    let mut fig = FigureData::new("bench", "Bench Figure", "x", "y");
+    for s in 0..4 {
+        fig.push_series(Series::new(
+            format!("s{s}"),
+            (0..points).map(|i| (i as f64, (i * (s + 1)) as f64)).collect(),
+        ));
+    }
+    fig
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    let fig = sample_figure(64);
+    let mut g = c.benchmark_group("rendering");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    g.bench_function("csv", |b| b.iter(|| fig.to_csv()));
+    g.bench_function("svg", |b| b.iter(|| render_svg(&fig, &SvgStyle::default())));
+    g.bench_function("ascii", |b| b.iter(|| fig.render_ascii(72, 14)));
+    g.bench_function("table", |b| b.iter(|| fig.render_table()));
+    g.finish();
+}
+
+fn bench_mesi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesi");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    for &cores in &[4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("ping_pong_1000", cores), &cores, |b, &n| {
+            b.iter(|| {
+                let mut d = MesiDirectory::new(n);
+                let line = line_of(DType::I32, syncperf_core::Target::SHARED, 0, 64);
+                for i in 0..1000 {
+                    let _ = d.write(i % n, line);
+                }
+                d
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_artifact_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("artifact");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    g.bench_function("push_and_diff_1000", |b| {
+        b.iter(|| {
+            let mut a = ResultsStore::new("a");
+            let mut o = ResultsStore::new("b");
+            for t in 0..1000u32 {
+                let rec = RunRecord {
+                    test: "t".into(),
+                    threads: t,
+                    blocks: 1,
+                    stride: 0,
+                    dtype: Some(DType::I32),
+                    affinity: Affinity::Spread,
+                    runtime_ns: 10.0,
+                    throughput: 1e8,
+                };
+                a.push(rec.clone());
+                o.push(rec);
+            }
+            a.diff(&o).entries.len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_case_studies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case_studies");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    let cm = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 16);
+    g.bench_function("cpu_reduction_padded", |b| {
+        b.iter(|| {
+            simulate_cpu_reduction(&cm, &placement, CpuReductionStrategy::PaddedPartials, 1 << 20)
+                .unwrap()
+        });
+    });
+    let gm = GpuModel::for_spec(&SYSTEM3.gpu);
+    let hc = HistogramConfig {
+        elements: 1 << 22,
+        bins: 256,
+        hot_fraction: 0.3,
+        block_size: 256,
+        blocks: 512,
+    };
+    g.bench_function("gpu_histogram_privatized", |b| {
+        b.iter(|| {
+            simulate_histogram(&gm, &SYSTEM3.gpu, HistogramStrategy::SharedPrivatized, &hc).unwrap()
+        });
+    });
+    let sc = ScanConfig { elements: 1 << 24, block_size: 256 };
+    g.bench_function("gpu_scan_lookback", |b| {
+        b.iter(|| {
+            simulate_scan(&gm, &SYSTEM3.gpu, ScanStrategy::DecoupledLookback, &sc).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rendering, bench_mesi, bench_artifact_store, bench_case_studies);
+criterion_main!(benches);

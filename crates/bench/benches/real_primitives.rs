@@ -1,0 +1,126 @@
+//! Criterion micro-benches of the *real-thread* primitives in
+//! `syncperf-omp`: the genuine-hardware counterpart of the simulated
+//! figures, plus the centralized-vs-tree barrier ablation called out in
+//! DESIGN.md §5.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syncperf_omp::{flush, AtomicCell, BarrierToken, Critical, SenseBarrier, StridedArray, Team, TreeBarrier};
+
+fn bench_atomic_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atomic_cell_update");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    let i32_cell = AtomicCell::new(0i32);
+    g.bench_function("i32", |b| b.iter(|| i32_cell.update(black_box(1))));
+    let u64_cell = AtomicCell::new(0u64);
+    g.bench_function("u64", |b| b.iter(|| u64_cell.update(black_box(1))));
+    let f32_cell = AtomicCell::new(0.0f32);
+    g.bench_function("f32_cas_loop", |b| b.iter(|| f32_cell.update(black_box(1.0))));
+    let f64_cell = AtomicCell::new(0.0f64);
+    g.bench_function("f64_cas_loop", |b| b.iter(|| f64_cell.update(black_box(1.0))));
+    g.finish();
+
+    let mut g = c.benchmark_group("atomic_cell_flavors");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    let cell = AtomicCell::new(0i32);
+    g.bench_function("read", |b| b.iter(|| black_box(cell.read())));
+    g.bench_function("write", |b| b.iter(|| cell.write(black_box(7))));
+    g.bench_function("capture", |b| b.iter(|| black_box(cell.capture(1))));
+    g.bench_function("exchange", |b| b.iter(|| black_box(cell.exchange(3))));
+    g.bench_function("max", |b| b.iter(|| black_box(cell.max(5))));
+    g.finish();
+}
+
+fn bench_critical_vs_atomic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("critical_vs_atomic");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    let cell = AtomicCell::new(0u64);
+    g.bench_function("atomic_add", |b| b.iter(|| cell.update(1)));
+    let critical = Critical::private();
+    let plain = AtomicU64::new(0);
+    g.bench_function("critical_add", |b| {
+        b.iter(|| {
+            critical.with(|| {
+                let v = plain.load(Ordering::Relaxed);
+                plain.store(v + 1, Ordering::Relaxed);
+            });
+        });
+    });
+    g.finish();
+}
+
+fn bench_flush(c: &mut Criterion) {
+    let arr0 = StridedArray::<u64>::new(1, 16);
+    let arr1 = StridedArray::<u64>::new(1, 16);
+    let mut g = c.benchmark_group("flush");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    g.bench_function("updates_only", |b| {
+        b.iter(|| {
+            arr0.elem(0).plain_update(1);
+            arr1.elem(0).plain_update(1);
+        });
+    });
+    g.bench_function("updates_with_flush", |b| {
+        b.iter(|| {
+            arr0.elem(0).plain_update(1);
+            flush();
+            arr1.elem(0).plain_update(1);
+        });
+    });
+    g.finish();
+}
+
+/// DESIGN.md §5 ablation: centralized sense-reversing barrier vs the
+/// combining-tree barrier, at a few team sizes.
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_ablation");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(10);
+    for &n in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("sense", n), &n, |b, &n| {
+            b.iter(|| {
+                let barrier = SenseBarrier::new(n);
+                Team::new(n).parallel(|_| {
+                    let mut tok = BarrierToken::new();
+                    for _ in 0..100 {
+                        barrier.wait(&mut tok);
+                    }
+                });
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("tree", n), &n, |b, &n| {
+            b.iter(|| {
+                let barrier = TreeBarrier::new(n);
+                Team::new(n).parallel(|ctx| {
+                    let mut tok = BarrierToken::new();
+                    for _ in 0..100 {
+                        barrier.wait(ctx.tid, &mut tok);
+                    }
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_atomic_cells,
+    bench_critical_vs_atomic,
+    bench_flush,
+    bench_barriers
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches of the simulator engines themselves: how fast the
+//! CPU and GPU models evaluate kernels and full measurement protocols.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syncperf_core::{kernel, Affinity, DType, ExecParams, Protocol, SYSTEM3};
+use syncperf_cpu_sim::{CpuModel, CpuSimExecutor, Placement};
+use syncperf_gpu_sim::{
+    simulate_reduction, GpuModel, GpuSimExecutor, Occupancy, ReductionConfig, ReductionStrategy,
+};
+
+fn bench_cpu_engine(c: &mut Criterion) {
+    let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+    let mut g = c.benchmark_group("cpu_engine");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    for &threads in &[4u32, 16, 32] {
+        let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
+        let body = kernel::omp_atomic_update_array(DType::I32, 1).test;
+        g.bench_with_input(BenchmarkId::new("atomic_array_run", threads), &threads, |b, _| {
+            b.iter(|| syncperf_cpu_sim::engine::run(&model, &placement, &body, 100_000).unwrap());
+        });
+        let barrier_body = kernel::omp_barrier().test;
+        g.bench_with_input(BenchmarkId::new("barrier_run", threads), &threads, |b, _| {
+            b.iter(|| {
+                syncperf_cpu_sim::engine::run(&model, &placement, &barrier_body, 100_000).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_engine(c: &mut Criterion) {
+    let model = GpuModel::for_spec(&SYSTEM3.gpu);
+    let mut g = c.benchmark_group("gpu_engine");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    for &(blocks, threads) in &[(1u32, 32u32), (128, 1024)] {
+        let occ = Occupancy::compute(&SYSTEM3.gpu, blocks, threads).unwrap();
+        let body = kernel::cuda_atomic_add_scalar(DType::I32).test;
+        g.bench_with_input(
+            BenchmarkId::new("atomic_scalar_run", format!("{blocks}x{threads}")),
+            &occ,
+            |b, occ| {
+                b.iter(|| syncperf_gpu_sim::engine::run(&model, occ, &body, 100_000).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_full_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(10);
+    g.bench_function("paper_protocol_cpu_point", |b| {
+        let mut exec = CpuSimExecutor::new(&SYSTEM3);
+        let k = kernel::omp_atomic_update_scalar(DType::I32);
+        let p = ExecParams::new(16).with_loops(1000, 100);
+        b.iter(|| Protocol::PAPER.measure(&mut exec, &k, &p).unwrap());
+    });
+    g.bench_function("paper_protocol_gpu_point", |b| {
+        let mut exec = GpuSimExecutor::new(&SYSTEM3);
+        let k = kernel::cuda_atomic_add_scalar(DType::I32);
+        let p = ExecParams::new(256).with_blocks(64).with_loops(1000, 100);
+        b.iter(|| Protocol::PAPER.measure(&mut exec, &k, &p).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let model = GpuModel::for_spec(&SYSTEM3.gpu);
+    let cfg = ReductionConfig::megabyte_input(&SYSTEM3.gpu);
+    let mut g = c.benchmark_group("listing1");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    for s in ReductionStrategy::ALL {
+        g.bench_with_input(BenchmarkId::new("simulate", format!("{s:?}")), &s, |b, &s| {
+            b.iter(|| simulate_reduction(&model, &SYSTEM3.gpu, s, &cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_engine, bench_gpu_engine, bench_full_protocol, bench_reductions);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: centralized vs combining-tree barrier model (DESIGN.md §5).
+//!
+//! The paper's Fig. 1 shape — decline then plateau — matches a
+//! centralized barrier built on a saturating contended counter. A
+//! combining-tree barrier would instead step with log2(n); regenerating
+//! Fig. 1 under both models shows which algorithm the measured OpenMP
+//! runtime resembles.
+
+use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::{kernel, Affinity, ExecParams, FigureData, Protocol, SYSTEM3};
+use syncperf_cpu_sim::{BarrierKind, CpuModel, CpuSimExecutor};
+
+fn series(label: &str, kind: BarrierKind) -> syncperf_core::Result<syncperf_core::Series> {
+    let mut model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+    model.barrier_kind = kind;
+    let mut exec = CpuSimExecutor::with_model(&SYSTEM3, model);
+    let points = thread_sweep(
+        &SYSTEM3.cpu.omp_thread_counts(),
+        ExecParams::new(2).with_affinity(Affinity::Spread).with_loops(1000, 100),
+        |_| kernel::omp_barrier(),
+    );
+    throughput_series(&mut exec, &Protocol::PAPER, label, points)
+}
+
+fn main() -> syncperf_core::Result<()> {
+    let mut fig = FigureData::new(
+        "ablation_barrier_model",
+        "OpenMP barrier: centralized (paper shape) vs combining tree",
+        "threads",
+        "barriers/s/thread",
+    );
+    fig.push_series(series("centralized (saturating counter)", BarrierKind::Centralized)?);
+    fig.push_series(series("combining tree, fan-in 4", BarrierKind::CombiningTree { fanin: 4 })?);
+    fig.annotate("the measured plateau beyond ~8 threads matches the centralized algorithm");
+    syncperf_bench::emit(&[fig])
+}

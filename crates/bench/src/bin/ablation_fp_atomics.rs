@@ -1,0 +1,41 @@
+//! Ablation: floating-point atomics as CAS loops vs "native" (DESIGN.md §5).
+//!
+//! Zeroing the CAS-loop surcharge makes the int/float gap of Fig. 2
+//! vanish — the gap is entirely the compare-exchange lowering.
+
+use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::{kernel, DType, ExecParams, FigureData, Protocol, SYSTEM3};
+use syncperf_cpu_sim::{CpuModel, CpuSimExecutor};
+
+fn series(
+    label: &str,
+    dtype: DType,
+    model: CpuModel,
+) -> syncperf_core::Result<syncperf_core::Series> {
+    let mut exec = CpuSimExecutor::with_model(&SYSTEM3, model);
+    let points = thread_sweep(
+        &SYSTEM3.cpu.omp_thread_counts(),
+        ExecParams::new(2).with_loops(1000, 100),
+        |_| kernel::omp_atomic_update_scalar(dtype),
+    );
+    throughput_series(&mut exec, &Protocol::PAPER, label, points)
+}
+
+fn main() -> syncperf_core::Result<()> {
+    let cas_loop = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+    let mut native = cas_loop.clone();
+    native.fp_cas_extra_ns = 0.0;
+    native.fp_retry_ns = 0.0;
+
+    let mut fig = FigureData::new(
+        "ablation_fp_atomics",
+        "OpenMP atomic update: float atomics as CAS loop vs hypothetical native",
+        "threads",
+        "ops/s/thread",
+    );
+    fig.push_series(series("int", DType::I32, cas_loop.clone())?);
+    fig.push_series(series("double (CAS loop, paper shape)", DType::F64, cas_loop)?);
+    fig.push_series(series("double (native, gap gone)", DType::F64, native)?);
+    fig.annotate("the Fig. 2 integer/floating-point gap is the CAS-loop lowering");
+    syncperf_bench::emit(&[fig])
+}

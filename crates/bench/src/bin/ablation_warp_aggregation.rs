@@ -1,0 +1,54 @@
+//! Ablation: warp-aggregated atomics on/off (DESIGN.md §5).
+//!
+//! With aggregation off, the Fig. 9 constant-throughput region up to 64
+//! threads at 2 blocks disappears, and Listing 1's Reduction 1 becomes
+//! *slower* than Reduction 2 — evidence that the driver's JIT
+//! aggregation is what makes R1 beat R2 on real hardware.
+
+use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::{kernel, DType, ExecParams, FigureData, Protocol, SYSTEM3};
+use syncperf_gpu_sim::{
+    simulate_reduction, GpuModel, GpuSimExecutor, ReductionConfig, ReductionStrategy,
+};
+
+fn add_series(label: &str, model: GpuModel) -> syncperf_core::Result<syncperf_core::Series> {
+    let mut exec = GpuSimExecutor::with_model(&SYSTEM3, model);
+    let points = thread_sweep(
+        &SYSTEM3.gpu.thread_count_sweep(),
+        ExecParams::new(1).with_blocks(2).with_loops(1000, 100),
+        |_| kernel::cuda_atomic_add_scalar(DType::I32),
+    );
+    throughput_series(&mut exec, &Protocol::PAPER, label, points)
+}
+
+fn main() -> syncperf_core::Result<()> {
+    let on = GpuModel::for_spec(&SYSTEM3.gpu);
+    let mut off = on.clone();
+    off.warp_aggregation = false;
+
+    let mut fig = FigureData::new(
+        "ablation_warp_agg",
+        "atomicAdd() on 1 shared variable, 2 blocks: warp aggregation on/off",
+        "threads per block",
+        "ops/s/thread",
+    )
+    .with_log_x();
+    fig.push_series(add_series("aggregation on (paper shape)", on.clone())?);
+    fig.push_series(add_series("aggregation off", off.clone())?);
+    fig.annotate("with aggregation off the constant region up to 64 threads disappears");
+    syncperf_bench::emit(&[fig])?;
+
+    let cfg = ReductionConfig::megabyte_input(&SYSTEM3.gpu);
+    for (label, model) in [("aggregation on", &on), ("aggregation off", &off)] {
+        let r1 = simulate_reduction(model, &SYSTEM3.gpu, ReductionStrategy::GlobalAtomic, &cfg)?;
+        let r2 =
+            simulate_reduction(model, &SYSTEM3.gpu, ReductionStrategy::ShflThenGlobalAtomic, &cfg)?;
+        println!(
+            "{label}: R1 = {:.0} cycles, R2 = {:.0} cycles → {}",
+            r1.total_cycles,
+            r2.total_cycles,
+            if r1.total_cycles < r2.total_cycles { "R1 wins (paper)" } else { "R2 wins" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Umbrella harness: regenerates every table and figure in the paper,
+//! printing each and writing CSVs into `results/`.
+
+fn main() -> syncperf_core::Result<()> {
+    print!("{}", syncperf_bench::tables::table1());
+    println!();
+    print!("{}", syncperf_bench::tables::listing1_report(&syncperf_core::SYSTEM3)?);
+    println!();
+    syncperf_bench::emit(&syncperf_bench::all_figures()?)
+}

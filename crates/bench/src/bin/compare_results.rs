@@ -1,0 +1,44 @@
+//! Compares two artifact-style result trees (e.g. two model revisions,
+//! or two simulated systems) by throughput ratio.
+//!
+//! ```console
+//! $ compare_results results system3 system1 [tolerance]
+//! ```
+
+use syncperf_core::ResultsStore;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: compare_results <dir> <baseline-host> <other-host> [tolerance]");
+        std::process::exit(2);
+    }
+    let tolerance: f64 = args.get(3).map_or(0.10, |t| t.parse().unwrap_or(0.10));
+    let load = |host: &str| match ResultsStore::load(&args[0], host) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error loading {host}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let base = load(&args[1]);
+    let other = load(&args[2]);
+    let diff = base.diff(&other);
+    println!(
+        "matched {} points ({} only in {}, {} only in {})",
+        diff.entries.len(),
+        diff.only_in_baseline,
+        args[1],
+        diff.missing_in_baseline,
+        args[2]
+    );
+    if diff.entries.is_empty() {
+        return;
+    }
+    println!("geometric-mean throughput ratio {}/{}: {:.3}", args[2], args[1], diff.geomean_ratio());
+    let outliers = diff.outliers(tolerance);
+    println!("{} points deviate more than {:.0}%:", outliers.len(), tolerance * 100.0);
+    for e in outliers.iter().take(20) {
+        println!("  {:<60} {:>7.2}x", e.key, e.ratio);
+    }
+}

@@ -1,0 +1,33 @@
+//! Case study: summing 2^22 doubles on the simulated System 3 CPU with
+//! the four synchronization strategies ranked by the paper's §V-A5
+//! recommendations.
+
+use syncperf_core::{Affinity, SYSTEM3};
+use syncperf_cpu_sim::{simulate_cpu_reduction, CpuModel, CpuReductionStrategy, Placement};
+
+fn main() -> syncperf_core::Result<()> {
+    let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+    let elements = 1u64 << 22;
+    println!(
+        "summing {elements} doubles on the simulated {} ({} threads)\n",
+        SYSTEM3.cpu.name,
+        SYSTEM3.cpu.total_cores()
+    );
+    println!("{:<36} {:>12} {:>12} {:>10}", "strategy", "accumulate", "merge", "total ms");
+    for threads in [2u32, 8, 16] {
+        println!("-- {threads} threads --");
+        let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
+        for s in CpuReductionStrategy::ALL {
+            let r = simulate_cpu_reduction(&model, &placement, s, elements)?;
+            println!(
+                "{:<36} {:>10.2}ms {:>10.4}ms {:>10.2}",
+                s.label(),
+                r.accumulate_ns / 1e6,
+                r.merge_ns / 1e6,
+                r.total_ns / 1e6
+            );
+        }
+    }
+    println!("\npadded private partials win — recommendations 2, 3, and 5 of §V-A5 in one workload");
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Regenerates the atomic-RMW-family extension experiment.
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::emit(&syncperf_bench::figures_gpu::exp_atomic_ops()?)
+}

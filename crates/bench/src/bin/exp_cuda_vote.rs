@@ -1,0 +1,5 @@
+//! Regenerates the Section V-B4 no-figure findings (warp votes).
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::emit(&syncperf_bench::figures_gpu::exp_vote()?)
+}

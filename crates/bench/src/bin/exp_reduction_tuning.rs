@@ -1,0 +1,61 @@
+//! Tuning study: how Listing 1's persistent-thread reduction (R5)
+//! responds to block size and grid size — the "experiment
+//! customization" the paper's appendix invites, as a tool.
+
+use syncperf_core::{FigureData, Series, SYSTEM3};
+use syncperf_gpu_sim::{simulate_reduction, GpuModel, ReductionConfig, ReductionStrategy};
+
+fn main() -> syncperf_core::Result<()> {
+    let m = GpuModel::for_spec(&SYSTEM3.gpu);
+    let elements = 1u64 << 24;
+
+    // Grid-size sweep at the usual 256-thread blocks.
+    let mut grid_fig = FigureData::new(
+        "exp_r5_grid",
+        "R5 persistent-thread reduction vs grid size (System 3, 2^24 ints, 256-thread blocks)",
+        "grid blocks",
+        "kernel time (us)",
+    )
+    .with_log_x();
+    let mut points = Vec::new();
+    let mut best: Option<(u32, f64)> = None;
+    for factor in [1u32, 2, 4, 8, 16, 32, 64] {
+        let blocks = (SYSTEM3.gpu.sms / 8 * factor).max(1);
+        let cfg = ReductionConfig { size: elements, block_size: 256, persistent_grid_blocks: blocks };
+        let r = simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::PersistentThreads, &cfg)?;
+        let us = r.total_cycles / (SYSTEM3.gpu.clock_ghz * 1e3);
+        points.push((f64::from(blocks), us));
+        if best.is_none_or(|(_, b)| us < b) {
+            best = Some((blocks, us));
+        }
+    }
+    grid_fig.push_series(Series::new("R5 runtime", points));
+    let (best_blocks, best_us) = best.expect("nonempty sweep");
+    grid_fig.annotate(format!(
+        "best grid: {best_blocks} blocks ({:.1} blocks/SM) at {best_us:.1} us",
+        f64::from(best_blocks) / f64::from(SYSTEM3.gpu.sms)
+    ));
+
+    // Block-size sweep at the 2-blocks/SM grid.
+    let mut block_fig = FigureData::new(
+        "exp_r5_blocksize",
+        "R5 persistent-thread reduction vs block size (System 3, 2^24 ints, 2 blocks/SM)",
+        "threads per block",
+        "kernel time (us)",
+    )
+    .with_log_x();
+    let mut points = Vec::new();
+    for block_size in [32u32, 64, 128, 256, 512, 1024] {
+        let cfg = ReductionConfig {
+            size: elements,
+            block_size,
+            persistent_grid_blocks: SYSTEM3.gpu.sms * 2,
+        };
+        let r = simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::PersistentThreads, &cfg)?;
+        points.push((f64::from(block_size), r.total_cycles / (SYSTEM3.gpu.clock_ghz * 1e3)));
+    }
+    block_fig.push_series(Series::new("R5 runtime", points));
+    block_fig.annotate("barrier cost grows with warps/block; tiny blocks under-fill the SMs");
+
+    syncperf_bench::emit(&[grid_fig, block_fig])
+}

@@ -1,0 +1,109 @@
+//! Explains where a primitive's modeled time goes, component by
+//! component.
+//!
+//! ```console
+//! $ explain omp_atomicadd_scalar --threads 16
+//! $ explain cuda_atomicadd_scalar --blocks 2 --threads 1024
+//! $ explain omp_atomicadd_array --threads 16 --stride 1 --dtype double
+//! $ explain list
+//! ```
+
+use syncperf_core::{kernel, Affinity, CpuKernel, DType, GpuKernel, Scope, SYSTEM3};
+use syncperf_cpu_sim::{explain_body, CpuModel, Placement};
+use syncperf_gpu_sim::{GpuModel, Occupancy};
+
+enum Explainable {
+    Cpu(fn(DType, u32) -> CpuKernel),
+    Gpu(fn(DType, u32) -> GpuKernel),
+}
+
+fn catalog() -> Vec<(&'static str, Explainable)> {
+    vec![
+        ("omp_barrier", Explainable::Cpu(|_, _| kernel::omp_barrier())),
+        ("omp_atomicadd_scalar", Explainable::Cpu(|dt, _| kernel::omp_atomic_update_scalar(dt))),
+        ("omp_atomicadd_array", Explainable::Cpu(kernel::omp_atomic_update_array)),
+        ("omp_atomicwrite", Explainable::Cpu(|dt, _| kernel::omp_atomic_write(dt))),
+        ("omp_atomicread", Explainable::Cpu(|dt, _| kernel::omp_atomic_read(dt))),
+        ("omp_critical", Explainable::Cpu(|dt, _| kernel::omp_critical_add(dt))),
+        ("omp_flush", Explainable::Cpu(kernel::omp_flush)),
+        ("cuda_syncthreads", Explainable::Gpu(|_, _| kernel::cuda_syncthreads())),
+        ("cuda_syncwarp", Explainable::Gpu(|_, _| kernel::cuda_syncwarp())),
+        ("cuda_atomicadd_scalar", Explainable::Gpu(|dt, _| kernel::cuda_atomic_add_scalar(dt))),
+        ("cuda_atomicadd_array", Explainable::Gpu(kernel::cuda_atomic_add_array)),
+        ("cuda_atomiccas_scalar", Explainable::Gpu(|dt, _| kernel::cuda_atomic_cas_scalar(dt))),
+        ("cuda_threadfence", Explainable::Gpu(|dt, s| kernel::cuda_threadfence(Scope::Device, dt, s))),
+        ("cuda_shfl", Explainable::Gpu(|dt, _| {
+            kernel::cuda_shfl(dt, syncperf_core::ShflVariant::Idx)
+        })),
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explain <name|list> [--threads N] [--blocks N] [--stride N] [--dtype int|ull|float|double]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = None;
+    let mut threads = 16u32;
+    let mut blocks = 2u32;
+    let mut stride = 1u32;
+    let mut dtype = DType::I32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--blocks" => blocks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--stride" => stride = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--dtype" => {
+                dtype = match it.next().map(String::as_str) {
+                    Some("int") => DType::I32,
+                    Some("ull") => DType::U64,
+                    Some("float") => DType::F32,
+                    Some("double") => DType::F64,
+                    _ => usage(),
+                }
+            }
+            other if other.starts_with('-') => usage(),
+            other => name = Some(other.to_string()),
+        }
+    }
+    let Some(name) = name else { usage() };
+    if name == "list" {
+        for (n, _) in catalog() {
+            println!("{n}");
+        }
+        return;
+    }
+    let Some((_, what)) = catalog().into_iter().find(|(n, _)| *n == name) else {
+        eprintln!("unknown primitive `{name}` (try `explain list`)");
+        std::process::exit(2);
+    };
+
+    match what {
+        Explainable::Cpu(make) => {
+            let k = make(dtype, stride);
+            println!("{} (test body) on the simulated {}:", k.name, SYSTEM3.cpu.name);
+            let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+            let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
+            print!("{}", explain_body(&model, &placement, &k.test));
+        }
+        Explainable::Gpu(make) => {
+            let k = make(dtype, stride);
+            println!("{} (test body) on the simulated {}:", k.name, SYSTEM3.gpu.name);
+            let model = GpuModel::for_spec(&SYSTEM3.gpu);
+            match Occupancy::compute(&SYSTEM3.gpu, blocks, threads)
+                .and_then(|occ| syncperf_gpu_sim::explain::explain_body(&model, &occ, &k.test))
+            {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

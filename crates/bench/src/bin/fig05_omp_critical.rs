@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5 (OpenMP critical-section add).
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::emit(&syncperf_bench::figures_cpu::fig05_critical()?)
+}

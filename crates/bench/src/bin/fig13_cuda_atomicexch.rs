@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (atomicExch on one shared variable).
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig13_atomicexch()?)
+}

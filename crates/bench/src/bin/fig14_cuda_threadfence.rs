@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14 (__threadfence).
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig14_threadfence()?)
+}

@@ -1,0 +1,130 @@
+//! The artifact's `launch.py`, reproduced: run all test codes (or the
+//! OpenMP/CUDA subset, or individual codes) across their full parameter
+//! grids, writing `results/<host>/<test>/runtimes.csv`.
+//!
+//! ```console
+//! $ launch all                 # everything (asks for confirmation)
+//! $ launch openmp --yes        # OpenMP codes, no prompt
+//! $ launch cuda --system 1     # CUDA codes on the System 1 model
+//! $ launch omp_barrier cuda_shfl
+//! $ launch list                # list available codes
+//! ```
+
+use std::io::Write as _;
+
+use syncperf_bench::codes;
+use syncperf_core::{ResultsStore, SystemSpec, SYSTEM1, SYSTEM2, SYSTEM3};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: launch <all|openmp|cuda|list|TEST...> [--yes] [--system 1|2|3] [--system-file PATH] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut selectors = Vec::new();
+    let mut yes = false;
+    let mut custom: Option<SystemSpec> = None;
+    let mut system: &SystemSpec = &SYSTEM3;
+    let mut it = args.iter();
+    let mut out = syncperf_bench::common::results_dir();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--yes" | "-y" => yes = true,
+            "--system" => {
+                system = match it.next().map(String::as_str) {
+                    Some("1") => &SYSTEM1,
+                    Some("2") => &SYSTEM2,
+                    Some("3") => &SYSTEM3,
+                    _ => usage(),
+                }
+            }
+            "--system-file" => match it.next() {
+                Some(path) => match syncperf_core::sysfile::load_system(path) {
+                    Ok(spec) => custom = Some(spec),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(dir) => out = dir.into(),
+                None => usage(),
+            },
+            other if other.starts_with('-') => usage(),
+            other => selectors.push(other.to_string()),
+        }
+    }
+    if let Some(spec) = &custom {
+        system = spec;
+    }
+    if selectors.is_empty() {
+        usage();
+    }
+
+    if selectors.iter().any(|s| s == "list") {
+        for code in codes::registry() {
+            println!("{:?}\t{}", code.api, code.name);
+        }
+        return;
+    }
+
+    let mut picked = Vec::new();
+    for sel in &selectors {
+        match codes::select(sel) {
+            Ok(mut c) => picked.append(&mut c),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("The following codes will be run on the simulated {system}:");
+    for c in &picked {
+        println!("  {}", c.name);
+    }
+    if !yes {
+        print!("Proceed? [y/N] ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        std::io::stdin().read_line(&mut line).expect("stdin");
+        if !matches!(line.trim(), "y" | "Y" | "yes") {
+            println!("aborted");
+            return;
+        }
+    }
+
+    let host = format!("system{}", system.id);
+    let mut store = ResultsStore::new(&host);
+    for code in &picked {
+        print!("running {:<28} ", code.name);
+        std::io::stdout().flush().expect("stdout");
+        let before = store.len();
+        match (code.run)(system, &mut store) {
+            Ok(()) => println!("{} points", store.len() - before),
+            Err(e) => {
+                eprintln!("failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = store.write(&out) {
+        eprintln!("error writing results: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nwrote {} records for {} tests under {}/{host}/",
+        store.len(),
+        store.tests().len(),
+        out.display()
+    );
+}

@@ -1,0 +1,10 @@
+//! Runs the Listing 1 reduction study (Section II-C): five max-reduction
+//! strategies on the simulated RTX 4090, reproducing the paper's
+//! non-intuitive ordering (R3 < R4 < R1 < R2, with R5 fastest).
+
+use syncperf_core::SYSTEM3;
+
+fn main() -> syncperf_core::Result<()> {
+    print!("{}", syncperf_bench::tables::listing1_report(&SYSTEM3)?);
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Regenerates the CPU figures on *this machine's real threads* —
+//! Fig. 1/2/5-style sweeps with genuine atomics, rendered like the
+//! simulated figures (table + chart + CSV/SVG in `results/`).
+//!
+//! On a many-core machine the shapes approach the paper's; on a small
+//! machine the sweep simply ends earlier. Use `--full` for the paper's
+//! 9×7 protocol.
+
+use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::{kernel, DType, ExecParams, FigureData, Protocol};
+use syncperf_omp::OmpExecutor;
+
+fn main() -> syncperf_core::Result<()> {
+    let full = std::env::args().any(|a| a == "--full");
+    let protocol = if full { Protocol::PAPER } else { Protocol::SIM };
+    let (n_iter, n_unroll) = if full { (1000, 100) } else { (100, 20) };
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get() as u32 * 2);
+    let threads: Vec<u32> = (2..=max_threads.max(2)).collect();
+    let base = ExecParams::new(2).with_loops(n_iter, n_unroll).with_warmup(2);
+    let mut exec = OmpExecutor::new();
+
+    let mut figs = Vec::new();
+
+    let mut fig = FigureData::new(
+        "real_barrier",
+        "OpenMP-style barrier on this machine (real threads)",
+        "threads",
+        "barriers/s/thread",
+    );
+    fig.push_series(throughput_series(
+        &mut exec,
+        &protocol,
+        "barrier",
+        thread_sweep(&threads, base, |_| kernel::omp_barrier()),
+    )?);
+    figs.push(fig);
+
+    let mut fig = FigureData::new(
+        "real_atomic_update",
+        "Atomic update on one shared variable, this machine (real threads)",
+        "threads",
+        "ops/s/thread",
+    );
+    for dt in DType::ALL {
+        fig.push_series(throughput_series(
+            &mut exec,
+            &protocol,
+            dt.label(),
+            thread_sweep(&threads, base, |_| kernel::omp_atomic_update_scalar(dt)),
+        )?);
+    }
+    figs.push(fig);
+
+    let mut fig = FigureData::new(
+        "real_critical",
+        "Critical-section add, this machine (real threads)",
+        "threads",
+        "ops/s/thread",
+    );
+    fig.push_series(throughput_series(
+        &mut exec,
+        &protocol,
+        "critical",
+        thread_sweep(&threads, base, |_| kernel::omp_critical_add(DType::I32)),
+    )?);
+    fig.push_series(throughput_series(
+        &mut exec,
+        &protocol,
+        "atomic (for comparison)",
+        thread_sweep(&threads, base, |_| kernel::omp_atomic_update_scalar(DType::I32)),
+    )?);
+    figs.push(fig);
+
+    syncperf_bench::emit(&figs)
+}

@@ -1,0 +1,74 @@
+//! Runs the OpenMP test codes on *this machine's real threads* (the
+//! artifact's original workflow) and writes artifact-style results
+//! under `results/<hostname>/`.
+//!
+//! Trends depend on the host's core count; on a many-core machine this
+//! reproduces the paper's CPU figures on genuine hardware. A reduced
+//! protocol keeps the run short; pass `--full` for the paper's 9×7
+//! protocol with full loop counts.
+
+use syncperf_core::{
+    kernel, Affinity, CpuKernel, DType, ExecParams, Protocol, ResultsStore, RunRecord,
+};
+use syncperf_omp::OmpExecutor;
+
+fn main() -> syncperf_core::Result<()> {
+    let full = std::env::args().any(|a| a == "--full");
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get() as u32 * 2);
+    let (protocol, n_iter, n_unroll) =
+        if full { (Protocol::PAPER, 1000, 100) } else { (Protocol::SIM, 100, 20) };
+    println!(
+        "real-thread sweep: up to {max_threads} threads, protocol {}x{} runs, {}x{} loops",
+        protocol.runs, protocol.max_attempts, n_iter, n_unroll
+    );
+
+    let host = std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".into());
+    let mut store = ResultsStore::new(&host);
+    let mut exec = OmpExecutor::new();
+    let thread_counts: Vec<u32> = (2..=max_threads.max(2)).collect();
+
+    let mut run = |name: &str, dtype: Option<DType>, stride: u32, k: &CpuKernel| {
+        for &t in &thread_counts {
+            let p = ExecParams::new(t).with_loops(n_iter, n_unroll).with_warmup(2);
+            match protocol.measure(&mut exec, k, &p) {
+                Ok(m) => store.push(RunRecord {
+                    test: name.to_string(),
+                    threads: t,
+                    blocks: 1,
+                    stride,
+                    dtype,
+                    affinity: Affinity::SystemChoice,
+                    runtime_ns: m.runtime_seconds() * 1e9,
+                    throughput: m.throughput_clamped(1e-10),
+                }),
+                Err(e) => eprintln!("{name} at {t} threads failed: {e}"),
+            }
+        }
+    };
+
+    run("omp_barrier", None, 0, &kernel::omp_barrier());
+    for dt in DType::ALL {
+        run("omp_atomicadd_scalar", Some(dt), 0, &kernel::omp_atomic_update_scalar(dt));
+        run("omp_atomicwrite", Some(dt), 0, &kernel::omp_atomic_write(dt));
+        run("omp_atomicread", Some(dt), 0, &kernel::omp_atomic_read(dt));
+        run("omp_critical", Some(dt), 0, &kernel::omp_critical_add(dt));
+        for stride in [1u32, 4, 8, 16] {
+            run("omp_atomicadd_array", Some(dt), stride, &kernel::omp_atomic_update_array(dt, stride));
+            run("omp_flush", Some(dt), stride, &kernel::omp_flush(dt, stride));
+        }
+    }
+
+    let out = syncperf_bench::common::results_dir();
+    store.write(&out)?;
+    println!(
+        "wrote {} records for {} tests under {}/{host}/",
+        store.len(),
+        store.tests().len(),
+        out.display()
+    );
+    println!(
+        "compare against a simulated system with:\n  cargo run -p syncperf-bench --bin launch -- openmp --yes\n  cargo run -p syncperf-bench --bin compare_results -- {} system3 {host}",
+        out.display()
+    );
+    Ok(())
+}

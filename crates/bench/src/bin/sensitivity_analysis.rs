@@ -1,0 +1,12 @@
+//! Perturbs every load-bearing model constant across 0.5x-2x and
+//! re-evaluates the paper's shape claims — showing which conclusions
+//! follow from mechanisms rather than calibration.
+
+fn main() -> syncperf_core::Result<()> {
+    let rows = syncperf_bench::sensitivity::run_sensitivity()?;
+    print!("{}", syncperf_bench::sensitivity::render(&rows));
+    if rows.iter().any(|r| !r.robust()) {
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Prints the paper's Table I (system specifications) from the encoded
+//! `SystemSpec` presets.
+
+fn main() {
+    print!("{}", syncperf_bench::tables::table1());
+}

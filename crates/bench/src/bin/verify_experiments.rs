@@ -1,0 +1,12 @@
+//! Verifies every qualitative claim in EXPERIMENTS.md against freshly
+//! regenerated data. Exits nonzero if any claim fails — the
+//! artifact-evaluation entry point.
+
+fn main() -> syncperf_core::Result<()> {
+    let checks = syncperf_bench::verify::run_all_checks()?;
+    print!("{}", syncperf_bench::verify::render(&checks));
+    if checks.iter().any(|c| !c.passed) {
+        std::process::exit(1);
+    }
+    Ok(())
+}

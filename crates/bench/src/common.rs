@@ -1,0 +1,160 @@
+//! Shared helpers for the figure-regeneration harness.
+
+use syncperf_core::{
+    Affinity, CpuKernel, DType, ExecParams, GpuKernel, Protocol, Result, Series, SystemSpec,
+};
+use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_cpu_sim::CpuSimExecutor;
+use syncperf_gpu_sim::GpuSimExecutor;
+
+/// The loop structure used for all regenerated figures (the paper's
+/// `n_iter` = 1000, `N_UNROLL` = 100; the simulators reach steady state
+/// regardless, so the paper values cost nothing extra).
+#[must_use]
+pub fn paper_loops(threads: u32) -> ExecParams {
+    ExecParams::new(threads).with_loops(1000, 100)
+}
+
+/// The measurement protocol used for figures.
+#[must_use]
+pub fn protocol() -> Protocol {
+    Protocol::PAPER
+}
+
+/// OpenMP thread counts for `system` (2 ..= max hyperthreads).
+#[must_use]
+pub fn omp_threads(system: &SystemSpec) -> Vec<u32> {
+    system.cpu.omp_thread_counts()
+}
+
+/// GPU thread-per-block counts (1 .. 1024, powers of two).
+#[must_use]
+pub fn gpu_threads(system: &SystemSpec) -> Vec<u32> {
+    system.gpu.thread_count_sweep()
+}
+
+/// Runs a CPU kernel family over the thread sweep, one series per data
+/// type.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn cpu_dtype_series(
+    system: &SystemSpec,
+    affinity: Affinity,
+    dtypes: &[DType],
+    mut make_kernel: impl FnMut(DType) -> CpuKernel,
+) -> Result<Vec<Series>> {
+    let mut exec = CpuSimExecutor::new(system);
+    let threads = omp_threads(system);
+    let mut out = Vec::new();
+    for &dt in dtypes {
+        let kernel = make_kernel(dt);
+        let points = thread_sweep(
+            &threads,
+            paper_loops(2).with_affinity(affinity),
+            |_| kernel.clone(),
+        );
+        out.push(throughput_series(&mut exec, &protocol(), dt.label(), points)?);
+    }
+    Ok(out)
+}
+
+/// Runs a single CPU kernel over the thread sweep.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn cpu_series(
+    system: &SystemSpec,
+    affinity: Affinity,
+    label: &str,
+    kernel: &CpuKernel,
+) -> Result<Series> {
+    let mut exec = CpuSimExecutor::new(system);
+    let threads = omp_threads(system);
+    let points =
+        thread_sweep(&threads, paper_loops(2).with_affinity(affinity), |_| kernel.clone());
+    throughput_series(&mut exec, &protocol(), label, points)
+}
+
+/// Runs a GPU kernel family over the thread-per-block sweep at a fixed
+/// block count, one series per data type.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn gpu_dtype_series(
+    system: &SystemSpec,
+    blocks: u32,
+    dtypes: &[DType],
+    mut make_kernel: impl FnMut(DType) -> GpuKernel,
+) -> Result<Vec<Series>> {
+    let mut exec = GpuSimExecutor::new(system);
+    let threads = gpu_threads(system);
+    let mut out = Vec::new();
+    for &dt in dtypes {
+        let kernel = make_kernel(dt);
+        let points =
+            thread_sweep(&threads, paper_loops(1).with_blocks(blocks), |_| kernel.clone());
+        out.push(throughput_series(&mut exec, &protocol(), dt.label(), points)?);
+    }
+    Ok(out)
+}
+
+/// Runs a single GPU kernel over the thread sweep at a fixed block
+/// count.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn gpu_series(
+    system: &SystemSpec,
+    blocks: u32,
+    label: &str,
+    kernel: &GpuKernel,
+) -> Result<Series> {
+    let mut exec = GpuSimExecutor::new(system);
+    let threads = gpu_threads(system);
+    let points = thread_sweep(&threads, paper_loops(1).with_blocks(blocks), |_| kernel.clone());
+    throughput_series(&mut exec, &protocol(), label, points)
+}
+
+/// Where figure CSVs land (`results/` at the workspace root, or the
+/// `SYNCPERF_RESULTS` override).
+#[must_use]
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("SYNCPERF_RESULTS")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, SYSTEM3};
+
+    #[test]
+    fn omp_threads_span_2_to_max() {
+        let t = omp_threads(&SYSTEM3);
+        assert_eq!((*t.first().unwrap(), *t.last().unwrap()), (2, 32));
+    }
+
+    #[test]
+    fn gpu_threads_are_pow2() {
+        let t = gpu_threads(&SYSTEM3);
+        assert_eq!(t.len(), 11);
+    }
+
+    #[test]
+    fn cpu_series_has_one_point_per_thread_count() {
+        let s = cpu_series(&SYSTEM3, Affinity::Spread, "barrier", &kernel::omp_barrier()).unwrap();
+        assert_eq!(s.points.len(), 31);
+    }
+
+    #[test]
+    fn gpu_series_has_eleven_points() {
+        let s = gpu_series(&SYSTEM3, 2, "syncwarp", &kernel::cuda_syncwarp()).unwrap();
+        assert_eq!(s.points.len(), 11);
+    }
+}

@@ -1,0 +1,74 @@
+//! # syncperf-bench
+//!
+//! The figure/table regeneration harness: one function per table and
+//! figure of the paper, plus Criterion micro-benches (under `benches/`)
+//! and ablation binaries (under `src/bin/`).
+//!
+//! Each `figures_cpu::fig*` / `figures_gpu::fig*` function regenerates
+//! one paper figure as [`syncperf_core::FigureData`]; the binaries
+//! print the series as tables/ASCII charts and write CSVs into
+//! `results/`.
+
+#![warn(missing_docs)]
+
+pub mod codes;
+pub mod common;
+pub mod figures_cpu;
+pub mod figures_gpu;
+pub mod sensitivity;
+pub mod tables;
+pub mod verify;
+
+use syncperf_core::{FigureData, Result};
+
+/// Prints a figure to stdout (table + ASCII chart) and writes its CSV
+/// into [`common::results_dir`].
+///
+/// # Errors
+///
+/// Returns an error if the CSV cannot be written.
+pub fn emit(figs: &[FigureData]) -> Result<()> {
+    let dir = common::results_dir();
+    for fig in figs {
+        println!("{}", fig.render_table());
+        println!("{}", fig.render_ascii(72, 14));
+        fig.write_csv(&dir)?;
+        fig.write_svg(&dir)?;
+        println!(
+            "(csv + svg: {})\n",
+            dir.join(format!("{}.{{csv,svg}}", fig.id)).display()
+        );
+    }
+    Ok(())
+}
+
+/// Every figure generator in paper order, for the umbrella binary.
+///
+/// # Errors
+///
+/// Propagates the first generator error.
+pub fn all_figures() -> Result<Vec<FigureData>> {
+    let mut figs = Vec::new();
+    figs.extend(figures_cpu::fig01_barrier()?);
+    figs.extend(figures_cpu::fig02_atomic_update_scalar()?);
+    figs.extend(figures_cpu::fig03_atomic_update_array()?);
+    figs.extend(figures_cpu::fig04_atomic_write()?);
+    figs.extend(figures_cpu::fig05_critical()?);
+    figs.extend(figures_cpu::fig06_flush()?);
+    figs.extend(figures_cpu::exp_atomic_read_capture()?);
+    figs.extend(figures_cpu::exp_affinity()?);
+    figs.extend(figures_gpu::fig07_syncthreads()?);
+    figs.extend(figures_gpu::fig08_syncwarp()?);
+    figs.extend(figures_gpu::fig09_atomicadd_scalar()?);
+    figs.extend(figures_gpu::fig10_atomicadd_array()?);
+    figs.extend(figures_gpu::fig11_atomiccas_scalar()?);
+    figs.extend(figures_gpu::fig12_atomiccas_array()?);
+    figs.extend(figures_gpu::fig13_atomicexch()?);
+    figs.extend(figures_gpu::fig14_threadfence()?);
+    figs.extend(figures_gpu::fig15_shfl()?);
+    figs.extend(figures_gpu::exp_fence_scopes()?);
+    figs.extend(figures_gpu::exp_vote()?);
+    figs.extend(figures_gpu::exp_atomic_ops()?);
+    figs.extend(figures_gpu::exp_divergence()?);
+    Ok(figs)
+}

@@ -1,0 +1,251 @@
+//! Calibration-sensitivity analysis.
+//!
+//! The simulators' latency constants are calibrated, not measured
+//! (DESIGN.md §1); the paper claims we reproduce are *shapes*. This
+//! module perturbs each load-bearing constant across a wide range and
+//! re-evaluates the shape claims, demonstrating which conclusions
+//! depend on calibration and which follow from the modeled mechanisms.
+
+use syncperf_core::{kernel, DType, ExecParams, Protocol, Result, SYSTEM3};
+use syncperf_cpu_sim::{CpuModel, CpuSimExecutor};
+use syncperf_gpu_sim::{GpuModel, GpuSimExecutor};
+
+/// Outcome of evaluating one claim under one perturbed constant.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// The perturbed model constant.
+    pub constant: &'static str,
+    /// The claim being re-evaluated.
+    pub claim: &'static str,
+    /// Scale factors at which the claim held.
+    pub held_at: Vec<f64>,
+    /// Scale factors at which it broke.
+    pub broke_at: Vec<f64>,
+}
+
+impl SensitivityRow {
+    /// Whether the claim survived every tested scale.
+    #[must_use]
+    pub fn robust(&self) -> bool {
+        self.broke_at.is_empty()
+    }
+}
+
+/// The scale factors applied to each constant (spanning 4× around the
+/// calibration point).
+pub const SCALES: [f64; 5] = [0.5, 0.75, 1.0, 1.5, 2.0];
+
+fn cpu_claim_holds(model: CpuModel, claim: &str) -> Result<bool> {
+    let mut sim = CpuSimExecutor::with_model(&SYSTEM3, model);
+    fn runtime(sim: &mut CpuSimExecutor, k: &syncperf_core::CpuKernel, t: u32) -> Result<f64> {
+        let p = ExecParams::new(t).with_loops(500, 50);
+        Ok(Protocol::SIM.measure(sim, k, &p)?.runtime_seconds())
+    }
+    Ok(match claim {
+        "barrier plateaus beyond ~8 threads" => {
+            let b = kernel::omp_barrier();
+            let r2 = runtime(&mut sim, &b, 2)?;
+            let r8 = runtime(&mut sim, &b, 8)?;
+            let r32 = runtime(&mut sim, &b, 32)?;
+            r8 > 1.5 * r2 && r32 < 2.0 * r8
+        }
+        "int atomics beat doubles" => {
+            let i = runtime(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), 16)?;
+            let d = runtime(&mut sim, &kernel::omp_atomic_update_scalar(DType::F64), 16)?;
+            d > i
+        }
+        "padding removes the false-sharing penalty" => {
+            let s1 = runtime(&mut sim, &kernel::omp_atomic_update_array(DType::I32, 1), 16)?;
+            let s16 = runtime(&mut sim, &kernel::omp_atomic_update_array(DType::I32, 16), 16)?;
+            s1 > 2.0 * s16
+        }
+        "critical sections lose to atomics" => {
+            let c = runtime(&mut sim, &kernel::omp_critical_add(DType::I32), 16)?;
+            let a = runtime(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), 16)?;
+            c > a
+        }
+        other => unreachable!("unknown cpu claim {other}"),
+    })
+}
+
+fn gpu_claim_holds(model: GpuModel, claim: &str) -> Result<bool> {
+    let mut sim = GpuSimExecutor::with_model(&SYSTEM3, model);
+    fn cy(
+        sim: &mut GpuSimExecutor,
+        k: &syncperf_core::GpuKernel,
+        blocks: u32,
+        threads: u32,
+    ) -> Result<f64> {
+        let p = ExecParams::new(threads).with_blocks(blocks).with_loops(500, 50);
+        Ok(Protocol::SIM.measure(sim, k, &p)?.per_op)
+    }
+    Ok(match claim {
+        "aggregated adds flat to 64 threads at 2 blocks" => {
+            let k = kernel::cuda_atomic_add_scalar(DType::I32);
+            let t32 = cy(&mut sim, &k, 2, 32)?;
+            let t64 = cy(&mut sim, &k, 2, 64)?;
+            let t128 = cy(&mut sim, &k, 2, 128)?;
+            (t64 - t32).abs() < 1e-9 && t128 > t64
+        }
+        "CAS knee at 4 threads for 1 block" => {
+            let k = kernel::cuda_atomic_cas_scalar(DType::I32);
+            let t4 = cy(&mut sim, &k, 1, 4)?;
+            let t8 = cy(&mut sim, &k, 1, 8)?;
+            t8 > t4
+        }
+        "fences cost the same at any occupancy" => {
+            let k = kernel::cuda_threadfence(syncperf_core::Scope::Device, DType::I32, 1);
+            let a = cy(&mut sim, &k, 1, 32)?;
+            let b = cy(&mut sim, &k, 128, 1024)?;
+            (a / b - 1.0).abs() < 0.05
+        }
+        "64-bit shuffles cost twice 32-bit" => {
+            let f32k = kernel::cuda_shfl(DType::F32, syncperf_core::ShflVariant::Idx);
+            let f64k = kernel::cuda_shfl(DType::F64, syncperf_core::ShflVariant::Idx);
+            let a = cy(&mut sim, &f32k, 2, 32)?;
+            let b = cy(&mut sim, &f64k, 2, 32)?;
+            (b / a - 2.0).abs() < 0.1
+        }
+        other => unreachable!("unknown gpu claim {other}"),
+    })
+}
+
+type CpuKnob = (&'static str, fn(&mut CpuModel, f64));
+type GpuKnob = (&'static str, fn(&mut GpuModel, f64));
+
+fn cpu_knobs() -> Vec<CpuKnob> {
+    vec![
+        ("cpu.line_transfer_ns", |m, s| m.line_transfer_ns *= s),
+        ("cpu.arbitration_ns", |m, s| m.arbitration_ns *= s),
+        ("cpu.rmw_int_ns", |m, s| m.rmw_int_ns *= s),
+        ("cpu.fp_cas_extra_ns", |m, s| m.fp_cas_extra_ns *= s),
+        ("cpu.barrier_arb_ns", |m, s| m.barrier_arb_ns *= s),
+        ("cpu.lock_overhead_ns", |m, s| m.lock_overhead_ns *= s),
+    ]
+}
+
+fn gpu_knobs() -> Vec<GpuKnob> {
+    vec![
+        ("gpu.same_addr_arb_cy", |m, s| m.same_addr_arb_cy *= s),
+        ("gpu.atomic_service(int)", |m, s| m.atomic_device.i32_cy *= s),
+        ("gpu.warp_agg_reduce_cy", |m, s| m.warp_agg_reduce_cy *= s),
+        ("gpu.fence_device_cy", |m, s| m.fence_device_cy *= s),
+        ("gpu.shfl_cy", |m, s| m.shfl_cy *= s),
+    ]
+}
+
+/// Runs the full sensitivity sweep: every (constant, claim) pair across
+/// [`SCALES`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_sensitivity() -> Result<Vec<SensitivityRow>> {
+    let cpu_claims = [
+        "barrier plateaus beyond ~8 threads",
+        "int atomics beat doubles",
+        "padding removes the false-sharing penalty",
+        "critical sections lose to atomics",
+    ];
+    let gpu_claims = [
+        "aggregated adds flat to 64 threads at 2 blocks",
+        "CAS knee at 4 threads for 1 block",
+        "fences cost the same at any occupancy",
+        "64-bit shuffles cost twice 32-bit",
+    ];
+
+    let mut rows = Vec::new();
+    for (name, apply) in cpu_knobs() {
+        for claim in cpu_claims {
+            let mut row =
+                SensitivityRow { constant: name, claim, held_at: vec![], broke_at: vec![] };
+            for scale in SCALES {
+                let mut model = CpuModel::for_system(&SYSTEM3.cpu, 0.0);
+                apply(&mut model, scale);
+                if cpu_claim_holds(model, claim)? {
+                    row.held_at.push(scale);
+                } else {
+                    row.broke_at.push(scale);
+                }
+            }
+            rows.push(row);
+        }
+    }
+    for (name, apply) in gpu_knobs() {
+        for claim in gpu_claims {
+            let mut row =
+                SensitivityRow { constant: name, claim, held_at: vec![], broke_at: vec![] };
+            for scale in SCALES {
+                let mut model = GpuModel::for_spec(&SYSTEM3.gpu);
+                apply(&mut model, scale);
+                if gpu_claim_holds(model, claim)? {
+                    row.held_at.push(scale);
+                } else {
+                    row.broke_at.push(scale);
+                }
+            }
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep as a table.
+#[must_use]
+pub fn render(rows: &[SensitivityRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let robust = rows.iter().filter(|r| r.robust()).count();
+    let _ = writeln!(
+        out,
+        "calibration sensitivity: {robust}/{} (constant, claim) pairs robust across 0.5x-2x\n",
+        rows.len()
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "[{}] {:<26} x {:<48} {}",
+            if r.robust() { "ROBUST " } else { "FRAGILE" },
+            r.constant,
+            r.claim,
+            if r.robust() {
+                String::new()
+            } else {
+                format!("breaks at {:?}", r.broke_at)
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_claims_are_calibration_robust() {
+        let rows = run_sensitivity().unwrap();
+        assert_eq!(rows.len(), (6 * 4) + (5 * 4));
+        let fragile: Vec<String> = rows
+            .iter()
+            .filter(|r| !r.robust())
+            .map(|r| format!("{} x {} at {:?}", r.constant, r.claim, r.broke_at))
+            .collect();
+        assert!(
+            fragile.is_empty(),
+            "shape claims must not hinge on calibration constants:\n{}",
+            fragile.join("\n")
+        );
+    }
+
+    #[test]
+    fn render_counts_pairs() {
+        let rows = vec![SensitivityRow {
+            constant: "c",
+            claim: "x",
+            held_at: vec![1.0],
+            broke_at: vec![],
+        }];
+        assert!(render(&rows).contains("1/1"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Table I and the Listing 1 reduction study as printable reports.
+
+use std::fmt::Write as _;
+
+use syncperf_core::{all_systems, Result, SystemSpec};
+use syncperf_gpu_sim::{simulate_reduction, GpuModel, ReductionConfig, ReductionStrategy};
+
+/// Renders Table I (system specifications) from the encoded specs.
+#[must_use]
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I: System Specifications");
+    for sys in all_systems() {
+        let _ = writeln!(out, "\n({}) System {}", (b'a' + (sys.id - 1) as u8) as char, sys.id);
+        let c = &sys.cpu;
+        let _ = writeln!(out, "  {}", c.name);
+        let _ = writeln!(out, "    Base Clock Frequency   {:.2} GHz", c.base_clock_ghz);
+        let _ = writeln!(out, "    Sockets                {}", c.sockets);
+        let _ = writeln!(out, "    Cores Per Socket       {}", c.cores_per_socket);
+        let _ = writeln!(out, "    Threads Per Core       {}", c.threads_per_core);
+        let _ = writeln!(out, "    NUMA nodes             {}", c.numa_nodes);
+        let _ = writeln!(out, "    Main memory            {} GB", c.memory_gb);
+        let g = &sys.gpu;
+        let _ = writeln!(out, "  {}", g.name);
+        let _ = writeln!(
+            out,
+            "    Compute Capability     {}.{}",
+            g.compute_capability.0, g.compute_capability.1
+        );
+        let _ = writeln!(out, "    Clock Frequency        {} GHz", g.clock_ghz);
+        let _ = writeln!(out, "    SMs                    {}", g.sms);
+        let _ = writeln!(out, "    Max Threads per SM     {}", g.max_threads_per_sm);
+        let _ = writeln!(out, "    CUDA Cores per SM      {}", g.cuda_cores_per_sm);
+        let _ = writeln!(out, "    Memory                 {} GB", g.memory_gb);
+        let _ = writeln!(out, "    g++ Version            {}", sys.gxx_version);
+        let _ = writeln!(out, "    nvcc Version           {}", sys.nvcc_version);
+        let _ = writeln!(out, "    GPU Driver             {}", sys.gpu_driver);
+    }
+    out
+}
+
+/// Runs the Listing 1 reduction study on `system` and renders the
+/// comparison table (runtime in cycles and µs, op counts, and the
+/// ordering statement from Section II-C).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn listing1_report(system: &SystemSpec) -> Result<String> {
+    let model = GpuModel::for_spec(&system.gpu);
+    let cfg = ReductionConfig::megabyte_input(&system.gpu);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Listing 1: five max-reduction strategies, {} int elements on {}",
+        cfg.size, system.gpu.name
+    );
+    let _ = writeln!(
+        out,
+        "{:<42} {:>12} {:>10} {:>12} {:>12}",
+        "strategy", "cycles", "µs", "global atm", "block atm"
+    );
+    let mut results = Vec::new();
+    for s in ReductionStrategy::ALL {
+        let r = simulate_reduction(&model, &system.gpu, s, &cfg)?;
+        let us = r.total_cycles / (system.gpu.clock_ghz * 1e3);
+        let _ = writeln!(
+            out,
+            "{:<42} {:>12.0} {:>10.1} {:>12} {:>12}",
+            s.label(),
+            r.total_cycles,
+            us,
+            r.global_atomics,
+            r.block_atomics
+        );
+        results.push((s, r.total_cycles));
+    }
+    let mut by_time = results.clone();
+    by_time.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let order: Vec<&str> = by_time
+        .iter()
+        .map(|(s, _)| match s {
+            ReductionStrategy::GlobalAtomic => "R1",
+            ReductionStrategy::ShflThenGlobalAtomic => "R2",
+            ReductionStrategy::BlockAtomicThenGlobal => "R3",
+            ReductionStrategy::WarpReduceThenBlock => "R4",
+            ReductionStrategy::PersistentThreads => "R5",
+        })
+        .collect();
+    let _ = writeln!(out, "\nfastest to slowest: {}", order.join(" < "));
+    let r2 = results[1].1;
+    let r5 = results[4].1;
+    let _ = writeln!(out, "R5 speedup over R2: {:.2}x (paper: ~2.5x)", r2 / r5);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::SYSTEM3;
+
+    #[test]
+    fn table1_contains_all_specs() {
+        let t = table1();
+        for needle in [
+            "Intel Xeon E5-2687 v3",
+            "Intel Xeon Gold 6226R",
+            "AMD Ryzen Threadripper 2950X",
+            "RTX 2070 SUPER",
+            "A100",
+            "RTX 4090",
+            "Compute Capability     8.9",
+            "SMs                    128",
+            "535.113.01",
+        ] {
+            assert!(t.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn listing1_reports_paper_ordering() {
+        let r = listing1_report(&SYSTEM3).unwrap();
+        assert!(r.contains("R5 < R3 < R4 < R1 < R2"), "ordering line missing:\n{r}");
+    }
+
+    #[test]
+    fn listing1_speedup_printed() {
+        let r = listing1_report(&SYSTEM3).unwrap();
+        assert!(r.contains("R5 speedup over R2"));
+    }
+}

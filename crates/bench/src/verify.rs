@@ -1,0 +1,412 @@
+//! Automated verification of every qualitative claim in EXPERIMENTS.md.
+//!
+//! `run_all_checks` regenerates the figures and evaluates each paper
+//! claim against them, returning structured pass/fail results — the
+//! artifact-evaluation counterpart of the test suite, runnable as
+//! `cargo run --release -p syncperf-bench --bin verify_experiments`.
+
+use syncperf_core::{FigureData, Result, SYSTEM3};
+use syncperf_gpu_sim::{simulate_reduction, GpuModel, ReductionConfig, ReductionStrategy};
+
+use crate::{figures_cpu, figures_gpu};
+
+/// One verified claim.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Experiment id (e.g. `fig03`).
+    pub id: &'static str,
+    /// The paper's claim being verified.
+    pub claim: &'static str,
+    /// Whether the regenerated data satisfies it.
+    pub passed: bool,
+    /// Measured evidence.
+    pub detail: String,
+}
+
+fn check(
+    out: &mut Vec<Check>,
+    id: &'static str,
+    claim: &'static str,
+    passed: bool,
+    detail: String,
+) {
+    out.push(Check { id, claim, passed, detail });
+}
+
+fn y(fig: &FigureData, label: &str, x: f64) -> f64 {
+    fig.series_by_label(label)
+        .unwrap_or_else(|| panic!("{}: no series `{label}`", fig.id))
+        .y_at(x)
+        .unwrap_or_else(|| panic!("{}/{label}: no point at {x}", fig.id))
+}
+
+/// Runs every check.
+///
+/// # Errors
+///
+/// Propagates figure-generation errors.
+#[allow(clippy::too_many_lines)]
+pub fn run_all_checks() -> Result<Vec<Check>> {
+    let mut out = Vec::new();
+
+    // --- Fig. 1 -------------------------------------------------------
+    let fig01 = &figures_cpu::fig01_barrier()?[0];
+    let b = &fig01.series[0];
+    let (b2, b8, b32) = (y(fig01, "barrier", 2.0), y(fig01, "barrier", 8.0), y(fig01, "barrier", 32.0));
+    check(
+        &mut out,
+        "fig01",
+        "barrier throughput decreases then is largely stable beyond ~8 threads",
+        b2 > 1.5 * b8 && b8 / b32 < 2.0,
+        format!("2t {:.2e}, 8t {:.2e}, 32t {:.2e} ({} points)", b2, b8, b32, b.points.len()),
+    );
+
+    // --- Fig. 2 -------------------------------------------------------
+    let fig02 = &figures_cpu::fig02_atomic_update_scalar()?[0];
+    let (i32_, u64_, f64_) = (y(fig02, "int", 32.0), y(fig02, "ull", 32.0), y(fig02, "double", 32.0));
+    check(
+        &mut out,
+        "fig02",
+        "integer atomics beat floating-point; word size irrelevant",
+        i32_ > f64_ && (i32_ / u64_ - 1.0).abs() < 0.15,
+        format!("int {i32_:.2e}, ull {u64_:.2e}, double {f64_:.2e} at 32 threads"),
+    );
+
+    // --- Fig. 3 -------------------------------------------------------
+    let fig03 = figures_cpu::fig03_atomic_update_array()?;
+    let d4 = y(&fig03[1], "double", 16.0);
+    let d8 = y(&fig03[2], "double", 16.0);
+    let i8_ = y(&fig03[2], "int", 16.0);
+    let i16_ = y(&fig03[3], "int", 16.0);
+    check(
+        &mut out,
+        "fig03",
+        "64-bit types jump at stride 8, 32-bit at stride 16 (cache-line geometry)",
+        d8 > 3.0 * d4 && i16_ > 3.0 * i8_,
+        format!("double s4→s8: {:.1}x; int s8→s16: {:.1}x", d8 / d4, i16_ / i8_),
+    );
+    let s1_int = y(&fig03[0], "int", 32.0);
+    let s1_ull = y(&fig03[0], "ull", 32.0);
+    check(
+        &mut out,
+        "fig03a",
+        "at stride 1, 4-byte types slightly worse (twice the words per line)",
+        s1_int < s1_ull,
+        format!("int {s1_int:.2e} < ull {s1_ull:.2e}"),
+    );
+
+    // --- Fig. 4 -------------------------------------------------------
+    let fig04 = figures_cpu::fig04_atomic_write()?;
+    let at32: Vec<f64> = fig04[1].series.iter().map(|s| s.y_at(32.0).expect("point")).collect();
+    let type_spread = syncperf_core::stats::relative_spread(&at32);
+    let wobble = |fig: &FigureData| {
+        let pts: Vec<f64> = fig.series_by_label("int")
+            .expect("int series")
+            .points
+            .iter()
+            .filter(|(x, _)| *x >= 20.0)
+            .map(|(_, y)| *y)
+            .collect();
+        syncperf_core::stats::relative_spread(&pts)
+    };
+    check(
+        &mut out,
+        "fig04",
+        "atomic write is type/size blind; System 3 (AMD) is jittery, System 2 clean",
+        type_spread < 0.15 && wobble(&fig04[0]) > wobble(&fig04[1]),
+        format!(
+            "type spread {:.1}%; tail wobble sys3 {:.1}% vs sys2 {:.1}%",
+            type_spread * 100.0,
+            wobble(&fig04[0]) * 100.0,
+            wobble(&fig04[1]) * 100.0
+        ),
+    );
+
+    // --- Fig. 5 -------------------------------------------------------
+    let fig05 = &figures_cpu::fig05_critical()?[0];
+    let crit = y(fig05, "int", 32.0);
+    check(
+        &mut out,
+        "fig05",
+        "critical sections slower than atomics at every thread count",
+        fig05.series_by_label("int").expect("int").points.iter().all(|&(x, v)| {
+            v < fig02.series_by_label("int").expect("int").y_at(x).unwrap_or(f64::MAX)
+        }),
+        format!("critical {crit:.2e} vs atomic {i32_:.2e} at 32 threads"),
+    );
+
+    // --- Fig. 6 -------------------------------------------------------
+    let fig06 = figures_cpu::fig06_flush()?;
+    let f_s1 = y(&fig06[0], "int", 32.0);
+    let f_s16 = y(&fig06[3], "int", 32.0);
+    check(
+        &mut out,
+        "fig06",
+        "flush is expensive under false sharing (x10^7) and nearly free padded (x10^8)",
+        f_s16 > 4.0 * f_s1 && f_s1 > 1e6 && f_s16 > 5e7,
+        format!("stride 1: {f_s1:.2e}, stride 16: {f_s16:.2e}"),
+    );
+
+    // --- §V-A2 --------------------------------------------------------
+    let rc = &figures_cpu::exp_atomic_read_capture()?[0];
+    let read_free = rc
+        .series_by_label("atomic read negligible (1=yes)")
+        .expect("flag series")
+        .points
+        .iter()
+        .all(|&(_, f)| f == 1.0);
+    let cap_ratio_ok = rc
+        .series_by_label("capture/update runtime ratio")
+        .expect("ratio series")
+        .points
+        .iter()
+        .all(|&(_, r)| (r - 1.0).abs() < 0.2);
+    check(
+        &mut out,
+        "sVA2",
+        "atomic read is free; atomic capture behaves like atomic update",
+        read_free && cap_ratio_ok,
+        format!("read negligible at all thread counts: {read_free}; capture≈update: {cap_ratio_ok}"),
+    );
+
+    // --- Fig. 7 -------------------------------------------------------
+    let fig07 = &figures_gpu::fig07_syncthreads()?[0];
+    let first = &fig07.series[0];
+    let flat = first.y_at(1.0) == first.y_at(32.0);
+    let falling = first.y_at(1024.0).expect("1024") < first.y_at(64.0).expect("64");
+    let block_invariant = fig07.series.iter().all(|s| s.points == first.points);
+    check(
+        &mut out,
+        "fig07",
+        "__syncthreads flat through the warp size, dropping beyond; identical for all block counts",
+        flat && falling && block_invariant,
+        format!(
+            "32t {:.2e} → 1024t {:.2e}; {} block counts identical",
+            first.y_at(32.0).expect("32"),
+            first.y_at(1024.0).expect("1024"),
+            fig07.series.len()
+        ),
+    );
+
+    // --- Fig. 8 -------------------------------------------------------
+    let fig08 = figures_gpu::fig08_syncwarp()?;
+    let full3 = fig08[0].series_by_label("full (1 block/SM)").expect("full");
+    let full1 = fig08[1].series_by_label("full (1 block/SM)").expect("full");
+    check(
+        &mut out,
+        "fig08",
+        "RTX 4090 full speed to 256 threads/SM, RTX 2070 SUPER to 512; modest drop",
+        full3.y_at(128.0) == full3.y_at(256.0)
+            && full3.y_at(512.0).expect("512") < full3.y_at(256.0).expect("256")
+            && full1.y_at(256.0) == full1.y_at(512.0)
+            && full1.y_at(1024.0).expect("1024") < full1.y_at(512.0).expect("512")
+            && full3.y_at(256.0).expect("256") / full3.y_at(1024.0).expect("1024") < 2.0,
+        format!(
+            "4090 knee after 256 ({:.2e}→{:.2e}); 2070S knee after 512",
+            full3.y_at(256.0).expect("256"),
+            full3.y_at(512.0).expect("512")
+        ),
+    );
+
+    // --- Fig. 9 -------------------------------------------------------
+    let fig09 = figures_gpu::fig09_atomicadd_scalar()?;
+    let int2 = fig09[0].series_by_label("int").expect("int");
+    check(
+        &mut out,
+        "fig09",
+        "warp aggregation: 2-block atomicAdd constant to 64 threads; int > ull > float",
+        int2.y_at(32.0) == int2.y_at(64.0)
+            && int2.y_at(128.0).expect("128") < int2.y_at(64.0).expect("64")
+            && y(&fig09[0], "int", 1024.0) > y(&fig09[0], "ull", 1024.0)
+            && y(&fig09[0], "ull", 1024.0) > y(&fig09[0], "float", 1024.0),
+        format!(
+            "flat to 64t at {:.2e}; at 1024t int {:.2e} > ull {:.2e} > float {:.2e}",
+            int2.y_at(64.0).expect("64"),
+            y(&fig09[0], "int", 1024.0),
+            y(&fig09[0], "ull", 1024.0),
+            y(&fig09[0], "float", 1024.0)
+        ),
+    );
+
+    // --- Fig. 10 ------------------------------------------------------
+    let fig10 = figures_gpu::fig10_atomicadd_array()?;
+    let ratio_1 = y(&fig10[0], "int", 1024.0) / y(&fig10[1], "int", 1024.0);
+    let ratio_128 = y(&fig10[2], "int", 1024.0) / y(&fig10[3], "int", 1024.0);
+    check(
+        &mut out,
+        "fig10",
+        "private atomics: more blocks → lower throughput; stride matters mainly at high block counts",
+        y(&fig10[0], "int", 256.0) > y(&fig10[2], "int", 256.0) && ratio_128 > ratio_1,
+        format!("stride-1/stride-32 ratio: 1 block {ratio_1:.2}, 128 blocks {ratio_128:.2}"),
+    );
+
+    // --- Fig. 11 ------------------------------------------------------
+    let fig11 = figures_gpu::fig11_atomiccas_scalar()?;
+    let cas = fig11[0].series_by_label("int").expect("int");
+    check(
+        &mut out,
+        "fig11",
+        "atomicCAS (no aggregation) constant only to 4 threads at 1 block; integers only",
+        cas.y_at(1.0) == cas.y_at(4.0)
+            && cas.y_at(8.0).expect("8") < cas.y_at(4.0).expect("4")
+            && fig11[0].series.len() == 2,
+        format!(
+            "flat at {:.2e} to 4t, {:.2e} at 8t",
+            cas.y_at(4.0).expect("4"),
+            cas.y_at(8.0).expect("8")
+        ),
+    );
+
+    // --- Fig. 13 ------------------------------------------------------
+    let fig13 = figures_gpu::fig13_atomicexch()?;
+    let exch = fig13[0].series_by_label("int").expect("int");
+    check(
+        &mut out,
+        "fig13",
+        "atomicExch follows the atomicCAS trend",
+        exch.y_at(1.0) == exch.y_at(4.0)
+            && exch.y_at(8.0).expect("8") < exch.y_at(4.0).expect("4"),
+        format!("knee after 4 threads at {:.2e}", exch.y_at(4.0).expect("4")),
+    );
+
+    // --- Fig. 14 ------------------------------------------------------
+    let fig14 = figures_gpu::fig14_threadfence()?;
+    let fence_flat = fig14.iter().all(|fig| {
+        fig.series.iter().all(|s| {
+            let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+            syncperf_core::stats::relative_spread(&ys) < 0.05
+        })
+    });
+    check(
+        &mut out,
+        "fig14",
+        "__threadfence cost constant across thread count, block count, stride, and type",
+        fence_flat,
+        format!("all {} panels flat within 5%", fig14.len()),
+    );
+
+    // --- §V-B3 --------------------------------------------------------
+    let scopes = &figures_gpu::exp_fence_scopes()?[0];
+    let block_free = scopes
+        .series_by_label("block")
+        .expect("block")
+        .points
+        .iter()
+        .zip(&scopes.series_by_label("device").expect("device").points)
+        .all(|(&(_, b), &(_, d))| b < 0.1 * d);
+    check(
+        &mut out,
+        "sVB3",
+        "__threadfence_block ≈ free; __threadfence_system > device and erratic",
+        block_free
+            && scopes.series_by_label("system").expect("system").y_min()
+                > scopes.series_by_label("device").expect("device").y_max() * 0.9,
+        format!(
+            "block {:.0} cy, device {:.0} cy, system {:.0} cy (per fence, median panel)",
+            scopes.series_by_label("block").expect("block").y_max(),
+            scopes.series_by_label("device").expect("device").y_max(),
+            scopes.series_by_label("system").expect("system").y_max()
+        ),
+    );
+
+    // --- Fig. 15 ------------------------------------------------------
+    let fig15 = figures_gpu::fig15_shfl()?;
+    let r = y(&fig15[0], "float", 32.0) / y(&fig15[0], "double", 32.0);
+    check(
+        &mut out,
+        "fig15",
+        "64-bit shuffles cost two 32-bit instructions and drop at half the thread count",
+        (r - 2.0).abs() < 0.1
+            && fig15[0].series_by_label("float").expect("f32").y_at(128.0)
+                == fig15[0].series_by_label("float").expect("f32").y_at(256.0)
+            && y(&fig15[0], "double", 256.0) < y(&fig15[0], "double", 128.0),
+        format!("32-bit/64-bit ratio {r:.2}"),
+    );
+
+    // --- §V-B4 --------------------------------------------------------
+    let vote = &figures_gpu::exp_vote()?[0];
+    let sw = vote.series_by_label("__syncwarp").expect("syncwarp");
+    let votes_ok = ["__ballot_sync", "__all_sync", "__any_sync"].iter().all(|label| {
+        vote.series_by_label(label).expect("vote").points.iter().all(|&(x, v)| {
+            let s = sw.y_at(x).expect("syncwarp point");
+            v < s && v > 0.5 * s
+        })
+    });
+    check(
+        &mut out,
+        "sVB4",
+        "warp votes behave like __syncwarp at slightly lower throughput",
+        votes_ok,
+        format!(
+            "vote/syncwarp ratio {:.2} in the flat region",
+            vote.series_by_label("__any_sync").expect("any").y_at(32.0).expect("32")
+                / sw.y_at(32.0).expect("32")
+        ),
+    );
+
+    // --- Listing 1 ------------------------------------------------------
+    let model = GpuModel::for_spec(&SYSTEM3.gpu);
+    let cfg = ReductionConfig::megabyte_input(&SYSTEM3.gpu);
+    let t = |s| {
+        simulate_reduction(&model, &SYSTEM3.gpu, s, &cfg).map(|r| r.total_cycles)
+    };
+    let (r1, r2, r3, r4, r5) = (
+        t(ReductionStrategy::GlobalAtomic)?,
+        t(ReductionStrategy::ShflThenGlobalAtomic)?,
+        t(ReductionStrategy::BlockAtomicThenGlobal)?,
+        t(ReductionStrategy::WarpReduceThenBlock)?,
+        t(ReductionStrategy::PersistentThreads)?,
+    );
+    check(
+        &mut out,
+        "listing1",
+        "reduction ordering R3 < R4 < R1 < R2, R5 fastest, R5/R2 speedup near the paper's ~2.5x",
+        r3 < r4 && r4 < r1 && r1 < r2 && r5 < r3 && (2.0..5.0).contains(&(r2 / r5)),
+        format!(
+            "R1 {:.0}, R2 {:.0}, R3 {:.0}, R4 {:.0}, R5 {:.0} cycles; R5 speedup {:.2}x",
+            r1, r2, r3, r4, r5, r2 / r5
+        ),
+    );
+
+    Ok(out)
+}
+
+/// Renders checks as a fixed-width report.
+#[must_use]
+pub fn render(checks: &[Check]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let passed = checks.iter().filter(|c| c.passed).count();
+    let _ = writeln!(out, "verifying {} paper claims against regenerated data\n", checks.len());
+    for c in checks {
+        let _ = writeln!(out, "[{}] {:<9} {}", if c.passed { "PASS" } else { "FAIL" }, c.id, c.claim);
+        let _ = writeln!(out, "                 {}", c.detail);
+    }
+    let _ = writeln!(out, "\n{passed}/{} claims verified", checks.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_claims_verify() {
+        let checks = run_all_checks().unwrap();
+        assert_eq!(checks.len(), 19);
+        let failed: Vec<&Check> = checks.iter().filter(|c| !c.passed).collect();
+        assert!(failed.is_empty(), "failing claims: {failed:#?}");
+    }
+
+    #[test]
+    fn render_contains_verdicts() {
+        let checks = vec![
+            Check { id: "x", claim: "c", passed: true, detail: "d".into() },
+            Check { id: "y", claim: "c2", passed: false, detail: "d2".into() },
+        ];
+        let r = render(&checks);
+        assert!(r.contains("[PASS]"));
+        assert!(r.contains("[FAIL]"));
+        assert!(r.contains("1/2 claims verified"));
+    }
+}

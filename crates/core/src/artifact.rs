@@ -1,0 +1,396 @@
+//! Artifact-style results storage.
+//!
+//! The paper's artifact writes, per test code, a `runtimes.csv` under
+//! `./results/<hostname>/<testname>/` (Appendix F). This module
+//! reproduces that layout: flat [`RunRecord`]s per parameter point,
+//! written to and loaded from per-test CSV files, plus a diff that
+//! compares two result sets (e.g. two model revisions, or simulated vs
+//! real-thread runs) by throughput ratio.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::dtype::DType;
+use crate::error::{Result, SyncPerfError};
+use crate::params::Affinity;
+
+/// One measured parameter point of one test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Test code name, artifact style (e.g. `omp_atomicadd_scalar`).
+    pub test: String,
+    /// Threads per team/block.
+    pub threads: u32,
+    /// Thread blocks (1 for CPU tests).
+    pub blocks: u32,
+    /// Array stride in elements (0 when not applicable).
+    pub stride: u32,
+    /// Data type (`None` for type-less primitives like barriers).
+    pub dtype: Option<DType>,
+    /// Thread affinity.
+    pub affinity: Affinity,
+    /// Runtime of one primitive in nanoseconds.
+    pub runtime_ns: f64,
+    /// Throughput in ops/s/thread.
+    pub throughput: f64,
+}
+
+impl RunRecord {
+    /// The parameter-point key used to match records across stores.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}/t{}/b{}/s{}/{}/{}",
+            self.test,
+            self.threads,
+            self.blocks,
+            self.stride,
+            self.dtype.map_or("-", DType::label),
+            self.affinity.label()
+        )
+    }
+
+    fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{}\n",
+            self.test,
+            self.threads,
+            self.blocks,
+            self.stride,
+            self.dtype.map_or("-", DType::label),
+            self.affinity.label(),
+            self.runtime_ns,
+            self.throughput
+        )
+    }
+
+    fn parse_csv_row(line: &str) -> Result<RunRecord> {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 8 {
+            return Err(SyncPerfError::Io(format!("malformed runtimes.csv row: {line}")));
+        }
+        let dtype = match fields[4] {
+            "-" => None,
+            "int" => Some(DType::I32),
+            "ull" => Some(DType::U64),
+            "float" => Some(DType::F32),
+            "double" => Some(DType::F64),
+            other => return Err(SyncPerfError::Io(format!("unknown dtype `{other}`"))),
+        };
+        let affinity = match fields[5] {
+            "spread" => Affinity::Spread,
+            "close" => Affinity::Close,
+            "system" => Affinity::SystemChoice,
+            other => return Err(SyncPerfError::Io(format!("unknown affinity `{other}`"))),
+        };
+        let parse_u32 = |s: &str| {
+            s.parse::<u32>().map_err(|e| SyncPerfError::Io(format!("bad integer `{s}`: {e}")))
+        };
+        let parse_f64 = |s: &str| {
+            s.parse::<f64>().map_err(|e| SyncPerfError::Io(format!("bad float `{s}`: {e}")))
+        };
+        Ok(RunRecord {
+            test: fields[0].to_string(),
+            threads: parse_u32(fields[1])?,
+            blocks: parse_u32(fields[2])?,
+            stride: parse_u32(fields[3])?,
+            dtype,
+            affinity,
+            runtime_ns: parse_f64(fields[6])?,
+            throughput: parse_f64(fields[7])?,
+        })
+    }
+}
+
+/// CSV header of a `runtimes.csv`.
+const HEADER: &str = "test,threads,blocks,stride,dtype,affinity,runtime_ns,throughput\n";
+
+/// A set of results for one host (or one simulated system).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultsStore {
+    /// Host/system label (the artifact uses the hostname).
+    pub host: String,
+    records: Vec<RunRecord>,
+}
+
+impl ResultsStore {
+    /// Creates an empty store for `host`.
+    #[must_use]
+    pub fn new(host: impl Into<String>) -> Self {
+        ResultsStore { host: host.into(), records: Vec::new() }
+    }
+
+    /// Adds one record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in insertion order.
+    #[must_use]
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Number of stored records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Distinct test names, sorted.
+    #[must_use]
+    pub fn tests(&self) -> Vec<&str> {
+        let mut t: Vec<&str> = self.records.iter().map(|r| r.test.as_str()).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// Writes `dir/<host>/<test>/runtimes.csv` for each test, matching
+    /// the artifact's directory layout (Appendix F).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when directories or files cannot be written.
+    pub fn write(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let base = dir.as_ref().join(&self.host);
+        for test in self.tests() {
+            let tdir = base.join(test);
+            fs::create_dir_all(&tdir)?;
+            let mut csv = String::from(HEADER);
+            for r in self.records.iter().filter(|r| r.test == test) {
+                csv.push_str(&r.to_csv_row());
+            }
+            fs::write(tdir.join("runtimes.csv"), csv)?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `runtimes.csv` under `dir/<host>/`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory is missing or a CSV is
+    /// malformed.
+    pub fn load(dir: impl AsRef<Path>, host: &str) -> Result<Self> {
+        let base = dir.as_ref().join(host);
+        let mut store = ResultsStore::new(host);
+        let entries = fs::read_dir(&base)
+            .map_err(|e| SyncPerfError::Io(format!("{}: {e}", base.display())))?;
+        let mut test_dirs: Vec<_> = entries
+            .filter_map(std::result::Result::ok)
+            .filter(|e| e.path().is_dir())
+            .collect();
+        test_dirs.sort_by_key(std::fs::DirEntry::file_name);
+        for entry in test_dirs {
+            let csv_path = entry.path().join("runtimes.csv");
+            if !csv_path.exists() {
+                continue;
+            }
+            let content = fs::read_to_string(&csv_path)?;
+            for line in content.lines().skip(1) {
+                if !line.trim().is_empty() {
+                    store.push(RunRecord::parse_csv_row(line)?);
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Compares this store (baseline) against `other`, matching records
+    /// by parameter-point key.
+    #[must_use]
+    pub fn diff(&self, other: &ResultsStore) -> DiffReport {
+        let mine: BTreeMap<String, &RunRecord> =
+            self.records.iter().map(|r| (r.key(), r)).collect();
+        let mut entries = Vec::new();
+        let mut missing = 0usize;
+        for r in &other.records {
+            match mine.get(&r.key()) {
+                Some(base) if base.throughput > 0.0 => entries.push(DiffEntry {
+                    key: r.key(),
+                    baseline_throughput: base.throughput,
+                    other_throughput: r.throughput,
+                    ratio: r.throughput / base.throughput,
+                }),
+                _ => missing += 1,
+            }
+        }
+        let only_in_baseline = self
+            .records
+            .iter()
+            .filter(|r| !other.records.iter().any(|o| o.key() == r.key()))
+            .count();
+        DiffReport { entries, missing_in_baseline: missing, only_in_baseline }
+    }
+}
+
+/// One matched parameter point in a diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Parameter-point key.
+    pub key: String,
+    /// Baseline throughput.
+    pub baseline_throughput: f64,
+    /// Other store's throughput.
+    pub other_throughput: f64,
+    /// `other / baseline`.
+    pub ratio: f64,
+}
+
+/// The outcome of comparing two result stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Matched points.
+    pub entries: Vec<DiffEntry>,
+    /// Points in `other` with no baseline counterpart.
+    pub missing_in_baseline: usize,
+    /// Points only the baseline has.
+    pub only_in_baseline: usize,
+}
+
+impl DiffReport {
+    /// Geometric-mean throughput ratio across matched points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no matched points.
+    #[must_use]
+    pub fn geomean_ratio(&self) -> f64 {
+        assert!(!self.entries.is_empty(), "no matched points to compare");
+        let log_sum: f64 = self.entries.iter().map(|e| e.ratio.ln()).sum();
+        (log_sum / self.entries.len() as f64).exp()
+    }
+
+    /// The matched points whose ratio deviates from 1.0 by more than
+    /// `tolerance` (e.g. 0.10 for ±10%), sorted by deviation.
+    #[must_use]
+    pub fn outliers(&self, tolerance: f64) -> Vec<&DiffEntry> {
+        let mut out: Vec<&DiffEntry> = self
+            .entries
+            .iter()
+            .filter(|e| (e.ratio - 1.0).abs() > tolerance)
+            .collect();
+        out.sort_by(|a, b| {
+            (b.ratio - 1.0).abs().partial_cmp(&(a.ratio - 1.0).abs()).expect("finite ratios")
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(test: &str, threads: u32, tp: f64) -> RunRecord {
+        RunRecord {
+            test: test.into(),
+            threads,
+            blocks: 1,
+            stride: 0,
+            dtype: Some(DType::I32),
+            affinity: Affinity::Spread,
+            runtime_ns: 1e9 / tp,
+            throughput: tp,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("syncperf_artifact_{}", std::process::id()));
+        let mut store = ResultsStore::new("simhost");
+        store.push(record("omp_barrier", 2, 3.4e6));
+        store.push(record("omp_barrier", 4, 1.7e6));
+        store.push(record("omp_atomicadd_scalar", 2, 1.5e7));
+        store.write(&dir).unwrap();
+
+        assert!(dir.join("simhost/omp_barrier/runtimes.csv").exists());
+        let loaded = ResultsStore::load(&dir, "simhost").unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.tests(), vec!["omp_atomicadd_scalar", "omp_barrier"]);
+        // Same records (order within the file preserved per test).
+        for r in store.records() {
+            assert!(loaded.records().iter().any(|l| l == r), "{r:?}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keys_distinguish_parameters() {
+        let a = record("t", 2, 1.0);
+        let mut b = record("t", 2, 1.0);
+        b.stride = 4;
+        assert_ne!(a.key(), b.key());
+        let mut c = record("t", 2, 1.0);
+        c.dtype = None;
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn diff_matches_by_key() {
+        let mut base = ResultsStore::new("a");
+        base.push(record("t", 2, 100.0));
+        base.push(record("t", 4, 50.0));
+        let mut other = ResultsStore::new("b");
+        other.push(record("t", 2, 200.0));
+        other.push(record("t", 8, 10.0)); // unmatched
+
+        let diff = base.diff(&other);
+        assert_eq!(diff.entries.len(), 1);
+        assert_eq!(diff.entries[0].ratio, 2.0);
+        assert_eq!(diff.missing_in_baseline, 1);
+        assert_eq!(diff.only_in_baseline, 1);
+        assert!((diff.geomean_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outliers_sorted_by_deviation() {
+        let mut base = ResultsStore::new("a");
+        let mut other = ResultsStore::new("b");
+        for (t, b_tp, o_tp) in [(2u32, 100.0, 105.0), (4, 100.0, 300.0), (8, 100.0, 50.0)] {
+            base.push(record("t", t, b_tp));
+            other.push(record("t", t, o_tp));
+        }
+        let diff = base.diff(&other);
+        let out = diff.outliers(0.10);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ratio, 3.0); // biggest deviation first
+        assert_eq!(out[1].ratio, 0.5);
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        assert!(RunRecord::parse_csv_row("too,few,fields").is_err());
+        assert!(RunRecord::parse_csv_row("t,2,1,0,alien,spread,1.0,1.0").is_err());
+        assert!(RunRecord::parse_csv_row("t,2,1,0,int,sideways,1.0,1.0").is_err());
+        assert!(RunRecord::parse_csv_row("t,x,1,0,int,spread,1.0,1.0").is_err());
+    }
+
+    #[test]
+    fn load_missing_host_errors() {
+        let err = ResultsStore::load("/nonexistent_syncperf_dir", "ghost").unwrap_err();
+        assert!(matches!(err, SyncPerfError::Io(_)));
+    }
+
+    #[test]
+    fn typeless_and_affinity_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("syncperf_artifact2_{}", std::process::id()));
+        let mut store = ResultsStore::new("h");
+        let mut r = record("cuda_syncwarp", 32, 2e8);
+        r.dtype = None;
+        r.affinity = Affinity::Close;
+        r.blocks = 128;
+        store.push(r.clone());
+        store.write(&dir).unwrap();
+        let loaded = ResultsStore::load(&dir, "h").unwrap();
+        assert_eq!(loaded.records()[0], r);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,160 @@
+//! Data types exercised by the measured synchronization primitives.
+//!
+//! The paper runs every arithmetic/memory test with the four C types
+//! `int`, `unsigned long long`, `float`, and `double` (Section IV). The
+//! distinction matters because integer and floating-point atomics are
+//! serviced by different hardware paths on both CPUs and GPUs.
+
+use std::fmt;
+
+/// A data type participating in a measured operation.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_core::DType;
+///
+/// assert_eq!(DType::I32.size_bytes(), 4);
+/// assert!(DType::F64.is_float());
+/// assert!(DType::U64.is_integer());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 32-bit signed integer (`int`).
+    I32,
+    /// 64-bit unsigned integer (`unsigned long long`).
+    U64,
+    /// 32-bit IEEE-754 float (`float`).
+    F32,
+    /// 64-bit IEEE-754 float (`double`).
+    F64,
+}
+
+impl DType {
+    /// All four data types in the paper's canonical order.
+    pub const ALL: [DType; 4] = [DType::I32, DType::U64, DType::F32, DType::F64];
+
+    /// The data types natively supported by CUDA's `atomicCAS()` /
+    /// `atomicExch()` (no floating point; Section V-B2).
+    pub const CAS_SUPPORTED: [DType; 2] = [DType::I32, DType::U64];
+
+    /// Size of one element in bytes.
+    #[must_use]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::I32 | DType::F32 => 4,
+            DType::U64 | DType::F64 => 8,
+        }
+    }
+
+    /// Size of one element in bits.
+    #[must_use]
+    pub const fn size_bits(self) -> usize {
+        self.size_bytes() * 8
+    }
+
+    /// `true` for `I32` and `U64`.
+    #[must_use]
+    pub const fn is_integer(self) -> bool {
+        matches!(self, DType::I32 | DType::U64)
+    }
+
+    /// `true` for `F32` and `F64`.
+    #[must_use]
+    pub const fn is_float(self) -> bool {
+        !self.is_integer()
+    }
+
+    /// The label used in the paper's figure legends.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            DType::I32 => "int",
+            DType::U64 => "ull",
+            DType::F32 => "float",
+            DType::F64 => "double",
+        }
+    }
+
+    /// How many elements of this type fit in one cache line of
+    /// `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is smaller than the element size.
+    #[must_use]
+    pub fn elems_per_line(self, line_bytes: usize) -> usize {
+        assert!(
+            line_bytes >= self.size_bytes(),
+            "cache line ({line_bytes} B) smaller than element"
+        );
+        line_bytes / self.size_bytes()
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_c_types() {
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::U64.size_bytes(), 8);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn bits_are_eight_times_bytes() {
+        for dt in DType::ALL {
+            assert_eq!(dt.size_bits(), dt.size_bytes() * 8);
+        }
+    }
+
+    #[test]
+    fn integer_float_partition() {
+        let ints: Vec<_> = DType::ALL.iter().filter(|d| d.is_integer()).collect();
+        let floats: Vec<_> = DType::ALL.iter().filter(|d| d.is_float()).collect();
+        assert_eq!(ints.len(), 2);
+        assert_eq!(floats.len(), 2);
+        for dt in DType::ALL {
+            assert_ne!(dt.is_integer(), dt.is_float());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(DType::I32.label(), "int");
+        assert_eq!(DType::U64.label(), "ull");
+        assert_eq!(DType::F32.label(), "float");
+        assert_eq!(DType::F64.label(), "double");
+        assert_eq!(DType::F64.to_string(), "double");
+    }
+
+    #[test]
+    fn elems_per_line_64b() {
+        assert_eq!(DType::I32.elems_per_line(64), 16);
+        assert_eq!(DType::U64.elems_per_line(64), 8);
+        assert_eq!(DType::F32.elems_per_line(64), 16);
+        assert_eq!(DType::F64.elems_per_line(64), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache line")]
+    fn elems_per_line_rejects_tiny_line() {
+        let _ = DType::U64.elems_per_line(4);
+    }
+
+    #[test]
+    fn cas_supported_excludes_floats() {
+        for dt in DType::CAS_SUPPORTED {
+            assert!(dt.is_integer());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the measurement framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the syncperf measurement framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SyncPerfError {
+    /// A kernel references an operation the executing platform does not
+    /// support (e.g. a GPU op handed to a CPU executor).
+    UnsupportedOp {
+        /// Human-readable name of the offending operation.
+        op: String,
+        /// Name of the platform that rejected it.
+        platform: String,
+    },
+    /// A parameter combination is invalid (e.g. zero threads).
+    InvalidParams(String),
+    /// The measurement protocol exhausted its retry budget without
+    /// obtaining a test runtime ≥ the baseline runtime.
+    MeasurementUnstable {
+        /// Attempts performed before giving up.
+        attempts: u32,
+    },
+    /// A data type is not supported by the measured primitive
+    /// (e.g. `float` with `atomicCAS()`).
+    UnsupportedDType {
+        /// The rejected data type label.
+        dtype: &'static str,
+        /// The primitive that rejected it.
+        primitive: String,
+    },
+    /// Writing a report or CSV failed.
+    Io(String),
+}
+
+impl fmt::Display for SyncPerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncPerfError::UnsupportedOp { op, platform } => {
+                write!(f, "operation `{op}` is not supported by platform `{platform}`")
+            }
+            SyncPerfError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            SyncPerfError::MeasurementUnstable { attempts } => write!(
+                f,
+                "no stable measurement after {attempts} attempts (test < baseline every time)"
+            ),
+            SyncPerfError::UnsupportedDType { dtype, primitive } => {
+                write!(f, "data type `{dtype}` is not supported by `{primitive}`")
+            }
+            SyncPerfError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for SyncPerfError {}
+
+impl From<std::io::Error> for SyncPerfError {
+    fn from(err: std::io::Error) -> Self {
+        SyncPerfError::Io(err.to_string())
+    }
+}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, SyncPerfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = SyncPerfError::InvalidParams("zero threads".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid parameters"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SyncPerfError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk on fire");
+        let e: SyncPerfError = io.into();
+        assert!(matches!(e, SyncPerfError::Io(_)));
+        assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn unstable_reports_attempts() {
+        let e = SyncPerfError::MeasurementUnstable { attempts: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", SyncPerfError::Io(String::new())).is_empty());
+    }
+}

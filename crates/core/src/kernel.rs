@@ -1,0 +1,553 @@
+//! The microkernel IR: what the baseline and test loop bodies contain.
+//!
+//! The paper's framework (Section III) times a *baseline* function and a
+//! *test* function whose loop bodies are identical except that the test
+//! body performs the measured synchronization at least one more time per
+//! iteration. Subtracting the two isolates the primitive's cost.
+//!
+//! Loop bodies are expressed here as small sequences of [`CpuOp`] or
+//! [`GpuOp`] values. Executors (real threads, the CPU simulator, the GPU
+//! simulator) interpret these sequences `n_iter × N_UNROLL` times per
+//! thread.
+
+use crate::dtype::DType;
+
+/// Where a memory-touching operation lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// One of a handful of shared scalars, each on its own cache line.
+    /// Index 0 is "the" shared variable; index 1 is the second location
+    /// used by the atomic-write test (Fig. 4).
+    SharedScalar(u8),
+    /// The calling thread's private element of shared array `array`,
+    /// located at element index `tid × stride` (Section IV: "we vary the
+    /// stride, which indicates the distance between accessed elements").
+    Private {
+        /// Which of the (up to two) arrays — the flush/fence tests use
+        /// two distinct arrays (Section V-A4).
+        array: u8,
+        /// Distance in elements between consecutive threads' elements.
+        stride: u32,
+    },
+}
+
+impl Target {
+    /// The shared variable (scalar 0).
+    pub const SHARED: Target = Target::SharedScalar(0);
+
+    /// A second shared variable on a separate cache line.
+    pub const SHARED2: Target = Target::SharedScalar(1);
+
+    /// Shorthand for a private element of array 0 at the given stride.
+    #[must_use]
+    pub const fn private(stride: u32) -> Target {
+        Target::Private { array: 0, stride }
+    }
+}
+
+/// Memory-fence / atomic scope, mirroring CUDA's three fence widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Thread-block scope (`__threadfence_block()`, `atomicAdd_block()`).
+    Block,
+    /// Whole-device scope (`__threadfence()`, plain `atomicAdd()`).
+    Device,
+    /// CPU + GPU scope (`__threadfence_system()`).
+    System,
+}
+
+/// Warp shuffle exchange pattern. The paper observed no performance
+/// difference between the variants (Section V-B4), but they remain
+/// distinct operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShflVariant {
+    /// `__shfl_sync()` — broadcast from a source lane.
+    Idx,
+    /// `__shfl_up_sync()`.
+    Up,
+    /// `__shfl_down_sync()`.
+    Down,
+    /// `__shfl_xor_sync()`.
+    Xor,
+}
+
+/// The additional read-modify-write atomics CUDA provides beyond add,
+/// CAS, and exchange ("add, sub, max, min, etc." — Section II-B2). All
+/// are integer-only in hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `atomicSub()`.
+    Sub,
+    /// `atomicMin()`.
+    Min,
+    /// `atomicAnd()`.
+    And,
+    /// `atomicOr()`.
+    Or,
+    /// `atomicXor()`.
+    Xor,
+}
+
+impl RmwOp {
+    /// All five operations.
+    pub const ALL: [RmwOp; 5] = [RmwOp::Sub, RmwOp::Min, RmwOp::And, RmwOp::Or, RmwOp::Xor];
+
+    /// CUDA function name.
+    #[must_use]
+    pub const fn cuda_name(self) -> &'static str {
+        match self {
+            RmwOp::Sub => "atomicSub",
+            RmwOp::Min => "atomicMin",
+            RmwOp::And => "atomicAnd",
+            RmwOp::Or => "atomicOr",
+            RmwOp::Xor => "atomicXor",
+        }
+    }
+}
+
+/// Warp vote flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VoteKind {
+    /// `__ballot_sync()`.
+    Ballot,
+    /// `__all_sync()`.
+    All,
+    /// `__any_sync()`.
+    Any,
+}
+
+/// One operation in a CPU (OpenMP-style) loop body.
+///
+/// Fields are uniform across variants: `dtype` is the operand type and
+/// `target` the memory location (see [`Target`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CpuOp {
+    /// `#pragma omp barrier`.
+    Barrier,
+    /// `#pragma omp atomic update` — an atomic `x += v`.
+    AtomicUpdate { dtype: DType, target: Target },
+    /// `#pragma omp atomic capture` — `v = x++` atomically.
+    AtomicCapture { dtype: DType, target: Target },
+    /// `#pragma omp atomic read`.
+    AtomicRead { dtype: DType, target: Target },
+    /// `#pragma omp atomic write`.
+    AtomicWrite { dtype: DType, target: Target },
+    /// A plain (non-atomic) read — the baseline of the atomic-read test.
+    Read { dtype: DType, target: Target },
+    /// A plain (non-atomic) `x += v` — used by the flush test bodies.
+    Update { dtype: DType, target: Target },
+    /// An addition protected by `#pragma omp critical`.
+    CriticalAdd { dtype: DType, target: Target },
+    /// `#pragma omp flush` — a full memory fence.
+    Flush,
+}
+
+/// One operation in a GPU (CUDA-style) loop body.
+///
+/// Fields are uniform across variants: `dtype` is the operand type,
+/// `target` the memory location, and `scope` the atomic/fence width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum GpuOp {
+    /// `__syncthreads()` — block-wide barrier.
+    SyncThreads,
+    /// `__syncwarp()` — warp-wide barrier.
+    SyncWarp,
+    /// `__syncthreads_count/and/or()` — a block-wide barrier that also
+    /// reduces a predicate across the block (barriers "at multiple
+    /// granularities", §II-B1).
+    SyncThreadsReduce { kind: VoteKind },
+    /// `atomicAdd()` (or `atomicAdd_block()` when `scope` is block).
+    AtomicAdd { dtype: DType, scope: Scope, target: Target },
+    /// `atomicCAS()` — integer types only.
+    AtomicCas { dtype: DType, scope: Scope, target: Target },
+    /// `atomicExch()`.
+    AtomicExch { dtype: DType, scope: Scope, target: Target },
+    /// `atomicMax()` (used by the Listing 1 reductions).
+    AtomicMax { dtype: DType, scope: Scope, target: Target },
+    /// `__threadfence_block()/__threadfence()/__threadfence_system()`.
+    ThreadFence { scope: Scope },
+    /// Warp shuffle with implied `__syncwarp()`.
+    Shfl { dtype: DType, variant: ShflVariant },
+    /// Warp vote with implied `__syncwarp()`.
+    Vote { kind: VoteKind },
+    /// `__reduce_max_sync()` — warp-wide reduction (compute cap. ≥ 8.0).
+    WarpReduce { dtype: DType },
+    /// A plain (non-atomic) `x += v` — used by the fence test bodies.
+    Update { dtype: DType, target: Target },
+    /// One of the further RMW atomics (`atomicSub/Min/And/Or/Xor`).
+    AtomicRmw { op: RmwOp, dtype: DType, scope: Scope, target: Target },
+    /// A plain read.
+    Read { dtype: DType, target: Target },
+    /// Plain arithmetic on registers (e.g. `max`), no memory traffic.
+    Alu { dtype: DType },
+    /// A warp-divergent branch: the warp splits into `paths` groups
+    /// that execute one ALU op each, serially (SIMT divergence; the
+    /// measurement methodology descends from Bialas & Strzelecki's
+    /// divergence benchmark, the paper's reference [10]).
+    Diverge { dtype: DType, paths: u32 },
+}
+
+/// A baseline/test pair for one measured primitive.
+///
+/// The test body always contains the baseline body's work plus at least
+/// one extra occurrence of the measured primitive, so
+/// `median(test) − median(baseline)` isolates the primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel<Op> {
+    /// Human-readable primitive name, e.g. `"omp_barrier"`.
+    pub name: String,
+    /// Baseline loop body.
+    pub baseline: Vec<Op>,
+    /// Test loop body (baseline + measured primitive(s)).
+    pub test: Vec<Op>,
+    /// How many *extra* occurrences of the primitive the test body has
+    /// relative to the baseline; the measured difference is divided by
+    /// this (1 for every kernel in the paper).
+    pub extra_ops: u32,
+}
+
+impl<Op> Kernel<Op> {
+    /// Builds a kernel, validating that the test body contains at least
+    /// as many operations as the baseline body. Equal lengths are for
+    /// *substitution* kernels (e.g. the atomic-read test, where the
+    /// test replaces a plain read with an atomic read and the
+    /// difference measures the overhead of atomicity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test` is shorter than `baseline` or `extra_ops` is
+    /// zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        baseline: Vec<Op>,
+        test: Vec<Op>,
+        extra_ops: u32,
+    ) -> Self {
+        assert!(
+            test.len() >= baseline.len(),
+            "test body must contain at least as many operations as the baseline"
+        );
+        assert!(extra_ops > 0, "extra_ops must be at least 1");
+        Kernel { name: name.into(), baseline, test, extra_ops }
+    }
+}
+
+/// A CPU kernel.
+pub type CpuKernel = Kernel<CpuOp>;
+/// A GPU kernel.
+pub type GpuKernel = Kernel<GpuOp>;
+
+// ---------------------------------------------------------------------
+// Factory functions: one per measured primitive in the paper.
+// ---------------------------------------------------------------------
+
+/// Fig. 1 — OpenMP barrier: baseline has one `#pragma omp barrier` per
+/// iteration, the test has two.
+#[must_use]
+pub fn omp_barrier() -> CpuKernel {
+    Kernel::new("omp_barrier", vec![CpuOp::Barrier], vec![CpuOp::Barrier, CpuOp::Barrier], 1)
+}
+
+/// Fig. 2 — OpenMP atomic update on a single shared variable.
+#[must_use]
+pub fn omp_atomic_update_scalar(dtype: DType) -> CpuKernel {
+    let op = CpuOp::AtomicUpdate { dtype, target: Target::SHARED };
+    Kernel::new(format!("omp_atomicadd_scalar_{dtype}"), vec![op], vec![op, op], 1)
+}
+
+/// Fig. 3 — OpenMP atomic update on each thread's private element of a
+/// shared array at the given stride.
+#[must_use]
+pub fn omp_atomic_update_array(dtype: DType, stride: u32) -> CpuKernel {
+    let op = CpuOp::AtomicUpdate { dtype, target: Target::private(stride) };
+    Kernel::new(format!("omp_atomicadd_array_{dtype}_s{stride}"), vec![op], vec![op, op], 1)
+}
+
+/// §V-A2 — OpenMP atomic capture (`v = x++`), behaviorally ≈ update.
+#[must_use]
+pub fn omp_atomic_capture_scalar(dtype: DType) -> CpuKernel {
+    let op = CpuOp::AtomicCapture { dtype, target: Target::SHARED };
+    Kernel::new(format!("omp_atomiccapture_scalar_{dtype}"), vec![op], vec![op, op], 1)
+}
+
+/// Fig. 4 — OpenMP atomic write: the baseline writes one shared
+/// location; the test writes two locations on separate cache lines.
+#[must_use]
+pub fn omp_atomic_write(dtype: DType) -> CpuKernel {
+    let w0 = CpuOp::AtomicWrite { dtype, target: Target::SHARED };
+    let w1 = CpuOp::AtomicWrite { dtype, target: Target::SHARED2 };
+    Kernel::new(format!("omp_atomicwrite_{dtype}"), vec![w0], vec![w0, w1], 1)
+}
+
+/// §V-A2 — OpenMP atomic read: the baseline performs a *non-atomic*
+/// read; the test performs the same read atomically (a substitution,
+/// not an addition — the difference is the overhead of atomicity). The
+/// paper found it to be within timer accuracy (i.e. atomic reads are
+/// free on the tested CPUs).
+#[must_use]
+pub fn omp_atomic_read(dtype: DType) -> CpuKernel {
+    let plain = CpuOp::Read { dtype, target: Target::SHARED };
+    let atomic = CpuOp::AtomicRead { dtype, target: Target::SHARED };
+    Kernel::new(format!("omp_atomicread_{dtype}"), vec![plain], vec![atomic], 1)
+}
+
+/// Fig. 5 — an addition on a single shared variable protected by an
+/// OpenMP critical section.
+#[must_use]
+pub fn omp_critical_add(dtype: DType) -> CpuKernel {
+    let op = CpuOp::CriticalAdd { dtype, target: Target::SHARED };
+    Kernel::new(format!("omp_critical_{dtype}"), vec![op], vec![op, op], 1)
+}
+
+/// Fig. 6 — OpenMP flush: each thread increments its private element of
+/// two arrays; the test inserts a flush between the two increments.
+#[must_use]
+pub fn omp_flush(dtype: DType, stride: u32) -> CpuKernel {
+    let a = CpuOp::Update { dtype, target: Target::Private { array: 0, stride } };
+    let b = CpuOp::Update { dtype, target: Target::Private { array: 1, stride } };
+    Kernel::new(
+        format!("omp_flush_{dtype}_s{stride}"),
+        vec![a, b],
+        vec![a, CpuOp::Flush, b],
+        1,
+    )
+}
+
+/// Fig. 7 — `__syncthreads()`.
+#[must_use]
+pub fn cuda_syncthreads() -> GpuKernel {
+    Kernel::new(
+        "cuda_syncthreads",
+        vec![GpuOp::SyncThreads],
+        vec![GpuOp::SyncThreads, GpuOp::SyncThreads],
+        1,
+    )
+}
+
+/// Fig. 8 — `__syncwarp()`.
+#[must_use]
+pub fn cuda_syncwarp() -> GpuKernel {
+    Kernel::new(
+        "cuda_syncwarp",
+        vec![GpuOp::SyncWarp],
+        vec![GpuOp::SyncWarp, GpuOp::SyncWarp],
+        1,
+    )
+}
+
+/// Fig. 9 — `atomicAdd()` on one shared variable.
+#[must_use]
+pub fn cuda_atomic_add_scalar(dtype: DType) -> GpuKernel {
+    let op = GpuOp::AtomicAdd { dtype, scope: Scope::Device, target: Target::SHARED };
+    Kernel::new(format!("cuda_atomicadd_scalar_{dtype}"), vec![op], vec![op, op], 1)
+}
+
+/// Fig. 10 — `atomicAdd()` on private elements of a shared array.
+#[must_use]
+pub fn cuda_atomic_add_array(dtype: DType, stride: u32) -> GpuKernel {
+    let op = GpuOp::AtomicAdd { dtype, scope: Scope::Device, target: Target::private(stride) };
+    Kernel::new(format!("cuda_atomicadd_array_{dtype}_s{stride}"), vec![op], vec![op, op], 1)
+}
+
+/// Fig. 11 — `atomicCAS()` on one shared variable (integer types only;
+/// the always-pass and always-fail versions perform identically per the
+/// paper, so a single kernel suffices).
+#[must_use]
+pub fn cuda_atomic_cas_scalar(dtype: DType) -> GpuKernel {
+    let op = GpuOp::AtomicCas { dtype, scope: Scope::Device, target: Target::SHARED };
+    Kernel::new(format!("cuda_atomiccas_scalar_{dtype}"), vec![op], vec![op, op], 1)
+}
+
+/// Fig. 12 — `atomicCAS()` on private elements of a shared array.
+#[must_use]
+pub fn cuda_atomic_cas_array(dtype: DType, stride: u32) -> GpuKernel {
+    let op = GpuOp::AtomicCas { dtype, scope: Scope::Device, target: Target::private(stride) };
+    Kernel::new(format!("cuda_atomiccas_array_{dtype}_s{stride}"), vec![op], vec![op, op], 1)
+}
+
+/// Fig. 13 — `atomicExch()`: each thread repeatedly swaps a shared
+/// location with its global thread ID.
+#[must_use]
+pub fn cuda_atomic_exch(dtype: DType) -> GpuKernel {
+    let op = GpuOp::AtomicExch { dtype, scope: Scope::Device, target: Target::SHARED };
+    Kernel::new(format!("cuda_atomicexch_{dtype}"), vec![op], vec![op, op], 1)
+}
+
+/// Fig. 14 / §V-B3 — thread fences: each thread updates its private
+/// element of two arrays; the test inserts a fence of the given scope
+/// between the updates (same setup as the OpenMP flush test).
+#[must_use]
+pub fn cuda_threadfence(scope: Scope, dtype: DType, stride: u32) -> GpuKernel {
+    let a = GpuOp::Update { dtype, target: Target::Private { array: 0, stride } };
+    let b = GpuOp::Update { dtype, target: Target::Private { array: 1, stride } };
+    let scope_name = match scope {
+        Scope::Block => "block",
+        Scope::Device => "device",
+        Scope::System => "system",
+    };
+    Kernel::new(
+        format!("cuda_threadfence_{scope_name}_{dtype}_s{stride}"),
+        vec![a, b],
+        vec![a, GpuOp::ThreadFence { scope }, b],
+        1,
+    )
+}
+
+/// Fig. 15 — warp shuffles (all four variants perform identically).
+#[must_use]
+pub fn cuda_shfl(dtype: DType, variant: ShflVariant) -> GpuKernel {
+    let op = GpuOp::Shfl { dtype, variant };
+    Kernel::new(format!("cuda_shfl_{variant:?}_{dtype}"), vec![op], vec![op, op], 1)
+}
+
+/// Extension (§II-B1's barrier family) — `__syncthreads_count/and/or`:
+/// the baseline is a plain `__syncthreads()`, the test the reducing
+/// variant, so the difference is the predicate reduction's cost.
+#[must_use]
+pub fn cuda_syncthreads_vote(kind: VoteKind) -> GpuKernel {
+    Kernel::new(
+        format!("cuda_syncthreads_{kind:?}"),
+        vec![GpuOp::SyncThreads],
+        vec![GpuOp::SyncThreadsReduce { kind }],
+        1,
+    )
+}
+
+/// §V-B4 — warp votes.
+#[must_use]
+pub fn cuda_vote(kind: VoteKind) -> GpuKernel {
+    let op = GpuOp::Vote { kind };
+    Kernel::new(format!("cuda_vote_{kind:?}"), vec![op], vec![op, op], 1)
+}
+
+/// Extension (§II-B2 lists the wider atomic family) — one of
+/// `atomicSub/Min/And/Or/Xor` on a single shared variable.
+#[must_use]
+pub fn cuda_atomic_rmw_scalar(op: RmwOp, dtype: DType) -> GpuKernel {
+    let o = GpuOp::AtomicRmw { op, dtype, scope: Scope::Device, target: Target::SHARED };
+    Kernel::new(
+        format!("cuda_{}_scalar_{dtype}", op.cuda_name()),
+        vec![o],
+        vec![o, o],
+        1,
+    )
+}
+
+/// Extension (reference [10]'s methodology) — the cost of a warp
+/// diverging into `paths` serialized paths: the baseline executes one
+/// uniform ALU op, the test a `paths`-way divergent one.
+#[must_use]
+pub fn cuda_divergence(dtype: DType, paths: u32) -> GpuKernel {
+    Kernel::new(
+        format!("cuda_divergence_{dtype}_p{paths}"),
+        vec![GpuOp::Alu { dtype }],
+        vec![GpuOp::Diverge { dtype, paths }],
+        1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_body_always_longer_than_baseline() {
+        let kernels: Vec<CpuKernel> = vec![
+            omp_barrier(),
+            omp_atomic_update_scalar(DType::I32),
+            omp_atomic_update_array(DType::F64, 8),
+            omp_atomic_capture_scalar(DType::U64),
+            omp_atomic_write(DType::F32),
+            omp_atomic_read(DType::I32),
+            omp_critical_add(DType::I32),
+            omp_flush(DType::F64, 4),
+        ];
+        for k in kernels {
+            assert!(k.test.len() >= k.baseline.len(), "{}", k.name);
+            assert_eq!(k.extra_ops, 1);
+        }
+    }
+
+    #[test]
+    fn gpu_kernels_well_formed() {
+        let kernels: Vec<GpuKernel> = vec![
+            cuda_syncthreads(),
+            cuda_syncwarp(),
+            cuda_atomic_add_scalar(DType::F32),
+            cuda_atomic_add_array(DType::I32, 32),
+            cuda_atomic_cas_scalar(DType::U64),
+            cuda_atomic_cas_array(DType::I32, 1),
+            cuda_atomic_exch(DType::I32),
+            cuda_threadfence(Scope::Device, DType::I32, 1),
+            cuda_shfl(DType::F64, ShflVariant::Xor),
+            cuda_vote(VoteKind::Any),
+        ];
+        for k in kernels {
+            assert!(k.test.len() > k.baseline.len(), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn atomic_write_test_touches_two_lines() {
+        let k = omp_atomic_write(DType::I32);
+        assert_eq!(k.baseline.len(), 1);
+        let targets: Vec<_> = k
+            .test
+            .iter()
+            .map(|op| match op {
+                CpuOp::AtomicWrite { target, .. } => *target,
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        assert_eq!(targets, vec![Target::SHARED, Target::SHARED2]);
+    }
+
+    #[test]
+    fn atomic_read_baseline_is_plain_read() {
+        let k = omp_atomic_read(DType::F64);
+        assert!(matches!(k.baseline[0], CpuOp::Read { .. }));
+        assert!(k.test.iter().any(|op| matches!(op, CpuOp::AtomicRead { .. })));
+    }
+
+    #[test]
+    fn flush_sits_between_the_two_updates() {
+        let k = omp_flush(DType::I32, 16);
+        assert_eq!(k.test.len(), 3);
+        assert!(matches!(k.test[1], CpuOp::Flush));
+        let arrays: Vec<u8> = k
+            .baseline
+            .iter()
+            .map(|op| match op {
+                CpuOp::Update { target: Target::Private { array, .. }, .. } => *array,
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        assert_eq!(arrays, vec![0, 1]);
+    }
+
+    #[test]
+    fn fence_kernel_names_encode_scope() {
+        assert!(cuda_threadfence(Scope::Block, DType::I32, 1).name.contains("block"));
+        assert!(cuda_threadfence(Scope::System, DType::I32, 1).name.contains("system"));
+    }
+
+    #[test]
+    #[should_panic(expected = "test body")]
+    fn kernel_rejects_shorter_test() {
+        let _ = Kernel::new("bad", vec![CpuOp::Barrier, CpuOp::Barrier], vec![CpuOp::Barrier], 1);
+    }
+
+    #[test]
+    fn substitution_kernel_allowed() {
+        let k = omp_atomic_read(DType::I32);
+        assert_eq!(k.baseline.len(), k.test.len());
+    }
+
+    #[test]
+    fn private_target_shorthand() {
+        assert_eq!(Target::private(7), Target::Private { array: 0, stride: 7 });
+    }
+}

@@ -1,0 +1,203 @@
+//! Execution parameters: thread/block counts, affinity, loop structure.
+
+use crate::error::{Result, SyncPerfError};
+
+/// OpenMP thread-affinity policy (Section IV).
+///
+/// "Spread" distributes threads across cores/sockets as widely as
+/// possible; "close" packs consecutive threads onto neighbouring
+/// hardware threads. When the paper does not mention an affinity, the
+/// system chose the placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Affinity {
+    /// `OMP_PROC_BIND=spread`.
+    Spread,
+    /// `OMP_PROC_BIND=close`.
+    Close,
+    /// No explicit affinity; the OS/scheduler decides.
+    #[default]
+    SystemChoice,
+}
+
+impl Affinity {
+    /// Paper-facing label.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Affinity::Spread => "spread",
+            Affinity::Close => "close",
+            Affinity::SystemChoice => "system",
+        }
+    }
+}
+
+/// Parameters for one execution of a kernel body.
+///
+/// Built with [`ExecParams::new`] and the `with_*` modifiers:
+///
+/// ```
+/// use syncperf_core::{Affinity, ExecParams};
+///
+/// let p = ExecParams::new(8)
+///     .with_blocks(2)
+///     .with_affinity(Affinity::Spread)
+///     .with_loops(1000, 100);
+/// assert_eq!(p.total_threads(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecParams {
+    /// Threads per team (CPU) or per block (GPU).
+    pub threads: u32,
+    /// Thread blocks (GPU only; CPU executors require 1).
+    pub blocks: u32,
+    /// Thread placement policy (CPU only; ignored by GPU executors).
+    pub affinity: Affinity,
+    /// Outer timed-loop iterations (`n_iter`, paper default 1000).
+    pub n_iter: u32,
+    /// Inner unrolled-loop factor (`N_UNROLL`, paper default 100).
+    pub n_unroll: u32,
+    /// Warmup outer iterations executed before timing starts.
+    pub n_warmup: u32,
+}
+
+impl ExecParams {
+    /// Creates parameters for `threads` threads with the paper's default
+    /// loop structure (`n_iter` = 1000, `N_UNROLL` = 100, warmup = 10)
+    /// and a single block.
+    #[must_use]
+    pub fn new(threads: u32) -> Self {
+        ExecParams {
+            threads,
+            blocks: 1,
+            affinity: Affinity::SystemChoice,
+            n_iter: 1000,
+            n_unroll: 100,
+            n_warmup: 10,
+        }
+    }
+
+    /// Sets the block count (GPU).
+    #[must_use]
+    pub fn with_blocks(mut self, blocks: u32) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// Sets the affinity policy (CPU).
+    #[must_use]
+    pub fn with_affinity(mut self, affinity: Affinity) -> Self {
+        self.affinity = affinity;
+        self
+    }
+
+    /// Sets `n_iter` and `N_UNROLL`.
+    #[must_use]
+    pub fn with_loops(mut self, n_iter: u32, n_unroll: u32) -> Self {
+        self.n_iter = n_iter;
+        self.n_unroll = n_unroll;
+        self
+    }
+
+    /// Sets the warmup iteration count.
+    #[must_use]
+    pub fn with_warmup(mut self, n_warmup: u32) -> Self {
+        self.n_warmup = n_warmup;
+        self
+    }
+
+    /// Total threads across all blocks.
+    #[must_use]
+    pub fn total_threads(&self) -> u32 {
+        self.threads * self.blocks
+    }
+
+    /// Body repetitions inside the timed region (`n_iter × N_UNROLL`).
+    #[must_use]
+    pub fn timed_reps(&self) -> u64 {
+        u64::from(self.n_iter) * u64::from(self.n_unroll)
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncPerfError::InvalidParams`] if any count is zero or
+    /// exceeds sanity limits (≤ 1024 threads per block, ≤ 65 535
+    /// blocks).
+    pub fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(SyncPerfError::InvalidParams("threads must be > 0".into()));
+        }
+        if self.blocks == 0 {
+            return Err(SyncPerfError::InvalidParams("blocks must be > 0".into()));
+        }
+        if self.threads > 1024 {
+            return Err(SyncPerfError::InvalidParams(format!(
+                "threads per block/team ({}) exceeds 1024",
+                self.threads
+            )));
+        }
+        if self.blocks > 65_535 {
+            return Err(SyncPerfError::InvalidParams(format!(
+                "block count ({}) exceeds 65535",
+                self.blocks
+            )));
+        }
+        if self.n_iter == 0 || self.n_unroll == 0 {
+            return Err(SyncPerfError::InvalidParams(
+                "n_iter and n_unroll must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ExecParams::new(4);
+        assert_eq!(p.n_iter, 1000);
+        assert_eq!(p.n_unroll, 100);
+        assert_eq!(p.blocks, 1);
+        assert_eq!(p.timed_reps(), 100_000);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let p = ExecParams::new(32)
+            .with_blocks(128)
+            .with_affinity(Affinity::Close)
+            .with_loops(50, 20)
+            .with_warmup(2);
+        assert_eq!(p.total_threads(), 32 * 128);
+        assert_eq!(p.affinity, Affinity::Close);
+        assert_eq!(p.timed_reps(), 1000);
+        assert_eq!(p.n_warmup, 2);
+    }
+
+    #[test]
+    fn validation_rejects_zeroes() {
+        assert!(ExecParams::new(0).validate().is_err());
+        assert!(ExecParams::new(1).with_blocks(0).validate().is_err());
+        assert!(ExecParams::new(1).with_loops(0, 1).validate().is_err());
+        assert!(ExecParams::new(1).with_loops(1, 0).validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_oversize() {
+        assert!(ExecParams::new(1025).validate().is_err());
+        assert!(ExecParams::new(1).with_blocks(70_000).validate().is_err());
+        assert!(ExecParams::new(1024).with_blocks(65_535).validate().is_ok());
+    }
+
+    #[test]
+    fn affinity_labels() {
+        assert_eq!(Affinity::Spread.label(), "spread");
+        assert_eq!(Affinity::Close.label(), "close");
+        assert_eq!(Affinity::SystemChoice.label(), "system");
+        assert_eq!(Affinity::default(), Affinity::SystemChoice);
+    }
+}

@@ -1,0 +1,311 @@
+//! The paper's measurement procedure (Section IV).
+//!
+//! For each parameter combination: perform `runs` runs; each run makes
+//! up to `max_attempts` attempts to gather a valid measurement, where an
+//! attempt executes the baseline and the test function and records the
+//! maximum runtime across threads, reattempting whenever the test
+//! runtime comes out below the baseline (a faulty measurement caused by
+//! system-performance fluctuation). The per-primitive runtime is
+//! `median(test) − median(baseline)` divided by `n_iter × N_UNROLL`
+//! (× the kernel's extra-op count).
+//!
+//! Note: the paper says "nine runs" and later "the median runtime of the
+//! seven test runs"; we take the run count as authoritative and treat
+//! seven as the per-run attempt budget, both configurable here.
+
+use crate::error::Result;
+use crate::kernel::Kernel;
+use crate::params::ExecParams;
+use crate::platform::{Executor, TimeUnit};
+use crate::stats;
+
+/// Differences whose magnitude (relative to the baseline) falls below
+/// this fraction are considered within timer accuracy, as for the
+/// paper's atomic-read experiment.
+pub const NEGLIGIBLE_FRACTION: f64 = 0.05;
+
+/// Measurement-procedure configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Protocol {
+    /// Outer runs per parameter combination (paper: 9).
+    pub runs: u32,
+    /// Valid-measurement attempts per run (paper: 7).
+    pub max_attempts: u32,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol::PAPER
+    }
+}
+
+impl Protocol {
+    /// The paper's configuration: 9 runs, 7 attempts.
+    pub const PAPER: Protocol = Protocol { runs: 9, max_attempts: 7 };
+
+    /// A lighter configuration for the deterministic simulators, where
+    /// "many of the GPU tests yield the exact same runtime for all nine
+    /// runs" (Section IV) — three runs suffice to get a median.
+    pub const SIM: Protocol = Protocol { runs: 3, max_attempts: 3 };
+
+    /// Measures one kernel on one executor at one parameter point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors (unsupported ops, invalid params).
+    pub fn measure<E: Executor>(
+        &self,
+        executor: &mut E,
+        kernel: &Kernel<E::Op>,
+        params: &ExecParams,
+    ) -> Result<Measurement> {
+        params.validate()?;
+        let mut baseline_runs = Vec::with_capacity(self.runs as usize);
+        let mut test_runs = Vec::with_capacity(self.runs as usize);
+        let mut retries = 0u32;
+        let mut exhausted_runs = 0u32;
+
+        for _ in 0..self.runs {
+            let mut chosen: Option<(f64, f64)> = None;
+            for attempt in 0..self.max_attempts {
+                let base = executor.execute(&kernel.baseline, params)?.max();
+                let test = executor.execute(&kernel.test, params)?.max();
+                if test >= base {
+                    chosen = Some((base, test));
+                    break;
+                }
+                retries += 1;
+                if attempt + 1 == self.max_attempts {
+                    // Keep the final attempt rather than dropping the
+                    // run; flag it so callers can judge stability.
+                    chosen = Some((base, test));
+                    exhausted_runs += 1;
+                }
+            }
+            let (base, test) = chosen.expect("at least one attempt ran");
+            baseline_runs.push(base);
+            test_runs.push(test);
+        }
+
+        let median_baseline = stats::median(&baseline_runs);
+        let median_test = stats::median(&test_runs);
+        let reps = params.timed_reps() as f64 * f64::from(kernel.extra_ops);
+        let per_op = (median_test - median_baseline) / reps;
+
+        Ok(Measurement {
+            kernel_name: kernel.name.clone(),
+            params: *params,
+            time_unit: executor.time_unit(),
+            baseline_runs,
+            test_runs,
+            median_baseline,
+            median_test,
+            per_op,
+            retries,
+            exhausted_runs,
+        })
+    }
+}
+
+/// The outcome of measuring one primitive at one parameter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Name of the measured kernel.
+    pub kernel_name: String,
+    /// The parameters this point was measured at.
+    pub params: ExecParams,
+    /// Unit of all stored times.
+    pub time_unit: TimeUnit,
+    /// Max-across-threads baseline time of each run.
+    pub baseline_runs: Vec<f64>,
+    /// Max-across-threads test time of each run.
+    pub test_runs: Vec<f64>,
+    /// Median of `baseline_runs`.
+    pub median_baseline: f64,
+    /// Median of `test_runs`.
+    pub median_test: f64,
+    /// Runtime of a single primitive, in `time_unit` units
+    /// (may be ≈ 0 or slightly negative for free primitives).
+    pub per_op: f64,
+    /// Total reattempts caused by test < baseline.
+    pub retries: u32,
+    /// Runs whose attempt budget was exhausted.
+    pub exhausted_runs: u32,
+}
+
+impl Measurement {
+    /// Runtime of a single primitive in seconds.
+    #[must_use]
+    pub fn runtime_seconds(&self) -> f64 {
+        self.time_unit.to_seconds(self.per_op)
+    }
+
+    /// Throughput in operations per second per thread (`1 / runtime`,
+    /// Section IV), or `None` when the runtime is negligible — in that
+    /// case the primitive is effectively free (e.g. atomic read).
+    #[must_use]
+    pub fn throughput(&self) -> Option<f64> {
+        if self.is_negligible() {
+            None
+        } else {
+            Some(1.0 / self.runtime_seconds())
+        }
+    }
+
+    /// Throughput, treating a negligible runtime as the timer floor —
+    /// convenient for plotting (never returns infinities).
+    #[must_use]
+    pub fn throughput_clamped(&self, floor_seconds: f64) -> f64 {
+        1.0 / self.runtime_seconds().max(floor_seconds)
+    }
+
+    /// Whether the measured difference is within measurement accuracy —
+    /// the paper's criterion for declaring atomic reads free ("within
+    /// the timer's accuracy"). A difference counts as negligible when
+    /// it is below [`NEGLIGIBLE_FRACTION`] of the baseline per-op cost
+    /// *or* below three run-to-run standard deviations of the
+    /// difference itself (the retry rule biases a truly-zero difference
+    /// positive by about the noise amplitude, so the noise term is the
+    /// honest yardstick).
+    #[must_use]
+    pub fn is_negligible(&self) -> bool {
+        let reps = self.params.timed_reps() as f64;
+        let baseline_per_op = self.median_baseline / reps;
+        self.per_op <= NEGLIGIBLE_FRACTION * baseline_per_op.abs().max(f64::MIN_POSITIVE)
+            || self.per_op <= 3.0 * self.run_stddev()
+    }
+
+    /// Standard deviation of the per-primitive runtime across runs, in
+    /// `time_unit` units (the paper reports ≈ 7.8 ns on System 3's CPU).
+    #[must_use]
+    pub fn run_stddev(&self) -> f64 {
+        let reps = self.params.timed_reps() as f64;
+        let diffs: Vec<f64> = self
+            .test_runs
+            .iter()
+            .zip(&self.baseline_runs)
+            .map(|(t, b)| (t - b) / reps)
+            .collect();
+        stats::stddev(&diffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Result as SpResult;
+    use crate::kernel::CpuOp;
+    use crate::platform::ThreadTimes;
+
+    /// A deterministic fake executor: every op costs `op_cost` units and
+    /// each execution adds `noise` units that alternate in sign.
+    struct FakeExec {
+        op_cost: f64,
+        noise: f64,
+        calls: u32,
+    }
+
+    impl Executor for FakeExec {
+        type Op = CpuOp;
+
+        fn name(&self) -> &str {
+            "fake"
+        }
+
+        fn time_unit(&self) -> TimeUnit {
+            TimeUnit::Seconds
+        }
+
+        fn execute(&mut self, body: &[CpuOp], params: &ExecParams) -> SpResult<ThreadTimes> {
+            self.calls += 1;
+            let reps = params.timed_reps() as f64;
+            let jitter = if self.calls.is_multiple_of(2) { self.noise } else { -self.noise };
+            let t = body.len() as f64 * self.op_cost * reps + jitter;
+            Ok(ThreadTimes { per_thread: vec![t; params.threads as usize] })
+        }
+    }
+
+    fn barrier_kernel() -> Kernel<CpuOp> {
+        crate::kernel::omp_barrier()
+    }
+
+    #[test]
+    fn measures_exact_cost_without_noise() {
+        let mut exec = FakeExec { op_cost: 1e-8, noise: 0.0, calls: 0 };
+        let params = ExecParams::new(4).with_loops(10, 10);
+        let m = Protocol::SIM.measure(&mut exec, &barrier_kernel(), &params).unwrap();
+        assert!((m.per_op - 1e-8).abs() < 1e-15);
+        let tp = m.throughput().expect("non-negligible");
+        assert!((tp - 1e8).abs() / 1e8 < 1e-6);
+        assert_eq!(m.retries, 0);
+        assert_eq!(m.exhausted_runs, 0);
+    }
+
+    #[test]
+    fn retries_when_test_below_baseline() {
+        // Noise large enough that odd-numbered calls (baseline) can beat
+        // even-numbered (test); alternation guarantees eventual success.
+        let mut exec = FakeExec { op_cost: 1e-8, noise: 5e-7, calls: 0 };
+        let params = ExecParams::new(2).with_loops(10, 10);
+        let m = Protocol::PAPER.measure(&mut exec, &barrier_kernel(), &params).unwrap();
+        // The sequence baseline(-), test(+) always succeeds first try
+        // here because baseline gets -noise and test gets +noise.
+        assert_eq!(m.retries, 0);
+        assert!(m.per_op > 0.0);
+    }
+
+    #[test]
+    fn negligible_difference_reports_none() {
+        // Baseline of 2 ops vs test of 3 ops where the extra op is free:
+        // emulate with op_cost so small the difference is < 2% of
+        // baseline per-op cost. Construct directly.
+        let m = Measurement {
+            kernel_name: "x".into(),
+            params: ExecParams::new(2).with_loops(10, 10),
+            time_unit: TimeUnit::Seconds,
+            baseline_runs: vec![1.0; 3],
+            test_runs: vec![1.000_000_1; 3],
+            median_baseline: 1.0,
+            median_test: 1.000_000_1,
+            per_op: 0.000_000_1 / 100.0,
+            retries: 0,
+            exhausted_runs: 0,
+        };
+        assert!(m.is_negligible());
+        assert!(m.throughput().is_none());
+        assert!(m.throughput_clamped(1e-10) > 0.0);
+    }
+
+    #[test]
+    fn stddev_zero_for_deterministic_runs() {
+        let mut exec = FakeExec { op_cost: 2e-9, noise: 0.0, calls: 0 };
+        let params = ExecParams::new(2).with_loops(10, 10);
+        let m = Protocol::SIM.measure(&mut exec, &barrier_kernel(), &params).unwrap();
+        assert_eq!(m.run_stddev(), 0.0);
+    }
+
+    #[test]
+    fn extra_ops_divides_difference() {
+        #[derive(Clone)]
+        struct TwoExtra;
+        let k = Kernel::new(
+            "two_extra",
+            vec![CpuOp::Barrier],
+            vec![CpuOp::Barrier, CpuOp::Barrier, CpuOp::Barrier],
+            2,
+        );
+        let mut exec = FakeExec { op_cost: 1e-8, noise: 0.0, calls: 0 };
+        let params = ExecParams::new(2).with_loops(10, 10);
+        let m = Protocol::SIM.measure(&mut exec, &k, &params).unwrap();
+        // two extra ops at 1e-8 each, divided by extra_ops=2 → 1e-8
+        assert!((m.per_op - 1e-8).abs() < 1e-15);
+        let _ = TwoExtra; // silence unused struct in some configs
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        let mut exec = FakeExec { op_cost: 1e-8, noise: 0.0, calls: 0 };
+        let params = ExecParams::new(0);
+        assert!(Protocol::SIM.measure(&mut exec, &barrier_kernel(), &params).is_err());
+    }
+}

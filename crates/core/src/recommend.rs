@@ -1,0 +1,371 @@
+//! The paper's developer recommendations (Sections V-A5 and V-B5),
+//! derived from measured data rather than hard-coded.
+//!
+//! Feed the summary metrics extracted from regenerated figures into
+//! [`recommend_openmp`] / [`recommend_cuda`] and get back the guidance
+//! the paper gives, each item citing its numeric evidence.
+
+use std::fmt;
+
+use crate::report::Series;
+
+/// Which API a recommendation concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Audience {
+    /// OpenMP / CPU developers (Section V-A5).
+    OpenMp,
+    /// CUDA / GPU developers (Section V-B5).
+    Cuda,
+}
+
+/// One actionable piece of guidance with its supporting evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Target audience.
+    pub audience: Audience,
+    /// Short topic, e.g. `"critical sections"`.
+    pub topic: String,
+    /// The advice itself.
+    pub advice: String,
+    /// The measured evidence backing the advice.
+    pub evidence: String,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {} ({})",
+            match self.audience {
+                Audience::OpenMp => "OpenMP",
+                Audience::Cuda => "CUDA",
+            },
+            self.topic,
+            self.advice,
+            self.evidence
+        )
+    }
+}
+
+/// Summary metrics extracted from the regenerated OpenMP figures.
+#[derive(Debug, Clone)]
+pub struct OpenMpFindings {
+    /// Barrier throughput vs. threads (Fig. 1, any dtype-free series).
+    pub barrier: Series,
+    /// Shared-variable atomic-update throughput for `int` (Fig. 2).
+    pub atomic_scalar_int: Series,
+    /// Critical-section throughput for `int` (Fig. 5).
+    pub critical_int: Series,
+    /// Ratio of private-array atomic throughput at a false-sharing-free
+    /// stride over stride 1, at the maximum core count (Fig. 3).
+    pub false_sharing_speedup: f64,
+    /// Whether the atomic-read overhead was within timer accuracy.
+    pub atomic_read_negligible: bool,
+    /// Per-thread throughput at max hyperthreads divided by throughput
+    /// at the physical core count (≈ 1.0 means hyperthreading is
+    /// harmless for synchronization).
+    pub hyperthread_ratio: f64,
+    /// Flush overhead relative to a plain update when no false sharing
+    /// exists (≈ 0 means flushes are effectively free there).
+    pub flush_overhead_no_sharing: f64,
+}
+
+/// Summary metrics extracted from the regenerated CUDA figures.
+#[derive(Debug, Clone)]
+pub struct CudaFindings {
+    /// `__syncthreads` throughput vs. threads (Fig. 7).
+    pub syncthreads: Series,
+    /// Max/min ratio of `__syncwarp` throughput across the sweep
+    /// (≈ 1 means "largely constant"; Fig. 8).
+    pub syncwarp_variation: f64,
+    /// `int` over `float` atomicAdd throughput at high thread counts
+    /// (Fig. 9).
+    pub int_over_float_atomic: f64,
+    /// Shared-location atomicAdd throughput over private-location
+    /// throughput at full load (< 1 means overlap hurts; Figs. 9/10).
+    pub shared_over_private_atomic: f64,
+    /// Max/min ratio of `__threadfence` throughput across thread counts
+    /// (≈ 1 means constant overhead; Fig. 14).
+    pub fence_variation: f64,
+    /// 32-bit over 64-bit shuffle throughput at full SM load (Fig. 15).
+    pub shfl_32_over_64: f64,
+    /// Throughput of a partial (1-thread-per-warp) atomic relative to a
+    /// full-warp atomic on the same location (> 1 favors "turning off"
+    /// warp lanes for atomics; recommendation 8).
+    pub partial_warp_atomic_gain: f64,
+}
+
+/// Derives the paper's seven OpenMP recommendations from findings.
+#[must_use]
+pub fn recommend_openmp(f: &OpenMpFindings) -> Vec<Recommendation> {
+    let mut recs = Vec::new();
+    let rec = |topic: &str, advice: String, evidence: String| Recommendation {
+        audience: Audience::OpenMp,
+        topic: topic.to_string(),
+        advice,
+        evidence,
+    };
+
+    // 1) Barriers: per-thread cost stabilizes; not a growing concern.
+    if let (Some(first), Some(last)) =
+        (f.barrier.points.first(), f.barrier.points.last())
+    {
+        let mid = f.barrier.y_at((first.0 + last.0) / 2.0).unwrap_or(last.1);
+        let plateau = (last.1 / mid.max(f64::MIN_POSITIVE)).clamp(0.0, f64::MAX);
+        recs.push(rec(
+            "barriers",
+            "barriers are not much cheaper at low thread counts; their per-thread cost \
+             stabilizes, so they are not a growing concern at larger thread counts"
+                .into(),
+            format!(
+                "barrier throughput changes only {:.0}% from mid to max thread count",
+                (plateau - 1.0).abs() * 100.0
+            ),
+        ));
+    }
+
+    // 2) Avoid same-location atomic updates/writes.
+    if let (Some(first), Some(last)) =
+        (f.atomic_scalar_int.points.first(), f.atomic_scalar_int.points.last())
+    {
+        let drop = first.1 / last.1.max(f64::MIN_POSITIVE);
+        recs.push(rec(
+            "shared atomics",
+            "avoid atomic updates or writes by multiple threads to the same memory \
+             location; they are quite slow under contention"
+                .into(),
+            format!("per-thread throughput drops {drop:.1}x from 2 threads to the maximum"),
+        ));
+    }
+
+    // 3) False sharing.
+    recs.push(rec(
+        "false sharing",
+        "assign work so threads access mostly non-overlapping cache lines; atomics to \
+         different locations are much faster when the locations do not share a line"
+            .into(),
+        format!(
+            "padding elements to separate cache lines speeds up private atomics {:.1}x",
+            f.false_sharing_speedup
+        ),
+    ));
+
+    // 4) Atomic reads.
+    if f.atomic_read_negligible {
+        recs.push(rec(
+            "atomic reads",
+            "atomic reads incur no measurable extra latency and can be used wherever \
+             prudent"
+                .into(),
+            "read-vs-atomic-read difference was within timer accuracy".into(),
+        ));
+    }
+
+    // 5) Critical sections.
+    if let (Some(atomic), Some(critical)) =
+        (f.atomic_scalar_int.points.last(), f.critical_int.points.last())
+    {
+        let slowdown = atomic.1 / critical.1.max(f64::MIN_POSITIVE);
+        recs.push(rec(
+            "critical sections",
+            "avoid critical sections unless no alternative exists".into(),
+            format!(
+                "a critical-section add is {slowdown:.1}x slower than the equivalent \
+                 atomic at the maximum thread count"
+            ),
+        ));
+    }
+
+    // 6) Flushes.
+    recs.push(rec(
+        "flushes",
+        "flushes have little per-thread performance impact where they are not needed \
+         for consistency and can be used as needed"
+            .into(),
+        format!(
+            "flush overhead without false sharing is {:.1}% of a plain update",
+            f.flush_overhead_no_sharing * 100.0
+        ),
+    ));
+
+    // 7) Hyperthreading.
+    recs.push(rec(
+        "hyperthreading",
+        "using hyperthreads is fine; they do not significantly slow down \
+         synchronizations"
+            .into(),
+        format!(
+            "per-thread throughput at max hyperthreads is {:.0}% of the value at the \
+             physical core count",
+            f.hyperthread_ratio * 100.0
+        ),
+    ));
+
+    recs
+}
+
+/// Derives the paper's eight CUDA recommendations from findings.
+#[must_use]
+pub fn recommend_cuda(f: &CudaFindings) -> Vec<Recommendation> {
+    let mut recs = Vec::new();
+    let rec = |topic: &str, advice: String, evidence: String| Recommendation {
+        audience: Audience::Cuda,
+        topic: topic.to_string(),
+        advice,
+        evidence,
+    };
+
+    // 1) __syncthreads vs warp count.
+    if let (Some(first), Some(last)) =
+        (f.syncthreads.points.first(), f.syncthreads.points.last())
+    {
+        recs.push(rec(
+            "__syncthreads",
+            "__syncthreads() throughput decreases with increasing warp counts; smaller \
+             block sizes may help barrier-heavy code"
+                .into(),
+            format!(
+                "throughput falls {:.1}x from {} to {} threads per block",
+                first.1 / last.1.max(f64::MIN_POSITIVE),
+                first.0,
+                last.0
+            ),
+        ));
+    }
+
+    // 2) __syncwarp.
+    recs.push(rec(
+        "__syncwarp",
+        "__syncwarp() throughput is largely constant and can be used without regard \
+         for block or thread count"
+            .into(),
+        format!("max/min throughput ratio across the sweep is {:.2}", f.syncwarp_variation),
+    ));
+
+    // 3) int atomics preferred.
+    recs.push(rec(
+        "atomic data types",
+        "prefer int atomic adds and CAS over other data types".into(),
+        format!("int atomicAdd is {:.1}x faster than float at high load", f.int_over_float_atomic),
+    ));
+
+    // 4) Avoid overlapping atomics.
+    recs.push(rec(
+        "atomic overlap",
+        "multiple atomic adds/CAS on the same memory location slow performance; avoid \
+         overlap"
+            .into(),
+        format!(
+            "same-location atomic throughput is {:.0}% of the private-location value",
+            f.shared_over_private_atomic * 100.0
+        ),
+    ));
+
+    // 5) Too many simultaneous atomics.
+    recs.push(rec(
+        "atomic volume",
+        "the hardware performs a bounded number of atomics per unit time; avoid running \
+         too many simultaneously"
+            .into(),
+        "private-array atomic throughput per thread decreases with block count".into(),
+    ));
+
+    // 6) Thread fences.
+    recs.push(rec(
+        "thread fences",
+        "thread fences incur largely constant overhead and can be used as necessary \
+         without regard for thread count"
+            .into(),
+        format!("max/min fence throughput ratio is {:.2}", f.fence_variation),
+    ));
+
+    // 7) Warp shuffles.
+    recs.push(rec(
+        "warp shuffles",
+        "warp shuffles are fast and avoid memory traffic; expect reduced throughput \
+         near full SM load, more so for 8-byte types"
+            .into(),
+        format!("32-bit shuffles are {:.1}x faster than 64-bit at full load", f.shfl_32_over_64),
+    ));
+
+    // 8) Full warps except for atomics.
+    recs.push(rec(
+        "warp utilization",
+        "use full warps to maximize performance, except for atomics: turning off warp \
+         lanes that do not need to execute an atomic can yield higher performance"
+            .into(),
+        format!(
+            "a 1-lane-per-warp atomic achieves {:.1}x the per-op throughput of a \
+             full-warp atomic on the same location",
+            f.partial_warp_atomic_gain
+        ),
+    ));
+
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_findings() -> OpenMpFindings {
+        OpenMpFindings {
+            barrier: Series::new("barrier", vec![(2.0, 9e6), (16.0, 3e6), (32.0, 2.9e6)]),
+            atomic_scalar_int: Series::new("int", vec![(2.0, 4e7), (32.0, 4e6)]),
+            critical_int: Series::new("int", vec![(2.0, 8e6), (32.0, 4e5)]),
+            false_sharing_speedup: 6.0,
+            atomic_read_negligible: true,
+            hyperthread_ratio: 0.95,
+            flush_overhead_no_sharing: 0.05,
+        }
+    }
+
+    fn gpu_findings() -> CudaFindings {
+        CudaFindings {
+            syncthreads: Series::new("any", vec![(32.0, 1e9), (1024.0, 6e7)]),
+            syncwarp_variation: 1.3,
+            int_over_float_atomic: 3.0,
+            shared_over_private_atomic: 0.2,
+            fence_variation: 1.1,
+            shfl_32_over_64: 2.0,
+            partial_warp_atomic_gain: 4.0,
+        }
+    }
+
+    #[test]
+    fn openmp_yields_all_seven() {
+        let recs = recommend_openmp(&cpu_findings());
+        assert_eq!(recs.len(), 7);
+        assert!(recs.iter().all(|r| r.audience == Audience::OpenMp));
+        assert!(recs.iter().any(|r| r.topic == "critical sections"));
+        assert!(recs.iter().any(|r| r.topic == "false sharing"));
+    }
+
+    #[test]
+    fn atomic_read_rec_dropped_when_not_negligible() {
+        let mut f = cpu_findings();
+        f.atomic_read_negligible = false;
+        let recs = recommend_openmp(&f);
+        assert_eq!(recs.len(), 6);
+        assert!(!recs.iter().any(|r| r.topic == "atomic reads"));
+    }
+
+    #[test]
+    fn cuda_yields_all_eight() {
+        let recs = recommend_cuda(&gpu_findings());
+        assert_eq!(recs.len(), 8);
+        assert!(recs.iter().all(|r| r.audience == Audience::Cuda));
+        assert!(recs.iter().any(|r| r.topic == "warp utilization"));
+    }
+
+    #[test]
+    fn evidence_carries_numbers() {
+        let recs = recommend_cuda(&gpu_findings());
+        let dtype_rec = recs.iter().find(|r| r.topic == "atomic data types").unwrap();
+        assert!(dtype_rec.evidence.contains("3.0x"));
+    }
+
+    #[test]
+    fn display_includes_audience() {
+        let recs = recommend_openmp(&cpu_findings());
+        assert!(recs[0].to_string().starts_with("[OpenMP]"));
+    }
+}

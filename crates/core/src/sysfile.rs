@@ -1,0 +1,231 @@
+//! Parsing custom system definitions.
+//!
+//! The paper characterizes three fixed systems; downstream users want
+//! to model *their* machine. A system file is a simple `key = value`
+//! format (one per line, `#` comments):
+//!
+//! ```text
+//! id = 9
+//! cpu.name = AMD EPYC 7713
+//! cpu.base_clock_ghz = 2.0
+//! cpu.sockets = 2
+//! cpu.cores_per_socket = 64
+//! cpu.threads_per_core = 2
+//! cpu.numa_nodes = 8
+//! cpu.memory_gb = 512
+//! cpu_jitter = 0.02
+//! gpu.name = RTX 3070
+//! gpu.compute_capability = 8.6
+//! gpu.clock_ghz = 1.73
+//! gpu.sms = 46
+//! gpu.max_threads_per_sm = 1536
+//! gpu.cuda_cores_per_sm = 128
+//! gpu.memory_gb = 8
+//! ```
+//!
+//! Unspecified keys default to System 3's values, so a file may
+//! override only the parts that differ.
+
+use crate::error::{Result, SyncPerfError};
+use crate::system::{SystemSpec, SYSTEM3};
+
+fn bad(line_no: usize, msg: impl std::fmt::Display) -> SyncPerfError {
+    SyncPerfError::InvalidParams(format!("system file line {line_no}: {msg}"))
+}
+
+/// Parses a system definition, starting from System 3's values and
+/// applying the file's overrides.
+///
+/// Device names are interned for the process lifetime (they are loaded
+/// once per run; the few bytes are intentionally leaked so the spec
+/// stays `'static` like the built-in presets).
+///
+/// # Errors
+///
+/// Returns [`SyncPerfError::InvalidParams`] for unknown keys, malformed
+/// values, or structurally invalid specs (zero cores, zero SMs, …).
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_core::sysfile::parse_system;
+///
+/// let spec = parse_system("id = 7\ncpu.cores_per_socket = 8\n")?;
+/// assert_eq!(spec.id, 7);
+/// assert_eq!(spec.cpu.cores_per_socket, 8);
+/// // Everything else inherited from System 3:
+/// assert_eq!(spec.gpu.sms, 128);
+/// # Ok::<(), syncperf_core::SyncPerfError>(())
+/// ```
+pub fn parse_system(content: &str) -> Result<SystemSpec> {
+    let mut spec = SYSTEM3.clone();
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| bad(line_no, format!("expected `key = value`, got `{line}`")))?;
+        let (key, value) = (key.trim(), value.trim());
+
+        let parse_u32 =
+            || value.parse::<u32>().map_err(|e| bad(line_no, format!("`{value}`: {e}")));
+        let parse_f64 =
+            || value.parse::<f64>().map_err(|e| bad(line_no, format!("`{value}`: {e}")));
+        let intern = || -> &'static str { Box::leak(value.to_string().into_boxed_str()) };
+
+        match key {
+            "id" => spec.id = parse_u32()?,
+            "cpu_jitter" => spec.cpu_jitter = parse_f64()?,
+            "cpu.name" => spec.cpu.name = intern(),
+            "cpu.base_clock_ghz" => spec.cpu.base_clock_ghz = parse_f64()?,
+            "cpu.sockets" => spec.cpu.sockets = parse_u32()?,
+            "cpu.cores_per_socket" => spec.cpu.cores_per_socket = parse_u32()?,
+            "cpu.threads_per_core" => spec.cpu.threads_per_core = parse_u32()?,
+            "cpu.numa_nodes" => spec.cpu.numa_nodes = parse_u32()?,
+            "cpu.memory_gb" => spec.cpu.memory_gb = parse_u32()?,
+            "cpu.cache_line_bytes" => spec.cpu.cache_line_bytes = parse_u32()? as usize,
+            "gpu.name" => spec.gpu.name = intern(),
+            "gpu.compute_capability" => {
+                let (major, minor) = value
+                    .split_once('.')
+                    .ok_or_else(|| bad(line_no, "compute capability must be `major.minor`"))?;
+                spec.gpu.compute_capability = (
+                    major.parse().map_err(|e| bad(line_no, e))?,
+                    minor.parse().map_err(|e| bad(line_no, e))?,
+                );
+            }
+            "gpu.clock_ghz" => spec.gpu.clock_ghz = parse_f64()?,
+            "gpu.sms" => spec.gpu.sms = parse_u32()?,
+            "gpu.max_threads_per_sm" => spec.gpu.max_threads_per_sm = parse_u32()?,
+            "gpu.cuda_cores_per_sm" => spec.gpu.cuda_cores_per_sm = parse_u32()?,
+            "gpu.memory_gb" => spec.gpu.memory_gb = parse_u32()?,
+            "gpu.warp_size" => spec.gpu.warp_size = parse_u32()?,
+            "gpu.max_threads_per_block" => spec.gpu.max_threads_per_block = parse_u32()?,
+            other => return Err(bad(line_no, format!("unknown key `{other}`"))),
+        }
+    }
+
+    validate(&spec)?;
+    Ok(spec)
+}
+
+/// Loads and parses a system file from disk.
+///
+/// # Errors
+///
+/// I/O errors and every [`parse_system`] error.
+pub fn load_system(path: impl AsRef<std::path::Path>) -> Result<SystemSpec> {
+    let content = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| SyncPerfError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    parse_system(&content)
+}
+
+fn validate(spec: &SystemSpec) -> Result<()> {
+    let err = |msg: &str| Err(SyncPerfError::InvalidParams(format!("system file: {msg}")));
+    if spec.cpu.sockets == 0 || spec.cpu.cores_per_socket == 0 || spec.cpu.threads_per_core == 0 {
+        return err("CPU topology fields must be nonzero");
+    }
+    if spec.cpu.base_clock_ghz <= 0.0 || spec.gpu.clock_ghz <= 0.0 {
+        return err("clock frequencies must be positive");
+    }
+    if spec.cpu.cache_line_bytes < 8 {
+        return err("cache line must be at least 8 bytes");
+    }
+    if spec.gpu.sms == 0 || spec.gpu.warp_size == 0 {
+        return err("GPU must have SMs and a warp size");
+    }
+    if spec.gpu.max_threads_per_sm < spec.gpu.warp_size {
+        return err("max threads per SM below the warp size");
+    }
+    if spec.gpu.max_threads_per_block > spec.gpu.max_threads_per_sm {
+        return err("max threads per block exceeds max threads per SM");
+    }
+    if spec.cpu_jitter < 0.0 || spec.cpu_jitter > 1.0 {
+        return err("cpu_jitter must be within [0, 1]");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_file_is_system3() {
+        let spec = parse_system("").unwrap();
+        assert_eq!(spec.cpu.name, SYSTEM3.cpu.name);
+        assert_eq!(spec.gpu.sms, 128);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let spec = parse_system(
+            "id = 42\n\
+             cpu.name = Test CPU\n\
+             cpu.sockets = 4\n\
+             gpu.compute_capability = 7.0\n\
+             gpu.sms = 80\n",
+        )
+        .unwrap();
+        assert_eq!(spec.id, 42);
+        assert_eq!(spec.cpu.name, "Test CPU");
+        assert_eq!(spec.cpu.sockets, 4);
+        assert_eq!(spec.gpu.cc_number(), 70);
+        assert_eq!(spec.gpu.sms, 80);
+        // Unspecified values inherited.
+        assert_eq!(spec.cpu.cores_per_socket, 16);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse_system("# header\n\n  # indented comment\ncpu.sockets = 2 # trailing\n")
+            .unwrap();
+        assert_eq!(spec.cpu.sockets, 2);
+    }
+
+    #[test]
+    fn unknown_key_rejected_with_line_number() {
+        let err = parse_system("cpu.sockets = 1\nbogus.key = 3\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("bogus.key"));
+    }
+
+    #[test]
+    fn malformed_value_rejected() {
+        assert!(parse_system("cpu.sockets = many").is_err());
+        assert!(parse_system("gpu.compute_capability = 89").is_err());
+        assert!(parse_system("cpu.sockets 1").is_err());
+    }
+
+    #[test]
+    fn structural_validation() {
+        assert!(parse_system("cpu.sockets = 0").is_err());
+        assert!(parse_system("gpu.sms = 0").is_err());
+        assert!(parse_system("gpu.max_threads_per_sm = 16").is_err());
+        assert!(parse_system("cpu_jitter = 2.0").is_err());
+        assert!(parse_system("gpu.clock_ghz = -1").is_err());
+    }
+
+    #[test]
+    fn roundtrip_from_disk() {
+        let path = std::env::temp_dir().join(format!("syncperf_sys_{}.sys", std::process::id()));
+        std::fs::write(&path, "id = 5\ngpu.name = Disk GPU\n").unwrap();
+        let spec = load_system(&path).unwrap();
+        assert_eq!(spec.id, 5);
+        assert_eq!(spec.gpu.name, "Disk GPU");
+        std::fs::remove_file(&path).unwrap();
+        assert!(load_system(&path).is_err(), "missing file errors");
+    }
+
+    #[test]
+    fn parsed_spec_drives_the_sweeps() {
+        let spec = parse_system("gpu.sms = 10\ncpu.cores_per_socket = 2\ncpu.sockets = 1\n")
+            .unwrap();
+        assert_eq!(spec.gpu.block_count_sweep(), vec![1, 2, 5, 10, 20]);
+        assert_eq!(spec.cpu.omp_thread_counts().len(), 3); // 2..=4
+    }
+}

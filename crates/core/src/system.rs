@@ -1,0 +1,301 @@
+//! Encodings of the paper's Table I: the three test systems.
+//!
+//! Each [`SystemSpec`] couples a CPU and a GPU description. The CPU
+//! simulator and GPU simulator crates derive their model parameters from
+//! these specs, and the `table1_systems` bench binary prints Table I
+//! from them.
+
+use std::fmt;
+
+/// CPU half of a system specification (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name, e.g. `"AMD Ryzen Threadripper 2950X"`.
+    pub name: &'static str,
+    /// Base clock frequency in GHz.
+    pub base_clock_ghz: f64,
+    /// Number of sockets.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Hardware threads per core (2 = SMT/hyperthreading).
+    pub threads_per_core: u32,
+    /// Number of NUMA nodes.
+    pub numa_nodes: u32,
+    /// Main memory in GB.
+    pub memory_gb: u32,
+    /// L1 data cache line size in bytes (64 on all tested systems).
+    pub cache_line_bytes: usize,
+}
+
+impl CpuSpec {
+    /// Total physical cores across all sockets.
+    #[must_use]
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total hardware threads (hyperthreads included).
+    #[must_use]
+    pub fn total_threads(&self) -> u32 {
+        self.total_cores() * self.threads_per_core
+    }
+
+    /// The thread counts the paper sweeps for OpenMP tests:
+    /// 2 ..= total hardware threads (thread count 1 is omitted since
+    /// synchronization serves no purpose serially; Section V-A).
+    #[must_use]
+    pub fn omp_thread_counts(&self) -> Vec<u32> {
+        (2..=self.total_threads()).collect()
+    }
+}
+
+/// GPU half of a system specification (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"NVIDIA GeForce RTX 4090"`.
+    pub name: &'static str,
+    /// Compute capability, e.g. 8.9 stored as (8, 9).
+    pub compute_capability: (u32, u32),
+    /// Clock frequency in GHz as reported by `cudaDeviceProp`.
+    pub clock_ghz: f64,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// CUDA cores per SM.
+    pub cuda_cores_per_sm: u32,
+    /// Device memory in GB.
+    pub memory_gb: u32,
+    /// Warp size (32 on all NVIDIA GPUs).
+    pub warp_size: u32,
+    /// Maximum threads per block (1024 on all tested GPUs).
+    pub max_threads_per_block: u32,
+}
+
+impl GpuSpec {
+    /// Compute capability as a comparable number, e.g. 8.9 → 89.
+    #[must_use]
+    pub fn cc_number(&self) -> u32 {
+        self.compute_capability.0 * 10 + self.compute_capability.1
+    }
+
+    /// The block counts the paper sweeps: 1, 2, half the SMs, the SMs,
+    /// and twice the SMs (Section V-B).
+    #[must_use]
+    pub fn block_count_sweep(&self) -> Vec<u32> {
+        vec![1, 2, self.sms / 2, self.sms, self.sms * 2]
+    }
+
+    /// The thread-per-block counts the paper sweeps: powers of two from
+    /// 1 through 1024.
+    #[must_use]
+    pub fn thread_count_sweep(&self) -> Vec<u32> {
+        (0..=10).map(|p| 1u32 << p).collect()
+    }
+
+    /// Maximum resident warps per SM.
+    #[must_use]
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+}
+
+/// One complete test system from Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// Paper-facing identifier: 1, 2, or 3.
+    pub id: u32,
+    /// CPU description.
+    pub cpu: CpuSpec,
+    /// GPU description.
+    pub gpu: GpuSpec,
+    /// `g++` version string (for Table I display only).
+    pub gxx_version: &'static str,
+    /// `nvcc` version string (for Table I display only).
+    pub nvcc_version: &'static str,
+    /// GPU driver version string (for Table I display only).
+    pub gpu_driver: &'static str,
+    /// Relative timing-jitter amplitude observed on this system's CPU
+    /// (System 3's AMD chip shows notable jitter in Fig. 4a).
+    pub cpu_jitter: f64,
+}
+
+impl fmt::Display for SystemSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "System {} ({} + {})", self.id, self.cpu.name, self.gpu.name)
+    }
+}
+
+/// System 1: Intel Xeon E5-2687 v3 + NVIDIA GeForce RTX 2070 SUPER.
+pub const SYSTEM1: SystemSpec = SystemSpec {
+    id: 1,
+    cpu: CpuSpec {
+        name: "Intel Xeon E5-2687 v3",
+        base_clock_ghz: 3.10,
+        sockets: 2,
+        cores_per_socket: 10,
+        threads_per_core: 2,
+        numa_nodes: 2,
+        memory_gb: 128,
+        cache_line_bytes: 64,
+    },
+    gpu: GpuSpec {
+        name: "NVIDIA GeForce RTX 2070 SUPER",
+        compute_capability: (7, 5),
+        clock_ghz: 1.80,
+        sms: 40,
+        max_threads_per_sm: 1024,
+        cuda_cores_per_sm: 64,
+        memory_gb: 8,
+        warp_size: 32,
+        max_threads_per_block: 1024,
+    },
+    gxx_version: "12.3.1",
+    nvcc_version: "12.0",
+    gpu_driver: "550.67",
+    cpu_jitter: 0.02,
+};
+
+/// System 2: Intel Xeon Gold 6226R + NVIDIA A100 40GB.
+pub const SYSTEM2: SystemSpec = SystemSpec {
+    id: 2,
+    cpu: CpuSpec {
+        name: "Intel Xeon Gold 6226R",
+        base_clock_ghz: 2.80,
+        sockets: 2,
+        cores_per_socket: 16,
+        threads_per_core: 2,
+        numa_nodes: 2,
+        memory_gb: 64,
+        cache_line_bytes: 64,
+    },
+    gpu: GpuSpec {
+        name: "NVIDIA A100 40GB",
+        compute_capability: (8, 0),
+        clock_ghz: 1.41,
+        sms: 108,
+        max_threads_per_sm: 2048,
+        cuda_cores_per_sm: 64,
+        memory_gb: 40,
+        warp_size: 32,
+        max_threads_per_block: 1024,
+    },
+    gxx_version: "12.3.1",
+    nvcc_version: "12.0",
+    gpu_driver: "535.113.01",
+    cpu_jitter: 0.02,
+};
+
+/// System 3: AMD Ryzen Threadripper 2950X + NVIDIA GeForce RTX 4090.
+///
+/// Unless otherwise noted the paper's figures display System 3, "the
+/// system with the latest CPU and GPU" (Section V).
+pub const SYSTEM3: SystemSpec = SystemSpec {
+    id: 3,
+    cpu: CpuSpec {
+        name: "AMD Ryzen Threadripper 2950X",
+        base_clock_ghz: 3.50,
+        sockets: 1,
+        cores_per_socket: 16,
+        threads_per_core: 2,
+        numa_nodes: 2,
+        memory_gb: 48,
+        cache_line_bytes: 64,
+    },
+    gpu: GpuSpec {
+        name: "NVIDIA GeForce RTX 4090",
+        compute_capability: (8, 9),
+        clock_ghz: 2.625,
+        sms: 128,
+        max_threads_per_sm: 1536,
+        cuda_cores_per_sm: 128,
+        memory_gb: 24,
+        warp_size: 32,
+        max_threads_per_block: 1024,
+    },
+    gxx_version: "12.2.1",
+    nvcc_version: "12.0",
+    gpu_driver: "525.85.05",
+    // The paper attributes the jitter in Fig. 4a to "architectural
+    // qualities of the AMD chip" — give System 3 a larger amplitude.
+    cpu_jitter: 0.12,
+};
+
+/// All three systems, in paper order.
+#[must_use]
+pub fn all_systems() -> [SystemSpec; 3] {
+    [SYSTEM1, SYSTEM2, SYSTEM3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_counts() {
+        assert_eq!(SYSTEM1.cpu.total_cores(), 20);
+        assert_eq!(SYSTEM1.cpu.total_threads(), 40);
+        assert_eq!(SYSTEM2.cpu.total_cores(), 32);
+        assert_eq!(SYSTEM2.cpu.total_threads(), 64);
+        assert_eq!(SYSTEM3.cpu.total_cores(), 16);
+        assert_eq!(SYSTEM3.cpu.total_threads(), 32);
+    }
+
+    #[test]
+    fn omp_sweep_starts_at_two() {
+        let counts = SYSTEM3.cpu.omp_thread_counts();
+        assert_eq!(counts.first(), Some(&2));
+        assert_eq!(counts.last(), Some(&32));
+        assert_eq!(counts.len(), 31);
+    }
+
+    #[test]
+    fn gpu_block_sweep_matches_paper() {
+        // "block counts of 1, 2, half the number of SMs, the number of
+        // SMs, and twice the number of SMs"
+        assert_eq!(SYSTEM3.gpu.block_count_sweep(), vec![1, 2, 64, 128, 256]);
+        assert_eq!(SYSTEM2.gpu.block_count_sweep(), vec![1, 2, 54, 108, 216]);
+        assert_eq!(SYSTEM1.gpu.block_count_sweep(), vec![1, 2, 20, 40, 80]);
+    }
+
+    #[test]
+    fn gpu_thread_sweep_is_powers_of_two_to_1024() {
+        let sweep = SYSTEM3.gpu.thread_count_sweep();
+        assert_eq!(sweep.first(), Some(&1));
+        assert_eq!(sweep.last(), Some(&1024));
+        assert_eq!(sweep.len(), 11);
+        for w in sweep.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn compute_capabilities() {
+        assert_eq!(SYSTEM1.gpu.cc_number(), 75);
+        assert_eq!(SYSTEM2.gpu.cc_number(), 80);
+        assert_eq!(SYSTEM3.gpu.cc_number(), 89);
+    }
+
+    #[test]
+    fn max_warps_per_sm() {
+        assert_eq!(SYSTEM1.gpu.max_warps_per_sm(), 32);
+        assert_eq!(SYSTEM2.gpu.max_warps_per_sm(), 64);
+        assert_eq!(SYSTEM3.gpu.max_warps_per_sm(), 48);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn system3_has_more_jitter() {
+        assert!(SYSTEM3.cpu_jitter > SYSTEM1.cpu_jitter);
+        assert!(SYSTEM3.cpu_jitter > SYSTEM2.cpu_jitter);
+    }
+
+    #[test]
+    fn display_mentions_both_devices() {
+        let s = SYSTEM3.to_string();
+        assert!(s.contains("System 3"));
+        assert!(s.contains("Threadripper"));
+        assert!(s.contains("4090"));
+    }
+}

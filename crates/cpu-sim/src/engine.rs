@@ -1,0 +1,437 @@
+//! The CPU simulation engine: advances every thread through
+//! `reps` repetitions of a kernel body, charging coherence-aware costs
+//! per operation and rendezvousing at barriers.
+//!
+//! The model is *cycle-approximate, mechanism-faithful*: per-op latency
+//! is `service + contention(line)` where the contention term saturates
+//! (a bounded coherence-arbitration queue), store buffers hide part of
+//! a store's coherence latency until a fence drains them, hyperthread
+//! pairs share issue bandwidth and an L1, and barriers release all
+//! arrivals together after a participant-count-dependent cost.
+
+use syncperf_core::{CpuOp, DType, Result, SyncPerfError};
+
+use crate::config::CpuModel;
+use crate::memline::{classify, line_of, Access, ContentionMap};
+use crate::topology::Placement;
+
+/// Outcome of one engine run: per-thread virtual nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineResult {
+    /// Elapsed virtual time per thread for the whole timed region.
+    pub per_thread_ns: Vec<f64>,
+    /// Number of barrier episodes executed.
+    pub barrier_episodes: u64,
+}
+
+/// Per-thread mutable state during a run.
+#[derive(Debug, Clone)]
+struct ThreadState {
+    /// Current virtual time.
+    t: f64,
+    /// Latest time at which all of this thread's pending stores are
+    /// globally visible (the store buffer drain horizon).
+    pending_store_until: f64,
+}
+
+/// Runs `body` for `reps` repetitions on every placed thread.
+///
+/// # Errors
+///
+/// Returns [`SyncPerfError::InvalidParams`] if `reps` is zero.
+pub fn run(
+    model: &CpuModel,
+    placement: &Placement,
+    body: &[CpuOp],
+    reps: u64,
+) -> Result<EngineResult> {
+    if reps == 0 {
+        return Err(SyncPerfError::InvalidParams("reps must be > 0".into()));
+    }
+    let n = placement.len();
+    let contention = ContentionMap::analyze(body, placement, 64);
+    let mut threads = vec![ThreadState { t: 0.0, pending_store_until: 0.0 }; n];
+    let mut barrier_episodes = 0u64;
+
+    // Positions of barrier ops within the body; every thread executes
+    // the identical body, so barrier rendezvous points align and the
+    // run can proceed in lock-step segments between barriers.
+    let barrier_positions: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, CpuOp::Barrier))
+        .map(|(i, _)| i)
+        .collect();
+
+    if barrier_positions.is_empty() {
+        // Fast path: threads never interact mid-run (contention is
+        // captured analytically by the contention map), and per-rep
+        // cost reaches steady state after the first rep (store-buffer
+        // state is the only carry-over). Simulate a few reps and
+        // extrapolate linearly from the steady-state rep.
+        let warm = reps.min(4);
+        let mut prev_t: Vec<f64> = vec![0.0; n];
+        let mut last_delta: Vec<f64> = vec![0.0; n];
+        for _ in 0..warm {
+            for (tid, st) in threads.iter_mut().enumerate() {
+                run_segment(model, placement, &contention, body, tid, st);
+                last_delta[tid] = st.t - prev_t[tid];
+                prev_t[tid] = st.t;
+            }
+        }
+        if reps > warm {
+            let extra = (reps - warm) as f64;
+            for (st, d) in threads.iter_mut().zip(&last_delta) {
+                st.t += d * extra;
+            }
+        }
+    } else {
+        // Barrier path: run segment-by-segment with rendezvous. The
+        // rendezvous collapses all thread clocks each rep, so per-rep
+        // cost is steady after the first rep — simulate a few reps and
+        // extrapolate.
+        let warm = reps.min(4);
+        let mut prev_t: Vec<f64> = vec![0.0; n];
+        let mut last_delta: Vec<f64> = vec![0.0; n];
+        for _ in 0..warm {
+            let mut seg_start = 0usize;
+            for &bpos in &barrier_positions {
+                for (tid, st) in threads.iter_mut().enumerate() {
+                    run_ops(model, placement, &contention, &body[seg_start..bpos], tid, st);
+                }
+                rendezvous(model, &mut threads);
+                barrier_episodes += 1;
+                seg_start = bpos + 1;
+            }
+            for (tid, st) in threads.iter_mut().enumerate() {
+                run_ops(model, placement, &contention, &body[seg_start..], tid, st);
+                last_delta[tid] = st.t - prev_t[tid];
+                prev_t[tid] = st.t;
+            }
+        }
+        if reps > warm {
+            let extra = (reps - warm) as f64;
+            for (st, d) in threads.iter_mut().zip(&last_delta) {
+                st.t += d * extra;
+            }
+            barrier_episodes += barrier_positions.len() as u64 * (reps - warm);
+        }
+    }
+
+    Ok(EngineResult {
+        per_thread_ns: threads.iter().map(|s| s.t).collect(),
+        barrier_episodes,
+    })
+}
+
+/// Runs a barrier-free body once for one thread (fast-path helper).
+fn run_segment(
+    model: &CpuModel,
+    placement: &Placement,
+    contention: &ContentionMap,
+    body: &[CpuOp],
+    tid: usize,
+    st: &mut ThreadState,
+) {
+    run_ops(model, placement, contention, body, tid, st);
+}
+
+/// Releases all threads from a barrier.
+fn rendezvous(model: &CpuModel, threads: &mut [ThreadState]) {
+    let n = threads.len() as u32;
+    let max_arrival = threads.iter().map(|s| s.t).fold(f64::MIN, f64::max);
+    let release = max_arrival + model.barrier_ns(n);
+    // Order of release follows order of arrival.
+    let mut order: Vec<usize> = (0..threads.len()).collect();
+    order.sort_by(|&a, &b| threads[a].t.total_cmp(&threads[b].t));
+    for (rank, &tid) in order.iter().enumerate() {
+        threads[tid].t = release + rank as f64 * model.release_stagger_ns;
+    }
+}
+
+/// Executes a straight-line (barrier-free) op slice for one thread.
+fn run_ops(
+    model: &CpuModel,
+    placement: &Placement,
+    contention: &ContentionMap,
+    ops: &[CpuOp],
+    tid: usize,
+    st: &mut ThreadState,
+) {
+    let slot = placement.slot(tid);
+    let smt = if placement.core_is_smt_loaded(tid) { model.smt_service_factor } else { 1.0 };
+
+    for op in ops {
+        match *op {
+            CpuOp::Barrier => unreachable!("barriers handled by rendezvous"),
+            CpuOp::Flush => {
+                let drain = (st.pending_store_until - st.t).max(0.0);
+                st.t += model.fence_base_ns * smt + drain;
+                st.pending_store_until = st.t;
+            }
+            CpuOp::CriticalAdd { dtype, target } => {
+                // Lock acquire (RMW on the lock line), protected plain
+                // update, lock release (store on the lock line).
+                let (lc, lcross) =
+                    contention.contenders(crate::memline::lock_line(), slot.core, true);
+                let lock_line_cost = model.contention_ns(lc, lcross);
+                let acquire = model.rmw_int_ns * smt + lock_line_cost;
+                let release = model.store_ns * smt + lock_line_cost;
+                let body_cost = write_cost(model, placement, contention, dtype, target, tid, smt);
+                st.t += model.lock_overhead_ns * smt + acquire + body_cost.0 + release;
+            }
+            _ => {
+                let (cost, pending) = op_cost(model, placement, contention, op, tid, smt);
+                st.t += cost;
+                if let Some(extra) = pending {
+                    st.pending_store_until = st.pending_store_until.max(st.t + extra);
+                }
+            }
+        }
+    }
+}
+
+/// Cost of one non-barrier, non-critical, non-flush op, plus (for plain
+/// stores) the extra time until the store becomes globally visible.
+fn op_cost(
+    model: &CpuModel,
+    placement: &Placement,
+    contention: &ContentionMap,
+    op: &CpuOp,
+    tid: usize,
+    smt: f64,
+) -> (f64, Option<f64>) {
+    let slot = placement.slot(tid);
+    match classify(op) {
+        Access::None => (0.0, None),
+        Access::Read(dtype, target) => {
+            let line = line_of(dtype, target, tid, contention.line_bytes());
+            let (c, cross) = contention.contenders(line, slot.core, false);
+            (model.l1_hit_ns * smt + model.contention_ns(c, cross), None)
+        }
+        Access::Write(dtype, target) => {
+            let is_plain_store = matches!(op, CpuOp::Update { .. });
+            let is_pure_write = matches!(op, CpuOp::AtomicWrite { .. });
+            let line = line_of(dtype, target, tid, contention.line_bytes());
+            let (c, cross) = contention.contenders(line, slot.core, true);
+            let coherence = model.contention_ns(c, cross);
+            if is_plain_store {
+                // The store buffer hides part of the coherence latency
+                // from the issuing thread; a fence that drains the
+                // buffer pays the hidden fraction.
+                let visible = (model.l1_hit_ns + model.store_ns) * smt
+                    + (1.0 - model.store_buffer_hiding) * coherence;
+                (visible, Some(coherence * model.store_buffer_hiding))
+            } else {
+                let service = if is_pure_write {
+                    // No arithmetic: word size and type are irrelevant
+                    // (Fig. 4) — a 64-bit CPU stores ≤ 8 B in one go.
+                    model.store_ns
+                } else {
+                    atomic_rmw_service(model, dtype, c)
+                };
+                (service * smt + coherence, None)
+            }
+        }
+        Access::CriticalWrite(..) => unreachable!("handled in run_ops"),
+    }
+}
+
+/// Cost of the protected body write inside a critical section.
+fn write_cost(
+    model: &CpuModel,
+    placement: &Placement,
+    contention: &ContentionMap,
+    dtype: DType,
+    target: syncperf_core::Target,
+    tid: usize,
+    smt: f64,
+) -> (f64, Option<f64>) {
+    let slot = placement.slot(tid);
+    let line = line_of(dtype, target, tid, contention.line_bytes());
+    let (c, cross) = contention.contenders(line, slot.core, true);
+    ((model.l1_hit_ns + model.store_ns) * smt + model.contention_ns(c, cross), None)
+}
+
+/// Service time of an atomic read-modify-write: integers use one
+/// lock-prefixed instruction; floats run a compare-exchange loop that
+/// retries under contention (hence the integer/floating-point gap in
+/// Figs. 2 and 3).
+fn atomic_rmw_service(model: &CpuModel, dtype: DType, contenders: u32) -> f64 {
+    if dtype.is_integer() {
+        model.rmw_int_ns
+    } else {
+        model.rmw_int_ns
+            + model.fp_cas_extra_ns
+            + model.fp_retry_ns * f64::from(contenders.min(model.contention_sat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, Affinity, SYSTEM3};
+
+    fn setup(n: u32) -> (CpuModel, Placement) {
+        (CpuModel::baseline(), Placement::new(&SYSTEM3.cpu, Affinity::Spread, n))
+    }
+
+    fn per_op_ns(model: &CpuModel, placement: &Placement, body: &[CpuOp], reps: u64) -> f64 {
+        let r = run(model, placement, body, reps).unwrap();
+        r.per_thread_ns.iter().fold(f64::MIN, |a, &b| a.max(b)) / reps as f64
+    }
+
+    #[test]
+    fn rejects_zero_reps() {
+        let (m, p) = setup(2);
+        assert!(run(&m, &p, &kernel::omp_barrier().baseline, 0).is_err());
+    }
+
+    #[test]
+    fn barrier_cost_rises_then_plateaus() {
+        let m = CpuModel::baseline();
+        let body = kernel::omp_barrier().baseline;
+        let mut costs = Vec::new();
+        for n in [2u32, 4, 8, 16, 32] {
+            let p = Placement::new(&SYSTEM3.cpu, Affinity::Spread, n);
+            costs.push(per_op_ns(&m, &p, &body, 50));
+        }
+        assert!(costs[1] > costs[0], "4 threads costlier than 2");
+        assert!(costs[2] > costs[1], "8 threads costlier than 4");
+        // Beyond saturation the growth is only the small tax+stagger.
+        let growth_late = costs[4] / costs[3];
+        let growth_early = costs[1] / costs[0];
+        assert!(growth_late < growth_early, "plateau expected beyond ~8 threads");
+        assert!(growth_late < 1.25);
+    }
+
+    #[test]
+    fn shared_atomic_int_beats_float() {
+        let (m, p) = setup(8);
+        let int_cost = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_scalar(DType::I32).baseline,
+            10,
+        );
+        let f64_cost = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_scalar(DType::F64).baseline,
+            10,
+        );
+        assert!(f64_cost > int_cost, "float atomics must be slower (Fig. 2)");
+    }
+
+    #[test]
+    fn word_size_irrelevant_for_integer_atomics() {
+        let (m, p) = setup(8);
+        let i = per_op_ns(&m, &p, &kernel::omp_atomic_update_scalar(DType::I32).baseline, 10);
+        let u = per_op_ns(&m, &p, &kernel::omp_atomic_update_scalar(DType::U64).baseline, 10);
+        assert!((i - u).abs() < 1e-9, "int and ull identical on a 64-bit CPU (Fig. 2)");
+    }
+
+    #[test]
+    fn padded_private_atomics_much_faster_than_shared() {
+        let (m, p) = setup(16);
+        let shared = per_op_ns(&m, &p, &kernel::omp_atomic_update_scalar(DType::I32).baseline, 10);
+        let padded =
+            per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::I32, 16).baseline, 10);
+        assert!(shared > 4.0 * padded, "contended {shared} vs padded {padded}");
+    }
+
+    #[test]
+    fn false_sharing_vanishes_at_the_padding_stride() {
+        let (m, p) = setup(16);
+        // 64-bit types: stride 8 × 8 B = 64 B → conflict-free (Fig. 3c)
+        let s4 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::F64, 4).baseline, 10);
+        let s8 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::F64, 8).baseline, 10);
+        assert!(s4 > 2.0 * s8, "stride 8 should be dramatically faster for doubles");
+        // 32-bit types need stride 16 (Fig. 3d)
+        let i8 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::I32, 8).baseline, 10);
+        let i16 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::I32, 16).baseline, 10);
+        assert!(i8 > 2.0 * i16, "stride 16 should be dramatically faster for ints");
+    }
+
+    #[test]
+    fn four_byte_types_slightly_worse_at_stride_one() {
+        let (m, p) = setup(16);
+        let i1 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::I32, 1).baseline, 10);
+        let u1 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::U64, 1).baseline, 10);
+        assert!(i1 > u1, "twice the words per line → more sharers (Fig. 3a)");
+    }
+
+    #[test]
+    fn critical_slower_than_atomic() {
+        let (m, p) = setup(8);
+        let atomic = per_op_ns(&m, &p, &kernel::omp_atomic_update_scalar(DType::I32).baseline, 10);
+        let critical = per_op_ns(&m, &p, &kernel::omp_critical_add(DType::I32).baseline, 10);
+        assert!(critical > 1.5 * atomic, "critical {critical} vs atomic {atomic} (Fig. 5)");
+    }
+
+    #[test]
+    fn atomic_read_costs_same_as_plain_read() {
+        let (m, p) = setup(8);
+        let k = kernel::omp_atomic_read(DType::I32);
+        let base = per_op_ns(&m, &p, &k.baseline, 10);
+        let test = per_op_ns(&m, &p, &k.test, 10);
+        // The test substitutes an atomic read for the plain read; the
+        // atomicity overhead is zero (§V-A2).
+        assert!((test - base).abs() < 0.05 * base, "atomic reads are free (§V-A2)");
+    }
+
+    #[test]
+    fn flush_cheap_without_false_sharing_expensive_with() {
+        let (m, p) = setup(16);
+        let k1 = kernel::omp_flush(DType::I32, 1);
+        let k16 = kernel::omp_flush(DType::I32, 16);
+        let fl1 = per_op_ns(&m, &p, &k1.test, 10) - per_op_ns(&m, &p, &k1.baseline, 10);
+        let fl16 = per_op_ns(&m, &p, &k16.test, 10) - per_op_ns(&m, &p, &k16.baseline, 10);
+        assert!(fl1 > 3.0 * fl16, "flush with sharing {fl1} vs padded {fl16} (Fig. 6)");
+        assert!(fl16 < 2.5 * m.fence_base_ns, "padded flush ≈ fence base cost");
+    }
+
+    #[test]
+    fn atomic_write_dtype_independent() {
+        let (m, p) = setup(8);
+        let costs: Vec<f64> = DType::ALL
+            .iter()
+            .map(|&dt| per_op_ns(&m, &p, &kernel::omp_atomic_write(dt).baseline, 10))
+            .collect();
+        for w in costs.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "atomic write is size/type blind (Fig. 4)");
+        }
+    }
+
+    #[test]
+    fn hyperthreads_mild_slowdown() {
+        let m = CpuModel::baseline();
+        let body = kernel::omp_atomic_update_array(DType::I32, 16).baseline;
+        let at_cores = {
+            let p = Placement::new(&SYSTEM3.cpu, Affinity::Close, 16);
+            per_op_ns(&m, &p, &body, 10)
+        };
+        let at_max = {
+            let p = Placement::new(&SYSTEM3.cpu, Affinity::Close, 32);
+            per_op_ns(&m, &p, &body, 10)
+        };
+        let ratio = at_max / at_cores;
+        assert!(ratio > 1.0 && ratio < 1.3, "hyperthreading is mild: ratio {ratio}");
+    }
+
+    #[test]
+    fn barrier_episodes_counted() {
+        let (m, p) = setup(4);
+        let r = run(&m, &p, &kernel::omp_barrier().test, 10).unwrap();
+        assert_eq!(r.barrier_episodes, 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (m, p) = setup(8);
+        let body = kernel::omp_atomic_update_scalar(DType::F32).test;
+        let a = run(&m, &p, &body, 25).unwrap();
+        let b = run(&m, &p, &body, 25).unwrap();
+        assert_eq!(a, b);
+    }
+}

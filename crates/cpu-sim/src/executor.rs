@@ -1,0 +1,212 @@
+//! The CPU-simulator [`Executor`]: plugs the engine into the
+//! measurement protocol, adding deterministic per-run timing jitter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use syncperf_core::{
+    CpuOp, ExecParams, Executor, Result, SyncPerfError, SystemSpec, ThreadTimes, TimeUnit,
+};
+
+use crate::config::CpuModel;
+use crate::engine;
+use crate::topology::Placement;
+
+/// Simulates the CPU of one of the paper's systems.
+///
+/// Virtual times are reported in seconds (the engine's nanoseconds
+/// divided by 10⁹), so measurements read exactly like the real-thread
+/// executor's. Every run perturbs the result with the system's jitter
+/// model — System 3's AMD CPU gets a visibly larger amplitude (Fig. 4a)
+/// — deterministically from the constructor seed.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_core::{kernel, DType, ExecParams, Protocol, SYSTEM3};
+/// use syncperf_cpu_sim::CpuSimExecutor;
+///
+/// # fn main() -> syncperf_core::Result<()> {
+/// let mut sim = CpuSimExecutor::new(&SYSTEM3);
+/// let m = Protocol::SIM.measure(
+///     &mut sim,
+///     &kernel::omp_atomic_update_scalar(DType::I32),
+///     &ExecParams::new(16).with_loops(50, 4),
+/// )?;
+/// assert!(m.throughput().unwrap() > 1e5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CpuSimExecutor {
+    system: SystemSpec,
+    model: CpuModel,
+    rng: StdRng,
+}
+
+impl CpuSimExecutor {
+    /// Default deterministic seed.
+    pub const DEFAULT_SEED: u64 = 0x5E_AD_BE_EF;
+
+    /// Creates a simulator for `system`'s CPU with the default seed.
+    #[must_use]
+    pub fn new(system: &SystemSpec) -> Self {
+        Self::with_seed(system, Self::DEFAULT_SEED)
+    }
+
+    /// Creates a simulator with an explicit jitter seed.
+    #[must_use]
+    pub fn with_seed(system: &SystemSpec, seed: u64) -> Self {
+        CpuSimExecutor {
+            system: system.clone(),
+            model: CpuModel::for_system(&system.cpu, system.cpu_jitter),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a simulator with a custom latency model (used by the
+    /// ablation benches).
+    #[must_use]
+    pub fn with_model(system: &SystemSpec, model: CpuModel) -> Self {
+        CpuSimExecutor { system: system.clone(), model, rng: StdRng::seed_from_u64(Self::DEFAULT_SEED) }
+    }
+
+    /// The active latency model.
+    #[must_use]
+    pub fn model(&self) -> &CpuModel {
+        &self.model
+    }
+
+    /// The simulated system.
+    #[must_use]
+    pub fn system(&self) -> &SystemSpec {
+        &self.system
+    }
+}
+
+impl Executor for CpuSimExecutor {
+    type Op = CpuOp;
+
+    fn name(&self) -> &str {
+        "cpu-sim"
+    }
+
+    fn time_unit(&self) -> TimeUnit {
+        TimeUnit::Seconds
+    }
+
+    fn execute(&mut self, body: &[CpuOp], params: &ExecParams) -> Result<ThreadTimes> {
+        params.validate()?;
+        if params.blocks != 1 {
+            return Err(SyncPerfError::InvalidParams(
+                "the CPU simulator runs a single team (blocks must be 1)".into(),
+            ));
+        }
+        let placement = Placement::new(&self.system.cpu, params.affinity, params.threads);
+        let result = engine::run(&self.model, &placement, body, params.timed_reps())?;
+
+        // Timing jitter: one run-wide component (OS/system noise hits
+        // the whole measurement — it survives the max-across-threads)
+        // plus a small per-thread component. Hyperthreading adds
+        // variability (Section V-A2 observes exactly that).
+        let amp = self.model.jitter_amplitude
+            + if placement.uses_hyperthreads() { self.model.smt_jitter_boost } else { 0.0 };
+        let run_noise: f64 = 1.0 + amp * self.rng.gen_range(-1.0..=1.0);
+        let per_thread = result
+            .per_thread_ns
+            .iter()
+            .map(|&ns| {
+                let u: f64 = self.rng.gen_range(-1.0..=1.0);
+                ns * 1e-9 * run_noise * (1.0 + 0.1 * amp * u)
+            })
+            .collect();
+        Ok(ThreadTimes { per_thread })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, DType, Protocol, SYSTEM1, SYSTEM2, SYSTEM3};
+
+    fn quick(threads: u32) -> ExecParams {
+        ExecParams::new(threads).with_loops(50, 4)
+    }
+
+    #[test]
+    fn reports_per_thread_seconds() {
+        let mut sim = CpuSimExecutor::new(&SYSTEM3);
+        let t = sim.execute(&kernel::omp_barrier().baseline, &quick(8)).unwrap();
+        assert_eq!(t.per_thread.len(), 8);
+        for &v in &t.per_thread {
+            assert!(v > 0.0 && v < 1.0, "unreasonable virtual time {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_blocks() {
+        let mut sim = CpuSimExecutor::new(&SYSTEM3);
+        assert!(sim
+            .execute(&kernel::omp_barrier().baseline, &quick(2).with_blocks(2))
+            .is_err());
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let mut a = CpuSimExecutor::with_seed(&SYSTEM3, 42);
+        let mut b = CpuSimExecutor::with_seed(&SYSTEM3, 42);
+        let body = kernel::omp_atomic_update_scalar(DType::F32).test;
+        assert_eq!(
+            a.execute(&body, &quick(8)).unwrap(),
+            b.execute(&body, &quick(8)).unwrap()
+        );
+    }
+
+    #[test]
+    fn jitter_varies_between_runs() {
+        let mut sim = CpuSimExecutor::new(&SYSTEM3);
+        let body = kernel::omp_atomic_update_scalar(DType::I32).baseline;
+        let a = sim.execute(&body, &quick(4)).unwrap();
+        let b = sim.execute(&body, &quick(4)).unwrap();
+        assert_ne!(a, b, "jitter should perturb consecutive runs");
+    }
+
+    #[test]
+    fn amd_system_noisier_than_intel() {
+        let s3 = CpuSimExecutor::new(&SYSTEM3);
+        let s2 = CpuSimExecutor::new(&SYSTEM2);
+        assert!(s3.model().jitter_amplitude > s2.model().jitter_amplitude);
+    }
+
+    #[test]
+    fn full_protocol_produces_positive_atomic_cost() {
+        let mut sim = CpuSimExecutor::new(&SYSTEM3);
+        let m = Protocol::PAPER
+            .measure(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), &quick(8))
+            .unwrap();
+        assert!(m.per_op > 0.0);
+        // ~6.5 ns modeled base + contention; sanity-range check.
+        let ns = m.runtime_seconds() * 1e9;
+        assert!(ns > 10.0 && ns < 1000.0, "atomic cost {ns} ns out of range");
+    }
+
+    #[test]
+    fn atomic_read_measures_negligible() {
+        let mut sim = CpuSimExecutor::new(&SYSTEM2);
+        let m = Protocol::PAPER
+            .measure(&mut sim, &kernel::omp_atomic_read(DType::I32), &quick(8))
+            .unwrap();
+        assert!(m.is_negligible(), "atomic reads must be free (§V-A2): {}", m.per_op);
+        assert!(m.throughput().is_none());
+    }
+
+    #[test]
+    fn all_three_systems_run() {
+        for sys in [&SYSTEM1, &SYSTEM2, &SYSTEM3] {
+            let mut sim = CpuSimExecutor::new(sys);
+            let m = Protocol::SIM
+                .measure(&mut sim, &kernel::omp_barrier(), &quick(4))
+                .unwrap();
+            assert!(m.per_op > 0.0, "{}", sys);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! An explicit MESI coherence protocol, used to *validate* the engine's
+//! static contention analysis.
+//!
+//! The engine charges coherence costs from a static sharing analysis
+//! ([`crate::memline::ContentionMap`]); this module implements the
+//! actual Modified/Exclusive/Shared/Invalid state machine so tests can
+//! replay a kernel's access trace and confirm the two agree: lines the
+//! analysis calls conflict-free reach a steady state with zero bus
+//! transactions, and lines with `c` write contenders keep generating
+//! invalidations/transfers forever.
+
+use std::collections::HashMap;
+
+use crate::memline::LineId;
+
+/// Per-core MESI state of one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MesiState {
+    /// Dirty and exclusive to one cache.
+    Modified,
+    /// Clean and exclusive to one cache.
+    Exclusive,
+    /// Clean, possibly in several caches.
+    Shared,
+    /// Not present.
+    #[default]
+    Invalid,
+}
+
+/// What one access cost on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transaction {
+    /// Served from the local cache; no bus traffic.
+    Hit,
+    /// Read miss filled from memory (no other cache had it).
+    FillFromMemory,
+    /// Read miss served cache-to-cache from the owner.
+    CacheToCache,
+    /// Write that had to invalidate other caches' copies.
+    Invalidation {
+        /// How many remote copies were invalidated.
+        copies: u32,
+    },
+    /// Write upgrade from Shared without remote copies (Exclusive →
+    /// Modified, silent).
+    SilentUpgrade,
+}
+
+/// Bus-transaction counters for one line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineTraffic {
+    /// Accesses that hit locally.
+    pub hits: u64,
+    /// Fills from memory.
+    pub memory_fills: u64,
+    /// Cache-to-cache transfers.
+    pub transfers: u64,
+    /// Invalidation broadcasts.
+    pub invalidations: u64,
+}
+
+impl LineTraffic {
+    /// Bus transactions (everything except hits and silent upgrades).
+    #[must_use]
+    pub fn bus_transactions(&self) -> u64 {
+        self.memory_fills + self.transfers + self.invalidations
+    }
+}
+
+/// A directory-based MESI simulator over `n_cores` private caches.
+#[derive(Debug)]
+pub struct MesiDirectory {
+    n_cores: usize,
+    states: HashMap<LineId, Vec<MesiState>>,
+    traffic: HashMap<LineId, LineTraffic>,
+}
+
+impl MesiDirectory {
+    /// Creates a directory for `n_cores` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero.
+    #[must_use]
+    pub fn new(n_cores: usize) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        MesiDirectory { n_cores, states: HashMap::new(), traffic: HashMap::new() }
+    }
+
+    fn line_states(&mut self, line: LineId) -> &mut Vec<MesiState> {
+        let n = self.n_cores;
+        self.states.entry(line).or_insert_with(|| vec![MesiState::Invalid; n])
+    }
+
+    /// Core `core` reads `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn read(&mut self, core: usize, line: LineId) -> Transaction {
+        assert!(core < self.n_cores, "core {core} out of range");
+        let states = self.line_states(line);
+        let tx = match states[core] {
+            MesiState::Modified | MesiState::Exclusive | MesiState::Shared => Transaction::Hit,
+            MesiState::Invalid => {
+                let owner = states
+                    .iter()
+                    .position(|s| matches!(s, MesiState::Modified | MesiState::Exclusive));
+                let any_shared = states.contains(&MesiState::Shared);
+                if let Some(o) = owner {
+                    states[o] = MesiState::Shared;
+                    states[core] = MesiState::Shared;
+                    Transaction::CacheToCache
+                } else if any_shared {
+                    states[core] = MesiState::Shared;
+                    Transaction::CacheToCache
+                } else {
+                    states[core] = MesiState::Exclusive;
+                    Transaction::FillFromMemory
+                }
+            }
+        };
+        self.record(line, tx);
+        self.debug_check(line);
+        tx
+    }
+
+    /// Core `core` writes (or RMWs) `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn write(&mut self, core: usize, line: LineId) -> Transaction {
+        assert!(core < self.n_cores, "core {core} out of range");
+        let states = self.line_states(line);
+        let tx = match states[core] {
+            MesiState::Modified => Transaction::Hit,
+            MesiState::Exclusive => {
+                states[core] = MesiState::Modified;
+                Transaction::SilentUpgrade
+            }
+            from @ (MesiState::Shared | MesiState::Invalid) => {
+                let mut copies = 0u32;
+                for (i, s) in states.iter_mut().enumerate() {
+                    if i != core && *s != MesiState::Invalid {
+                        *s = MesiState::Invalid;
+                        copies += 1;
+                    }
+                }
+                states[core] = MesiState::Modified;
+                if copies > 0 {
+                    Transaction::Invalidation { copies }
+                } else if from == MesiState::Shared {
+                    // Upgrade of the last remaining copy: no data moves.
+                    Transaction::SilentUpgrade
+                } else {
+                    Transaction::FillFromMemory
+                }
+            }
+        };
+        self.record(line, tx);
+        self.debug_check(line);
+        tx
+    }
+
+    /// Traffic counters for `line` (zeroes if never touched).
+    #[must_use]
+    pub fn traffic(&self, line: LineId) -> LineTraffic {
+        self.traffic.get(&line).copied().unwrap_or_default()
+    }
+
+    /// The state of `line` in `core`'s cache.
+    #[must_use]
+    pub fn state(&self, core: usize, line: LineId) -> MesiState {
+        self.states.get(&line).map_or(MesiState::Invalid, |v| v[core])
+    }
+
+    /// Resets traffic counters (keeps cache states) — used to skip the
+    /// cold-start fills before measuring steady state.
+    pub fn reset_traffic(&mut self) {
+        self.traffic.clear();
+    }
+
+    fn record(&mut self, line: LineId, tx: Transaction) {
+        let t = self.traffic.entry(line).or_default();
+        match tx {
+            Transaction::Hit => t.hits += 1,
+            Transaction::FillFromMemory => t.memory_fills += 1,
+            Transaction::CacheToCache => t.transfers += 1,
+            Transaction::Invalidation { .. } => t.invalidations += 1,
+            Transaction::SilentUpgrade => {}
+        }
+    }
+
+    /// MESI safety invariant: at most one Modified/Exclusive copy, and
+    /// it excludes all other valid copies.
+    fn debug_check(&self, line: LineId) {
+        if let Some(states) = self.states.get(&line) {
+            let owners =
+                states.iter().filter(|s| matches!(s, MesiState::Modified | MesiState::Exclusive)).count();
+            let valid = states.iter().filter(|s| **s != MesiState::Invalid).count();
+            debug_assert!(owners <= 1, "two owners of {line:?}");
+            debug_assert!(owners == 0 || valid == 1, "owner coexists with copies of {line:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memline::line_of;
+    use syncperf_core::{DType, Target};
+
+    fn line(i: u32) -> LineId {
+        line_of(DType::I32, Target::Private { array: 0, stride: 16 }, i as usize, 64)
+    }
+
+    #[test]
+    fn first_read_fills_from_memory_then_hits() {
+        let mut d = MesiDirectory::new(4);
+        assert_eq!(d.read(0, line(0)), Transaction::FillFromMemory);
+        assert_eq!(d.read(0, line(0)), Transaction::Hit);
+        assert_eq!(d.state(0, line(0)), MesiState::Exclusive);
+    }
+
+    #[test]
+    fn exclusive_write_is_silent() {
+        let mut d = MesiDirectory::new(2);
+        d.read(0, line(0));
+        assert_eq!(d.write(0, line(0)), Transaction::SilentUpgrade);
+        assert_eq!(d.state(0, line(0)), MesiState::Modified);
+        assert_eq!(d.write(0, line(0)), Transaction::Hit);
+    }
+
+    #[test]
+    fn second_reader_gets_cache_to_cache_and_shared() {
+        let mut d = MesiDirectory::new(2);
+        d.read(0, line(0));
+        assert_eq!(d.read(1, line(0)), Transaction::CacheToCache);
+        assert_eq!(d.state(0, line(0)), MesiState::Shared);
+        assert_eq!(d.state(1, line(0)), MesiState::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_remote_copies() {
+        let mut d = MesiDirectory::new(3);
+        d.read(0, line(0));
+        d.read(1, line(0));
+        d.read(2, line(0));
+        let tx = d.write(0, line(0));
+        assert_eq!(tx, Transaction::Invalidation { copies: 2 });
+        assert_eq!(d.state(1, line(0)), MesiState::Invalid);
+        assert_eq!(d.state(2, line(0)), MesiState::Invalid);
+        assert_eq!(d.state(0, line(0)), MesiState::Modified);
+    }
+
+    #[test]
+    fn ping_pong_generates_traffic_forever() {
+        // Two cores RMW-ing the same line: every access after warmup is
+        // an invalidation — the false-sharing steady state.
+        let mut d = MesiDirectory::new(2);
+        d.write(0, line(0));
+        d.write(1, line(0));
+        d.reset_traffic();
+        for _ in 0..100 {
+            d.write(0, line(0));
+            d.write(1, line(0));
+        }
+        let t = d.traffic(line(0));
+        assert_eq!(t.invalidations, 200, "every alternating write invalidates");
+        assert_eq!(t.hits, 0);
+    }
+
+    #[test]
+    fn private_lines_silent_after_warmup() {
+        // Each core its own line: zero bus transactions in steady state
+        // — exactly why padded strides are fast (Fig. 3d).
+        let mut d = MesiDirectory::new(4);
+        for c in 0..4 {
+            d.write(c, line(c as u32));
+        }
+        d.reset_traffic();
+        for _ in 0..100 {
+            for c in 0..4 {
+                d.write(c, line(c as u32));
+            }
+        }
+        for c in 0..4 {
+            let t = d.traffic(line(c as u32));
+            assert_eq!(t.bus_transactions(), 0, "core {c} must run from its own cache");
+            assert_eq!(t.hits, 100);
+        }
+    }
+
+    #[test]
+    fn read_only_sharing_silent_after_warmup() {
+        // Many readers, no writers: Shared everywhere, all hits — why
+        // atomic reads are free (§V-A2).
+        let mut d = MesiDirectory::new(8);
+        for c in 0..8 {
+            d.read(c, line(0));
+        }
+        d.reset_traffic();
+        for _ in 0..50 {
+            for c in 0..8 {
+                d.read(c, line(0));
+            }
+        }
+        assert_eq!(d.traffic(line(0)).bus_transactions(), 0);
+    }
+
+    #[test]
+    fn reader_of_written_line_keeps_paying() {
+        let mut d = MesiDirectory::new(2);
+        d.write(0, line(0));
+        d.read(1, line(0));
+        d.reset_traffic();
+        for _ in 0..10 {
+            d.write(0, line(0)); // invalidates 1's copy
+            d.read(1, line(0)); // transfers it back
+        }
+        let t = d.traffic(line(0));
+        assert_eq!(t.invalidations, 10);
+        assert_eq!(t.transfers, 10);
+    }
+}

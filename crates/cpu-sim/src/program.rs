@@ -1,0 +1,195 @@
+//! Whole-program case study: summing `N` values on the simulated CPU
+//! with the synchronization strategies the paper's recommendations
+//! rank (Section V-A5).
+//!
+//! The strategies differ only in how per-element updates are
+//! synchronized; the simulation reuses the microbenchmark engine by
+//! running each phase's loop body for the right repetition count, so a
+//! strategy's cost follows directly from the validated per-op model.
+
+use syncperf_core::{CpuOp, DType, Result, SyncPerfError, Target};
+
+use crate::config::CpuModel;
+use crate::engine;
+use crate::topology::Placement;
+
+/// How the parallel sum synchronizes its updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuReductionStrategy {
+    /// Every element added straight into one shared variable with an
+    /// atomic update (what recommendation 2 warns against).
+    SharedAtomic,
+    /// Every element added under `#pragma omp critical`
+    /// (recommendation 5: avoid).
+    CriticalSection,
+    /// Thread-private partial sums in a stride-1 array — privatized,
+    /// but false-shared (recommendation 3's trap) — then one atomic
+    /// merge per thread.
+    FalseSharedPartials,
+    /// Thread-private partial sums padded to one cache line each, then
+    /// one atomic merge per thread — the recommended pattern.
+    PaddedPartials,
+}
+
+impl CpuReductionStrategy {
+    /// All four strategies, worst to best (expected).
+    pub const ALL: [CpuReductionStrategy; 4] = [
+        CpuReductionStrategy::CriticalSection,
+        CpuReductionStrategy::SharedAtomic,
+        CpuReductionStrategy::FalseSharedPartials,
+        CpuReductionStrategy::PaddedPartials,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CpuReductionStrategy::SharedAtomic => "atomic on one shared variable",
+            CpuReductionStrategy::CriticalSection => "critical section",
+            CpuReductionStrategy::FalseSharedPartials => "private partials, false-shared",
+            CpuReductionStrategy::PaddedPartials => "private partials, padded",
+        }
+    }
+}
+
+/// Result of one simulated CPU reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuReductionReport {
+    /// The strategy simulated.
+    pub strategy: CpuReductionStrategy,
+    /// Total wall-clock nanoseconds (max across threads, both phases).
+    pub total_ns: f64,
+    /// Nanoseconds spent in the per-element accumulation phase.
+    pub accumulate_ns: f64,
+    /// Nanoseconds spent merging partials (zero for the direct
+    /// strategies).
+    pub merge_ns: f64,
+}
+
+/// Simulates summing `elements` `f64` values across `threads` threads
+/// under the given strategy.
+///
+/// # Errors
+///
+/// Returns [`SyncPerfError::InvalidParams`] for a zero-sized workload.
+pub fn simulate_cpu_reduction(
+    model: &CpuModel,
+    placement: &Placement,
+    strategy: CpuReductionStrategy,
+    elements: u64,
+) -> Result<CpuReductionReport> {
+    if elements == 0 || placement.is_empty() {
+        return Err(SyncPerfError::InvalidParams("empty reduction".into()));
+    }
+    let threads = placement.len() as u64;
+    let per_thread = elements.div_ceil(threads);
+    let dtype = DType::F64;
+
+    let max_ns = |body: &[CpuOp], reps: u64| -> Result<f64> {
+        let r = engine::run(model, placement, body, reps)?;
+        Ok(r.per_thread_ns.iter().copied().fold(f64::MIN, f64::max))
+    };
+
+    // Each accumulation iteration also reads its input element.
+    let read_input = CpuOp::Read { dtype, target: Target::Private { array: 1, stride: 8 } };
+
+    let (accumulate_ns, merge_ns) = match strategy {
+        CpuReductionStrategy::SharedAtomic => {
+            let body = [read_input, CpuOp::AtomicUpdate { dtype, target: Target::SHARED }];
+            (max_ns(&body, per_thread)?, 0.0)
+        }
+        CpuReductionStrategy::CriticalSection => {
+            let body = [read_input, CpuOp::CriticalAdd { dtype, target: Target::SHARED }];
+            (max_ns(&body, per_thread)?, 0.0)
+        }
+        CpuReductionStrategy::FalseSharedPartials => {
+            let body = [
+                read_input,
+                CpuOp::Update { dtype, target: Target::Private { array: 0, stride: 1 } },
+            ];
+            let acc = max_ns(&body, per_thread)?;
+            let merge =
+                max_ns(&[CpuOp::AtomicUpdate { dtype, target: Target::SHARED }], 1)?;
+            (acc, merge)
+        }
+        CpuReductionStrategy::PaddedPartials => {
+            let body = [
+                read_input,
+                CpuOp::Update { dtype, target: Target::Private { array: 0, stride: 8 } },
+            ];
+            let acc = max_ns(&body, per_thread)?;
+            let merge =
+                max_ns(&[CpuOp::AtomicUpdate { dtype, target: Target::SHARED }], 1)?;
+            (acc, merge)
+        }
+    };
+
+    Ok(CpuReductionReport { strategy, total_ns: accumulate_ns + merge_ns, accumulate_ns, merge_ns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{Affinity, SYSTEM3};
+
+    fn run_all(threads: u32, elements: u64) -> Vec<CpuReductionReport> {
+        let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+        let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
+        CpuReductionStrategy::ALL
+            .iter()
+            .map(|&s| simulate_cpu_reduction(&model, &placement, s, elements).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn recommended_ordering_holds() {
+        // critical > shared atomic > false-shared partials > padded.
+        let r = run_all(16, 1 << 20);
+        assert!(r[0].total_ns > r[1].total_ns, "critical slowest");
+        assert!(r[1].total_ns > r[2].total_ns, "shared atomic beats critical only");
+        assert!(r[2].total_ns > r[3].total_ns, "padding beats false sharing");
+    }
+
+    #[test]
+    fn padded_partials_scale_with_threads() {
+        // The recommended pattern gets faster with more threads; the
+        // shared-atomic one barely does (serialized line).
+        let few = run_all(2, 1 << 20);
+        let many = run_all(16, 1 << 20);
+        let padded_speedup = few[3].total_ns / many[3].total_ns;
+        let shared_speedup = few[1].total_ns / many[1].total_ns;
+        assert!(padded_speedup > 6.0, "near-linear scaling, got {padded_speedup}");
+        assert!(shared_speedup < padded_speedup / 2.0, "contended scaling must lag");
+    }
+
+    #[test]
+    fn merge_phase_negligible_but_present() {
+        let r = run_all(16, 1 << 20);
+        let padded = &r[3];
+        assert!(padded.merge_ns > 0.0);
+        assert!(padded.merge_ns < 0.01 * padded.accumulate_ns);
+        // Direct strategies have no merge phase.
+        assert_eq!(r[0].merge_ns, 0.0);
+        assert_eq!(r[1].merge_ns, 0.0);
+    }
+
+    #[test]
+    fn false_sharing_penalty_factor() {
+        let r = run_all(16, 1 << 18);
+        let penalty = r[2].accumulate_ns / r[3].accumulate_ns;
+        assert!(penalty > 2.0, "false sharing must hurt clearly: {penalty}x");
+    }
+
+    #[test]
+    fn rejects_empty_workload() {
+        let model = CpuModel::baseline();
+        let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 4);
+        assert!(simulate_cpu_reduction(
+            &model,
+            &placement,
+            CpuReductionStrategy::PaddedPartials,
+            0
+        )
+        .is_err());
+    }
+}

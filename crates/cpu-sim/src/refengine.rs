@@ -1,0 +1,305 @@
+//! A reference event-driven engine that derives coherence costs from
+//! the *dynamic* MESI protocol instead of the fast engine's static
+//! analysis — a second, independent implementation used as an oracle.
+//!
+//! Where [`crate::engine`] charges every access a precomputed
+//! contention cost, this engine interleaves the threads' op streams in
+//! global time order and consults a live [`MesiDirectory`]: a hit is an
+//! L1 hit, a transfer is a transfer, an invalidation pays arbitration
+//! for the copies actually invalidated. It is slower and less smooth,
+//! but it does not *assume* a sharing pattern — it discovers one. Tests
+//! in `tests/engine_agreement.rs` bound the disagreement between the
+//! two engines.
+//!
+//! One intentional difference: this engine serializes transfers through
+//! a per-line availability timeline (a line cannot be in two places at
+//! once), which yields a *linear* contention law; the fast engine's
+//! arbitration **saturates** (the bounded-queue hypothesis behind the
+//! paper's Fig. 1/2 plateau). Below the saturation point the engines
+//! agree; beyond it they diverge in exactly the way
+//! `ablation_contention_model` demonstrates.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use syncperf_core::{CpuOp, Result, SyncPerfError};
+
+use crate::config::CpuModel;
+use crate::memline::{classify, line_of, lock_line, Access};
+use crate::mesi::{MesiDirectory, Transaction};
+use crate::topology::Placement;
+
+/// Outcome of a reference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefEngineResult {
+    /// Elapsed virtual nanoseconds per thread.
+    pub per_thread_ns: Vec<f64>,
+    /// Total bus transactions observed.
+    pub bus_transactions: u64,
+}
+
+/// Event-queue entry: next-ready thread ordered by its virtual clock.
+#[derive(Debug, PartialEq)]
+struct Ready {
+    t: f64,
+    tid: usize,
+}
+
+impl Eq for Ready {}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.t.total_cmp(&other.t).then(self.tid.cmp(&other.tid))
+    }
+}
+
+/// Runs `body` for `reps` repetitions per thread, interleaving threads
+/// in virtual-time order and charging costs from live MESI state.
+///
+/// Barriers are supported (rendezvous as in the fast engine); critical
+/// sections are modeled as lock-line write + body + lock-line write.
+///
+/// # Errors
+///
+/// Rejects `reps == 0`.
+pub fn run_reference(
+    model: &CpuModel,
+    placement: &Placement,
+    body: &[CpuOp],
+    reps: u64,
+) -> Result<RefEngineResult> {
+    if reps == 0 {
+        return Err(SyncPerfError::InvalidParams("reps must be > 0".into()));
+    }
+    let n = placement.len();
+    let n_cores = placement_cores(placement);
+    let mut mesi = MesiDirectory::new(n_cores);
+    let mut line_avail: HashMap<crate::memline::LineId, f64> = HashMap::new();
+    // The critical-section lock is held for the whole protected region:
+    // sections fully serialize behind this horizon.
+    let mut lock_free_at = 0.0f64;
+    let total_ops = body.len() as u64 * reps;
+
+    let mut clocks = vec![0.0f64; n];
+    let mut pc = vec![0u64; n]; // global op index per thread
+    let mut heap: BinaryHeap<Reverse<Ready>> = (0..n)
+        .map(|tid| Reverse(Ready { t: tid as f64 * 0.1, tid }))
+        .collect();
+    let mut bus = 0u64;
+
+    // Barrier state: which threads have arrived and at what time.
+    let mut waiting: Vec<(usize, f64)> = Vec::new();
+
+    while let Some(Reverse(Ready { t, tid })) = heap.pop() {
+        if pc[tid] >= total_ops {
+            continue;
+        }
+        let op = &body[(pc[tid] % body.len() as u64) as usize];
+        pc[tid] += 1;
+
+        if matches!(op, CpuOp::Barrier) {
+            waiting.push((tid, t));
+            if waiting.len() == n {
+                let max_arrival =
+                    waiting.iter().map(|&(_, a)| a).fold(f64::MIN, f64::max);
+                let release = max_arrival + model.barrier_ns(n as u32);
+                waiting.sort_by(|a, b| a.1.total_cmp(&b.1));
+                for (rank, &(wtid, _)) in waiting.iter().enumerate() {
+                    let t_out = release + rank as f64 * model.release_stagger_ns;
+                    clocks[wtid] = t_out;
+                    heap.push(Reverse(Ready { t: t_out, tid: wtid }));
+                }
+                waiting.clear();
+            }
+            continue;
+        }
+
+        let cost = charge(
+            model,
+            placement,
+            &mut mesi,
+            &mut line_avail,
+            &mut lock_free_at,
+            &mut bus,
+            t,
+            tid,
+            op,
+        );
+        let t_next = t + cost;
+        clocks[tid] = t_next;
+        heap.push(Reverse(Ready { t: t_next, tid }));
+    }
+
+    if !waiting.is_empty() {
+        return Err(SyncPerfError::InvalidParams(
+            "threads ended while a barrier was incomplete".into(),
+        ));
+    }
+    Ok(RefEngineResult { per_thread_ns: clocks, bus_transactions: bus })
+}
+
+fn placement_cores(placement: &Placement) -> usize {
+    (0..placement.len())
+        .map(|t| placement.slot(t).core as usize + 1)
+        .max()
+        .unwrap_or(1)
+}
+
+/// Charges one non-barrier op from live MESI state. Bus transactions
+/// additionally serialize through the touched line's availability
+/// timeline: the requester waits until the line is free, and occupies
+/// it for the transfer duration.
+#[allow(clippy::too_many_arguments)]
+fn charge(
+    model: &CpuModel,
+    placement: &Placement,
+    mesi: &mut MesiDirectory,
+    line_avail: &mut HashMap<crate::memline::LineId, f64>,
+    lock_free_at: &mut f64,
+    bus: &mut u64,
+    now: f64,
+    tid: usize,
+    op: &CpuOp,
+) -> f64 {
+    let core = placement.slot(tid).core as usize;
+    let smt = if placement.core_is_smt_loaded(tid) { model.smt_service_factor } else { 1.0 };
+
+    let mut tx_cost = |tx: Transaction,
+                       line: crate::memline::LineId,
+                       bus: &mut u64|
+     -> f64 {
+        let raw = match tx {
+            Transaction::Hit | Transaction::SilentUpgrade => return 0.0,
+            Transaction::FillFromMemory | Transaction::CacheToCache => {
+                *bus += 1;
+                model.line_transfer_ns
+            }
+            Transaction::Invalidation { copies } => {
+                *bus += 1;
+                model.line_transfer_ns + model.sharer_tax_ns * f64::from(copies)
+            }
+        };
+        // The line is a physical resource: wait for it, then hold it.
+        let avail = line_avail.entry(line).or_insert(0.0);
+        let start = now.max(*avail);
+        let wait = start - now;
+        *avail = start + raw;
+        wait + raw
+    };
+
+    match classify(op) {
+        Access::None => match op {
+            CpuOp::Flush => model.fence_base_ns * smt,
+            _ => 0.0,
+        },
+        Access::Read(dt, tg) => {
+            let line = line_of(dt, tg, tid, 64);
+            let tx = mesi.read(core, line);
+            model.l1_hit_ns * smt + tx_cost(tx, line, bus)
+        }
+        Access::Write(dt, tg) => {
+            let line = line_of(dt, tg, tid, 64);
+            let tx = mesi.write(core, line);
+            let service = match op {
+                CpuOp::AtomicWrite { .. } => model.store_ns,
+                CpuOp::Update { .. } => model.l1_hit_ns + model.store_ns,
+                _ if dt.is_float() => model.rmw_int_ns + model.fp_cas_extra_ns,
+                _ => model.rmw_int_ns,
+            };
+            let fp_retry = if matches!(
+                op,
+                CpuOp::AtomicUpdate { .. } | CpuOp::AtomicCapture { .. }
+            ) && dt.is_float()
+            {
+                // Retry pressure approximated from the observed
+                // invalidation width.
+                match tx {
+                    Transaction::Invalidation { copies } => {
+                        model.fp_retry_ns * f64::from(copies.min(model.contention_sat))
+                    }
+                    _ => 0.0,
+                }
+            } else {
+                0.0
+            };
+            service * smt + tx_cost(tx, line, bus) + fp_retry
+        }
+        Access::CriticalWrite(dt, tg) => {
+            // Wait for the lock to be free — critical sections fully
+            // serialize, which is what makes them slower than the
+            // equivalent atomic (Fig. 5).
+            let start = now.max(*lock_free_at);
+            let lock_wait = start - now;
+            let body_line = line_of(dt, tg, tid, 64);
+            let lt = mesi.write(core, lock_line());
+            let acquire = model.rmw_int_ns * smt + tx_cost(lt, lock_line(), bus);
+            let bt = mesi.write(core, body_line);
+            let body_cost = (model.l1_hit_ns + model.store_ns) * smt + tx_cost(bt, body_line, bus);
+            let rt = mesi.write(core, lock_line());
+            let release = model.store_ns * smt + tx_cost(rt, lock_line(), bus);
+            let held = model.lock_overhead_ns * smt + acquire + body_cost + release;
+            *lock_free_at = start + held;
+            lock_wait + held
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, Affinity, DType, SYSTEM3};
+
+    fn setup(n: u32) -> (CpuModel, Placement) {
+        (CpuModel::baseline(), Placement::new(&SYSTEM3.cpu, Affinity::Spread, n))
+    }
+
+    #[test]
+    fn conflict_free_workload_has_no_bus_traffic_after_warmup() {
+        let (m, p) = setup(8);
+        let body = kernel::omp_atomic_update_array(DType::I32, 16).baseline;
+        let r = run_reference(&m, &p, &body, 50).unwrap();
+        // Warmup fills: one per thread; nothing after.
+        assert_eq!(r.bus_transactions, 8);
+    }
+
+    #[test]
+    fn contended_workload_keeps_the_bus_busy() {
+        let (m, p) = setup(8);
+        let body = kernel::omp_atomic_update_scalar(DType::I32).baseline;
+        let r = run_reference(&m, &p, &body, 50).unwrap();
+        // Round-robin over one line: nearly every access transacts.
+        assert!(r.bus_transactions > 8 * 40, "got {}", r.bus_transactions);
+    }
+
+    #[test]
+    fn barrier_bodies_rendezvous() {
+        let (m, p) = setup(4);
+        let r = run_reference(&m, &p, &kernel::omp_barrier().test, 10).unwrap();
+        assert_eq!(r.per_thread_ns.len(), 4);
+        let min = r.per_thread_ns.iter().copied().fold(f64::MAX, f64::min);
+        let max = r.per_thread_ns.iter().copied().fold(f64::MIN, f64::max);
+        assert!(max - min <= 4.0 * m.release_stagger_ns + 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_reps() {
+        let (m, p) = setup(2);
+        assert!(run_reference(&m, &p, &kernel::omp_barrier().baseline, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (m, p) = setup(6);
+        let body = kernel::omp_atomic_update_scalar(DType::F32).test;
+        assert_eq!(
+            run_reference(&m, &p, &body, 20).unwrap(),
+            run_reference(&m, &p, &body, 20).unwrap()
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Thread placement over the simulated machine's sockets, cores, and
+//! SMT ways.
+//!
+//! The placement decides which software threads are hyperthread
+//! siblings (they share an L1 and cannot false-share with each other)
+//! and which line contenders sit across a socket boundary (their
+//! transfers cost more).
+
+use syncperf_core::{Affinity, CpuSpec};
+
+/// Where one software thread runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot {
+    /// Socket index.
+    pub socket: u32,
+    /// Global physical-core index (unique across sockets).
+    pub core: u32,
+    /// SMT way on the core.
+    pub smt: u32,
+}
+
+/// A complete placement of `n` threads on a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    slots: Vec<Slot>,
+    cores_per_socket: u32,
+    smt_ways: u32,
+    sockets: u32,
+}
+
+impl Placement {
+    /// Computes the placement of `nthreads` threads on `cpu` under the
+    /// given affinity policy.
+    ///
+    /// * `Close` fills socket 0's cores (first SMT way) in order, then
+    ///   socket 1's, then comes back for the second SMT ways — the
+    ///   behavior of `OMP_PROC_BIND=close` with core places on a
+    ///   standard Linux CPU enumeration.
+    /// * `Spread` round-robins over sockets so consecutive threads land
+    ///   on alternating sockets, using second SMT ways only after every
+    ///   core has a thread.
+    /// * `SystemChoice` behaves like `Spread` (load balancing).
+    ///
+    /// Threads beyond the hardware-thread count wrap around.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` is zero.
+    #[must_use]
+    pub fn new(cpu: &CpuSpec, affinity: Affinity, nthreads: u32) -> Self {
+        assert!(nthreads > 0, "placement of zero threads");
+        let sockets = cpu.sockets;
+        let cps = cpu.cores_per_socket;
+        let ways = cpu.threads_per_core;
+        let total_cores = sockets * cps;
+        let hw_total = total_cores * ways;
+
+        let slots = (0..nthreads)
+            .map(|t| {
+                let slot = t % hw_total;
+                let (core, smt) = match affinity {
+                    Affinity::Close => {
+                        let smt = slot / total_cores;
+                        let core = slot % total_cores;
+                        (core, smt)
+                    }
+                    Affinity::Spread | Affinity::SystemChoice => {
+                        let smt = slot / total_cores;
+                        let within = slot % total_cores;
+                        // Alternate sockets: thread 0 → socket 0 core 0,
+                        // thread 1 → socket 1 core 0, …
+                        let socket = within % sockets;
+                        let core_in_socket = within / sockets;
+                        (socket * cps + core_in_socket, smt)
+                    }
+                };
+                Slot { socket: core / cps, core, smt }
+            })
+            .collect();
+
+        Placement { slots, cores_per_socket: cps, smt_ways: ways, sockets }
+    }
+
+    /// Number of placed threads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the placement is empty (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn slot(&self, tid: usize) -> Slot {
+        self.slots[tid]
+    }
+
+    /// Whether both SMT ways of `tid`'s core are occupied by team
+    /// threads — when true the core's issue bandwidth is shared and
+    /// service times rise by the SMT factor.
+    #[must_use]
+    pub fn core_is_smt_loaded(&self, tid: usize) -> bool {
+        let me = self.slots[tid];
+        self.slots
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != tid && s.core == me.core && s.smt != me.smt)
+    }
+
+    /// Whether any thread uses a second SMT way (hyperthreading region
+    /// of the sweep, right of the dashed line in the paper's figures).
+    #[must_use]
+    pub fn uses_hyperthreads(&self) -> bool {
+        self.slots.iter().any(|s| s.smt > 0)
+    }
+
+    /// Fraction of threads whose core is SMT-loaded.
+    #[must_use]
+    pub fn smt_loaded_fraction(&self) -> f64 {
+        let loaded = (0..self.slots.len()).filter(|&t| self.core_is_smt_loaded(t)).count();
+        loaded as f64 / self.slots.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{SYSTEM1, SYSTEM3};
+
+    #[test]
+    fn close_fills_socket0_first() {
+        // System 1: 2 sockets × 10 cores × 2 SMT.
+        let p = Placement::new(&SYSTEM1.cpu, Affinity::Close, 12);
+        assert_eq!(p.slot(0), Slot { socket: 0, core: 0, smt: 0 });
+        assert_eq!(p.slot(9), Slot { socket: 0, core: 9, smt: 0 });
+        assert_eq!(p.slot(10), Slot { socket: 1, core: 10, smt: 0 });
+    }
+
+    #[test]
+    fn spread_alternates_sockets() {
+        let p = Placement::new(&SYSTEM1.cpu, Affinity::Spread, 4);
+        assert_eq!(p.slot(0).socket, 0);
+        assert_eq!(p.slot(1).socket, 1);
+        assert_eq!(p.slot(2).socket, 0);
+        assert_eq!(p.slot(3).socket, 1);
+    }
+
+    #[test]
+    fn smt_engaged_only_beyond_core_count() {
+        let cores = SYSTEM3.cpu.total_cores();
+        let p = Placement::new(&SYSTEM3.cpu, Affinity::Close, cores);
+        assert!(!p.uses_hyperthreads());
+        let p = Placement::new(&SYSTEM3.cpu, Affinity::Close, cores + 1);
+        assert!(p.uses_hyperthreads());
+    }
+
+    #[test]
+    fn smt_sibling_detection() {
+        let cores = SYSTEM3.cpu.total_cores(); // 16
+        let p = Placement::new(&SYSTEM3.cpu, Affinity::Close, cores + 1);
+        // Thread `cores` is the second way of core 0; thread 0 shares.
+        assert!(p.core_is_smt_loaded(0));
+        assert!(p.core_is_smt_loaded(cores as usize));
+        assert!(!p.core_is_smt_loaded(1));
+    }
+
+    #[test]
+    fn all_threads_distinct_cores_below_core_count() {
+        for aff in [Affinity::Spread, Affinity::Close] {
+            let p = Placement::new(&SYSTEM3.cpu, aff, 16);
+            let mut cores: Vec<u32> = (0..16).map(|t| p.slot(t).core).collect();
+            cores.sort_unstable();
+            cores.dedup();
+            assert_eq!(cores.len(), 16, "{aff:?}");
+        }
+    }
+
+    #[test]
+    fn oversubscription_wraps() {
+        let p = Placement::new(&SYSTEM3.cpu, Affinity::Close, 40);
+        assert_eq!(p.slot(32), p.slot(0));
+    }
+
+    #[test]
+    fn smt_fraction() {
+        let p = Placement::new(&SYSTEM3.cpu, Affinity::Close, 16);
+        assert_eq!(p.smt_loaded_fraction(), 0.0);
+        let p = Placement::new(&SYSTEM3.cpu, Affinity::Close, 32);
+        assert_eq!(p.smt_loaded_fraction(), 1.0);
+    }
+
+    #[test]
+    fn socket_field_consistent_with_core() {
+        let p = Placement::new(&SYSTEM1.cpu, Affinity::Close, 40);
+        for t in 0..40 {
+            let s = p.slot(t);
+            assert_eq!(s.socket, s.core / SYSTEM1.cpu.cores_per_socket);
+        }
+    }
+}

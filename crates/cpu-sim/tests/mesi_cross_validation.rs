@@ -1,0 +1,165 @@
+//! Cross-validation: the engine's *static* contention analysis
+//! (`ContentionMap`) must agree with a *dynamic* replay of the same
+//! access pattern through the explicit MESI protocol. Lines the static
+//! analysis calls conflict-free must be bus-silent in MESI steady
+//! state; lines with write contenders must keep generating
+//! invalidations/transfers.
+
+use proptest::prelude::*;
+use syncperf_core::{kernel, Affinity, CpuKernel, CpuOp, DType, Target};
+use syncperf_cpu_sim::memline::{classify, line_of, Access, ContentionMap};
+use syncperf_cpu_sim::{MesiDirectory, Placement};
+use syncperf_core::SYSTEM3;
+
+/// Replays `rounds` repetitions of `body` for every placed thread
+/// through MESI (round-robin thread order, as the hardware would
+/// roughly interleave symmetric spinning threads), returning the
+/// directory after a warmup round and `rounds` measured rounds.
+fn replay(body: &[CpuOp], placement: &Placement, rounds: u32) -> MesiDirectory {
+    let n_cores = SYSTEM3.cpu.total_cores() as usize;
+    let mut mesi = MesiDirectory::new(n_cores);
+    let one_round = |mesi: &mut MesiDirectory| {
+        for tid in 0..placement.len() {
+            let core = placement.slot(tid).core as usize;
+            for op in body {
+                match classify(op) {
+                    Access::None => {}
+                    Access::Read(dt, tg) => {
+                        let _ = mesi.read(core, line_of(dt, tg, tid, 64));
+                    }
+                    Access::Write(dt, tg) | Access::CriticalWrite(dt, tg) => {
+                        let _ = mesi.write(core, line_of(dt, tg, tid, 64));
+                    }
+                }
+            }
+        }
+    };
+    one_round(&mut mesi); // warmup: cold fills
+    mesi.reset_traffic();
+    for _ in 0..rounds {
+        one_round(&mut mesi);
+    }
+    mesi
+}
+
+/// Checks agreement for one kernel body at one thread count.
+fn check_agreement(body: &[CpuOp], threads: u32) {
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
+    let analysis = ContentionMap::analyze(body, &placement, 64);
+    let mesi = replay(body, &placement, 20);
+
+    for tid in 0..placement.len() {
+        let core = placement.slot(tid).core;
+        for op in body {
+            let (line, is_write, dt, tg) = match classify(op) {
+                Access::None => continue,
+                Access::Read(dt, tg) => (line_of(dt, tg, tid, 64), false, dt, tg),
+                Access::Write(dt, tg) | Access::CriticalWrite(dt, tg) => {
+                    (line_of(dt, tg, tid, 64), true, dt, tg)
+                }
+            };
+            let (contenders, _) = analysis.contenders(line, core, is_write);
+            let traffic = mesi.traffic(line);
+            if contenders == 0 && analysis.contenders(line, core, true).0 == 0 {
+                // Fully conflict-free line (no other core writes or
+                // reads-while-we-write): MESI must be silent.
+                assert_eq!(
+                    traffic.bus_transactions(),
+                    0,
+                    "static says conflict-free but MESI saw traffic: tid {tid} {dt} {tg:?}"
+                );
+            }
+            if contenders > 0 && is_write {
+                // Write-contended line: MESI must keep invalidating.
+                assert!(
+                    traffic.invalidations + traffic.transfers > 0,
+                    "static says {contenders} contenders but MESI was silent: tid {tid} {dt} {tg:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_scalar_kernels_agree() {
+    for threads in [2u32, 4, 8, 16] {
+        check_agreement(&kernel::omp_atomic_update_scalar(DType::I32).baseline, threads);
+        check_agreement(&kernel::omp_atomic_write(DType::F64).test, threads);
+    }
+}
+
+#[test]
+fn strided_array_kernels_agree_at_every_stride() {
+    for stride in [1u32, 2, 4, 8, 16] {
+        for dt in DType::ALL {
+            check_agreement(&kernel::omp_atomic_update_array(dt, stride).baseline, 16);
+        }
+    }
+}
+
+#[test]
+fn flush_bodies_agree() {
+    for stride in [1u32, 8, 16] {
+        check_agreement(&kernel::omp_flush(DType::I32, stride).test, 16);
+    }
+}
+
+#[test]
+fn read_only_kernels_are_bus_silent() {
+    let body = kernel::omp_atomic_read(DType::I32).test; // one atomic read
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 16);
+    let mesi = replay(&body, &placement, 20);
+    let line = line_of(DType::I32, Target::SHARED, 0, 64);
+    assert_eq!(
+        mesi.traffic(line).bus_transactions(),
+        0,
+        "pure readers must settle into Shared and stop causing traffic"
+    );
+}
+
+#[test]
+fn padded_stride_transaction_count_is_exactly_zero_while_stride1_scales_with_rounds() {
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 16);
+    let rounds = 25;
+
+    let contended = kernel::omp_atomic_update_array(DType::I32, 1).baseline;
+    let mesi = replay(&contended, &placement, rounds);
+    let line0 = line_of(DType::I32, Target::private(1), 0, 64);
+    let t = mesi.traffic(line0);
+    // 16 threads ping-ponging one line: every access after the first of
+    // a round invalidates someone.
+    assert!(
+        t.invalidations >= u64::from(rounds) * 15,
+        "expected sustained invalidations, got {t:?}"
+    );
+
+    let padded = kernel::omp_atomic_update_array(DType::I32, 16).baseline;
+    let mesi = replay(&padded, &placement, rounds);
+    for tid in 0..16 {
+        let line = line_of(DType::I32, Target::private(16), tid, 64);
+        assert_eq!(mesi.traffic(line).bus_transactions(), 0, "tid {tid}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The agreement holds across randomly drawn kernels, strides, and
+    /// thread counts.
+    #[test]
+    fn agreement_over_random_workloads(
+        threads in 2u32..24,
+        stride in 1u32..20,
+        dt_idx in 0usize..4,
+        which in 0usize..4,
+    ) {
+        let dt = DType::ALL[dt_idx];
+        let k: CpuKernel = match which {
+            0 => kernel::omp_atomic_update_array(dt, stride),
+            1 => kernel::omp_atomic_update_scalar(dt),
+            2 => kernel::omp_flush(dt, stride),
+            _ => kernel::omp_atomic_write(dt),
+        };
+        check_agreement(&k.test, threads);
+    }
+}

@@ -1,0 +1,206 @@
+//! Model-validation integration tests: the CPU simulator's behavior
+//! across full parameter sweeps, all three systems, and mixed bodies.
+
+use syncperf_core::{
+    kernel, Affinity, CpuOp, DType, ExecParams, Protocol, Target, SYSTEM1, SYSTEM2,
+    SYSTEM3,
+};
+use syncperf_cpu_sim::{engine, CpuModel, CpuSimExecutor, Placement};
+
+fn per_op(sim: &mut CpuSimExecutor, k: &syncperf_core::CpuKernel, threads: u32) -> f64 {
+    let p = ExecParams::new(threads).with_loops(500, 50);
+    Protocol::PAPER.measure(sim, k, &p).unwrap().runtime_seconds()
+}
+
+#[test]
+fn atomic_cost_monotonic_in_thread_count_until_saturation() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM2);
+    let k = kernel::omp_atomic_update_scalar(DType::I32);
+    let costs: Vec<f64> = [2u32, 4, 8, 16].iter().map(|&t| per_op(&mut sim, &k, t)).collect();
+    for w in costs.windows(2) {
+        assert!(w[1] > w[0] * 0.95, "cost must not drop with more contenders: {costs:?}");
+    }
+    // Beyond saturation the growth flattens.
+    let c32 = per_op(&mut sim, &k, 32);
+    let c64 = per_op(&mut sim, &k, 64);
+    assert!(c64 / c32 < 1.4, "saturated region nearly flat: {c32} -> {c64}");
+}
+
+#[test]
+fn system2_runs_its_full_64_thread_sweep() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM2);
+    let k = kernel::omp_barrier();
+    for t in SYSTEM2.cpu.omp_thread_counts() {
+        let m = Protocol::SIM
+            .measure(&mut sim, &k, &ExecParams::new(t).with_loops(100, 10))
+            .unwrap();
+        assert!(m.per_op > 0.0, "thread count {t}");
+    }
+}
+
+#[test]
+fn every_dtype_every_cpu_kernel_on_every_system() {
+    for sys in [&SYSTEM1, &SYSTEM2, &SYSTEM3] {
+        let mut sim = CpuSimExecutor::new(sys);
+        for dt in DType::ALL {
+            for k in [
+                kernel::omp_atomic_update_scalar(dt),
+                kernel::omp_atomic_update_array(dt, 4),
+                kernel::omp_atomic_capture_scalar(dt),
+                kernel::omp_atomic_write(dt),
+                kernel::omp_atomic_read(dt),
+                kernel::omp_critical_add(dt),
+                kernel::omp_flush(dt, 8),
+            ] {
+                let m = Protocol::SIM
+                    .measure(&mut sim, &k, &ExecParams::new(8).with_loops(100, 10))
+                    .unwrap();
+                assert!(m.per_op.is_finite(), "{} / {dt} / {}", sys, k.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn close_affinity_beats_spread_on_two_sockets_small_teams() {
+    // System 1 has 2 sockets × 10 cores; a 4-thread team under close
+    // stays on socket 0 while spread alternates sockets and pays
+    // cross-socket transfers on the shared line.
+    let mut sim = CpuSimExecutor::new(&SYSTEM1);
+    let k = kernel::omp_atomic_update_scalar(DType::I32);
+    let close = Protocol::PAPER
+        .measure(&mut sim, &k, &ExecParams::new(4).with_affinity(Affinity::Close).with_loops(500, 50))
+        .unwrap();
+    let spread = Protocol::PAPER
+        .measure(&mut sim, &k, &ExecParams::new(4).with_affinity(Affinity::Spread).with_loops(500, 50))
+        .unwrap();
+    assert!(
+        close.runtime_seconds() < spread.runtime_seconds(),
+        "close {} vs spread {}",
+        close.runtime_seconds(),
+        spread.runtime_seconds()
+    );
+}
+
+#[test]
+fn affinity_irrelevant_on_single_socket_system3() {
+    // System 3 has one socket: the paper saw no notable affinity
+    // difference (Figs. 1, 3, 5 notes).
+    let mut sim = CpuSimExecutor::with_seed(&SYSTEM3, 7);
+    let mut sim2 = CpuSimExecutor::with_seed(&SYSTEM3, 7);
+    let k = kernel::omp_atomic_update_scalar(DType::I32);
+    let p = ExecParams::new(8).with_loops(500, 50);
+    let close = Protocol::PAPER
+        .measure(&mut sim, &k, &ExecParams { affinity: Affinity::Close, ..p })
+        .unwrap();
+    let spread = Protocol::PAPER
+        .measure(&mut sim2, &k, &ExecParams { affinity: Affinity::Spread, ..p })
+        .unwrap();
+    let ratio = close.runtime_seconds() / spread.runtime_seconds();
+    assert!((ratio - 1.0).abs() < 0.05, "single socket: affinity ratio {ratio}");
+}
+
+#[test]
+fn smt_sibling_false_sharing_exemption() {
+    // 2 threads sharing one line: on different cores (spread) they
+    // false-share; as SMT siblings of the same core they do not.
+    let model = CpuModel::baseline();
+    let body = kernel::omp_atomic_update_array(DType::I32, 1).baseline;
+
+    // Different cores.
+    let spread = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 2);
+    let cost_cores = engine::run(&model, &spread, &body, 10).unwrap().per_thread_ns[0];
+
+    // Same core: build a 17-thread close placement where thread 16 is
+    // thread 0's hyperthread sibling, then compare a body whose line is
+    // shared only between those two. Easiest check: a 2-thread close
+    // placement on a hypothetical 1-core topology.
+    let mut one_core = SYSTEM3.cpu.clone();
+    one_core.cores_per_socket = 1;
+    one_core.sockets = 1;
+    let siblings = Placement::new(&one_core, Affinity::Close, 2);
+    let cost_siblings = engine::run(&model, &siblings, &body, 10).unwrap().per_thread_ns[0];
+
+    assert!(
+        cost_cores > 2.0 * cost_siblings,
+        "false sharing across cores ({cost_cores} ns) must dwarf SMT siblings \
+         ({cost_siblings} ns) who share an L1"
+    );
+}
+
+#[test]
+fn mixed_body_with_barriers_and_atomics() {
+    // Heterogeneous bodies exercise the segment/rendezvous path.
+    let model = CpuModel::baseline();
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 8);
+    let body = vec![
+        CpuOp::AtomicUpdate { dtype: DType::I32, target: Target::SHARED },
+        CpuOp::Barrier,
+        CpuOp::Update { dtype: DType::F64, target: Target::private(8) },
+        CpuOp::Flush,
+        CpuOp::Barrier,
+        CpuOp::AtomicRead { dtype: DType::I32, target: Target::SHARED },
+    ];
+    let r = engine::run(&model, &placement, &body, 25).unwrap();
+    assert_eq!(r.barrier_episodes, 50);
+    assert_eq!(r.per_thread_ns.len(), 8);
+    // All threads end within one release stagger of each other (they
+    // rendezvoused twice per rep and the last segment is uniform).
+    let min = r.per_thread_ns.iter().copied().fold(f64::MAX, f64::min);
+    let max = r.per_thread_ns.iter().copied().fold(f64::MIN, f64::max);
+    assert!(max - min < 8.0 * model.release_stagger_ns + 1e-9);
+}
+
+#[test]
+fn slower_clock_means_slower_core_ops() {
+    // System 1 (3.1 GHz) vs System 3 (3.5 GHz): core-bound primitives
+    // scale with clock; a padded private atomic is core-bound.
+    let mut s1 = CpuSimExecutor::new(&SYSTEM1);
+    let mut s3 = CpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::omp_atomic_update_array(DType::I32, 16);
+    let c1 = per_op(&mut s1, &k, 4);
+    let c3 = per_op(&mut s3, &k, 4);
+    assert!(c1 > c3, "3.1 GHz part slower than 3.5 GHz part: {c1} vs {c3}");
+    let ratio = c1 / c3;
+    assert!((ratio - 3.5 / 3.1).abs() < 0.15, "scaling ≈ clock ratio, got {ratio}");
+}
+
+#[test]
+fn capture_and_update_identical_costs() {
+    let model = CpuModel::baseline();
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 8);
+    let upd = engine::run(&model, &placement, &kernel::omp_atomic_update_scalar(DType::F32).test, 10)
+        .unwrap();
+    let cap =
+        engine::run(&model, &placement, &kernel::omp_atomic_capture_scalar(DType::F32).test, 10)
+            .unwrap();
+    assert_eq!(upd.per_thread_ns, cap.per_thread_ns);
+}
+
+#[test]
+fn contended_line_count_reflected_in_runtime() {
+    // Two arrays at stride 1 (flush body) double the contended lines
+    // vs one array; the baseline runtime should roughly double too.
+    let model = CpuModel::baseline();
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 16);
+    let one = vec![CpuOp::Update { dtype: DType::I32, target: Target::Private { array: 0, stride: 1 } }];
+    let two = kernel::omp_flush(DType::I32, 1).baseline; // updates to arrays 0 and 1
+    let c1 = engine::run(&model, &placement, &one, 10).unwrap().per_thread_ns[0];
+    let c2 = engine::run(&model, &placement, &two, 10).unwrap().per_thread_ns[0];
+    let ratio = c2 / c1;
+    assert!((ratio - 2.0).abs() < 0.2, "two contended arrays ≈ 2x one: {ratio}");
+}
+
+#[test]
+fn oversubscribed_teams_still_simulate() {
+    // More threads than hardware threads (wrap-around placement).
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    let m = Protocol::SIM
+        .measure(
+            &mut sim,
+            &kernel::omp_barrier(),
+            &ExecParams::new(100).with_loops(50, 10),
+        )
+        .unwrap();
+    assert!(m.per_op > 0.0);
+}

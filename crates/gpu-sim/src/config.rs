@@ -1,0 +1,321 @@
+//! The GPU latency/throughput model and its per-device instantiation.
+//!
+//! All costs are in **clock cycles**, matching the paper's use of
+//! `clock64()`. Constants are calibrated so the regenerated CUDA
+//! figures land in plausible magnitudes; the shapes come from the
+//! modeled mechanisms (warp granularity, atomic-unit service rates,
+//! warp aggregation, SM issue saturation).
+
+use syncperf_core::{DType, GpuSpec};
+
+/// Per-data-type service costs of the device-wide (L2) atomic units.
+///
+/// The ordering `int < ull < float ≈ double` reflects the paper's
+/// Fig. 9: "there are more integer than floating-point atomic units or
+/// the integer atomic unit's add operation is much faster", and `ull`
+/// sits between because the tested GPUs have 32-bit architectures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomicService {
+    /// `int` service cycles.
+    pub i32_cy: f64,
+    /// `unsigned long long` service cycles.
+    pub u64_cy: f64,
+    /// `float` service cycles.
+    pub f32_cy: f64,
+    /// `double` service cycles.
+    pub f64_cy: f64,
+}
+
+impl AtomicService {
+    /// Service cycles for `dtype`.
+    #[must_use]
+    pub fn for_dtype(&self, dtype: DType) -> f64 {
+        match dtype {
+            DType::I32 => self.i32_cy,
+            DType::U64 => self.u64_cy,
+            DType::F32 => self.f32_cy,
+            DType::F64 => self.f64_cy,
+        }
+    }
+}
+
+/// Model parameters of one simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Warp size (32).
+    pub warp_size: u32,
+    /// `__syncthreads()` fixed cost.
+    pub syncthreads_base_cy: f64,
+    /// `__syncthreads()` cost per additional resident warp in the
+    /// block (warps wait for each other — Fig. 7).
+    pub syncthreads_per_warp_cy: f64,
+    /// `__syncwarp()` cost (constant — Fig. 8).
+    pub syncwarp_cy: f64,
+    /// Resident threads per SM the device sustains at full issue speed
+    /// for warp-local ops; beyond it, per-warp throughput drops
+    /// "somewhat" (Fig. 8: 512 on the RTX 2070 SUPER, 256 on the
+    /// RTX 4090 / A100).
+    pub full_speed_threads_per_sm: u32,
+    /// Relative slowdown per `full_speed_threads_per_sm` of excess
+    /// load.
+    pub issue_slowdown_slope: f64,
+    /// One 32-bit shuffle instruction (64-bit types issue two).
+    pub shfl_cy: f64,
+    /// Warp vote cost (slightly above `__syncwarp()` — §V-B4).
+    pub vote_cy: f64,
+    /// `__reduce_max_sync()` cost (compute capability ≥ 8.0).
+    pub warp_reduce_cy: f64,
+    /// Device-scope (L2) atomic service costs.
+    pub atomic_device: AtomicService,
+    /// Block-scope (SM-local) atomic service costs.
+    pub atomic_block: AtomicService,
+    /// Extra cost of `atomicCAS()`/`atomicExch()` beyond an add (the
+    /// compare/swap data path).
+    pub cas_extra_cy: f64,
+    /// Same-address contention: arbitration cycles per queued request,
+    /// saturating at [`GpuModel::contention_sat`].
+    pub same_addr_arb_cy: f64,
+    /// Requests to the same address serviced without queueing (the
+    /// constant-throughput region: 4 aggregated requests for
+    /// `atomicAdd`, 4 threads for a 1-block `atomicCAS` — Figs. 9, 11).
+    pub same_addr_free_requests: u32,
+    /// Saturation bound for the same-address arbitration term.
+    pub contention_sat: u32,
+    /// Small unbounded per-request tax past saturation.
+    pub request_tax_cy: f64,
+    /// Whether the driver performs warp-aggregation of same-address
+    /// `atomicAdd` (a reduction-and-broadcast within the warp, then one
+    /// atomic per warp — Fig. 9). Off only in the ablation bench.
+    pub warp_aggregation: bool,
+    /// Cost of the in-warp reduction performed by an aggregated atomic.
+    pub warp_agg_reduce_cy: f64,
+    /// Cycles per distinct 128-byte L2 line transaction of one warp's
+    /// atomic instruction (pipelined).
+    pub l2_tx_cy: f64,
+    /// L2 bandwidth: line transactions the *whole device* can absorb
+    /// per interval before queueing sets in. The L2 is a shared, fixed
+    /// resource — this is why 128 blocks see lower per-thread atomic
+    /// throughput than 1 block ("more SMs are sharing the L2 cache
+    /// bandwidth", Fig. 10).
+    pub l2_tx_capacity: f64,
+    /// Queue cycles per unit of excess L2 pressure (saturating).
+    pub l2_queue_cy: f64,
+    /// Saturation bound for the L2 pressure term.
+    pub l2_queue_sat: f64,
+    /// Per-SM atomic-issue queueing: cycles per additional resident
+    /// warp on the issuing SM ("a fixed number of atomics that the
+    /// hardware can perform per time unit", Fig. 10).
+    pub sm_atomic_queue_cy: f64,
+    /// Device-wide `__threadfence()` cost (constant — Fig. 14).
+    pub fence_device_cy: f64,
+    /// `__threadfence_block()` cost (≈ 0 for in-order block-local
+    /// streams — §V-B3).
+    pub fence_block_cy: f64,
+    /// `__threadfence_system()` cost (device fence + PCIe crossing).
+    pub fence_system_cy: f64,
+    /// Relative jitter of the system-scope fence ("more erratic since
+    /// it involves communication with the CPU across the PCIe bus").
+    pub fence_system_jitter: f64,
+    /// Plain register ALU op.
+    pub alu_cy: f64,
+    /// Fixed overhead per additional serialized divergent path (the
+    /// reconvergence bookkeeping; Bialas & Strzelecki found it
+    /// essentially constant per branch).
+    pub divergence_penalty_cy: f64,
+    /// Plain global-memory update visible cost (store-buffered).
+    pub update_cy: f64,
+    /// Plain global-memory read cost (L2 hit, pipelined).
+    pub read_cy: f64,
+    /// L2 line size in bytes.
+    pub l2_line_bytes: u32,
+    /// Device memory read bandwidth in bytes per cycle (used by the
+    /// whole-program reduction model, where streaming the input is the
+    /// bandwidth-bound phase).
+    pub mem_bw_bytes_per_cy: f64,
+    /// Sustained issue interval of the device atomic unit for
+    /// back-to-back same-address atomics (one-shot serialization, used
+    /// by the reduction model: total atomic time ≈ count × this).
+    pub atomic_unit_issue_cy: f64,
+    /// Same, for the per-SM block-scoped atomic units.
+    pub block_atomic_unit_issue_cy: f64,
+    /// Compute capability (for feature gating, e.g. `WarpReduce`).
+    pub compute_capability: u32,
+}
+
+impl GpuModel {
+    /// Builds the model for one of the paper's GPUs.
+    #[must_use]
+    pub fn for_spec(spec: &GpuSpec) -> Self {
+        // Fig. 8: the RTX 2070 SUPER holds full syncwarp speed to 512
+        // resident threads/SM; the 4090 and A100 to 256.
+        let full_speed = if spec.cc_number() < 80 { 512 } else { 256 };
+        GpuModel {
+            warp_size: spec.warp_size,
+            syncthreads_base_cy: 25.0,
+            syncthreads_per_warp_cy: 9.0,
+            syncwarp_cy: 12.0,
+            full_speed_threads_per_sm: full_speed,
+            issue_slowdown_slope: 0.18,
+            shfl_cy: 14.0,
+            vote_cy: 16.0,
+            warp_reduce_cy: 20.0,
+            atomic_device: AtomicService { i32_cy: 36.0, u64_cy: 58.0, f32_cy: 90.0, f64_cy: 98.0 },
+            atomic_block: AtomicService { i32_cy: 14.0, u64_cy: 22.0, f32_cy: 30.0, f64_cy: 34.0 },
+            cas_extra_cy: 10.0,
+            same_addr_arb_cy: 30.0,
+            same_addr_free_requests: 4,
+            contention_sat: 48,
+            request_tax_cy: 0.35,
+            warp_aggregation: true,
+            warp_agg_reduce_cy: 22.0,
+            l2_tx_cy: 2.0,
+            l2_tx_capacity: 256.0,
+            l2_queue_cy: 5.0,
+            l2_queue_sat: 40.0,
+            sm_atomic_queue_cy: 2.5,
+            fence_device_cy: 250.0,
+            fence_block_cy: 2.0,
+            fence_system_cy: 420.0,
+            fence_system_jitter: 0.25,
+            alu_cy: 2.0,
+            divergence_penalty_cy: 6.0,
+            update_cy: 8.0,
+            read_cy: 10.0,
+            l2_line_bytes: 128,
+            // ~1 TB/s at the calibration clock; scaled by SM count so
+            // smaller devices stream proportionally slower.
+            mem_bw_bytes_per_cy: 3.0 * f64::from(spec.sms),
+            atomic_unit_issue_cy: 0.75,
+            block_atomic_unit_issue_cy: 0.75,
+            compute_capability: spec.cc_number(),
+        }
+    }
+
+    /// Issue-bandwidth slowdown factor at `demand` "32-bit-op threads"
+    /// resident on an SM (64-bit shuffles count double — Fig. 15).
+    #[must_use]
+    pub fn issue_slowdown(&self, demand: f64) -> f64 {
+        let full = f64::from(self.full_speed_threads_per_sm);
+        if demand <= full {
+            1.0
+        } else {
+            1.0 + self.issue_slowdown_slope * (demand - full) / full
+        }
+    }
+
+    /// Same-address queueing delay for `requests` concurrent requests.
+    #[must_use]
+    pub fn same_addr_delay(&self, requests: u32) -> f64 {
+        let queued = requests.saturating_sub(self.same_addr_free_requests);
+        self.same_addr_arb_cy * f64::from(queued.min(self.contention_sat))
+            + self.request_tax_cy * f64::from(queued)
+    }
+
+    /// L2 bandwidth queueing delay for `pressure` line transactions per
+    /// interval, against the device's fixed L2 capacity.
+    #[must_use]
+    pub fn l2_queue_delay(&self, pressure: f64) -> f64 {
+        if pressure <= self.l2_tx_capacity {
+            0.0
+        } else {
+            let excess = (pressure / self.l2_tx_capacity - 1.0).min(self.l2_queue_sat);
+            self.l2_queue_cy * excess
+        }
+    }
+
+    /// Same-address queueing scale factor per data type: the integer
+    /// atomic units are more plentiful/faster, so integer requests
+    /// drain quicker under contention — this keeps Fig. 9's type gap
+    /// visible at high thread counts, not just in the service time.
+    #[must_use]
+    pub fn dtype_contention_factor(&self, dtype: DType) -> f64 {
+        match dtype {
+            DType::I32 => 1.0,
+            DType::U64 => 1.15,
+            DType::F32 => 1.4,
+            DType::F64 => 1.5,
+        }
+    }
+
+    /// Whether `__reduce_max_sync` and friends exist on this device
+    /// (compute capability ≥ 8.0, per Listing 1's Reduction 4).
+    #[must_use]
+    pub fn has_warp_reduce(&self) -> bool {
+        self.compute_capability >= 80
+    }
+
+    /// Whether block-scoped atomics exist (compute capability ≥ 6.0).
+    #[must_use]
+    pub fn has_block_atomics(&self) -> bool {
+        self.compute_capability >= 60
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{SYSTEM1, SYSTEM2, SYSTEM3};
+
+    #[test]
+    fn full_speed_thresholds_match_fig8() {
+        assert_eq!(GpuModel::for_spec(&SYSTEM1.gpu).full_speed_threads_per_sm, 512);
+        assert_eq!(GpuModel::for_spec(&SYSTEM2.gpu).full_speed_threads_per_sm, 256);
+        assert_eq!(GpuModel::for_spec(&SYSTEM3.gpu).full_speed_threads_per_sm, 256);
+    }
+
+    #[test]
+    fn atomic_dtype_ordering_matches_fig9() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        let a = &m.atomic_device;
+        assert!(a.i32_cy < a.u64_cy, "int beats ull");
+        assert!(a.u64_cy < a.f32_cy, "ull beats float");
+        assert!(a.f32_cy <= a.f64_cy, "float ≤ double");
+    }
+
+    #[test]
+    fn block_atomics_cheaper_than_device() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        for dt in DType::ALL {
+            assert!(m.atomic_block.for_dtype(dt) < m.atomic_device.for_dtype(dt), "{dt}");
+        }
+    }
+
+    #[test]
+    fn issue_slowdown_flat_then_rising() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        assert_eq!(m.issue_slowdown(100.0), 1.0);
+        assert_eq!(m.issue_slowdown(256.0), 1.0);
+        assert!(m.issue_slowdown(512.0) > 1.0);
+        assert!(m.issue_slowdown(1024.0) > m.issue_slowdown(512.0));
+    }
+
+    #[test]
+    fn same_addr_delay_free_region_then_saturation() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        assert_eq!(m.same_addr_delay(1), 0.0);
+        assert_eq!(m.same_addr_delay(4), 0.0);
+        assert!(m.same_addr_delay(5) > 0.0);
+        let d_mid = m.same_addr_delay(20) - m.same_addr_delay(19);
+        let d_far = m.same_addr_delay(200) - m.same_addr_delay(199);
+        assert!(d_far < d_mid, "arbitration term must saturate");
+    }
+
+    #[test]
+    fn l2_queue_zero_until_capacity() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        assert_eq!(m.l2_queue_delay(10.0), 0.0);
+        assert_eq!(m.l2_queue_delay(m.l2_tx_capacity), 0.0);
+        assert!(m.l2_queue_delay(10_000.0) > 0.0);
+        // The term saturates rather than diverging.
+        let hi = m.l2_queue_delay(1e7);
+        let vhi = m.l2_queue_delay(1e9);
+        assert_eq!(hi, vhi);
+    }
+
+    #[test]
+    fn feature_gates_by_compute_capability() {
+        assert!(!GpuModel::for_spec(&SYSTEM1.gpu).has_warp_reduce()); // cc 7.5
+        assert!(GpuModel::for_spec(&SYSTEM2.gpu).has_warp_reduce()); // cc 8.0
+        assert!(GpuModel::for_spec(&SYSTEM1.gpu).has_block_atomics());
+    }
+}

@@ -1,0 +1,213 @@
+//! The GPU-simulator [`Executor`]: plugs the engine into the
+//! measurement protocol with `clock64()`-style cycle reporting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use syncperf_core::{
+    ExecParams, Executor, GpuOp, Result, SystemSpec, ThreadTimes, TimeUnit,
+};
+
+use crate::config::GpuModel;
+use crate::engine;
+use crate::occupancy::Occupancy;
+
+/// Simulates the GPU of one of the paper's systems.
+///
+/// Times are reported in cycles at the device's clock (the paper reads
+/// the cycle counter and divides by the clock frequency). Runs are
+/// exactly reproducible — like the paper's GPU measurements ("many of
+/// the GPU tests yield the exact same runtime for all nine runs") —
+/// except when the body contains a `__threadfence_system()`, whose
+/// PCIe crossing makes it "more erratic" (§V-B3); those runs get
+/// deterministic seeded jitter.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_core::{kernel, DType, ExecParams, Protocol, SYSTEM3};
+/// use syncperf_gpu_sim::GpuSimExecutor;
+///
+/// # fn main() -> syncperf_core::Result<()> {
+/// let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+/// let m = Protocol::SIM.measure(
+///     &mut gpu,
+///     &kernel::cuda_syncthreads(),
+///     &ExecParams::new(256).with_blocks(64).with_loops(50, 4),
+/// )?;
+/// assert!(m.throughput().unwrap() > 1e6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GpuSimExecutor {
+    system: SystemSpec,
+    model: GpuModel,
+    rng: StdRng,
+}
+
+impl GpuSimExecutor {
+    /// Default deterministic seed.
+    pub const DEFAULT_SEED: u64 = 0x6E_0C_0D_E5;
+
+    /// Creates a simulator for `system`'s GPU.
+    #[must_use]
+    pub fn new(system: &SystemSpec) -> Self {
+        Self::with_seed(system, Self::DEFAULT_SEED)
+    }
+
+    /// Creates a simulator with an explicit seed for the system-fence
+    /// jitter.
+    #[must_use]
+    pub fn with_seed(system: &SystemSpec, seed: u64) -> Self {
+        GpuSimExecutor {
+            system: system.clone(),
+            model: GpuModel::for_spec(&system.gpu),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a simulator with a custom model (ablation benches).
+    #[must_use]
+    pub fn with_model(system: &SystemSpec, model: GpuModel) -> Self {
+        GpuSimExecutor {
+            system: system.clone(),
+            model,
+            rng: StdRng::seed_from_u64(Self::DEFAULT_SEED),
+        }
+    }
+
+    /// The active model.
+    #[must_use]
+    pub fn model(&self) -> &GpuModel {
+        &self.model
+    }
+
+    /// Mutable access to the model, for ablations.
+    pub fn model_mut(&mut self) -> &mut GpuModel {
+        &mut self.model
+    }
+
+    /// The simulated system.
+    #[must_use]
+    pub fn system(&self) -> &SystemSpec {
+        &self.system
+    }
+}
+
+impl Executor for GpuSimExecutor {
+    type Op = GpuOp;
+
+    fn name(&self) -> &str {
+        "gpu-sim"
+    }
+
+    fn time_unit(&self) -> TimeUnit {
+        TimeUnit::Cycles { clock_ghz: self.system.gpu.clock_ghz }
+    }
+
+    fn execute(&mut self, body: &[GpuOp], params: &ExecParams) -> Result<ThreadTimes> {
+        params.validate()?;
+        let occ = Occupancy::compute(&self.system.gpu, params.blocks, params.threads)?;
+        let result = engine::run(&self.model, &occ, body, params.timed_reps())?;
+        let per_thread = if result.has_system_fence {
+            let amp = self.model.fence_system_jitter;
+            result
+                .per_thread_cycles
+                .iter()
+                .map(|&cy| {
+                    let u: f64 = self.rng.gen_range(-1.0..=1.0);
+                    cy * (1.0 + amp * u)
+                })
+                .collect()
+        } else {
+            result.per_thread_cycles
+        };
+        Ok(ThreadTimes { per_thread })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, DType, Protocol, Scope, SYSTEM1, SYSTEM2, SYSTEM3};
+
+    fn quick(blocks: u32, threads: u32) -> ExecParams {
+        ExecParams::new(threads).with_blocks(blocks).with_loops(50, 4)
+    }
+
+    #[test]
+    fn cycle_unit_uses_device_clock() {
+        let gpu = GpuSimExecutor::new(&SYSTEM3);
+        match gpu.time_unit() {
+            TimeUnit::Cycles { clock_ghz } => assert_eq!(clock_ghz, 2.625),
+            TimeUnit::Seconds => panic!("GPU must report cycles"),
+        }
+    }
+
+    #[test]
+    fn per_thread_length_is_total_threads() {
+        let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+        let t = gpu
+            .execute(&kernel::cuda_syncwarp().baseline, &quick(4, 64))
+            .unwrap();
+        assert_eq!(t.per_thread.len(), 256);
+    }
+
+    #[test]
+    fn deterministic_without_system_fence() {
+        let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+        let body = kernel::cuda_atomic_add_scalar(DType::I32).test;
+        let a = gpu.execute(&body, &quick(2, 128)).unwrap();
+        let b = gpu.execute(&body, &quick(2, 128)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn system_fence_is_erratic() {
+        let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+        let body = kernel::cuda_threadfence(Scope::System, DType::I32, 1).test;
+        let a = gpu.execute(&body, &quick(1, 64)).unwrap();
+        let b = gpu.execute(&body, &quick(1, 64)).unwrap();
+        assert_ne!(a, b, "§V-B3: system fences involve the PCIe bus");
+    }
+
+    #[test]
+    fn protocol_end_to_end_syncthreads() {
+        let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+        let m = Protocol::PAPER
+            .measure(&mut gpu, &kernel::cuda_syncthreads(), &quick(64, 256))
+            .unwrap();
+        // 8 warps per block: base + 7×per-warp cycles.
+        let expect = 25.0 + 9.0 * 7.0;
+        assert!((m.per_op - expect).abs() < 1e-6, "per_op {} vs {expect}", m.per_op);
+    }
+
+    #[test]
+    fn all_three_gpus_run() {
+        for sys in [&SYSTEM1, &SYSTEM2, &SYSTEM3] {
+            let mut gpu = GpuSimExecutor::new(sys);
+            let m = Protocol::SIM
+                .measure(&mut gpu, &kernel::cuda_syncwarp(), &quick(2, 64))
+                .unwrap();
+            assert!(m.per_op > 0.0, "{}", sys);
+        }
+    }
+
+    #[test]
+    fn throughput_conversion_uses_clock() {
+        let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+        let m = Protocol::SIM
+            .measure(&mut gpu, &kernel::cuda_syncwarp(), &quick(1, 32))
+            .unwrap();
+        let expected = 2.625e9 / m.per_op;
+        assert!((m.throughput().unwrap() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn rejects_oversized_launches() {
+        let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+        assert!(gpu
+            .execute(&kernel::cuda_syncwarp().baseline, &quick(1, 2000))
+            .is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Cost explanation for GPU operations: decompose one op's modeled
+//! cycle count into its mechanism components, cross-checked against the
+//! engine.
+
+use syncperf_core::{GpuOp, Result, Scope, Target};
+
+use crate::config::GpuModel;
+use crate::cost::{self, AtomicKind};
+use crate::engine;
+use crate::occupancy::Occupancy;
+
+/// One GPU op's cycle count, split by mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuCostBreakdown {
+    /// Human-readable op description.
+    pub op: String,
+    /// Base service/issue cycles (dtype-dependent for atomics,
+    /// instruction-count-dependent for shuffles).
+    pub service_cy: f64,
+    /// Warp-aggregation pre-reduction (aggregated atomics only).
+    pub aggregation_cy: f64,
+    /// Same-address queueing delay.
+    pub same_addr_cy: f64,
+    /// Per-SM atomic-issue queueing (private-array atomics).
+    pub sm_queue_cy: f64,
+    /// L2 line transactions + bandwidth queueing.
+    pub l2_cy: f64,
+    /// SM issue-bandwidth slowdown applied to warp-local ops
+    /// (1.0 = below the full-speed threshold).
+    pub issue_slowdown: f64,
+    /// Concurrent same-address requests (atomics on shared scalars).
+    pub requests: u32,
+}
+
+impl GpuCostBreakdown {
+    /// Total modeled cycles.
+    #[must_use]
+    pub fn total_cy(&self) -> f64 {
+        self.service_cy + self.aggregation_cy + self.same_addr_cy + self.sm_queue_cy + self.l2_cy
+    }
+
+    /// Renders one formatted line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:<52} {:>8.1} cy = service {:>6.1} + agg {:>5.1} + same-addr {:>7.1} + sm-q \
+             {:>5.1} + l2 {:>6.1}   [slowdown x{:.2}, {} request(s)]",
+            self.op,
+            self.total_cy(),
+            self.service_cy,
+            self.aggregation_cy,
+            self.same_addr_cy,
+            self.sm_queue_cy,
+            self.l2_cy,
+            self.issue_slowdown,
+            self.requests
+        )
+    }
+}
+
+/// Explains one op's cost at the given occupancy.
+///
+/// # Errors
+///
+/// Same errors as [`engine::op_cycles`] (unsupported dtype or compute
+/// capability).
+pub fn explain_op(m: &GpuModel, occ: &Occupancy, op: &GpuOp) -> Result<GpuCostBreakdown> {
+    // Validate through the engine first so explain rejects exactly what
+    // execution rejects.
+    let engine_total = engine::op_cycles(m, occ, op)?;
+
+    let mut b = GpuCostBreakdown {
+        op: format!("{op:?}"),
+        service_cy: 0.0,
+        aggregation_cy: 0.0,
+        same_addr_cy: 0.0,
+        sm_queue_cy: 0.0,
+        l2_cy: 0.0,
+        issue_slowdown: 1.0,
+        requests: 0,
+    };
+
+    if let Some((kind, dtype, scope, target)) = cost::atomic_kind(op) {
+        let (service_base, arb_factor) = match scope {
+            Scope::Block => (m.atomic_block.for_dtype(dtype), 0.4),
+            _ => (m.atomic_device.for_dtype(dtype), 1.0),
+        };
+        b.service_cy = service_base
+            + match kind {
+                AtomicKind::Add => 0.0,
+                _ => m.cas_extra_cy,
+            };
+        match target {
+            Target::SharedScalar(_) => {
+                let aggregated = kind == AtomicKind::Add && m.warp_aggregation;
+                b.requests = match (scope, aggregated) {
+                    (Scope::Block, true) => occ.warps_per_block,
+                    (Scope::Block, false) => occ.threads_per_block,
+                    (_, true) => occ.total_resident_warps,
+                    (_, false) => occ.total_resident_threads,
+                };
+                if aggregated {
+                    b.aggregation_cy = m.warp_agg_reduce_cy;
+                }
+                b.same_addr_cy = m.same_addr_delay(b.requests)
+                    * arb_factor
+                    * m.dtype_contention_factor(dtype);
+            }
+            Target::Private { stride, .. } => {
+                let k = cost::lines_per_warp(m, occ, dtype, stride);
+                b.sm_queue_cy =
+                    m.sm_atomic_queue_cy * f64::from(occ.warps_per_sm.saturating_sub(1));
+                let pressure = f64::from(occ.total_resident_warps) * k;
+                b.l2_cy = k * m.l2_tx_cy + m.l2_queue_delay(pressure) * arb_factor;
+            }
+        }
+    } else {
+        b.issue_slowdown = m.issue_slowdown(f64::from(occ.threads_per_sm));
+        b.service_cy = engine_total;
+    }
+
+    debug_assert!(
+        (b.total_cy() - engine_total).abs() < 1e-9 * engine_total.max(1.0),
+        "breakdown out of sync with the engine: {b:?} vs {engine_total}"
+    );
+    Ok(b)
+}
+
+/// Explains every op of a body and renders a report.
+///
+/// # Errors
+///
+/// Propagates [`explain_op`] errors.
+pub fn explain_body(m: &GpuModel, occ: &Occupancy, body: &[GpuOp]) -> Result<String> {
+    let mut out = format!(
+        "cost breakdown at {} blocks x {} threads ({} resident warps/SM):\n",
+        occ.blocks, occ.threads_per_block, occ.warps_per_sm
+    );
+    for op in body {
+        out.push_str(&explain_op(m, occ, op)?.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, DType, ShflVariant, SYSTEM3};
+
+    fn occ(blocks: u32, threads: u32) -> Occupancy {
+        Occupancy::compute(&SYSTEM3.gpu, blocks, threads).unwrap()
+    }
+
+    #[test]
+    fn breakdown_consistent_with_engine_across_kernels() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        let bodies = [
+            kernel::cuda_syncthreads().baseline,
+            kernel::cuda_syncwarp().baseline,
+            kernel::cuda_atomic_add_scalar(DType::F32).baseline,
+            kernel::cuda_atomic_add_array(DType::I32, 32).baseline,
+            kernel::cuda_atomic_cas_scalar(DType::U64).baseline,
+            kernel::cuda_shfl(DType::F64, ShflVariant::Xor).baseline,
+        ];
+        for body in &bodies {
+            for (blocks, threads) in [(1u32, 32u32), (2, 64), (128, 1024)] {
+                let o = occ(blocks, threads);
+                let total: f64 = body
+                    .iter()
+                    .map(|op| explain_op(&m, &o, op).unwrap().total_cy())
+                    .sum();
+                let engine: f64 =
+                    body.iter().map(|op| engine::op_cycles(&m, &o, op).unwrap()).sum();
+                assert!((total - engine).abs() < 1e-9 * engine.max(1.0), "{body:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_add_shows_aggregation_component() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        let body = kernel::cuda_atomic_add_scalar(DType::I32).baseline;
+        let b = explain_op(&m, &occ(2, 1024), &body[0]).unwrap();
+        assert_eq!(b.aggregation_cy, m.warp_agg_reduce_cy);
+        assert_eq!(b.requests, 64, "2 blocks x 32 warps after aggregation");
+        assert!(b.same_addr_cy > 0.0);
+    }
+
+    #[test]
+    fn cas_shows_no_aggregation_and_thread_requests() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        let body = kernel::cuda_atomic_cas_scalar(DType::I32).baseline;
+        let b = explain_op(&m, &occ(1, 64), &body[0]).unwrap();
+        assert_eq!(b.aggregation_cy, 0.0);
+        assert_eq!(b.requests, 64, "one request per thread");
+    }
+
+    #[test]
+    fn private_array_blames_l2_and_sm_queue() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        let body = kernel::cuda_atomic_add_array(DType::I32, 32).baseline;
+        let b = explain_op(&m, &occ(128, 1024), &body[0]).unwrap();
+        assert!(b.l2_cy > 0.0);
+        assert!(b.sm_queue_cy > 0.0);
+        assert_eq!(b.same_addr_cy, 0.0, "distinct addresses never queue on one another");
+    }
+
+    #[test]
+    fn warp_local_ops_report_slowdown() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        let body = kernel::cuda_syncwarp().baseline;
+        let below = explain_op(&m, &occ(128, 256), &body[0]).unwrap();
+        let above = explain_op(&m, &occ(128, 1024), &body[0]).unwrap();
+        assert_eq!(below.issue_slowdown, 1.0);
+        assert!(above.issue_slowdown > 1.0);
+    }
+
+    #[test]
+    fn explain_rejects_what_engine_rejects() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        let bad = kernel::cuda_atomic_cas_scalar(DType::F64).baseline;
+        assert!(explain_op(&m, &occ(1, 32), &bad[0]).is_err());
+    }
+
+    #[test]
+    fn body_report_lists_each_op() {
+        let m = GpuModel::for_spec(&SYSTEM3.gpu);
+        let body = kernel::cuda_atomic_add_scalar(DType::I32).test;
+        let report = explain_body(&m, &occ(64, 256), &body).unwrap();
+        assert_eq!(report.lines().count(), body.len() + 1);
+        assert!(report.contains("AtomicAdd"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Block scheduling and SM occupancy.
+//!
+//! Thread blocks are assigned to SMs round-robin. An SM holds as many
+//! blocks concurrently as its resident-thread and resident-block limits
+//! allow; surplus blocks run in later waves. All contention terms in
+//! the model depend on what is *resident simultaneously*, which this
+//! module computes.
+
+use syncperf_core::{GpuSpec, Result, SyncPerfError};
+
+/// Hardware limit on resident blocks per SM (16 on the modeled
+/// generations at the block sizes the paper sweeps).
+pub const MAX_BLOCKS_PER_SM: u32 = 16;
+
+/// The occupancy picture of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Launched blocks.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Warps per block (`ceil(threads / 32)`).
+    pub warps_per_block: u32,
+    /// SMs receiving at least one block.
+    pub sms_used: u32,
+    /// Blocks resident simultaneously on the busiest SM.
+    pub resident_blocks_per_sm: u32,
+    /// Threads resident simultaneously on the busiest SM.
+    pub threads_per_sm: u32,
+    /// Warps resident simultaneously across the whole device.
+    pub total_resident_warps: u32,
+    /// Threads resident simultaneously across the whole device.
+    pub total_resident_threads: u32,
+    /// Warps resident simultaneously on the busiest SM.
+    pub warps_per_sm: u32,
+    /// Number of sequential waves needed to drain all blocks.
+    pub waves: u32,
+}
+
+impl Occupancy {
+    /// Computes occupancy for a launch of `blocks × threads_per_block`
+    /// on `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncPerfError::InvalidParams`] if the block size is
+    /// zero or exceeds the device's thread-per-block limit.
+    pub fn compute(spec: &GpuSpec, blocks: u32, threads_per_block: u32) -> Result<Self> {
+        if threads_per_block == 0 || blocks == 0 {
+            return Err(SyncPerfError::InvalidParams("blocks and threads must be > 0".into()));
+        }
+        if threads_per_block > spec.max_threads_per_block {
+            return Err(SyncPerfError::InvalidParams(format!(
+                "{threads_per_block} threads per block exceeds the device limit of {}",
+                spec.max_threads_per_block
+            )));
+        }
+        let warps_per_block = threads_per_block.div_ceil(spec.warp_size);
+        let sms_used = blocks.min(spec.sms);
+        // Blocks assigned to the busiest SM (round-robin).
+        let assigned_max = blocks.div_ceil(spec.sms);
+        // How many of those can be resident at once.
+        let by_threads = (spec.max_threads_per_sm / threads_per_block).max(1);
+        let resident = assigned_max.min(by_threads).min(MAX_BLOCKS_PER_SM);
+        let waves = assigned_max.div_ceil(resident);
+        let threads_per_sm = resident * threads_per_block;
+        // Total warps resident across the device in a full wave.
+        let resident_blocks_device = blocks.min(resident * sms_used);
+        let total_resident_warps = resident_blocks_device * warps_per_block;
+        Ok(Occupancy {
+            blocks,
+            threads_per_block,
+            warps_per_block,
+            sms_used,
+            resident_blocks_per_sm: resident,
+            threads_per_sm,
+            total_resident_warps,
+            total_resident_threads: resident_blocks_device * threads_per_block,
+            warps_per_sm: resident * warps_per_block,
+            waves,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{SYSTEM1, SYSTEM3};
+
+    #[test]
+    fn single_block_uses_one_sm() {
+        let o = Occupancy::compute(&SYSTEM3.gpu, 1, 256).unwrap();
+        assert_eq!(o.sms_used, 1);
+        assert_eq!(o.resident_blocks_per_sm, 1);
+        assert_eq!(o.threads_per_sm, 256);
+        assert_eq!(o.total_resident_warps, 8);
+        assert_eq!(o.waves, 1);
+    }
+
+    #[test]
+    fn full_config_one_block_per_sm() {
+        // 128 blocks on the 128-SM RTX 4090.
+        let o = Occupancy::compute(&SYSTEM3.gpu, 128, 1024).unwrap();
+        assert_eq!(o.sms_used, 128);
+        assert_eq!(o.resident_blocks_per_sm, 1);
+        assert_eq!(o.threads_per_sm, 1024);
+        assert_eq!(o.waves, 1);
+    }
+
+    #[test]
+    fn double_config_two_blocks_per_sm_until_they_do_not_fit() {
+        // 256 blocks of 512 threads on the 4090 (1536 threads/SM max):
+        // 2 resident blocks of 512 fit.
+        let o = Occupancy::compute(&SYSTEM3.gpu, 256, 512).unwrap();
+        assert_eq!(o.resident_blocks_per_sm, 2);
+        assert_eq!(o.threads_per_sm, 1024);
+        assert_eq!(o.waves, 1);
+        // At 1024 threads per block only one block fits: two waves
+        // ("the double block experiments allocate 2 blocks to each SM…
+        // except at 1024 threads" — Fig. 8 discussion).
+        let o = Occupancy::compute(&SYSTEM3.gpu, 256, 1024).unwrap();
+        assert_eq!(o.resident_blocks_per_sm, 1);
+        assert_eq!(o.waves, 2);
+    }
+
+    #[test]
+    fn warps_round_up() {
+        let o = Occupancy::compute(&SYSTEM3.gpu, 1, 33).unwrap();
+        assert_eq!(o.warps_per_block, 2);
+        let o = Occupancy::compute(&SYSTEM3.gpu, 1, 32).unwrap();
+        assert_eq!(o.warps_per_block, 1);
+        let o = Occupancy::compute(&SYSTEM3.gpu, 1, 1).unwrap();
+        assert_eq!(o.warps_per_block, 1);
+    }
+
+    #[test]
+    fn resident_block_cap_applies() {
+        // 4090, 64 blocks of 1 thread: all on distinct SMs, 1 each.
+        let o = Occupancy::compute(&SYSTEM3.gpu, 64, 1).unwrap();
+        assert_eq!(o.resident_blocks_per_sm, 1);
+        // 2070 SUPER (40 SMs), 80 blocks of 32: 2 per SM.
+        let o = Occupancy::compute(&SYSTEM1.gpu, 80, 32).unwrap();
+        assert_eq!(o.resident_blocks_per_sm, 2);
+        assert_eq!(o.sms_used, 40);
+        // 640 tiny blocks on 40 SMs: capped at 16 resident.
+        let o = Occupancy::compute(&SYSTEM1.gpu, 640, 1).unwrap();
+        assert_eq!(o.resident_blocks_per_sm, 16);
+    }
+
+    #[test]
+    fn rejects_oversized_blocks() {
+        assert!(Occupancy::compute(&SYSTEM3.gpu, 1, 2048).is_err());
+        assert!(Occupancy::compute(&SYSTEM3.gpu, 0, 32).is_err());
+        assert!(Occupancy::compute(&SYSTEM3.gpu, 1, 0).is_err());
+    }
+
+    #[test]
+    fn total_resident_warps_device_wide() {
+        // 2 blocks of 64 threads: 2 SMs, 2 warps each.
+        let o = Occupancy::compute(&SYSTEM3.gpu, 2, 64).unwrap();
+        assert_eq!(o.total_resident_warps, 4);
+        assert_eq!(o.total_resident_threads, 128);
+        assert_eq!(o.warps_per_sm, 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Thread-placement policies: OpenMP's "spread" and "close" affinities.
+//!
+//! This module computes the thread → hardware-thread placement that
+//! `OMP_PROC_BIND=spread|close` would produce on a machine with a given
+//! number of cores and SMT ways. The real-thread runtime cannot *pin*
+//! threads without OS-specific syscalls (no `libc` dependency in this
+//! workspace — see DESIGN.md §4), so on real threads the placement is
+//! advisory; the CPU simulator honors it exactly, which is where the
+//! affinity-sensitive figures are regenerated.
+
+use syncperf_core::Affinity;
+
+/// A hardware-thread slot: which core and which SMT way on that core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HwThread {
+    /// Physical core index.
+    pub core: u32,
+    /// SMT way on the core (0 = first hyperthread).
+    pub smt: u32,
+}
+
+/// Computes where each of `nthreads` software threads lands on a
+/// machine with `cores` physical cores and `smt_ways` hardware threads
+/// per core, under the given affinity policy.
+///
+/// * `Close` packs consecutive threads onto consecutive hardware
+///   threads, filling each core's SMT ways before moving on.
+/// * `Spread` distributes threads round-robin across cores first and
+///   only reuses a core (its second SMT way) once every core has one
+///   thread.
+/// * `SystemChoice` behaves like `Spread` here: Linux schedulers
+///   balance runnable threads across idle cores before co-scheduling
+///   hyperthreads.
+///
+/// Threads beyond `cores × smt_ways` wrap around (oversubscription).
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_core::Affinity;
+/// use syncperf_omp::affinity::placement;
+///
+/// // 4 threads on 4 cores × 2 SMT:
+/// let close = placement(Affinity::Close, 4, 4, 2);
+/// assert_eq!((close[0].core, close[0].smt), (0, 0));
+/// assert_eq!((close[1].core, close[1].smt), (0, 1)); // same core!
+///
+/// let spread = placement(Affinity::Spread, 4, 4, 2);
+/// assert_eq!((spread[1].core, spread[1].smt), (1, 0)); // next core
+/// ```
+#[must_use]
+pub fn placement(affinity: Affinity, nthreads: u32, cores: u32, smt_ways: u32) -> Vec<HwThread> {
+    assert!(nthreads > 0 && cores > 0 && smt_ways > 0, "zero-sized topology");
+    let hw_total = cores * smt_ways;
+    (0..nthreads)
+        .map(|t| {
+            let slot = t % hw_total;
+            match affinity {
+                Affinity::Close => HwThread { core: slot / smt_ways, smt: slot % smt_ways },
+                Affinity::Spread | Affinity::SystemChoice => {
+                    HwThread { core: slot % cores, smt: slot / cores }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Returns, for each thread, the set of co-resident threads (threads
+/// placed on the same physical core). Hyperthread siblings share an L1
+/// cache and therefore cannot false-share with each other (Section
+/// V-A2).
+#[must_use]
+pub fn core_siblings(places: &[HwThread]) -> Vec<Vec<usize>> {
+    places
+        .iter()
+        .map(|me| {
+            places
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.core == me.core)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect()
+}
+
+/// Advisory pin: a no-op on this platform, present so calling code
+/// reads the same on all platforms. Returns `false` to signal that the
+/// request was not enforced.
+pub fn try_pin_current_thread(_hw: HwThread) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_fills_smt_first() {
+        let p = placement(Affinity::Close, 6, 4, 2);
+        let pairs: Vec<_> = p.iter().map(|h| (h.core, h.smt)).collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn spread_fills_cores_first() {
+        let p = placement(Affinity::Spread, 6, 4, 2);
+        let pairs: Vec<_> = p.iter().map(|h| (h.core, h.smt)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn system_choice_behaves_like_spread() {
+        assert_eq!(
+            placement(Affinity::SystemChoice, 5, 4, 2),
+            placement(Affinity::Spread, 5, 4, 2)
+        );
+    }
+
+    #[test]
+    fn oversubscription_wraps() {
+        let p = placement(Affinity::Spread, 10, 2, 2);
+        // hw_total = 4, so thread 4 lands where thread 0 did
+        assert_eq!(p[4], p[0]);
+        assert_eq!(p[9], p[1]);
+    }
+
+    #[test]
+    fn all_placements_within_topology() {
+        for aff in [Affinity::Spread, Affinity::Close, Affinity::SystemChoice] {
+            for &(n, c, s) in &[(1u32, 1u32, 1u32), (32, 16, 2), (7, 3, 2)] {
+                for hw in placement(aff, n, c, s) {
+                    assert!(hw.core < c);
+                    assert!(hw.smt < s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_under_close_pair_up() {
+        let p = placement(Affinity::Close, 4, 4, 2);
+        let sib = core_siblings(&p);
+        assert_eq!(sib[0], vec![0, 1]);
+        assert_eq!(sib[2], vec![2, 3]);
+    }
+
+    #[test]
+    fn siblings_under_spread_are_singletons_below_core_count() {
+        let p = placement(Affinity::Spread, 4, 8, 2);
+        for (i, s) in core_siblings(&p).iter().enumerate() {
+            assert_eq!(s, &vec![i]);
+        }
+    }
+
+    #[test]
+    fn pinning_is_advisory() {
+        assert!(!try_pin_current_thread(HwThread { core: 0, smt: 0 }));
+    }
+}

@@ -1,0 +1,473 @@
+//! Typed atomic cells covering the four data types of the paper.
+//!
+//! OpenMP's `#pragma omp atomic` lowers to lock-prefixed RMW
+//! instructions for integer types and to compare-exchange loops for
+//! floating-point types on x86; [`AtomicCell`] mirrors exactly that:
+//! `i32`/`u64` use native `fetch_add`, while `f32`/`f64` loop on
+//! `compare_exchange_weak` over the value's bit pattern.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for i32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// A scalar type usable inside an [`AtomicCell`].
+///
+/// This trait is sealed: it is implemented exactly for `i32`, `u64`,
+/// `f32`, and `f64` — the paper's `int`, `ull`, `float`, and `double`.
+pub trait Primitive:
+    private::Sealed + Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static
+{
+    /// The backing atomic storage.
+    #[doc(hidden)]
+    type Atomic: Send + Sync + std::fmt::Debug;
+
+    /// Creates backing storage holding `v`.
+    #[doc(hidden)]
+    fn new_atomic(v: Self) -> Self::Atomic;
+
+    /// Atomic load.
+    #[doc(hidden)]
+    fn load(a: &Self::Atomic, order: Ordering) -> Self;
+
+    /// Atomic store.
+    #[doc(hidden)]
+    fn store(a: &Self::Atomic, v: Self, order: Ordering);
+
+    /// Atomic `+=`, returning the previous value.
+    #[doc(hidden)]
+    fn fetch_add(a: &Self::Atomic, v: Self, order: Ordering) -> Self;
+
+    /// Atomic swap, returning the previous value.
+    #[doc(hidden)]
+    fn swap(a: &Self::Atomic, v: Self, order: Ordering) -> Self;
+
+    /// Atomic max, returning the previous value.
+    #[doc(hidden)]
+    fn fetch_max(a: &Self::Atomic, v: Self, order: Ordering) -> Self;
+
+    /// Atomic compare-exchange: replaces `current` with `new`,
+    /// returning `Ok(current)` on success or `Err(actual)` on failure.
+    #[doc(hidden)]
+    fn compare_exchange(
+        a: &Self::Atomic,
+        current: Self,
+        new: Self,
+        order: Ordering,
+    ) -> std::result::Result<Self, Self>;
+
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The value `1`.
+    fn one() -> Self;
+}
+
+impl Primitive for i32 {
+    type Atomic = std::sync::atomic::AtomicI32;
+
+    fn new_atomic(v: Self) -> Self::Atomic {
+        Self::Atomic::new(v)
+    }
+
+    fn load(a: &Self::Atomic, order: Ordering) -> Self {
+        a.load(order)
+    }
+
+    fn store(a: &Self::Atomic, v: Self, order: Ordering) {
+        a.store(v, order);
+    }
+
+    fn fetch_add(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+        a.fetch_add(v, order)
+    }
+
+    fn swap(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+        a.swap(v, order)
+    }
+
+    fn fetch_max(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+        a.fetch_max(v, order)
+    }
+
+    fn compare_exchange(
+        a: &Self::Atomic,
+        current: Self,
+        new: Self,
+        order: Ordering,
+    ) -> std::result::Result<Self, Self> {
+        a.compare_exchange(current, new, order, Ordering::Relaxed)
+    }
+
+    fn zero() -> Self {
+        0
+    }
+
+    fn one() -> Self {
+        1
+    }
+}
+
+impl Primitive for u64 {
+    type Atomic = AtomicU64;
+
+    fn new_atomic(v: Self) -> Self::Atomic {
+        AtomicU64::new(v)
+    }
+
+    fn load(a: &Self::Atomic, order: Ordering) -> Self {
+        a.load(order)
+    }
+
+    fn store(a: &Self::Atomic, v: Self, order: Ordering) {
+        a.store(v, order);
+    }
+
+    fn fetch_add(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+        a.fetch_add(v, order)
+    }
+
+    fn swap(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+        a.swap(v, order)
+    }
+
+    fn fetch_max(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+        a.fetch_max(v, order)
+    }
+
+    fn compare_exchange(
+        a: &Self::Atomic,
+        current: Self,
+        new: Self,
+        order: Ordering,
+    ) -> std::result::Result<Self, Self> {
+        a.compare_exchange(current, new, order, Ordering::Relaxed)
+    }
+
+    fn zero() -> Self {
+        0
+    }
+
+    fn one() -> Self {
+        1
+    }
+}
+
+/// Implements [`Primitive`] for a float type via a compare-exchange
+/// loop over its bit pattern — the same lowering OpenMP uses for
+/// `#pragma omp atomic update` on floating-point operands.
+macro_rules! float_primitive {
+    ($float:ty, $bits:ty, $atomic:ty) => {
+        impl Primitive for $float {
+            type Atomic = $atomic;
+
+            fn new_atomic(v: Self) -> Self::Atomic {
+                <$atomic>::new(v.to_bits())
+            }
+
+            fn load(a: &Self::Atomic, order: Ordering) -> Self {
+                <$float>::from_bits(a.load(order))
+            }
+
+            fn store(a: &Self::Atomic, v: Self, order: Ordering) {
+                a.store(v.to_bits(), order);
+            }
+
+            fn fetch_add(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+                let mut cur = a.load(Ordering::Relaxed);
+                loop {
+                    let old = <$float>::from_bits(cur);
+                    let new = (old + v).to_bits();
+                    match a.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+                        Ok(_) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+
+            fn swap(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+                <$float>::from_bits(a.swap(v.to_bits(), order))
+            }
+
+            fn fetch_max(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
+                let mut cur = a.load(Ordering::Relaxed);
+                loop {
+                    let old = <$float>::from_bits(cur);
+                    if old >= v {
+                        return old;
+                    }
+                    match a.compare_exchange_weak(cur, v.to_bits(), order, Ordering::Relaxed) {
+                        Ok(_) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+
+            fn compare_exchange(
+                a: &Self::Atomic,
+                current: Self,
+                new: Self,
+                order: Ordering,
+            ) -> std::result::Result<Self, Self> {
+                a.compare_exchange(current.to_bits(), new.to_bits(), order, Ordering::Relaxed)
+                    .map(<$float>::from_bits)
+                    .map_err(<$float>::from_bits)
+            }
+
+            fn zero() -> Self {
+                0.0
+            }
+
+            fn one() -> Self {
+                1.0
+            }
+        }
+    };
+}
+
+float_primitive!(f32, u32, AtomicU32);
+float_primitive!(f64, u64, AtomicU64);
+
+/// An atomic scalar supporting the OpenMP atomic flavors: update,
+/// capture, read, write — plus swap and max for the CUDA-style tests.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_omp::AtomicCell;
+///
+/// let c = AtomicCell::new(1.5f64);
+/// c.update(2.0);            // atomic x += 2.0
+/// let old = c.capture(0.5); // atomic v = x; x += 0.5
+/// assert_eq!(old, 3.5);
+/// assert_eq!(c.read(), 4.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct AtomicCell<T: Primitive> {
+    inner: T::Atomic,
+}
+
+impl<T: Primitive> AtomicCell<T> {
+    /// Creates a cell holding `v`.
+    #[must_use]
+    pub fn new(v: T) -> Self {
+        AtomicCell { inner: T::new_atomic(v) }
+    }
+
+    /// `#pragma omp atomic update` — atomically adds `v`.
+    pub fn update(&self, v: T) {
+        let _ = T::fetch_add(&self.inner, v, Ordering::Relaxed);
+    }
+
+    /// `#pragma omp atomic capture` — atomically adds `v` and returns
+    /// the previous value.
+    pub fn capture(&self, v: T) -> T {
+        T::fetch_add(&self.inner, v, Ordering::Relaxed)
+    }
+
+    /// `#pragma omp atomic read`.
+    #[must_use]
+    pub fn read(&self) -> T {
+        T::load(&self.inner, Ordering::Relaxed)
+    }
+
+    /// `#pragma omp atomic write`.
+    pub fn write(&self, v: T) {
+        T::store(&self.inner, v, Ordering::Relaxed);
+    }
+
+    /// Atomic exchange (CUDA `atomicExch()` semantics).
+    pub fn exchange(&self, v: T) -> T {
+        T::swap(&self.inner, v, Ordering::Relaxed)
+    }
+
+    /// Atomic maximum (CUDA `atomicMax()` semantics), returning the
+    /// previous value.
+    pub fn max(&self, v: T) -> T {
+        T::fetch_max(&self.inner, v, Ordering::Relaxed)
+    }
+
+    /// Atomically replaces the value with `f(current)`, retrying on
+    /// concurrent modification (a general CAS loop, like
+    /// `AtomicU64::fetch_update`). Returns the previous value.
+    ///
+    /// Note: floats compare by bit pattern, so the loop terminates even
+    /// for NaN contents.
+    pub fn fetch_update(&self, mut f: impl FnMut(T) -> T) -> T {
+        let mut current = self.read();
+        loop {
+            let next = f(current);
+            match T::compare_exchange(&self.inner, current, next, Ordering::AcqRel) {
+                Ok(prev) => return prev,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Non-atomic-style read (still a relaxed atomic load under the
+    /// hood so it is race-free in Rust; on x86 this compiles to the
+    /// same plain `mov` a non-atomic read would).
+    #[must_use]
+    pub fn plain_read(&self) -> T {
+        T::load(&self.inner, Ordering::Relaxed)
+    }
+
+    /// Plain read-modify-write (`x += v` without atomicity between the
+    /// read and the write) — used by the flush-test loop bodies.
+    pub fn plain_update(&self, v: T) {
+        let cur = T::load(&self.inner, Ordering::Relaxed);
+        let new = add(cur, v);
+        T::store(&self.inner, new, Ordering::Relaxed);
+    }
+}
+
+fn add<T: Primitive>(a: T, b: T) -> T {
+    // Route through fetch_add on a throwaway atomic to avoid needing an
+    // `Add` bound on the sealed trait.
+    let tmp = T::new_atomic(a);
+    T::fetch_add(&tmp, b, Ordering::Relaxed);
+    T::load(&tmp, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn update_and_read_i32() {
+        let c = AtomicCell::new(5i32);
+        c.update(3);
+        assert_eq!(c.read(), 8);
+    }
+
+    #[test]
+    fn capture_returns_previous() {
+        let c = AtomicCell::new(10u64);
+        assert_eq!(c.capture(5), 10);
+        assert_eq!(c.read(), 15);
+    }
+
+    #[test]
+    fn float_update_is_exact_for_small_ints() {
+        let c = AtomicCell::new(0.0f32);
+        for _ in 0..100 {
+            c.update(1.0);
+        }
+        assert_eq!(c.read(), 100.0);
+    }
+
+    #[test]
+    fn double_capture_and_write() {
+        let c = AtomicCell::new(1.0f64);
+        c.write(2.5);
+        assert_eq!(c.capture(0.5), 2.5);
+        assert_eq!(c.read(), 3.0);
+    }
+
+    #[test]
+    fn exchange_swaps() {
+        let c = AtomicCell::new(7i32);
+        assert_eq!(c.exchange(9), 7);
+        assert_eq!(c.read(), 9);
+    }
+
+    #[test]
+    fn max_keeps_larger() {
+        let c = AtomicCell::new(5i32);
+        assert_eq!(c.max(3), 5);
+        assert_eq!(c.read(), 5);
+        assert_eq!(c.max(11), 5);
+        assert_eq!(c.read(), 11);
+    }
+
+    #[test]
+    fn float_max() {
+        let c = AtomicCell::new(-1.0f64);
+        c.max(3.5);
+        c.max(2.0);
+        assert_eq!(c.read(), 3.5);
+    }
+
+    #[test]
+    fn plain_update_accumulates_single_threaded() {
+        let c = AtomicCell::new(0u64);
+        for _ in 0..10 {
+            c.plain_update(2);
+        }
+        assert_eq!(c.read(), 20);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_increments() {
+        let c = Arc::new(AtomicCell::new(0i32));
+        let threads = 8;
+        let per_thread = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.update(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.read(), threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_float_updates_do_not_lose_increments() {
+        // The CAS loop must not drop updates under contention.
+        let c = Arc::new(AtomicCell::new(0.0f64));
+        let threads = 4;
+        let per_thread = 5_000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.update(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.read(), f64::from(threads * per_thread));
+    }
+
+    #[test]
+    fn concurrent_max_finds_global_max() {
+        let c = Arc::new(AtomicCell::new(i32::MIN));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        c.max(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.read(), 7_999);
+    }
+
+    #[test]
+    fn cells_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtomicCell<i32>>();
+        assert_send_sync::<AtomicCell<u64>>();
+        assert_send_sync::<AtomicCell<f32>>();
+        assert_send_sync::<AtomicCell<f64>>();
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(AtomicCell::<i32>::default().read(), 0);
+        assert_eq!(AtomicCell::<f64>::default().read(), 0.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Real-thread [`Executor`]: interprets CPU kernel bodies on actual
+//! `std::thread` threads with actual atomics, following the paper's
+//! Listing 2 structure (warmup loop, team barrier, timed loop,
+//! per-thread `gettimeofday`-style timing).
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use crossbeam::utils::CachePadded;
+use syncperf_core::{
+    CpuOp, DType, ExecParams, Executor, Result, SyncPerfError, Target, ThreadTimes, TimeUnit,
+};
+
+use crate::atomics::{AtomicCell, Primitive};
+use crate::critical::Critical;
+use crate::flush::flush;
+use crate::padded::StridedArray;
+use crate::team::{Team, ThreadCtx};
+
+/// Shared memory for one data type: two cache-padded scalars plus the
+/// (up to two) strided arrays the kernel bodies reference.
+#[derive(Debug)]
+struct TypedMem<T: Primitive> {
+    scalars: [CachePadded<AtomicCell<T>>; 2],
+    arrays: HashMap<u8, StridedArray<T>>,
+}
+
+impl<T: Primitive> TypedMem<T> {
+    fn new() -> Self {
+        TypedMem {
+            scalars: [
+                CachePadded::new(AtomicCell::new(T::zero())),
+                CachePadded::new(AtomicCell::new(T::zero())),
+            ],
+            arrays: HashMap::new(),
+        }
+    }
+
+    fn cell(&self, target: Target, tid: usize) -> &AtomicCell<T> {
+        match target {
+            Target::SharedScalar(i) => &self.scalars[usize::from(i) % 2],
+            Target::Private { array, stride: _ } => self
+                .arrays
+                .get(&array)
+                .expect("array allocated during memory planning")
+                .elem(tid),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Memory {
+    i32s: TypedMem<i32>,
+    u64s: TypedMem<u64>,
+    f32s: TypedMem<f32>,
+    f64s: TypedMem<f64>,
+}
+
+impl Memory {
+    /// Scans the body and allocates every referenced array.
+    fn plan(body: &[CpuOp], threads: usize) -> Result<Self> {
+        let mut mem = Memory {
+            i32s: TypedMem::new(),
+            u64s: TypedMem::new(),
+            f32s: TypedMem::new(),
+            f64s: TypedMem::new(),
+        };
+        for op in body {
+            let (dtype, target) = match *op {
+                CpuOp::AtomicUpdate { dtype, target }
+                | CpuOp::AtomicCapture { dtype, target }
+                | CpuOp::AtomicRead { dtype, target }
+                | CpuOp::AtomicWrite { dtype, target }
+                | CpuOp::Read { dtype, target }
+                | CpuOp::Update { dtype, target }
+                | CpuOp::CriticalAdd { dtype, target } => (dtype, target),
+                CpuOp::Barrier | CpuOp::Flush => continue,
+            };
+            if let Target::Private { array, stride } = target {
+                if stride == 0 {
+                    return Err(SyncPerfError::InvalidParams("stride must be > 0".into()));
+                }
+                let stride = stride as usize;
+                match dtype {
+                    DType::I32 => insert_array(&mut mem.i32s.arrays, array, threads, stride)?,
+                    DType::U64 => insert_array(&mut mem.u64s.arrays, array, threads, stride)?,
+                    DType::F32 => insert_array(&mut mem.f32s.arrays, array, threads, stride)?,
+                    DType::F64 => insert_array(&mut mem.f64s.arrays, array, threads, stride)?,
+                }
+            }
+        }
+        Ok(mem)
+    }
+}
+
+fn insert_array<T: Primitive>(
+    arrays: &mut HashMap<u8, StridedArray<T>>,
+    array: u8,
+    threads: usize,
+    stride: usize,
+) -> Result<()> {
+    if let Some(existing) = arrays.get(&array) {
+        if existing.stride() != stride {
+            return Err(SyncPerfError::InvalidParams(format!(
+                "array {array} referenced with conflicting strides {} and {stride}",
+                existing.stride()
+            )));
+        }
+        return Ok(());
+    }
+    arrays.insert(array, StridedArray::new(threads, stride));
+    Ok(())
+}
+
+/// Executes one op for thread `tid`. `sink` accumulates read results
+/// so the compiler cannot remove the loads as dead code.
+#[inline]
+fn run_op(op: &CpuOp, mem: &Memory, ctx: &ThreadCtx<'_>, critical: &Critical, sink: &mut f64) {
+    let tid = ctx.tid;
+    match *op {
+        CpuOp::Barrier => ctx.barrier(),
+        CpuOp::Flush => flush(),
+        CpuOp::AtomicUpdate { dtype, target } => {
+            dispatch(mem, dtype, target, tid, |c: &AtomicCell<i32>| c.update(1), |c| c.update(1), |c| c.update(1.0), |c| c.update(1.0));
+        }
+        CpuOp::AtomicCapture { dtype, target } => match dtype {
+            DType::I32 => *sink += f64::from(mem.i32s.cell(target, tid).capture(1)),
+            DType::U64 => *sink += mem.u64s.cell(target, tid).capture(1) as f64,
+            DType::F32 => *sink += f64::from(mem.f32s.cell(target, tid).capture(1.0)),
+            DType::F64 => *sink += mem.f64s.cell(target, tid).capture(1.0),
+        },
+        CpuOp::AtomicRead { dtype, target } => match dtype {
+            DType::I32 => *sink += f64::from(mem.i32s.cell(target, tid).read()),
+            DType::U64 => *sink += mem.u64s.cell(target, tid).read() as f64,
+            DType::F32 => *sink += f64::from(mem.f32s.cell(target, tid).read()),
+            DType::F64 => *sink += mem.f64s.cell(target, tid).read(),
+        },
+        CpuOp::AtomicWrite { dtype, target } => {
+            let v = tid as i32 + 1;
+            dispatch(
+                mem,
+                dtype,
+                target,
+                tid,
+                |c: &AtomicCell<i32>| c.write(v),
+                |c| c.write(v as u64),
+                |c| c.write(v as f32),
+                |c| c.write(f64::from(v)),
+            );
+        }
+        CpuOp::Read { dtype, target } => match dtype {
+            DType::I32 => *sink += f64::from(mem.i32s.cell(target, tid).plain_read()),
+            DType::U64 => *sink += mem.u64s.cell(target, tid).plain_read() as f64,
+            DType::F32 => *sink += f64::from(mem.f32s.cell(target, tid).plain_read()),
+            DType::F64 => *sink += mem.f64s.cell(target, tid).plain_read(),
+        },
+        CpuOp::Update { dtype, target } => {
+            dispatch(
+                mem,
+                dtype,
+                target,
+                tid,
+                |c: &AtomicCell<i32>| c.plain_update(1),
+                |c| c.plain_update(1),
+                |c| c.plain_update(1.0),
+                |c| c.plain_update(1.0),
+            );
+        }
+        CpuOp::CriticalAdd { dtype, target } => critical.with(|| {
+            dispatch(
+                mem,
+                dtype,
+                target,
+                tid,
+                |c: &AtomicCell<i32>| c.plain_update(1),
+                |c| c.plain_update(1),
+                |c| c.plain_update(1.0),
+                |c| c.plain_update(1.0),
+            );
+        }),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dispatch(
+    mem: &Memory,
+    dtype: DType,
+    target: Target,
+    tid: usize,
+    fi: impl FnOnce(&AtomicCell<i32>),
+    fu: impl FnOnce(&AtomicCell<u64>),
+    ff: impl FnOnce(&AtomicCell<f32>),
+    fd: impl FnOnce(&AtomicCell<f64>),
+) {
+    match dtype {
+        DType::I32 => fi(mem.i32s.cell(target, tid)),
+        DType::U64 => fu(mem.u64s.cell(target, tid)),
+        DType::F32 => ff(mem.f32s.cell(target, tid)),
+        DType::F64 => fd(mem.f64s.cell(target, tid)),
+    }
+}
+
+/// The real-thread executor.
+///
+/// Runs kernel bodies on genuine OS threads with genuine atomics. Times
+/// are wall-clock seconds. Affinity is advisory (see
+/// [`crate::affinity`]); block counts other than 1 are rejected since
+/// CPUs have no thread-block concept.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_core::{kernel, DType, ExecParams, Protocol};
+/// use syncperf_omp::OmpExecutor;
+///
+/// # fn main() -> syncperf_core::Result<()> {
+/// let mut exec = OmpExecutor::new();
+/// let m = Protocol::SIM.measure(
+///     &mut exec,
+///     &kernel::omp_atomic_update_scalar(DType::I32),
+///     &ExecParams::new(2).with_loops(20, 10).with_warmup(1),
+/// )?;
+/// assert!(m.median_test >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct OmpExecutor {
+    _private: (),
+}
+
+impl OmpExecutor {
+    /// Creates a real-thread executor.
+    #[must_use]
+    pub fn new() -> Self {
+        OmpExecutor { _private: () }
+    }
+}
+
+impl Executor for OmpExecutor {
+    type Op = CpuOp;
+
+    fn name(&self) -> &str {
+        "omp-real-threads"
+    }
+
+    fn time_unit(&self) -> TimeUnit {
+        TimeUnit::Seconds
+    }
+
+    fn execute(&mut self, body: &[CpuOp], params: &ExecParams) -> Result<ThreadTimes> {
+        params.validate()?;
+        if params.blocks != 1 {
+            return Err(SyncPerfError::InvalidParams(
+                "the CPU executor runs a single team (blocks must be 1)".into(),
+            ));
+        }
+        let threads = params.threads as usize;
+        let mem = Memory::plan(body, threads)?;
+        let critical = Critical::private();
+        let team = Team::new(threads);
+        let n_warmup = params.n_warmup;
+        let n_iter = params.n_iter;
+        let n_unroll = params.n_unroll;
+
+        let per_thread = team.parallel(|ctx| {
+            let mut sink = 0.0f64;
+            for _ in 0..n_warmup {
+                for _ in 0..n_unroll {
+                    for op in body {
+                        run_op(op, &mem, ctx, &critical, &mut sink);
+                    }
+                }
+            }
+
+            ctx.barrier();
+            let start = Instant::now();
+            for _ in 0..n_iter {
+                for _ in 0..n_unroll {
+                    for op in body {
+                        run_op(op, &mem, ctx, &critical, &mut sink);
+                    }
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            black_box(sink);
+            elapsed
+        });
+
+        Ok(ThreadTimes { per_thread })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::kernel;
+
+    fn quick_params(threads: u32) -> ExecParams {
+        ExecParams::new(threads).with_loops(20, 10).with_warmup(1)
+    }
+
+    #[test]
+    fn reports_one_time_per_thread() {
+        let mut exec = OmpExecutor::new();
+        let body = kernel::omp_barrier().baseline;
+        let times = exec.execute(&body, &quick_params(4)).unwrap();
+        assert_eq!(times.per_thread.len(), 4);
+        assert!(times.per_thread.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn rejects_multi_block() {
+        let mut exec = OmpExecutor::new();
+        let body = kernel::omp_barrier().baseline;
+        let err = exec.execute(&body, &quick_params(2).with_blocks(2)).unwrap_err();
+        assert!(matches!(err, SyncPerfError::InvalidParams(_)));
+    }
+
+    #[test]
+    fn every_cpu_op_kind_executes() {
+        let mut exec = OmpExecutor::new();
+        for k in [
+            kernel::omp_barrier(),
+            kernel::omp_atomic_update_scalar(DType::F32),
+            kernel::omp_atomic_update_array(DType::U64, 8),
+            kernel::omp_atomic_capture_scalar(DType::F64),
+            kernel::omp_atomic_write(DType::I32),
+            kernel::omp_atomic_read(DType::U64),
+            kernel::omp_critical_add(DType::F64),
+            kernel::omp_flush(DType::I32, 4),
+        ] {
+            let t = exec.execute(&k.test, &quick_params(2)).unwrap();
+            assert_eq!(t.per_thread.len(), 2, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn test_body_slower_than_baseline_for_critical() {
+        // Critical sections are expensive enough that even on a noisy
+        // machine the test body (2 lock pairs) beats the baseline
+        // (1 lock pair) reliably in the median.
+        let mut exec = OmpExecutor::new();
+        let k = kernel::omp_critical_add(DType::I32);
+        let p = quick_params(2);
+        let mut wins = 0;
+        for _ in 0..5 {
+            let base = exec.execute(&k.baseline, &p).unwrap().max();
+            let test = exec.execute(&k.test, &p).unwrap().max();
+            if test > base {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "test body beat baseline only {wins}/5 times");
+    }
+
+    #[test]
+    fn conflicting_strides_rejected() {
+        let mut exec = OmpExecutor::new();
+        let body = vec![
+            CpuOp::Update { dtype: DType::I32, target: Target::Private { array: 0, stride: 1 } },
+            CpuOp::Update { dtype: DType::I32, target: Target::Private { array: 0, stride: 2 } },
+        ];
+        assert!(exec.execute(&body, &quick_params(2)).is_err());
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let mut exec = OmpExecutor::new();
+        let body = vec![CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::Private { array: 0, stride: 0 },
+        }];
+        assert!(exec.execute(&body, &quick_params(2)).is_err());
+    }
+
+    #[test]
+    fn measurement_protocol_runs_end_to_end() {
+        let mut exec = OmpExecutor::new();
+        let m = syncperf_core::Protocol::SIM
+            .measure(&mut exec, &kernel::omp_atomic_update_scalar(DType::I32), &quick_params(2))
+            .unwrap();
+        // A real atomic add costs something; the exact value is
+        // machine-dependent but must be positive and below 100 µs.
+        assert!(m.median_test > 0.0);
+        assert!(m.runtime_seconds() < 1e-4);
+    }
+}

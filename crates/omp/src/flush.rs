@@ -1,0 +1,86 @@
+//! The OpenMP memory flush (`#pragma omp flush`).
+//!
+//! A flush is a full memory fence: all memory operations before it
+//! complete before any memory operation after it starts (Section
+//! II-A4). On x86 this is an `mfence`-class instruction; in Rust it is
+//! `atomic::fence(SeqCst)`.
+
+use std::sync::atomic::{fence, Ordering};
+
+/// Performs an OpenMP-style flush: a sequentially consistent full
+/// memory fence.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_omp::{flush, AtomicCell};
+///
+/// let data = AtomicCell::new(0i32);
+/// let ready = AtomicCell::new(0i32);
+/// data.write(42);
+/// flush(); // `data` is globally visible before `ready` below
+/// ready.write(1);
+/// ```
+#[inline]
+pub fn flush() {
+    fence(Ordering::SeqCst);
+}
+
+/// A release-only fence (`flush` with release semantics, OpenMP 5.x's
+/// `flush release`).
+#[inline]
+pub fn flush_release() {
+    fence(Ordering::Release);
+}
+
+/// An acquire-only fence (`flush acquire`).
+#[inline]
+pub fn flush_acquire() {
+    fence(Ordering::Acquire);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomics::AtomicCell;
+    use std::sync::atomic::{AtomicBool, Ordering as O};
+    use std::sync::Arc;
+
+    #[test]
+    fn flush_functions_are_callable() {
+        flush();
+        flush_release();
+        flush_acquire();
+    }
+
+    /// Message-passing litmus test: with a flush between the data write
+    /// and the flag write (and between the flag read and the data
+    /// read), the consumer must never observe the flag without the
+    /// data.
+    #[test]
+    fn message_passing_litmus() {
+        for _ in 0..200 {
+            let data = Arc::new(AtomicCell::new(0u64));
+            let flag = Arc::new(AtomicBool::new(false));
+
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let producer = std::thread::spawn(move || {
+                d2.write(99);
+                flush();
+                f2.store(true, O::Relaxed);
+            });
+
+            let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+            let consumer = std::thread::spawn(move || {
+                while !f3.load(O::Relaxed) {
+                    std::hint::spin_loop();
+                }
+                flush();
+                assert_eq!(d3.read(), 99, "consumer saw flag before data");
+            });
+
+            producer.join().unwrap();
+            consumer.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # syncperf-omp
+//!
+//! An OpenMP-like parallel runtime on real `std::thread` threads: the
+//! CPU substrate of the syncperf reproduction.
+//!
+//! Provides parallel regions ([`Team`]), spin barriers ([`SenseBarrier`],
+//! [`TreeBarrier`]), the four typed atomics of the paper
+//! ([`AtomicCell`]), named critical sections ([`Critical`]), memory
+//! flushes ([`flush`]), strided shared arrays for false-sharing
+//! workloads ([`StridedArray`]), and a real-thread [`OmpExecutor`] that
+//! plugs into `syncperf_core`'s measurement protocol.
+//!
+//! ## Example
+//!
+//! ```
+//! use syncperf_omp::{AtomicCell, Team};
+//!
+//! let sum = AtomicCell::new(0i32);
+//! Team::new(4).parallel(|ctx| {
+//!     sum.update(ctx.tid as i32);
+//!     ctx.barrier();
+//!     assert_eq!(sum.read(), 0 + 1 + 2 + 3);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod affinity;
+pub mod atomics;
+pub mod barrier;
+pub mod critical;
+pub mod executor;
+pub mod flush;
+pub mod lock;
+pub mod padded;
+pub mod reduce;
+pub mod team;
+
+pub use atomics::{AtomicCell, Primitive};
+pub use barrier::{BarrierToken, SenseBarrier, TreeBarrier};
+pub use critical::Critical;
+pub use executor::OmpExecutor;
+pub use flush::{flush, flush_acquire, flush_release};
+pub use lock::{OmpLock, OmpNestLock};
+pub use padded::StridedArray;
+pub use team::{Team, ThreadCtx};

@@ -1,0 +1,294 @@
+//! OpenMP lock routines: `omp_init_lock` / `omp_set_lock` /
+//! `omp_unset_lock` / `omp_test_lock`, plus the nestable variant.
+//!
+//! The paper notes that OpenMP implements critical sections "by having
+//! each participating thread acquire and later release a shared lock"
+//! (Section II-A3); this module exposes that underlying lock API
+//! directly, as OpenMP itself does.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// How many spin iterations before yielding (same policy as the
+/// barriers — required on oversubscribed machines).
+const SPIN_LIMIT: u32 = 1 << 10;
+
+/// A simple (non-nestable) OpenMP-style lock: `omp_lock_t`.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_omp::OmpLock;
+///
+/// let lock = OmpLock::new();
+/// lock.set();          // omp_set_lock
+/// assert!(!lock.test()); // already held
+/// lock.unset();        // omp_unset_lock
+/// assert!(lock.test()); // acquired by test
+/// lock.unset();
+/// ```
+#[derive(Debug, Default)]
+pub struct OmpLock {
+    held: CachePadded<AtomicBool>,
+}
+
+impl OmpLock {
+    /// `omp_init_lock` — creates an unlocked lock.
+    #[must_use]
+    pub fn new() -> Self {
+        OmpLock { held: CachePadded::new(AtomicBool::new(false)) }
+    }
+
+    /// `omp_set_lock` — blocks until the lock is acquired.
+    pub fn set(&self) {
+        let mut spins = 0u32;
+        loop {
+            // Test-and-test-and-set: spin on a read to avoid hammering
+            // the line with RMWs.
+            if !self.held.load(Ordering::Relaxed)
+                && self
+                    .held
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            spins += 1;
+            if spins > SPIN_LIMIT {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// `omp_test_lock` — tries to acquire without blocking; returns
+    /// whether the lock was acquired.
+    #[must_use]
+    pub fn test(&self) -> bool {
+        self.held
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// `omp_unset_lock` — releases the lock.
+    ///
+    /// Releasing a lock that is not held is a usage error in OpenMP;
+    /// here it simply marks the lock free.
+    pub fn unset(&self) {
+        self.held.store(false, Ordering::Release);
+    }
+
+    /// Runs `f` while holding the lock.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.set();
+        let r = f();
+        self.unset();
+        r
+    }
+}
+
+/// A nestable OpenMP lock: `omp_nest_lock_t`. The owning thread may
+/// re-acquire it; each `set` must be matched by an `unset`.
+#[derive(Debug, Default)]
+pub struct OmpNestLock {
+    /// Owner thread id + 1 (0 = free).
+    owner: CachePadded<AtomicU64>,
+    depth: AtomicUsize,
+}
+
+fn current_thread_token() -> u64 {
+    // Each OS thread gets a stable nonzero token.
+    use std::sync::atomic::AtomicU64 as Counter;
+    static NEXT: Counter = Counter::new(1);
+    thread_local! {
+        static TOKEN: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TOKEN.with(|t| *t)
+}
+
+impl OmpNestLock {
+    /// `omp_init_nest_lock`.
+    #[must_use]
+    pub fn new() -> Self {
+        OmpNestLock { owner: CachePadded::new(AtomicU64::new(0)), depth: AtomicUsize::new(0) }
+    }
+
+    /// `omp_set_nest_lock` — blocks unless already owned by the caller;
+    /// returns the new nesting depth.
+    pub fn set(&self) -> usize {
+        let me = current_thread_token();
+        if self.owner.load(Ordering::Acquire) == me {
+            let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+            return d;
+        }
+        let mut spins = 0u32;
+        loop {
+            if self
+                .owner
+                .compare_exchange_weak(0, me, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.depth.store(1, Ordering::Relaxed);
+                return 1;
+            }
+            spins += 1;
+            if spins > SPIN_LIMIT {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// `omp_unset_nest_lock` — decrements the nesting depth, releasing
+    /// the lock at zero. Returns the remaining depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the lock.
+    pub fn unset(&self) -> usize {
+        let me = current_thread_token();
+        assert_eq!(
+            self.owner.load(Ordering::Relaxed),
+            me,
+            "omp_unset_nest_lock by a non-owner thread"
+        );
+        let d = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        if d == 0 {
+            self.owner.store(0, Ordering::Release);
+        }
+        d
+    }
+
+    /// `omp_test_nest_lock` — non-blocking acquire; returns the new
+    /// depth on success, `None` when another thread holds the lock.
+    #[must_use]
+    pub fn test(&self) -> Option<usize> {
+        let me = current_thread_token();
+        if self.owner.load(Ordering::Acquire) == me {
+            return Some(self.depth.fetch_add(1, Ordering::Relaxed) + 1);
+        }
+        if self.owner.compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            self.depth.store(1, Ordering::Relaxed);
+            Some(1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn set_unset_cycle() {
+        let l = OmpLock::new();
+        for _ in 0..100 {
+            l.set();
+            l.unset();
+        }
+    }
+
+    #[test]
+    fn test_lock_semantics() {
+        let l = OmpLock::new();
+        assert!(l.test());
+        assert!(!l.test(), "second acquire must fail");
+        l.unset();
+        assert!(l.test());
+        l.unset();
+    }
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        let l = OmpLock::new();
+        let counter = AtomicU32::new(0);
+        let in_section = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        l.with(|| {
+                            assert_eq!(in_section.fetch_add(1, Ordering::SeqCst), 0);
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            in_section.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8_000);
+    }
+
+    #[test]
+    fn nest_lock_reentrant() {
+        let l = OmpNestLock::new();
+        assert_eq!(l.set(), 1);
+        assert_eq!(l.set(), 2);
+        assert_eq!(l.set(), 3);
+        assert_eq!(l.unset(), 2);
+        assert_eq!(l.unset(), 1);
+        assert_eq!(l.unset(), 0);
+        // Free again: another acquire starts at depth 1.
+        assert_eq!(l.set(), 1);
+        assert_eq!(l.unset(), 0);
+    }
+
+    #[test]
+    fn nest_test_fails_cross_thread_when_held() {
+        let l = OmpNestLock::new();
+        l.set();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(l.test().is_none(), "other thread must not acquire");
+            });
+        });
+        l.unset();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(l.test(), Some(1));
+                l.unset();
+            });
+        });
+    }
+
+    #[test]
+    fn nest_unset_by_non_owner_panics() {
+        let l = OmpNestLock::new();
+        l.set();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _ = l.unset(); // must panic: not the owner
+            });
+            let err = handle.join().expect_err("non-owner unset must panic");
+            let msg = err.downcast_ref::<String>().expect("panic message");
+            assert!(msg.contains("non-owner"), "unexpected message: {msg}");
+        });
+        l.unset();
+    }
+
+    #[test]
+    fn nest_lock_mutual_exclusion() {
+        let l = OmpNestLock::new();
+        let counter = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        l.set();
+                        l.set(); // nested
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        l.unset();
+                        l.unset();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4_000);
+    }
+}

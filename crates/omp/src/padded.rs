@@ -1,0 +1,176 @@
+//! Strided shared arrays for the false-sharing experiments.
+//!
+//! The paper's array tests give each thread a private element at index
+//! `tid × stride` of a shared array (Section IV). The stride controls
+//! how many distinct threads' elements share a 64-byte cache line and
+//! therefore how much false sharing occurs (Figs. 3, 6, 10, 12, 14).
+
+use crate::atomics::{AtomicCell, Primitive};
+
+/// A shared array whose element `i` belongs to thread `i / stride`
+/// (with elements at non-multiple indices acting as padding).
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_omp::StridedArray;
+///
+/// // 4 threads, stride 8: thread elements 64 B apart for 8-byte types,
+/// // i.e. one cache line each — no false sharing.
+/// let arr = StridedArray::<u64>::new(4, 8);
+/// arr.elem(2).update(5);
+/// assert_eq!(arr.elem(2).read(), 5);
+/// assert_eq!(arr.len(), 26);
+/// ```
+#[derive(Debug)]
+pub struct StridedArray<T: Primitive> {
+    cells: Vec<AtomicCell<T>>,
+    stride: usize,
+    threads: usize,
+}
+
+impl<T: Primitive> StridedArray<T> {
+    /// Allocates an array for `threads` threads at the given `stride`
+    /// (in elements). The allocation covers indices
+    /// `0 ..= (threads-1) × stride` plus one trailing element so the
+    /// last thread's element has in-bounds padding after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `stride` is zero.
+    #[must_use]
+    pub fn new(threads: usize, stride: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        assert!(stride > 0, "stride must be at least 1");
+        let len = (threads - 1) * stride + 2;
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || AtomicCell::new(T::zero()));
+        StridedArray { cells, stride, threads }
+    }
+
+    /// The element private to thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn elem(&self, tid: usize) -> &AtomicCell<T> {
+        assert!(tid < self.threads, "tid {tid} out of range for {} threads", self.threads);
+        &self.cells[tid * self.stride]
+    }
+
+    /// Total allocated elements (thread elements plus padding).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array is empty (never true for a constructed array).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The configured stride in elements.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of threads the array serves.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Byte distance between consecutive threads' elements.
+    #[must_use]
+    pub fn element_spacing_bytes(&self) -> usize {
+        self.stride * std::mem::size_of::<T>()
+    }
+
+    /// How many distinct threads' elements can fall on one cache line
+    /// of `line_bytes` bytes (1 means no false sharing is possible).
+    #[must_use]
+    pub fn threads_per_line(&self, line_bytes: usize) -> usize {
+        (line_bytes / self.element_spacing_bytes()).max(1).min(self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_are_independent() {
+        let arr = StridedArray::<i32>::new(8, 4);
+        for t in 0..8 {
+            arr.elem(t).update(t as i32 + 1);
+        }
+        for t in 0..8 {
+            assert_eq!(arr.elem(t).read(), t as i32 + 1);
+        }
+    }
+
+    #[test]
+    fn allocation_covers_all_threads() {
+        let arr = StridedArray::<f64>::new(5, 16);
+        // last element index = 4*16 = 64 must be valid
+        arr.elem(4).write(1.5);
+        assert_eq!(arr.elem(4).read(), 1.5);
+        assert!(arr.len() > 64);
+    }
+
+    #[test]
+    fn spacing_bytes() {
+        assert_eq!(StridedArray::<i32>::new(2, 8).element_spacing_bytes(), 32);
+        assert_eq!(StridedArray::<f64>::new(2, 8).element_spacing_bytes(), 64);
+    }
+
+    #[test]
+    fn threads_per_line_matches_paper() {
+        // 64 B lines. Stride 1: 16 int elements/line → up to 16 threads
+        // share a line; stride 16 ints = 64 B → no sharing.
+        assert_eq!(StridedArray::<i32>::new(32, 1).threads_per_line(64), 16);
+        assert_eq!(StridedArray::<i32>::new(32, 16).threads_per_line(64), 1);
+        // 8-byte types stop false-sharing at stride 8 (Fig. 3c).
+        assert_eq!(StridedArray::<f64>::new(32, 8).threads_per_line(64), 1);
+        assert_eq!(StridedArray::<f64>::new(32, 4).threads_per_line(64), 2);
+    }
+
+    #[test]
+    fn threads_per_line_capped_by_thread_count() {
+        assert_eq!(StridedArray::<i32>::new(2, 1).threads_per_line(64), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn elem_bounds_checked() {
+        let arr = StridedArray::<u64>::new(2, 1);
+        let _ = arr.elem(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = StridedArray::<u64>::new(2, 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_updates() {
+        let arr = StridedArray::<u64>::new(4, 8);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let arr = &arr;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        arr.elem(t).update(1);
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            assert_eq!(arr.elem(t).read(), 10_000);
+        }
+    }
+}

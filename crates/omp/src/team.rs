@@ -1,0 +1,330 @@
+//! Parallel regions: the `#pragma omp parallel` equivalent.
+//!
+//! [`Team::parallel`] spawns `n` threads, hands each a [`ThreadCtx`]
+//! (thread id, team size, team barrier), runs the given closure on all
+//! of them, and joins — scoped, so the closure may borrow from the
+//! caller's stack just like an OpenMP parallel region captures
+//! enclosing variables.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::barrier::{BarrierToken, SenseBarrier};
+
+/// A team of a fixed number of threads.
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_omp::Team;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let hits = AtomicUsize::new(0);
+/// let team = Team::new(4);
+/// team.parallel(|ctx| {
+///     hits.fetch_add(ctx.tid + 1, Ordering::Relaxed);
+///     ctx.barrier();
+///     assert_eq!(hits.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+/// });
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Team {
+    n: usize,
+}
+
+/// Per-thread context inside a parallel region.
+#[derive(Debug)]
+pub struct ThreadCtx<'a> {
+    /// This thread's id in `0..nthreads` (like `omp_get_thread_num()`).
+    pub tid: usize,
+    /// Team size (like `omp_get_num_threads()`).
+    pub nthreads: usize,
+    barrier: &'a SenseBarrier,
+    token: std::cell::RefCell<BarrierToken>,
+    /// Region-wide count of `single` regions already claimed.
+    singles_claimed: &'a AtomicUsize,
+    /// This thread's count of `single` regions encountered.
+    singles_seen: std::cell::Cell<usize>,
+}
+
+impl ThreadCtx<'_> {
+    /// `#pragma omp barrier` — waits for the whole team.
+    pub fn barrier(&self) {
+        self.barrier.wait(&mut self.token.borrow_mut());
+    }
+
+    /// `#pragma omp master` — only thread 0 runs `f`; **no** implicit
+    /// barrier (exactly like OpenMP's `master`). Returns `Some` with
+    /// the result on the master thread.
+    pub fn master<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        if self.tid == 0 {
+            Some(f())
+        } else {
+            None
+        }
+    }
+
+    /// `#pragma omp single` — exactly one team thread (whichever
+    /// arrives first) runs `f`, then the whole team synchronizes at the
+    /// construct's implicit barrier. Returns `Some` on the thread that
+    /// executed the region.
+    ///
+    /// All team threads must reach every `single` in the same order,
+    /// as OpenMP requires for work-sharing constructs.
+    pub fn single<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        let n = self.singles_seen.get();
+        self.singles_seen.set(n + 1);
+        let won = self
+            .singles_claimed
+            .compare_exchange(n, n + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        let result = if won { Some(f()) } else { None };
+        self.barrier(); // implicit barrier at the end of `single`
+        result
+    }
+
+    /// `#pragma omp for schedule(static)` — distributes `0..count`
+    /// across the team in contiguous chunks and runs `f(i)` for this
+    /// thread's share, then synchronizes at the loop's implicit
+    /// barrier.
+    pub fn for_static(&self, count: usize, mut f: impl FnMut(usize)) {
+        let chunk = count.div_ceil(self.nthreads.max(1));
+        let start = (self.tid * chunk).min(count);
+        let end = ((self.tid + 1) * chunk).min(count);
+        for i in start..end {
+            f(i);
+        }
+        self.barrier(); // implicit barrier at the end of the loop
+    }
+
+    /// `#pragma omp sections` — distributes the given sections across
+    /// the team round-robin and synchronizes at the implicit barrier.
+    pub fn sections(&self, sections: &[&(dyn Fn() + Sync)]) {
+        let mut i = self.tid;
+        while i < sections.len() {
+            sections[i]();
+            i += self.nthreads;
+        }
+        self.barrier(); // implicit barrier at the end of `sections`
+    }
+}
+
+impl Team {
+    /// Creates a team of `n` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "team needs at least one thread");
+        Team { n }
+    }
+
+    /// Team size.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Runs `f` on `n` threads and returns each thread's result in tid
+    /// order. Blocks until the whole region completes (the implicit
+    /// barrier at the end of `#pragma omp parallel`).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any team thread.
+    pub fn parallel<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ThreadCtx<'_>) -> R + Sync,
+    {
+        let barrier = SenseBarrier::new(self.n);
+        let singles = AtomicUsize::new(0);
+        let n = self.n;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|tid| {
+                    let barrier = &barrier;
+                    let singles = &singles;
+                    let f = &f;
+                    s.spawn(move || {
+                        let ctx = ThreadCtx {
+                            tid,
+                            nthreads: n,
+                            barrier,
+                            token: std::cell::RefCell::new(BarrierToken::new()),
+                            singles_claimed: singles,
+                            singles_seen: std::cell::Cell::new(0),
+                        };
+                        f(&ctx)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("team thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_tid_order() {
+        let team = Team::new(6);
+        let out = team.parallel(|ctx| ctx.tid * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn nthreads_visible_to_all() {
+        let team = Team::new(3);
+        let out = team.parallel(|ctx| ctx.nthreads);
+        assert_eq!(out, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn barrier_divides_phases() {
+        let team = Team::new(4);
+        let phase1 = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            phase1.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+            // After the barrier every thread must see all phase-1 work.
+            assert_eq!(phase1.load(Ordering::Relaxed), 4);
+        });
+    }
+
+    #[test]
+    fn repeated_barriers() {
+        let team = Team::new(4);
+        let counter = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            for round in 1..=20 {
+                counter.fetch_add(1, Ordering::Relaxed);
+                ctx.barrier();
+                assert_eq!(counter.load(Ordering::Relaxed), round * 4);
+                ctx.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn single_thread_team() {
+        let team = Team::new(1);
+        let out = team.parallel(|ctx| {
+            ctx.barrier();
+            ctx.tid
+        });
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn closure_borrows_stack_data() {
+        let data = [1, 2, 3, 4];
+        let team = Team::new(4);
+        let out = team.parallel(|ctx| data[ctx.tid] * 2);
+        assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Team::new(0);
+    }
+
+    #[test]
+    fn master_runs_on_thread_zero_only() {
+        let ran = AtomicUsize::new(0);
+        let out = Team::new(4).parallel(|ctx| ctx.master(|| ran.fetch_add(1, Ordering::SeqCst)));
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert!(out[0].is_some());
+        assert!(out[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn single_runs_exactly_once_per_region() {
+        let ran = AtomicUsize::new(0);
+        Team::new(4).parallel(|ctx| {
+            for _ in 0..10 {
+                ctx.single(|| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 10, "one execution per single region");
+    }
+
+    #[test]
+    fn single_has_implicit_barrier() {
+        let value = AtomicUsize::new(0);
+        Team::new(4).parallel(|ctx| {
+            ctx.single(|| value.store(99, Ordering::SeqCst));
+            // Every thread must observe the single's effect right after.
+            assert_eq!(value.load(Ordering::SeqCst), 99);
+        });
+    }
+
+    #[test]
+    fn for_static_covers_range_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+        Team::new(4).parallel(|ctx| {
+            ctx.for_static(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            // Implicit barrier: all iterations done for every thread.
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        });
+    }
+
+    #[test]
+    fn for_static_assigns_contiguous_chunks() {
+        let owner: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        Team::new(4).parallel(|ctx| {
+            ctx.for_static(16, |i| owner[i].store(ctx.tid, Ordering::SeqCst));
+        });
+        let owners: Vec<usize> = owner.iter().map(|o| o.load(Ordering::SeqCst)).collect();
+        assert_eq!(owners[..4], [0, 0, 0, 0]);
+        assert_eq!(owners[4..8], [1, 1, 1, 1]);
+        assert_eq!(owners[12..], [3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn for_static_handles_small_and_empty_ranges() {
+        let hits = AtomicUsize::new(0);
+        Team::new(8).parallel(|ctx| {
+            ctx.for_static(3, |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            ctx.for_static(0, |_| panic!("no iterations in an empty loop"));
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn sections_each_run_once() {
+        let a = AtomicUsize::new(0);
+        let b = AtomicUsize::new(0);
+        let c = AtomicUsize::new(0);
+        let fa = || {
+            a.fetch_add(1, Ordering::SeqCst);
+        };
+        let fb = || {
+            b.fetch_add(1, Ordering::SeqCst);
+        };
+        let fc = || {
+            c.fetch_add(1, Ordering::SeqCst);
+        };
+        Team::new(2).parallel(|ctx| {
+            ctx.sections(&[&fa, &fb, &fc]);
+            // Implicit barrier: all sections complete.
+            assert_eq!(a.load(Ordering::SeqCst), 1);
+            assert_eq!(b.load(Ordering::SeqCst), 1);
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        });
+    }
+}

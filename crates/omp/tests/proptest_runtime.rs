@@ -1,0 +1,120 @@
+//! Property-based tests of the real-thread runtime: correctness under
+//! randomly drawn team sizes, workloads, and construct mixes. Kept
+//! small per case (real threads on possibly single-core CI machines).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use syncperf_omp::{AtomicCell, OmpLock, StridedArray, Team};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Atomic updates never lose increments for any (threads, count).
+    #[test]
+    fn atomic_sum_exact(threads in 1usize..6, per in 1u64..500) {
+        let cell = AtomicCell::new(0u64);
+        Team::new(threads).parallel(|_| {
+            for _ in 0..per {
+                cell.update(1);
+            }
+        });
+        prop_assert_eq!(cell.read(), threads as u64 * per);
+    }
+
+    /// for_static covers 0..count exactly once for any team size and
+    /// count, including count < threads and count = 0.
+    #[test]
+    fn for_static_exact_cover(threads in 1usize..6, count in 0usize..200) {
+        let hits: Vec<AtomicUsize> = (0..count).map(|_| AtomicUsize::new(0)).collect();
+        Team::new(threads).parallel(|ctx| {
+            ctx.for_static(count, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Each `single` region runs exactly once regardless of team size
+    /// and region count.
+    #[test]
+    fn single_runs_once_each(threads in 1usize..6, regions in 1usize..8) {
+        let ran = AtomicUsize::new(0);
+        Team::new(threads).parallel(|ctx| {
+            for _ in 0..regions {
+                ctx.single(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        prop_assert_eq!(ran.load(Ordering::Relaxed), regions);
+    }
+
+    /// `sections` runs every section exactly once.
+    #[test]
+    fn sections_run_once_each(threads in 1usize..6, n_sections in 0usize..9) {
+        let counters: Vec<AtomicUsize> =
+            (0..n_sections).map(|_| AtomicUsize::new(0)).collect();
+        let fns: Vec<Box<dyn Fn() + Sync>> = counters
+            .iter()
+            .map(|c| {
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn Fn() + Sync>
+            })
+            .collect();
+        let refs: Vec<&(dyn Fn() + Sync)> = fns.iter().map(AsRef::as_ref).collect();
+        Team::new(threads).parallel(|ctx| ctx.sections(&refs));
+        prop_assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Strided arrays keep per-thread elements independent for any
+    /// stride and thread count.
+    #[test]
+    fn strided_array_independence(threads in 1usize..6, stride in 1usize..24, per in 1u64..300) {
+        let arr = StridedArray::<u64>::new(threads, stride);
+        Team::new(threads).parallel(|ctx| {
+            for _ in 0..per {
+                arr.elem(ctx.tid).update(ctx.tid as u64 + 1);
+            }
+        });
+        for t in 0..threads {
+            prop_assert_eq!(arr.elem(t).read(), per * (t as u64 + 1));
+        }
+    }
+
+    /// The OpenMP lock protects a plain counter for any contention mix.
+    #[test]
+    fn lock_protects_plain_counter(threads in 1usize..5, per in 1u64..400) {
+        let lock = OmpLock::new();
+        let cell = std::cell::UnsafeCell::new(0u64);
+        struct W(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for W {}
+        let w = W(cell);
+        // Capture the whole &W (which is Sync), not the UnsafeCell
+        // field — Rust 2021 closures capture disjoint fields otherwise.
+        let wref = &w;
+        Team::new(threads).parallel(|_| {
+            for _ in 0..per {
+                lock.with(|| {
+                    // SAFETY: serialized by the lock.
+                    unsafe { *wref.0.get() += 1 };
+                });
+            }
+        });
+        prop_assert_eq!(unsafe { *w.0.get() }, threads as u64 * per);
+    }
+
+    /// Float atomic cells accumulate exactly for integer-valued
+    /// increments (within f64's exact-integer range).
+    #[test]
+    fn float_atomics_exact_for_integers(threads in 1usize..5, per in 1u64..400) {
+        let cell = AtomicCell::new(0.0f64);
+        Team::new(threads).parallel(|_| {
+            for _ in 0..per {
+                cell.update(1.0);
+            }
+        });
+        prop_assert_eq!(cell.read(), (threads as u64 * per) as f64);
+    }
+}

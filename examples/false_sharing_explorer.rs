@@ -1,0 +1,76 @@
+//! False-sharing explorer: for each data type, find the smallest stride
+//! at which private-element atomics stop paying coherence costs — the
+//! paper's Fig. 3 insight ("programmers should avoid false sharing"),
+//! turned into a tool.
+//!
+//! Run with: `cargo run --release --example false_sharing_explorer`
+
+use syncperf::prelude::*;
+
+/// Smallest stride whose throughput is within 10% of the fully padded
+/// (stride-16) throughput.
+fn padding_stride(
+    sim: &mut CpuSimExecutor,
+    dtype: DType,
+    threads: u32,
+) -> Result<(u32, Vec<(u32, f64)>)> {
+    let params = ExecParams::new(threads).with_loops(1000, 100);
+    let mut curve = Vec::new();
+    for stride in [1u32, 2, 4, 8, 16, 32] {
+        let m = Protocol::PAPER.measure(
+            sim,
+            &kernel::omp_atomic_update_array(dtype, stride),
+            &params,
+        )?;
+        curve.push((stride, m.throughput_clamped(1e-10)));
+    }
+    let padded = curve.last().expect("nonempty").1;
+    let found = curve
+        .iter()
+        .find(|&&(_, tp)| tp >= 0.9 * padded)
+        .map_or(16, |&(s, _)| s);
+    Ok((found, curve))
+}
+
+fn main() -> Result<()> {
+    let threads = SYSTEM3.cpu.total_cores();
+    println!(
+        "false-sharing exploration on the simulated {} ({threads} threads, one per core)\n",
+        SYSTEM3.cpu.name
+    );
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    let line = 64;
+
+    for dtype in DType::ALL {
+        let (stride, curve) = padding_stride(&mut sim, dtype, threads)?;
+        println!("{dtype} ({} B):", dtype.size_bytes());
+        for (s, tp) in &curve {
+            let bytes = *s as usize * dtype.size_bytes();
+            println!(
+                "  stride {s:>2} ({bytes:>3} B apart): {tp:>10.3e} ops/s/thread{}",
+                if bytes >= line { "   <- no line sharing possible" } else { "" }
+            );
+        }
+        let expect = (line / dtype.size_bytes()) as u32;
+        println!(
+            "  -> first conflict-free stride: {stride} (geometry predicts {expect}: \
+             {line} B line / {} B element)\n",
+            dtype.size_bytes()
+        );
+        assert_eq!(stride, expect, "model must agree with cache-line geometry");
+    }
+
+    // The same effect is real: two counters on one line vs padded, on
+    // actual threads (absolute numbers depend on this machine).
+    println!("on real threads (this machine):");
+    let mut real = OmpExecutor::new();
+    let p = ExecParams::new(2).with_loops(200, 50).with_warmup(2);
+    let shared = Protocol::SIM.measure(&mut real, &kernel::omp_atomic_update_array(DType::U64, 1), &p)?;
+    let padded = Protocol::SIM.measure(&mut real, &kernel::omp_atomic_update_array(DType::U64, 8), &p)?;
+    println!(
+        "  u64 atomics, 2 threads: stride 1 = {:.1} ns/op, stride 8 = {:.1} ns/op",
+        shared.runtime_seconds() * 1e9,
+        padded.runtime_seconds() * 1e9
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Model *your* machine: define a custom system from a spec string (or
+//! a `.sys` file — see `syncperf::core::sysfile`), then ask the
+//! simulators how its synchronization primitives will behave before you
+//! ever write the parallel code.
+//!
+//! Run with: `cargo run --release --example model_your_machine`
+
+use syncperf::core::sysfile::parse_system;
+use syncperf::core::stats;
+use syncperf::prelude::*;
+
+fn main() -> Result<()> {
+    // A hypothetical workstation: single-socket 8-core/16-thread CPU
+    // and a mid-range cc 8.6 GPU. Only the differences from System 3
+    // need to be stated.
+    let spec = parse_system(
+        "id = 9\n\
+         cpu.name = Hypothetical 8-core workstation\n\
+         cpu.sockets = 1\n\
+         cpu.cores_per_socket = 8\n\
+         cpu.numa_nodes = 1\n\
+         cpu.base_clock_ghz = 4.2\n\
+         cpu_jitter = 0.02\n\
+         gpu.name = Hypothetical cc8.6 GPU\n\
+         gpu.compute_capability = 8.6\n\
+         gpu.clock_ghz = 1.7\n\
+         gpu.sms = 46\n\
+         gpu.max_threads_per_sm = 1536\n\
+         gpu.cuda_cores_per_sm = 128\n\
+         gpu.memory_gb = 8\n",
+    )?;
+    println!("modeling: {spec}\n");
+
+    // --- CPU: where does false sharing stop hurting on this machine?
+    let mut cpu = CpuSimExecutor::new(&spec);
+    let threads = spec.cpu.total_cores();
+    println!("atomic int adds from {threads} threads, by array stride:");
+    for stride in [1u32, 4, 8, 16] {
+        let m = Protocol::PAPER.measure(
+            &mut cpu,
+            &kernel::omp_atomic_update_array(DType::I32, stride),
+            &ExecParams::new(threads).with_loops(1000, 100),
+        )?;
+        // Bootstrap CI over the 9 runs' differences shows measurement
+        // confidence under this system's jitter.
+        let reps = m.params.timed_reps() as f64;
+        let diffs: Vec<f64> = m
+            .test_runs
+            .iter()
+            .zip(&m.baseline_runs)
+            .map(|(t, b)| (t - b) / reps * 1e9)
+            .collect();
+        let (lo, hi) = stats::bootstrap_median_ci(&diffs, 0.95, 300, 1);
+        println!(
+            "  stride {stride:>2}: {:>7.1} ns/op   (95% CI [{lo:.1}, {hi:.1}])",
+            m.runtime_seconds() * 1e9
+        );
+    }
+
+    // --- CPU: barrier scaling on 8 cores + SMT.
+    let mut points = Vec::new();
+    for t in spec.cpu.omp_thread_counts() {
+        let m = Protocol::PAPER.measure(
+            &mut cpu,
+            &kernel::omp_barrier(),
+            &ExecParams::new(t).with_loops(1000, 100),
+        )?;
+        points.push((f64::from(t), m.throughput_clamped(1e-10)));
+    }
+    let mut fig = FigureData::new(
+        "custom_barrier",
+        format!("OpenMP barrier on {}", spec.cpu.name),
+        "threads",
+        "barriers/s/thread",
+    );
+    fig.push_series(Series::new("barrier", points));
+    println!("\n{}", fig.render_ascii(64, 10));
+
+    // --- GPU: pick a block size for a barrier-heavy kernel.
+    let mut gpu = GpuSimExecutor::new(&spec);
+    println!("__syncthreads() cost by block size on {}:", spec.gpu.name);
+    for threads in [64u32, 128, 256, 512, 1024] {
+        let m = Protocol::PAPER.measure(
+            &mut gpu,
+            &kernel::cuda_syncthreads(),
+            &ExecParams::new(threads).with_blocks(spec.gpu.sms).with_loops(1000, 100),
+        )?;
+        println!("  {threads:>4} threads/block: {:>6.1} cycles/sync", m.per_op);
+    }
+    println!("\nsmaller blocks pay less per barrier — recommendation 1 of §V-B5");
+    Ok(())
+}

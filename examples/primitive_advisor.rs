@@ -1,0 +1,158 @@
+//! Primitive advisor: measures the simulated system and derives the
+//! paper's developer recommendations (Sections V-A5 and V-B5) from the
+//! data, with numeric evidence attached to each.
+//!
+//! Run with: `cargo run --release --example primitive_advisor`
+
+use syncperf::core::recommend::{recommend_cuda, recommend_openmp, CudaFindings, OpenMpFindings};
+use syncperf::core::sweep::{throughput_series, thread_sweep};
+use syncperf::prelude::*;
+
+fn cpu_sweep(
+    sim: &mut CpuSimExecutor,
+    label: &str,
+    k: &CpuKernel,
+    threads: &[u32],
+) -> Result<Series> {
+    let points = thread_sweep(threads, ExecParams::new(2).with_loops(1000, 100), |_| k.clone());
+    throughput_series(sim, &Protocol::PAPER, label, points)
+}
+
+fn gpu_sweep(
+    sim: &mut GpuSimExecutor,
+    label: &str,
+    k: &GpuKernel,
+    blocks: u32,
+    threads: &[u32],
+) -> Result<Series> {
+    let points = thread_sweep(
+        threads,
+        ExecParams::new(1).with_blocks(blocks).with_loops(1000, 100),
+        |_| k.clone(),
+    );
+    throughput_series(sim, &Protocol::PAPER, label, points)
+}
+
+fn openmp_findings(sys: &SystemSpec) -> Result<OpenMpFindings> {
+    let mut sim = CpuSimExecutor::new(sys);
+    let threads: Vec<u32> = sys.cpu.omp_thread_counts();
+    let cores = sys.cpu.total_cores();
+
+    let barrier = cpu_sweep(&mut sim, "barrier", &kernel::omp_barrier(), &threads)?;
+    let atomic = cpu_sweep(
+        &mut sim,
+        "int",
+        &kernel::omp_atomic_update_scalar(DType::I32),
+        &threads,
+    )?;
+    let critical = cpu_sweep(&mut sim, "int", &kernel::omp_critical_add(DType::I32), &threads)?;
+
+    let p = ExecParams::new(cores).with_loops(1000, 100);
+    let shared1 = Protocol::PAPER.measure(
+        &mut sim,
+        &kernel::omp_atomic_update_array(DType::I32, 1),
+        &p,
+    )?;
+    let padded = Protocol::PAPER.measure(
+        &mut sim,
+        &kernel::omp_atomic_update_array(DType::I32, 16),
+        &p,
+    )?;
+    let read = Protocol::PAPER.measure(&mut sim, &kernel::omp_atomic_read(DType::I32), &p)?;
+    let flush_padded = Protocol::PAPER.measure(&mut sim, &kernel::omp_flush(DType::I32, 16), &p)?;
+    let update = Protocol::PAPER.measure(
+        &mut sim,
+        &kernel::omp_atomic_update_array(DType::I32, 16),
+        &p,
+    )?;
+
+    let ht_ratio = atomic.y_at(f64::from(sys.cpu.total_threads())).unwrap_or(1.0)
+        / atomic.y_at(f64::from(cores)).unwrap_or(1.0);
+
+    Ok(OpenMpFindings {
+        barrier,
+        atomic_scalar_int: atomic,
+        critical_int: critical,
+        false_sharing_speedup: shared1.runtime_seconds() / padded.runtime_seconds(),
+        atomic_read_negligible: read.is_negligible(),
+        hyperthread_ratio: ht_ratio,
+        flush_overhead_no_sharing: (flush_padded.runtime_seconds()
+            / update.runtime_seconds().max(1e-12))
+        .max(0.0),
+    })
+}
+
+fn cuda_findings(sys: &SystemSpec) -> Result<CudaFindings> {
+    let mut sim = GpuSimExecutor::new(sys);
+    let threads = sys.gpu.thread_count_sweep();
+    let full = sys.gpu.sms;
+
+    let syncthreads = gpu_sweep(&mut sim, "any", &kernel::cuda_syncthreads(), 1, &threads)?;
+    let syncwarp = gpu_sweep(&mut sim, "syncwarp", &kernel::cuda_syncwarp(), full, &threads)?;
+    let fencef = gpu_sweep(
+        &mut sim,
+        "fence",
+        &kernel::cuda_threadfence(Scope::Device, DType::I32, 1),
+        full,
+        &threads,
+    )?;
+
+    let p = ExecParams::new(1024).with_blocks(64).with_loops(1000, 100);
+    let int_add =
+        Protocol::PAPER.measure(&mut sim, &kernel::cuda_atomic_add_scalar(DType::I32), &p)?;
+    let f32_add =
+        Protocol::PAPER.measure(&mut sim, &kernel::cuda_atomic_add_scalar(DType::F32), &p)?;
+    let private_add =
+        Protocol::PAPER.measure(&mut sim, &kernel::cuda_atomic_add_array(DType::I32, 32), &p)?;
+
+    let shfl_p = ExecParams::new(1024).with_blocks(full).with_loops(1000, 100);
+    let shfl32 = Protocol::PAPER.measure(
+        &mut sim,
+        &kernel::cuda_shfl(DType::F32, syncperf::core::ShflVariant::Idx),
+        &shfl_p,
+    )?;
+    let shfl64 = Protocol::PAPER.measure(
+        &mut sim,
+        &kernel::cuda_shfl(DType::F64, syncperf::core::ShflVariant::Idx),
+        &shfl_p,
+    )?;
+
+    // Recommendation 8: one active lane per warp vs a full warp of CAS.
+    let lane = Protocol::PAPER.measure(
+        &mut sim,
+        &kernel::cuda_atomic_cas_scalar(DType::I32),
+        &ExecParams::new(1).with_blocks(1).with_loops(1000, 100),
+    )?;
+    let warp = Protocol::PAPER.measure(
+        &mut sim,
+        &kernel::cuda_atomic_cas_scalar(DType::I32),
+        &ExecParams::new(32).with_blocks(1).with_loops(1000, 100),
+    )?;
+
+    let variation = |s: &Series| s.y_max() / s.y_min();
+    Ok(CudaFindings {
+        syncwarp_variation: variation(&syncwarp),
+        fence_variation: variation(&fencef),
+        syncthreads,
+        int_over_float_atomic: f32_add.runtime_seconds() / int_add.runtime_seconds(),
+        shared_over_private_atomic: private_add.runtime_seconds() / int_add.runtime_seconds(),
+        shfl_32_over_64: shfl64.runtime_seconds() / shfl32.runtime_seconds(),
+        partial_warp_atomic_gain: warp.runtime_seconds() / lane.runtime_seconds(),
+    })
+}
+
+fn main() -> Result<()> {
+    let sys = &SYSTEM3;
+    println!("measuring the simulated {sys} …\n");
+
+    println!("--- OpenMP recommendations (Section V-A5) ---");
+    for rec in recommend_openmp(&openmp_findings(sys)?) {
+        println!("* {rec}");
+    }
+
+    println!("\n--- CUDA recommendations (Section V-B5) ---");
+    for rec in recommend_cuda(&cuda_findings(sys)?) {
+        println!("* {rec}");
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: measure a handful of synchronization primitives on a
+//! simulated system and on real threads.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use syncperf::prelude::*;
+
+fn main() -> Result<()> {
+    // --- 1. Measure on the simulated System 3 (AMD 2950X + RTX 4090).
+    println!("== simulated {} ==", SYSTEM3);
+    let mut cpu = CpuSimExecutor::new(&SYSTEM3);
+    let params = ExecParams::new(16).with_loops(1000, 100);
+
+    for (name, k) in [
+        ("barrier", kernel::omp_barrier()),
+        ("atomic update (int, shared)", kernel::omp_atomic_update_scalar(DType::I32)),
+        ("atomic update (double, shared)", kernel::omp_atomic_update_scalar(DType::F64)),
+        ("critical add (int)", kernel::omp_critical_add(DType::I32)),
+        ("flush (padded)", kernel::omp_flush(DType::I32, 16)),
+    ] {
+        let m = Protocol::PAPER.measure(&mut cpu, &k, &params)?;
+        println!(
+            "  {name:<32} {:>8.1} ns/op   {:>10.3e} ops/s/thread",
+            m.runtime_seconds() * 1e9,
+            m.throughput_clamped(1e-10),
+        );
+    }
+
+    // --- 2. The same framework drives the GPU simulator.
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let gpu_params = ExecParams::new(256).with_blocks(64).with_loops(1000, 100);
+    for (name, k) in [
+        ("__syncthreads()", kernel::cuda_syncthreads()),
+        ("__syncwarp()", kernel::cuda_syncwarp()),
+        ("atomicAdd (int, shared)", kernel::cuda_atomic_add_scalar(DType::I32)),
+        ("atomicAdd (float, shared)", kernel::cuda_atomic_add_scalar(DType::F32)),
+        ("__threadfence()", kernel::cuda_threadfence(Scope::Device, DType::I32, 1)),
+    ] {
+        let m = Protocol::PAPER.measure(&mut gpu, &k, &gpu_params)?;
+        println!(
+            "  {name:<32} {:>8.1} cycles  {:>10.3e} ops/s/thread",
+            m.per_op,
+            m.throughput_clamped(1e-10),
+        );
+    }
+
+    // --- 3. And real OS threads with real atomics (trends depend on
+    //        this machine's core count; the framework is identical).
+    println!("\n== real threads on this machine ==");
+    let mut real = OmpExecutor::new();
+    let quick = ExecParams::new(2).with_loops(200, 50).with_warmup(2);
+    let m = Protocol::SIM.measure(&mut real, &kernel::omp_atomic_update_scalar(DType::I32), &quick)?;
+    println!("  atomic int add, 2 threads: {:.1} ns/op", m.runtime_seconds() * 1e9);
+    let m = Protocol::SIM.measure(&mut real, &kernel::omp_atomic_read(DType::I32), &quick)?;
+    println!(
+        "  atomic read overhead: {:.2} ns ({})",
+        m.runtime_seconds() * 1e9,
+        if m.is_negligible() { "negligible, as the paper found" } else { "measurable" }
+    );
+
+    // --- 4. Parallel regions and primitives are usable directly, too.
+    let sum = AtomicCell::new(0u64);
+    Team::new(4).parallel(|ctx| {
+        sum.update(ctx.tid as u64 + 1);
+        ctx.barrier();
+        assert_eq!(sum.read(), 10);
+    });
+    println!("\nteam of 4 summed thread ids + 1 = {}", sum.read());
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The Listing 1 study as a library user would run it: simulate the
+//! five CUDA max-reduction strategies on each capable GPU, then verify
+//! the reduction logic itself on real threads.
+//!
+//! Run with: `cargo run --release --example reduction_strategies`
+
+use syncperf::core::all_systems;
+use syncperf::gpu_sim::{simulate_reduction, GpuModel};
+use syncperf::prelude::*;
+
+fn main() -> Result<()> {
+    for sys in all_systems() {
+        let model = GpuModel::for_spec(&sys.gpu);
+        let cfg = ReductionConfig::megabyte_input(&sys.gpu);
+        println!(
+            "\n{} (cc {}.{}), {} int elements:",
+            sys.gpu.name, sys.gpu.compute_capability.0, sys.gpu.compute_capability.1, cfg.size
+        );
+        let mut timed = Vec::new();
+        for strategy in ReductionStrategy::ALL {
+            match simulate_reduction(&model, &sys.gpu, strategy, &cfg) {
+                Ok(r) => {
+                    let us = r.total_cycles / (sys.gpu.clock_ghz * 1e3);
+                    println!(
+                        "  {:<40} {:>8.1} µs  (stream {:>5.1} + atomics {:>6.1} + overhead {:>5.1})",
+                        strategy.label(),
+                        us,
+                        r.stream_cycles / (sys.gpu.clock_ghz * 1e3),
+                        (r.global_atomic_cycles + r.block_atomic_cycles) / (sys.gpu.clock_ghz * 1e3),
+                        r.overhead_cycles / (sys.gpu.clock_ghz * 1e3),
+                    );
+                    timed.push((strategy, r.total_cycles));
+                }
+                Err(e) => println!("  {:<40} unsupported: {e}", strategy.label()),
+            }
+        }
+        timed.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let names: Vec<&str> = timed
+            .iter()
+            .map(|(s, _)| match s {
+                ReductionStrategy::GlobalAtomic => "R1",
+                ReductionStrategy::ShflThenGlobalAtomic => "R2",
+                ReductionStrategy::BlockAtomicThenGlobal => "R3",
+                ReductionStrategy::WarpReduceThenBlock => "R4",
+                ReductionStrategy::PersistentThreads => "R5",
+            })
+            .collect();
+        println!("  fastest -> slowest: {}", names.join(" < "));
+    }
+
+    // The reduction pattern itself, verified on real threads: a
+    // persistent-thread max reduction using block(team)-local then
+    // global atomics — the structure of Listing 1's Reduction 5.
+    println!("\nreal-thread persistent max reduction (Reduction 5 structure):");
+    let data: Vec<i32> = (0..100_000).map(|i| (i * 2_654_435_761u64 % 1_000_003) as i32).collect();
+    let expected = *data.iter().max().expect("nonempty");
+
+    let global = AtomicCell::new(i32::MIN);
+    let team_n = 8;
+    let team_result = AtomicCell::new(i32::MIN);
+    Team::new(team_n).parallel(|ctx| {
+        // Thread-local pass (persistent-thread style).
+        let mut local = i32::MIN;
+        let mut i = ctx.tid;
+        while i < data.len() {
+            local = local.max(data[i]);
+            i += ctx.nthreads;
+        }
+        // Team-scoped atomic, then one thread escalates globally.
+        team_result.max(local);
+        ctx.barrier();
+        if ctx.tid == 0 {
+            global.max(team_result.read());
+        }
+    });
+    assert_eq!(global.read(), expected);
+    println!("  max of 100000 elements = {} (verified)", global.read());
+    Ok(())
+}

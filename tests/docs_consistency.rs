@@ -1,0 +1,153 @@
+//! Documentation-code consistency: the promises in DESIGN.md,
+//! EXPERIMENTS.md, and README.md must match what the workspace actually
+//! contains.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(rel: &str) -> String {
+    std::fs::read_to_string(repo_root().join(rel))
+        .unwrap_or_else(|e| panic!("missing {rel}: {e}"))
+}
+
+fn bench_binaries() -> BTreeSet<String> {
+    std::fs::read_dir(repo_root().join("crates/bench/src/bin"))
+        .expect("bench bins")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect()
+}
+
+#[test]
+fn every_figure_binary_mentioned_in_design_exists() {
+    let design = read("DESIGN.md");
+    let bins = bench_binaries();
+    // Binaries referenced by name in DESIGN.md's experiment index.
+    for needle in [
+        "table1_systems",
+        "listing1_reductions",
+        "fig01_omp_barrier",
+        "fig02_omp_atomic_update_scalar",
+        "fig03_omp_atomic_update_array",
+        "fig04_omp_atomic_write",
+        "fig05_omp_critical",
+        "fig06_omp_flush",
+        "exp_omp_atomic_read_capture",
+        "fig07_cuda_syncthreads",
+        "fig08_cuda_syncwarp",
+        "fig09_cuda_atomicadd_scalar",
+        "fig10_cuda_atomicadd_array",
+        "fig11_cuda_atomiccas_scalar",
+        "fig12_cuda_atomiccas_array",
+        "fig13_cuda_atomicexch",
+        "fig14_cuda_threadfence",
+        "fig15_cuda_shfl",
+        "exp_cuda_fence_scopes",
+        "exp_cuda_vote",
+        "exp_omp_affinity",
+        "exp_cuda_atomic_ops",
+        "exp_cuda_divergence",
+        "exp_cpu_reduction_strategies",
+        "exp_gpu_histogram",
+    ] {
+        assert!(design.contains(needle), "DESIGN.md does not mention {needle}");
+        assert!(bins.contains(needle), "DESIGN.md promises binary {needle} but it does not exist");
+    }
+}
+
+#[test]
+fn every_paper_figure_covered_in_experiments_md() {
+    let experiments = read("EXPERIMENTS.md");
+    for fig in 1..=15 {
+        assert!(
+            experiments.contains(&format!("Fig. {fig}")),
+            "EXPERIMENTS.md is missing Fig. {fig}"
+        );
+    }
+    assert!(experiments.contains("Table I"));
+    assert!(experiments.contains("Listing 1"));
+}
+
+#[test]
+fn readme_examples_exist() {
+    let readme = read("README.md");
+    for example in [
+        "quickstart",
+        "false_sharing_explorer",
+        "reduction_strategies",
+        "primitive_advisor",
+        "privatization_casebook",
+        "model_your_machine",
+    ] {
+        assert!(readme.contains(example), "README does not list example {example}");
+        assert!(
+            repo_root().join(format!("examples/{example}.rs")).exists(),
+            "README lists example {example} but examples/{example}.rs is missing"
+        );
+    }
+}
+
+#[test]
+fn readme_binaries_exist() {
+    let readme = read("README.md");
+    let bins = bench_binaries();
+    for line in readme.lines().filter(|l| l.contains("--bin ")) {
+        let after = line.split("--bin ").nth(1).expect("bin name after flag");
+        let name: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        assert!(bins.contains(&name), "README references missing binary `{name}`");
+    }
+}
+
+#[test]
+fn design_md_lists_all_workspace_crates() {
+    let design = read("DESIGN.md");
+    for krate in ["syncperf-core", "syncperf-omp", "syncperf-cpu-sim", "syncperf-gpu-sim", "syncperf-bench"]
+    {
+        assert!(design.contains(krate), "DESIGN.md missing crate {krate}");
+    }
+}
+
+#[test]
+fn ablations_promised_in_design_exist() {
+    let design = read("DESIGN.md");
+    let bins = bench_binaries();
+    for ablation in [
+        "ablation_contention_model",
+        "ablation_warp_aggregation",
+        "ablation_fp_atomics",
+        "ablation_barrier_model",
+    ] {
+        assert!(design.contains(ablation), "DESIGN.md missing ablation {ablation}");
+        assert!(bins.contains(ablation), "promised ablation binary {ablation} missing");
+    }
+}
+
+#[test]
+fn model_md_constants_match_code() {
+    // MODEL.md quotes specific constants; keep prose and code in sync.
+    let model = read("MODEL.md");
+    let cpu = syncperf::cpu_sim::CpuModel::baseline();
+    assert!(model.contains("SAT = 7"));
+    assert_eq!(cpu.contention_sat, 7);
+    assert!(model.contains("40 ns"));
+    assert_eq!(cpu.line_transfer_ns, 40.0);
+    assert!(model.contains("h = 0.6"));
+    assert_eq!(cpu.store_buffer_hiding, 0.6);
+
+    let gpu = syncperf::gpu_sim::GpuModel::for_spec(&syncperf::core::SYSTEM3.gpu);
+    assert!(model.contains("int 36"));
+    assert_eq!(gpu.atomic_device.i32_cy, 36.0);
+    assert!(model.contains("FREE = 4"));
+    assert_eq!(gpu.same_addr_free_requests, 4);
+    assert!(model.contains("device 250"));
+    assert_eq!(gpu.fence_device_cy, 250.0);
+}

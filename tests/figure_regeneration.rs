@@ -1,0 +1,86 @@
+//! End-to-end regeneration: every figure generator produces well-formed
+//! data, ids are unique, and CSVs round-trip to disk.
+
+use syncperf_bench::{all_figures, common, tables};
+use syncperf_core::SYSTEM3;
+
+#[test]
+fn every_figure_regenerates_with_unique_ids_and_full_series() {
+    let figs = all_figures().expect("all generators succeed");
+    // 1 + 1 + 4 + 2 + 1 + 4 + 1 (CPU) + 1 + 2 + 2 + 4 + 2 + 4 + 2 + 4 + 2 + 1 + 1 (GPU)
+    assert_eq!(figs.len(), 42, "expected 42 figure panels");
+    let mut ids: Vec<&str> = figs.iter().map(|f| f.id.as_str()).collect();
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "figure ids must be unique");
+
+    for fig in &figs {
+        assert!(!fig.series.is_empty(), "{}: no series", fig.id);
+        for s in &fig.series {
+            assert!(!s.points.is_empty(), "{}/{}: empty series", fig.id, s.label);
+            for &(x, y) in &s.points {
+                assert!(x.is_finite() && y.is_finite(), "{}/{}", fig.id, s.label);
+                assert!(y >= 0.0, "{}/{}: negative throughput", fig.id, s.label);
+            }
+            // Points sorted by x.
+            for w in s.points.windows(2) {
+                assert!(w[0].0 < w[1].0, "{}/{}: x not ascending", fig.id, s.label);
+            }
+        }
+        // CSV renders and has a data row per x.
+        let csv = fig.to_csv();
+        assert!(csv.lines().count() > 1, "{}: empty csv", fig.id);
+        // Table and chart render without panicking.
+        let _ = fig.render_table();
+        let _ = fig.render_ascii(60, 10);
+    }
+}
+
+#[test]
+fn csvs_written_to_results_dir() {
+    let dir = std::env::temp_dir().join(format!("syncperf_results_{}", std::process::id()));
+    let figs = syncperf_bench::figures_cpu::fig01_barrier().unwrap();
+    for f in &figs {
+        f.write_csv(&dir).unwrap();
+    }
+    let written = std::fs::read_to_string(dir.join("fig01.csv")).unwrap();
+    assert!(written.starts_with("threads,barrier"));
+    assert_eq!(written.lines().count(), 32); // header + 31 thread counts
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gpu_figures_use_log_x_cpu_figures_do_not() {
+    let figs = all_figures().unwrap();
+    for fig in &figs {
+        if fig.id.starts_with("fig0") && !fig.id.starts_with("fig07") && !fig.id.starts_with("fig08")
+            && !fig.id.starts_with("fig09")
+        {
+            assert!(!fig.log_x, "{} is a CPU figure (linear x)", fig.id);
+        }
+        if fig.id.starts_with("fig1") || fig.id.starts_with("fig07") {
+            assert!(fig.log_x, "{} is a GPU figure (log x)", fig.id);
+        }
+    }
+}
+
+#[test]
+fn table1_and_listing1_reports_render() {
+    let t1 = tables::table1();
+    assert!(t1.contains("TABLE I"));
+    let l1 = tables::listing1_report(&SYSTEM3).unwrap();
+    assert!(l1.contains("R5 < R3 < R4 < R1 < R2"));
+}
+
+#[test]
+fn results_dir_override_respected() {
+    // SYNCPERF_RESULTS drives where the harness writes.
+    std::env::set_var("SYNCPERF_RESULTS", "/tmp/syncperf_override_test");
+    assert_eq!(
+        common::results_dir(),
+        std::path::PathBuf::from("/tmp/syncperf_override_test")
+    );
+    std::env::remove_var("SYNCPERF_RESULTS");
+    assert_eq!(common::results_dir(), std::path::PathBuf::from("results"));
+}

@@ -1,0 +1,224 @@
+//! The paper's headline findings, asserted end-to-end through the
+//! public API — one test per claim in EXPERIMENTS.md.
+
+use syncperf::core::all_systems;
+use syncperf::gpu_sim::{simulate_reduction, GpuModel};
+use syncperf::prelude::*;
+
+fn cpu_throughput(sim: &mut CpuSimExecutor, k: &CpuKernel, threads: u32) -> f64 {
+    let p = ExecParams::new(threads).with_loops(1000, 100);
+    Protocol::PAPER.measure(sim, k, &p).unwrap().throughput_clamped(1e-10)
+}
+
+fn gpu_throughput(sim: &mut GpuSimExecutor, k: &GpuKernel, blocks: u32, threads: u32) -> f64 {
+    let p = ExecParams::new(threads).with_blocks(blocks).with_loops(1000, 100);
+    Protocol::PAPER.measure(sim, k, &p).unwrap().throughput_clamped(1e-10)
+}
+
+// ---- OpenMP findings -------------------------------------------------
+
+#[test]
+fn finding_barrier_plateau_beyond_eight_threads() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::omp_barrier();
+    let t2 = cpu_throughput(&mut sim, &k, 2);
+    let t8 = cpu_throughput(&mut sim, &k, 8);
+    let t32 = cpu_throughput(&mut sim, &k, 32);
+    assert!(t2 > 2.0 * t8, "initial per-thread decrease");
+    assert!(t8 < 2.0 * t32, "largely stable beyond ~8 threads");
+}
+
+#[test]
+fn finding_integer_atomics_beat_floating_point() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    for threads in [2, 8, 32] {
+        let int = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), threads);
+        let dbl = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::F64), threads);
+        assert!(int > dbl, "at {threads} threads");
+    }
+}
+
+#[test]
+fn finding_word_size_irrelevant_on_64bit_cpus() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM2);
+    let i = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), 16);
+    let u = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::U64), 16);
+    assert!((i / u - 1.0).abs() < 0.1, "int vs ull within noise: {i} vs {u}");
+}
+
+#[test]
+fn finding_false_sharing_knee_at_cache_line_geometry() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    let threads = SYSTEM3.cpu.total_cores();
+    // doubles: conflict-free from stride 8 (64 B / 8 B).
+    let d4 = cpu_throughput(&mut sim, &kernel::omp_atomic_update_array(DType::F64, 4), threads);
+    let d8 = cpu_throughput(&mut sim, &kernel::omp_atomic_update_array(DType::F64, 8), threads);
+    assert!(d8 > 3.0 * d4, "doubles jump at stride 8 (Fig. 3c)");
+    // ints: conflict-free from stride 16 (64 B / 4 B).
+    let i8 = cpu_throughput(&mut sim, &kernel::omp_atomic_update_array(DType::I32, 8), threads);
+    let i16 = cpu_throughput(&mut sim, &kernel::omp_atomic_update_array(DType::I32, 16), threads);
+    assert!(i16 > 3.0 * i8, "ints jump at stride 16 (Fig. 3d)");
+}
+
+#[test]
+fn finding_critical_sections_slowest() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    for threads in [4, 16, 32] {
+        let atomic = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), threads);
+        let critical = cpu_throughput(&mut sim, &kernel::omp_critical_add(DType::I32), threads);
+        assert!(critical < atomic, "critical must lose at {threads} threads (Fig. 5)");
+    }
+}
+
+#[test]
+fn finding_flush_free_without_false_sharing() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM2);
+    let p = ExecParams::new(32).with_affinity(Affinity::Close).with_loops(1000, 100);
+    let padded = Protocol::PAPER
+        .measure(&mut sim, &kernel::omp_flush(DType::F64, 16), &p)
+        .unwrap();
+    let shared = Protocol::PAPER
+        .measure(&mut sim, &kernel::omp_flush(DType::F64, 1), &p)
+        .unwrap();
+    assert!(
+        shared.runtime_seconds() > 3.0 * padded.runtime_seconds(),
+        "flush is expensive only under false sharing (Fig. 6)"
+    );
+}
+
+#[test]
+fn finding_hyperthreading_harmless() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::omp_atomic_update_array(DType::I32, 16);
+    let at_cores = cpu_throughput(&mut sim, &k, SYSTEM3.cpu.total_cores());
+    let at_max = cpu_throughput(&mut sim, &k, SYSTEM3.cpu.total_threads());
+    let ratio = at_max / at_cores;
+    assert!(ratio > 0.75, "per-thread throughput holds up under SMT: {ratio}");
+}
+
+// ---- CUDA findings ---------------------------------------------------
+
+#[test]
+fn finding_syncthreads_flat_in_warp_then_decreasing() {
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::cuda_syncthreads();
+    let t8 = gpu_throughput(&mut gpu, &k, 1, 8);
+    let t32 = gpu_throughput(&mut gpu, &k, 1, 32);
+    let t1024 = gpu_throughput(&mut gpu, &k, 1, 1024);
+    assert_eq!(t8, t32, "whole warp runs below 32 threads");
+    assert!(t1024 < 0.5 * t32, "throughput drops with warp count (Fig. 7)");
+}
+
+#[test]
+fn finding_syncwarp_depends_on_sm_load_not_block() {
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::cuda_syncwarp();
+    // Same threads/SM through different (blocks × threads) splits.
+    let a = gpu_throughput(&mut gpu, &k, 128, 256);
+    let b = gpu_throughput(&mut gpu, &k, 256, 128);
+    assert_eq!(a, b, "__syncwarp depends on warps per SM (Fig. 8)");
+}
+
+#[test]
+fn finding_warp_aggregation_constant_region() {
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::cuda_atomic_add_scalar(DType::I32);
+    let t32 = gpu_throughput(&mut gpu, &k, 2, 32);
+    let t64 = gpu_throughput(&mut gpu, &k, 2, 64);
+    let t128 = gpu_throughput(&mut gpu, &k, 2, 128);
+    assert_eq!(t32, t64, "2-block config constant to 64 threads (Fig. 9)");
+    assert!(t128 < t64);
+}
+
+#[test]
+fn finding_cas_has_no_aggregation() {
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::cuda_atomic_cas_scalar(DType::I32);
+    let t4 = gpu_throughput(&mut gpu, &k, 1, 4);
+    let t8 = gpu_throughput(&mut gpu, &k, 1, 8);
+    let t32 = gpu_throughput(&mut gpu, &k, 1, 32);
+    assert!(t8 < t4, "CAS constant region ends at 4 threads (Fig. 11)");
+    assert!(t32 < t8);
+}
+
+#[test]
+fn finding_fence_constant_and_scope_ordered() {
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let dev = kernel::cuda_threadfence(Scope::Device, DType::I32, 1);
+    let a = gpu_throughput(&mut gpu, &dev, 1, 32);
+    let b = gpu_throughput(&mut gpu, &dev, 128, 1024);
+    assert!((a / b - 1.0).abs() < 0.05, "fence cost constant (Fig. 14): {a} vs {b}");
+}
+
+#[test]
+fn finding_shfl_32bit_double_64bit() {
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let f32k = kernel::cuda_shfl(DType::F32, ShflVariant::Xor);
+    let f64k = kernel::cuda_shfl(DType::F64, ShflVariant::Xor);
+    let a = gpu_throughput(&mut gpu, &f32k, 2, 32);
+    let b = gpu_throughput(&mut gpu, &f64k, 2, 32);
+    assert!((a / b - 2.0).abs() < 0.1, "two 32-bit instructions per 64-bit shuffle (Fig. 15)");
+}
+
+#[test]
+fn finding_reduction_ordering_on_every_capable_gpu() {
+    for sys in all_systems() {
+        let model = GpuModel::for_spec(&sys.gpu);
+        let cfg = ReductionConfig::megabyte_input(&sys.gpu);
+        let t = |s| simulate_reduction(&model, &sys.gpu, s, &cfg).map(|r| r.total_cycles);
+        let r1 = t(ReductionStrategy::GlobalAtomic).unwrap();
+        let r2 = t(ReductionStrategy::ShflThenGlobalAtomic).unwrap();
+        let r3 = t(ReductionStrategy::BlockAtomicThenGlobal).unwrap();
+        let r5 = t(ReductionStrategy::PersistentThreads).unwrap();
+        assert!(r3 < r1 && r1 < r2, "{}: R3 < R1 < R2", sys);
+        assert!(r5 < r3, "{}: persistent threads fastest", sys);
+        if sys.gpu.cc_number() >= 80 {
+            let r4 = t(ReductionStrategy::WarpReduceThenBlock).unwrap();
+            assert!(r3 < r4 && r4 < r1, "{}: R3 < R4 < R1", sys);
+        }
+    }
+}
+
+#[test]
+fn finding_recommendation_engines_produce_paper_counts() {
+    use syncperf::core::recommend::{
+        recommend_cuda, recommend_openmp, CudaFindings, OpenMpFindings,
+    };
+    // Findings as the regenerated figures report them.
+    let omp = OpenMpFindings {
+        barrier: Series::new("b", vec![(2.0, 3.4e6), (16.0, 8.0e5), (32.0, 7.8e5)]),
+        atomic_scalar_int: Series::new("i", vec![(2.0, 1.6e7), (32.0, 5.0e6)]),
+        critical_int: Series::new("c", vec![(2.0, 6.0e6), (32.0, 1.5e6)]),
+        false_sharing_speedup: 30.0,
+        atomic_read_negligible: true,
+        hyperthread_ratio: 1.0,
+        flush_overhead_no_sharing: 1.6,
+    };
+    assert_eq!(recommend_openmp(&omp).len(), 7, "Section V-A5 lists 7 recommendations");
+    let cuda = CudaFindings {
+        syncthreads: Series::new("s", vec![(32.0, 1e8), (1024.0, 1e7)]),
+        syncwarp_variation: 1.5,
+        int_over_float_atomic: 1.5,
+        shared_over_private_atomic: 0.2,
+        fence_variation: 1.0,
+        shfl_32_over_64: 2.9,
+        partial_warp_atomic_gain: 19.5,
+    };
+    assert_eq!(recommend_cuda(&cuda).len(), 8, "Section V-B5 lists 8 recommendations");
+}
+
+#[test]
+fn extension_close_affinity_wins_on_one_socket() {
+    // Two-socket System 1: "close" keeps small teams on socket 0,
+    // "spread" alternates sockets and pays cross-socket transfers.
+    let figs = syncperf_bench::figures_cpu::exp_affinity().unwrap();
+    let fig = &figs[0];
+    let close = fig.series_by_label("close").unwrap();
+    let spread = fig.series_by_label("spread").unwrap();
+    for t in [2.0, 4.0, 8.0] {
+        assert!(
+            close.y_at(t).unwrap() > spread.y_at(t).unwrap(),
+            "close must beat spread at {t} threads on a 2-socket system"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration: the measurement protocol behaves
+//! consistently across all three executors (real threads, CPU
+//! simulator, GPU simulator).
+
+use syncperf::prelude::*;
+
+fn quick_cpu() -> ExecParams {
+    ExecParams::new(4).with_loops(100, 20).with_warmup(1)
+}
+
+#[test]
+fn same_kernel_same_protocol_three_executors() {
+    let k = kernel::omp_atomic_update_scalar(DType::I32);
+    let mut real = OmpExecutor::new();
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    let m_real = Protocol::SIM.measure(&mut real, &k, &quick_cpu()).unwrap();
+    let m_sim = Protocol::SIM.measure(&mut sim, &k, &quick_cpu()).unwrap();
+    // Both are real atomics (ns scale) and simulated atomics (ns
+    // scale): within two orders of magnitude of each other.
+    let r = m_real.runtime_seconds() / m_sim.runtime_seconds();
+    assert!(
+        (0.01..100.0).contains(&r),
+        "real {} s vs sim {} s",
+        m_real.runtime_seconds(),
+        m_sim.runtime_seconds()
+    );
+
+    let gk = kernel::cuda_atomic_add_scalar(DType::I32);
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let m_gpu = Protocol::SIM
+        .measure(&mut gpu, &gk, &ExecParams::new(32).with_blocks(2).with_loops(100, 20))
+        .unwrap();
+    assert!(m_gpu.per_op > 0.0);
+    assert!(matches!(m_gpu.time_unit, TimeUnit::Cycles { .. }));
+}
+
+#[test]
+fn executors_report_their_names_and_units() {
+    let real = OmpExecutor::new();
+    let sim = CpuSimExecutor::new(&SYSTEM2);
+    let gpu = GpuSimExecutor::new(&SYSTEM1);
+    assert_eq!(real.name(), "omp-real-threads");
+    assert_eq!(sim.name(), "cpu-sim");
+    assert_eq!(gpu.name(), "gpu-sim");
+    assert_eq!(real.time_unit(), TimeUnit::Seconds);
+    assert_eq!(sim.time_unit(), TimeUnit::Seconds);
+    assert_eq!(gpu.time_unit(), TimeUnit::Cycles { clock_ghz: 1.80 });
+}
+
+#[test]
+fn atomic_read_is_free_on_real_threads_and_simulator() {
+    // The paper's §V-A2 finding must hold on both substrates.
+    let k = kernel::omp_atomic_read(DType::I32);
+    let mut real = OmpExecutor::new();
+    let m = Protocol::PAPER
+        .measure(&mut real, &k, &ExecParams::new(2).with_loops(100, 50).with_warmup(2))
+        .unwrap();
+    assert!(
+        m.is_negligible(),
+        "real-thread atomic read overhead {} s should be negligible",
+        m.runtime_seconds()
+    );
+    let mut sim = CpuSimExecutor::new(&SYSTEM2);
+    let m = Protocol::PAPER
+        .measure(&mut sim, &k, &ExecParams::new(8).with_loops(1000, 100))
+        .unwrap();
+    assert!(m.is_negligible());
+}
+
+#[test]
+fn cpu_ops_rejected_by_wrong_params_everywhere() {
+    let k = kernel::omp_barrier();
+    let bad = ExecParams::new(0);
+    let mut real = OmpExecutor::new();
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    assert!(Protocol::SIM.measure(&mut real, &k, &bad).is_err());
+    assert!(Protocol::SIM.measure(&mut sim, &k, &bad).is_err());
+}
+
+#[test]
+fn gpu_rejects_float_cas_like_cuda_would() {
+    let mut gpu = GpuSimExecutor::new(&SYSTEM3);
+    let err = Protocol::SIM
+        .measure(
+            &mut gpu,
+            &kernel::cuda_atomic_cas_scalar(DType::F64),
+            &ExecParams::new(32).with_loops(10, 10),
+        )
+        .unwrap_err();
+    assert!(matches!(err, SyncPerfError::UnsupportedDType { .. }));
+    assert!(err.to_string().contains("atomicCAS"));
+}
+
+#[test]
+fn measurement_carries_full_provenance() {
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::omp_critical_add(DType::F32);
+    let p = ExecParams::new(8).with_loops(100, 10);
+    let m = Protocol::PAPER.measure(&mut sim, &k, &p).unwrap();
+    assert_eq!(m.kernel_name, "omp_critical_float");
+    assert_eq!(m.params, p);
+    assert_eq!(m.baseline_runs.len(), 9);
+    assert_eq!(m.test_runs.len(), 9);
+    assert!(m.median_test >= m.median_baseline * 0.5);
+}
+
+#[test]
+fn simulated_jitter_exercises_the_retry_path() {
+    // On the jittery System 3, measuring a near-zero-cost primitive
+    // makes some attempts come out test < baseline; the protocol must
+    // retry and still produce a finite result.
+    let mut sim = CpuSimExecutor::new(&SYSTEM3);
+    let k = kernel::omp_atomic_read(DType::F64);
+    let p = ExecParams::new(16).with_loops(1000, 100);
+    let mut total_retries = 0;
+    for _ in 0..5 {
+        let m = Protocol::PAPER.measure(&mut sim, &k, &p).unwrap();
+        total_retries += m.retries;
+        assert!(m.per_op.is_finite());
+    }
+    assert!(total_retries > 0, "expected at least one retry across 5 measurements");
+}
