@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline CI gate: everything here must pass with no network access.
+# All dependencies are local path crates, so --offline is safe everywhere.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --release --offline --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace --release --offline -q
+
+echo "CI green"

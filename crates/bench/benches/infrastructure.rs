@@ -21,7 +21,9 @@ fn sample_figure(points: usize) -> FigureData {
     for s in 0..4 {
         fig.push_series(Series::new(
             format!("s{s}"),
-            (0..points).map(|i| (i as f64, (i * (s + 1)) as f64)).collect(),
+            (0..points)
+                .map(|i| (i as f64, (i * (s + 1)) as f64))
+                .collect(),
         ));
     }
     fig
@@ -46,16 +48,20 @@ fn bench_mesi(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300));
     g.sample_size(20);
     for &cores in &[4usize, 16] {
-        g.bench_with_input(BenchmarkId::new("ping_pong_1000", cores), &cores, |b, &n| {
-            b.iter(|| {
-                let mut d = MesiDirectory::new(n);
-                let line = line_of(DType::I32, syncperf_core::Target::SHARED, 0, 64);
-                for i in 0..1000 {
-                    let _ = d.write(i % n, line);
-                }
-                d
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ping_pong_1000", cores),
+            &cores,
+            |b, &n| {
+                b.iter(|| {
+                    let mut d = MesiDirectory::new(n);
+                    let line = line_of(DType::I32, syncperf_core::Target::SHARED, 0, 64);
+                    for i in 0..1000 {
+                        let _ = d.write(i % n, line);
+                    }
+                    d
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -98,8 +104,13 @@ fn bench_case_studies(c: &mut Criterion) {
     let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 16);
     g.bench_function("cpu_reduction_padded", |b| {
         b.iter(|| {
-            simulate_cpu_reduction(&cm, &placement, CpuReductionStrategy::PaddedPartials, 1 << 20)
-                .unwrap()
+            simulate_cpu_reduction(
+                &cm,
+                &placement,
+                CpuReductionStrategy::PaddedPartials,
+                1 << 20,
+            )
+            .unwrap()
         });
     });
     let gm = GpuModel::for_spec(&SYSTEM3.gpu);
@@ -115,14 +126,21 @@ fn bench_case_studies(c: &mut Criterion) {
             simulate_histogram(&gm, &SYSTEM3.gpu, HistogramStrategy::SharedPrivatized, &hc).unwrap()
         });
     });
-    let sc = ScanConfig { elements: 1 << 24, block_size: 256 };
+    let sc = ScanConfig {
+        elements: 1 << 24,
+        block_size: 256,
+    };
     g.bench_function("gpu_scan_lookback", |b| {
-        b.iter(|| {
-            simulate_scan(&gm, &SYSTEM3.gpu, ScanStrategy::DecoupledLookback, &sc).unwrap()
-        });
+        b.iter(|| simulate_scan(&gm, &SYSTEM3.gpu, ScanStrategy::DecoupledLookback, &sc).unwrap());
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_rendering, bench_mesi, bench_artifact_store, bench_case_studies);
+criterion_group!(
+    benches,
+    bench_rendering,
+    bench_mesi,
+    bench_artifact_store,
+    bench_case_studies
+);
 criterion_main!(benches);

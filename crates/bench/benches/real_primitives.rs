@@ -9,7 +9,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use syncperf_omp::{flush, AtomicCell, BarrierToken, Critical, SenseBarrier, StridedArray, Team, TreeBarrier};
+use syncperf_omp::{
+    flush, AtomicCell, BarrierToken, Critical, SenseBarrier, StridedArray, Team, TreeBarrier,
+};
 
 fn bench_atomic_cells(c: &mut Criterion) {
     let mut g = c.benchmark_group("atomic_cell_update");
@@ -21,9 +23,13 @@ fn bench_atomic_cells(c: &mut Criterion) {
     let u64_cell = AtomicCell::new(0u64);
     g.bench_function("u64", |b| b.iter(|| u64_cell.update(black_box(1))));
     let f32_cell = AtomicCell::new(0.0f32);
-    g.bench_function("f32_cas_loop", |b| b.iter(|| f32_cell.update(black_box(1.0))));
+    g.bench_function("f32_cas_loop", |b| {
+        b.iter(|| f32_cell.update(black_box(1.0)))
+    });
     let f64_cell = AtomicCell::new(0.0f64);
-    g.bench_function("f64_cas_loop", |b| b.iter(|| f64_cell.update(black_box(1.0))));
+    g.bench_function("f64_cas_loop", |b| {
+        b.iter(|| f64_cell.update(black_box(1.0)))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("atomic_cell_flavors");

@@ -19,15 +19,26 @@ fn bench_cpu_engine(c: &mut Criterion) {
     for &threads in &[4u32, 16, 32] {
         let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
         let body = kernel::omp_atomic_update_array(DType::I32, 1).test;
-        g.bench_with_input(BenchmarkId::new("atomic_array_run", threads), &threads, |b, _| {
-            b.iter(|| syncperf_cpu_sim::engine::run(&model, &placement, &body, 100_000).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("atomic_array_run", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    syncperf_cpu_sim::engine::run(&model, &placement, &body, 100_000).unwrap()
+                });
+            },
+        );
         let barrier_body = kernel::omp_barrier().test;
-        g.bench_with_input(BenchmarkId::new("barrier_run", threads), &threads, |b, _| {
-            b.iter(|| {
-                syncperf_cpu_sim::engine::run(&model, &placement, &barrier_body, 100_000).unwrap()
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("barrier_run", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    syncperf_cpu_sim::engine::run(&model, &placement, &barrier_body, 100_000)
+                        .unwrap()
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -80,12 +91,22 @@ fn bench_reductions(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300));
     g.sample_size(20);
     for s in ReductionStrategy::ALL {
-        g.bench_with_input(BenchmarkId::new("simulate", format!("{s:?}")), &s, |b, &s| {
-            b.iter(|| simulate_reduction(&model, &SYSTEM3.gpu, s, &cfg).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("simulate", format!("{s:?}")),
+            &s,
+            |b, &s| {
+                b.iter(|| simulate_reduction(&model, &SYSTEM3.gpu, s, &cfg).unwrap());
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_cpu_engine, bench_gpu_engine, bench_full_protocol, bench_reductions);
+criterion_group!(
+    benches,
+    bench_cpu_engine,
+    bench_gpu_engine,
+    bench_full_protocol,
+    bench_reductions
+);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! Fig. 1 under both models shows which algorithm the measured OpenMP
 //! runtime resembles.
 
-use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::sweep::{thread_sweep, throughput_series};
 use syncperf_core::{kernel, Affinity, ExecParams, FigureData, Protocol, SYSTEM3};
 use syncperf_cpu_sim::{BarrierKind, CpuModel, CpuSimExecutor};
 
@@ -16,21 +16,33 @@ fn series(label: &str, kind: BarrierKind) -> syncperf_core::Result<syncperf_core
     let mut exec = CpuSimExecutor::with_model(&SYSTEM3, model);
     let points = thread_sweep(
         &SYSTEM3.cpu.omp_thread_counts(),
-        ExecParams::new(2).with_affinity(Affinity::Spread).with_loops(1000, 100),
+        ExecParams::new(2)
+            .with_affinity(Affinity::Spread)
+            .with_loops(1000, 100),
         |_| kernel::omp_barrier(),
     );
     throughput_series(&mut exec, &Protocol::PAPER, label, points)
 }
 
-fn main() -> syncperf_core::Result<()> {
+fn figures() -> syncperf_core::Result<Vec<syncperf_core::FigureData>> {
     let mut fig = FigureData::new(
         "ablation_barrier_model",
         "OpenMP barrier: centralized (paper shape) vs combining tree",
         "threads",
         "barriers/s/thread",
     );
-    fig.push_series(series("centralized (saturating counter)", BarrierKind::Centralized)?);
-    fig.push_series(series("combining tree, fan-in 4", BarrierKind::CombiningTree { fanin: 4 })?);
+    fig.push_series(series(
+        "centralized (saturating counter)",
+        BarrierKind::Centralized,
+    )?);
+    fig.push_series(series(
+        "combining tree, fan-in 4",
+        BarrierKind::CombiningTree { fanin: 4 },
+    )?);
     fig.annotate("the measured plateau beyond ~8 threads matches the centralized algorithm");
-    syncperf_bench::emit(&[fig])
+    Ok(vec![fig])
+}
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::runner::run(figures)
 }

@@ -6,24 +6,23 @@
 //! linear model keeps declining past 8 threads, failing to reproduce
 //! the paper's plateau.
 
-use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::sweep::{thread_sweep, throughput_series};
 use syncperf_core::{kernel, Affinity, ExecParams, FigureData, Protocol, SYSTEM3};
 use syncperf_cpu_sim::{CpuModel, CpuSimExecutor};
 
-fn barrier_series(
-    label: &str,
-    model: CpuModel,
-) -> syncperf_core::Result<syncperf_core::Series> {
+fn barrier_series(label: &str, model: CpuModel) -> syncperf_core::Result<syncperf_core::Series> {
     let mut exec = CpuSimExecutor::with_model(&SYSTEM3, model);
     let points = thread_sweep(
         &SYSTEM3.cpu.omp_thread_counts(),
-        ExecParams::new(2).with_affinity(Affinity::Spread).with_loops(1000, 100),
+        ExecParams::new(2)
+            .with_affinity(Affinity::Spread)
+            .with_loops(1000, 100),
         |_| kernel::omp_barrier(),
     );
     throughput_series(&mut exec, &Protocol::PAPER, label, points)
 }
 
-fn main() -> syncperf_core::Result<()> {
+fn figures() -> syncperf_core::Result<Vec<syncperf_core::FigureData>> {
     let saturating = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
     let mut linear = saturating.clone();
     linear.contention_sat = u32::MAX; // never saturate
@@ -37,5 +36,9 @@ fn main() -> syncperf_core::Result<()> {
     fig.push_series(barrier_series("saturating (paper shape)", saturating)?);
     fig.push_series(barrier_series("linear (no plateau)", linear)?);
     fig.annotate("the paper's Fig. 1 plateaus beyond ~8 threads; only the saturating model does");
-    syncperf_bench::emit(&[fig])
+    Ok(vec![fig])
+}
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::runner::run(figures)
 }

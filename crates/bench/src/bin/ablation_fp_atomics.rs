@@ -3,7 +3,7 @@
 //! Zeroing the CAS-loop surcharge makes the int/float gap of Fig. 2
 //! vanish — the gap is entirely the compare-exchange lowering.
 
-use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::sweep::{thread_sweep, throughput_series};
 use syncperf_core::{kernel, DType, ExecParams, FigureData, Protocol, SYSTEM3};
 use syncperf_cpu_sim::{CpuModel, CpuSimExecutor};
 
@@ -21,7 +21,7 @@ fn series(
     throughput_series(&mut exec, &Protocol::PAPER, label, points)
 }
 
-fn main() -> syncperf_core::Result<()> {
+fn figures() -> syncperf_core::Result<Vec<syncperf_core::FigureData>> {
     let cas_loop = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
     let mut native = cas_loop.clone();
     native.fp_cas_extra_ns = 0.0;
@@ -34,8 +34,16 @@ fn main() -> syncperf_core::Result<()> {
         "ops/s/thread",
     );
     fig.push_series(series("int", DType::I32, cas_loop.clone())?);
-    fig.push_series(series("double (CAS loop, paper shape)", DType::F64, cas_loop)?);
+    fig.push_series(series(
+        "double (CAS loop, paper shape)",
+        DType::F64,
+        cas_loop,
+    )?);
     fig.push_series(series("double (native, gap gone)", DType::F64, native)?);
     fig.annotate("the Fig. 2 integer/floating-point gap is the CAS-loop lowering");
-    syncperf_bench::emit(&[fig])
+    Ok(vec![fig])
+}
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::runner::run(figures)
 }

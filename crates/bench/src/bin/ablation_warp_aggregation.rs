@@ -5,7 +5,7 @@
 //! *slower* than Reduction 2 — evidence that the driver's JIT
 //! aggregation is what makes R1 beat R2 on real hardware.
 
-use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::sweep::{thread_sweep, throughput_series};
 use syncperf_core::{kernel, DType, ExecParams, FigureData, Protocol, SYSTEM3};
 use syncperf_gpu_sim::{
     simulate_reduction, GpuModel, GpuSimExecutor, ReductionConfig, ReductionStrategy,
@@ -21,7 +21,7 @@ fn add_series(label: &str, model: GpuModel) -> syncperf_core::Result<syncperf_co
     throughput_series(&mut exec, &Protocol::PAPER, label, points)
 }
 
-fn main() -> syncperf_core::Result<()> {
+fn figures() -> syncperf_core::Result<Vec<syncperf_core::FigureData>> {
     let on = GpuModel::for_spec(&SYSTEM3.gpu);
     let mut off = on.clone();
     off.warp_aggregation = false;
@@ -36,19 +36,30 @@ fn main() -> syncperf_core::Result<()> {
     fig.push_series(add_series("aggregation on (paper shape)", on.clone())?);
     fig.push_series(add_series("aggregation off", off.clone())?);
     fig.annotate("with aggregation off the constant region up to 64 threads disappears");
-    syncperf_bench::emit(&[fig])?;
 
     let cfg = ReductionConfig::megabyte_input(&SYSTEM3.gpu);
     for (label, model) in [("aggregation on", &on), ("aggregation off", &off)] {
         let r1 = simulate_reduction(model, &SYSTEM3.gpu, ReductionStrategy::GlobalAtomic, &cfg)?;
-        let r2 =
-            simulate_reduction(model, &SYSTEM3.gpu, ReductionStrategy::ShflThenGlobalAtomic, &cfg)?;
+        let r2 = simulate_reduction(
+            model,
+            &SYSTEM3.gpu,
+            ReductionStrategy::ShflThenGlobalAtomic,
+            &cfg,
+        )?;
         println!(
             "{label}: R1 = {:.0} cycles, R2 = {:.0} cycles → {}",
             r1.total_cycles,
             r2.total_cycles,
-            if r1.total_cycles < r2.total_cycles { "R1 wins (paper)" } else { "R2 wins" }
+            if r1.total_cycles < r2.total_cycles {
+                "R1 wins (paper)"
+            } else {
+                "R2 wins"
+            }
         );
     }
-    Ok(())
+    Ok(vec![fig])
+}
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::runner::run(figures)
 }

@@ -2,9 +2,14 @@
 //! printing each and writing CSVs into `results/`.
 
 fn main() -> syncperf_core::Result<()> {
-    print!("{}", syncperf_bench::tables::table1());
-    println!();
-    print!("{}", syncperf_bench::tables::listing1_report(&syncperf_core::SYSTEM3)?);
-    println!();
-    syncperf_bench::emit(&syncperf_bench::all_figures()?)
+    syncperf_bench::runner::run(|| {
+        print!("{}", syncperf_bench::tables::table1());
+        println!();
+        print!(
+            "{}",
+            syncperf_bench::tables::listing1_report(&syncperf_core::SYSTEM3)?
+        );
+        println!();
+        syncperf_bench::all_figures()
+    })
 }

@@ -35,9 +35,18 @@ fn main() {
     if diff.entries.is_empty() {
         return;
     }
-    println!("geometric-mean throughput ratio {}/{}: {:.3}", args[2], args[1], diff.geomean_ratio());
+    println!(
+        "geometric-mean throughput ratio {}/{}: {:.3}",
+        args[2],
+        args[1],
+        diff.geomean_ratio()
+    );
     let outliers = diff.outliers(tolerance);
-    println!("{} points deviate more than {:.0}%:", outliers.len(), tolerance * 100.0);
+    println!(
+        "{} points deviate more than {:.0}%:",
+        outliers.len(),
+        tolerance * 100.0
+    );
     for e in outliers.iter().take(20) {
         println!("  {:<60} {:>7.2}x", e.key, e.ratio);
     }

@@ -5,7 +5,7 @@
 use syncperf_core::{Affinity, SYSTEM3};
 use syncperf_cpu_sim::{simulate_cpu_reduction, CpuModel, CpuReductionStrategy, Placement};
 
-fn main() -> syncperf_core::Result<()> {
+fn figures() -> syncperf_core::Result<Vec<syncperf_core::FigureData>> {
     let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
     let elements = 1u64 << 22;
     println!(
@@ -13,7 +13,10 @@ fn main() -> syncperf_core::Result<()> {
         SYSTEM3.cpu.name,
         SYSTEM3.cpu.total_cores()
     );
-    println!("{:<36} {:>12} {:>12} {:>10}", "strategy", "accumulate", "merge", "total ms");
+    println!(
+        "{:<36} {:>12} {:>12} {:>10}",
+        "strategy", "accumulate", "merge", "total ms"
+    );
     for threads in [2u32, 8, 16] {
         println!("-- {threads} threads --");
         let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
@@ -28,6 +31,12 @@ fn main() -> syncperf_core::Result<()> {
             );
         }
     }
-    println!("\npadded private partials win — recommendations 2, 3, and 5 of §V-A5 in one workload");
-    Ok(())
+    println!(
+        "\npadded private partials win — recommendations 2, 3, and 5 of §V-A5 in one workload"
+    );
+    Ok(Vec::new())
+}
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::runner::run(figures)
 }

@@ -1,5 +1,5 @@
 //! Regenerates the atomic-RMW-family extension experiment.
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::exp_atomic_ops()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::exp_atomic_ops)
 }

@@ -2,14 +2,18 @@
 //! Listing 1's Reduction 3 exploits (`atomicAdd_block` is serviced on
 //! the SM rather than at the L2, compute capability ≥ 6.0).
 
-use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::sweep::{thread_sweep, throughput_series};
 use syncperf_core::{
     DType, ExecParams, FigureData, GpuOp, Kernel, Protocol, Scope, Target, SYSTEM3,
 };
 use syncperf_gpu_sim::GpuSimExecutor;
 
 fn scoped_kernel(scope: Scope) -> Kernel<GpuOp> {
-    let op = GpuOp::AtomicAdd { dtype: DType::I32, scope, target: Target::SHARED };
+    let op = GpuOp::AtomicAdd {
+        dtype: DType::I32,
+        scope,
+        target: Target::SHARED,
+    };
     Kernel::new(
         format!("cuda_atomicadd_{scope:?}_scalar"),
         vec![op],
@@ -19,24 +23,34 @@ fn scoped_kernel(scope: Scope) -> Kernel<GpuOp> {
 }
 
 fn main() -> syncperf_core::Result<()> {
-    let mut exec = GpuSimExecutor::new(&SYSTEM3);
-    let mut fig = FigureData::new(
-        "exp_atomic_scope",
-        "atomicAdd() vs atomicAdd_block() on one shared int (System 3, 64 blocks)",
-        "threads per block",
-        "ops/s/thread",
-    )
-    .with_log_x();
-    for (label, scope) in
-        [("device scope (atomicAdd)", Scope::Device), ("block scope (atomicAdd_block)", Scope::Block)]
-    {
-        let points = thread_sweep(
-            &SYSTEM3.gpu.thread_count_sweep(),
-            ExecParams::new(1).with_blocks(64).with_loops(1000, 100),
-            |_| scoped_kernel(scope),
+    syncperf_bench::runner::run(|| {
+        let mut exec = GpuSimExecutor::new(&SYSTEM3);
+        let mut fig = FigureData::new(
+            "exp_atomic_scope",
+            "atomicAdd() vs atomicAdd_block() on one shared int (System 3, 64 blocks)",
+            "threads per block",
+            "ops/s/thread",
+        )
+        .with_log_x();
+        for (label, scope) in [
+            ("device scope (atomicAdd)", Scope::Device),
+            ("block scope (atomicAdd_block)", Scope::Block),
+        ] {
+            let points = thread_sweep(
+                &SYSTEM3.gpu.thread_count_sweep(),
+                ExecParams::new(1).with_blocks(64).with_loops(1000, 100),
+                |_| scoped_kernel(scope),
+            );
+            fig.push_series(throughput_series(
+                &mut exec,
+                &Protocol::PAPER,
+                label,
+                points,
+            )?);
+        }
+        fig.annotate(
+            "block-scoped atomics are serviced on the SM: cheaper and contended only block-wide",
         );
-        fig.push_series(throughput_series(&mut exec, &Protocol::PAPER, label, points)?);
-    }
-    fig.annotate("block-scoped atomics are serviced on the SM: cheaper and contended only block-wide");
-    syncperf_bench::emit(&[fig])
+        Ok(vec![fig])
+    })
 }

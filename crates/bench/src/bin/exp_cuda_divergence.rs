@@ -1,5 +1,5 @@
 //! Regenerates the warp-divergence extension experiment (ref. [10]).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::exp_divergence()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::exp_divergence)
 }

@@ -1,5 +1,5 @@
 //! Regenerates the Section V-B3 no-figure findings (fence scopes).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::exp_fence_scopes()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::exp_fence_scopes)
 }

@@ -1,5 +1,5 @@
 //! Regenerates the Section V-B4 no-figure findings (warp votes).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::exp_vote()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::exp_vote)
 }

@@ -5,7 +5,7 @@
 use syncperf_core::{FigureData, Series, SYSTEM3};
 use syncperf_gpu_sim::{simulate_histogram, GpuModel, HistogramConfig, HistogramStrategy};
 
-fn main() -> syncperf_core::Result<()> {
+fn figures() -> syncperf_core::Result<Vec<syncperf_core::FigureData>> {
     let m = GpuModel::for_spec(&SYSTEM3.gpu);
     let mut fig = FigureData::new(
         "exp_gpu_histogram",
@@ -15,7 +15,10 @@ fn main() -> syncperf_core::Result<()> {
     );
     for (label, strategy) in [
         ("global atomics", HistogramStrategy::GlobalAtomics),
-        ("shared-memory privatized", HistogramStrategy::SharedPrivatized),
+        (
+            "shared-memory privatized",
+            HistogramStrategy::SharedPrivatized,
+        ),
     ] {
         let mut points = Vec::new();
         for hot_pct in [0u32, 5, 10, 20, 40, 60, 80, 100] {
@@ -27,10 +30,17 @@ fn main() -> syncperf_core::Result<()> {
                 blocks: SYSTEM3.gpu.sms * 4,
             };
             let r = simulate_histogram(&m, &SYSTEM3.gpu, strategy, &cfg)?;
-            points.push((f64::from(hot_pct) / 100.0, r.total_cycles / (SYSTEM3.gpu.clock_ghz * 1e3)));
+            points.push((
+                f64::from(hot_pct) / 100.0,
+                r.total_cycles / (SYSTEM3.gpu.clock_ghz * 1e3),
+            ));
         }
         fig.push_series(Series::new(label, points));
     }
     fig.annotate("lower is better; privatization absorbs the hot bin inside each SM");
-    syncperf_bench::emit(&[fig])
+    Ok(vec![fig])
+}
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::runner::run(figures)
 }

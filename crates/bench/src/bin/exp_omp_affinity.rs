@@ -1,5 +1,5 @@
 //! Regenerates the spread-vs-close affinity extension experiment.
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_cpu::exp_affinity()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_cpu::exp_affinity)
 }

@@ -1,5 +1,5 @@
 //! Regenerates the Section V-A2 no-figure findings (atomic read is free; capture behaves like update).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_cpu::exp_atomic_read_capture()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_cpu::exp_atomic_read_capture)
 }

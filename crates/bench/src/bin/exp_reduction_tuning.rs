@@ -5,7 +5,7 @@
 use syncperf_core::{FigureData, Series, SYSTEM3};
 use syncperf_gpu_sim::{simulate_reduction, GpuModel, ReductionConfig, ReductionStrategy};
 
-fn main() -> syncperf_core::Result<()> {
+fn figures() -> syncperf_core::Result<Vec<syncperf_core::FigureData>> {
     let m = GpuModel::for_spec(&SYSTEM3.gpu);
     let elements = 1u64 << 24;
 
@@ -21,7 +21,11 @@ fn main() -> syncperf_core::Result<()> {
     let mut best: Option<(u32, f64)> = None;
     for factor in [1u32, 2, 4, 8, 16, 32, 64] {
         let blocks = (SYSTEM3.gpu.sms / 8 * factor).max(1);
-        let cfg = ReductionConfig { size: elements, block_size: 256, persistent_grid_blocks: blocks };
+        let cfg = ReductionConfig {
+            size: elements,
+            block_size: 256,
+            persistent_grid_blocks: blocks,
+        };
         let r = simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::PersistentThreads, &cfg)?;
         let us = r.total_cycles / (SYSTEM3.gpu.clock_ghz * 1e3);
         points.push((f64::from(blocks), us));
@@ -52,10 +56,17 @@ fn main() -> syncperf_core::Result<()> {
             persistent_grid_blocks: SYSTEM3.gpu.sms * 2,
         };
         let r = simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::PersistentThreads, &cfg)?;
-        points.push((f64::from(block_size), r.total_cycles / (SYSTEM3.gpu.clock_ghz * 1e3)));
+        points.push((
+            f64::from(block_size),
+            r.total_cycles / (SYSTEM3.gpu.clock_ghz * 1e3),
+        ));
     }
     block_fig.push_series(Series::new("R5 runtime", points));
     block_fig.annotate("barrier cost grows with warps/block; tiny blocks under-fill the SMs");
 
-    syncperf_bench::emit(&[grid_fig, block_fig])
+    Ok(vec![grid_fig, block_fig])
+}
+
+fn main() -> syncperf_core::Result<()> {
+    syncperf_bench::runner::run(figures)
 }

@@ -19,22 +19,59 @@ enum Explainable {
 
 fn catalog() -> Vec<(&'static str, Explainable)> {
     vec![
-        ("omp_barrier", Explainable::Cpu(|_, _| kernel::omp_barrier())),
-        ("omp_atomicadd_scalar", Explainable::Cpu(|dt, _| kernel::omp_atomic_update_scalar(dt))),
-        ("omp_atomicadd_array", Explainable::Cpu(kernel::omp_atomic_update_array)),
-        ("omp_atomicwrite", Explainable::Cpu(|dt, _| kernel::omp_atomic_write(dt))),
-        ("omp_atomicread", Explainable::Cpu(|dt, _| kernel::omp_atomic_read(dt))),
-        ("omp_critical", Explainable::Cpu(|dt, _| kernel::omp_critical_add(dt))),
+        (
+            "omp_barrier",
+            Explainable::Cpu(|_, _| kernel::omp_barrier()),
+        ),
+        (
+            "omp_atomicadd_scalar",
+            Explainable::Cpu(|dt, _| kernel::omp_atomic_update_scalar(dt)),
+        ),
+        (
+            "omp_atomicadd_array",
+            Explainable::Cpu(kernel::omp_atomic_update_array),
+        ),
+        (
+            "omp_atomicwrite",
+            Explainable::Cpu(|dt, _| kernel::omp_atomic_write(dt)),
+        ),
+        (
+            "omp_atomicread",
+            Explainable::Cpu(|dt, _| kernel::omp_atomic_read(dt)),
+        ),
+        (
+            "omp_critical",
+            Explainable::Cpu(|dt, _| kernel::omp_critical_add(dt)),
+        ),
         ("omp_flush", Explainable::Cpu(kernel::omp_flush)),
-        ("cuda_syncthreads", Explainable::Gpu(|_, _| kernel::cuda_syncthreads())),
-        ("cuda_syncwarp", Explainable::Gpu(|_, _| kernel::cuda_syncwarp())),
-        ("cuda_atomicadd_scalar", Explainable::Gpu(|dt, _| kernel::cuda_atomic_add_scalar(dt))),
-        ("cuda_atomicadd_array", Explainable::Gpu(kernel::cuda_atomic_add_array)),
-        ("cuda_atomiccas_scalar", Explainable::Gpu(|dt, _| kernel::cuda_atomic_cas_scalar(dt))),
-        ("cuda_threadfence", Explainable::Gpu(|dt, s| kernel::cuda_threadfence(Scope::Device, dt, s))),
-        ("cuda_shfl", Explainable::Gpu(|dt, _| {
-            kernel::cuda_shfl(dt, syncperf_core::ShflVariant::Idx)
-        })),
+        (
+            "cuda_syncthreads",
+            Explainable::Gpu(|_, _| kernel::cuda_syncthreads()),
+        ),
+        (
+            "cuda_syncwarp",
+            Explainable::Gpu(|_, _| kernel::cuda_syncwarp()),
+        ),
+        (
+            "cuda_atomicadd_scalar",
+            Explainable::Gpu(|dt, _| kernel::cuda_atomic_add_scalar(dt)),
+        ),
+        (
+            "cuda_atomicadd_array",
+            Explainable::Gpu(kernel::cuda_atomic_add_array),
+        ),
+        (
+            "cuda_atomiccas_scalar",
+            Explainable::Gpu(|dt, _| kernel::cuda_atomic_cas_scalar(dt)),
+        ),
+        (
+            "cuda_threadfence",
+            Explainable::Gpu(|dt, s| kernel::cuda_threadfence(Scope::Device, dt, s)),
+        ),
+        (
+            "cuda_shfl",
+            Explainable::Gpu(|dt, _| kernel::cuda_shfl(dt, syncperf_core::ShflVariant::Idx)),
+        ),
     ]
 }
 
@@ -55,9 +92,24 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--blocks" => blocks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--stride" => stride = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--blocks" => {
+                blocks = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--stride" => {
+                stride = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--dtype" => {
                 dtype = match it.next().map(String::as_str) {
                     Some("int") => DType::I32,
@@ -86,14 +138,20 @@ fn main() {
     match what {
         Explainable::Cpu(make) => {
             let k = make(dtype, stride);
-            println!("{} (test body) on the simulated {}:", k.name, SYSTEM3.cpu.name);
+            println!(
+                "{} (test body) on the simulated {}:",
+                k.name, SYSTEM3.cpu.name
+            );
             let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
             let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
             print!("{}", explain_body(&model, &placement, &k.test));
         }
         Explainable::Gpu(make) => {
             let k = make(dtype, stride);
-            println!("{} (test body) on the simulated {}:", k.name, SYSTEM3.gpu.name);
+            println!(
+                "{} (test body) on the simulated {}:",
+                k.name, SYSTEM3.gpu.name
+            );
             let model = GpuModel::for_spec(&SYSTEM3.gpu);
             match Occupancy::compute(&SYSTEM3.gpu, blocks, threads)
                 .and_then(|occ| syncperf_gpu_sim::explain::explain_body(&model, &occ, &k.test))

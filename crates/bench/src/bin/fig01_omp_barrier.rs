@@ -1,5 +1,5 @@
 //! Regenerates the paper's Fig. 1 (OpenMP barrier throughput).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_cpu::fig01_barrier()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_cpu::fig01_barrier)
 }

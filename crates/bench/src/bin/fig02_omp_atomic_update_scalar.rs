@@ -1,5 +1,5 @@
 //! Regenerates Fig. 2 (OpenMP atomic update on a shared variable).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_cpu::fig02_atomic_update_scalar()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_cpu::fig02_atomic_update_scalar)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 3 (OpenMP atomic update on private array elements, strides 1/4/8/16).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_cpu::fig03_atomic_update_array()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_cpu::fig03_atomic_update_array)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 4 (OpenMP atomic write on Systems 3 and 2).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_cpu::fig04_atomic_write()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_cpu::fig04_atomic_write)
 }

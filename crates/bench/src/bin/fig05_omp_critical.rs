@@ -1,5 +1,5 @@
 //! Regenerates Fig. 5 (OpenMP critical-section add).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_cpu::fig05_critical()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_cpu::fig05_critical)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 6 (OpenMP flush at strides 1/4/8/16).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_cpu::fig06_flush()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_cpu::fig06_flush)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 7 (__syncthreads throughput).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig07_syncthreads()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::fig07_syncthreads)
 }

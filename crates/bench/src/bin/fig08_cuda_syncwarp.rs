@@ -1,5 +1,5 @@
 //! Regenerates Fig. 8 (__syncwarp on Systems 3 and 1).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig08_syncwarp()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::fig08_syncwarp)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 9 (atomicAdd on one shared variable).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig09_atomicadd_scalar()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::fig09_atomicadd_scalar)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 11 (atomicCAS on one shared variable).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig11_atomiccas_scalar()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::fig11_atomiccas_scalar)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 12 (atomicCAS on private array elements).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig12_atomiccas_array()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::fig12_atomiccas_array)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 13 (atomicExch on one shared variable).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig13_atomicexch()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::fig13_atomicexch)
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 14 (__threadfence).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig14_threadfence()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::fig14_threadfence)
 }

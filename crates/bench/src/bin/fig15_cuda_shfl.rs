@@ -1,5 +1,5 @@
 //! Regenerates Fig. 15 (__shfl_sync).
 
 fn main() -> syncperf_core::Result<()> {
-    syncperf_bench::emit(&syncperf_bench::figures_gpu::fig15_shfl()?)
+    syncperf_bench::runner::run(syncperf_bench::figures_gpu::fig15_shfl)
 }

@@ -37,9 +37,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let id = std::path::Path::new(&path)
-        .file_stem()
-        .map_or_else(|| "figure".to_string(), |s| s.to_string_lossy().into_owned());
+    let id = std::path::Path::new(&path).file_stem().map_or_else(
+        || "figure".to_string(),
+        |s| s.to_string_lossy().into_owned(),
+    );
     let mut fig = match FigureData::from_csv(id, &csv) {
         Ok(f) => f,
         Err(e) => {

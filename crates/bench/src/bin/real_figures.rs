@@ -6,7 +6,7 @@
 //! machine the sweep simply ends earlier. Use `--full` for the paper's
 //! 9×7 protocol.
 
-use syncperf_core::sweep::{throughput_series, thread_sweep};
+use syncperf_core::sweep::{thread_sweep, throughput_series};
 use syncperf_core::{kernel, DType, ExecParams, FigureData, Protocol};
 use syncperf_omp::OmpExecutor;
 
@@ -16,7 +16,9 @@ fn main() -> syncperf_core::Result<()> {
     let (n_iter, n_unroll) = if full { (1000, 100) } else { (100, 20) };
     let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get() as u32 * 2);
     let threads: Vec<u32> = (2..=max_threads.max(2)).collect();
-    let base = ExecParams::new(2).with_loops(n_iter, n_unroll).with_warmup(2);
+    let base = ExecParams::new(2)
+        .with_loops(n_iter, n_unroll)
+        .with_warmup(2);
     let mut exec = OmpExecutor::new();
 
     let mut figs = Vec::new();
@@ -67,7 +69,9 @@ fn main() -> syncperf_core::Result<()> {
         &mut exec,
         &protocol,
         "atomic (for comparison)",
-        thread_sweep(&threads, base, |_| kernel::omp_atomic_update_scalar(DType::I32)),
+        thread_sweep(&threads, base, |_| {
+            kernel::omp_atomic_update_scalar(DType::I32)
+        }),
     )?);
     figs.push(fig);
 

@@ -15,8 +15,11 @@ use syncperf_omp::OmpExecutor;
 fn main() -> syncperf_core::Result<()> {
     let full = std::env::args().any(|a| a == "--full");
     let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get() as u32 * 2);
-    let (protocol, n_iter, n_unroll) =
-        if full { (Protocol::PAPER, 1000, 100) } else { (Protocol::SIM, 100, 20) };
+    let (protocol, n_iter, n_unroll) = if full {
+        (Protocol::PAPER, 1000, 100)
+    } else {
+        (Protocol::SIM, 100, 20)
+    };
     println!(
         "real-thread sweep: up to {max_threads} threads, protocol {}x{} runs, {}x{} loops",
         protocol.runs, protocol.max_attempts, n_iter, n_unroll
@@ -29,7 +32,9 @@ fn main() -> syncperf_core::Result<()> {
 
     let mut run = |name: &str, dtype: Option<DType>, stride: u32, k: &CpuKernel| {
         for &t in &thread_counts {
-            let p = ExecParams::new(t).with_loops(n_iter, n_unroll).with_warmup(2);
+            let p = ExecParams::new(t)
+                .with_loops(n_iter, n_unroll)
+                .with_warmup(2);
             match protocol.measure(&mut exec, k, &p) {
                 Ok(m) => store.push(RunRecord {
                     test: name.to_string(),
@@ -48,13 +53,33 @@ fn main() -> syncperf_core::Result<()> {
 
     run("omp_barrier", None, 0, &kernel::omp_barrier());
     for dt in DType::ALL {
-        run("omp_atomicadd_scalar", Some(dt), 0, &kernel::omp_atomic_update_scalar(dt));
-        run("omp_atomicwrite", Some(dt), 0, &kernel::omp_atomic_write(dt));
+        run(
+            "omp_atomicadd_scalar",
+            Some(dt),
+            0,
+            &kernel::omp_atomic_update_scalar(dt),
+        );
+        run(
+            "omp_atomicwrite",
+            Some(dt),
+            0,
+            &kernel::omp_atomic_write(dt),
+        );
         run("omp_atomicread", Some(dt), 0, &kernel::omp_atomic_read(dt));
         run("omp_critical", Some(dt), 0, &kernel::omp_critical_add(dt));
         for stride in [1u32, 4, 8, 16] {
-            run("omp_atomicadd_array", Some(dt), stride, &kernel::omp_atomic_update_array(dt, stride));
-            run("omp_flush", Some(dt), stride, &kernel::omp_flush(dt, stride));
+            run(
+                "omp_atomicadd_array",
+                Some(dt),
+                stride,
+                &kernel::omp_atomic_update_array(dt, stride),
+            );
+            run(
+                "omp_flush",
+                Some(dt),
+                stride,
+                &kernel::omp_flush(dt, stride),
+            );
         }
     }
 

@@ -1,0 +1,106 @@
+//! Runs any registered figure experiment with recording enabled and
+//! prints/exports the trace.
+//!
+//! ```console
+//! $ trace_report list
+//! $ trace_report fig02_omp_atomic_update_scalar
+//! $ trace_report fig09_cuda_atomicadd_scalar --format chrome --out fig09.json
+//! $ trace_report all_figures --format jsonl --out all.jsonl
+//! ```
+//!
+//! Without `--out`, the counter summary table is printed to stdout
+//! (the figure tables themselves are suppressed — this tool is about
+//! the trace). With `--out`, the selected format (`chrome` by default)
+//! is written to the file as well.
+
+use std::path::PathBuf;
+
+use syncperf_bench::runner::{self, TraceFormat};
+use syncperf_core::obs::{self, Recorder};
+use syncperf_core::report::render_obs_summary;
+use syncperf_core::Result;
+
+struct Cli {
+    name: String,
+    out: Option<PathBuf>,
+    format: TraceFormat,
+    quiet_figures: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_report <name|list> [--format chrome|jsonl|summary] [--out <path>] \
+         [--show-figures]\n\nruns the named figure experiment with recording enabled, prints \
+         the counter summary, and optionally exports the trace"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut name = None;
+    let mut out = None;
+    let mut format = None;
+    let mut quiet_figures = true;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(|v| TraceFormat::parse(v)) {
+                Some(Ok(f)) => format = Some(f),
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--show-figures" => quiet_figures = false,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other if name.is_none() => name = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(name) = name else { usage() };
+    let format = format.unwrap_or(TraceFormat::Chrome);
+    Cli {
+        name,
+        out,
+        format,
+        quiet_figures,
+    }
+}
+
+fn main() -> Result<()> {
+    let cli = parse_cli();
+    if cli.name == "list" {
+        for e in runner::registry() {
+            println!("{:<36} {}", e.name, e.about);
+        }
+        return Ok(());
+    }
+    let Some(entry) = runner::find(&cli.name) else {
+        eprintln!(
+            "unknown experiment `{}` (try `trace_report list`)",
+            cli.name
+        );
+        std::process::exit(2);
+    };
+
+    obs::install(Recorder::enabled());
+    let rec = obs::global().clone();
+
+    let figs = (entry.generate)()?;
+    if !cli.quiet_figures {
+        syncperf_bench::emit(&figs)?;
+    }
+
+    let events = rec.drain_events();
+    let snap = rec.snapshot();
+    print!("{}", render_obs_summary(&snap));
+    println!("({} trace events)", events.len());
+    if let Some(path) = &cli.out {
+        std::fs::write(path, runner::render_trace(&events, &snap, cli.format))?;
+        println!("(trace: {})", path.display());
+    }
+    Ok(())
+}

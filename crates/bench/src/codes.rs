@@ -35,7 +35,10 @@ pub struct TestCode {
 
 impl std::fmt::Debug for TestCode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TestCode").field("name", &self.name).field("api", &self.api).finish()
+        f.debug_struct("TestCode")
+            .field("name", &self.name)
+            .field("api", &self.api)
+            .finish()
     }
 }
 
@@ -55,7 +58,9 @@ fn push_cpu(
     dtype: Option<DType>,
     affinity: Affinity,
 ) -> Result<()> {
-    let p = ExecParams::new(threads).with_affinity(affinity).with_loops(1000, 100);
+    let p = ExecParams::new(threads)
+        .with_affinity(affinity)
+        .with_loops(1000, 100);
     let m = Protocol::PAPER.measure(sim, k, &p)?;
     store.push(RunRecord {
         test: name.to_string(),
@@ -117,7 +122,9 @@ fn push_gpu(
     stride: u32,
     dtype: Option<DType>,
 ) -> Result<()> {
-    let p = ExecParams::new(threads).with_blocks(blocks).with_loops(1000, 100);
+    let p = ExecParams::new(threads)
+        .with_blocks(blocks)
+        .with_loops(1000, 100);
     let m = Protocol::PAPER.measure(sim, k, &p)?;
     store.push(RunRecord {
         test: name.to_string(),
@@ -154,8 +161,12 @@ fn gpu_code(
     Ok(())
 }
 
-const ALL_DT: [Option<DType>; 4] =
-    [Some(DType::I32), Some(DType::U64), Some(DType::F32), Some(DType::F64)];
+const ALL_DT: [Option<DType>; 4] = [
+    Some(DType::I32),
+    Some(DType::U64),
+    Some(DType::F32),
+    Some(DType::F64),
+];
 const INT_DT: [Option<DType>; 2] = [Some(DType::I32), Some(DType::U64)];
 const NO_DT: [Option<DType>; 1] = [None];
 
@@ -170,7 +181,16 @@ pub fn registry() -> Vec<TestCode> {
                 let mut sim = CpuSimExecutor::new(sys);
                 let k = kernel::omp_barrier();
                 for t in sys.cpu.omp_thread_counts() {
-                    push_cpu(store, &mut sim, "omp_barrier", &k, t, 0, None, Affinity::Spread)?;
+                    push_cpu(
+                        store,
+                        &mut sim,
+                        "omp_barrier",
+                        &k,
+                        t,
+                        0,
+                        None,
+                        Affinity::Spread,
+                    )?;
                 }
                 Ok(())
             },
@@ -244,7 +264,13 @@ pub fn registry() -> Vec<TestCode> {
             name: "omp_critical",
             api: Api::OpenMp,
             run: |sys, store| {
-                cpu_scalar_code(sys, store, "omp_critical", Affinity::Spread, kernel::omp_critical_add)
+                cpu_scalar_code(
+                    sys,
+                    store,
+                    "omp_critical",
+                    Affinity::Spread,
+                    kernel::omp_critical_add,
+                )
             },
         },
         TestCode {
@@ -267,43 +293,65 @@ pub fn registry() -> Vec<TestCode> {
             name: "cuda_syncwarp",
             api: Api::Cuda,
             run: |sys, store| {
-                gpu_code(sys, store, "cuda_syncwarp", &NO_DT, &[0], |_, _| kernel::cuda_syncwarp())
+                gpu_code(sys, store, "cuda_syncwarp", &NO_DT, &[0], |_, _| {
+                    kernel::cuda_syncwarp()
+                })
             },
         },
         TestCode {
             name: "cuda_atomicadd_scalar",
             api: Api::Cuda,
             run: |sys, store| {
-                gpu_code(sys, store, "cuda_atomicadd_scalar", &ALL_DT, &[0], |dt, _| {
-                    kernel::cuda_atomic_add_scalar(dt.expect("dtype"))
-                })
+                gpu_code(
+                    sys,
+                    store,
+                    "cuda_atomicadd_scalar",
+                    &ALL_DT,
+                    &[0],
+                    |dt, _| kernel::cuda_atomic_add_scalar(dt.expect("dtype")),
+                )
             },
         },
         TestCode {
             name: "cuda_atomicadd_array",
             api: Api::Cuda,
             run: |sys, store| {
-                gpu_code(sys, store, "cuda_atomicadd_array", &ALL_DT, &GPU_STRIDES, |dt, s| {
-                    kernel::cuda_atomic_add_array(dt.expect("dtype"), s)
-                })
+                gpu_code(
+                    sys,
+                    store,
+                    "cuda_atomicadd_array",
+                    &ALL_DT,
+                    &GPU_STRIDES,
+                    |dt, s| kernel::cuda_atomic_add_array(dt.expect("dtype"), s),
+                )
             },
         },
         TestCode {
             name: "cuda_atomiccas_scalar",
             api: Api::Cuda,
             run: |sys, store| {
-                gpu_code(sys, store, "cuda_atomiccas_scalar", &INT_DT, &[0], |dt, _| {
-                    kernel::cuda_atomic_cas_scalar(dt.expect("dtype"))
-                })
+                gpu_code(
+                    sys,
+                    store,
+                    "cuda_atomiccas_scalar",
+                    &INT_DT,
+                    &[0],
+                    |dt, _| kernel::cuda_atomic_cas_scalar(dt.expect("dtype")),
+                )
             },
         },
         TestCode {
             name: "cuda_atomiccas_array",
             api: Api::Cuda,
             run: |sys, store| {
-                gpu_code(sys, store, "cuda_atomiccas_array", &INT_DT, &GPU_STRIDES, |dt, s| {
-                    kernel::cuda_atomic_cas_array(dt.expect("dtype"), s)
-                })
+                gpu_code(
+                    sys,
+                    store,
+                    "cuda_atomiccas_array",
+                    &INT_DT,
+                    &GPU_STRIDES,
+                    |dt, s| kernel::cuda_atomic_cas_array(dt.expect("dtype"), s),
+                )
             },
         },
         TestCode {
@@ -319,27 +367,42 @@ pub fn registry() -> Vec<TestCode> {
             name: "cuda_threadfence",
             api: Api::Cuda,
             run: |sys, store| {
-                gpu_code(sys, store, "cuda_threadfence", &ALL_DT, &GPU_STRIDES, |dt, s| {
-                    kernel::cuda_threadfence(Scope::Device, dt.expect("dtype"), s)
-                })
+                gpu_code(
+                    sys,
+                    store,
+                    "cuda_threadfence",
+                    &ALL_DT,
+                    &GPU_STRIDES,
+                    |dt, s| kernel::cuda_threadfence(Scope::Device, dt.expect("dtype"), s),
+                )
             },
         },
         TestCode {
             name: "cuda_threadfence_block",
             api: Api::Cuda,
             run: |sys, store| {
-                gpu_code(sys, store, "cuda_threadfence_block", &INT_DT, &GPU_STRIDES, |dt, s| {
-                    kernel::cuda_threadfence(Scope::Block, dt.expect("dtype"), s)
-                })
+                gpu_code(
+                    sys,
+                    store,
+                    "cuda_threadfence_block",
+                    &INT_DT,
+                    &GPU_STRIDES,
+                    |dt, s| kernel::cuda_threadfence(Scope::Block, dt.expect("dtype"), s),
+                )
             },
         },
         TestCode {
             name: "cuda_threadfence_system",
             api: Api::Cuda,
             run: |sys, store| {
-                gpu_code(sys, store, "cuda_threadfence_system", &INT_DT, &[1], |dt, s| {
-                    kernel::cuda_threadfence(Scope::System, dt.expect("dtype"), s)
-                })
+                gpu_code(
+                    sys,
+                    store,
+                    "cuda_threadfence_system",
+                    &INT_DT,
+                    &[1],
+                    |dt, s| kernel::cuda_threadfence(Scope::System, dt.expect("dtype"), s),
+                )
             },
         },
         TestCode {

@@ -1,9 +1,9 @@
 //! Shared helpers for the figure-regeneration harness.
 
+use syncperf_core::sweep::{thread_sweep, throughput_series};
 use syncperf_core::{
     Affinity, CpuKernel, DType, ExecParams, GpuKernel, Protocol, Result, Series, SystemSpec,
 };
-use syncperf_core::sweep::{throughput_series, thread_sweep};
 use syncperf_cpu_sim::CpuSimExecutor;
 use syncperf_gpu_sim::GpuSimExecutor;
 
@@ -50,12 +50,15 @@ pub fn cpu_dtype_series(
     let mut out = Vec::new();
     for &dt in dtypes {
         let kernel = make_kernel(dt);
-        let points = thread_sweep(
-            &threads,
-            paper_loops(2).with_affinity(affinity),
-            |_| kernel.clone(),
-        );
-        out.push(throughput_series(&mut exec, &protocol(), dt.label(), points)?);
+        let points = thread_sweep(&threads, paper_loops(2).with_affinity(affinity), |_| {
+            kernel.clone()
+        });
+        out.push(throughput_series(
+            &mut exec,
+            &protocol(),
+            dt.label(),
+            points,
+        )?);
     }
     Ok(out)
 }
@@ -73,8 +76,9 @@ pub fn cpu_series(
 ) -> Result<Series> {
     let mut exec = CpuSimExecutor::new(system);
     let threads = omp_threads(system);
-    let points =
-        thread_sweep(&threads, paper_loops(2).with_affinity(affinity), |_| kernel.clone());
+    let points = thread_sweep(&threads, paper_loops(2).with_affinity(affinity), |_| {
+        kernel.clone()
+    });
     throughput_series(&mut exec, &protocol(), label, points)
 }
 
@@ -95,9 +99,15 @@ pub fn gpu_dtype_series(
     let mut out = Vec::new();
     for &dt in dtypes {
         let kernel = make_kernel(dt);
-        let points =
-            thread_sweep(&threads, paper_loops(1).with_blocks(blocks), |_| kernel.clone());
-        out.push(throughput_series(&mut exec, &protocol(), dt.label(), points)?);
+        let points = thread_sweep(&threads, paper_loops(1).with_blocks(blocks), |_| {
+            kernel.clone()
+        });
+        out.push(throughput_series(
+            &mut exec,
+            &protocol(),
+            dt.label(),
+            points,
+        )?);
     }
     Ok(out)
 }
@@ -116,7 +126,9 @@ pub fn gpu_series(
 ) -> Result<Series> {
     let mut exec = GpuSimExecutor::new(system);
     let threads = gpu_threads(system);
-    let points = thread_sweep(&threads, paper_loops(1).with_blocks(blocks), |_| kernel.clone());
+    let points = thread_sweep(&threads, paper_loops(1).with_blocks(blocks), |_| {
+        kernel.clone()
+    });
     throughput_series(&mut exec, &protocol(), label, points)
 }
 
@@ -148,7 +160,13 @@ mod tests {
 
     #[test]
     fn cpu_series_has_one_point_per_thread_count() {
-        let s = cpu_series(&SYSTEM3, Affinity::Spread, "barrier", &kernel::omp_barrier()).unwrap();
+        let s = cpu_series(
+            &SYSTEM3,
+            Affinity::Spread,
+            "barrier",
+            &kernel::omp_barrier(),
+        )
+        .unwrap();
         assert_eq!(s.points.len(), 31);
     }
 

@@ -18,7 +18,12 @@ pub fn fig01_barrier() -> Result<Vec<FigureData>> {
         "threads",
         "barriers/s/thread",
     );
-    fig.push_series(cpu_series(&SYSTEM3, Affinity::Spread, "barrier", &kernel::omp_barrier())?);
+    fig.push_series(cpu_series(
+        &SYSTEM3,
+        Affinity::Spread,
+        "barrier",
+        &kernel::omp_barrier(),
+    )?);
     fig.annotate(format!(
         "dashed line at {} threads: hyperthreading to the right",
         SYSTEM3.cpu.total_cores()
@@ -93,9 +98,12 @@ pub fn fig04_atomic_write() -> Result<Vec<FigureData>> {
             "threads",
             "ops/s/thread",
         );
-        for s in
-            cpu_dtype_series(sys, Affinity::SystemChoice, &DType::ALL, kernel::omp_atomic_write)?
-        {
+        for s in cpu_dtype_series(
+            sys,
+            Affinity::SystemChoice,
+            &DType::ALL,
+            kernel::omp_atomic_write,
+        )? {
             fig.push_series(s);
         }
         if sys.id == 3 {
@@ -119,7 +127,12 @@ pub fn fig05_critical() -> Result<Vec<FigureData>> {
         "threads",
         "ops/s/thread",
     );
-    for s in cpu_dtype_series(&SYSTEM3, Affinity::Spread, &DType::ALL, kernel::omp_critical_add)? {
+    for s in cpu_dtype_series(
+        &SYSTEM3,
+        Affinity::Spread,
+        &DType::ALL,
+        kernel::omp_critical_add,
+    )? {
         fig.push_series(s);
     }
     fig.annotate("same trend as Fig. 2 but dropping faster and lower");
@@ -183,8 +196,14 @@ pub fn exp_atomic_read_capture() -> Result<Vec<FigureData>> {
         "threads",
         "ratio / flag",
     );
-    fig.push_series(syncperf_core::Series::new("capture/update runtime ratio", ratio_points));
-    fig.push_series(syncperf_core::Series::new("atomic read negligible (1=yes)", free_points));
+    fig.push_series(syncperf_core::Series::new(
+        "capture/update runtime ratio",
+        ratio_points,
+    ));
+    fig.push_series(syncperf_core::Series::new(
+        "atomic read negligible (1=yes)",
+        free_points,
+    ));
     Ok(vec![fig])
 }
 
@@ -268,7 +287,10 @@ mod tests {
         // band dominated by jitter.
         let at32: Vec<f64> = s2.series.iter().map(|s| s.y_at(32.0).unwrap()).collect();
         let spread = syncperf_core::stats::relative_spread(&at32);
-        assert!(spread < 0.15, "types within noise on the Intel system: {spread}");
+        assert!(
+            spread < 0.15,
+            "types within noise on the Intel system: {spread}"
+        );
         // The AMD panel wobbles more.
         let wobble = |fig: &FigureData| {
             let s = fig.series_by_label("int").unwrap();
@@ -280,7 +302,10 @@ mod tests {
                 .collect();
             syncperf_core::stats::relative_spread(&tail)
         };
-        assert!(wobble(s3) > wobble(s2), "System 3 shows the jitter (Fig. 4a)");
+        assert!(
+            wobble(s3) > wobble(s2),
+            "System 3 shows the jitter (Fig. 4a)"
+        );
     }
 
     #[test]
@@ -311,7 +336,12 @@ mod tests {
         for &(_, r) in &ratio.points {
             assert!((r - 1.0).abs() < 0.2, "capture ≈ update, got ratio {r}");
         }
-        let free = fig.series_by_label("atomic read negligible (1=yes)").unwrap();
-        assert!(free.points.iter().all(|&(_, f)| f == 1.0), "atomic read must be free");
+        let free = fig
+            .series_by_label("atomic read negligible (1=yes)")
+            .unwrap();
+        assert!(
+            free.points.iter().all(|&(_, f)| f == 1.0),
+            "atomic read must be free"
+        );
     }
 }

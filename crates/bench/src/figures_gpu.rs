@@ -51,9 +51,10 @@ pub fn fig08_syncwarp() -> Result<Vec<FigureData>> {
             "syncs/s/thread",
         )
         .with_log_x();
-        for (label, blocks) in
-            [("full (1 block/SM)", sys.gpu.sms), ("double (2 blocks/SM)", sys.gpu.sms * 2)]
-        {
+        for (label, blocks) in [
+            ("full (1 block/SM)", sys.gpu.sms),
+            ("double (2 blocks/SM)", sys.gpu.sms * 2),
+        ] {
             fig.push_series(gpu_series(sys, blocks, label, &kernel::cuda_syncwarp())?);
         }
         fig.annotate(format!(
@@ -80,7 +81,12 @@ pub fn fig09_atomicadd_scalar() -> Result<Vec<FigureData>> {
             "ops/s/thread",
         )
         .with_log_x();
-        for s in gpu_dtype_series(&SYSTEM3, blocks, &DType::ALL, kernel::cuda_atomic_add_scalar)? {
+        for s in gpu_dtype_series(
+            &SYSTEM3,
+            blocks,
+            &DType::ALL,
+            kernel::cuda_atomic_add_scalar,
+        )? {
             fig.push_series(s);
         }
         if blocks == 2 {
@@ -98,7 +104,12 @@ pub fn fig09_atomicadd_scalar() -> Result<Vec<FigureData>> {
 ///
 /// Propagates simulator errors.
 pub fn fig10_atomicadd_array() -> Result<Vec<FigureData>> {
-    array_atomic_fig("fig10", "atomicAdd()", &DType::ALL, kernel::cuda_atomic_add_array)
+    array_atomic_fig(
+        "fig10",
+        "atomicAdd()",
+        &DType::ALL,
+        kernel::cuda_atomic_add_array,
+    )
 }
 
 /// Fig. 11 — `atomicCAS()` on one shared variable at 1 and 128 blocks
@@ -139,7 +150,12 @@ pub fn fig11_atomiccas_scalar() -> Result<Vec<FigureData>> {
 ///
 /// Propagates simulator errors.
 pub fn fig12_atomiccas_array() -> Result<Vec<FigureData>> {
-    array_atomic_fig("fig12", "atomicCAS()", &DType::CAS_SUPPORTED, kernel::cuda_atomic_cas_array)
+    array_atomic_fig(
+        "fig12",
+        "atomicCAS()",
+        &DType::CAS_SUPPORTED,
+        kernel::cuda_atomic_cas_array,
+    )
 }
 
 /// Fig. 13 — `atomicExch()` on one shared variable at 1 and 128 blocks.
@@ -177,9 +193,12 @@ pub fn fig13_atomicexch() -> Result<Vec<FigureData>> {
 /// Propagates simulator errors.
 pub fn fig14_threadfence() -> Result<Vec<FigureData>> {
     let mut figs = Vec::new();
-    for (panel, blocks, stride) in
-        [('a', 1u32, 1u32), ('b', 1, 32), ('c', 128, 1), ('d', 128, 32)]
-    {
+    for (panel, blocks, stride) in [
+        ('a', 1u32, 1u32),
+        ('b', 1, 32),
+        ('c', 128, 1),
+        ('d', 128, 32),
+    ] {
         let mut fig = FigureData::new(
             format!("fig14{panel}"),
             format!("__threadfence(), {blocks} blocks, stride {stride} (System 3)"),
@@ -205,9 +224,10 @@ pub fn fig14_threadfence() -> Result<Vec<FigureData>> {
 /// Propagates simulator errors.
 pub fn fig15_shfl() -> Result<Vec<FigureData>> {
     let mut figs = Vec::new();
-    for (panel, label, blocks) in
-        [('a', "full (1 block/SM)", SYSTEM3.gpu.sms), ('b', "double (2 blocks/SM)", SYSTEM3.gpu.sms * 2)]
-    {
+    for (panel, label, blocks) in [
+        ('a', "full (1 block/SM)", SYSTEM3.gpu.sms),
+        ('b', "double (2 blocks/SM)", SYSTEM3.gpu.sms * 2),
+    ] {
         let mut fig = FigureData::new(
             format!("fig15{panel}"),
             format!("__shfl_sync() throughput, {label} (System 3)"),
@@ -277,11 +297,23 @@ pub fn exp_vote() -> Result<Vec<FigureData>> {
     )
     .with_log_x();
     let blocks = SYSTEM3.gpu.sms;
-    fig.push_series(gpu_series(&SYSTEM3, blocks, "__syncwarp", &kernel::cuda_syncwarp())?);
-    for (label, kind) in
-        [("__ballot_sync", VoteKind::Ballot), ("__all_sync", VoteKind::All), ("__any_sync", VoteKind::Any)]
-    {
-        fig.push_series(gpu_series(&SYSTEM3, blocks, label, &kernel::cuda_vote(kind))?);
+    fig.push_series(gpu_series(
+        &SYSTEM3,
+        blocks,
+        "__syncwarp",
+        &kernel::cuda_syncwarp(),
+    )?);
+    for (label, kind) in [
+        ("__ballot_sync", VoteKind::Ballot),
+        ("__all_sync", VoteKind::All),
+        ("__any_sync", VoteKind::Any),
+    ] {
+        fig.push_series(gpu_series(
+            &SYSTEM3,
+            blocks,
+            label,
+            &kernel::cuda_vote(kind),
+        )?);
     }
     fig.annotate("votes track __syncwarp at slightly lower absolute throughput");
     Ok(vec![fig])
@@ -294,12 +326,17 @@ fn array_atomic_fig(
     make: impl Fn(DType, u32) -> syncperf_core::GpuKernel + Copy,
 ) -> Result<Vec<FigureData>> {
     let mut figs = Vec::new();
-    for (panel, blocks, stride) in
-        [('a', 1u32, 1u32), ('b', 1, 32), ('c', 128, 1), ('d', 128, 32)]
-    {
+    for (panel, blocks, stride) in [
+        ('a', 1u32, 1u32),
+        ('b', 1, 32),
+        ('c', 128, 1),
+        ('d', 128, 32),
+    ] {
         let mut fig = FigureData::new(
             format!("{id}{panel}"),
-            format!("{title_op} on private array elements, {blocks} blocks, stride {stride} (System 3)"),
+            format!(
+                "{title_op} on private array elements, {blocks} blocks, stride {stride} (System 3)"
+            ),
             "threads per block",
             "ops/s/thread",
         )
@@ -384,7 +421,11 @@ mod tests {
     fn fig07_flat_through_warp_then_falling_and_block_invariant() {
         let fig = &fig07_syncthreads().unwrap()[0];
         let first = &fig.series[0];
-        assert_eq!(first.y_at(1.0), first.y_at(32.0), "constant through the warp size");
+        assert_eq!(
+            first.y_at(1.0),
+            first.y_at(32.0),
+            "constant through the warp size"
+        );
         assert!(first.y_at(64.0).unwrap() < first.y_at(32.0).unwrap());
         assert!(first.y_at(1024.0).unwrap() < first.y_at(64.0).unwrap());
         for s in &fig.series[1..] {
@@ -415,12 +456,19 @@ mod tests {
         let figs = fig09_atomicadd_scalar().unwrap();
         let two_blocks = &figs[0];
         let int = two_blocks.series_by_label("int").unwrap();
-        assert_eq!(int.y_at(32.0), int.y_at(64.0), "constant up to 64 threads at 2 blocks");
+        assert_eq!(
+            int.y_at(32.0),
+            int.y_at(64.0),
+            "constant up to 64 threads at 2 blocks"
+        );
         assert!(int.y_at(128.0).unwrap() < int.y_at(64.0).unwrap());
         // Gap between int and the other three types at high load.
         for other in ["ull", "float", "double"] {
             let s = two_blocks.series_by_label(other).unwrap();
-            assert!(int.y_at(1024.0).unwrap() > s.y_at(1024.0).unwrap(), "{other}");
+            assert!(
+                int.y_at(1024.0).unwrap() > s.y_at(1024.0).unwrap(),
+                "{other}"
+            );
         }
         // ull beats the floating-point types.
         let ull = two_blocks.series_by_label("ull").unwrap();
@@ -433,7 +481,10 @@ mod tests {
         let figs = fig10_atomicadd_array().unwrap();
         let y = |panel: usize, x: f64| figs[panel].series_by_label("int").unwrap().y_at(x).unwrap();
         // More blocks → lower per-thread throughput (L2 sharing).
-        assert!(y(0, 256.0) > y(2, 256.0), "1 block beats 128 blocks at stride 1");
+        assert!(
+            y(0, 256.0) > y(2, 256.0),
+            "1 block beats 128 blocks at stride 1"
+        );
         // Stride matters far more at 128 blocks than at 1 block.
         let ratio_1 = y(0, 1024.0) / y(1, 1024.0);
         let ratio_128 = y(2, 1024.0) / y(3, 1024.0);
@@ -470,7 +521,12 @@ mod tests {
             for s in &fig.series {
                 let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
                 let spread = syncperf_core::stats::relative_spread(&ys);
-                assert!(spread < 0.05, "{}/{}: fence must be flat, spread {spread}", fig.id, s.label);
+                assert!(
+                    spread < 0.05,
+                    "{}/{}: fence must be flat, spread {spread}",
+                    fig.id,
+                    s.label
+                );
             }
         }
     }
@@ -497,7 +553,10 @@ mod tests {
         let device = fig.series_by_label("device").unwrap();
         let system = fig.series_by_label("system").unwrap();
         for &(x, y) in &device.points {
-            assert!(block.y_at(x).unwrap() < 0.1 * y, "block fence ≈ free at {x}");
+            assert!(
+                block.y_at(x).unwrap() < 0.1 * y,
+                "block fence ≈ free at {x}"
+            );
             assert!(system.y_at(x).unwrap() > y, "system fence > device at {x}");
         }
     }

@@ -15,6 +15,7 @@ pub mod codes;
 pub mod common;
 pub mod figures_cpu;
 pub mod figures_gpu;
+pub mod runner;
 pub mod sensitivity;
 pub mod tables;
 pub mod verify;

@@ -1,0 +1,372 @@
+//! Shared entry point for the figure/experiment binaries.
+//!
+//! Every `fig*`/`exp*` binary is a one-liner delegating here, so the
+//! command-line surface — including the `--trace <path>` observability
+//! flag — is implemented once rather than once per binary.
+//!
+//! ```console
+//! $ fig02_omp_atomic_update_scalar --trace fig02.json
+//! $ fig02_omp_atomic_update_scalar --trace fig02.jsonl --trace-format jsonl
+//! ```
+//!
+//! With `--trace`, a process-global [`Recorder`] is installed before
+//! the generators run, so every layer (protocol, simulators, real
+//! runtime) records into it; the merged events plus the counter
+//! snapshot are then written in the requested format and an ASCII
+//! summary of the counters is printed to stdout.
+
+use std::path::{Path, PathBuf};
+
+use syncperf_core::obs::{self, sink, Recorder};
+use syncperf_core::report::render_obs_summary;
+use syncperf_core::{FigureData, Result, SyncPerfError};
+
+/// A figure/experiment generator, as registered in [`registry`].
+pub type Generator = fn() -> Result<Vec<FigureData>>;
+
+/// One runnable experiment: its binary name and figure generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    /// The binary / experiment name (e.g. `fig01_omp_barrier`).
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// The generator producing the figure data.
+    pub generate: Generator,
+}
+
+/// Every library-backed figure/experiment generator, in paper order.
+///
+/// This is the single source of truth used both by the per-figure
+/// binaries and by `trace_report` (which can run any entry by name
+/// with recording enabled).
+#[must_use]
+pub fn registry() -> Vec<Entry> {
+    vec![
+        Entry {
+            name: "fig01_omp_barrier",
+            about: "Fig. 1: OpenMP barrier throughput",
+            generate: crate::figures_cpu::fig01_barrier,
+        },
+        Entry {
+            name: "fig02_omp_atomic_update_scalar",
+            about: "Fig. 2: OpenMP atomic update on a shared variable",
+            generate: crate::figures_cpu::fig02_atomic_update_scalar,
+        },
+        Entry {
+            name: "fig03_omp_atomic_update_array",
+            about: "Fig. 3: OpenMP atomic update on private array elements",
+            generate: crate::figures_cpu::fig03_atomic_update_array,
+        },
+        Entry {
+            name: "fig04_omp_atomic_write",
+            about: "Fig. 4: OpenMP atomic write",
+            generate: crate::figures_cpu::fig04_atomic_write,
+        },
+        Entry {
+            name: "fig05_omp_critical",
+            about: "Fig. 5: OpenMP critical-section add",
+            generate: crate::figures_cpu::fig05_critical,
+        },
+        Entry {
+            name: "fig06_omp_flush",
+            about: "Fig. 6: OpenMP flush",
+            generate: crate::figures_cpu::fig06_flush,
+        },
+        Entry {
+            name: "exp_omp_atomic_read_capture",
+            about: "§V-A2: atomic read is free; capture behaves like update",
+            generate: crate::figures_cpu::exp_atomic_read_capture,
+        },
+        Entry {
+            name: "exp_omp_affinity",
+            about: "Extension: spread vs close thread affinity",
+            generate: crate::figures_cpu::exp_affinity,
+        },
+        Entry {
+            name: "fig07_cuda_syncthreads",
+            about: "Fig. 7: __syncthreads throughput",
+            generate: crate::figures_gpu::fig07_syncthreads,
+        },
+        Entry {
+            name: "fig08_cuda_syncwarp",
+            about: "Fig. 8: __syncwarp throughput",
+            generate: crate::figures_gpu::fig08_syncwarp,
+        },
+        Entry {
+            name: "fig09_cuda_atomicadd_scalar",
+            about: "Fig. 9: atomicAdd on one shared variable",
+            generate: crate::figures_gpu::fig09_atomicadd_scalar,
+        },
+        Entry {
+            name: "fig10_cuda_atomicadd_array",
+            about: "Fig. 10: atomicAdd on private array elements",
+            generate: crate::figures_gpu::fig10_atomicadd_array,
+        },
+        Entry {
+            name: "fig11_cuda_atomiccas_scalar",
+            about: "Fig. 11: atomicCAS on one shared variable",
+            generate: crate::figures_gpu::fig11_atomiccas_scalar,
+        },
+        Entry {
+            name: "fig12_cuda_atomiccas_array",
+            about: "Fig. 12: atomicCAS on private array elements",
+            generate: crate::figures_gpu::fig12_atomiccas_array,
+        },
+        Entry {
+            name: "fig13_cuda_atomicexch",
+            about: "Fig. 13: atomicExch on one shared variable",
+            generate: crate::figures_gpu::fig13_atomicexch,
+        },
+        Entry {
+            name: "fig14_cuda_threadfence",
+            about: "Fig. 14: __threadfence",
+            generate: crate::figures_gpu::fig14_threadfence,
+        },
+        Entry {
+            name: "fig15_cuda_shfl",
+            about: "Fig. 15: __shfl_sync",
+            generate: crate::figures_gpu::fig15_shfl,
+        },
+        Entry {
+            name: "exp_cuda_fence_scopes",
+            about: "§V-B3: fence scopes",
+            generate: crate::figures_gpu::exp_fence_scopes,
+        },
+        Entry {
+            name: "exp_cuda_vote",
+            about: "§V-B4: warp votes",
+            generate: crate::figures_gpu::exp_vote,
+        },
+        Entry {
+            name: "exp_cuda_atomic_ops",
+            about: "Extension: the atomic RMW family",
+            generate: crate::figures_gpu::exp_atomic_ops,
+        },
+        Entry {
+            name: "exp_cuda_divergence",
+            about: "Extension: warp divergence",
+            generate: crate::figures_gpu::exp_divergence,
+        },
+        Entry {
+            name: "all_figures",
+            about: "every figure in paper order",
+            generate: crate::all_figures,
+        },
+    ]
+}
+
+/// Looks up a registry entry by name.
+#[must_use]
+pub fn find(name: &str) -> Option<Entry> {
+    registry().into_iter().find(|e| e.name == name)
+}
+
+/// Trace output format selected by `--trace-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome `trace_event` JSON (chrome://tracing, Perfetto).
+    Chrome,
+    /// One JSON object per line.
+    Jsonl,
+    /// The ASCII counter summary table.
+    Summary,
+}
+
+impl TraceFormat {
+    /// Parses a `--trace-format` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidParams` for unknown format names.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "chrome" => Ok(TraceFormat::Chrome),
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "summary" => Ok(TraceFormat::Summary),
+            other => Err(SyncPerfError::InvalidParams(format!(
+                "unknown trace format `{other}` (expected chrome|jsonl|summary)"
+            ))),
+        }
+    }
+
+    /// Infers a format from a path extension (`.jsonl` → JSONL,
+    /// `.txt` → summary, anything else → Chrome JSON).
+    #[must_use]
+    pub fn infer(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("jsonl") => TraceFormat::Jsonl,
+            Some("txt") => TraceFormat::Summary,
+            _ => TraceFormat::Chrome,
+        }
+    }
+}
+
+/// Options shared by every figure binary.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Write a trace of the run to this path.
+    pub trace: Option<PathBuf>,
+    /// Explicit trace format (otherwise inferred from the extension).
+    pub format: Option<TraceFormat>,
+}
+
+impl RunOptions {
+    /// Parses the shared flags from an argument iterator (binary name
+    /// already skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidParams` on unknown flags or missing values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self> {
+        let mut opts = RunOptions::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace" => {
+                    let path = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--trace requires a path".into())
+                    })?;
+                    opts.trace = Some(PathBuf::from(path));
+                }
+                "--trace-format" => {
+                    let fmt = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--trace-format requires a value".into())
+                    })?;
+                    opts.format = Some(TraceFormat::parse(&fmt)?);
+                }
+                other => {
+                    return Err(SyncPerfError::InvalidParams(format!(
+                        "unknown flag `{other}` (supported: --trace <path>, \
+                         --trace-format chrome|jsonl|summary)"
+                    )));
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The effective format for `path`.
+    #[must_use]
+    pub fn effective_format(&self, path: &Path) -> TraceFormat {
+        self.format.unwrap_or_else(|| TraceFormat::infer(path))
+    }
+}
+
+/// Renders a drained trace in `format`.
+#[must_use]
+pub fn render_trace(events: &[obs::Event], snap: &obs::Snapshot, format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Chrome => sink::chrome_trace_json(events, snap),
+        TraceFormat::Jsonl => sink::jsonl(events),
+        TraceFormat::Summary => render_obs_summary(snap),
+    }
+}
+
+/// Runs `generate` with the shared CLI surface: parses `--trace`/
+/// `--trace-format` from `std::env::args`, installs a process-global
+/// recorder when tracing, emits the figures, and writes the trace.
+///
+/// Every figure binary's `main` is exactly `runner::run(generate)`.
+///
+/// # Errors
+///
+/// Propagates generator and I/O errors.
+pub fn run(generate: impl FnOnce() -> Result<Vec<FigureData>>) -> Result<()> {
+    let opts = RunOptions::parse(std::env::args().skip(1))?;
+    run_with_options(generate, &opts)
+}
+
+/// [`run`] with pre-parsed options (used by `trace_report` and tests).
+///
+/// # Errors
+///
+/// Propagates generator and I/O errors.
+pub fn run_with_options(
+    generate: impl FnOnce() -> Result<Vec<FigureData>>,
+    opts: &RunOptions,
+) -> Result<()> {
+    let rec = if opts.trace.is_some() {
+        obs::install(Recorder::enabled());
+        // `install` keeps an earlier recorder if one exists; either
+        // way, record into whatever is globally visible.
+        obs::global().clone()
+    } else {
+        Recorder::disabled()
+    };
+
+    crate::emit(&generate()?)?;
+
+    if let Some(path) = &opts.trace {
+        let format = opts.effective_format(path);
+        let events = rec.drain_events();
+        let snap = rec.snapshot();
+        std::fs::write(path, render_trace(&events, &snap, format))?;
+        print!("{}", render_obs_summary(&snap));
+        println!("(trace: {})", path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_match_binaries() {
+        let reg = registry();
+        let mut names: Vec<&str> = reg.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate registry names");
+        assert!(find("fig01_omp_barrier").is_some());
+        assert!(find("all_figures").is_some());
+        assert!(find("no_such_figure").is_none());
+    }
+
+    #[test]
+    fn parse_accepts_trace_flags() {
+        let opts = RunOptions::parse(
+            ["--trace", "out.jsonl", "--trace-format", "jsonl"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.trace.as_deref(), Some(Path::new("out.jsonl")));
+        assert_eq!(opts.format, Some(TraceFormat::Jsonl));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(RunOptions::parse(["--bogus".to_string()]).is_err());
+        assert!(RunOptions::parse(["--trace".to_string()]).is_err());
+        assert!(RunOptions::parse(["--trace-format".to_string(), "yaml".to_string()]).is_err());
+    }
+
+    #[test]
+    fn format_inferred_from_extension() {
+        assert_eq!(TraceFormat::infer(Path::new("t.jsonl")), TraceFormat::Jsonl);
+        assert_eq!(TraceFormat::infer(Path::new("t.txt")), TraceFormat::Summary);
+        assert_eq!(TraceFormat::infer(Path::new("t.json")), TraceFormat::Chrome);
+        let opts = RunOptions {
+            trace: Some(PathBuf::from("t.jsonl")),
+            format: Some(TraceFormat::Chrome),
+        };
+        // An explicit format wins over the extension.
+        assert_eq!(
+            opts.effective_format(Path::new("t.jsonl")),
+            TraceFormat::Chrome
+        );
+    }
+
+    #[test]
+    fn render_trace_dispatches_by_format() {
+        let rec = Recorder::enabled();
+        rec.counter("x.count").inc();
+        rec.instant("t", "e");
+        let events = rec.drain_events();
+        let snap = rec.snapshot();
+        assert!(render_trace(&events, &snap, TraceFormat::Chrome).contains("traceEvents"));
+        assert!(render_trace(&events, &snap, TraceFormat::Jsonl).contains("\"name\":\"e\""));
+        assert!(render_trace(&events, &snap, TraceFormat::Summary).contains("x.count"));
+    }
+}

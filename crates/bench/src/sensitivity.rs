@@ -55,8 +55,16 @@ fn cpu_claim_holds(model: CpuModel, claim: &str) -> Result<bool> {
             d > i
         }
         "padding removes the false-sharing penalty" => {
-            let s1 = runtime(&mut sim, &kernel::omp_atomic_update_array(DType::I32, 1), 16)?;
-            let s16 = runtime(&mut sim, &kernel::omp_atomic_update_array(DType::I32, 16), 16)?;
+            let s1 = runtime(
+                &mut sim,
+                &kernel::omp_atomic_update_array(DType::I32, 1),
+                16,
+            )?;
+            let s16 = runtime(
+                &mut sim,
+                &kernel::omp_atomic_update_array(DType::I32, 16),
+                16,
+            )?;
             s1 > 2.0 * s16
         }
         "critical sections lose to atomics" => {
@@ -76,7 +84,9 @@ fn gpu_claim_holds(model: GpuModel, claim: &str) -> Result<bool> {
         blocks: u32,
         threads: u32,
     ) -> Result<f64> {
-        let p = ExecParams::new(threads).with_blocks(blocks).with_loops(500, 50);
+        let p = ExecParams::new(threads)
+            .with_blocks(blocks)
+            .with_loops(500, 50);
         Ok(Protocol::SIM.measure(sim, k, &p)?.per_op)
     }
     Ok(match claim {
@@ -127,7 +137,9 @@ fn cpu_knobs() -> Vec<CpuKnob> {
 fn gpu_knobs() -> Vec<GpuKnob> {
     vec![
         ("gpu.same_addr_arb_cy", |m, s| m.same_addr_arb_cy *= s),
-        ("gpu.atomic_service(int)", |m, s| m.atomic_device.i32_cy *= s),
+        ("gpu.atomic_service(int)", |m, s| {
+            m.atomic_device.i32_cy *= s
+        }),
         ("gpu.warp_agg_reduce_cy", |m, s| m.warp_agg_reduce_cy *= s),
         ("gpu.fence_device_cy", |m, s| m.fence_device_cy *= s),
         ("gpu.shfl_cy", |m, s| m.shfl_cy *= s),
@@ -157,8 +169,12 @@ pub fn run_sensitivity() -> Result<Vec<SensitivityRow>> {
     let mut rows = Vec::new();
     for (name, apply) in cpu_knobs() {
         for claim in cpu_claims {
-            let mut row =
-                SensitivityRow { constant: name, claim, held_at: vec![], broke_at: vec![] };
+            let mut row = SensitivityRow {
+                constant: name,
+                claim,
+                held_at: vec![],
+                broke_at: vec![],
+            };
             for scale in SCALES {
                 let mut model = CpuModel::for_system(&SYSTEM3.cpu, 0.0);
                 apply(&mut model, scale);
@@ -173,8 +189,12 @@ pub fn run_sensitivity() -> Result<Vec<SensitivityRow>> {
     }
     for (name, apply) in gpu_knobs() {
         for claim in gpu_claims {
-            let mut row =
-                SensitivityRow { constant: name, claim, held_at: vec![], broke_at: vec![] };
+            let mut row = SensitivityRow {
+                constant: name,
+                claim,
+                held_at: vec![],
+                broke_at: vec![],
+            };
             for scale in SCALES {
                 let mut model = GpuModel::for_spec(&SYSTEM3.gpu);
                 apply(&mut model, scale);

@@ -11,10 +11,19 @@ pub fn table1() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "TABLE I: System Specifications");
     for sys in all_systems() {
-        let _ = writeln!(out, "\n({}) System {}", (b'a' + (sys.id - 1) as u8) as char, sys.id);
+        let _ = writeln!(
+            out,
+            "\n({}) System {}",
+            (b'a' + (sys.id - 1) as u8) as char,
+            sys.id
+        );
         let c = &sys.cpu;
         let _ = writeln!(out, "  {}", c.name);
-        let _ = writeln!(out, "    Base Clock Frequency   {:.2} GHz", c.base_clock_ghz);
+        let _ = writeln!(
+            out,
+            "    Base Clock Frequency   {:.2} GHz",
+            c.base_clock_ghz
+        );
         let _ = writeln!(out, "    Sockets                {}", c.sockets);
         let _ = writeln!(out, "    Cores Per Socket       {}", c.cores_per_socket);
         let _ = writeln!(out, "    Threads Per Core       {}", c.threads_per_core);
@@ -120,7 +129,10 @@ mod tests {
     #[test]
     fn listing1_reports_paper_ordering() {
         let r = listing1_report(&SYSTEM3).unwrap();
-        assert!(r.contains("R5 < R3 < R4 < R1 < R2"), "ordering line missing:\n{r}");
+        assert!(
+            r.contains("R5 < R3 < R4 < R1 < R2"),
+            "ordering line missing:\n{r}"
+        );
     }
 
     #[test]

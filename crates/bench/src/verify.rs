@@ -30,7 +30,12 @@ fn check(
     passed: bool,
     detail: String,
 ) {
-    out.push(Check { id, claim, passed, detail });
+    out.push(Check {
+        id,
+        claim,
+        passed,
+        detail,
+    });
 }
 
 fn y(fig: &FigureData, label: &str, x: f64) -> f64 {
@@ -52,18 +57,32 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
     // --- Fig. 1 -------------------------------------------------------
     let fig01 = &figures_cpu::fig01_barrier()?[0];
     let b = &fig01.series[0];
-    let (b2, b8, b32) = (y(fig01, "barrier", 2.0), y(fig01, "barrier", 8.0), y(fig01, "barrier", 32.0));
+    let (b2, b8, b32) = (
+        y(fig01, "barrier", 2.0),
+        y(fig01, "barrier", 8.0),
+        y(fig01, "barrier", 32.0),
+    );
     check(
         &mut out,
         "fig01",
         "barrier throughput decreases then is largely stable beyond ~8 threads",
         b2 > 1.5 * b8 && b8 / b32 < 2.0,
-        format!("2t {:.2e}, 8t {:.2e}, 32t {:.2e} ({} points)", b2, b8, b32, b.points.len()),
+        format!(
+            "2t {:.2e}, 8t {:.2e}, 32t {:.2e} ({} points)",
+            b2,
+            b8,
+            b32,
+            b.points.len()
+        ),
     );
 
     // --- Fig. 2 -------------------------------------------------------
     let fig02 = &figures_cpu::fig02_atomic_update_scalar()?[0];
-    let (i32_, u64_, f64_) = (y(fig02, "int", 32.0), y(fig02, "ull", 32.0), y(fig02, "double", 32.0));
+    let (i32_, u64_, f64_) = (
+        y(fig02, "int", 32.0),
+        y(fig02, "ull", 32.0),
+        y(fig02, "double", 32.0),
+    );
     check(
         &mut out,
         "fig02",
@@ -83,7 +102,11 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
         "fig03",
         "64-bit types jump at stride 8, 32-bit at stride 16 (cache-line geometry)",
         d8 > 3.0 * d4 && i16_ > 3.0 * i8_,
-        format!("double s4→s8: {:.1}x; int s8→s16: {:.1}x", d8 / d4, i16_ / i8_),
+        format!(
+            "double s4→s8: {:.1}x; int s8→s16: {:.1}x",
+            d8 / d4,
+            i16_ / i8_
+        ),
     );
     let s1_int = y(&fig03[0], "int", 32.0);
     let s1_ull = y(&fig03[0], "ull", 32.0);
@@ -97,10 +120,15 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
 
     // --- Fig. 4 -------------------------------------------------------
     let fig04 = figures_cpu::fig04_atomic_write()?;
-    let at32: Vec<f64> = fig04[1].series.iter().map(|s| s.y_at(32.0).expect("point")).collect();
+    let at32: Vec<f64> = fig04[1]
+        .series
+        .iter()
+        .map(|s| s.y_at(32.0).expect("point"))
+        .collect();
     let type_spread = syncperf_core::stats::relative_spread(&at32);
     let wobble = |fig: &FigureData| {
-        let pts: Vec<f64> = fig.series_by_label("int")
+        let pts: Vec<f64> = fig
+            .series_by_label("int")
             .expect("int series")
             .points
             .iter()
@@ -129,9 +157,18 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
         &mut out,
         "fig05",
         "critical sections slower than atomics at every thread count",
-        fig05.series_by_label("int").expect("int").points.iter().all(|&(x, v)| {
-            v < fig02.series_by_label("int").expect("int").y_at(x).unwrap_or(f64::MAX)
-        }),
+        fig05
+            .series_by_label("int")
+            .expect("int")
+            .points
+            .iter()
+            .all(|&(x, v)| {
+                v < fig02
+                    .series_by_label("int")
+                    .expect("int")
+                    .y_at(x)
+                    .unwrap_or(f64::MAX)
+            }),
         format!("critical {crit:.2e} vs atomic {i32_:.2e} at 32 threads"),
     );
 
@@ -166,7 +203,9 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
         "sVA2",
         "atomic read is free; atomic capture behaves like atomic update",
         read_free && cap_ratio_ok,
-        format!("read negligible at all thread counts: {read_free}; capture≈update: {cap_ratio_ok}"),
+        format!(
+            "read negligible at all thread counts: {read_free}; capture≈update: {cap_ratio_ok}"
+        ),
     );
 
     // --- Fig. 7 -------------------------------------------------------
@@ -264,8 +303,7 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
         &mut out,
         "fig13",
         "atomicExch follows the atomicCAS trend",
-        exch.y_at(1.0) == exch.y_at(4.0)
-            && exch.y_at(8.0).expect("8") < exch.y_at(4.0).expect("4"),
+        exch.y_at(1.0) == exch.y_at(4.0) && exch.y_at(8.0).expect("8") < exch.y_at(4.0).expect("4"),
         format!("knee after 4 threads at {:.2e}", exch.y_at(4.0).expect("4")),
     );
 
@@ -326,12 +364,18 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
     // --- §V-B4 --------------------------------------------------------
     let vote = &figures_gpu::exp_vote()?[0];
     let sw = vote.series_by_label("__syncwarp").expect("syncwarp");
-    let votes_ok = ["__ballot_sync", "__all_sync", "__any_sync"].iter().all(|label| {
-        vote.series_by_label(label).expect("vote").points.iter().all(|&(x, v)| {
-            let s = sw.y_at(x).expect("syncwarp point");
-            v < s && v > 0.5 * s
-        })
-    });
+    let votes_ok = ["__ballot_sync", "__all_sync", "__any_sync"]
+        .iter()
+        .all(|label| {
+            vote.series_by_label(label)
+                .expect("vote")
+                .points
+                .iter()
+                .all(|&(x, v)| {
+                    let s = sw.y_at(x).expect("syncwarp point");
+                    v < s && v > 0.5 * s
+                })
+        });
     check(
         &mut out,
         "sVB4",
@@ -339,7 +383,10 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
         votes_ok,
         format!(
             "vote/syncwarp ratio {:.2} in the flat region",
-            vote.series_by_label("__any_sync").expect("any").y_at(32.0).expect("32")
+            vote.series_by_label("__any_sync")
+                .expect("any")
+                .y_at(32.0)
+                .expect("32")
                 / sw.y_at(32.0).expect("32")
         ),
     );
@@ -347,9 +394,7 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
     // --- Listing 1 ------------------------------------------------------
     let model = GpuModel::for_spec(&SYSTEM3.gpu);
     let cfg = ReductionConfig::megabyte_input(&SYSTEM3.gpu);
-    let t = |s| {
-        simulate_reduction(&model, &SYSTEM3.gpu, s, &cfg).map(|r| r.total_cycles)
-    };
+    let t = |s| simulate_reduction(&model, &SYSTEM3.gpu, s, &cfg).map(|r| r.total_cycles);
     let (r1, r2, r3, r4, r5) = (
         t(ReductionStrategy::GlobalAtomic)?,
         t(ReductionStrategy::ShflThenGlobalAtomic)?,
@@ -364,7 +409,12 @@ pub fn run_all_checks() -> Result<Vec<Check>> {
         r3 < r4 && r4 < r1 && r1 < r2 && r5 < r3 && (2.0..5.0).contains(&(r2 / r5)),
         format!(
             "R1 {:.0}, R2 {:.0}, R3 {:.0}, R4 {:.0}, R5 {:.0} cycles; R5 speedup {:.2}x",
-            r1, r2, r3, r4, r5, r2 / r5
+            r1,
+            r2,
+            r3,
+            r4,
+            r5,
+            r2 / r5
         ),
     );
 
@@ -377,9 +427,19 @@ pub fn render(checks: &[Check]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let passed = checks.iter().filter(|c| c.passed).count();
-    let _ = writeln!(out, "verifying {} paper claims against regenerated data\n", checks.len());
+    let _ = writeln!(
+        out,
+        "verifying {} paper claims against regenerated data\n",
+        checks.len()
+    );
     for c in checks {
-        let _ = writeln!(out, "[{}] {:<9} {}", if c.passed { "PASS" } else { "FAIL" }, c.id, c.claim);
+        let _ = writeln!(
+            out,
+            "[{}] {:<9} {}",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.id,
+            c.claim
+        );
         let _ = writeln!(out, "                 {}", c.detail);
     }
     let _ = writeln!(out, "\n{passed}/{} claims verified", checks.len());
@@ -401,8 +461,18 @@ mod tests {
     #[test]
     fn render_contains_verdicts() {
         let checks = vec![
-            Check { id: "x", claim: "c", passed: true, detail: "d".into() },
-            Check { id: "y", claim: "c2", passed: false, detail: "d2".into() },
+            Check {
+                id: "x",
+                claim: "c",
+                passed: true,
+                detail: "d".into(),
+            },
+            Check {
+                id: "y",
+                claim: "c2",
+                passed: false,
+                detail: "d2".into(),
+            },
         ];
         let r = render(&checks);
         assert!(r.contains("[PASS]"));

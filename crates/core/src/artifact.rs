@@ -68,7 +68,9 @@ impl RunRecord {
     fn parse_csv_row(line: &str) -> Result<RunRecord> {
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 8 {
-            return Err(SyncPerfError::Io(format!("malformed runtimes.csv row: {line}")));
+            return Err(SyncPerfError::Io(format!(
+                "malformed runtimes.csv row: {line}"
+            )));
         }
         let dtype = match fields[4] {
             "-" => None,
@@ -85,10 +87,12 @@ impl RunRecord {
             other => return Err(SyncPerfError::Io(format!("unknown affinity `{other}`"))),
         };
         let parse_u32 = |s: &str| {
-            s.parse::<u32>().map_err(|e| SyncPerfError::Io(format!("bad integer `{s}`: {e}")))
+            s.parse::<u32>()
+                .map_err(|e| SyncPerfError::Io(format!("bad integer `{s}`: {e}")))
         };
         let parse_f64 = |s: &str| {
-            s.parse::<f64>().map_err(|e| SyncPerfError::Io(format!("bad float `{s}`: {e}")))
+            s.parse::<f64>()
+                .map_err(|e| SyncPerfError::Io(format!("bad float `{s}`: {e}")))
         };
         Ok(RunRecord {
             test: fields[0].to_string(),
@@ -118,7 +122,10 @@ impl ResultsStore {
     /// Creates an empty store for `host`.
     #[must_use]
     pub fn new(host: impl Into<String>) -> Self {
-        ResultsStore { host: host.into(), records: Vec::new() }
+        ResultsStore {
+            host: host.into(),
+            records: Vec::new(),
+        }
     }
 
     /// Adds one record.
@@ -228,7 +235,11 @@ impl ResultsStore {
             .iter()
             .filter(|r| !other.records.iter().any(|o| o.key() == r.key()))
             .count();
-        DiffReport { entries, missing_in_baseline: missing, only_in_baseline }
+        DiffReport {
+            entries,
+            missing_in_baseline: missing,
+            only_in_baseline,
+        }
     }
 }
 
@@ -279,7 +290,10 @@ impl DiffReport {
             .filter(|e| (e.ratio - 1.0).abs() > tolerance)
             .collect();
         out.sort_by(|a, b| {
-            (b.ratio - 1.0).abs().partial_cmp(&(a.ratio - 1.0).abs()).expect("finite ratios")
+            (b.ratio - 1.0)
+                .abs()
+                .partial_cmp(&(a.ratio - 1.0).abs())
+                .expect("finite ratios")
         });
         out
     }

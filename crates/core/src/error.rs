@@ -39,7 +39,10 @@ impl fmt::Display for SyncPerfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SyncPerfError::UnsupportedOp { op, platform } => {
-                write!(f, "operation `{op}` is not supported by platform `{platform}`")
+                write!(
+                    f,
+                    "operation `{op}` is not supported by platform `{platform}`"
+                )
             }
             SyncPerfError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             SyncPerfError::MeasurementUnstable { attempts } => write!(

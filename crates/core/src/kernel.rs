@@ -159,13 +159,29 @@ pub enum GpuOp {
     /// granularities", §II-B1).
     SyncThreadsReduce { kind: VoteKind },
     /// `atomicAdd()` (or `atomicAdd_block()` when `scope` is block).
-    AtomicAdd { dtype: DType, scope: Scope, target: Target },
+    AtomicAdd {
+        dtype: DType,
+        scope: Scope,
+        target: Target,
+    },
     /// `atomicCAS()` — integer types only.
-    AtomicCas { dtype: DType, scope: Scope, target: Target },
+    AtomicCas {
+        dtype: DType,
+        scope: Scope,
+        target: Target,
+    },
     /// `atomicExch()`.
-    AtomicExch { dtype: DType, scope: Scope, target: Target },
+    AtomicExch {
+        dtype: DType,
+        scope: Scope,
+        target: Target,
+    },
     /// `atomicMax()` (used by the Listing 1 reductions).
-    AtomicMax { dtype: DType, scope: Scope, target: Target },
+    AtomicMax {
+        dtype: DType,
+        scope: Scope,
+        target: Target,
+    },
     /// `__threadfence_block()/__threadfence()/__threadfence_system()`.
     ThreadFence { scope: Scope },
     /// Warp shuffle with implied `__syncwarp()`.
@@ -177,7 +193,12 @@ pub enum GpuOp {
     /// A plain (non-atomic) `x += v` — used by the fence test bodies.
     Update { dtype: DType, target: Target },
     /// One of the further RMW atomics (`atomicSub/Min/And/Or/Xor`).
-    AtomicRmw { op: RmwOp, dtype: DType, scope: Scope, target: Target },
+    AtomicRmw {
+        op: RmwOp,
+        dtype: DType,
+        scope: Scope,
+        target: Target,
+    },
     /// A plain read.
     Read { dtype: DType, target: Target },
     /// Plain arithmetic on registers (e.g. `max`), no memory traffic.
@@ -220,18 +241,18 @@ impl<Op> Kernel<Op> {
     /// Panics if `test` is shorter than `baseline` or `extra_ops` is
     /// zero.
     #[must_use]
-    pub fn new(
-        name: impl Into<String>,
-        baseline: Vec<Op>,
-        test: Vec<Op>,
-        extra_ops: u32,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, baseline: Vec<Op>, test: Vec<Op>, extra_ops: u32) -> Self {
         assert!(
             test.len() >= baseline.len(),
             "test body must contain at least as many operations as the baseline"
         );
         assert!(extra_ops > 0, "extra_ops must be at least 1");
-        Kernel { name: name.into(), baseline, test, extra_ops }
+        Kernel {
+            name: name.into(),
+            baseline,
+            test,
+            extra_ops,
+        }
     }
 }
 
@@ -248,38 +269,78 @@ pub type GpuKernel = Kernel<GpuOp>;
 /// iteration, the test has two.
 #[must_use]
 pub fn omp_barrier() -> CpuKernel {
-    Kernel::new("omp_barrier", vec![CpuOp::Barrier], vec![CpuOp::Barrier, CpuOp::Barrier], 1)
+    Kernel::new(
+        "omp_barrier",
+        vec![CpuOp::Barrier],
+        vec![CpuOp::Barrier, CpuOp::Barrier],
+        1,
+    )
 }
 
 /// Fig. 2 — OpenMP atomic update on a single shared variable.
 #[must_use]
 pub fn omp_atomic_update_scalar(dtype: DType) -> CpuKernel {
-    let op = CpuOp::AtomicUpdate { dtype, target: Target::SHARED };
-    Kernel::new(format!("omp_atomicadd_scalar_{dtype}"), vec![op], vec![op, op], 1)
+    let op = CpuOp::AtomicUpdate {
+        dtype,
+        target: Target::SHARED,
+    };
+    Kernel::new(
+        format!("omp_atomicadd_scalar_{dtype}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// Fig. 3 — OpenMP atomic update on each thread's private element of a
 /// shared array at the given stride.
 #[must_use]
 pub fn omp_atomic_update_array(dtype: DType, stride: u32) -> CpuKernel {
-    let op = CpuOp::AtomicUpdate { dtype, target: Target::private(stride) };
-    Kernel::new(format!("omp_atomicadd_array_{dtype}_s{stride}"), vec![op], vec![op, op], 1)
+    let op = CpuOp::AtomicUpdate {
+        dtype,
+        target: Target::private(stride),
+    };
+    Kernel::new(
+        format!("omp_atomicadd_array_{dtype}_s{stride}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// §V-A2 — OpenMP atomic capture (`v = x++`), behaviorally ≈ update.
 #[must_use]
 pub fn omp_atomic_capture_scalar(dtype: DType) -> CpuKernel {
-    let op = CpuOp::AtomicCapture { dtype, target: Target::SHARED };
-    Kernel::new(format!("omp_atomiccapture_scalar_{dtype}"), vec![op], vec![op, op], 1)
+    let op = CpuOp::AtomicCapture {
+        dtype,
+        target: Target::SHARED,
+    };
+    Kernel::new(
+        format!("omp_atomiccapture_scalar_{dtype}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// Fig. 4 — OpenMP atomic write: the baseline writes one shared
 /// location; the test writes two locations on separate cache lines.
 #[must_use]
 pub fn omp_atomic_write(dtype: DType) -> CpuKernel {
-    let w0 = CpuOp::AtomicWrite { dtype, target: Target::SHARED };
-    let w1 = CpuOp::AtomicWrite { dtype, target: Target::SHARED2 };
-    Kernel::new(format!("omp_atomicwrite_{dtype}"), vec![w0], vec![w0, w1], 1)
+    let w0 = CpuOp::AtomicWrite {
+        dtype,
+        target: Target::SHARED,
+    };
+    let w1 = CpuOp::AtomicWrite {
+        dtype,
+        target: Target::SHARED2,
+    };
+    Kernel::new(
+        format!("omp_atomicwrite_{dtype}"),
+        vec![w0],
+        vec![w0, w1],
+        1,
+    )
 }
 
 /// §V-A2 — OpenMP atomic read: the baseline performs a *non-atomic*
@@ -289,16 +350,30 @@ pub fn omp_atomic_write(dtype: DType) -> CpuKernel {
 /// free on the tested CPUs).
 #[must_use]
 pub fn omp_atomic_read(dtype: DType) -> CpuKernel {
-    let plain = CpuOp::Read { dtype, target: Target::SHARED };
-    let atomic = CpuOp::AtomicRead { dtype, target: Target::SHARED };
-    Kernel::new(format!("omp_atomicread_{dtype}"), vec![plain], vec![atomic], 1)
+    let plain = CpuOp::Read {
+        dtype,
+        target: Target::SHARED,
+    };
+    let atomic = CpuOp::AtomicRead {
+        dtype,
+        target: Target::SHARED,
+    };
+    Kernel::new(
+        format!("omp_atomicread_{dtype}"),
+        vec![plain],
+        vec![atomic],
+        1,
+    )
 }
 
 /// Fig. 5 — an addition on a single shared variable protected by an
 /// OpenMP critical section.
 #[must_use]
 pub fn omp_critical_add(dtype: DType) -> CpuKernel {
-    let op = CpuOp::CriticalAdd { dtype, target: Target::SHARED };
+    let op = CpuOp::CriticalAdd {
+        dtype,
+        target: Target::SHARED,
+    };
     Kernel::new(format!("omp_critical_{dtype}"), vec![op], vec![op, op], 1)
 }
 
@@ -306,8 +381,14 @@ pub fn omp_critical_add(dtype: DType) -> CpuKernel {
 /// two arrays; the test inserts a flush between the two increments.
 #[must_use]
 pub fn omp_flush(dtype: DType, stride: u32) -> CpuKernel {
-    let a = CpuOp::Update { dtype, target: Target::Private { array: 0, stride } };
-    let b = CpuOp::Update { dtype, target: Target::Private { array: 1, stride } };
+    let a = CpuOp::Update {
+        dtype,
+        target: Target::Private { array: 0, stride },
+    };
+    let b = CpuOp::Update {
+        dtype,
+        target: Target::Private { array: 1, stride },
+    };
     Kernel::new(
         format!("omp_flush_{dtype}_s{stride}"),
         vec![a, b],
@@ -341,15 +422,33 @@ pub fn cuda_syncwarp() -> GpuKernel {
 /// Fig. 9 — `atomicAdd()` on one shared variable.
 #[must_use]
 pub fn cuda_atomic_add_scalar(dtype: DType) -> GpuKernel {
-    let op = GpuOp::AtomicAdd { dtype, scope: Scope::Device, target: Target::SHARED };
-    Kernel::new(format!("cuda_atomicadd_scalar_{dtype}"), vec![op], vec![op, op], 1)
+    let op = GpuOp::AtomicAdd {
+        dtype,
+        scope: Scope::Device,
+        target: Target::SHARED,
+    };
+    Kernel::new(
+        format!("cuda_atomicadd_scalar_{dtype}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// Fig. 10 — `atomicAdd()` on private elements of a shared array.
 #[must_use]
 pub fn cuda_atomic_add_array(dtype: DType, stride: u32) -> GpuKernel {
-    let op = GpuOp::AtomicAdd { dtype, scope: Scope::Device, target: Target::private(stride) };
-    Kernel::new(format!("cuda_atomicadd_array_{dtype}_s{stride}"), vec![op], vec![op, op], 1)
+    let op = GpuOp::AtomicAdd {
+        dtype,
+        scope: Scope::Device,
+        target: Target::private(stride),
+    };
+    Kernel::new(
+        format!("cuda_atomicadd_array_{dtype}_s{stride}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// Fig. 11 — `atomicCAS()` on one shared variable (integer types only;
@@ -357,23 +456,50 @@ pub fn cuda_atomic_add_array(dtype: DType, stride: u32) -> GpuKernel {
 /// paper, so a single kernel suffices).
 #[must_use]
 pub fn cuda_atomic_cas_scalar(dtype: DType) -> GpuKernel {
-    let op = GpuOp::AtomicCas { dtype, scope: Scope::Device, target: Target::SHARED };
-    Kernel::new(format!("cuda_atomiccas_scalar_{dtype}"), vec![op], vec![op, op], 1)
+    let op = GpuOp::AtomicCas {
+        dtype,
+        scope: Scope::Device,
+        target: Target::SHARED,
+    };
+    Kernel::new(
+        format!("cuda_atomiccas_scalar_{dtype}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// Fig. 12 — `atomicCAS()` on private elements of a shared array.
 #[must_use]
 pub fn cuda_atomic_cas_array(dtype: DType, stride: u32) -> GpuKernel {
-    let op = GpuOp::AtomicCas { dtype, scope: Scope::Device, target: Target::private(stride) };
-    Kernel::new(format!("cuda_atomiccas_array_{dtype}_s{stride}"), vec![op], vec![op, op], 1)
+    let op = GpuOp::AtomicCas {
+        dtype,
+        scope: Scope::Device,
+        target: Target::private(stride),
+    };
+    Kernel::new(
+        format!("cuda_atomiccas_array_{dtype}_s{stride}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// Fig. 13 — `atomicExch()`: each thread repeatedly swaps a shared
 /// location with its global thread ID.
 #[must_use]
 pub fn cuda_atomic_exch(dtype: DType) -> GpuKernel {
-    let op = GpuOp::AtomicExch { dtype, scope: Scope::Device, target: Target::SHARED };
-    Kernel::new(format!("cuda_atomicexch_{dtype}"), vec![op], vec![op, op], 1)
+    let op = GpuOp::AtomicExch {
+        dtype,
+        scope: Scope::Device,
+        target: Target::SHARED,
+    };
+    Kernel::new(
+        format!("cuda_atomicexch_{dtype}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// Fig. 14 / §V-B3 — thread fences: each thread updates its private
@@ -381,8 +507,14 @@ pub fn cuda_atomic_exch(dtype: DType) -> GpuKernel {
 /// between the updates (same setup as the OpenMP flush test).
 #[must_use]
 pub fn cuda_threadfence(scope: Scope, dtype: DType, stride: u32) -> GpuKernel {
-    let a = GpuOp::Update { dtype, target: Target::Private { array: 0, stride } };
-    let b = GpuOp::Update { dtype, target: Target::Private { array: 1, stride } };
+    let a = GpuOp::Update {
+        dtype,
+        target: Target::Private { array: 0, stride },
+    };
+    let b = GpuOp::Update {
+        dtype,
+        target: Target::Private { array: 1, stride },
+    };
     let scope_name = match scope {
         Scope::Block => "block",
         Scope::Device => "device",
@@ -400,7 +532,12 @@ pub fn cuda_threadfence(scope: Scope, dtype: DType, stride: u32) -> GpuKernel {
 #[must_use]
 pub fn cuda_shfl(dtype: DType, variant: ShflVariant) -> GpuKernel {
     let op = GpuOp::Shfl { dtype, variant };
-    Kernel::new(format!("cuda_shfl_{variant:?}_{dtype}"), vec![op], vec![op, op], 1)
+    Kernel::new(
+        format!("cuda_shfl_{variant:?}_{dtype}"),
+        vec![op],
+        vec![op, op],
+        1,
+    )
 }
 
 /// Extension (§II-B1's barrier family) — `__syncthreads_count/and/or`:
@@ -427,7 +564,12 @@ pub fn cuda_vote(kind: VoteKind) -> GpuKernel {
 /// `atomicSub/Min/And/Or/Xor` on a single shared variable.
 #[must_use]
 pub fn cuda_atomic_rmw_scalar(op: RmwOp, dtype: DType) -> GpuKernel {
-    let o = GpuOp::AtomicRmw { op, dtype, scope: Scope::Device, target: Target::SHARED };
+    let o = GpuOp::AtomicRmw {
+        op,
+        dtype,
+        scope: Scope::Device,
+        target: Target::SHARED,
+    };
     Kernel::new(
         format!("cuda_{}_scalar_{dtype}", op.cuda_name()),
         vec![o],
@@ -509,7 +651,10 @@ mod tests {
     fn atomic_read_baseline_is_plain_read() {
         let k = omp_atomic_read(DType::F64);
         assert!(matches!(k.baseline[0], CpuOp::Read { .. }));
-        assert!(k.test.iter().any(|op| matches!(op, CpuOp::AtomicRead { .. })));
+        assert!(k
+            .test
+            .iter()
+            .any(|op| matches!(op, CpuOp::AtomicRead { .. })));
     }
 
     #[test]
@@ -521,7 +666,10 @@ mod tests {
             .baseline
             .iter()
             .map(|op| match op {
-                CpuOp::Update { target: Target::Private { array, .. }, .. } => *array,
+                CpuOp::Update {
+                    target: Target::Private { array, .. },
+                    ..
+                } => *array,
                 other => panic!("unexpected op {other:?}"),
             })
             .collect();
@@ -530,14 +678,23 @@ mod tests {
 
     #[test]
     fn fence_kernel_names_encode_scope() {
-        assert!(cuda_threadfence(Scope::Block, DType::I32, 1).name.contains("block"));
-        assert!(cuda_threadfence(Scope::System, DType::I32, 1).name.contains("system"));
+        assert!(cuda_threadfence(Scope::Block, DType::I32, 1)
+            .name
+            .contains("block"));
+        assert!(cuda_threadfence(Scope::System, DType::I32, 1)
+            .name
+            .contains("system"));
     }
 
     #[test]
     #[should_panic(expected = "test body")]
     fn kernel_rejects_shorter_test() {
-        let _ = Kernel::new("bad", vec![CpuOp::Barrier, CpuOp::Barrier], vec![CpuOp::Barrier], 1);
+        let _ = Kernel::new(
+            "bad",
+            vec![CpuOp::Barrier, CpuOp::Barrier],
+            vec![CpuOp::Barrier],
+            1,
+        );
     }
 
     #[test]
@@ -548,6 +705,12 @@ mod tests {
 
     #[test]
     fn private_target_shorthand() {
-        assert_eq!(Target::private(7), Target::Private { array: 0, stride: 7 });
+        assert_eq!(
+            Target::private(7),
+            Target::Private {
+                array: 0,
+                stride: 7
+            }
+        );
     }
 }

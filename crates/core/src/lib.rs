@@ -50,6 +50,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub use syncperf_obs as obs;
+
 pub mod artifact;
 pub mod dtype;
 pub mod error;
@@ -59,10 +61,11 @@ pub mod platform;
 pub mod protocol;
 pub mod recommend;
 pub mod report;
+pub mod rng;
 pub mod stats;
 pub mod svg;
-pub mod sysfile;
 pub mod sweep;
+pub mod sysfile;
 pub mod system;
 
 pub use artifact::{DiffReport, ResultsStore, RunRecord};

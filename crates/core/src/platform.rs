@@ -112,7 +112,9 @@ mod tests {
 
     #[test]
     fn thread_times_max() {
-        let t = ThreadTimes { per_thread: vec![1.0, 3.0, 2.0] };
+        let t = ThreadTimes {
+            per_thread: vec![1.0, 3.0, 2.0],
+        };
         assert_eq!(t.max(), 3.0);
     }
 

@@ -15,6 +15,7 @@
 
 use crate::error::Result;
 use crate::kernel::Kernel;
+use crate::obs::{ArgValue, Recorder, Snapshot};
 use crate::params::ExecParams;
 use crate::platform::{Executor, TimeUnit};
 use crate::stats;
@@ -41,12 +42,18 @@ impl Default for Protocol {
 
 impl Protocol {
     /// The paper's configuration: 9 runs, 7 attempts.
-    pub const PAPER: Protocol = Protocol { runs: 9, max_attempts: 7 };
+    pub const PAPER: Protocol = Protocol {
+        runs: 9,
+        max_attempts: 7,
+    };
 
     /// A lighter configuration for the deterministic simulators, where
     /// "many of the GPU tests yield the exact same runtime for all nine
     /// runs" (Section IV) — three runs suffice to get a median.
-    pub const SIM: Protocol = Protocol { runs: 3, max_attempts: 3 };
+    pub const SIM: Protocol = Protocol {
+        runs: 3,
+        max_attempts: 3,
+    };
 
     /// Measures one kernel on one executor at one parameter point.
     ///
@@ -59,40 +66,88 @@ impl Protocol {
         kernel: &Kernel<E::Op>,
         params: &ExecParams,
     ) -> Result<Measurement> {
+        self.measure_observed(executor, kernel, params, crate::obs::global())
+    }
+
+    /// [`Protocol::measure`] with an explicit [`Recorder`]; with a
+    /// disabled recorder the only overhead is one branch per event
+    /// site. Emits, under category `protocol`: a `measure` span per
+    /// call, an `attempt_rejected` instant for every attempt whose
+    /// test time came out below the baseline, a `run_exhausted`
+    /// instant when a run burns its whole attempt budget, and a
+    /// `negligible_verdict` instant when the final difference is
+    /// within timer accuracy — plus the matching `protocol.*`
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors (unsupported ops, invalid params).
+    pub fn measure_observed<E: Executor>(
+        &self,
+        executor: &mut E,
+        kernel: &Kernel<E::Op>,
+        params: &ExecParams,
+        rec: &Recorder,
+    ) -> Result<Measurement> {
         params.validate()?;
+        let mut span = rec.span("protocol", format!("measure {}", kernel.name));
+        span.push_arg("kernel", kernel.name.clone());
+        span.push_arg("threads", u64::from(params.threads));
+        let c_attempts = rec.counter("protocol.attempts");
+        let c_rejected = rec.counter("protocol.attempts_rejected");
+
         let mut baseline_runs = Vec::with_capacity(self.runs as usize);
         let mut test_runs = Vec::with_capacity(self.runs as usize);
         let mut retries = 0u32;
         let mut exhausted_runs = 0u32;
 
-        for _ in 0..self.runs {
+        for run in 0..self.runs {
             let mut chosen: Option<(f64, f64)> = None;
             for attempt in 0..self.max_attempts {
                 let base = executor.execute(&kernel.baseline, params)?.max();
                 let test = executor.execute(&kernel.test, params)?.max();
+                c_attempts.inc();
                 if test >= base {
                     chosen = Some((base, test));
                     break;
                 }
                 retries += 1;
+                c_rejected.inc();
+                rec.instant_args(
+                    "protocol",
+                    "attempt_rejected",
+                    vec![
+                        ("run", ArgValue::U64(u64::from(run))),
+                        ("attempt", ArgValue::U64(u64::from(attempt))),
+                        ("baseline", ArgValue::F64(base)),
+                        ("test", ArgValue::F64(test)),
+                    ],
+                );
                 if attempt + 1 == self.max_attempts {
                     // Keep the final attempt rather than dropping the
                     // run; flag it so callers can judge stability.
                     chosen = Some((base, test));
                     exhausted_runs += 1;
+                    rec.counter("protocol.runs_exhausted").inc();
+                    rec.instant_args(
+                        "protocol",
+                        "run_exhausted",
+                        vec![("run", ArgValue::U64(u64::from(run)))],
+                    );
                 }
             }
             let (base, test) = chosen.expect("at least one attempt ran");
             baseline_runs.push(base);
             test_runs.push(test);
         }
+        rec.counter("protocol.runs").add(u64::from(self.runs));
 
         let median_baseline = stats::median(&baseline_runs);
         let median_test = stats::median(&test_runs);
         let reps = params.timed_reps() as f64 * f64::from(kernel.extra_ops);
         let per_op = (median_test - median_baseline) / reps;
 
-        Ok(Measurement {
+        let m = Measurement {
             kernel_name: kernel.name.clone(),
             params: *params,
             time_unit: executor.time_unit(),
@@ -103,7 +158,63 @@ impl Protocol {
             per_op,
             retries,
             exhausted_runs,
-        })
+        };
+        if m.is_negligible() {
+            rec.counter("protocol.negligible_verdicts").inc();
+            rec.instant_args(
+                "protocol",
+                "negligible_verdict",
+                vec![
+                    ("kernel", ArgValue::from(kernel.name.clone())),
+                    ("per_op", ArgValue::F64(per_op)),
+                ],
+            );
+        }
+        span.push_arg("per_op", per_op);
+        span.push_arg("retries", u64::from(retries));
+        Ok(m)
+    }
+}
+
+/// Aggregate retry/rejection statistics recovered from a recorder's
+/// counter [`Snapshot`] — the protocol-health summary the tracing
+/// layer surfaces in `trace_report` and the ASCII summary table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrySummary {
+    /// Total baseline+test attempt pairs executed.
+    pub attempts: u64,
+    /// Attempts rejected because test < baseline.
+    pub rejected: u64,
+    /// Total protocol runs performed.
+    pub runs: u64,
+    /// Runs that exhausted their attempt budget.
+    pub exhausted_runs: u64,
+    /// Measurements judged within timer accuracy.
+    pub negligible_verdicts: u64,
+}
+
+impl RetrySummary {
+    /// Extracts the `protocol.*` counters from a snapshot.
+    #[must_use]
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        RetrySummary {
+            attempts: snap.counter("protocol.attempts"),
+            rejected: snap.counter("protocol.attempts_rejected"),
+            runs: snap.counter("protocol.runs"),
+            exhausted_runs: snap.counter("protocol.runs_exhausted"),
+            negligible_verdicts: snap.counter("protocol.negligible_verdicts"),
+        }
+    }
+
+    /// Fraction of attempts rejected for test < baseline (0 when no
+    /// attempts were recorded).
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.attempts as f64
+        }
     }
 }
 
@@ -219,9 +330,15 @@ mod tests {
         fn execute(&mut self, body: &[CpuOp], params: &ExecParams) -> SpResult<ThreadTimes> {
             self.calls += 1;
             let reps = params.timed_reps() as f64;
-            let jitter = if self.calls.is_multiple_of(2) { self.noise } else { -self.noise };
+            let jitter = if self.calls.is_multiple_of(2) {
+                self.noise
+            } else {
+                -self.noise
+            };
             let t = body.len() as f64 * self.op_cost * reps + jitter;
-            Ok(ThreadTimes { per_thread: vec![t; params.threads as usize] })
+            Ok(ThreadTimes {
+                per_thread: vec![t; params.threads as usize],
+            })
         }
     }
 
@@ -231,9 +348,15 @@ mod tests {
 
     #[test]
     fn measures_exact_cost_without_noise() {
-        let mut exec = FakeExec { op_cost: 1e-8, noise: 0.0, calls: 0 };
+        let mut exec = FakeExec {
+            op_cost: 1e-8,
+            noise: 0.0,
+            calls: 0,
+        };
         let params = ExecParams::new(4).with_loops(10, 10);
-        let m = Protocol::SIM.measure(&mut exec, &barrier_kernel(), &params).unwrap();
+        let m = Protocol::SIM
+            .measure(&mut exec, &barrier_kernel(), &params)
+            .unwrap();
         assert!((m.per_op - 1e-8).abs() < 1e-15);
         let tp = m.throughput().expect("non-negligible");
         assert!((tp - 1e8).abs() / 1e8 < 1e-6);
@@ -245,9 +368,15 @@ mod tests {
     fn retries_when_test_below_baseline() {
         // Noise large enough that odd-numbered calls (baseline) can beat
         // even-numbered (test); alternation guarantees eventual success.
-        let mut exec = FakeExec { op_cost: 1e-8, noise: 5e-7, calls: 0 };
+        let mut exec = FakeExec {
+            op_cost: 1e-8,
+            noise: 5e-7,
+            calls: 0,
+        };
         let params = ExecParams::new(2).with_loops(10, 10);
-        let m = Protocol::PAPER.measure(&mut exec, &barrier_kernel(), &params).unwrap();
+        let m = Protocol::PAPER
+            .measure(&mut exec, &barrier_kernel(), &params)
+            .unwrap();
         // The sequence baseline(-), test(+) always succeeds first try
         // here because baseline gets -noise and test gets +noise.
         assert_eq!(m.retries, 0);
@@ -278,9 +407,15 @@ mod tests {
 
     #[test]
     fn stddev_zero_for_deterministic_runs() {
-        let mut exec = FakeExec { op_cost: 2e-9, noise: 0.0, calls: 0 };
+        let mut exec = FakeExec {
+            op_cost: 2e-9,
+            noise: 0.0,
+            calls: 0,
+        };
         let params = ExecParams::new(2).with_loops(10, 10);
-        let m = Protocol::SIM.measure(&mut exec, &barrier_kernel(), &params).unwrap();
+        let m = Protocol::SIM
+            .measure(&mut exec, &barrier_kernel(), &params)
+            .unwrap();
         assert_eq!(m.run_stddev(), 0.0);
     }
 
@@ -294,7 +429,11 @@ mod tests {
             vec![CpuOp::Barrier, CpuOp::Barrier, CpuOp::Barrier],
             2,
         );
-        let mut exec = FakeExec { op_cost: 1e-8, noise: 0.0, calls: 0 };
+        let mut exec = FakeExec {
+            op_cost: 1e-8,
+            noise: 0.0,
+            calls: 0,
+        };
         let params = ExecParams::new(2).with_loops(10, 10);
         let m = Protocol::SIM.measure(&mut exec, &k, &params).unwrap();
         // two extra ops at 1e-8 each, divided by extra_ops=2 → 1e-8
@@ -304,8 +443,175 @@ mod tests {
 
     #[test]
     fn rejects_invalid_params() {
-        let mut exec = FakeExec { op_cost: 1e-8, noise: 0.0, calls: 0 };
+        let mut exec = FakeExec {
+            op_cost: 1e-8,
+            noise: 0.0,
+            calls: 0,
+        };
         let params = ExecParams::new(0);
-        assert!(Protocol::SIM.measure(&mut exec, &barrier_kernel(), &params).is_err());
+        assert!(Protocol::SIM
+            .measure(&mut exec, &barrier_kernel(), &params)
+            .is_err());
+    }
+
+    /// An executor that injects below-baseline test attempts: the first
+    /// `bad_per_run` test executions of every run undershoot the
+    /// baseline (forcing rejections), after which the test runs at
+    /// twice the baseline. Baselines are always exactly `base`.
+    struct UndershootExec {
+        bad_per_run: u32,
+        base: f64,
+        rejected_so_far: u32,
+        next_is_baseline: bool,
+        calls: u32,
+    }
+
+    impl UndershootExec {
+        fn new(bad_per_run: u32) -> Self {
+            UndershootExec {
+                bad_per_run,
+                base: 1.0,
+                rejected_so_far: 0,
+                next_is_baseline: true,
+                calls: 0,
+            }
+        }
+    }
+
+    impl Executor for UndershootExec {
+        type Op = CpuOp;
+
+        fn name(&self) -> &str {
+            "undershoot"
+        }
+
+        fn time_unit(&self) -> TimeUnit {
+            TimeUnit::Seconds
+        }
+
+        fn execute(&mut self, _body: &[CpuOp], params: &ExecParams) -> SpResult<ThreadTimes> {
+            self.calls += 1;
+            // The protocol strictly alternates baseline, test.
+            let is_baseline = self.next_is_baseline;
+            self.next_is_baseline = !is_baseline;
+            let t = if is_baseline {
+                self.base
+            } else if self.rejected_so_far < self.bad_per_run {
+                self.rejected_so_far += 1;
+                self.base / 2.0
+            } else {
+                self.rejected_so_far = 0; // good attempt ends the run
+                self.base * 2.0
+            };
+            Ok(ThreadTimes {
+                per_thread: vec![t; params.threads as usize],
+            })
+        }
+    }
+
+    #[test]
+    fn injected_rejections_hit_counters_and_keep_median_math_clean() {
+        let rec = Recorder::enabled();
+        let mut exec = UndershootExec::new(2);
+        let params = ExecParams::new(2).with_loops(10, 10);
+        let m = Protocol::PAPER
+            .measure_observed(&mut exec, &barrier_kernel(), &params, &rec)
+            .unwrap();
+
+        // 9 runs × (2 rejected + 1 accepted) attempts.
+        assert_eq!(m.retries, 18);
+        assert_eq!(m.exhausted_runs, 0);
+        let snap = rec.snapshot();
+        let s = RetrySummary::from_snapshot(&snap);
+        assert_eq!(s.attempts, 27);
+        assert_eq!(s.rejected, 18);
+        assert_eq!(s.runs, 9);
+        assert_eq!(s.exhausted_runs, 0);
+        assert!((s.rejection_rate() - 18.0 / 27.0).abs() < 1e-12);
+        // Each attempt is one baseline + one test execution.
+        assert_eq!(exec.calls, 2 * 27);
+
+        // Median math sees only the accepted attempts: baseline 1.0,
+        // test 2.0 for every run, so per_op = 1.0 / (reps × extra_ops).
+        assert_eq!(m.median_baseline, 1.0);
+        assert_eq!(m.median_test, 2.0);
+        let reps = params.timed_reps() as f64 * f64::from(barrier_kernel().extra_ops);
+        assert!((m.per_op - 1.0 / reps).abs() < 1e-15);
+
+        // Every rejection produced an instant event with its payload.
+        let events = rec.drain_events();
+        let rejected: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "attempt_rejected")
+            .collect();
+        assert_eq!(rejected.len(), 18);
+        assert!(rejected.iter().all(|e| {
+            e.cat == "protocol"
+                && e.args
+                    .iter()
+                    .any(|(k, v)| *k == "baseline" && *v == ArgValue::F64(1.0))
+                && e.args
+                    .iter()
+                    .any(|(k, v)| *k == "test" && *v == ArgValue::F64(0.5))
+        }));
+    }
+
+    #[test]
+    fn attempt_budget_is_honored_when_every_attempt_fails() {
+        let rec = Recorder::enabled();
+        let mut exec = UndershootExec::new(u32::MAX); // never succeeds
+        let params = ExecParams::new(2).with_loops(10, 10);
+        let m = Protocol::PAPER
+            .measure_observed(&mut exec, &barrier_kernel(), &params, &rec)
+            .unwrap();
+
+        // Every run burns exactly max_attempts attempts, then keeps the
+        // final (still-faulty) attempt rather than aborting.
+        let s = RetrySummary::from_snapshot(&rec.snapshot());
+        assert_eq!(s.attempts, 9 * 7);
+        assert_eq!(s.rejected, 9 * 7);
+        assert_eq!(s.exhausted_runs, 9);
+        assert_eq!(exec.calls, 2 * 9 * 7);
+        assert_eq!(m.exhausted_runs, 9);
+        assert!(m.per_op < 0.0, "kept attempts are below baseline");
+        let events = rec.drain_events();
+        assert_eq!(
+            events.iter().filter(|e| e.name == "run_exhausted").count(),
+            9
+        );
+    }
+
+    #[test]
+    fn negligible_verdict_is_counted() {
+        let rec = Recorder::enabled();
+        let mut exec = FakeExec {
+            op_cost: 0.0,
+            noise: 0.0,
+            calls: 0,
+        };
+        let params = ExecParams::new(2).with_loops(10, 10);
+        let m = Protocol::SIM
+            .measure_observed(&mut exec, &barrier_kernel(), &params, &rec)
+            .unwrap();
+        assert!(m.is_negligible());
+        assert_eq!(rec.snapshot().counter("protocol.negligible_verdicts"), 1);
+        assert!(rec
+            .drain_events()
+            .iter()
+            .any(|e| e.name == "negligible_verdict"));
+    }
+
+    #[test]
+    fn disabled_recorder_changes_nothing() {
+        let params = ExecParams::new(2).with_loops(10, 10);
+        let mut a = UndershootExec::new(2);
+        let with = Protocol::PAPER
+            .measure_observed(&mut a, &barrier_kernel(), &params, &Recorder::enabled())
+            .unwrap();
+        let mut b = UndershootExec::new(2);
+        let without = Protocol::PAPER
+            .measure_observed(&mut b, &barrier_kernel(), &params, &Recorder::disabled())
+            .unwrap();
+        assert_eq!(with, without);
     }
 }

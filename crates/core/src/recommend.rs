@@ -33,7 +33,9 @@ pub struct Recommendation {
 
 impl fmt::Display for Recommendation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {} ({})",
+        write!(
+            f,
+            "[{}] {}: {} ({})",
             match self.audience {
                 Audience::OpenMp => "OpenMP",
                 Audience::Cuda => "CUDA",
@@ -105,9 +107,7 @@ pub fn recommend_openmp(f: &OpenMpFindings) -> Vec<Recommendation> {
     };
 
     // 1) Barriers: per-thread cost stabilizes; not a growing concern.
-    if let (Some(first), Some(last)) =
-        (f.barrier.points.first(), f.barrier.points.last())
-    {
+    if let (Some(first), Some(last)) = (f.barrier.points.first(), f.barrier.points.last()) {
         let mid = f.barrier.y_at((first.0 + last.0) / 2.0).unwrap_or(last.1);
         let plateau = (last.1 / mid.max(f64::MIN_POSITIVE)).clamp(0.0, f64::MAX);
         recs.push(rec(
@@ -123,9 +123,10 @@ pub fn recommend_openmp(f: &OpenMpFindings) -> Vec<Recommendation> {
     }
 
     // 2) Avoid same-location atomic updates/writes.
-    if let (Some(first), Some(last)) =
-        (f.atomic_scalar_int.points.first(), f.atomic_scalar_int.points.last())
-    {
+    if let (Some(first), Some(last)) = (
+        f.atomic_scalar_int.points.first(),
+        f.atomic_scalar_int.points.last(),
+    ) {
         let drop = first.1 / last.1.max(f64::MIN_POSITIVE);
         recs.push(rec(
             "shared atomics",
@@ -160,9 +161,10 @@ pub fn recommend_openmp(f: &OpenMpFindings) -> Vec<Recommendation> {
     }
 
     // 5) Critical sections.
-    if let (Some(atomic), Some(critical)) =
-        (f.atomic_scalar_int.points.last(), f.critical_int.points.last())
-    {
+    if let (Some(atomic), Some(critical)) = (
+        f.atomic_scalar_int.points.last(),
+        f.critical_int.points.last(),
+    ) {
         let slowdown = atomic.1 / critical.1.max(f64::MIN_POSITIVE);
         recs.push(rec(
             "critical sections",
@@ -214,9 +216,7 @@ pub fn recommend_cuda(f: &CudaFindings) -> Vec<Recommendation> {
     };
 
     // 1) __syncthreads vs warp count.
-    if let (Some(first), Some(last)) =
-        (f.syncthreads.points.first(), f.syncthreads.points.last())
-    {
+    if let (Some(first), Some(last)) = (f.syncthreads.points.first(), f.syncthreads.points.last()) {
         recs.push(rec(
             "__syncthreads",
             "__syncthreads() throughput decreases with increasing warp counts; smaller \
@@ -237,14 +237,20 @@ pub fn recommend_cuda(f: &CudaFindings) -> Vec<Recommendation> {
         "__syncwarp() throughput is largely constant and can be used without regard \
          for block or thread count"
             .into(),
-        format!("max/min throughput ratio across the sweep is {:.2}", f.syncwarp_variation),
+        format!(
+            "max/min throughput ratio across the sweep is {:.2}",
+            f.syncwarp_variation
+        ),
     ));
 
     // 3) int atomics preferred.
     recs.push(rec(
         "atomic data types",
         "prefer int atomic adds and CAS over other data types".into(),
-        format!("int atomicAdd is {:.1}x faster than float at high load", f.int_over_float_atomic),
+        format!(
+            "int atomicAdd is {:.1}x faster than float at high load",
+            f.int_over_float_atomic
+        ),
     ));
 
     // 4) Avoid overlapping atomics.
@@ -283,7 +289,10 @@ pub fn recommend_cuda(f: &CudaFindings) -> Vec<Recommendation> {
         "warp shuffles are fast and avoid memory traffic; expect reduced throughput \
          near full SM load, more so for 8-byte types"
             .into(),
-        format!("32-bit shuffles are {:.1}x faster than 64-bit at full load", f.shfl_32_over_64),
+        format!(
+            "32-bit shuffles are {:.1}x faster than 64-bit at full load",
+            f.shfl_32_over_64
+        ),
     ));
 
     // 8) Full warps except for atomics.
@@ -359,7 +368,10 @@ mod tests {
     #[test]
     fn evidence_carries_numbers() {
         let recs = recommend_cuda(&gpu_findings());
-        let dtype_rec = recs.iter().find(|r| r.topic == "atomic data types").unwrap();
+        let dtype_rec = recs
+            .iter()
+            .find(|r| r.topic == "atomic data types")
+            .unwrap();
         assert!(dtype_rec.evidence.contains("3.0x"));
     }
 

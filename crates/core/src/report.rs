@@ -24,13 +24,19 @@ impl Series {
     /// Creates a series from a label and points.
     #[must_use]
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// The y value at the given x, if present.
     #[must_use]
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9).map(|(_, y)| *y)
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
     }
 
     /// Largest y value.
@@ -175,14 +181,18 @@ impl FigureData {
     pub fn from_csv(id: impl Into<String>, csv: &str) -> crate::error::Result<Self> {
         use crate::error::SyncPerfError;
         let mut lines = csv.lines();
-        let header = lines.next().ok_or_else(|| SyncPerfError::Io("empty csv".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| SyncPerfError::Io("empty csv".into()))?;
         let mut cols = split_csv_row(header);
         if cols.is_empty() {
             return Err(SyncPerfError::Io("empty csv header".into()));
         }
         let x_label = cols.remove(0);
-        let mut series: Vec<Series> =
-            cols.iter().map(|label| Series::new(label.clone(), Vec::new())).collect();
+        let mut series: Vec<Series> = cols
+            .iter()
+            .map(|label| Series::new(label.clone(), Vec::new()))
+            .collect();
         for (row_no, line) in lines.enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -224,7 +234,13 @@ impl FigureData {
         let mut out = String::new();
         let _ = writeln!(out, "{} — {}", self.id, self.title);
         let _ = writeln!(out, "y: {}", self.y_label);
-        let col_w = 12usize.max(self.series.iter().map(|s| s.label.len() + 2).max().unwrap_or(12));
+        let col_w = 12usize.max(
+            self.series
+                .iter()
+                .map(|s| s.label.len() + 2)
+                .max()
+                .unwrap_or(12),
+        );
         let _ = write!(out, "{:>10}", self.x_label);
         for s in &self.series {
             let _ = write!(out, "{:>col_w$}", s.label);
@@ -306,7 +322,12 @@ impl FigureData {
             if self.log_x { " (log scale)" } else { "" }
         );
         for (si, s) in self.series.iter().enumerate() {
-            let _ = writeln!(out, "   {} = {}", markers[si % markers.len()] as char, s.label);
+            let _ = writeln!(
+                out,
+                "   {} = {}",
+                markers[si % markers.len()] as char,
+                s.label
+            );
         }
         out
     }
@@ -376,6 +397,55 @@ pub fn fmt_eng(v: f64) -> String {
         return "0".to_string();
     }
     format!("{v:.3e}")
+}
+
+/// Renders a recorder's counter/gauge [`Snapshot`](crate::obs::Snapshot)
+/// as a fixed-width ASCII table, prefixed with the protocol retry
+/// summary when any `protocol.*` counters are present. This is the
+/// `--format summary` sink of `trace_report` and the human-readable
+/// companion to the Chrome/JSONL exports.
+#[must_use]
+pub fn render_obs_summary(snap: &crate::obs::Snapshot) -> String {
+    let mut out = String::new();
+    let retry = crate::protocol::RetrySummary::from_snapshot(snap);
+    if retry.attempts > 0 {
+        let _ = writeln!(out, "protocol health");
+        let _ = writeln!(
+            out,
+            "  attempts {} rejected {} ({:.1}%), runs {} exhausted {}, negligible {}",
+            retry.attempts,
+            retry.rejected,
+            100.0 * retry.rejection_rate(),
+            retry.runs,
+            retry.exhausted_runs,
+            retry.negligible_verdicts,
+        );
+        out.push('\n');
+    }
+    let name_w = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .map(String::len)
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let _ = writeln!(out, "{:<name_w$}  {:>14}  kind", "counter", "value");
+    let _ = writeln!(out, "{}", "-".repeat(name_w + 24));
+    for (name, value) in &snap.counters {
+        let _ = writeln!(out, "{name:<name_w$}  {value:>14}  counter");
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(out, "{name:<name_w$}  {value:>14}  gauge (max)");
+    }
+    if snap.dropped_events > 0 {
+        let _ = writeln!(
+            out,
+            "\n!! {} events dropped (ring capacity)",
+            snap.dropped_events
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -448,7 +518,10 @@ mod tests {
     #[test]
     fn log_x_maps_powers_evenly() {
         let mut f = FigureData::new("l", "Log", "threads", "y").with_log_x();
-        f.push_series(Series::new("s", vec![(1.0, 1.0), (32.0, 1.0), (1024.0, 1.0)]));
+        f.push_series(Series::new(
+            "s",
+            vec![(1.0, 1.0), (32.0, 1.0), (1024.0, 1.0)],
+        ));
         // column of 32 should be half-way between 1 and 1024 on log scale
         let col_mid = f.x_to_col(32.0, 1.0, 1024.0, 101);
         assert_eq!(col_mid, 50);
@@ -483,19 +556,30 @@ mod tests {
         fig.push_series(Series::new("plain", vec![(1.0, 3.0), (2.0, 4.0)]));
         let parsed = FigureData::from_csv("q", &fig.to_csv()).unwrap();
         assert_eq!(parsed.x_label, "x,axis");
-        assert_eq!(parsed.series_by_label("a,b").unwrap().points, vec![(1.0, 2.0)]);
+        assert_eq!(
+            parsed.series_by_label("a,b").unwrap().points,
+            vec![(1.0, 2.0)]
+        );
         assert_eq!(parsed.series_by_label("plain").unwrap().points.len(), 2);
     }
 
     #[test]
     fn from_csv_rejects_malformed() {
         assert!(FigureData::from_csv("x", "").is_err());
-        assert!(FigureData::from_csv("x", "t,a
+        assert!(FigureData::from_csv(
+            "x",
+            "t,a
 1,2,3
-").is_err());
-        assert!(FigureData::from_csv("x", "t,a
+"
+        )
+        .is_err());
+        assert!(FigureData::from_csv(
+            "x",
+            "t,a
 nope,2
-").is_err());
+"
+        )
+        .is_err());
     }
 
     #[test]

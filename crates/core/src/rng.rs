@@ -1,0 +1,118 @@
+//! Small deterministic PRNG used by the simulators' jitter models.
+//!
+//! The workspace builds fully offline, so instead of pulling in an
+//! external `rand` crate the simulators share this SplitMix64-based
+//! generator. SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) passes
+//! BigCrush, needs only one u64 of state, and — crucially for the
+//! measurement protocol's reproducibility guarantees — is trivially
+//! seedable and portable across platforms.
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+///
+/// # Examples
+///
+/// ```
+/// use syncperf_core::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::seed_from_u64(42);
+/// let mut b = SplitMix64::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.gen_symmetric();
+/// assert!((-1.0..=1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Equal seeds produce
+    /// identical streams on every platform.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits — the low bits of any LCG-ish mix are
+        // the weakest.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[-1, 1]` — the shape both simulators' jitter
+    /// models draw from.
+    pub fn gen_symmetric(&mut self) -> f64 {
+        2.0 * self.next_f64() - 1.0
+    }
+
+    /// Uniform `u64` below `bound` (`bound > 0`), via rejection-free
+    /// multiply-shift reduction. Slight modulo bias below 2⁻⁶⁴·bound —
+    /// irrelevant for jitter and test-case generation.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::seed_from_u64(0x5E_AD_BE_EF);
+        let mut b = SplitMix64::seed_from_u64(0x5E_AD_BE_EF);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Reference values from the canonical SplitMix64 (seed 1234567).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn symmetric_range_and_mean() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = r.gen_symmetric();
+            assert!((-1.0..=1.0).contains(&u));
+            sum += u;
+        }
+        assert!(
+            (sum / 10_000.0).abs() < 0.05,
+            "mean {} not near 0",
+            sum / 10_000.0
+        );
+    }
+
+    #[test]
+    fn gen_below_respects_bound() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(r.gen_below(17) < 17);
+        }
+    }
+}

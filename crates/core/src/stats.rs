@@ -144,7 +144,10 @@ pub fn bootstrap_median_ci(
 ) -> (f64, f64) {
     assert!(!values.is_empty(), "bootstrap of empty slice");
     assert!(resamples > 0, "need at least one resample");
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
 
     let mut state = seed | 1;
     let mut next = move || {
@@ -164,7 +167,10 @@ pub fn bootstrap_median_ci(
         medians.push(median(&sample));
     }
     let alpha = (1.0 - confidence) / 2.0;
-    (percentile(&medians, alpha * 100.0), percentile(&medians, (1.0 - alpha) * 100.0))
+    (
+        percentile(&medians, alpha * 100.0),
+        percentile(&medians, (1.0 - alpha) * 100.0),
+    )
 }
 
 #[cfg(test)]
@@ -178,7 +184,11 @@ mod tests {
         let m = median(&v);
         assert!(lo <= m && m <= hi, "median {m} outside [{lo}, {hi}]");
         assert!(lo >= min(&v) && hi <= max(&v));
-        assert_eq!((lo, hi), bootstrap_median_ci(&v, 0.95, 500, 42), "seeded determinism");
+        assert_eq!(
+            (lo, hi),
+            bootstrap_median_ci(&v, 0.95, 500, 42),
+            "seeded determinism"
+        );
     }
 
     #[test]
@@ -186,7 +196,10 @@ mod tests {
         let v: Vec<f64> = (0..30).map(|i| 100.0 + f64::from(i % 7)).collect();
         let (lo95, hi95) = bootstrap_median_ci(&v, 0.95, 400, 7);
         let (lo50, hi50) = bootstrap_median_ci(&v, 0.50, 400, 7);
-        assert!(hi50 - lo50 <= hi95 - lo95, "50% CI must be no wider than 95% CI");
+        assert!(
+            hi50 - lo50 <= hi95 - lo95,
+            "50% CI must be no wider than 95% CI"
+        );
     }
 
     #[test]

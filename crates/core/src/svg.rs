@@ -64,7 +64,11 @@ impl Frame {
     }
 
     fn y_px(&self, y: f64) -> f64 {
-        let frac = if self.ymax > 0.0 { (y / self.ymax).clamp(0.0, 1.0) } else { 0.0 };
+        let frac = if self.ymax > 0.0 {
+            (y / self.ymax).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         self.y0 + (1.0 - frac) * self.h
     }
 }
@@ -102,13 +106,24 @@ pub fn render_svg(fig: &FigureData, style: &SvgStyle) -> String {
 
     let non_empty: Vec<&Series> = fig.series.iter().filter(|s| !s.points.is_empty()).collect();
     if non_empty.is_empty() {
-        let _ = write!(out, r#"<text x="{}" y="{}">no data</text>"#, w / 2.0, h / 2.0);
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}">no data</text>"#,
+            w / 2.0,
+            h / 2.0
+        );
         out.push_str("</svg>");
         return out;
     }
 
-    let xs: Vec<f64> = non_empty.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-    let ys: Vec<f64> = non_empty.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+    let xs: Vec<f64> = non_empty
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = non_empty
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .collect();
     let frame = Frame {
         x0: 2.0 * m,
         y0: m,
@@ -116,7 +131,11 @@ pub fn render_svg(fig: &FigureData, style: &SvgStyle) -> String {
         h: h - 2.5 * m,
         xmin: xs.iter().copied().fold(f64::MAX, f64::min),
         xmax: xs.iter().copied().fold(f64::MIN, f64::max),
-        ymax: ys.iter().copied().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE),
+        ymax: ys
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max)
+            .max(f64::MIN_POSITIVE),
         log_x: fig.log_x,
     };
 
@@ -176,7 +195,11 @@ pub fn render_svg(fig: &FigureData, style: &SvgStyle) -> String {
             r#"<line x1="{x}" y1="{by}" x2="{x}" y2="{}" stroke="black"/>"#,
             by + 4.0
         );
-        let label = if tx == tx.trunc() { format!("{}", tx as i64) } else { format!("{tx:.1}") };
+        let label = if tx == tx.trunc() {
+            format!("{}", tx as i64)
+        } else {
+            format!("{tx:.1}")
+        };
         let _ = write!(
             out,
             r#"<text x="{x}" y="{}" text-anchor="middle">{label}</text>"#,
@@ -262,7 +285,9 @@ impl FigureData {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -272,8 +297,14 @@ mod tests {
 
     fn fig() -> FigureData {
         let mut f = FigureData::new("svgtest", "SVG Test <Figure>", "threads", "ops/s");
-        f.push_series(Series::new("int", vec![(2.0, 100.0), (4.0, 50.0), (8.0, 25.0)]));
-        f.push_series(Series::new("double", vec![(2.0, 80.0), (4.0, 40.0), (8.0, 20.0)]));
+        f.push_series(Series::new(
+            "int",
+            vec![(2.0, 100.0), (4.0, 50.0), (8.0, 25.0)],
+        ));
+        f.push_series(Series::new(
+            "double",
+            vec![(2.0, 80.0), (4.0, 40.0), (8.0, 20.0)],
+        ));
         f
     }
 
@@ -282,7 +313,11 @@ mod tests {
         let svg = render_svg(&fig(), &SvgStyle::default());
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
-        assert_eq!(svg.matches("<polyline").count(), 2, "one polyline per series");
+        assert_eq!(
+            svg.matches("<polyline").count(),
+            2,
+            "one polyline per series"
+        );
         assert_eq!(svg.matches("<circle").count(), 6, "one marker per point");
     }
 
@@ -304,20 +339,28 @@ mod tests {
     #[test]
     fn log_x_positions_powers_evenly() {
         let mut f = FigureData::new("l", "L", "t", "y").with_log_x();
-        f.push_series(Series::new("s", vec![(1.0, 1.0), (32.0, 1.0), (1024.0, 1.0)]));
+        f.push_series(Series::new(
+            "s",
+            vec![(1.0, 1.0), (32.0, 1.0), (1024.0, 1.0)],
+        ));
         let svg = render_svg(&f, &SvgStyle::default());
         // Extract the three circle x positions.
         let xs: Vec<f64> = svg
             .match_indices("<circle cx=\"")
             .map(|(i, _)| {
                 let rest = &svg[i + 12..];
-                rest[..rest.find('"').expect("quote")].parse::<f64>().expect("number")
+                rest[..rest.find('"').expect("quote")]
+                    .parse::<f64>()
+                    .expect("number")
             })
             .collect();
         assert_eq!(xs.len(), 3);
         let gap1 = xs[1] - xs[0];
         let gap2 = xs[2] - xs[1];
-        assert!((gap1 - gap2).abs() < 1.0, "log spacing must be even: {gap1} vs {gap2}");
+        assert!(
+            (gap1 - gap2).abs() < 1.0,
+            "log spacing must be even: {gap1} vs {gap2}"
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ mod tests {
             // Cost grows with thread count: 1 ns per op per thread.
             let reps = params.timed_reps() as f64;
             let t = body.len() as f64 * 1e-9 * f64::from(params.threads) * reps;
-            Ok(ThreadTimes { per_thread: vec![t; params.threads as usize] })
+            Ok(ThreadTimes {
+                per_thread: vec![t; params.threads as usize],
+            })
         }
     }
 
@@ -139,7 +141,9 @@ mod tests {
 
     #[test]
     fn measure_points_returns_measurements() {
-        let pts = thread_sweep(&[2, 4], ExecParams::new(1).with_loops(10, 10), |_| omp_barrier());
+        let pts = thread_sweep(&[2, 4], ExecParams::new(1).with_loops(10, 10), |_| {
+            omp_barrier()
+        });
         let ms = measure_points(&mut UnitExec, &Protocol::SIM, pts).unwrap();
         assert_eq!(ms.len(), 2);
         assert_eq!(ms[0].0, 2.0);

@@ -71,10 +71,16 @@ pub fn parse_system(content: &str) -> Result<SystemSpec> {
             .ok_or_else(|| bad(line_no, format!("expected `key = value`, got `{line}`")))?;
         let (key, value) = (key.trim(), value.trim());
 
-        let parse_u32 =
-            || value.parse::<u32>().map_err(|e| bad(line_no, format!("`{value}`: {e}")));
-        let parse_f64 =
-            || value.parse::<f64>().map_err(|e| bad(line_no, format!("`{value}`: {e}")));
+        let parse_u32 = || {
+            value
+                .parse::<u32>()
+                .map_err(|e| bad(line_no, format!("`{value}`: {e}")))
+        };
+        let parse_f64 = || {
+            value
+                .parse::<f64>()
+                .map_err(|e| bad(line_no, format!("`{value}`: {e}")))
+        };
         let intern = || -> &'static str { Box::leak(value.to_string().into_boxed_str()) };
 
         match key {
@@ -182,8 +188,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let spec = parse_system("# header\n\n  # indented comment\ncpu.sockets = 2 # trailing\n")
-            .unwrap();
+        let spec =
+            parse_system("# header\n\n  # indented comment\ncpu.sockets = 2 # trailing\n").unwrap();
         assert_eq!(spec.cpu.sockets, 2);
     }
 
@@ -223,8 +229,8 @@ mod tests {
 
     #[test]
     fn parsed_spec_drives_the_sweeps() {
-        let spec = parse_system("gpu.sms = 10\ncpu.cores_per_socket = 2\ncpu.sockets = 1\n")
-            .unwrap();
+        let spec =
+            parse_system("gpu.sms = 10\ncpu.cores_per_socket = 2\ncpu.sockets = 1\n").unwrap();
         assert_eq!(spec.gpu.block_count_sweep(), vec![1, 2, 5, 10, 20]);
         assert_eq!(spec.cpu.omp_thread_counts().len(), 3); // 2..=4
     }

@@ -123,7 +123,11 @@ pub struct SystemSpec {
 
 impl fmt::Display for SystemSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "System {} ({} + {})", self.id, self.cpu.name, self.gpu.name)
+        write!(
+            f,
+            "System {} ({} + {})",
+            self.id, self.cpu.name, self.gpu.name
+        )
     }
 }
 

@@ -176,8 +176,7 @@ impl CpuModel {
                 // Each tree node is contended only fan-in wide, so a
                 // stage pays ordinary line arbitration, not the heavily
                 // contended central-counter rate.
-                let stage = self.arbitration_ns * f64::from(fanin - 1)
-                    + self.line_transfer_ns;
+                let stage = self.arbitration_ns * f64::from(fanin - 1) + self.line_transfer_ns;
                 self.barrier_base_ns + 2.0 * f64::from(levels) * stage
             }
         }
@@ -228,7 +227,10 @@ mod tests {
         assert!(m.barrier_ns(4) > m.barrier_ns(2));
         let d_small = m.barrier_ns(4) - m.barrier_ns(3);
         let d_large = m.barrier_ns(20) - m.barrier_ns(19);
-        assert!(d_large < d_small, "barrier cost must flatten at high thread counts");
+        assert!(
+            d_large < d_small,
+            "barrier cost must flatten at high thread counts"
+        );
     }
 
     #[test]

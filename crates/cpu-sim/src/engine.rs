@@ -9,6 +9,7 @@
 //! pairs share issue bandwidth and an L1, and barriers release all
 //! arrivals together after a participant-count-dependent cost.
 
+use syncperf_core::obs::{ArgValue, Recorder};
 use syncperf_core::{CpuOp, DType, Result, SyncPerfError};
 
 use crate::config::CpuModel;
@@ -45,13 +46,51 @@ pub fn run(
     body: &[CpuOp],
     reps: u64,
 ) -> Result<EngineResult> {
+    run_observed(model, placement, body, reps, syncperf_core::obs::global())
+}
+
+/// [`run`] with an explicit [`Recorder`]. With recording enabled this
+/// emits, under category `cpu_sim`: an `engine_run` span, one per-op
+/// instant (tagged `tid`/`rep`/`idx`/`cost_ns`) for each simulated warm
+/// repetition, and `store_buffer_drain` instants at fences — plus the
+/// `cpu_sim.barrier_rounds`, `cpu_sim.mesi_transitions` (analytic
+/// coherence-transaction count derived from the contention map) and
+/// `cpu_sim.store_buffer_drains` counters and the
+/// `cpu_sim.arb_queue_depth_max` high-water gauge. A disabled recorder
+/// costs one branch per site.
+///
+/// # Errors
+///
+/// Returns [`SyncPerfError::InvalidParams`] if `reps` is zero.
+pub fn run_observed(
+    model: &CpuModel,
+    placement: &Placement,
+    body: &[CpuOp],
+    reps: u64,
+    rec: &Recorder,
+) -> Result<EngineResult> {
     if reps == 0 {
         return Err(SyncPerfError::InvalidParams("reps must be > 0".into()));
     }
     let n = placement.len();
     let contention = ContentionMap::analyze(body, placement, 64);
-    let mut threads = vec![ThreadState { t: 0.0, pending_store_until: 0.0 }; n];
+    let mut threads = vec![
+        ThreadState {
+            t: 0.0,
+            pending_store_until: 0.0
+        };
+        n
+    ];
     let mut barrier_episodes = 0u64;
+
+    let mut span = rec.span("cpu_sim", "engine_run");
+    span.push_arg("threads", n);
+    span.push_arg("ops", body.len());
+    span.push_arg("reps", reps);
+    rec.counter("cpu_sim.engine_runs").inc();
+    if rec.is_enabled() {
+        record_coherence_profile(model, placement, &contention, body, reps, rec);
+    }
 
     // Positions of barrier ops within the body; every thread executes
     // the identical body, so barrier rendezvous points align and the
@@ -72,9 +111,9 @@ pub fn run(
         let warm = reps.min(4);
         let mut prev_t: Vec<f64> = vec![0.0; n];
         let mut last_delta: Vec<f64> = vec![0.0; n];
-        for _ in 0..warm {
+        for rep in 0..warm {
             for (tid, st) in threads.iter_mut().enumerate() {
-                run_segment(model, placement, &contention, body, tid, st);
+                run_ops(model, placement, &contention, body, tid, st, rec, rep, 0);
                 last_delta[tid] = st.t - prev_t[tid];
                 prev_t[tid] = st.t;
             }
@@ -93,18 +132,40 @@ pub fn run(
         let warm = reps.min(4);
         let mut prev_t: Vec<f64> = vec![0.0; n];
         let mut last_delta: Vec<f64> = vec![0.0; n];
-        for _ in 0..warm {
+        for rep in 0..warm {
             let mut seg_start = 0usize;
             for &bpos in &barrier_positions {
                 for (tid, st) in threads.iter_mut().enumerate() {
-                    run_ops(model, placement, &contention, &body[seg_start..bpos], tid, st);
+                    let seg = &body[seg_start..bpos];
+                    run_ops(
+                        model,
+                        placement,
+                        &contention,
+                        seg,
+                        tid,
+                        st,
+                        rec,
+                        rep,
+                        seg_start,
+                    );
                 }
                 rendezvous(model, &mut threads);
                 barrier_episodes += 1;
                 seg_start = bpos + 1;
             }
             for (tid, st) in threads.iter_mut().enumerate() {
-                run_ops(model, placement, &contention, &body[seg_start..], tid, st);
+                let seg = &body[seg_start..];
+                run_ops(
+                    model,
+                    placement,
+                    &contention,
+                    seg,
+                    tid,
+                    st,
+                    rec,
+                    rep,
+                    seg_start,
+                );
                 last_delta[tid] = st.t - prev_t[tid];
                 prev_t[tid] = st.t;
             }
@@ -117,6 +178,7 @@ pub fn run(
             barrier_episodes += barrier_positions.len() as u64 * (reps - warm);
         }
     }
+    rec.counter("cpu_sim.barrier_rounds").add(barrier_episodes);
 
     Ok(EngineResult {
         per_thread_ns: threads.iter().map(|s| s.t).collect(),
@@ -124,16 +186,49 @@ pub fn run(
     })
 }
 
-/// Runs a barrier-free body once for one thread (fast-path helper).
-fn run_segment(
+/// Records the analytic coherence profile of a run: the number of
+/// MESI-level coherence transactions the contention map implies (every
+/// contended access misses locally and goes through the directory) and
+/// the arbitration-queue depth high-water mark. Called only when
+/// recording is enabled.
+fn record_coherence_profile(
     model: &CpuModel,
     placement: &Placement,
     contention: &ContentionMap,
     body: &[CpuOp],
-    tid: usize,
-    st: &mut ThreadState,
+    reps: u64,
+    rec: &Recorder,
 ) {
-    run_ops(model, placement, contention, body, tid, st);
+    let arb = rec.gauge("cpu_sim.arb_queue_depth_max");
+    let mut transitions = 0u64;
+    for tid in 0..placement.len() {
+        let core = placement.slot(tid).core;
+        let mut lines: Vec<(crate::memline::LineId, bool)> = Vec::with_capacity(2);
+        for op in body {
+            lines.clear();
+            match classify(op) {
+                Access::None => {}
+                Access::Read(dtype, target) => {
+                    lines.push((line_of(dtype, target, tid, contention.line_bytes()), false));
+                }
+                Access::Write(dtype, target) => {
+                    lines.push((line_of(dtype, target, tid, contention.line_bytes()), true));
+                }
+                Access::CriticalWrite(dtype, target) => {
+                    lines.push((crate::memline::lock_line(), true));
+                    lines.push((line_of(dtype, target, tid, contention.line_bytes()), true));
+                }
+            }
+            for &(line, write) in &lines {
+                let (c, _) = contention.contenders(line, core, write);
+                arb.record(u64::from(c.min(model.contention_sat)));
+                if c > 0 {
+                    transitions += reps;
+                }
+            }
+        }
+    }
+    rec.counter("cpu_sim.mesi_transitions").add(transitions);
 }
 
 /// Releases all threads from a barrier.
@@ -150,6 +245,10 @@ fn rendezvous(model: &CpuModel, threads: &mut [ThreadState]) {
 }
 
 /// Executes a straight-line (barrier-free) op slice for one thread.
+/// `rep` and `base_idx` tag the per-op trace events emitted when the
+/// recorder is enabled (the fast/barrier paths only simulate warm
+/// repetitions, so event volume stays bounded).
+#[allow(clippy::too_many_arguments)]
 fn run_ops(
     model: &CpuModel,
     placement: &Placement,
@@ -157,17 +256,37 @@ fn run_ops(
     ops: &[CpuOp],
     tid: usize,
     st: &mut ThreadState,
+    rec: &Recorder,
+    rep: u64,
+    base_idx: usize,
 ) {
     let slot = placement.slot(tid);
-    let smt = if placement.core_is_smt_loaded(tid) { model.smt_service_factor } else { 1.0 };
+    let smt = if placement.core_is_smt_loaded(tid) {
+        model.smt_service_factor
+    } else {
+        1.0
+    };
+    let emit = rec.is_enabled();
 
-    for op in ops {
+    for (i, op) in ops.iter().enumerate() {
+        let t_before = st.t;
         match *op {
             CpuOp::Barrier => unreachable!("barriers handled by rendezvous"),
             CpuOp::Flush => {
                 let drain = (st.pending_store_until - st.t).max(0.0);
                 st.t += model.fence_base_ns * smt + drain;
                 st.pending_store_until = st.t;
+                if emit && drain > 0.0 {
+                    rec.counter("cpu_sim.store_buffer_drains").inc();
+                    rec.instant_args(
+                        "cpu_sim",
+                        "store_buffer_drain",
+                        vec![
+                            ("tid", ArgValue::from(tid)),
+                            ("drain_ns", ArgValue::F64(drain)),
+                        ],
+                    );
+                }
             }
             CpuOp::CriticalAdd { dtype, target } => {
                 // Lock acquire (RMW on the lock line), protected plain
@@ -187,6 +306,18 @@ fn run_ops(
                     st.pending_store_until = st.pending_store_until.max(st.t + extra);
                 }
             }
+        }
+        if emit {
+            rec.instant_args(
+                "cpu_sim.op",
+                format!("{op:?}"),
+                vec![
+                    ("tid", ArgValue::from(tid)),
+                    ("rep", ArgValue::from(rep)),
+                    ("idx", ArgValue::from(base_idx + i)),
+                    ("cost_ns", ArgValue::F64(st.t - t_before)),
+                ],
+            );
         }
     }
 }
@@ -250,7 +381,10 @@ fn write_cost(
     let slot = placement.slot(tid);
     let line = line_of(dtype, target, tid, contention.line_bytes());
     let (c, cross) = contention.contenders(line, slot.core, true);
-    ((model.l1_hit_ns + model.store_ns) * smt + model.contention_ns(c, cross), None)
+    (
+        (model.l1_hit_ns + model.store_ns) * smt + model.contention_ns(c, cross),
+        None,
+    )
 }
 
 /// Service time of an atomic read-modify-write: integers use one
@@ -273,7 +407,10 @@ mod tests {
     use syncperf_core::{kernel, Affinity, SYSTEM3};
 
     fn setup(n: u32) -> (CpuModel, Placement) {
-        (CpuModel::baseline(), Placement::new(&SYSTEM3.cpu, Affinity::Spread, n))
+        (
+            CpuModel::baseline(),
+            Placement::new(&SYSTEM3.cpu, Affinity::Spread, n),
+        )
     }
 
     fn per_op_ns(model: &CpuModel, placement: &Placement, body: &[CpuOp], reps: u64) -> f64 {
@@ -301,7 +438,10 @@ mod tests {
         // Beyond saturation the growth is only the small tax+stagger.
         let growth_late = costs[4] / costs[3];
         let growth_early = costs[1] / costs[0];
-        assert!(growth_late < growth_early, "plateau expected beyond ~8 threads");
+        assert!(
+            growth_late < growth_early,
+            "plateau expected beyond ~8 threads"
+        );
         assert!(growth_late < 1.25);
     }
 
@@ -326,47 +466,116 @@ mod tests {
     #[test]
     fn word_size_irrelevant_for_integer_atomics() {
         let (m, p) = setup(8);
-        let i = per_op_ns(&m, &p, &kernel::omp_atomic_update_scalar(DType::I32).baseline, 10);
-        let u = per_op_ns(&m, &p, &kernel::omp_atomic_update_scalar(DType::U64).baseline, 10);
-        assert!((i - u).abs() < 1e-9, "int and ull identical on a 64-bit CPU (Fig. 2)");
+        let i = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_scalar(DType::I32).baseline,
+            10,
+        );
+        let u = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_scalar(DType::U64).baseline,
+            10,
+        );
+        assert!(
+            (i - u).abs() < 1e-9,
+            "int and ull identical on a 64-bit CPU (Fig. 2)"
+        );
     }
 
     #[test]
     fn padded_private_atomics_much_faster_than_shared() {
         let (m, p) = setup(16);
-        let shared = per_op_ns(&m, &p, &kernel::omp_atomic_update_scalar(DType::I32).baseline, 10);
-        let padded =
-            per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::I32, 16).baseline, 10);
-        assert!(shared > 4.0 * padded, "contended {shared} vs padded {padded}");
+        let shared = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_scalar(DType::I32).baseline,
+            10,
+        );
+        let padded = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_array(DType::I32, 16).baseline,
+            10,
+        );
+        assert!(
+            shared > 4.0 * padded,
+            "contended {shared} vs padded {padded}"
+        );
     }
 
     #[test]
     fn false_sharing_vanishes_at_the_padding_stride() {
         let (m, p) = setup(16);
         // 64-bit types: stride 8 × 8 B = 64 B → conflict-free (Fig. 3c)
-        let s4 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::F64, 4).baseline, 10);
-        let s8 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::F64, 8).baseline, 10);
-        assert!(s4 > 2.0 * s8, "stride 8 should be dramatically faster for doubles");
+        let s4 = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_array(DType::F64, 4).baseline,
+            10,
+        );
+        let s8 = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_array(DType::F64, 8).baseline,
+            10,
+        );
+        assert!(
+            s4 > 2.0 * s8,
+            "stride 8 should be dramatically faster for doubles"
+        );
         // 32-bit types need stride 16 (Fig. 3d)
-        let i8 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::I32, 8).baseline, 10);
-        let i16 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::I32, 16).baseline, 10);
-        assert!(i8 > 2.0 * i16, "stride 16 should be dramatically faster for ints");
+        let i8 = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_array(DType::I32, 8).baseline,
+            10,
+        );
+        let i16 = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_array(DType::I32, 16).baseline,
+            10,
+        );
+        assert!(
+            i8 > 2.0 * i16,
+            "stride 16 should be dramatically faster for ints"
+        );
     }
 
     #[test]
     fn four_byte_types_slightly_worse_at_stride_one() {
         let (m, p) = setup(16);
-        let i1 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::I32, 1).baseline, 10);
-        let u1 = per_op_ns(&m, &p, &kernel::omp_atomic_update_array(DType::U64, 1).baseline, 10);
+        let i1 = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_array(DType::I32, 1).baseline,
+            10,
+        );
+        let u1 = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_array(DType::U64, 1).baseline,
+            10,
+        );
         assert!(i1 > u1, "twice the words per line → more sharers (Fig. 3a)");
     }
 
     #[test]
     fn critical_slower_than_atomic() {
         let (m, p) = setup(8);
-        let atomic = per_op_ns(&m, &p, &kernel::omp_atomic_update_scalar(DType::I32).baseline, 10);
+        let atomic = per_op_ns(
+            &m,
+            &p,
+            &kernel::omp_atomic_update_scalar(DType::I32).baseline,
+            10,
+        );
         let critical = per_op_ns(&m, &p, &kernel::omp_critical_add(DType::I32).baseline, 10);
-        assert!(critical > 1.5 * atomic, "critical {critical} vs atomic {atomic} (Fig. 5)");
+        assert!(
+            critical > 1.5 * atomic,
+            "critical {critical} vs atomic {atomic} (Fig. 5)"
+        );
     }
 
     #[test]
@@ -377,7 +586,10 @@ mod tests {
         let test = per_op_ns(&m, &p, &k.test, 10);
         // The test substitutes an atomic read for the plain read; the
         // atomicity overhead is zero (§V-A2).
-        assert!((test - base).abs() < 0.05 * base, "atomic reads are free (§V-A2)");
+        assert!(
+            (test - base).abs() < 0.05 * base,
+            "atomic reads are free (§V-A2)"
+        );
     }
 
     #[test]
@@ -387,8 +599,14 @@ mod tests {
         let k16 = kernel::omp_flush(DType::I32, 16);
         let fl1 = per_op_ns(&m, &p, &k1.test, 10) - per_op_ns(&m, &p, &k1.baseline, 10);
         let fl16 = per_op_ns(&m, &p, &k16.test, 10) - per_op_ns(&m, &p, &k16.baseline, 10);
-        assert!(fl1 > 3.0 * fl16, "flush with sharing {fl1} vs padded {fl16} (Fig. 6)");
-        assert!(fl16 < 2.5 * m.fence_base_ns, "padded flush ≈ fence base cost");
+        assert!(
+            fl1 > 3.0 * fl16,
+            "flush with sharing {fl1} vs padded {fl16} (Fig. 6)"
+        );
+        assert!(
+            fl16 < 2.5 * m.fence_base_ns,
+            "padded flush ≈ fence base cost"
+        );
     }
 
     #[test]
@@ -399,7 +617,10 @@ mod tests {
             .map(|&dt| per_op_ns(&m, &p, &kernel::omp_atomic_write(dt).baseline, 10))
             .collect();
         for w in costs.windows(2) {
-            assert!((w[0] - w[1]).abs() < 1e-9, "atomic write is size/type blind (Fig. 4)");
+            assert!(
+                (w[0] - w[1]).abs() < 1e-9,
+                "atomic write is size/type blind (Fig. 4)"
+            );
         }
     }
 
@@ -416,7 +637,10 @@ mod tests {
             per_op_ns(&m, &p, &body, 10)
         };
         let ratio = at_max / at_cores;
-        assert!(ratio > 1.0 && ratio < 1.3, "hyperthreading is mild: ratio {ratio}");
+        assert!(
+            ratio > 1.0 && ratio < 1.3,
+            "hyperthreading is mild: ratio {ratio}"
+        );
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! The CPU-simulator [`Executor`]: plugs the engine into the
 //! measurement protocol, adding deterministic per-run timing jitter.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use syncperf_core::rng::SplitMix64;
 use syncperf_core::{
     CpuOp, ExecParams, Executor, Result, SyncPerfError, SystemSpec, ThreadTimes, TimeUnit,
 };
@@ -40,12 +39,13 @@ use crate::topology::Placement;
 pub struct CpuSimExecutor {
     system: SystemSpec,
     model: CpuModel,
-    rng: StdRng,
+    rng: SplitMix64,
+    recorder: syncperf_core::obs::Recorder,
 }
 
 impl CpuSimExecutor {
     /// Default deterministic seed.
-    pub const DEFAULT_SEED: u64 = 0x5E_AD_BE_EF;
+    pub const DEFAULT_SEED: u64 = 0x12345;
 
     /// Creates a simulator for `system`'s CPU with the default seed.
     #[must_use]
@@ -59,7 +59,8 @@ impl CpuSimExecutor {
         CpuSimExecutor {
             system: system.clone(),
             model: CpuModel::for_system(&system.cpu, system.cpu_jitter),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
+            recorder: syncperf_core::obs::Recorder::disabled(),
         }
     }
 
@@ -67,7 +68,12 @@ impl CpuSimExecutor {
     /// ablation benches).
     #[must_use]
     pub fn with_model(system: &SystemSpec, model: CpuModel) -> Self {
-        CpuSimExecutor { system: system.clone(), model, rng: StdRng::seed_from_u64(Self::DEFAULT_SEED) }
+        CpuSimExecutor {
+            system: system.clone(),
+            model,
+            rng: SplitMix64::seed_from_u64(Self::DEFAULT_SEED),
+            recorder: syncperf_core::obs::Recorder::disabled(),
+        }
     }
 
     /// The active latency model.
@@ -80,6 +86,25 @@ impl CpuSimExecutor {
     #[must_use]
     pub fn system(&self) -> &SystemSpec {
         &self.system
+    }
+
+    /// Attaches a [`Recorder`](syncperf_core::obs::Recorder); engine
+    /// runs then emit `cpu_sim.*` events/counters into it. Without one,
+    /// the executor falls back to the globally installed recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: syncperf_core::obs::Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// The recorder engine runs observe into: this executor's own if
+    /// enabled, otherwise the global one.
+    fn effective_recorder(&self) -> &syncperf_core::obs::Recorder {
+        if self.recorder.is_enabled() {
+            &self.recorder
+        } else {
+            syncperf_core::obs::global()
+        }
     }
 }
 
@@ -102,20 +127,30 @@ impl Executor for CpuSimExecutor {
             ));
         }
         let placement = Placement::new(&self.system.cpu, params.affinity, params.threads);
-        let result = engine::run(&self.model, &placement, body, params.timed_reps())?;
+        let result = engine::run_observed(
+            &self.model,
+            &placement,
+            body,
+            params.timed_reps(),
+            self.effective_recorder(),
+        )?;
 
         // Timing jitter: one run-wide component (OS/system noise hits
         // the whole measurement — it survives the max-across-threads)
         // plus a small per-thread component. Hyperthreading adds
         // variability (Section V-A2 observes exactly that).
         let amp = self.model.jitter_amplitude
-            + if placement.uses_hyperthreads() { self.model.smt_jitter_boost } else { 0.0 };
-        let run_noise: f64 = 1.0 + amp * self.rng.gen_range(-1.0..=1.0);
+            + if placement.uses_hyperthreads() {
+                self.model.smt_jitter_boost
+            } else {
+                0.0
+            };
+        let run_noise: f64 = 1.0 + amp * self.rng.gen_symmetric();
         let per_thread = result
             .per_thread_ns
             .iter()
             .map(|&ns| {
-                let u: f64 = self.rng.gen_range(-1.0..=1.0);
+                let u: f64 = self.rng.gen_symmetric();
                 ns * 1e-9 * run_noise * (1.0 + 0.1 * amp * u)
             })
             .collect();
@@ -135,7 +170,9 @@ mod tests {
     #[test]
     fn reports_per_thread_seconds() {
         let mut sim = CpuSimExecutor::new(&SYSTEM3);
-        let t = sim.execute(&kernel::omp_barrier().baseline, &quick(8)).unwrap();
+        let t = sim
+            .execute(&kernel::omp_barrier().baseline, &quick(8))
+            .unwrap();
         assert_eq!(t.per_thread.len(), 8);
         for &v in &t.per_thread {
             assert!(v > 0.0 && v < 1.0, "unreasonable virtual time {v}");
@@ -181,7 +218,11 @@ mod tests {
     fn full_protocol_produces_positive_atomic_cost() {
         let mut sim = CpuSimExecutor::new(&SYSTEM3);
         let m = Protocol::PAPER
-            .measure(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), &quick(8))
+            .measure(
+                &mut sim,
+                &kernel::omp_atomic_update_scalar(DType::I32),
+                &quick(8),
+            )
             .unwrap();
         assert!(m.per_op > 0.0);
         // ~6.5 ns modeled base + contention; sanity-range check.
@@ -195,8 +236,32 @@ mod tests {
         let m = Protocol::PAPER
             .measure(&mut sim, &kernel::omp_atomic_read(DType::I32), &quick(8))
             .unwrap();
-        assert!(m.is_negligible(), "atomic reads must be free (§V-A2): {}", m.per_op);
+        assert!(
+            m.is_negligible(),
+            "atomic reads must be free (§V-A2): {}",
+            m.per_op
+        );
         assert!(m.throughput().is_none());
+    }
+
+    #[test]
+    fn attached_recorder_observes_engine_counters() {
+        let rec = syncperf_core::obs::Recorder::enabled();
+        let mut sim = CpuSimExecutor::new(&SYSTEM3).with_recorder(rec.clone());
+        sim.execute(&kernel::omp_barrier().test, &quick(4)).unwrap();
+        sim.execute(
+            &kernel::omp_atomic_update_scalar(DType::I32).baseline,
+            &quick(8),
+        )
+        .unwrap();
+        let snap = rec.snapshot();
+        assert!(snap.counter("cpu_sim.engine_runs") >= 2);
+        assert!(snap.counter("cpu_sim.barrier_rounds") > 0);
+        assert!(
+            snap.counter("cpu_sim.mesi_transitions") > 0,
+            "contended atomics move lines"
+        );
+        assert!(snap.gauge("cpu_sim.arb_queue_depth_max") > 0);
     }
 
     #[test]

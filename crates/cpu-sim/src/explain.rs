@@ -68,7 +68,11 @@ impl CpuCostBreakdown {
             self.fp_retry_ns,
             self.lock_ns,
             self.contenders,
-            if self.cross_socket { ", cross-socket" } else { "" }
+            if self.cross_socket {
+                ", cross-socket"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -109,7 +113,11 @@ pub fn explain_op(
     let op = &body[op_index];
     let contention = ContentionMap::analyze(body, placement, 64);
     let slot = placement.slot(tid);
-    let smt = if placement.core_is_smt_loaded(tid) { model.smt_service_factor } else { 1.0 };
+    let smt = if placement.core_is_smt_loaded(tid) {
+        model.smt_service_factor
+    } else {
+        1.0
+    };
 
     let mut b = CpuCostBreakdown {
         op: format!("{op:?}"),
@@ -163,8 +171,7 @@ pub fn explain_op(
                 _ => {
                     b.service_ns = atomic_service(model, dtype) * smt;
                     if dtype.is_float() {
-                        b.fp_retry_ns =
-                            model.fp_retry_ns * f64::from(c.min(model.contention_sat));
+                        b.fp_retry_ns = model.fp_retry_ns * f64::from(c.min(model.contention_sat));
                     }
                     (b.transfer_ns, b.arbitration_ns, b.sharer_tax_ns) = (t, a, x);
                 }
@@ -219,7 +226,10 @@ mod tests {
     use syncperf_core::{kernel, Affinity, SYSTEM3};
 
     fn setup(threads: u32) -> (CpuModel, Placement) {
-        (CpuModel::baseline(), Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads))
+        (
+            CpuModel::baseline(),
+            Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads),
+        )
     }
 
     /// The breakdown must sum to exactly what the engine charges for
@@ -240,12 +250,91 @@ mod tests {
                 .map(|i| explain_op(&model, &placement, body, 0, i).total_ns())
                 .sum();
             // Engine steady-state per-rep cost for thread 0.
-            let r10 = engine::run(&model, &placement, body, 10).unwrap().per_thread_ns[0];
-            let r20 = engine::run(&model, &placement, body, 20).unwrap().per_thread_ns[0];
+            let r10 = engine::run(&model, &placement, body, 10)
+                .unwrap()
+                .per_thread_ns[0];
+            let r20 = engine::run(&model, &placement, body, 20)
+                .unwrap()
+                .per_thread_ns[0];
             let per_rep = (r20 - r10) / 10.0;
             assert!(
                 (explained - per_rep).abs() < 1e-6 * per_rep.max(1.0),
                 "{body:?}: explained {explained} vs engine {per_rep}"
+            );
+        }
+    }
+
+    /// The breakdown must also agree, op by op, with the `cpu_sim.op`
+    /// trace events the engine emits — the same program explained and
+    /// traced gives one consistent story.
+    #[test]
+    fn breakdown_matches_engine_total_and_per_op_trace_events() {
+        use syncperf_core::obs::{ArgValue, Event, Recorder};
+
+        fn arg_u64(e: &Event, key: &str) -> Option<u64> {
+            e.args.iter().find_map(|(k, v)| match v {
+                ArgValue::U64(u) if *k == key => Some(*u),
+                _ => None,
+            })
+        }
+        fn arg_f64(e: &Event, key: &str) -> Option<f64> {
+            e.args.iter().find_map(|(k, v)| match v {
+                ArgValue::F64(x) if *k == key => Some(*x),
+                _ => None,
+            })
+        }
+
+        let (model, placement) = setup(16);
+        let bodies = [
+            kernel::omp_atomic_update_scalar(DType::F64).test,
+            kernel::omp_atomic_update_array(DType::I32, 1).baseline,
+            kernel::omp_critical_add(DType::I32).baseline,
+            kernel::omp_flush(DType::I32, 4).baseline,
+        ];
+        for body in &bodies {
+            let explained: Vec<f64> = (0..body.len())
+                .map(|i| explain_op(&model, &placement, body, 0, i).total_ns())
+                .collect();
+
+            let rec = Recorder::enabled();
+            let r10 = engine::run_observed(&model, &placement, body, 10, &rec)
+                .unwrap()
+                .per_thread_ns[0];
+            let r20 = engine::run(&model, &placement, body, 20)
+                .unwrap()
+                .per_thread_ns[0];
+            let per_rep = (r20 - r10) / 10.0;
+            let explained_total: f64 = explained.iter().sum();
+            assert!(
+                (explained_total - per_rep).abs() < 1e-6 * per_rep.max(1.0),
+                "{body:?}: explained {explained_total} vs engine {per_rep}"
+            );
+
+            // The engine simulates warm reps 0..4 op by op; rep 3 is
+            // steady state, so its per-op events must reproduce the
+            // breakdown exactly.
+            let events = rec.drain_events();
+            let mut traced_total = 0.0;
+            for (idx, &expect) in explained.iter().enumerate() {
+                let ev = events
+                    .iter()
+                    .find(|e| {
+                        e.cat == "cpu_sim.op"
+                            && arg_u64(e, "tid") == Some(0)
+                            && arg_u64(e, "rep") == Some(3)
+                            && arg_u64(e, "idx") == Some(idx as u64)
+                    })
+                    .unwrap_or_else(|| panic!("{body:?}: no trace event for op {idx}"));
+                let cost = arg_f64(ev, "cost_ns").expect("cost_ns argument");
+                assert!(
+                    (cost - expect).abs() < 1e-6 * expect.max(1.0),
+                    "{body:?} op {idx}: traced {cost} vs explained {expect}"
+                );
+                traced_total += cost;
+            }
+            assert!(
+                (traced_total - per_rep).abs() < 1e-6 * per_rep.max(1.0),
+                "{body:?}: traced rep {traced_total} vs engine {per_rep}"
             );
         }
     }
@@ -256,7 +345,10 @@ mod tests {
         let body = kernel::omp_atomic_update_scalar(DType::I32).baseline;
         let b = explain_op(&model, &placement, &body, 0, 0);
         assert_eq!(b.contenders, 15);
-        assert!(b.arbitration_ns > b.service_ns, "contention dominates: {b:?}");
+        assert!(
+            b.arbitration_ns > b.service_ns,
+            "contention dominates: {b:?}"
+        );
         assert!(b.transfer_ns > 0.0);
     }
 

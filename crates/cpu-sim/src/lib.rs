@@ -44,8 +44,8 @@
 
 pub mod config;
 pub mod engine;
-pub mod explain;
 pub mod executor;
+pub mod explain;
 pub mod memline;
 pub mod mesi;
 pub mod program;
@@ -54,9 +54,9 @@ pub mod topology;
 
 pub use config::{BarrierKind, CpuModel};
 pub use engine::EngineResult;
+pub use executor::CpuSimExecutor;
 pub use explain::{explain_body, explain_op, CpuCostBreakdown};
 pub use mesi::{MesiDirectory, MesiState, Transaction};
 pub use program::{simulate_cpu_reduction, CpuReductionReport, CpuReductionStrategy};
 pub use refengine::{run_reference, RefEngineResult};
-pub use executor::CpuSimExecutor;
 pub use topology::{Placement, Slot};

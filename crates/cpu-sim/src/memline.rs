@@ -42,9 +42,10 @@ fn dtype_idx(dtype: DType) -> u32 {
 #[must_use]
 pub fn line_of(dtype: DType, target: Target, tid: usize, line_bytes: usize) -> LineId {
     match target {
-        Target::SharedScalar(i) => {
-            LineId { region: 0x1000 + u32::from(i), index: u64::from(dtype_idx(dtype)) }
-        }
+        Target::SharedScalar(i) => LineId {
+            region: 0x1000 + u32::from(i),
+            index: u64::from(dtype_idx(dtype)),
+        },
         Target::Private { array, stride } => {
             let byte = tid as u64 * u64::from(stride) * dtype.size_bytes() as u64;
             LineId {
@@ -58,7 +59,10 @@ pub fn line_of(dtype: DType, target: Target, tid: usize, line_bytes: usize) -> L
 /// The line holding the (unnamed) critical-section lock.
 #[must_use]
 pub fn lock_line() -> LineId {
-    LineId { region: REGION_LOCK, index: 0 }
+    LineId {
+        region: REGION_LOCK,
+        index: 0,
+    }
 }
 
 /// Static per-line sharing facts.
@@ -160,7 +164,11 @@ impl ContentionMap {
         let Some(s) = self.lines.get(&line) else {
             return (0, false);
         };
-        let set = if is_write { &s.accessor_cores } else { &s.writer_cores };
+        let set = if is_write {
+            &s.accessor_cores
+        } else {
+            &s.writer_cores
+        };
         let others = set.iter().filter(|&&c| c != my_core).count() as u32;
         let cross = s.sockets.len() > 1;
         (others, cross)
@@ -170,7 +178,10 @@ impl ContentionMap {
     /// conflict — a false-sharing indicator used in reports.
     #[must_use]
     pub fn contended_line_count(&self) -> usize {
-        self.lines.values().filter(|s| s.writer_cores.len() > 1).count()
+        self.lines
+            .values()
+            .filter(|s| s.writer_cores.len() > 1)
+            .count()
     }
 }
 

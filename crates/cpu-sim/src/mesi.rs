@@ -11,6 +11,8 @@
 
 use std::collections::HashMap;
 
+use syncperf_core::obs::Recorder;
+
 use crate::memline::LineId;
 
 /// Per-core MESI state of one line.
@@ -73,6 +75,7 @@ pub struct MesiDirectory {
     n_cores: usize,
     states: HashMap<LineId, Vec<MesiState>>,
     traffic: HashMap<LineId, LineTraffic>,
+    recorder: Recorder,
 }
 
 impl MesiDirectory {
@@ -84,12 +87,30 @@ impl MesiDirectory {
     #[must_use]
     pub fn new(n_cores: usize) -> Self {
         assert!(n_cores > 0, "need at least one core");
-        MesiDirectory { n_cores, states: HashMap::new(), traffic: HashMap::new() }
+        MesiDirectory {
+            n_cores,
+            states: HashMap::new(),
+            traffic: HashMap::new(),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a [`Recorder`]; every transaction then also bumps the
+    /// `mesi.*` counters (`hits`, `memory_fills`, `cache_to_cache`,
+    /// `invalidations`, `silent_upgrades`) — letting tests cross-check
+    /// the engine's analytic `cpu_sim.mesi_transitions` count against
+    /// the explicit state machine.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
     }
 
     fn line_states(&mut self, line: LineId) -> &mut Vec<MesiState> {
         let n = self.n_cores;
-        self.states.entry(line).or_insert_with(|| vec![MesiState::Invalid; n])
+        self.states
+            .entry(line)
+            .or_insert_with(|| vec![MesiState::Invalid; n])
     }
 
     /// Core `core` reads `line`.
@@ -172,7 +193,9 @@ impl MesiDirectory {
     /// The state of `line` in `core`'s cache.
     #[must_use]
     pub fn state(&self, core: usize, line: LineId) -> MesiState {
-        self.states.get(&line).map_or(MesiState::Invalid, |v| v[core])
+        self.states
+            .get(&line)
+            .map_or(MesiState::Invalid, |v| v[core])
     }
 
     /// Resets traffic counters (keeps cache states) — used to skip the
@@ -190,17 +213,35 @@ impl MesiDirectory {
             Transaction::Invalidation { .. } => t.invalidations += 1,
             Transaction::SilentUpgrade => {}
         }
+        if self.recorder.is_enabled() {
+            let name = match tx {
+                Transaction::Hit => "mesi.hits",
+                Transaction::FillFromMemory => "mesi.memory_fills",
+                Transaction::CacheToCache => "mesi.cache_to_cache",
+                Transaction::Invalidation { .. } => "mesi.invalidations",
+                Transaction::SilentUpgrade => "mesi.silent_upgrades",
+            };
+            self.recorder.counter(name).inc();
+            if !matches!(tx, Transaction::Hit | Transaction::SilentUpgrade) {
+                self.recorder.counter("mesi.bus_transactions").inc();
+            }
+        }
     }
 
     /// MESI safety invariant: at most one Modified/Exclusive copy, and
     /// it excludes all other valid copies.
     fn debug_check(&self, line: LineId) {
         if let Some(states) = self.states.get(&line) {
-            let owners =
-                states.iter().filter(|s| matches!(s, MesiState::Modified | MesiState::Exclusive)).count();
+            let owners = states
+                .iter()
+                .filter(|s| matches!(s, MesiState::Modified | MesiState::Exclusive))
+                .count();
             let valid = states.iter().filter(|s| **s != MesiState::Invalid).count();
             debug_assert!(owners <= 1, "two owners of {line:?}");
-            debug_assert!(owners == 0 || valid == 1, "owner coexists with copies of {line:?}");
+            debug_assert!(
+                owners == 0 || valid == 1,
+                "owner coexists with copies of {line:?}"
+            );
         }
     }
 }
@@ -212,7 +253,15 @@ mod tests {
     use syncperf_core::{DType, Target};
 
     fn line(i: u32) -> LineId {
-        line_of(DType::I32, Target::Private { array: 0, stride: 16 }, i as usize, 64)
+        line_of(
+            DType::I32,
+            Target::Private {
+                array: 0,
+                stride: 16,
+            },
+            i as usize,
+            64,
+        )
     }
 
     #[test]
@@ -287,7 +336,11 @@ mod tests {
         }
         for c in 0..4 {
             let t = d.traffic(line(c as u32));
-            assert_eq!(t.bus_transactions(), 0, "core {c} must run from its own cache");
+            assert_eq!(
+                t.bus_transactions(),
+                0,
+                "core {c} must run from its own cache"
+            );
             assert_eq!(t.hits, 100);
         }
     }
@@ -307,6 +360,22 @@ mod tests {
             }
         }
         assert_eq!(d.traffic(line(0)).bus_transactions(), 0);
+    }
+
+    #[test]
+    fn recorder_counts_match_traffic() {
+        let rec = Recorder::enabled();
+        let mut d = MesiDirectory::new(2).with_recorder(rec.clone());
+        d.write(0, line(0)); // memory fill
+        d.write(1, line(0)); // invalidation
+        d.read(0, line(0)); // cache-to-cache
+        d.read(0, line(0)); // hit
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("mesi.memory_fills"), 1);
+        assert_eq!(snap.counter("mesi.invalidations"), 1);
+        assert_eq!(snap.counter("mesi.cache_to_cache"), 1);
+        assert_eq!(snap.counter("mesi.hits"), 1);
+        assert_eq!(snap.counter("mesi.bus_transactions"), 3);
     }
 
     #[test]

@@ -91,40 +91,85 @@ pub fn simulate_cpu_reduction(
     };
 
     // Each accumulation iteration also reads its input element.
-    let read_input = CpuOp::Read { dtype, target: Target::Private { array: 1, stride: 8 } };
+    let read_input = CpuOp::Read {
+        dtype,
+        target: Target::Private {
+            array: 1,
+            stride: 8,
+        },
+    };
 
     let (accumulate_ns, merge_ns) = match strategy {
         CpuReductionStrategy::SharedAtomic => {
-            let body = [read_input, CpuOp::AtomicUpdate { dtype, target: Target::SHARED }];
+            let body = [
+                read_input,
+                CpuOp::AtomicUpdate {
+                    dtype,
+                    target: Target::SHARED,
+                },
+            ];
             (max_ns(&body, per_thread)?, 0.0)
         }
         CpuReductionStrategy::CriticalSection => {
-            let body = [read_input, CpuOp::CriticalAdd { dtype, target: Target::SHARED }];
+            let body = [
+                read_input,
+                CpuOp::CriticalAdd {
+                    dtype,
+                    target: Target::SHARED,
+                },
+            ];
             (max_ns(&body, per_thread)?, 0.0)
         }
         CpuReductionStrategy::FalseSharedPartials => {
             let body = [
                 read_input,
-                CpuOp::Update { dtype, target: Target::Private { array: 0, stride: 1 } },
+                CpuOp::Update {
+                    dtype,
+                    target: Target::Private {
+                        array: 0,
+                        stride: 1,
+                    },
+                },
             ];
             let acc = max_ns(&body, per_thread)?;
-            let merge =
-                max_ns(&[CpuOp::AtomicUpdate { dtype, target: Target::SHARED }], 1)?;
+            let merge = max_ns(
+                &[CpuOp::AtomicUpdate {
+                    dtype,
+                    target: Target::SHARED,
+                }],
+                1,
+            )?;
             (acc, merge)
         }
         CpuReductionStrategy::PaddedPartials => {
             let body = [
                 read_input,
-                CpuOp::Update { dtype, target: Target::Private { array: 0, stride: 8 } },
+                CpuOp::Update {
+                    dtype,
+                    target: Target::Private {
+                        array: 0,
+                        stride: 8,
+                    },
+                },
             ];
             let acc = max_ns(&body, per_thread)?;
-            let merge =
-                max_ns(&[CpuOp::AtomicUpdate { dtype, target: Target::SHARED }], 1)?;
+            let merge = max_ns(
+                &[CpuOp::AtomicUpdate {
+                    dtype,
+                    target: Target::SHARED,
+                }],
+                1,
+            )?;
             (acc, merge)
         }
     };
 
-    Ok(CpuReductionReport { strategy, total_ns: accumulate_ns + merge_ns, accumulate_ns, merge_ns })
+    Ok(CpuReductionReport {
+        strategy,
+        total_ns: accumulate_ns + merge_ns,
+        accumulate_ns,
+        merge_ns,
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +191,10 @@ mod tests {
         // critical > shared atomic > false-shared partials > padded.
         let r = run_all(16, 1 << 20);
         assert!(r[0].total_ns > r[1].total_ns, "critical slowest");
-        assert!(r[1].total_ns > r[2].total_ns, "shared atomic beats critical only");
+        assert!(
+            r[1].total_ns > r[2].total_ns,
+            "shared atomic beats critical only"
+        );
         assert!(r[2].total_ns > r[3].total_ns, "padding beats false sharing");
     }
 
@@ -158,8 +206,14 @@ mod tests {
         let many = run_all(16, 1 << 20);
         let padded_speedup = few[3].total_ns / many[3].total_ns;
         let shared_speedup = few[1].total_ns / many[1].total_ns;
-        assert!(padded_speedup > 6.0, "near-linear scaling, got {padded_speedup}");
-        assert!(shared_speedup < padded_speedup / 2.0, "contended scaling must lag");
+        assert!(
+            padded_speedup > 6.0,
+            "near-linear scaling, got {padded_speedup}"
+        );
+        assert!(
+            shared_speedup < padded_speedup / 2.0,
+            "contended scaling must lag"
+        );
     }
 
     #[test]

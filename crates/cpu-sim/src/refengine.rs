@@ -89,7 +89,12 @@ pub fn run_reference(
     let mut clocks = vec![0.0f64; n];
     let mut pc = vec![0u64; n]; // global op index per thread
     let mut heap: BinaryHeap<Reverse<Ready>> = (0..n)
-        .map(|tid| Reverse(Ready { t: tid as f64 * 0.1, tid }))
+        .map(|tid| {
+            Reverse(Ready {
+                t: tid as f64 * 0.1,
+                tid,
+            })
+        })
         .collect();
     let mut bus = 0u64;
 
@@ -106,14 +111,16 @@ pub fn run_reference(
         if matches!(op, CpuOp::Barrier) {
             waiting.push((tid, t));
             if waiting.len() == n {
-                let max_arrival =
-                    waiting.iter().map(|&(_, a)| a).fold(f64::MIN, f64::max);
+                let max_arrival = waiting.iter().map(|&(_, a)| a).fold(f64::MIN, f64::max);
                 let release = max_arrival + model.barrier_ns(n as u32);
                 waiting.sort_by(|a, b| a.1.total_cmp(&b.1));
                 for (rank, &(wtid, _)) in waiting.iter().enumerate() {
                     let t_out = release + rank as f64 * model.release_stagger_ns;
                     clocks[wtid] = t_out;
-                    heap.push(Reverse(Ready { t: t_out, tid: wtid }));
+                    heap.push(Reverse(Ready {
+                        t: t_out,
+                        tid: wtid,
+                    }));
                 }
                 waiting.clear();
             }
@@ -141,7 +148,10 @@ pub fn run_reference(
             "threads ended while a barrier was incomplete".into(),
         ));
     }
-    Ok(RefEngineResult { per_thread_ns: clocks, bus_transactions: bus })
+    Ok(RefEngineResult {
+        per_thread_ns: clocks,
+        bus_transactions: bus,
+    })
 }
 
 fn placement_cores(placement: &Placement) -> usize {
@@ -168,12 +178,13 @@ fn charge(
     op: &CpuOp,
 ) -> f64 {
     let core = placement.slot(tid).core as usize;
-    let smt = if placement.core_is_smt_loaded(tid) { model.smt_service_factor } else { 1.0 };
+    let smt = if placement.core_is_smt_loaded(tid) {
+        model.smt_service_factor
+    } else {
+        1.0
+    };
 
-    let mut tx_cost = |tx: Transaction,
-                       line: crate::memline::LineId,
-                       bus: &mut u64|
-     -> f64 {
+    let mut tx_cost = |tx: Transaction, line: crate::memline::LineId, bus: &mut u64| -> f64 {
         let raw = match tx {
             Transaction::Hit | Transaction::SilentUpgrade => return 0.0,
             Transaction::FillFromMemory | Transaction::CacheToCache => {
@@ -212,10 +223,8 @@ fn charge(
                 _ if dt.is_float() => model.rmw_int_ns + model.fp_cas_extra_ns,
                 _ => model.rmw_int_ns,
             };
-            let fp_retry = if matches!(
-                op,
-                CpuOp::AtomicUpdate { .. } | CpuOp::AtomicCapture { .. }
-            ) && dt.is_float()
+            let fp_retry = if matches!(op, CpuOp::AtomicUpdate { .. } | CpuOp::AtomicCapture { .. })
+                && dt.is_float()
             {
                 // Retry pressure approximated from the observed
                 // invalidation width.
@@ -256,7 +265,10 @@ mod tests {
     use syncperf_core::{kernel, Affinity, DType, SYSTEM3};
 
     fn setup(n: u32) -> (CpuModel, Placement) {
-        (CpuModel::baseline(), Placement::new(&SYSTEM3.cpu, Affinity::Spread, n))
+        (
+            CpuModel::baseline(),
+            Placement::new(&SYSTEM3.cpu, Affinity::Spread, n),
+        )
     }
 
     #[test]

@@ -74,11 +74,20 @@ impl Placement {
                         (socket * cps + core_in_socket, smt)
                     }
                 };
-                Slot { socket: core / cps, core, smt }
+                Slot {
+                    socket: core / cps,
+                    core,
+                    smt,
+                }
             })
             .collect();
 
-        Placement { slots, cores_per_socket: cps, smt_ways: ways, sockets }
+        Placement {
+            slots,
+            cores_per_socket: cps,
+            smt_ways: ways,
+            sockets,
+        }
     }
 
     /// Number of placed threads.
@@ -125,7 +134,9 @@ impl Placement {
     /// Fraction of threads whose core is SMT-loaded.
     #[must_use]
     pub fn smt_loaded_fraction(&self) -> f64 {
-        let loaded = (0..self.slots.len()).filter(|&t| self.core_is_smt_loaded(t)).count();
+        let loaded = (0..self.slots.len())
+            .filter(|&t| self.core_is_smt_loaded(t))
+            .count();
         loaded as f64 / self.slots.len() as f64
     }
 }
@@ -139,9 +150,30 @@ mod tests {
     fn close_fills_socket0_first() {
         // System 1: 2 sockets × 10 cores × 2 SMT.
         let p = Placement::new(&SYSTEM1.cpu, Affinity::Close, 12);
-        assert_eq!(p.slot(0), Slot { socket: 0, core: 0, smt: 0 });
-        assert_eq!(p.slot(9), Slot { socket: 0, core: 9, smt: 0 });
-        assert_eq!(p.slot(10), Slot { socket: 1, core: 10, smt: 0 });
+        assert_eq!(
+            p.slot(0),
+            Slot {
+                socket: 0,
+                core: 0,
+                smt: 0
+            }
+        );
+        assert_eq!(
+            p.slot(9),
+            Slot {
+                socket: 0,
+                core: 9,
+                smt: 0
+            }
+        );
+        assert_eq!(
+            p.slot(10),
+            Slot {
+                socket: 1,
+                core: 10,
+                smt: 0
+            }
+        );
     }
 
     #[test]

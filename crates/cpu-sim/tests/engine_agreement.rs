@@ -77,7 +77,10 @@ fn saturating_vs_linear_divergence_by_design() {
     let ref_growth =
         reference_per_rep(&m, &p32, &k.baseline) / reference_per_rep(&m, &p16, &k.baseline);
     assert!(fast_growth < 1.2, "fast engine saturated: {fast_growth}");
-    assert!((1.8..2.2).contains(&ref_growth), "reference engine linear: {ref_growth}");
+    assert!(
+        (1.8..2.2).contains(&ref_growth),
+        "reference engine linear: {ref_growth}"
+    );
 }
 
 #[test]
@@ -90,11 +93,13 @@ fn engines_agree_on_false_sharing_direction() {
     let padded = kernel::omp_atomic_update_array(DType::I32, 16).baseline;
 
     let fast_penalty = fast_per_rep(&m, &p, &shared) / fast_per_rep(&m, &p, &padded);
-    let ref_penalty =
-        reference_per_rep(&m, &p, &shared) / reference_per_rep(&m, &p, &padded);
+    let ref_penalty = reference_per_rep(&m, &p, &shared) / reference_per_rep(&m, &p, &padded);
     assert!(fast_penalty > 3.0 && ref_penalty > 3.0);
     let agreement = fast_penalty / ref_penalty;
-    assert!((0.3..3.0).contains(&agreement), "penalties {fast_penalty} vs {ref_penalty}");
+    assert!(
+        (0.3..3.0).contains(&agreement),
+        "penalties {fast_penalty} vs {ref_penalty}"
+    );
 }
 
 #[test]
@@ -116,7 +121,10 @@ fn barrier_rendezvous_identical_in_both_engines() {
     let body = kernel::omp_barrier().baseline;
     let fast = fast_per_rep(&m, &p, &body);
     let reference = reference_per_rep(&m, &p, &body);
-    assert!((fast / reference - 1.0).abs() < 0.02, "{fast} vs {reference}");
+    assert!(
+        (fast / reference - 1.0).abs() < 0.02,
+        "{fast} vs {reference}"
+    );
 }
 
 proptest! {

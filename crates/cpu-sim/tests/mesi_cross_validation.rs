@@ -6,10 +6,10 @@
 //! invalidations/transfers.
 
 use proptest::prelude::*;
+use syncperf_core::SYSTEM3;
 use syncperf_core::{kernel, Affinity, CpuKernel, CpuOp, DType, Target};
 use syncperf_cpu_sim::memline::{classify, line_of, Access, ContentionMap};
 use syncperf_cpu_sim::{MesiDirectory, Placement};
-use syncperf_core::SYSTEM3;
 
 /// Replays `rounds` repetitions of `body` for every placed thread
 /// through MESI (round-robin thread order, as the hardware would
@@ -83,7 +83,10 @@ fn check_agreement(body: &[CpuOp], threads: u32) {
 #[test]
 fn shared_scalar_kernels_agree() {
     for threads in [2u32, 4, 8, 16] {
-        check_agreement(&kernel::omp_atomic_update_scalar(DType::I32).baseline, threads);
+        check_agreement(
+            &kernel::omp_atomic_update_scalar(DType::I32).baseline,
+            threads,
+        );
         check_agreement(&kernel::omp_atomic_write(DType::F64).test, threads);
     }
 }

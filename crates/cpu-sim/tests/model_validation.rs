@@ -2,28 +2,39 @@
 //! across full parameter sweeps, all three systems, and mixed bodies.
 
 use syncperf_core::{
-    kernel, Affinity, CpuOp, DType, ExecParams, Protocol, Target, SYSTEM1, SYSTEM2,
-    SYSTEM3,
+    kernel, Affinity, CpuOp, DType, ExecParams, Protocol, Target, SYSTEM1, SYSTEM2, SYSTEM3,
 };
 use syncperf_cpu_sim::{engine, CpuModel, CpuSimExecutor, Placement};
 
 fn per_op(sim: &mut CpuSimExecutor, k: &syncperf_core::CpuKernel, threads: u32) -> f64 {
     let p = ExecParams::new(threads).with_loops(500, 50);
-    Protocol::PAPER.measure(sim, k, &p).unwrap().runtime_seconds()
+    Protocol::PAPER
+        .measure(sim, k, &p)
+        .unwrap()
+        .runtime_seconds()
 }
 
 #[test]
 fn atomic_cost_monotonic_in_thread_count_until_saturation() {
     let mut sim = CpuSimExecutor::new(&SYSTEM2);
     let k = kernel::omp_atomic_update_scalar(DType::I32);
-    let costs: Vec<f64> = [2u32, 4, 8, 16].iter().map(|&t| per_op(&mut sim, &k, t)).collect();
+    let costs: Vec<f64> = [2u32, 4, 8, 16]
+        .iter()
+        .map(|&t| per_op(&mut sim, &k, t))
+        .collect();
     for w in costs.windows(2) {
-        assert!(w[1] > w[0] * 0.95, "cost must not drop with more contenders: {costs:?}");
+        assert!(
+            w[1] > w[0] * 0.95,
+            "cost must not drop with more contenders: {costs:?}"
+        );
     }
     // Beyond saturation the growth flattens.
     let c32 = per_op(&mut sim, &k, 32);
     let c64 = per_op(&mut sim, &k, 64);
-    assert!(c64 / c32 < 1.4, "saturated region nearly flat: {c32} -> {c64}");
+    assert!(
+        c64 / c32 < 1.4,
+        "saturated region nearly flat: {c32} -> {c64}"
+    );
 }
 
 #[test]
@@ -69,10 +80,22 @@ fn close_affinity_beats_spread_on_two_sockets_small_teams() {
     let mut sim = CpuSimExecutor::new(&SYSTEM1);
     let k = kernel::omp_atomic_update_scalar(DType::I32);
     let close = Protocol::PAPER
-        .measure(&mut sim, &k, &ExecParams::new(4).with_affinity(Affinity::Close).with_loops(500, 50))
+        .measure(
+            &mut sim,
+            &k,
+            &ExecParams::new(4)
+                .with_affinity(Affinity::Close)
+                .with_loops(500, 50),
+        )
         .unwrap();
     let spread = Protocol::PAPER
-        .measure(&mut sim, &k, &ExecParams::new(4).with_affinity(Affinity::Spread).with_loops(500, 50))
+        .measure(
+            &mut sim,
+            &k,
+            &ExecParams::new(4)
+                .with_affinity(Affinity::Spread)
+                .with_loops(500, 50),
+        )
         .unwrap();
     assert!(
         close.runtime_seconds() < spread.runtime_seconds(),
@@ -91,13 +114,30 @@ fn affinity_irrelevant_on_single_socket_system3() {
     let k = kernel::omp_atomic_update_scalar(DType::I32);
     let p = ExecParams::new(8).with_loops(500, 50);
     let close = Protocol::PAPER
-        .measure(&mut sim, &k, &ExecParams { affinity: Affinity::Close, ..p })
+        .measure(
+            &mut sim,
+            &k,
+            &ExecParams {
+                affinity: Affinity::Close,
+                ..p
+            },
+        )
         .unwrap();
     let spread = Protocol::PAPER
-        .measure(&mut sim2, &k, &ExecParams { affinity: Affinity::Spread, ..p })
+        .measure(
+            &mut sim2,
+            &k,
+            &ExecParams {
+                affinity: Affinity::Spread,
+                ..p
+            },
+        )
         .unwrap();
     let ratio = close.runtime_seconds() / spread.runtime_seconds();
-    assert!((ratio - 1.0).abs() < 0.05, "single socket: affinity ratio {ratio}");
+    assert!(
+        (ratio - 1.0).abs() < 0.05,
+        "single socket: affinity ratio {ratio}"
+    );
 }
 
 #[test]
@@ -109,7 +149,9 @@ fn smt_sibling_false_sharing_exemption() {
 
     // Different cores.
     let spread = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 2);
-    let cost_cores = engine::run(&model, &spread, &body, 10).unwrap().per_thread_ns[0];
+    let cost_cores = engine::run(&model, &spread, &body, 10)
+        .unwrap()
+        .per_thread_ns[0];
 
     // Same core: build a 17-thread close placement where thread 16 is
     // thread 0's hyperthread sibling, then compare a body whose line is
@@ -119,7 +161,9 @@ fn smt_sibling_false_sharing_exemption() {
     one_core.cores_per_socket = 1;
     one_core.sockets = 1;
     let siblings = Placement::new(&one_core, Affinity::Close, 2);
-    let cost_siblings = engine::run(&model, &siblings, &body, 10).unwrap().per_thread_ns[0];
+    let cost_siblings = engine::run(&model, &siblings, &body, 10)
+        .unwrap()
+        .per_thread_ns[0];
 
     assert!(
         cost_cores > 2.0 * cost_siblings,
@@ -134,12 +178,21 @@ fn mixed_body_with_barriers_and_atomics() {
     let model = CpuModel::baseline();
     let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 8);
     let body = vec![
-        CpuOp::AtomicUpdate { dtype: DType::I32, target: Target::SHARED },
+        CpuOp::AtomicUpdate {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        },
         CpuOp::Barrier,
-        CpuOp::Update { dtype: DType::F64, target: Target::private(8) },
+        CpuOp::Update {
+            dtype: DType::F64,
+            target: Target::private(8),
+        },
         CpuOp::Flush,
         CpuOp::Barrier,
-        CpuOp::AtomicRead { dtype: DType::I32, target: Target::SHARED },
+        CpuOp::AtomicRead {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        },
     ];
     let r = engine::run(&model, &placement, &body, 25).unwrap();
     assert_eq!(r.barrier_episodes, 50);
@@ -160,20 +213,35 @@ fn slower_clock_means_slower_core_ops() {
     let k = kernel::omp_atomic_update_array(DType::I32, 16);
     let c1 = per_op(&mut s1, &k, 4);
     let c3 = per_op(&mut s3, &k, 4);
-    assert!(c1 > c3, "3.1 GHz part slower than 3.5 GHz part: {c1} vs {c3}");
+    assert!(
+        c1 > c3,
+        "3.1 GHz part slower than 3.5 GHz part: {c1} vs {c3}"
+    );
     let ratio = c1 / c3;
-    assert!((ratio - 3.5 / 3.1).abs() < 0.15, "scaling ≈ clock ratio, got {ratio}");
+    assert!(
+        (ratio - 3.5 / 3.1).abs() < 0.15,
+        "scaling ≈ clock ratio, got {ratio}"
+    );
 }
 
 #[test]
 fn capture_and_update_identical_costs() {
     let model = CpuModel::baseline();
     let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 8);
-    let upd = engine::run(&model, &placement, &kernel::omp_atomic_update_scalar(DType::F32).test, 10)
-        .unwrap();
-    let cap =
-        engine::run(&model, &placement, &kernel::omp_atomic_capture_scalar(DType::F32).test, 10)
-            .unwrap();
+    let upd = engine::run(
+        &model,
+        &placement,
+        &kernel::omp_atomic_update_scalar(DType::F32).test,
+        10,
+    )
+    .unwrap();
+    let cap = engine::run(
+        &model,
+        &placement,
+        &kernel::omp_atomic_capture_scalar(DType::F32).test,
+        10,
+    )
+    .unwrap();
     assert_eq!(upd.per_thread_ns, cap.per_thread_ns);
 }
 
@@ -183,12 +251,25 @@ fn contended_line_count_reflected_in_runtime() {
     // vs one array; the baseline runtime should roughly double too.
     let model = CpuModel::baseline();
     let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 16);
-    let one = vec![CpuOp::Update { dtype: DType::I32, target: Target::Private { array: 0, stride: 1 } }];
+    let one = vec![CpuOp::Update {
+        dtype: DType::I32,
+        target: Target::Private {
+            array: 0,
+            stride: 1,
+        },
+    }];
     let two = kernel::omp_flush(DType::I32, 1).baseline; // updates to arrays 0 and 1
-    let c1 = engine::run(&model, &placement, &one, 10).unwrap().per_thread_ns[0];
-    let c2 = engine::run(&model, &placement, &two, 10).unwrap().per_thread_ns[0];
+    let c1 = engine::run(&model, &placement, &one, 10)
+        .unwrap()
+        .per_thread_ns[0];
+    let c2 = engine::run(&model, &placement, &two, 10)
+        .unwrap()
+        .per_thread_ns[0];
     let ratio = c2 / c1;
-    assert!((ratio - 2.0).abs() < 0.2, "two contended arrays ≈ 2x one: {ratio}");
+    assert!(
+        (ratio - 2.0).abs() < 0.2,
+        "two contended arrays ≈ 2x one: {ratio}"
+    );
 }
 
 #[test]

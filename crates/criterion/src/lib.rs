@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so this local package
+//! provides the subset of criterion's API the `crates/bench` benches
+//! use: [`Criterion`], benchmark groups with
+//! `measurement_time`/`warm_up_time`/`sample_size`,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark first calibrates how many
+//! iterations fit in a fraction of the warm-up budget, then runs
+//! `sample_size` samples of that batch size within the measurement
+//! budget and reports the per-iteration median, minimum, and maximum in
+//! nanoseconds. It is deliberately simple — statistically robust enough
+//! to compare orders of magnitude and catch regressions, tiny enough to
+//! vendor.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`bench [filter]`); recognises a
+    /// plain substring filter and ignores criterion-specific flags.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args
+            .into_iter()
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Identifier for a parameterised benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    #[must_use]
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the per-benchmark warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{id}", self.name);
+        if !self._criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) => println!(
+                "{full:<56} {:>12}/iter  (min {}, max {}, {} samples)",
+                fmt_ns(r.median_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                r.samples,
+            ),
+            None => println!("{full:<56} (no iterations run)"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing a per-iteration summary.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate: how many iterations fit in ~1/5 of the
+        // warm-up budget?
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let took = t0.elapsed();
+            if took * 5 >= self.warm_up_time || Instant::now() >= warm_deadline {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        // Measure `sample_size` samples of `batch` iterations, bounded
+        // by the measurement budget.
+        let deadline = Instant::now() + self.measurement_time;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        per_iter.sort_by(f64::total_cmp);
+        if per_iter.is_empty() {
+            return;
+        }
+        self.report = Some(Report {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            samples: per_iter.len(),
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.measurement_time(Duration::from_millis(50));
+        g.warm_up_time(Duration::from_millis(10));
+        g.sample_size(5);
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("sense", 8).to_string(), "sense/8");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+    }
+}

@@ -159,8 +159,18 @@ impl GpuModel {
             shfl_cy: 14.0,
             vote_cy: 16.0,
             warp_reduce_cy: 20.0,
-            atomic_device: AtomicService { i32_cy: 36.0, u64_cy: 58.0, f32_cy: 90.0, f64_cy: 98.0 },
-            atomic_block: AtomicService { i32_cy: 14.0, u64_cy: 22.0, f32_cy: 30.0, f64_cy: 34.0 },
+            atomic_device: AtomicService {
+                i32_cy: 36.0,
+                u64_cy: 58.0,
+                f32_cy: 90.0,
+                f64_cy: 98.0,
+            },
+            atomic_block: AtomicService {
+                i32_cy: 14.0,
+                u64_cy: 22.0,
+                f32_cy: 30.0,
+                f64_cy: 34.0,
+            },
             cas_extra_cy: 10.0,
             same_addr_arb_cy: 30.0,
             same_addr_free_requests: 4,
@@ -258,9 +268,18 @@ mod tests {
 
     #[test]
     fn full_speed_thresholds_match_fig8() {
-        assert_eq!(GpuModel::for_spec(&SYSTEM1.gpu).full_speed_threads_per_sm, 512);
-        assert_eq!(GpuModel::for_spec(&SYSTEM2.gpu).full_speed_threads_per_sm, 256);
-        assert_eq!(GpuModel::for_spec(&SYSTEM3.gpu).full_speed_threads_per_sm, 256);
+        assert_eq!(
+            GpuModel::for_spec(&SYSTEM1.gpu).full_speed_threads_per_sm,
+            512
+        );
+        assert_eq!(
+            GpuModel::for_spec(&SYSTEM2.gpu).full_speed_threads_per_sm,
+            256
+        );
+        assert_eq!(
+            GpuModel::for_spec(&SYSTEM3.gpu).full_speed_threads_per_sm,
+            256
+        );
     }
 
     #[test]
@@ -276,7 +295,10 @@ mod tests {
     fn block_atomics_cheaper_than_device() {
         let m = GpuModel::for_spec(&SYSTEM3.gpu);
         for dt in DType::ALL {
-            assert!(m.atomic_block.for_dtype(dt) < m.atomic_device.for_dtype(dt), "{dt}");
+            assert!(
+                m.atomic_block.for_dtype(dt) < m.atomic_device.for_dtype(dt),
+                "{dt}"
+            );
         }
     }
 

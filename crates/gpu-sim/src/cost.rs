@@ -147,7 +147,11 @@ pub fn atomic(
                 (_, true) => occ.total_resident_warps,
                 (_, false) => occ.total_resident_threads,
             };
-            let agg_cost = if aggregated { m.warp_agg_reduce_cy } else { 0.0 };
+            let agg_cost = if aggregated {
+                m.warp_agg_reduce_cy
+            } else {
+                0.0
+            };
             service
                 + agg_cost
                 + m.same_addr_delay(requests) * arb_factor * m.dtype_contention_factor(dtype)
@@ -167,15 +171,32 @@ pub fn atomic(
 #[must_use]
 pub fn atomic_kind(op: &GpuOp) -> Option<(AtomicKind, DType, Scope, Target)> {
     match *op {
-        GpuOp::AtomicAdd { dtype, scope, target }
-        | GpuOp::AtomicRmw { dtype, scope, target, .. } => {
-            Some((AtomicKind::Add, dtype, scope, target))
+        GpuOp::AtomicAdd {
+            dtype,
+            scope,
+            target,
         }
-        GpuOp::AtomicCas { dtype, scope, target } => Some((AtomicKind::Cas, dtype, scope, target)),
-        GpuOp::AtomicExch { dtype, scope, target } => {
-            Some((AtomicKind::Exch, dtype, scope, target))
-        }
-        GpuOp::AtomicMax { dtype, scope, target } => Some((AtomicKind::Max, dtype, scope, target)),
+        | GpuOp::AtomicRmw {
+            dtype,
+            scope,
+            target,
+            ..
+        } => Some((AtomicKind::Add, dtype, scope, target)),
+        GpuOp::AtomicCas {
+            dtype,
+            scope,
+            target,
+        } => Some((AtomicKind::Cas, dtype, scope, target)),
+        GpuOp::AtomicExch {
+            dtype,
+            scope,
+            target,
+        } => Some((AtomicKind::Exch, dtype, scope, target)),
+        GpuOp::AtomicMax {
+            dtype,
+            scope,
+            target,
+        } => Some((AtomicKind::Max, dtype, scope, target)),
         _ => None,
     }
 }
@@ -187,8 +208,7 @@ pub fn diverge(m: &GpuModel, occ: &Occupancy, dtype: DType, paths: u32) -> f64 {
     let effective = paths.min(m.warp_size).max(1);
     let w = words(dtype);
     let per_path = m.alu_cy * w * m.issue_slowdown(f64::from(occ.threads_per_sm) * w);
-    per_path * f64::from(effective)
-        + m.divergence_penalty_cy * f64::from(effective - 1)
+    per_path * f64::from(effective) + m.divergence_penalty_cy * f64::from(effective - 1)
 }
 
 #[cfg(test)]
@@ -209,7 +229,10 @@ mod tests {
         let m = model();
         let c32 = syncthreads(&m, &occ(1, 32));
         let c16 = syncthreads(&m, &occ(1, 16));
-        assert_eq!(c32, c16, "whole warp runs regardless of lane count (Fig. 7)");
+        assert_eq!(
+            c32, c16,
+            "whole warp runs regardless of lane count (Fig. 7)"
+        );
         let c64 = syncthreads(&m, &occ(1, 64));
         let c1024 = syncthreads(&m, &occ(1, 1024));
         assert!(c64 > c32);
@@ -248,7 +271,10 @@ mod tests {
         let m = model();
         let full_256 = syncwarp(&m, &occ(128, 256));
         let double_128 = syncwarp(&m, &occ(256, 128));
-        assert_eq!(full_256, double_128, "2 blocks × 128 = 1 block × 256 threads/SM");
+        assert_eq!(
+            full_256, double_128,
+            "2 blocks × 128 = 1 block × 256 threads/SM"
+        );
         let full_512 = syncwarp(&m, &occ(128, 512));
         let double_256 = syncwarp(&m, &occ(256, 256));
         assert_eq!(full_512, double_256);
@@ -269,7 +295,10 @@ mod tests {
         let m = model();
         let f32_128 = shfl(&m, &occ(128, 128), DType::F32);
         let f64_128 = shfl(&m, &occ(128, 128), DType::F64);
-        assert!((f64_128 - 2.0 * f32_128).abs() < 1e-9, "2 instructions for 64-bit");
+        assert!(
+            (f64_128 - 2.0 * f32_128).abs() < 1e-9,
+            "2 instructions for 64-bit"
+        );
         // 64-bit demand saturates at half the thread count.
         let f64_256 = shfl(&m, &occ(128, 256), DType::F64);
         let f32_256 = shfl(&m, &occ(128, 256), DType::F32);
@@ -312,21 +341,60 @@ mod tests {
     fn aggregated_add_constant_until_four_warps() {
         let m = model();
         // 2 blocks: 2 warps at t ≤ 32, 4 warps at t = 64.
-        let t32 = atomic(&m, &occ(2, 32), AtomicKind::Add, DType::I32, Scope::Device, Target::SHARED);
-        let t64 = atomic(&m, &occ(2, 64), AtomicKind::Add, DType::I32, Scope::Device, Target::SHARED);
+        let t32 = atomic(
+            &m,
+            &occ(2, 32),
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::SHARED,
+        );
+        let t64 = atomic(
+            &m,
+            &occ(2, 64),
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::SHARED,
+        );
         assert_eq!(t32, t64, "constant through 64 threads at 2 blocks (Fig. 9)");
-        let t128 = atomic(&m, &occ(2, 128), AtomicKind::Add, DType::I32, Scope::Device, Target::SHARED);
+        let t128 = atomic(
+            &m,
+            &occ(2, 128),
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::SHARED,
+        );
         assert!(t128 > t64, "drops beyond 2 warps per block");
     }
 
     #[test]
     fn cas_constant_region_ends_at_four_threads_one_block() {
         let m = model();
-        let f = |t| atomic(&m, &occ(1, t), AtomicKind::Cas, DType::I32, Scope::Device, Target::SHARED);
+        let f = |t| {
+            atomic(
+                &m,
+                &occ(1, t),
+                AtomicKind::Cas,
+                DType::I32,
+                Scope::Device,
+                Target::SHARED,
+            )
+        };
         assert_eq!(f(1), f(4), "constant to 4 threads at 1 block (Fig. 11)");
         assert!(f(8) > f(4), "drops beyond 4 threads");
         // 2 blocks: constant only to 2 threads per block.
-        let g = |t| atomic(&m, &occ(2, t), AtomicKind::Cas, DType::I32, Scope::Device, Target::SHARED);
+        let g = |t| {
+            atomic(
+                &m,
+                &occ(2, t),
+                AtomicKind::Cas,
+                DType::I32,
+                Scope::Device,
+                Target::SHARED,
+            )
+        };
         assert_eq!(g(1), g(2));
         assert!(g(4) > g(2));
     }
@@ -335,9 +403,26 @@ mod tests {
     fn ablation_no_aggregation_drops_much_earlier() {
         let mut m = model();
         m.warp_aggregation = false;
-        let t4 = atomic(&m, &occ(1, 4), AtomicKind::Add, DType::I32, Scope::Device, Target::SHARED);
-        let t32 = atomic(&m, &occ(1, 32), AtomicKind::Add, DType::I32, Scope::Device, Target::SHARED);
-        assert!(t32 > t4, "without aggregation even one warp contends with itself");
+        let t4 = atomic(
+            &m,
+            &occ(1, 4),
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::SHARED,
+        );
+        let t32 = atomic(
+            &m,
+            &occ(1, 32),
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::SHARED,
+        );
+        assert!(
+            t32 > t4,
+            "without aggregation even one warp contends with itself"
+        );
     }
 
     #[test]
@@ -357,37 +442,99 @@ mod tests {
     fn private_atomics_cheaper_than_shared_at_load() {
         let m = model();
         let o = occ(128, 256);
-        let shared = atomic(&m, &o, AtomicKind::Add, DType::I32, Scope::Device, Target::SHARED);
-        let private =
-            atomic(&m, &o, AtomicKind::Add, DType::I32, Scope::Device, Target::private(32));
-        assert!(shared > private, "same-location overlap hurts (recommendation 4)");
+        let shared = atomic(
+            &m,
+            &o,
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::SHARED,
+        );
+        let private = atomic(
+            &m,
+            &o,
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::private(32),
+        );
+        assert!(
+            shared > private,
+            "same-location overlap hurts (recommendation 4)"
+        );
     }
 
     #[test]
     fn private_stride_hurts_at_high_block_counts() {
         let m = model();
         let o128 = occ(128, 1024);
-        let s1 = atomic(&m, &o128, AtomicKind::Add, DType::I32, Scope::Device, Target::private(1));
-        let s32 =
-            atomic(&m, &o128, AtomicKind::Add, DType::I32, Scope::Device, Target::private(32));
-        assert!(s32 > s1, "32 lines per warp crush L2 bandwidth at 128 blocks (Fig. 10d)");
+        let s1 = atomic(
+            &m,
+            &o128,
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::private(1),
+        );
+        let s32 = atomic(
+            &m,
+            &o128,
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::private(32),
+        );
+        assert!(
+            s32 > s1,
+            "32 lines per warp crush L2 bandwidth at 128 blocks (Fig. 10d)"
+        );
         // At 1 block the two strides stay within a modest factor: the
         // trend is the same (Fig. 10a/b).
         let o1 = occ(1, 1024);
-        let p1 = atomic(&m, &o1, AtomicKind::Add, DType::I32, Scope::Device, Target::private(1));
-        let p32 = atomic(&m, &o1, AtomicKind::Add, DType::I32, Scope::Device, Target::private(32));
+        let p1 = atomic(
+            &m,
+            &o1,
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::private(1),
+        );
+        let p32 = atomic(
+            &m,
+            &o1,
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::private(32),
+        );
         let ratio_1blk = p32 / p1;
         let ratio_128blk = s32 / s1;
-        assert!(ratio_128blk > ratio_1blk, "stride matters far more at high block counts");
+        assert!(
+            ratio_128blk > ratio_1blk,
+            "stride matters far more at high block counts"
+        );
     }
 
     #[test]
     fn more_blocks_lower_private_throughput() {
         let m = model();
         let t = 256;
-        let one = atomic(&m, &occ(1, t), AtomicKind::Add, DType::I32, Scope::Device, Target::private(1));
-        let many =
-            atomic(&m, &occ(128, t), AtomicKind::Add, DType::I32, Scope::Device, Target::private(1));
+        let one = atomic(
+            &m,
+            &occ(1, t),
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::private(1),
+        );
+        let many = atomic(
+            &m,
+            &occ(128, t),
+            AtomicKind::Add,
+            DType::I32,
+            Scope::Device,
+            Target::private(1),
+        );
         assert!(many > one, "128 blocks share the L2 (Fig. 10)");
     }
 
@@ -423,9 +570,22 @@ mod tests {
         let m = model();
         // 32 warps of which only lane 0 does the CAS (threads=1 per
         // warp is modeled as a 1-thread block) vs one full warp.
-        let one_lane = atomic(&m, &occ(1, 1), AtomicKind::Cas, DType::I32, Scope::Device, Target::SHARED);
-        let full_warp =
-            atomic(&m, &occ(1, 32), AtomicKind::Cas, DType::I32, Scope::Device, Target::SHARED);
+        let one_lane = atomic(
+            &m,
+            &occ(1, 1),
+            AtomicKind::Cas,
+            DType::I32,
+            Scope::Device,
+            Target::SHARED,
+        );
+        let full_warp = atomic(
+            &m,
+            &occ(1, 32),
+            AtomicKind::Cas,
+            DType::I32,
+            Scope::Device,
+            Target::SHARED,
+        );
         assert!(full_warp > one_lane);
     }
 }

@@ -6,7 +6,8 @@
 //! every resident warp accrues the same per-repetition cost; block-wide
 //! barriers add their rendezvous cost in place.
 
-use syncperf_core::{DType, GpuOp, Result, Scope, SyncPerfError};
+use syncperf_core::obs::{ArgValue, Recorder};
+use syncperf_core::{DType, GpuOp, Result, Scope, SyncPerfError, Target};
 
 use crate::config::GpuModel;
 use crate::cost::{self, AtomicKind};
@@ -88,27 +89,80 @@ pub fn op_cycles(m: &GpuModel, occ: &Occupancy, op: &GpuOp) -> Result<f64> {
 /// # Errors
 ///
 /// Propagates unsupported-op errors and rejects `reps == 0`.
-pub fn run(
+pub fn run(m: &GpuModel, occ: &Occupancy, body: &[GpuOp], reps: u64) -> Result<GpuEngineResult> {
+    run_observed(m, occ, body, reps, syncperf_core::obs::global())
+}
+
+/// [`run`] with an explicit [`Recorder`]. With recording enabled this
+/// emits, under category `gpu_sim`: a `kernel_launch` span carrying
+/// block/warp scheduling arguments, and an `atomic_conflict` instant
+/// per device-wide-contended atomic op in the body — plus the
+/// `gpu_sim.launches`, `gpu_sim.blocks_scheduled`,
+/// `gpu_sim.warps_scheduled` and `gpu_sim.atomic_conflicts` counters.
+/// A disabled recorder costs one branch per site.
+///
+/// # Errors
+///
+/// Propagates unsupported-op errors and rejects `reps == 0`.
+pub fn run_observed(
     m: &GpuModel,
     occ: &Occupancy,
     body: &[GpuOp],
     reps: u64,
+    rec: &Recorder,
 ) -> Result<GpuEngineResult> {
     if reps == 0 {
         return Err(SyncPerfError::InvalidParams("reps must be > 0".into()));
     }
+    let mut span = rec.span("gpu_sim", "kernel_launch");
+    span.push_arg("blocks", u64::from(occ.blocks));
+    span.push_arg("threads_per_block", u64::from(occ.threads_per_block));
+    span.push_arg("resident_warps", u64::from(occ.total_resident_warps));
+    span.push_arg("waves", u64::from(occ.waves));
+    rec.counter("gpu_sim.launches").inc();
+    rec.counter("gpu_sim.blocks_scheduled")
+        .add(u64::from(occ.blocks));
+    rec.counter("gpu_sim.warps_scheduled")
+        .add(u64::from(occ.blocks) * u64::from(occ.warps_per_block));
+
+    let total_threads = u64::from(occ.blocks) * u64::from(occ.threads_per_block);
     let mut cycles_per_rep = 0.0;
     let mut has_system_fence = false;
-    for op in body {
+    for (idx, op) in body.iter().enumerate() {
         cycles_per_rep += op_cycles(m, occ, op)?;
-        if matches!(op, GpuOp::ThreadFence { scope: Scope::System }) {
+        if matches!(
+            op,
+            GpuOp::ThreadFence {
+                scope: Scope::System
+            }
+        ) {
             has_system_fence = true;
+        }
+        // Every thread RMW-ing the same address serializes at the
+        // atomic unit: all but one of the `total_threads` accesses
+        // conflict, every repetition.
+        if let Some((_, _, _, target)) = cost::atomic_kind(op) {
+            if matches!(target, Target::SharedScalar(_)) && total_threads > 1 {
+                rec.counter("gpu_sim.atomic_conflicts")
+                    .add((total_threads - 1) * reps);
+                if rec.is_enabled() {
+                    rec.instant_args(
+                        "gpu_sim",
+                        "atomic_conflict",
+                        vec![
+                            ("op_idx", ArgValue::from(idx)),
+                            ("threads", ArgValue::U64(total_threads)),
+                            ("reps", ArgValue::U64(reps)),
+                        ],
+                    );
+                }
+            }
         }
     }
     let total = cycles_per_rep * reps as f64;
-    let threads = occ.blocks as usize * occ.threads_per_block as usize;
+    span.push_arg("cycles_per_rep", cycles_per_rep);
     Ok(GpuEngineResult {
-        per_thread_cycles: vec![total; threads],
+        per_thread_cycles: vec![total; total_threads as usize],
         cycles_per_rep,
         has_system_fence,
     })
@@ -211,16 +265,24 @@ mod tests {
     fn shfl_variants_identical() {
         let model = m();
         let o = occ(128, 256);
-        let costs: Vec<f64> = [ShflVariant::Idx, ShflVariant::Up, ShflVariant::Down, ShflVariant::Xor]
-            .iter()
-            .map(|&v| {
-                run(&model, &o, &kernel::cuda_shfl(DType::I32, v).baseline, 1)
-                    .unwrap()
-                    .cycles_per_rep
-            })
-            .collect();
+        let costs: Vec<f64> = [
+            ShflVariant::Idx,
+            ShflVariant::Up,
+            ShflVariant::Down,
+            ShflVariant::Xor,
+        ]
+        .iter()
+        .map(|&v| {
+            run(&model, &o, &kernel::cuda_shfl(DType::I32, v).baseline, 1)
+                .unwrap()
+                .cycles_per_rep
+        })
+        .collect();
         for w in costs.windows(2) {
-            assert_eq!(w[0], w[1], "§V-B4: variants differ only in data movement pattern");
+            assert_eq!(
+                w[0], w[1],
+                "§V-B4: variants differ only in data movement pattern"
+            );
         }
     }
 
@@ -279,9 +341,17 @@ mod tests {
         let model = m();
         let o = occ(1, 32);
         let cost = |paths| {
-            run(&model, &o, &[GpuOp::Diverge { dtype: DType::I32, paths }], 1)
-                .unwrap()
-                .cycles_per_rep
+            run(
+                &model,
+                &o,
+                &[GpuOp::Diverge {
+                    dtype: DType::I32,
+                    paths,
+                }],
+                1,
+            )
+            .unwrap()
+            .cycles_per_rep
         };
         let marginal_2 = cost(2) - cost(1);
         let marginal_16 = (cost(16) - cost(8)) / 8.0;
@@ -296,9 +366,30 @@ mod tests {
     fn divergence_paths_capped_at_warp_size() {
         let model = m();
         let o = occ(1, 32);
-        let a = run(&model, &o, &[GpuOp::Diverge { dtype: DType::I32, paths: 32 }], 1).unwrap();
-        let b = run(&model, &o, &[GpuOp::Diverge { dtype: DType::I32, paths: 64 }], 1).unwrap();
-        assert_eq!(a.cycles_per_rep, b.cycles_per_rep, "a warp has only 32 lanes");
+        let a = run(
+            &model,
+            &o,
+            &[GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 32,
+            }],
+            1,
+        )
+        .unwrap();
+        let b = run(
+            &model,
+            &o,
+            &[GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 64,
+            }],
+            1,
+        )
+        .unwrap();
+        assert_eq!(
+            a.cycles_per_rep, b.cycles_per_rep,
+            "a warp has only 32 lanes"
+        );
     }
 
     #[test]
@@ -308,6 +399,9 @@ mod tests {
         let model = m();
         let o = occ(64, 512);
         let body = kernel::cuda_atomic_add_scalar(DType::I32).test;
-        assert_eq!(run(&model, &o, &body, 7).unwrap(), run(&model, &o, &body, 7).unwrap());
+        assert_eq!(
+            run(&model, &o, &body, 7).unwrap(),
+            run(&model, &o, &body, 7).unwrap()
+        );
     }
 }

@@ -1,11 +1,8 @@
 //! The GPU-simulator [`Executor`]: plugs the engine into the
 //! measurement protocol with `clock64()`-style cycle reporting.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use syncperf_core::{
-    ExecParams, Executor, GpuOp, Result, SystemSpec, ThreadTimes, TimeUnit,
-};
+use syncperf_core::rng::SplitMix64;
+use syncperf_core::{ExecParams, Executor, GpuOp, Result, SystemSpec, ThreadTimes, TimeUnit};
 
 use crate::config::GpuModel;
 use crate::engine;
@@ -42,7 +39,8 @@ use crate::occupancy::Occupancy;
 pub struct GpuSimExecutor {
     system: SystemSpec,
     model: GpuModel,
-    rng: StdRng,
+    rng: SplitMix64,
+    recorder: syncperf_core::obs::Recorder,
 }
 
 impl GpuSimExecutor {
@@ -62,7 +60,8 @@ impl GpuSimExecutor {
         GpuSimExecutor {
             system: system.clone(),
             model: GpuModel::for_spec(&system.gpu),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
+            recorder: syncperf_core::obs::Recorder::disabled(),
         }
     }
 
@@ -72,7 +71,8 @@ impl GpuSimExecutor {
         GpuSimExecutor {
             system: system.clone(),
             model,
-            rng: StdRng::seed_from_u64(Self::DEFAULT_SEED),
+            rng: SplitMix64::seed_from_u64(Self::DEFAULT_SEED),
+            recorder: syncperf_core::obs::Recorder::disabled(),
         }
     }
 
@@ -92,6 +92,25 @@ impl GpuSimExecutor {
     pub fn system(&self) -> &SystemSpec {
         &self.system
     }
+
+    /// Attaches a [`Recorder`](syncperf_core::obs::Recorder); engine
+    /// runs then emit `gpu_sim.*` events/counters into it. Without one,
+    /// the executor falls back to the globally installed recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: syncperf_core::obs::Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// The recorder engine runs observe into: this executor's own if
+    /// enabled, otherwise the global one.
+    fn effective_recorder(&self) -> &syncperf_core::obs::Recorder {
+        if self.recorder.is_enabled() {
+            &self.recorder
+        } else {
+            syncperf_core::obs::global()
+        }
+    }
 }
 
 impl Executor for GpuSimExecutor {
@@ -102,20 +121,28 @@ impl Executor for GpuSimExecutor {
     }
 
     fn time_unit(&self) -> TimeUnit {
-        TimeUnit::Cycles { clock_ghz: self.system.gpu.clock_ghz }
+        TimeUnit::Cycles {
+            clock_ghz: self.system.gpu.clock_ghz,
+        }
     }
 
     fn execute(&mut self, body: &[GpuOp], params: &ExecParams) -> Result<ThreadTimes> {
         params.validate()?;
         let occ = Occupancy::compute(&self.system.gpu, params.blocks, params.threads)?;
-        let result = engine::run(&self.model, &occ, body, params.timed_reps())?;
+        let result = engine::run_observed(
+            &self.model,
+            &occ,
+            body,
+            params.timed_reps(),
+            self.effective_recorder(),
+        )?;
         let per_thread = if result.has_system_fence {
             let amp = self.model.fence_system_jitter;
             result
                 .per_thread_cycles
                 .iter()
                 .map(|&cy| {
-                    let u: f64 = self.rng.gen_range(-1.0..=1.0);
+                    let u: f64 = self.rng.gen_symmetric();
                     cy * (1.0 + amp * u)
                 })
                 .collect()
@@ -132,7 +159,9 @@ mod tests {
     use syncperf_core::{kernel, DType, Protocol, Scope, SYSTEM1, SYSTEM2, SYSTEM3};
 
     fn quick(blocks: u32, threads: u32) -> ExecParams {
-        ExecParams::new(threads).with_blocks(blocks).with_loops(50, 4)
+        ExecParams::new(threads)
+            .with_blocks(blocks)
+            .with_loops(50, 4)
     }
 
     #[test]
@@ -179,7 +208,11 @@ mod tests {
             .unwrap();
         // 8 warps per block: base + 7×per-warp cycles.
         let expect = 25.0 + 9.0 * 7.0;
-        assert!((m.per_op - expect).abs() < 1e-6, "per_op {} vs {expect}", m.per_op);
+        assert!(
+            (m.per_op - expect).abs() < 1e-6,
+            "per_op {} vs {expect}",
+            m.per_op
+        );
     }
 
     #[test]
@@ -201,6 +234,25 @@ mod tests {
             .unwrap();
         let expected = 2.625e9 / m.per_op;
         assert!((m.throughput().unwrap() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn attached_recorder_observes_scheduling_and_conflicts() {
+        let rec = syncperf_core::obs::Recorder::enabled();
+        let mut gpu = GpuSimExecutor::new(&SYSTEM3).with_recorder(rec.clone());
+        gpu.execute(
+            &kernel::cuda_atomic_add_scalar(DType::I32).baseline,
+            &quick(4, 64),
+        )
+        .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("gpu_sim.launches"), 1);
+        assert_eq!(snap.counter("gpu_sim.blocks_scheduled"), 4);
+        assert_eq!(snap.counter("gpu_sim.warps_scheduled"), 8);
+        assert!(
+            snap.counter("gpu_sim.atomic_conflicts") > 0,
+            "shared-scalar atomics conflict"
+        );
     }
 
     #[test]

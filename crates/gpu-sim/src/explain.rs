@@ -102,9 +102,8 @@ pub fn explain_op(m: &GpuModel, occ: &Occupancy, op: &GpuOp) -> Result<GpuCostBr
                 if aggregated {
                     b.aggregation_cy = m.warp_agg_reduce_cy;
                 }
-                b.same_addr_cy = m.same_addr_delay(b.requests)
-                    * arb_factor
-                    * m.dtype_contention_factor(dtype);
+                b.same_addr_cy =
+                    m.same_addr_delay(b.requests) * arb_factor * m.dtype_contention_factor(dtype);
             }
             Target::Private { stride, .. } => {
                 let k = cost::lines_per_warp(m, occ, dtype, stride);
@@ -170,8 +169,10 @@ mod tests {
                     .iter()
                     .map(|op| explain_op(&m, &o, op).unwrap().total_cy())
                     .sum();
-                let engine: f64 =
-                    body.iter().map(|op| engine::op_cycles(&m, &o, op).unwrap()).sum();
+                let engine: f64 = body
+                    .iter()
+                    .map(|op| engine::op_cycles(&m, &o, op).unwrap())
+                    .sum();
                 assert!((total - engine).abs() < 1e-9 * engine.max(1.0), "{body:?}");
             }
         }
@@ -203,7 +204,10 @@ mod tests {
         let b = explain_op(&m, &occ(128, 1024), &body[0]).unwrap();
         assert!(b.l2_cy > 0.0);
         assert!(b.sm_queue_cy > 0.0);
-        assert_eq!(b.same_addr_cy, 0.0, "distinct addresses never queue on one another");
+        assert_eq!(
+            b.same_addr_cy, 0.0,
+            "distinct addresses never queue on one another"
+        );
     }
 
     #[test]

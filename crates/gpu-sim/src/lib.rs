@@ -45,18 +45,18 @@
 pub mod config;
 pub mod cost;
 pub mod engine;
-pub mod explain;
 pub mod executor;
+pub mod explain;
 pub mod occupancy;
 pub mod program;
 
 pub use config::{AtomicService, GpuModel};
 pub use engine::GpuEngineResult;
-pub use explain::{explain_op as explain_gpu_op, GpuCostBreakdown};
 pub use executor::GpuSimExecutor;
+pub use explain::{explain_op as explain_gpu_op, GpuCostBreakdown};
 pub use occupancy::Occupancy;
 pub use program::{
     simulate_histogram, simulate_reduction, simulate_scan, HistogramConfig, HistogramReport,
-    HistogramStrategy, ReductionConfig, ReductionReport, ReductionStrategy, ScanConfig,
-    ScanReport, ScanStrategy,
+    HistogramStrategy, ReductionConfig, ReductionReport, ReductionStrategy, ScanConfig, ScanReport,
+    ScanStrategy,
 };

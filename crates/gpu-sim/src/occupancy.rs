@@ -47,7 +47,9 @@ impl Occupancy {
     /// zero or exceeds the device's thread-per-block limit.
     pub fn compute(spec: &GpuSpec, blocks: u32, threads_per_block: u32) -> Result<Self> {
         if threads_per_block == 0 || blocks == 0 {
-            return Err(SyncPerfError::InvalidParams("blocks and threads must be > 0".into()));
+            return Err(SyncPerfError::InvalidParams(
+                "blocks and threads must be > 0".into(),
+            ));
         }
         if threads_per_block > spec.max_threads_per_block {
             return Err(SyncPerfError::InvalidParams(format!(

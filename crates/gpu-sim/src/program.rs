@@ -140,7 +140,9 @@ pub fn simulate_reduction(
         });
     }
     if cfg.size == 0 || cfg.block_size == 0 || cfg.persistent_grid_blocks == 0 {
-        return Err(SyncPerfError::InvalidParams("empty reduction configuration".into()));
+        return Err(SyncPerfError::InvalidParams(
+            "empty reduction configuration".into(),
+        ));
     }
 
     let elem_bytes = 4u64; // Listing 1 reduces `int` data
@@ -159,8 +161,8 @@ pub fn simulate_reduction(
         _ => (one_elem_blocks, 1),
     };
     let occ = Occupancy::compute(spec, blocks.min(65_535), cfg.block_size)?;
-    let waves = f64::from(occ.waves)
-        * (f64::from(blocks) / f64::from(occ.blocks.min(blocks))).max(1.0);
+    let waves =
+        f64::from(occ.waves) * (f64::from(blocks) / f64::from(occ.blocks.min(blocks))).max(1.0);
 
     let warps_total = u64::from(blocks) * u64::from(occ.warps_per_block);
 
@@ -168,7 +170,11 @@ pub fn simulate_reduction(
     // same address are combined within a warp — Fig. 9).
     let (global_atomics, block_atomics, barriers, lead_in_cy) = match strategy {
         ReductionStrategy::GlobalAtomic => {
-            let ga = if m.warp_aggregation { n.div_ceil(warp) } else { n };
+            let ga = if m.warp_aggregation {
+                n.div_ceil(warp)
+            } else {
+                n
+            };
             (ga, 0, 0, m.warp_agg_reduce_cy)
         }
         ReductionStrategy::ShflThenGlobalAtomic => {
@@ -177,7 +183,11 @@ pub fn simulate_reduction(
             (warps_total, 0, 0, m.vote_cy + 5.0 * m.shfl_cy)
         }
         ReductionStrategy::BlockAtomicThenGlobal => {
-            let ba = if m.warp_aggregation { n.div_ceil(warp) } else { n };
+            let ba = if m.warp_aggregation {
+                n.div_ceil(warp)
+            } else {
+                n
+            };
             (u64::from(blocks), ba, 2, m.warp_agg_reduce_cy)
         }
         ReductionStrategy::WarpReduceThenBlock => {
@@ -185,11 +195,20 @@ pub fn simulate_reduction(
             // (Listing 1 lines 26-29). The explicit path costs more
             // than R3's driver-side warp aggregation — which is why R3
             // beats R4 despite R4's "newer hardware capabilities".
-            (u64::from(blocks), warps_total, 2, m.vote_cy + m.warp_reduce_cy)
+            (
+                u64::from(blocks),
+                warps_total,
+                2,
+                m.vote_cy + m.warp_reduce_cy,
+            )
         }
         ReductionStrategy::PersistentThreads => {
             let threads = u64::from(blocks) * u64::from(cfg.block_size);
-            let ba = if m.warp_aggregation { threads.div_ceil(warp) } else { threads };
+            let ba = if m.warp_aggregation {
+                threads.div_ceil(warp)
+            } else {
+                threads
+            };
             (u64::from(blocks), ba, 2, m.warp_agg_reduce_cy)
         }
     };
@@ -202,14 +221,17 @@ pub fn simulate_reduction(
     // Per-wave overheads: lead-in + barriers + one atomic latency +
     // the thread-local loop of the persistent variant.
     let barrier_cy = f64::from(barriers)
-        * (m.syncthreads_base_cy
-            + m.syncthreads_per_warp_cy * f64::from(occ.warps_per_block - 1));
+        * (m.syncthreads_base_cy + m.syncthreads_per_warp_cy * f64::from(occ.warps_per_block - 1));
     let local_work = elems_per_thread as f64 * (m.read_cy + m.alu_cy);
     let per_wave = local_work
         + lead_in_cy
         + barrier_cy
         + m.atomic_device.i32_cy
-        + if barriers > 0 { m.atomic_block.i32_cy } else { 0.0 };
+        + if barriers > 0 {
+            m.atomic_block.i32_cy
+        } else {
+            0.0
+        };
     let overhead_cycles = per_wave * waves;
 
     Ok(ReductionReport {
@@ -243,7 +265,10 @@ mod tests {
     fn paper_ordering_r3_r4_r1_r2() {
         let r = run_all();
         let (r1, r2, r3, r4) = (&r[0], &r[1], &r[2], &r[3]);
-        assert!(r3.total_cycles < r4.total_cycles, "R3 fastest of the first four");
+        assert!(
+            r3.total_cycles < r4.total_cycles,
+            "R3 fastest of the first four"
+        );
         assert!(r4.total_cycles < r1.total_cycles, "then R4");
         assert!(r1.total_cycles < r2.total_cycles, "then R1; R2 slowest");
     }
@@ -262,7 +287,10 @@ mod tests {
         // The paper reports ~2.5× on its input and GPU; accept 2–5×.
         let r = run_all();
         let speedup = r[1].total_cycles / r[4].total_cycles;
-        assert!((2.0..5.0).contains(&speedup), "R5 is {speedup:.2}x faster than R2");
+        assert!(
+            (2.0..5.0).contains(&speedup),
+            "R5 is {speedup:.2}x faster than R2"
+        );
     }
 
     #[test]
@@ -287,10 +315,20 @@ mod tests {
     fn cc_gating_matches_listing1_comments() {
         let m1 = GpuModel::for_spec(&SYSTEM1.gpu); // cc 7.5
         let cfg = ReductionConfig::megabyte_input(&SYSTEM1.gpu);
-        assert!(simulate_reduction(&m1, &SYSTEM1.gpu, ReductionStrategy::WarpReduceThenBlock, &cfg)
-            .is_err());
-        assert!(simulate_reduction(&m1, &SYSTEM1.gpu, ReductionStrategy::BlockAtomicThenGlobal, &cfg)
-            .is_ok());
+        assert!(simulate_reduction(
+            &m1,
+            &SYSTEM1.gpu,
+            ReductionStrategy::WarpReduceThenBlock,
+            &cfg
+        )
+        .is_err());
+        assert!(simulate_reduction(
+            &m1,
+            &SYSTEM1.gpu,
+            ReductionStrategy::BlockAtomicThenGlobal,
+            &cfg
+        )
+        .is_ok());
     }
 
     #[test]
@@ -300,9 +338,17 @@ mod tests {
             let cfg = ReductionConfig::megabyte_input(&sys.gpu);
             let t: Vec<f64> = ReductionStrategy::ALL
                 .iter()
-                .map(|&s| simulate_reduction(&m, &sys.gpu, s, &cfg).unwrap().total_cycles)
+                .map(|&s| {
+                    simulate_reduction(&m, &sys.gpu, s, &cfg)
+                        .unwrap()
+                        .total_cycles
+                })
                 .collect();
-            assert!(t[2] < t[3] && t[3] < t[0] && t[0] < t[1] && t[4] < t[2], "{}", sys);
+            assert!(
+                t[2] < t[3] && t[3] < t[0] && t[0] < t[1] && t[4] < t[2],
+                "{}",
+                sys
+            );
         }
     }
 
@@ -313,8 +359,13 @@ mod tests {
         let cfg = ReductionConfig::megabyte_input(&SYSTEM3.gpu);
         let r1 =
             simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::GlobalAtomic, &cfg).unwrap();
-        let r2 = simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::ShflThenGlobalAtomic, &cfg)
-            .unwrap();
+        let r2 = simulate_reduction(
+            &m,
+            &SYSTEM3.gpu,
+            ReductionStrategy::ShflThenGlobalAtomic,
+            &cfg,
+        )
+        .unwrap();
         assert!(
             r1.total_cycles > r2.total_cycles,
             "without driver aggregation the explicit shuffle version wins — evidence the \
@@ -325,8 +376,14 @@ mod tests {
     #[test]
     fn rejects_degenerate_configs() {
         let m = GpuModel::for_spec(&SYSTEM3.gpu);
-        let bad = ReductionConfig { size: 0, block_size: 256, persistent_grid_blocks: 1 };
-        assert!(simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::GlobalAtomic, &bad).is_err());
+        let bad = ReductionConfig {
+            size: 0,
+            block_size: 256,
+            persistent_grid_blocks: 1,
+        };
+        assert!(
+            simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::GlobalAtomic, &bad).is_err()
+        );
     }
 
     #[test]
@@ -403,7 +460,9 @@ pub fn simulate_histogram(
     cfg: &HistogramConfig,
 ) -> Result<HistogramReport> {
     if cfg.elements == 0 || cfg.bins == 0 || cfg.block_size == 0 || cfg.blocks == 0 {
-        return Err(SyncPerfError::InvalidParams("empty histogram configuration".into()));
+        return Err(SyncPerfError::InvalidParams(
+            "empty histogram configuration".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&cfg.hot_fraction) {
         return Err(SyncPerfError::InvalidParams(format!(
@@ -422,8 +481,7 @@ pub fn simulate_histogram(
             // spread over min(bins, slices) parallel units.
             let hot = n * cfg.hot_fraction + n * (1.0 - cfg.hot_fraction) / bins;
             let hot_serial = hot * m.atomic_unit_issue_cy;
-            let throughput =
-                n * m.atomic_unit_issue_cy / bins.min(L2_ATOMIC_SLICES);
+            let throughput = n * m.atomic_unit_issue_cy / bins.min(L2_ATOMIC_SLICES);
             (hot_serial.max(throughput), 0.0)
         }
         HistogramStrategy::SharedPrivatized => {
@@ -431,17 +489,17 @@ pub fn simulate_histogram(
             // elements; blocks run in parallel across resident slots,
             // surplus in waves.
             let per_block = n / f64::from(cfg.blocks);
-            let hot_local = per_block * cfg.hot_fraction
-                + per_block * (1.0 - cfg.hot_fraction) / bins;
-            let local_serial = hot_local.max(per_block / bins.min(SM_ATOMIC_BANKS))
-                * m.block_atomic_unit_issue_cy;
+            let hot_local =
+                per_block * cfg.hot_fraction + per_block * (1.0 - cfg.hot_fraction) / bins;
+            let local_serial =
+                hot_local.max(per_block / bins.min(SM_ATOMIC_BANKS)) * m.block_atomic_unit_issue_cy;
             let local = local_serial * f64::from(occ.waves);
             // Merge: every block adds each of its bins into the global
             // histogram — per global bin, `blocks` requests serialize;
             // different bins proceed on parallel slices.
             let merge_serial = f64::from(cfg.blocks) * m.atomic_unit_issue_cy;
-            let merge_throughput = bins * f64::from(cfg.blocks) * m.atomic_unit_issue_cy
-                / bins.min(L2_ATOMIC_SLICES);
+            let merge_throughput =
+                bins * f64::from(cfg.blocks) * m.atomic_unit_issue_cy / bins.min(L2_ATOMIC_SLICES);
             (local, merge_serial.max(merge_throughput))
         }
     };
@@ -503,14 +561,20 @@ mod histogram_tests {
         let p100 = run(HistogramStrategy::SharedPrivatized, &cfg(1.0, 256)).total_cycles;
         let g0 = run(HistogramStrategy::GlobalAtomics, &cfg(0.0, 256)).total_cycles;
         let g100 = run(HistogramStrategy::GlobalAtomics, &cfg(1.0, 256)).total_cycles;
-        assert!((p100 / p0) < 0.1 * (g100 / g0), "blocks absorb the hot bin locally");
+        assert!(
+            (p100 / p0) < 0.1 * (g100 / g0),
+            "blocks absorb the hot bin locally"
+        );
     }
 
     #[test]
     fn merge_cost_grows_with_bins() {
         let few = run(HistogramStrategy::SharedPrivatized, &cfg(0.0, 64)).merge_cycles;
         let many = run(HistogramStrategy::SharedPrivatized, &cfg(0.0, 1 << 16)).merge_cycles;
-        assert!(many > 10.0 * few, "wide histograms pay in the merge: {few} -> {many}");
+        assert!(
+            many > 10.0 * few,
+            "wide histograms pay in the merge: {few} -> {many}"
+        );
     }
 
     #[test]
@@ -540,10 +604,14 @@ mod histogram_tests {
         let m = GpuModel::for_spec(&SYSTEM3.gpu);
         let mut c = cfg(0.5, 16);
         c.hot_fraction = 1.5;
-        assert!(simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::GlobalAtomics, &c).is_err());
+        assert!(
+            simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::GlobalAtomics, &c).is_err()
+        );
         c.hot_fraction = 0.5;
         c.elements = 0;
-        assert!(simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::GlobalAtomics, &c).is_err());
+        assert!(
+            simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::GlobalAtomics, &c).is_err()
+        );
     }
 }
 
@@ -608,7 +676,9 @@ pub fn simulate_scan(
     cfg: &ScanConfig,
 ) -> Result<ScanReport> {
     if cfg.elements == 0 || cfg.block_size == 0 {
-        return Err(SyncPerfError::InvalidParams("empty scan configuration".into()));
+        return Err(SyncPerfError::InvalidParams(
+            "empty scan configuration".into(),
+        ));
     }
     let blocks = cfg.elements.div_ceil(u64::from(cfg.block_size));
     let occ = Occupancy::compute(spec, (blocks as u32).min(65_535), cfg.block_size)?;
@@ -617,8 +687,8 @@ pub fn simulate_scan(
     // In-block Blelloch scan: 2·log2(block) sweeps, each ending in a
     // `__syncthreads()`.
     let sweeps = 2.0 * f64::from(cfg.block_size.next_power_of_two().trailing_zeros());
-    let sync_cy = m.syncthreads_base_cy
-        + m.syncthreads_per_warp_cy * f64::from(occ.warps_per_block - 1);
+    let sync_cy =
+        m.syncthreads_base_cy + m.syncthreads_per_warp_cy * f64::from(occ.warps_per_block - 1);
     let per_wave_block_scan = sweeps * (sync_cy + m.alu_cy + m.update_cy);
     let waves = (blocks as f64 / f64::from(occ.resident_blocks_per_sm * occ.sms_used)).max(1.0);
     let block_scan_cycles = per_wave_block_scan * waves;
@@ -636,8 +706,7 @@ pub fn simulate_scan(
             // One read+write crossing; the look-back chain serializes
             // block publication: fence + flag store + successor's poll.
             let mem = 2.0 * n_bytes / m.mem_bw_bytes_per_cy;
-            let link_cy =
-                m.fence_device_cy + m.atomic_device.i32_cy + m.read_cy + m.update_cy;
+            let link_cy = m.fence_device_cy + m.atomic_device.i32_cy + m.read_cy + m.update_cy;
             // Publications pipeline: while a wave of resident blocks
             // computes, its predecessors' prefixes arrive, so the
             // chain's critical path is ~one link per wave, not one per
@@ -666,7 +735,10 @@ mod scan_tests {
 
     fn run(strategy: ScanStrategy, elements: u64) -> ScanReport {
         let m = GpuModel::for_spec(&SYSTEM3.gpu);
-        let cfg = ScanConfig { elements, block_size: 256 };
+        let cfg = ScanConfig {
+            elements,
+            block_size: 256,
+        };
         simulate_scan(&m, &SYSTEM3.gpu, strategy, &cfg).unwrap()
     }
 
@@ -698,7 +770,10 @@ mod scan_tests {
         let two = run(ScanStrategy::TwoPass, 1 << 22);
         assert_eq!(two.coordination_cycles, 3.0 * KERNEL_LAUNCH_CY);
         let look = run(ScanStrategy::DecoupledLookback, 1 << 22);
-        assert!(look.coordination_cycles > KERNEL_LAUNCH_CY, "chain cost present");
+        assert!(
+            look.coordination_cycles > KERNEL_LAUNCH_CY,
+            "chain cost present"
+        );
     }
 
     #[test]
@@ -711,7 +786,10 @@ mod scan_tests {
     #[test]
     fn rejects_empty() {
         let m = GpuModel::for_spec(&SYSTEM3.gpu);
-        let cfg = ScanConfig { elements: 0, block_size: 256 };
+        let cfg = ScanConfig {
+            elements: 0,
+            block_size: 256,
+        };
         assert!(simulate_scan(&m, &SYSTEM3.gpu, ScanStrategy::TwoPass, &cfg).is_err());
     }
 }

@@ -10,8 +10,15 @@ use syncperf_gpu_sim::{
     simulate_reduction, GpuModel, GpuSimExecutor, Occupancy, ReductionConfig, ReductionStrategy,
 };
 
-fn cycles(sim: &mut GpuSimExecutor, k: &syncperf_core::GpuKernel, blocks: u32, threads: u32) -> f64 {
-    let p = ExecParams::new(threads).with_blocks(blocks).with_loops(500, 50);
+fn cycles(
+    sim: &mut GpuSimExecutor,
+    k: &syncperf_core::GpuKernel,
+    blocks: u32,
+    threads: u32,
+) -> f64 {
+    let p = ExecParams::new(threads)
+        .with_blocks(blocks)
+        .with_loops(500, 50);
     Protocol::PAPER.measure(sim, k, &p).unwrap().per_op
 }
 
@@ -23,7 +30,13 @@ fn full_paper_sweep_runs_on_all_three_gpus() {
         for blocks in sys.gpu.block_count_sweep() {
             for threads in sys.gpu.thread_count_sweep() {
                 let m = Protocol::SIM
-                    .measure(&mut sim, &k, &ExecParams::new(threads).with_blocks(blocks).with_loops(50, 10))
+                    .measure(
+                        &mut sim,
+                        &k,
+                        &ExecParams::new(threads)
+                            .with_blocks(blocks)
+                            .with_loops(50, 10),
+                    )
                     .unwrap();
                 assert!(m.per_op > 0.0, "{} b{blocks} t{threads}", sys);
             }
@@ -41,13 +54,25 @@ fn dtype_validity_matrix() {
 
     for dt in DType::ALL {
         // atomicAdd: all four types.
-        assert!(try_body(&mut sim, kernel::cuda_atomic_add_scalar(dt).baseline));
+        assert!(try_body(
+            &mut sim,
+            kernel::cuda_atomic_add_scalar(dt).baseline
+        ));
         // shuffles: all four types.
-        assert!(try_body(&mut sim, kernel::cuda_shfl(dt, ShflVariant::Idx).baseline));
+        assert!(try_body(
+            &mut sim,
+            kernel::cuda_shfl(dt, ShflVariant::Idx).baseline
+        ));
         // CAS / Exch / Sub / Min / And / Or / Xor: integers only.
         let expect = dt.is_integer();
-        assert_eq!(try_body(&mut sim, kernel::cuda_atomic_cas_scalar(dt).baseline), expect);
-        assert_eq!(try_body(&mut sim, kernel::cuda_atomic_exch(dt).baseline), expect);
+        assert_eq!(
+            try_body(&mut sim, kernel::cuda_atomic_cas_scalar(dt).baseline),
+            expect
+        );
+        assert_eq!(
+            try_body(&mut sim, kernel::cuda_atomic_exch(dt).baseline),
+            expect
+        );
         for op in RmwOp::ALL {
             assert_eq!(
                 try_body(&mut sim, kernel::cuda_atomic_rmw_scalar(op, dt).baseline),
@@ -128,24 +153,46 @@ fn fence_scope_costs_strictly_ordered_on_all_gpus() {
 #[test]
 fn reduction_input_smaller_than_one_block() {
     let m = GpuModel::for_spec(&SYSTEM3.gpu);
-    let cfg = ReductionConfig { size: 100, block_size: 256, persistent_grid_blocks: 4 };
+    let cfg = ReductionConfig {
+        size: 100,
+        block_size: 256,
+        persistent_grid_blocks: 4,
+    };
     for s in ReductionStrategy::ALL {
         let r = simulate_reduction(&m, &SYSTEM3.gpu, s, &cfg).unwrap();
         assert!(r.total_cycles > 0.0, "{s:?}");
-        assert!(r.global_atomics >= 1, "{s:?} must still combine to one result");
+        assert!(
+            r.global_atomics >= 1,
+            "{s:?} must still combine to one result"
+        );
     }
 }
 
 #[test]
 fn reduction_scales_roughly_linearly_with_input() {
     let m = GpuModel::for_spec(&SYSTEM3.gpu);
-    let small = ReductionConfig { size: 1 << 18, block_size: 256, persistent_grid_blocks: 256 };
-    let large = ReductionConfig { size: 1 << 22, block_size: 256, persistent_grid_blocks: 256 };
+    let small = ReductionConfig {
+        size: 1 << 18,
+        block_size: 256,
+        persistent_grid_blocks: 256,
+    };
+    let large = ReductionConfig {
+        size: 1 << 22,
+        block_size: 256,
+        persistent_grid_blocks: 256,
+    };
     for s in ReductionStrategy::ALL {
-        let a = simulate_reduction(&m, &SYSTEM3.gpu, s, &small).unwrap().total_cycles;
-        let b = simulate_reduction(&m, &SYSTEM3.gpu, s, &large).unwrap().total_cycles;
+        let a = simulate_reduction(&m, &SYSTEM3.gpu, s, &small)
+            .unwrap()
+            .total_cycles;
+        let b = simulate_reduction(&m, &SYSTEM3.gpu, s, &large)
+            .unwrap()
+            .total_cycles;
         let ratio = b / a;
-        assert!((8.0..36.0).contains(&ratio), "{s:?}: 16x input gave {ratio}x time");
+        assert!(
+            (8.0..36.0).contains(&ratio),
+            "{s:?}: 16x input gave {ratio}x time"
+        );
     }
 }
 
@@ -158,13 +205,20 @@ fn reduction_block_size_sweep_preserves_ordering() {
             block_size,
             persistent_grid_blocks: SYSTEM3.gpu.sms * 2,
         };
-        let t = |s| simulate_reduction(&m, &SYSTEM3.gpu, s, &cfg).unwrap().total_cycles;
+        let t = |s| {
+            simulate_reduction(&m, &SYSTEM3.gpu, s, &cfg)
+                .unwrap()
+                .total_cycles
+        };
         let (r1, r2, r3) = (
             t(ReductionStrategy::GlobalAtomic),
             t(ReductionStrategy::ShflThenGlobalAtomic),
             t(ReductionStrategy::BlockAtomicThenGlobal),
         );
-        assert!(r3 < r1 && r1 < r2, "block_size {block_size}: {r3} {r1} {r2}");
+        assert!(
+            r3 < r1 && r1 < r2,
+            "block_size {block_size}: {r3} {r1} {r2}"
+        );
     }
 }
 
@@ -174,29 +228,44 @@ fn persistent_grid_size_tradeoff() {
     // near the sweet spot.
     let m = GpuModel::for_spec(&SYSTEM3.gpu);
     let time = |grid| {
-        let cfg =
-            ReductionConfig { size: 1 << 22, block_size: 256, persistent_grid_blocks: grid };
+        let cfg = ReductionConfig {
+            size: 1 << 22,
+            block_size: 256,
+            persistent_grid_blocks: grid,
+        };
         simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::PersistentThreads, &cfg)
             .unwrap()
             .total_cycles
     };
     let tiny = time(2);
     let good = time(SYSTEM3.gpu.sms * 2);
-    assert!(tiny > good, "2 blocks ({tiny}) cannot beat a filled device ({good})");
+    assert!(
+        tiny > good,
+        "2 blocks ({tiny}) cannot beat a filled device ({good})"
+    );
 }
 
 #[test]
 fn aggregation_counts_exact() {
     let m = GpuModel::for_spec(&SYSTEM3.gpu);
-    let cfg = ReductionConfig { size: 1 << 15, block_size: 128, persistent_grid_blocks: 64 };
+    let cfg = ReductionConfig {
+        size: 1 << 15,
+        block_size: 128,
+        persistent_grid_blocks: 64,
+    };
     let r1 = simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::GlobalAtomic, &cfg).unwrap();
     assert_eq!(r1.global_atomics, (1 << 15) / 32);
-    let r3 = simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::BlockAtomicThenGlobal, &cfg)
-        .unwrap();
+    let r3 = simulate_reduction(
+        &m,
+        &SYSTEM3.gpu,
+        ReductionStrategy::BlockAtomicThenGlobal,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(r3.global_atomics, (1 << 15) / 128);
     assert_eq!(r3.block_atomics, (1 << 15) / 32);
-    let r5 = simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::PersistentThreads, &cfg)
-        .unwrap();
+    let r5 =
+        simulate_reduction(&m, &SYSTEM3.gpu, ReductionStrategy::PersistentThreads, &cfg).unwrap();
     assert_eq!(r5.global_atomics, 64);
     assert_eq!(r5.block_atomics, 64 * 128 / 32);
 }
@@ -244,8 +313,10 @@ fn syncthreads_reduce_costs_a_little_more_than_plain() {
             let plain = Protocol::SIM
                 .measure(&mut sim, &kernel::cuda_syncthreads(), &p)
                 .unwrap();
-            assert!(m.per_op < plain.median_baseline / p.timed_reps() as f64,
-                "reduction part smaller than the whole barrier");
+            assert!(
+                m.per_op < plain.median_baseline / p.timed_reps() as f64,
+                "reduction part smaller than the whole barrier"
+            );
         }
     }
 }

@@ -1,0 +1,664 @@
+//! # syncperf-obs
+//!
+//! Zero-dependency observability for the syncperf stack: structured
+//! trace events, counters/gauges, and exportable sinks.
+//!
+//! The design centers on a cheap [`Recorder`] handle that every
+//! instrumented component holds (or reaches via [`global()`]). A
+//! disabled recorder is a `None` — every recording call is a single
+//! branch and the instrumented hot paths cost nothing measurable.
+//! An enabled recorder writes [`Event`]s into per-thread ring buffers
+//! (each thread appends under its own uncontended mutex; buffers are
+//! bounded and count drops instead of blocking) and bumps shared
+//! [`Counter`]/[`Gauge`] cells.
+//!
+//! At the end of a run, [`Recorder::drain_events`] merges the rings
+//! into one time-ordered stream and [`Recorder::snapshot`] freezes the
+//! counter registry; [`sink`] turns either into JSONL, Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` or Perfetto), or
+//! feeds the ASCII summary rendered by `syncperf-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use syncperf_obs::{sink, Recorder};
+//!
+//! let rec = Recorder::enabled();
+//! let attempts = rec.counter("protocol.attempts");
+//! {
+//!     let _span = rec.span("protocol", "measure");
+//!     attempts.inc();
+//!     rec.instant("protocol", "attempt_rejected");
+//! }
+//! let events = rec.drain_events();
+//! assert_eq!(events.len(), 2);
+//! let json = sink::chrome_trace_json(&events, &rec.snapshot());
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod sink;
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Default per-thread event capacity (events beyond it are dropped and
+/// counted, never blocking the instrumented thread).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// One argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(Cow<'static, str>),
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::I64(v) => write!(f, "{v}"),
+            ArgValue::F64(v) => write!(f, "{v}"),
+            ArgValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(Cow::Owned(v))
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the recorder was created.
+    pub ts_ns: u64,
+    /// `Some(duration)` for a completed span, `None` for an instant.
+    pub dur_ns: Option<u64>,
+    /// Category (e.g. `"protocol"`, `"cpu_sim"`).
+    pub cat: &'static str,
+    /// Event name.
+    pub name: Cow<'static, str>,
+    /// Recorder-assigned thread id (dense, starting at 0).
+    pub tid: u64,
+    /// Structured arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Per-thread bounded event buffer.
+#[derive(Debug)]
+struct ThreadRing {
+    tid: u64,
+    events: Mutex<Vec<Event>>,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+impl ThreadRing {
+    fn push(&self, event: Event) {
+        let mut buf = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if buf.len() < self.capacity {
+            buf.push(event);
+        } else {
+            drop(buf);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Shared state behind an enabled recorder.
+#[derive(Debug)]
+struct Inner {
+    /// Process-unique recorder id — the TLS ring-cache key. A pointer
+    /// would be ambiguous: a new recorder's allocation can reuse a
+    /// dropped recorder's address and inherit its stale cache entry.
+    id: u64,
+    start: Instant,
+    capacity: usize,
+    next_tid: AtomicU64,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+/// Source of process-unique recorder ids.
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// One TLS ring-cache entry: recorder id, liveness probe, ring.
+type RingCacheEntry = (u64, std::sync::Weak<Inner>, Arc<ThreadRing>);
+
+thread_local! {
+    /// Cache of (recorder id → this thread's ring), so the hot path
+    /// avoids the registry lock after the first event. Entries whose
+    /// recorder has been dropped are pruned on the next cache miss.
+    static TLS_RINGS: RefCell<Vec<RingCacheEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A cheap, cloneable handle to a recording session.
+///
+/// `Recorder::disabled()` (also the `Default`) is a no-op whose every
+/// method is one branch on a `None`; `Recorder::enabled()` records.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// The no-op recorder.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder with the default per-thread capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled recorder whose per-thread rings hold `capacity`
+    /// events (further events are dropped and counted).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                start: Instant::now(),
+                capacity: capacity.max(1),
+                next_tid: AtomicU64::new(0),
+                rings: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds since this recorder was created (0 when disabled).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.start.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// This thread's ring, creating and registering it on first use.
+    fn ring(inner: &Arc<Inner>) -> Arc<ThreadRing> {
+        let key = inner.id;
+        TLS_RINGS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, _, ring)) = cache.iter().find(|(k, _, _)| *k == key) {
+                return ring.clone();
+            }
+            cache.retain(|(_, weak, _)| weak.strong_count() > 0);
+            let ring = Arc::new(ThreadRing {
+                tid: inner.next_tid.fetch_add(1, Ordering::Relaxed),
+                events: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+                capacity: inner.capacity,
+            });
+            inner
+                .rings
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(ring.clone());
+            cache.push((key, Arc::downgrade(inner), ring.clone()));
+            ring
+        })
+    }
+
+    /// Records an instant event with no arguments.
+    pub fn instant(&self, cat: &'static str, name: impl Into<Cow<'static, str>>) {
+        self.instant_args(cat, name, Vec::new());
+    }
+
+    /// Records an instant event with arguments.
+    pub fn instant_args(
+        &self,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let ring = Self::ring(inner);
+            ring.push(Event {
+                ts_ns: inner.start.elapsed().as_nanos() as u64,
+                dur_ns: None,
+                cat,
+                name: name.into(),
+                tid: ring.tid,
+                args,
+            });
+        }
+    }
+
+    /// Opens a span; the event is recorded when the guard drops.
+    #[must_use = "the span is recorded when the guard drops"]
+    pub fn span(&self, cat: &'static str, name: impl Into<Cow<'static, str>>) -> Span {
+        self.span_args(cat, name, Vec::new())
+    }
+
+    /// Opens a span with arguments attached up front.
+    #[must_use = "the span is recorded when the guard drops"]
+    pub fn span_args(
+        &self,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> Span {
+        Span {
+            rec: self.clone(),
+            cat,
+            name: name.into(),
+            start_ns: self.now_ns(),
+            args,
+        }
+    }
+
+    /// A handle to the named counter (a no-op handle when disabled).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            cell: self.inner.as_ref().map(|inner| {
+                inner
+                    .counters
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                    .clone()
+            }),
+        }
+    }
+
+    /// A handle to the named high-water-mark gauge (no-op when
+    /// disabled).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge {
+            cell: self.inner.as_ref().map(|inner| {
+                inner
+                    .gauges
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                    .clone()
+            }),
+        }
+    }
+
+    /// Freezes the current counter and gauge values.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        if let Some(inner) = &self.inner {
+            for (name, cell) in inner
+                .counters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+            {
+                snap.counters
+                    .insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (name, cell) in inner
+                .gauges
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+            {
+                snap.gauges
+                    .insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            snap.dropped_events = self.dropped_events();
+        }
+        snap
+    }
+
+    /// Merges and clears every thread's ring, returning all events in
+    /// timestamp order.
+    #[must_use]
+    pub fn drain_events(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        if let Some(inner) = &self.inner {
+            for ring in inner
+                .rings
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+            {
+                all.append(&mut ring.events.lock().unwrap_or_else(PoisonError::into_inner));
+            }
+        }
+        all.sort_by_key(|e| e.ts_ns);
+        all
+    }
+
+    /// Total events dropped because a ring was full.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner
+                .rings
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|r| r.dropped.load(Ordering::Relaxed))
+                .sum(),
+            None => 0,
+        }
+    }
+}
+
+/// RAII guard recording a complete (`ph: "X"`) event on drop.
+#[derive(Debug)]
+pub struct Span {
+    rec: Recorder,
+    cat: &'static str,
+    name: Cow<'static, str>,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Span {
+    /// Attaches an argument to the span before it closes.
+    pub fn push_arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if self.rec.is_enabled() {
+            self.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.rec.inner {
+            let end = inner.start.elapsed().as_nanos() as u64;
+            let ring = Recorder::ring(inner);
+            ring.push(Event {
+                ts_ns: self.start_ns,
+                dur_ns: Some(end.saturating_sub(self.start_ns)),
+                cat: self.cat,
+                name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+                tid: ring.tid,
+                args: std::mem::take(&mut self.args),
+            });
+        }
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A high-water-mark gauge (records the maximum observed value).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// Records `v`, keeping the maximum.
+    pub fn record(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current high-water mark (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Frozen counter/gauge values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge high-water marks by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Events dropped because a per-thread ring filled up.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Convenience lookup (0 when the counter never fired).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience lookup (0 when the gauge never fired).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// Installs `rec` as the process-global recorder consulted by
+/// components that were not handed an explicit one. Returns `false` if
+/// a global recorder was already installed (the existing one stays).
+pub fn install(rec: Recorder) -> bool {
+    GLOBAL.set(rec).is_ok()
+}
+
+/// The process-global recorder (disabled unless [`install`]ed).
+#[must_use]
+pub fn global() -> &'static Recorder {
+    static DISABLED: Recorder = Recorder { inner: None };
+    GLOBAL.get().unwrap_or(&DISABLED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.instant("t", "x");
+        let c = rec.counter("n");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = rec.gauge("g");
+        g.record(9);
+        assert_eq!(g.get(), 0);
+        {
+            let _s = rec.span("t", "s");
+        }
+        assert!(rec.drain_events().is_empty());
+        assert_eq!(rec.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn events_merge_in_timestamp_order() {
+        let rec = Recorder::enabled();
+        rec.instant("a", "first");
+        {
+            let mut s = rec.span("a", "mid");
+            s.push_arg("k", 3u64);
+            rec.instant("a", "inside");
+        }
+        let events = rec.drain_events();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let span = events.iter().find(|e| e.name == "mid").unwrap();
+        assert!(span.dur_ns.is_some());
+        assert_eq!(span.args, vec![("k", ArgValue::U64(3))]);
+        // Draining clears the rings.
+        assert!(rec.drain_events().is_empty());
+    }
+
+    #[test]
+    fn counters_shared_across_handles_and_threads() {
+        let rec = Recorder::enabled();
+        let c = rec.counter("shared.count");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    let c = rec.counter("shared.count");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(rec.snapshot().counter("shared.count"), 4000);
+    }
+
+    #[test]
+    fn gauge_keeps_maximum() {
+        let rec = Recorder::enabled();
+        let g = rec.gauge("depth");
+        g.record(3);
+        g.record(7);
+        g.record(5);
+        assert_eq!(g.get(), 7);
+        assert_eq!(rec.snapshot().gauge("depth"), 7);
+    }
+
+    #[test]
+    fn per_thread_rings_get_distinct_tids() {
+        let rec = Recorder::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let rec = rec.clone();
+                s.spawn(move || rec.instant("t", "hello"));
+            }
+        });
+        let events = rec.drain_events();
+        let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each thread has its own tid");
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let rec = Recorder::with_capacity(8);
+        for _ in 0..20 {
+            rec.instant("t", "e");
+        }
+        assert_eq!(rec.drain_events().len(), 8);
+        assert_eq!(rec.dropped_events(), 12);
+        assert_eq!(rec.snapshot().dropped_events, 12);
+    }
+
+    #[test]
+    fn global_defaults_to_disabled() {
+        // Never install in this test binary; other tests rely on the
+        // default too.
+        assert!(!global().is_enabled());
+    }
+
+    #[test]
+    fn successive_recorders_on_one_thread_each_capture_their_events() {
+        // Regression: the TLS ring cache was keyed by the recorder's
+        // allocation address, so a recorder allocated at a dropped
+        // recorder's address inherited its stale (unregistered) ring
+        // and silently lost every event.
+        for i in 0..64 {
+            let rec = Recorder::enabled();
+            rec.instant("t", "e");
+            assert_eq!(rec.drain_events().len(), 1, "iteration {i} lost its event");
+        }
+    }
+
+    #[test]
+    fn two_recorders_do_not_share_state() {
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        a.counter("x").inc();
+        a.instant("t", "only-a");
+        assert_eq!(b.snapshot().counter("x"), 0);
+        assert!(b.drain_events().is_empty());
+        assert_eq!(a.drain_events().len(), 1);
+    }
+}

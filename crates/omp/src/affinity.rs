@@ -54,16 +54,23 @@ pub struct HwThread {
 /// ```
 #[must_use]
 pub fn placement(affinity: Affinity, nthreads: u32, cores: u32, smt_ways: u32) -> Vec<HwThread> {
-    assert!(nthreads > 0 && cores > 0 && smt_ways > 0, "zero-sized topology");
+    assert!(
+        nthreads > 0 && cores > 0 && smt_ways > 0,
+        "zero-sized topology"
+    );
     let hw_total = cores * smt_ways;
     (0..nthreads)
         .map(|t| {
             let slot = t % hw_total;
             match affinity {
-                Affinity::Close => HwThread { core: slot / smt_ways, smt: slot % smt_ways },
-                Affinity::Spread | Affinity::SystemChoice => {
-                    HwThread { core: slot % cores, smt: slot / cores }
-                }
+                Affinity::Close => HwThread {
+                    core: slot / smt_ways,
+                    smt: slot % smt_ways,
+                },
+                Affinity::Spread | Affinity::SystemChoice => HwThread {
+                    core: slot % cores,
+                    smt: slot / cores,
+                },
             }
         })
         .collect()

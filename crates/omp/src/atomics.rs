@@ -43,6 +43,16 @@ pub trait Primitive:
     #[doc(hidden)]
     fn fetch_add(a: &Self::Atomic, v: Self, order: Ordering) -> Self;
 
+    /// Atomic `+=` that also reports how many compare-exchange retries
+    /// the operation needed. Integer types RMW in a single instruction
+    /// and always report zero; float types override this with a
+    /// counting CAS loop. Used by the observability layer.
+    #[doc(hidden)]
+    fn fetch_add_counting(a: &Self::Atomic, v: Self, order: Ordering) -> u32 {
+        let _ = Self::fetch_add(a, v, order);
+        0
+    }
+
     /// Atomic swap, returning the previous value.
     #[doc(hidden)]
     fn swap(a: &Self::Atomic, v: Self, order: Ordering) -> Self;
@@ -190,6 +200,22 @@ macro_rules! float_primitive {
                 }
             }
 
+            fn fetch_add_counting(a: &Self::Atomic, v: Self, order: Ordering) -> u32 {
+                let mut retries = 0u32;
+                let mut cur = a.load(Ordering::Relaxed);
+                loop {
+                    let old = <$float>::from_bits(cur);
+                    let new = (old + v).to_bits();
+                    match a.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+                        Ok(_) => return retries,
+                        Err(actual) => {
+                            retries = retries.saturating_add(1);
+                            cur = actual;
+                        }
+                    }
+                }
+            }
+
             fn swap(a: &Self::Atomic, v: Self, order: Ordering) -> Self {
                 <$float>::from_bits(a.swap(v.to_bits(), order))
             }
@@ -256,12 +282,24 @@ impl<T: Primitive> AtomicCell<T> {
     /// Creates a cell holding `v`.
     #[must_use]
     pub fn new(v: T) -> Self {
-        AtomicCell { inner: T::new_atomic(v) }
+        AtomicCell {
+            inner: T::new_atomic(v),
+        }
     }
 
     /// `#pragma omp atomic update` — atomically adds `v`.
     pub fn update(&self, v: T) {
         let _ = T::fetch_add(&self.inner, v, Ordering::Relaxed);
+    }
+
+    /// [`update`](Self::update) that also reports how many
+    /// compare-exchange retries the add needed: always 0 for integer
+    /// types (single lock-prefixed RMW), the number of failed
+    /// `compare_exchange_weak` rounds for float types. Used by the
+    /// observability layer to measure FP-CAS contention on the real
+    /// runtime.
+    pub fn update_counting(&self, v: T) -> u32 {
+        T::fetch_add_counting(&self.inner, v, Ordering::Relaxed)
     }
 
     /// `#pragma omp atomic capture` — atomically adds `v` and returns

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crossbeam::utils::CachePadded;
+use crate::cacheline::CachePadded;
 
 /// How many spin iterations to burn before yielding to the OS. On an
 /// oversubscribed machine pure spinning can deadlock forever against
@@ -188,7 +188,11 @@ impl TreeBarrier {
     ///
     /// Panics if `tid` is out of range.
     pub fn wait(&self, tid: usize, token: &mut BarrierToken) {
-        assert!(tid < self.n, "tid {tid} out of range for {} participants", self.n);
+        assert!(
+            tid < self.n,
+            "tid {tid} out of range for {} participants",
+            self.n
+        );
         let my_sense = token.sense;
         token.sense = !my_sense;
 

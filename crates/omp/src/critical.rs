@@ -6,9 +6,7 @@
 //! (Fig. 5) because each entry pays a lock acquire/release.
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
-
-use parking_lot::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Registry of named critical-section locks (process-global, like
 /// OpenMP's named criticals which have program-wide identity).
@@ -49,8 +47,11 @@ impl Critical {
     /// the same name return handles to the same lock.
     #[must_use]
     pub fn named(name: &str) -> Self {
-        let mut reg = registry().lock();
-        let lock = reg.entry(name.to_string()).or_insert_with(|| Arc::new(Mutex::new(()))).clone();
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        let lock = reg
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .clone();
         Critical { lock }
     }
 
@@ -59,14 +60,29 @@ impl Critical {
     /// the process.
     #[must_use]
     pub fn private() -> Self {
-        Critical { lock: Arc::new(Mutex::new(())) }
+        Critical {
+            lock: Arc::new(Mutex::new(())),
+        }
     }
 
     /// Enters the critical section, blocking until the lock is held.
     /// The region ends when the returned guard drops.
     #[must_use = "dropping the guard immediately ends the critical section"]
     pub fn enter(&self) -> MutexGuard<'_, ()> {
-        self.lock.lock()
+        self.lock.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enters the critical section and reports whether the lock was
+    /// contended (another thread held it when we arrived). Used by the
+    /// observability layer; the uncontended fast path is one extra
+    /// `try_lock`.
+    #[must_use = "dropping the guard immediately ends the critical section"]
+    pub fn enter_counted(&self) -> (MutexGuard<'_, ()>, bool) {
+        match self.lock.try_lock() {
+            Ok(guard) => (guard, false),
+            Err(std::sync::TryLockError::Poisoned(p)) => (p.into_inner(), false),
+            Err(std::sync::TryLockError::WouldBlock) => (self.enter(), true),
+        }
     }
 
     /// Runs `f` inside the critical section.
@@ -115,6 +131,44 @@ mod tests {
     fn with_returns_value() {
         let c = Critical::private();
         assert_eq!(c.with(|| 42), 42);
+    }
+
+    #[test]
+    fn uncontended_enter_counted_reports_false() {
+        let c = Critical::private();
+        let (_g, contended) = c.enter_counted();
+        assert!(!contended);
+    }
+
+    #[test]
+    fn contended_enter_counted_reports_true() {
+        // Deterministic collision: the main thread holds the lock until
+        // the spawned thread has attempted entry (signalled via
+        // `waiting`), so that attempt must observe contention.
+        let c = Critical::private();
+        let waiting = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let guard = c.enter();
+            let handle = {
+                let c = c.clone();
+                let waiting = &waiting;
+                s.spawn(move || {
+                    waiting.store(true, Ordering::Release);
+                    let (_g, contended) = c.enter_counted();
+                    contended
+                })
+            };
+            while !waiting.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            // Give the spawned thread time to reach the try_lock.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(guard);
+            assert!(
+                handle.join().unwrap(),
+                "entry against a held lock must report contention"
+            );
+        });
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Instant;
 
-use crossbeam::utils::CachePadded;
+use crate::cacheline::CachePadded;
 use syncperf_core::{
     CpuOp, DType, ExecParams, Executor, Result, SyncPerfError, Target, ThreadTimes, TimeUnit,
 };
@@ -113,16 +113,56 @@ fn insert_array<T: Primitive>(
     Ok(())
 }
 
+/// Per-thread observation tallies, flushed into the recorder's
+/// `omp.*` counters after the parallel region ends (so the hot loop
+/// only touches thread-private memory).
+#[derive(Debug, Default, Clone, Copy)]
+struct OpTallies {
+    fp_cas_retries: u64,
+    critical_acquisitions: u64,
+    critical_contended: u64,
+}
+
 /// Executes one op for thread `tid`. `sink` accumulates read results
-/// so the compiler cannot remove the loads as dead code.
+/// so the compiler cannot remove the loads as dead code. With `record`
+/// false (the default measurement path) the op lowers to exactly the
+/// uninstrumented primitives; with `record` true, atomic updates count
+/// CAS retries and critical sections report lock contention into the
+/// thread-private `tallies`.
 #[inline]
-fn run_op(op: &CpuOp, mem: &Memory, ctx: &ThreadCtx<'_>, critical: &Critical, sink: &mut f64) {
+fn run_op(
+    op: &CpuOp,
+    mem: &Memory,
+    ctx: &ThreadCtx<'_>,
+    critical: &Critical,
+    sink: &mut f64,
+    record: bool,
+    tallies: &mut OpTallies,
+) {
     let tid = ctx.tid;
     match *op {
         CpuOp::Barrier => ctx.barrier(),
         CpuOp::Flush => flush(),
+        CpuOp::AtomicUpdate { dtype, target } if record => {
+            let retries = match dtype {
+                DType::I32 => mem.i32s.cell(target, tid).update_counting(1),
+                DType::U64 => mem.u64s.cell(target, tid).update_counting(1),
+                DType::F32 => mem.f32s.cell(target, tid).update_counting(1.0),
+                DType::F64 => mem.f64s.cell(target, tid).update_counting(1.0),
+            };
+            tallies.fp_cas_retries += u64::from(retries);
+        }
         CpuOp::AtomicUpdate { dtype, target } => {
-            dispatch(mem, dtype, target, tid, |c: &AtomicCell<i32>| c.update(1), |c| c.update(1), |c| c.update(1.0), |c| c.update(1.0));
+            dispatch(
+                mem,
+                dtype,
+                target,
+                tid,
+                |c: &AtomicCell<i32>| c.update(1),
+                |c| c.update(1),
+                |c| c.update(1.0),
+                |c| c.update(1.0),
+            );
         }
         CpuOp::AtomicCapture { dtype, target } => match dtype {
             DType::I32 => *sink += f64::from(mem.i32s.cell(target, tid).capture(1)),
@@ -166,6 +206,22 @@ fn run_op(op: &CpuOp, mem: &Memory, ctx: &ThreadCtx<'_>, critical: &Critical, si
                 |c| c.plain_update(1.0),
                 |c| c.plain_update(1.0),
             );
+        }
+        CpuOp::CriticalAdd { dtype, target } if record => {
+            let (guard, contended) = critical.enter_counted();
+            dispatch(
+                mem,
+                dtype,
+                target,
+                tid,
+                |c: &AtomicCell<i32>| c.plain_update(1),
+                |c| c.plain_update(1),
+                |c| c.plain_update(1.0),
+                |c| c.plain_update(1.0),
+            );
+            drop(guard);
+            tallies.critical_acquisitions += 1;
+            tallies.critical_contended += u64::from(contended);
         }
         CpuOp::CriticalAdd { dtype, target } => critical.with(|| {
             dispatch(
@@ -226,16 +282,44 @@ fn dispatch(
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct OmpExecutor {
-    _private: (),
+    recorder: syncperf_core::obs::Recorder,
+}
+
+impl Default for OmpExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OmpExecutor {
     /// Creates a real-thread executor.
     #[must_use]
     pub fn new() -> Self {
-        OmpExecutor { _private: () }
+        OmpExecutor {
+            recorder: syncperf_core::obs::Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a [`Recorder`](syncperf_core::obs::Recorder); runs then
+    /// emit `omp.*` counters (barrier rounds, FP-CAS retries, critical
+    /// contention) into it. Without one, the executor falls back to the
+    /// globally installed recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: syncperf_core::obs::Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// The recorder runs observe into: this executor's own if enabled,
+    /// otherwise the global one.
+    fn effective_recorder(&self) -> &syncperf_core::obs::Recorder {
+        if self.recorder.is_enabled() {
+            &self.recorder
+        } else {
+            syncperf_core::obs::global()
+        }
     }
 }
 
@@ -264,13 +348,21 @@ impl Executor for OmpExecutor {
         let n_warmup = params.n_warmup;
         let n_iter = params.n_iter;
         let n_unroll = params.n_unroll;
+        let rec = self.effective_recorder();
+        let record = rec.is_enabled();
+        let mut span = rec.span("omp", "execute");
+        span.push_arg("threads", params.threads);
+        span.push_arg("ops", body.len());
 
         let per_thread = team.parallel(|ctx| {
             let mut sink = 0.0f64;
+            let mut tallies = OpTallies::default();
             for _ in 0..n_warmup {
                 for _ in 0..n_unroll {
                     for op in body {
-                        run_op(op, &mem, ctx, &critical, &mut sink);
+                        // Warmup runs uninstrumented so the recorded
+                        // tallies describe the timed region only.
+                        run_op(op, &mem, ctx, &critical, &mut sink, false, &mut tallies);
                     }
                 }
             }
@@ -280,14 +372,44 @@ impl Executor for OmpExecutor {
             for _ in 0..n_iter {
                 for _ in 0..n_unroll {
                     for op in body {
-                        run_op(op, &mem, ctx, &critical, &mut sink);
+                        run_op(op, &mem, ctx, &critical, &mut sink, record, &mut tallies);
                     }
                 }
             }
             let elapsed = start.elapsed().as_secs_f64();
             black_box(sink);
+            if record {
+                rec.counter("omp.fp_cas_retries")
+                    .add(tallies.fp_cas_retries);
+                rec.counter("omp.critical_acquisitions")
+                    .add(tallies.critical_acquisitions);
+                rec.counter("omp.critical_contended")
+                    .add(tallies.critical_contended);
+                rec.instant_args(
+                    "omp",
+                    "timed_region",
+                    vec![
+                        ("tid", syncperf_core::obs::ArgValue::from(ctx.tid)),
+                        ("seconds", syncperf_core::obs::ArgValue::from(elapsed)),
+                    ],
+                );
+            }
             elapsed
         });
+
+        if record {
+            // Every thread participates in each round, so rounds are
+            // counted once per team: the explicit barrier before the
+            // timed loop plus every `CpuOp::Barrier` in both loops.
+            let barrier_ops = body
+                .iter()
+                .filter(|op| matches!(op, CpuOp::Barrier))
+                .count() as u64;
+            let loop_rounds =
+                barrier_ops * u64::from(n_unroll) * (u64::from(n_warmup) + u64::from(n_iter));
+            rec.counter("omp.barrier_rounds").add(loop_rounds + 1);
+            rec.counter("omp.executions").inc();
+        }
 
         Ok(ThreadTimes { per_thread })
     }
@@ -315,7 +437,9 @@ mod tests {
     fn rejects_multi_block() {
         let mut exec = OmpExecutor::new();
         let body = kernel::omp_barrier().baseline;
-        let err = exec.execute(&body, &quick_params(2).with_blocks(2)).unwrap_err();
+        let err = exec
+            .execute(&body, &quick_params(2).with_blocks(2))
+            .unwrap_err();
         assert!(matches!(err, SyncPerfError::InvalidParams(_)));
     }
 
@@ -360,8 +484,20 @@ mod tests {
     fn conflicting_strides_rejected() {
         let mut exec = OmpExecutor::new();
         let body = vec![
-            CpuOp::Update { dtype: DType::I32, target: Target::Private { array: 0, stride: 1 } },
-            CpuOp::Update { dtype: DType::I32, target: Target::Private { array: 0, stride: 2 } },
+            CpuOp::Update {
+                dtype: DType::I32,
+                target: Target::Private {
+                    array: 0,
+                    stride: 1,
+                },
+            },
+            CpuOp::Update {
+                dtype: DType::I32,
+                target: Target::Private {
+                    array: 0,
+                    stride: 2,
+                },
+            },
         ];
         assert!(exec.execute(&body, &quick_params(2)).is_err());
     }
@@ -371,16 +507,77 @@ mod tests {
         let mut exec = OmpExecutor::new();
         let body = vec![CpuOp::Update {
             dtype: DType::I32,
-            target: Target::Private { array: 0, stride: 0 },
+            target: Target::Private {
+                array: 0,
+                stride: 0,
+            },
         }];
         assert!(exec.execute(&body, &quick_params(2)).is_err());
+    }
+
+    #[test]
+    fn attached_recorder_counts_barrier_rounds_exactly() {
+        let rec = syncperf_core::obs::Recorder::enabled();
+        let mut exec = OmpExecutor::new().with_recorder(rec.clone());
+        exec.execute(&kernel::omp_barrier().test, &quick_params(2))
+            .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("omp.executions"), 1);
+        // omp_barrier().test has 2 Barrier ops; with_loops(20, 10) and
+        // 1 warmup iter: 2×10×(1+20) loop rounds + the start barrier.
+        assert_eq!(snap.counter("omp.barrier_rounds"), 420 + 1);
+    }
+
+    #[test]
+    fn attached_recorder_counts_fp_cas_retries() {
+        let rec = syncperf_core::obs::Recorder::enabled();
+        let mut exec = OmpExecutor::new().with_recorder(rec.clone());
+        // Hammer one f64 scalar from 4 threads until the float CAS loop
+        // loses at least one race (re-running guards against a lightly
+        // loaded machine scheduling threads serially).
+        let contended = ExecParams::new(4).with_loops(2000, 10).with_warmup(1);
+        let update = kernel::omp_atomic_update_scalar(DType::F64);
+        for _ in 0..20 {
+            exec.execute(&update.test, &contended).unwrap();
+            if rec.snapshot().counter("omp.fp_cas_retries") > 0 {
+                break;
+            }
+        }
+        assert!(
+            rec.snapshot().counter("omp.fp_cas_retries") > 0,
+            "contended f64 CAS must retry"
+        );
+    }
+
+    #[test]
+    fn attached_recorder_counts_critical_acquisitions() {
+        let rec = syncperf_core::obs::Recorder::enabled();
+        let mut exec = OmpExecutor::new().with_recorder(rec.clone());
+        exec.execute(&kernel::omp_critical_add(DType::I32).test, &quick_params(2))
+            .unwrap();
+        // critical_add test body holds 2 CriticalAdd ops: 2 threads ×
+        // 20 iters × 10 unroll × 2 ops, lock taken exactly once per op.
+        assert_eq!(rec.snapshot().counter("omp.critical_acquisitions"), 800);
+    }
+
+    #[test]
+    fn disabled_recorder_leaves_no_trace_state() {
+        let mut exec = OmpExecutor::new();
+        exec.execute(&kernel::omp_barrier().test, &quick_params(2))
+            .unwrap();
+        let snap = syncperf_core::obs::global().snapshot();
+        assert_eq!(snap.counter("omp.executions"), 0);
     }
 
     #[test]
     fn measurement_protocol_runs_end_to_end() {
         let mut exec = OmpExecutor::new();
         let m = syncperf_core::Protocol::SIM
-            .measure(&mut exec, &kernel::omp_atomic_update_scalar(DType::I32), &quick_params(2))
+            .measure(
+                &mut exec,
+                &kernel::omp_atomic_update_scalar(DType::I32),
+                &quick_params(2),
+            )
             .unwrap();
         // A real atomic add costs something; the exact value is
         // machine-dependent but must be positive and below 100 µs.

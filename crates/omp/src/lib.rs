@@ -29,6 +29,7 @@
 pub mod affinity;
 pub mod atomics;
 pub mod barrier;
+pub mod cacheline;
 pub mod critical;
 pub mod executor;
 pub mod flush;

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use crossbeam::utils::CachePadded;
+use crate::cacheline::CachePadded;
 
 /// How many spin iterations before yielding (same policy as the
 /// barriers — required on oversubscribed machines).
@@ -37,7 +37,9 @@ impl OmpLock {
     /// `omp_init_lock` — creates an unlocked lock.
     #[must_use]
     pub fn new() -> Self {
-        OmpLock { held: CachePadded::new(AtomicBool::new(false)) }
+        OmpLock {
+            held: CachePadded::new(AtomicBool::new(false)),
+        }
     }
 
     /// `omp_set_lock` — blocks until the lock is acquired.
@@ -112,7 +114,10 @@ impl OmpNestLock {
     /// `omp_init_nest_lock`.
     #[must_use]
     pub fn new() -> Self {
-        OmpNestLock { owner: CachePadded::new(AtomicU64::new(0)), depth: AtomicUsize::new(0) }
+        OmpNestLock {
+            owner: CachePadded::new(AtomicU64::new(0)),
+            depth: AtomicUsize::new(0),
+        }
     }
 
     /// `omp_set_nest_lock` — blocks unless already owned by the caller;
@@ -170,7 +175,11 @@ impl OmpNestLock {
         if self.owner.load(Ordering::Acquire) == me {
             return Some(self.depth.fetch_add(1, Ordering::Relaxed) + 1);
         }
-        if self.owner.compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+        if self
+            .owner
+            .compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
             self.depth.store(1, Ordering::Relaxed);
             Some(1)
         } else {

@@ -45,7 +45,11 @@ impl<T: Primitive> StridedArray<T> {
         let len = (threads - 1) * stride + 2;
         let mut cells = Vec::with_capacity(len);
         cells.resize_with(len, || AtomicCell::new(T::zero()));
-        StridedArray { cells, stride, threads }
+        StridedArray {
+            cells,
+            stride,
+            threads,
+        }
     }
 
     /// The element private to thread `tid`.
@@ -55,7 +59,11 @@ impl<T: Primitive> StridedArray<T> {
     /// Panics if `tid` is out of range.
     #[must_use]
     pub fn elem(&self, tid: usize) -> &AtomicCell<T> {
-        assert!(tid < self.threads, "tid {tid} out of range for {} threads", self.threads);
+        assert!(
+            tid < self.threads,
+            "tid {tid} out of range for {} threads",
+            self.threads
+        );
         &self.cells[tid * self.stride]
     }
 
@@ -93,7 +101,9 @@ impl<T: Primitive> StridedArray<T> {
     /// of `line_bytes` bytes (1 means no false sharing is possible).
     #[must_use]
     pub fn threads_per_line(&self, line_bytes: usize) -> usize {
-        (line_bytes / self.element_spacing_bytes()).max(1).min(self.threads)
+        (line_bytes / self.element_spacing_bytes())
+            .max(1)
+            .min(self.threads)
     }
 }
 

@@ -62,13 +62,7 @@ impl Team {
     /// goes straight into one shared atomic. Correct, portable — and
     /// slow under contention. Exists so callers can measure the gap on
     /// their own machine.
-    pub fn parallel_reduce_naive<T, M, C>(
-        &self,
-        count: usize,
-        map: M,
-        identity: T,
-        combine: C,
-    ) -> T
+    pub fn parallel_reduce_naive<T, M, C>(&self, count: usize, map: M, identity: T, combine: C) -> T
     where
         T: Primitive,
         M: Fn(usize) -> T + Sync,
@@ -118,7 +112,9 @@ mod tests {
 
     #[test]
     fn max_reduction() {
-        let data: Vec<i32> = (0..10_000).map(|i| ((i * 2_654_435_761u64) % 1_000_003) as i32).collect();
+        let data: Vec<i32> = (0..10_000)
+            .map(|i| ((i * 2_654_435_761u64) % 1_000_003) as i32)
+            .collect();
         let expect = *data.iter().max().unwrap();
         let got = Team::new(5).parallel_reduce(data.len(), |i| data[i], i32::MIN, i32::max);
         assert_eq!(got, expect);
@@ -132,7 +128,13 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_inputs() {
-        assert_eq!(Team::new(4).parallel_reduce(0, |_| 1u64, 0, |a, b| a + b), 0);
-        assert_eq!(Team::new(8).parallel_reduce(3, |i| i as u64, 0, |a, b| a + b), 3);
+        assert_eq!(
+            Team::new(4).parallel_reduce(0, |_| 1u64, 0, |a, b| a + b),
+            0
+        );
+        assert_eq!(
+            Team::new(8).parallel_reduce(3, |i| i as u64, 0, |a, b| a + b),
+            3
+        );
     }
 }

@@ -256,7 +256,11 @@ mod tests {
                 });
             }
         });
-        assert_eq!(ran.load(Ordering::SeqCst), 10, "one execution per single region");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            10,
+            "one execution per single region"
+        );
     }
 
     #[test]

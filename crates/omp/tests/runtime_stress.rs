@@ -201,6 +201,9 @@ fn capture_sums_are_exact_under_contention() {
             });
         }
     });
-    assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1), "duplicate or missing pre-values");
+    assert!(
+        seen.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+        "duplicate or missing pre-values"
+    );
     assert_eq!(cell.read(), 4_000);
 }

@@ -1,0 +1,402 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so this local package
+//! provides the subset of proptest's API that the test suite uses:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, the
+//! [`Strategy`] trait over ranges and collections, `prop::collection`,
+//! `proptest::bool::ANY`, and [`ProptestConfig`].
+//!
+//! Semantics: each `#[test]` inside `proptest!` runs `cases` times with
+//! inputs drawn from its strategies by a PRNG seeded from the test's
+//! name and the case index — fully deterministic, so any failure
+//! reproduces on rerun. There is no shrinking: the failing values are
+//! reported as-is in the panic message of the assertion that fired.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic PRNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Builds the deterministic per-case RNG for `test_name`, case `case`.
+#[must_use]
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite
+        // fast while still sweeping each parameter space broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.next_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.next_f64() as f32
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Generates `true` or `false` uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::collections::{BTreeMap, BTreeSet};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<T>` with lengths drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// `Vec` of values from `elem`, length in `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.clone().generate(rng);
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeMap<K, V>`.
+        #[derive(Debug, Clone)]
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: Range<usize>,
+        }
+
+        /// `BTreeMap` with keys/values from the given strategies and a
+        /// target size drawn from `size` (may come out smaller if the
+        /// key domain is nearly exhausted).
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: Range<usize>,
+        ) -> BTreeMapStrategy<K, V> {
+            BTreeMapStrategy { key, value, size }
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.clone().generate(rng);
+                let mut out = BTreeMap::new();
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < target * 20 + 20 {
+                    out.insert(self.key.generate(rng), self.value.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+
+        /// Strategy for `BTreeSet<T>`.
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// `BTreeSet` with elements from `elem` and a target size drawn
+        /// from `size`.
+        pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy { elem, size }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.clone().generate(rng);
+                let mut out = BTreeSet::new();
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < target * 20 + 20 {
+                    out.insert(self.elem.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::bool as prop_bool;
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares a block of property tests. Each `fn name(pat in strategy,
+/// ...) { body }` becomes a `#[test]` that runs the body for every
+/// generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __prop_rng = $crate::test_rng(stringify!($name), __case);
+                $crate::__proptest_bind!(__prop_rng, $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::generate(&$strat, &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::generate(&$strat, &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+// Keep the root-level name real proptest also exposes.
+pub use prop::collection;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_rng("ranges_stay_in_bounds", 0);
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (5i64..=9).generate(&mut rng);
+            assert!((5..=9).contains(&w));
+            let f = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn determinism_per_name_and_case() {
+        let mut a = crate::test_rng("x", 7);
+        let mut b = crate::test_rng("x", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("x", 8);
+        assert_ne!(crate::test_rng("x", 7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn collections_hit_target_sizes() {
+        let mut rng = crate::test_rng("collections", 0);
+        let v = prop::collection::vec(0u32..10, 4..5).generate(&mut rng);
+        assert_eq!(v.len(), 4);
+        let s = prop::collection::btree_set(0u32..1000, 8..9).generate(&mut rng);
+        assert_eq!(s.len(), 8);
+        let m = prop::collection::btree_map(0u32..1000, 0.0..1.0f64, 6..7).generate(&mut rng);
+        assert_eq!(m.len(), 6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires bindings, mut patterns, and trailing commas.
+        #[test]
+        fn macro_smoke(a in 1u32..100, mut b in 0.0..1.0f64, flag in crate::bool::ANY) {
+            b += 1.0;
+            prop_assert!((1..100).contains(&a));
+            prop_assert!((1.0..2.0).contains(&b));
+            prop_assert_eq!(flag, flag);
+        }
+    }
+}

@@ -48,7 +48,11 @@ fn main() -> Result<()> {
             let bytes = *s as usize * dtype.size_bytes();
             println!(
                 "  stride {s:>2} ({bytes:>3} B apart): {tp:>10.3e} ops/s/thread{}",
-                if bytes >= line { "   <- no line sharing possible" } else { "" }
+                if bytes >= line {
+                    "   <- no line sharing possible"
+                } else {
+                    ""
+                }
             );
         }
         let expect = (line / dtype.size_bytes()) as u32;
@@ -65,8 +69,16 @@ fn main() -> Result<()> {
     println!("on real threads (this machine):");
     let mut real = OmpExecutor::new();
     let p = ExecParams::new(2).with_loops(200, 50).with_warmup(2);
-    let shared = Protocol::SIM.measure(&mut real, &kernel::omp_atomic_update_array(DType::U64, 1), &p)?;
-    let padded = Protocol::SIM.measure(&mut real, &kernel::omp_atomic_update_array(DType::U64, 8), &p)?;
+    let shared = Protocol::SIM.measure(
+        &mut real,
+        &kernel::omp_atomic_update_array(DType::U64, 1),
+        &p,
+    )?;
+    let padded = Protocol::SIM.measure(
+        &mut real,
+        &kernel::omp_atomic_update_array(DType::U64, 8),
+        &p,
+    )?;
     println!(
         "  u64 atomics, 2 threads: stride 1 = {:.1} ns/op, stride 8 = {:.1} ns/op",
         shared.runtime_seconds() * 1e9,

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example model_your_machine`
 
-use syncperf::core::sysfile::parse_system;
 use syncperf::core::stats;
+use syncperf::core::sysfile::parse_system;
 use syncperf::prelude::*;
 
 fn main() -> Result<()> {
@@ -83,9 +83,14 @@ fn main() -> Result<()> {
         let m = Protocol::PAPER.measure(
             &mut gpu,
             &kernel::cuda_syncthreads(),
-            &ExecParams::new(threads).with_blocks(spec.gpu.sms).with_loops(1000, 100),
+            &ExecParams::new(threads)
+                .with_blocks(spec.gpu.sms)
+                .with_loops(1000, 100),
         )?;
-        println!("  {threads:>4} threads/block: {:>6.1} cycles/sync", m.per_op);
+        println!(
+            "  {threads:>4} threads/block: {:>6.1} cycles/sync",
+            m.per_op
+        );
     }
     println!("\nsmaller blocks pay less per barrier — recommendation 1 of §V-B5");
     Ok(())

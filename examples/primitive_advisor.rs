@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example primitive_advisor`
 
 use syncperf::core::recommend::{recommend_cuda, recommend_openmp, CudaFindings, OpenMpFindings};
-use syncperf::core::sweep::{throughput_series, thread_sweep};
+use syncperf::core::sweep::{thread_sweep, throughput_series};
 use syncperf::prelude::*;
 
 fn cpu_sweep(
@@ -14,7 +14,9 @@ fn cpu_sweep(
     k: &CpuKernel,
     threads: &[u32],
 ) -> Result<Series> {
-    let points = thread_sweep(threads, ExecParams::new(2).with_loops(1000, 100), |_| k.clone());
+    let points = thread_sweep(threads, ExecParams::new(2).with_loops(1000, 100), |_| {
+        k.clone()
+    });
     throughput_series(sim, &Protocol::PAPER, label, points)
 }
 
@@ -45,7 +47,12 @@ fn openmp_findings(sys: &SystemSpec) -> Result<OpenMpFindings> {
         &kernel::omp_atomic_update_scalar(DType::I32),
         &threads,
     )?;
-    let critical = cpu_sweep(&mut sim, "int", &kernel::omp_critical_add(DType::I32), &threads)?;
+    let critical = cpu_sweep(
+        &mut sim,
+        "int",
+        &kernel::omp_critical_add(DType::I32),
+        &threads,
+    )?;
 
     let p = ExecParams::new(cores).with_loops(1000, 100);
     let shared1 = Protocol::PAPER.measure(
@@ -66,7 +73,9 @@ fn openmp_findings(sys: &SystemSpec) -> Result<OpenMpFindings> {
         &p,
     )?;
 
-    let ht_ratio = atomic.y_at(f64::from(sys.cpu.total_threads())).unwrap_or(1.0)
+    let ht_ratio = atomic
+        .y_at(f64::from(sys.cpu.total_threads()))
+        .unwrap_or(1.0)
         / atomic.y_at(f64::from(cores)).unwrap_or(1.0);
 
     Ok(OpenMpFindings {
@@ -88,7 +97,13 @@ fn cuda_findings(sys: &SystemSpec) -> Result<CudaFindings> {
     let full = sys.gpu.sms;
 
     let syncthreads = gpu_sweep(&mut sim, "any", &kernel::cuda_syncthreads(), 1, &threads)?;
-    let syncwarp = gpu_sweep(&mut sim, "syncwarp", &kernel::cuda_syncwarp(), full, &threads)?;
+    let syncwarp = gpu_sweep(
+        &mut sim,
+        "syncwarp",
+        &kernel::cuda_syncwarp(),
+        full,
+        &threads,
+    )?;
     let fencef = gpu_sweep(
         &mut sim,
         "fence",
@@ -105,7 +120,9 @@ fn cuda_findings(sys: &SystemSpec) -> Result<CudaFindings> {
     let private_add =
         Protocol::PAPER.measure(&mut sim, &kernel::cuda_atomic_add_array(DType::I32, 32), &p)?;
 
-    let shfl_p = ExecParams::new(1024).with_blocks(full).with_loops(1000, 100);
+    let shfl_p = ExecParams::new(1024)
+        .with_blocks(full)
+        .with_loops(1000, 100);
     let shfl32 = Protocol::PAPER.measure(
         &mut sim,
         &kernel::cuda_shfl(DType::F32, syncperf::core::ShflVariant::Idx),

@@ -15,7 +15,11 @@ fn main() -> Result<()> {
     let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
     let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, SYSTEM3.cpu.total_cores());
     let elements = 1u64 << 22;
-    println!("case 1: sum {elements} doubles, {} threads on {}", placement.len(), SYSTEM3.cpu.name);
+    println!(
+        "case 1: sum {elements} doubles, {} threads on {}",
+        placement.len(),
+        SYSTEM3.cpu.name
+    );
 
     let mut rows = Vec::new();
     for s in CpuReductionStrategy::ALL {
@@ -25,7 +29,10 @@ fn main() -> Result<()> {
     }
     let worst = rows.iter().map(|r| r.1).fold(f64::MIN, f64::max);
     let best = rows.iter().map(|r| r.1).fold(f64::MAX, f64::min);
-    println!("  => choosing the right primitive is worth {:.0}x here\n", worst / best);
+    println!(
+        "  => choosing the right primitive is worth {:.0}x here\n",
+        worst / best
+    );
 
     // The winning pattern, verified with real threads and real atomics:
     let data: Vec<f64> = (0..100_000).map(|i| f64::from(i % 1000) * 0.5).collect();
@@ -39,12 +46,21 @@ fn main() -> Result<()> {
         global.update(local);
     });
     assert!((global.read() - expected).abs() < 1e-6 * expected);
-    println!("  real-thread padded-partials sum verified: {}\n", global.read());
+    println!(
+        "  real-thread padded-partials sum verified: {}\n",
+        global.read()
+    );
 
     // ---- Case 2: GPU histogram under skew (Section V-B5 in action) ---
     let gm = GpuModel::for_spec(&SYSTEM3.gpu);
-    println!("case 2: histogram 2^22 elements into 256 bins on {}", SYSTEM3.gpu.name);
-    println!("  {:<12} {:>16} {:>16}", "hot-bin %", "global atomics", "privatized");
+    println!(
+        "case 2: histogram 2^22 elements into 256 bins on {}",
+        SYSTEM3.gpu.name
+    );
+    println!(
+        "  {:<12} {:>16} {:>16}",
+        "hot-bin %", "global atomics", "privatized"
+    );
     for hot in [0.0, 0.1, 0.5, 1.0] {
         let cfg = HistogramConfig {
             elements: 1 << 22,

@@ -13,8 +13,14 @@ fn main() -> Result<()> {
 
     for (name, k) in [
         ("barrier", kernel::omp_barrier()),
-        ("atomic update (int, shared)", kernel::omp_atomic_update_scalar(DType::I32)),
-        ("atomic update (double, shared)", kernel::omp_atomic_update_scalar(DType::F64)),
+        (
+            "atomic update (int, shared)",
+            kernel::omp_atomic_update_scalar(DType::I32),
+        ),
+        (
+            "atomic update (double, shared)",
+            kernel::omp_atomic_update_scalar(DType::F64),
+        ),
         ("critical add (int)", kernel::omp_critical_add(DType::I32)),
         ("flush (padded)", kernel::omp_flush(DType::I32, 16)),
     ] {
@@ -32,9 +38,18 @@ fn main() -> Result<()> {
     for (name, k) in [
         ("__syncthreads()", kernel::cuda_syncthreads()),
         ("__syncwarp()", kernel::cuda_syncwarp()),
-        ("atomicAdd (int, shared)", kernel::cuda_atomic_add_scalar(DType::I32)),
-        ("atomicAdd (float, shared)", kernel::cuda_atomic_add_scalar(DType::F32)),
-        ("__threadfence()", kernel::cuda_threadfence(Scope::Device, DType::I32, 1)),
+        (
+            "atomicAdd (int, shared)",
+            kernel::cuda_atomic_add_scalar(DType::I32),
+        ),
+        (
+            "atomicAdd (float, shared)",
+            kernel::cuda_atomic_add_scalar(DType::F32),
+        ),
+        (
+            "__threadfence()",
+            kernel::cuda_threadfence(Scope::Device, DType::I32, 1),
+        ),
     ] {
         let m = Protocol::PAPER.measure(&mut gpu, &k, &gpu_params)?;
         println!(
@@ -49,13 +64,24 @@ fn main() -> Result<()> {
     println!("\n== real threads on this machine ==");
     let mut real = OmpExecutor::new();
     let quick = ExecParams::new(2).with_loops(200, 50).with_warmup(2);
-    let m = Protocol::SIM.measure(&mut real, &kernel::omp_atomic_update_scalar(DType::I32), &quick)?;
-    println!("  atomic int add, 2 threads: {:.1} ns/op", m.runtime_seconds() * 1e9);
+    let m = Protocol::SIM.measure(
+        &mut real,
+        &kernel::omp_atomic_update_scalar(DType::I32),
+        &quick,
+    )?;
+    println!(
+        "  atomic int add, 2 threads: {:.1} ns/op",
+        m.runtime_seconds() * 1e9
+    );
     let m = Protocol::SIM.measure(&mut real, &kernel::omp_atomic_read(DType::I32), &quick)?;
     println!(
         "  atomic read overhead: {:.2} ns ({})",
         m.runtime_seconds() * 1e9,
-        if m.is_negligible() { "negligible, as the paper found" } else { "measurable" }
+        if m.is_negligible() {
+            "negligible, as the paper found"
+        } else {
+            "measurable"
+        }
     );
 
     // --- 4. Parallel regions and primitives are usable directly, too.

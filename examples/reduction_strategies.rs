@@ -52,7 +52,9 @@ fn main() -> Result<()> {
     // persistent-thread max reduction using block(team)-local then
     // global atomics — the structure of Listing 1's Reduction 5.
     println!("\nreal-thread persistent max reduction (Reduction 5 structure):");
-    let data: Vec<i32> = (0..100_000).map(|i| (i * 2_654_435_761u64 % 1_000_003) as i32).collect();
+    let data: Vec<i32> = (0..100_000)
+        .map(|i| (i * 2_654_435_761u64 % 1_000_003) as i32)
+        .collect();
     let expected = *data.iter().max().expect("nonempty");
 
     let global = AtomicCell::new(i32::MIN);

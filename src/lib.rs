@@ -46,8 +46,9 @@ pub use syncperf_omp as omp;
 pub mod prelude {
     pub use syncperf_core::{
         kernel, Affinity, CpuKernel, CpuOp, DType, ExecParams, Executor, FigureData, GpuKernel,
-        GpuOp, Kernel, Measurement, Protocol, Result, RmwOp, Scope, Series, ShflVariant, SyncPerfError, SystemSpec,
-        Target, ThreadTimes, TimeUnit, VoteKind, SYSTEM1, SYSTEM2, SYSTEM3,
+        GpuOp, Kernel, Measurement, Protocol, Result, RmwOp, Scope, Series, ShflVariant,
+        SyncPerfError, SystemSpec, Target, ThreadTimes, TimeUnit, VoteKind, SYSTEM1, SYSTEM2,
+        SYSTEM3,
     };
     pub use syncperf_cpu_sim::CpuSimExecutor;
     pub use syncperf_gpu_sim::{GpuSimExecutor, ReductionConfig, ReductionStrategy};

@@ -14,13 +14,18 @@ fn cpu_sum_strategies_ordered_by_recommendations() {
     let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
     let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 16);
     let total = |s| {
-        simulate_cpu_reduction(&model, &placement, s, 1 << 20).unwrap().total_ns
+        simulate_cpu_reduction(&model, &placement, s, 1 << 20)
+            .unwrap()
+            .total_ns
     };
     let critical = total(CpuReductionStrategy::CriticalSection);
     let atomic = total(CpuReductionStrategy::SharedAtomic);
     let false_shared = total(CpuReductionStrategy::FalseSharedPartials);
     let padded = total(CpuReductionStrategy::PaddedPartials);
-    assert!(critical > atomic, "rec 5: critical sections are the last resort");
+    assert!(
+        critical > atomic,
+        "rec 5: critical sections are the last resort"
+    );
     assert!(atomic > false_shared, "rec 2: avoid same-location atomics");
     assert!(false_shared > padded, "rec 3: avoid false sharing");
     assert!(
@@ -37,8 +42,15 @@ fn cpu_sum_consistent_across_all_three_systems() {
         let placement = Placement::new(&sys.cpu, Affinity::Spread, sys.cpu.total_cores());
         let mut last = f64::MAX;
         for s in CpuReductionStrategy::ALL {
-            let t = simulate_cpu_reduction(&model, &placement, s, 1 << 18).unwrap().total_ns;
-            assert!(t < last, "{}: {:?} must improve on the previous strategy", sys, s);
+            let t = simulate_cpu_reduction(&model, &placement, s, 1 << 18)
+                .unwrap()
+                .total_ns;
+            assert!(
+                t < last,
+                "{}: {:?} must improve on the previous strategy",
+                sys,
+                s
+            );
             last = t;
         }
     }
@@ -55,9 +67,15 @@ fn histogram_crossover_depends_on_regime() {
         block_size: 256,
         blocks: SYSTEM3.gpu.sms * 4,
     };
-    let g = simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::GlobalAtomics, &skewed).unwrap();
-    let p =
-        simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::SharedPrivatized, &skewed).unwrap();
+    let g =
+        simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::GlobalAtomics, &skewed).unwrap();
+    let p = simulate_histogram(
+        &m,
+        &SYSTEM3.gpu,
+        HistogramStrategy::SharedPrivatized,
+        &skewed,
+    )
+    .unwrap();
     assert!(p.total_cycles < g.total_cycles);
     // Tiny uniform input with a huge bin space: the merge dominates and
     // global atomics win — strategy choice is regime-dependent.
@@ -68,12 +86,20 @@ fn histogram_crossover_depends_on_regime() {
         block_size: 256,
         blocks: SYSTEM3.gpu.sms * 4,
     };
-    let g2 =
-        simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::GlobalAtomics, &merge_bound)
-            .unwrap();
-    let p2 =
-        simulate_histogram(&m, &SYSTEM3.gpu, HistogramStrategy::SharedPrivatized, &merge_bound)
-            .unwrap();
+    let g2 = simulate_histogram(
+        &m,
+        &SYSTEM3.gpu,
+        HistogramStrategy::GlobalAtomics,
+        &merge_bound,
+    )
+    .unwrap();
+    let p2 = simulate_histogram(
+        &m,
+        &SYSTEM3.gpu,
+        HistogramStrategy::SharedPrivatized,
+        &merge_bound,
+    )
+    .unwrap();
     assert!(g2.total_cycles < p2.total_cycles);
 }
 
@@ -81,7 +107,10 @@ fn histogram_crossover_depends_on_regime() {
 fn scan_lookback_beats_twopass_at_scale_on_every_gpu() {
     for sys in syncperf::core::all_systems() {
         let m = GpuModel::for_spec(&sys.gpu);
-        let cfg = ScanConfig { elements: 1 << 25, block_size: 256 };
+        let cfg = ScanConfig {
+            elements: 1 << 25,
+            block_size: 256,
+        };
         let two = simulate_scan(&m, &sys.gpu, ScanStrategy::TwoPass, &cfg).unwrap();
         let look = simulate_scan(&m, &sys.gpu, ScanStrategy::DecoupledLookback, &cfg).unwrap();
         assert!(
@@ -100,11 +129,24 @@ fn scan_fence_chain_visible_in_breakdown() {
     cheap_fence.fence_device_cy = 10.0;
     let mut dear_fence = GpuModel::for_spec(&SYSTEM3.gpu);
     dear_fence.fence_device_cy = 2_500.0;
-    let cfg = ScanConfig { elements: 1 << 22, block_size: 256 };
-    let cheap =
-        simulate_scan(&cheap_fence, &SYSTEM3.gpu, ScanStrategy::DecoupledLookback, &cfg).unwrap();
-    let dear =
-        simulate_scan(&dear_fence, &SYSTEM3.gpu, ScanStrategy::DecoupledLookback, &cfg).unwrap();
+    let cfg = ScanConfig {
+        elements: 1 << 22,
+        block_size: 256,
+    };
+    let cheap = simulate_scan(
+        &cheap_fence,
+        &SYSTEM3.gpu,
+        ScanStrategy::DecoupledLookback,
+        &cfg,
+    )
+    .unwrap();
+    let dear = simulate_scan(
+        &dear_fence,
+        &SYSTEM3.gpu,
+        ScanStrategy::DecoupledLookback,
+        &cfg,
+    )
+    .unwrap();
     assert!(dear.coordination_cycles > cheap.coordination_cycles);
     // The two-pass scan uses no fences: immune.
     let t_cheap = simulate_scan(&cheap_fence, &SYSTEM3.gpu, ScanStrategy::TwoPass, &cfg).unwrap();
@@ -119,8 +161,7 @@ fn explain_totals_match_measured_per_op_costs() {
     let model = CpuModel::for_system(&SYSTEM3.cpu, 0.0); // no jitter
     let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 8);
     let k = kernel::omp_atomic_update_scalar(DType::I32);
-    let explained =
-        syncperf::cpu_sim::explain_op(&model, &placement, &k.baseline, 0, 0).total_ns();
+    let explained = syncperf::cpu_sim::explain_op(&model, &placement, &k.baseline, 0, 0).total_ns();
 
     let mut sim = syncperf::cpu_sim::CpuSimExecutor::with_model(&SYSTEM3, model);
     let m = Protocol::SIM

@@ -10,8 +10,7 @@ fn repo_root() -> &'static Path {
 }
 
 fn read(rel: &str) -> String {
-    std::fs::read_to_string(repo_root().join(rel))
-        .unwrap_or_else(|e| panic!("missing {rel}: {e}"))
+    std::fs::read_to_string(repo_root().join(rel)).unwrap_or_else(|e| panic!("missing {rel}: {e}"))
 }
 
 fn bench_binaries() -> BTreeSet<String> {
@@ -56,8 +55,14 @@ fn every_figure_binary_mentioned_in_design_exists() {
         "exp_cpu_reduction_strategies",
         "exp_gpu_histogram",
     ] {
-        assert!(design.contains(needle), "DESIGN.md does not mention {needle}");
-        assert!(bins.contains(needle), "DESIGN.md promises binary {needle} but it does not exist");
+        assert!(
+            design.contains(needle),
+            "DESIGN.md does not mention {needle}"
+        );
+        assert!(
+            bins.contains(needle),
+            "DESIGN.md promises binary {needle} but it does not exist"
+        );
     }
 }
 
@@ -85,7 +90,10 @@ fn readme_examples_exist() {
         "privatization_casebook",
         "model_your_machine",
     ] {
-        assert!(readme.contains(example), "README does not list example {example}");
+        assert!(
+            readme.contains(example),
+            "README does not list example {example}"
+        );
         assert!(
             repo_root().join(format!("examples/{example}.rs")).exists(),
             "README lists example {example} but examples/{example}.rs is missing"
@@ -103,15 +111,23 @@ fn readme_binaries_exist() {
             .chars()
             .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
             .collect();
-        assert!(bins.contains(&name), "README references missing binary `{name}`");
+        assert!(
+            bins.contains(&name),
+            "README references missing binary `{name}`"
+        );
     }
 }
 
 #[test]
 fn design_md_lists_all_workspace_crates() {
     let design = read("DESIGN.md");
-    for krate in ["syncperf-core", "syncperf-omp", "syncperf-cpu-sim", "syncperf-gpu-sim", "syncperf-bench"]
-    {
+    for krate in [
+        "syncperf-core",
+        "syncperf-omp",
+        "syncperf-cpu-sim",
+        "syncperf-gpu-sim",
+        "syncperf-bench",
+    ] {
         assert!(design.contains(krate), "DESIGN.md missing crate {krate}");
     }
 }
@@ -126,8 +142,14 @@ fn ablations_promised_in_design_exist() {
         "ablation_fp_atomics",
         "ablation_barrier_model",
     ] {
-        assert!(design.contains(ablation), "DESIGN.md missing ablation {ablation}");
-        assert!(bins.contains(ablation), "promised ablation binary {ablation} missing");
+        assert!(
+            design.contains(ablation),
+            "DESIGN.md missing ablation {ablation}"
+        );
+        assert!(
+            bins.contains(ablation),
+            "promised ablation binary {ablation} missing"
+        );
     }
 }
 

@@ -54,7 +54,9 @@ fn csvs_written_to_results_dir() {
 fn gpu_figures_use_log_x_cpu_figures_do_not() {
     let figs = all_figures().unwrap();
     for fig in &figs {
-        if fig.id.starts_with("fig0") && !fig.id.starts_with("fig07") && !fig.id.starts_with("fig08")
+        if fig.id.starts_with("fig0")
+            && !fig.id.starts_with("fig07")
+            && !fig.id.starts_with("fig08")
             && !fig.id.starts_with("fig09")
         {
             assert!(!fig.log_x, "{} is a CPU figure (linear x)", fig.id);

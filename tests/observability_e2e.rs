@@ -1,0 +1,93 @@
+//! End-to-end observability: run real figure-style experiments with
+//! recording enabled and assert the whole stack shows up in one
+//! recorder — protocol retries, simulator coherence traffic, and the
+//! real runtime's barrier rounds (ISSUE 1 acceptance criterion).
+
+use syncperf_core::obs::Recorder;
+use syncperf_core::{kernel, DType, ExecParams, Protocol, SYSTEM3};
+use syncperf_cpu_sim::CpuSimExecutor;
+use syncperf_omp::OmpExecutor;
+
+#[test]
+fn figure_experiment_with_recording_fills_cross_layer_counters() {
+    let rec = Recorder::enabled();
+
+    // Layer 1+2 — protocol over the CPU simulator: a contended atomic
+    // update produces MESI transitions, and measuring a near-zero-cost
+    // primitive on the jittery System 3 produces attempt rejections.
+    let mut sim = CpuSimExecutor::new(&SYSTEM3).with_recorder(rec.clone());
+    let p = ExecParams::new(16).with_loops(1000, 100);
+    Protocol::PAPER
+        .measure_observed(
+            &mut sim,
+            &kernel::omp_atomic_update_scalar(DType::I32),
+            &p,
+            &rec,
+        )
+        .unwrap();
+    for _ in 0..5 {
+        Protocol::PAPER
+            .measure_observed(&mut sim, &kernel::omp_atomic_read(DType::F64), &p, &rec)
+            .unwrap();
+    }
+
+    // Layer 3 — the real-thread runtime: barrier rounds are counted
+    // from an actual `std::thread` team.
+    let mut omp = OmpExecutor::new().with_recorder(rec.clone());
+    Protocol::SIM
+        .measure_observed(
+            &mut omp,
+            &kernel::omp_barrier(),
+            &ExecParams::new(2).with_loops(20, 10).with_warmup(1),
+            &rec,
+        )
+        .unwrap();
+
+    let snap = rec.snapshot();
+    assert!(
+        snap.counter("cpu_sim.mesi_transitions") > 0,
+        "contended atomics must show coherence traffic: {snap:?}"
+    );
+    assert!(
+        snap.counter("protocol.attempts_rejected") > 0,
+        "System 3 jitter must reject some attempts: {snap:?}"
+    );
+    assert!(
+        snap.counter("omp.barrier_rounds") > 0,
+        "the real runtime must count barrier rounds: {snap:?}"
+    );
+
+    // The same run must export as valid Chrome trace JSON with the
+    // protocol spans present.
+    let events = rec.drain_events();
+    assert!(events.iter().any(|e| e.cat == "protocol"));
+    assert!(events.iter().any(|e| e.cat == "cpu_sim"));
+    assert!(events.iter().any(|e| e.cat == "omp"));
+    let json = syncperf_core::obs::sink::chrome_trace_json(&events, &snap);
+    let parsed = syncperf_core::obs::json::parse(&json).expect("valid JSON");
+    assert!(
+        !parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .is_empty(),
+        "trace must contain events"
+    );
+}
+
+#[test]
+fn retry_summary_reads_back_from_the_snapshot() {
+    let rec = Recorder::enabled();
+    let mut sim = CpuSimExecutor::new(&SYSTEM3).with_recorder(rec.clone());
+    let p = ExecParams::new(16).with_loops(1000, 100);
+    for _ in 0..5 {
+        Protocol::PAPER
+            .measure_observed(&mut sim, &kernel::omp_atomic_read(DType::F64), &p, &rec)
+            .unwrap();
+    }
+    let s = syncperf_core::protocol::RetrySummary::from_snapshot(&rec.snapshot());
+    assert_eq!(s.runs, 45, "5 measurements x 9 runs");
+    assert!(s.attempts >= s.runs);
+    assert_eq!(s.rejected, s.attempts - s.runs + s.exhausted_runs);
+    assert!(s.rejection_rate() > 0.0 && s.rejection_rate() < 1.0);
+}

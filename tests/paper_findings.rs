@@ -7,12 +7,20 @@ use syncperf::prelude::*;
 
 fn cpu_throughput(sim: &mut CpuSimExecutor, k: &CpuKernel, threads: u32) -> f64 {
     let p = ExecParams::new(threads).with_loops(1000, 100);
-    Protocol::PAPER.measure(sim, k, &p).unwrap().throughput_clamped(1e-10)
+    Protocol::PAPER
+        .measure(sim, k, &p)
+        .unwrap()
+        .throughput_clamped(1e-10)
 }
 
 fn gpu_throughput(sim: &mut GpuSimExecutor, k: &GpuKernel, blocks: u32, threads: u32) -> f64 {
-    let p = ExecParams::new(threads).with_blocks(blocks).with_loops(1000, 100);
-    Protocol::PAPER.measure(sim, k, &p).unwrap().throughput_clamped(1e-10)
+    let p = ExecParams::new(threads)
+        .with_blocks(blocks)
+        .with_loops(1000, 100);
+    Protocol::PAPER
+        .measure(sim, k, &p)
+        .unwrap()
+        .throughput_clamped(1e-10)
 }
 
 // ---- OpenMP findings -------------------------------------------------
@@ -32,8 +40,16 @@ fn finding_barrier_plateau_beyond_eight_threads() {
 fn finding_integer_atomics_beat_floating_point() {
     let mut sim = CpuSimExecutor::new(&SYSTEM3);
     for threads in [2, 8, 32] {
-        let int = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), threads);
-        let dbl = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::F64), threads);
+        let int = cpu_throughput(
+            &mut sim,
+            &kernel::omp_atomic_update_scalar(DType::I32),
+            threads,
+        );
+        let dbl = cpu_throughput(
+            &mut sim,
+            &kernel::omp_atomic_update_scalar(DType::F64),
+            threads,
+        );
         assert!(int > dbl, "at {threads} threads");
     }
 }
@@ -43,7 +59,10 @@ fn finding_word_size_irrelevant_on_64bit_cpus() {
     let mut sim = CpuSimExecutor::new(&SYSTEM2);
     let i = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), 16);
     let u = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::U64), 16);
-    assert!((i / u - 1.0).abs() < 0.1, "int vs ull within noise: {i} vs {u}");
+    assert!(
+        (i / u - 1.0).abs() < 0.1,
+        "int vs ull within noise: {i} vs {u}"
+    );
 }
 
 #[test]
@@ -51,12 +70,28 @@ fn finding_false_sharing_knee_at_cache_line_geometry() {
     let mut sim = CpuSimExecutor::new(&SYSTEM3);
     let threads = SYSTEM3.cpu.total_cores();
     // doubles: conflict-free from stride 8 (64 B / 8 B).
-    let d4 = cpu_throughput(&mut sim, &kernel::omp_atomic_update_array(DType::F64, 4), threads);
-    let d8 = cpu_throughput(&mut sim, &kernel::omp_atomic_update_array(DType::F64, 8), threads);
+    let d4 = cpu_throughput(
+        &mut sim,
+        &kernel::omp_atomic_update_array(DType::F64, 4),
+        threads,
+    );
+    let d8 = cpu_throughput(
+        &mut sim,
+        &kernel::omp_atomic_update_array(DType::F64, 8),
+        threads,
+    );
     assert!(d8 > 3.0 * d4, "doubles jump at stride 8 (Fig. 3c)");
     // ints: conflict-free from stride 16 (64 B / 4 B).
-    let i8 = cpu_throughput(&mut sim, &kernel::omp_atomic_update_array(DType::I32, 8), threads);
-    let i16 = cpu_throughput(&mut sim, &kernel::omp_atomic_update_array(DType::I32, 16), threads);
+    let i8 = cpu_throughput(
+        &mut sim,
+        &kernel::omp_atomic_update_array(DType::I32, 8),
+        threads,
+    );
+    let i16 = cpu_throughput(
+        &mut sim,
+        &kernel::omp_atomic_update_array(DType::I32, 16),
+        threads,
+    );
     assert!(i16 > 3.0 * i8, "ints jump at stride 16 (Fig. 3d)");
 }
 
@@ -64,16 +99,25 @@ fn finding_false_sharing_knee_at_cache_line_geometry() {
 fn finding_critical_sections_slowest() {
     let mut sim = CpuSimExecutor::new(&SYSTEM3);
     for threads in [4, 16, 32] {
-        let atomic = cpu_throughput(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), threads);
+        let atomic = cpu_throughput(
+            &mut sim,
+            &kernel::omp_atomic_update_scalar(DType::I32),
+            threads,
+        );
         let critical = cpu_throughput(&mut sim, &kernel::omp_critical_add(DType::I32), threads);
-        assert!(critical < atomic, "critical must lose at {threads} threads (Fig. 5)");
+        assert!(
+            critical < atomic,
+            "critical must lose at {threads} threads (Fig. 5)"
+        );
     }
 }
 
 #[test]
 fn finding_flush_free_without_false_sharing() {
     let mut sim = CpuSimExecutor::new(&SYSTEM2);
-    let p = ExecParams::new(32).with_affinity(Affinity::Close).with_loops(1000, 100);
+    let p = ExecParams::new(32)
+        .with_affinity(Affinity::Close)
+        .with_loops(1000, 100);
     let padded = Protocol::PAPER
         .measure(&mut sim, &kernel::omp_flush(DType::F64, 16), &p)
         .unwrap();
@@ -93,7 +137,10 @@ fn finding_hyperthreading_harmless() {
     let at_cores = cpu_throughput(&mut sim, &k, SYSTEM3.cpu.total_cores());
     let at_max = cpu_throughput(&mut sim, &k, SYSTEM3.cpu.total_threads());
     let ratio = at_max / at_cores;
-    assert!(ratio > 0.75, "per-thread throughput holds up under SMT: {ratio}");
+    assert!(
+        ratio > 0.75,
+        "per-thread throughput holds up under SMT: {ratio}"
+    );
 }
 
 // ---- CUDA findings ---------------------------------------------------
@@ -106,7 +153,10 @@ fn finding_syncthreads_flat_in_warp_then_decreasing() {
     let t32 = gpu_throughput(&mut gpu, &k, 1, 32);
     let t1024 = gpu_throughput(&mut gpu, &k, 1, 1024);
     assert_eq!(t8, t32, "whole warp runs below 32 threads");
-    assert!(t1024 < 0.5 * t32, "throughput drops with warp count (Fig. 7)");
+    assert!(
+        t1024 < 0.5 * t32,
+        "throughput drops with warp count (Fig. 7)"
+    );
 }
 
 #[test]
@@ -147,7 +197,10 @@ fn finding_fence_constant_and_scope_ordered() {
     let dev = kernel::cuda_threadfence(Scope::Device, DType::I32, 1);
     let a = gpu_throughput(&mut gpu, &dev, 1, 32);
     let b = gpu_throughput(&mut gpu, &dev, 128, 1024);
-    assert!((a / b - 1.0).abs() < 0.05, "fence cost constant (Fig. 14): {a} vs {b}");
+    assert!(
+        (a / b - 1.0).abs() < 0.05,
+        "fence cost constant (Fig. 14): {a} vs {b}"
+    );
 }
 
 #[test]
@@ -157,7 +210,10 @@ fn finding_shfl_32bit_double_64bit() {
     let f64k = kernel::cuda_shfl(DType::F64, ShflVariant::Xor);
     let a = gpu_throughput(&mut gpu, &f32k, 2, 32);
     let b = gpu_throughput(&mut gpu, &f64k, 2, 32);
-    assert!((a / b - 2.0).abs() < 0.1, "two 32-bit instructions per 64-bit shuffle (Fig. 15)");
+    assert!(
+        (a / b - 2.0).abs() < 0.1,
+        "two 32-bit instructions per 64-bit shuffle (Fig. 15)"
+    );
 }
 
 #[test]
@@ -194,7 +250,11 @@ fn finding_recommendation_engines_produce_paper_counts() {
         hyperthread_ratio: 1.0,
         flush_overhead_no_sharing: 1.6,
     };
-    assert_eq!(recommend_openmp(&omp).len(), 7, "Section V-A5 lists 7 recommendations");
+    assert_eq!(
+        recommend_openmp(&omp).len(),
+        7,
+        "Section V-A5 lists 7 recommendations"
+    );
     let cuda = CudaFindings {
         syncthreads: Series::new("s", vec![(32.0, 1e8), (1024.0, 1e7)]),
         syncwarp_variation: 1.5,
@@ -204,7 +264,11 @@ fn finding_recommendation_engines_produce_paper_counts() {
         shfl_32_over_64: 2.9,
         partial_warp_atomic_gain: 19.5,
     };
-    assert_eq!(recommend_cuda(&cuda).len(), 8, "Section V-B5 lists 8 recommendations");
+    assert_eq!(
+        recommend_cuda(&cuda).len(),
+        8,
+        "Section V-B5 lists 8 recommendations"
+    );
 }
 
 #[test]

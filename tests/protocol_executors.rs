@@ -28,7 +28,11 @@ fn same_kernel_same_protocol_three_executors() {
     let gk = kernel::cuda_atomic_add_scalar(DType::I32);
     let mut gpu = GpuSimExecutor::new(&SYSTEM3);
     let m_gpu = Protocol::SIM
-        .measure(&mut gpu, &gk, &ExecParams::new(32).with_blocks(2).with_loops(100, 20))
+        .measure(
+            &mut gpu,
+            &gk,
+            &ExecParams::new(32).with_blocks(2).with_loops(100, 20),
+        )
         .unwrap();
     assert!(m_gpu.per_op > 0.0);
     assert!(matches!(m_gpu.time_unit, TimeUnit::Cycles { .. }));
@@ -53,7 +57,11 @@ fn atomic_read_is_free_on_real_threads_and_simulator() {
     let k = kernel::omp_atomic_read(DType::I32);
     let mut real = OmpExecutor::new();
     let m = Protocol::PAPER
-        .measure(&mut real, &k, &ExecParams::new(2).with_loops(100, 50).with_warmup(2))
+        .measure(
+            &mut real,
+            &k,
+            &ExecParams::new(2).with_loops(100, 50).with_warmup(2),
+        )
         .unwrap();
     assert!(
         m.is_negligible(),
@@ -118,5 +126,8 @@ fn simulated_jitter_exercises_the_retry_path() {
         total_retries += m.retries;
         assert!(m.per_op.is_finite());
     }
-    assert!(total_retries > 0, "expected at least one retry across 5 measurements");
+    assert!(
+        total_retries > 0,
+        "expected at least one retry across 5 measurements"
+    );
 }
