@@ -16,4 +16,12 @@ cargo clippy --workspace --release --offline --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --release --offline -q
 
+# Static sync-lint + race-detector cross-check over every registered
+# kernel (docs/ANALYSIS.md). Exits nonzero on any non-allowlisted
+# diagnostic or static/dynamic disagreement; the JSON report is
+# uploaded as a CI artifact.
+echo "==> sync_lint all"
+cargo run --release --offline -p syncperf-bench --bin sync_lint -- \
+  all --format json --out sync_lint_report.json
+
 echo "CI green"

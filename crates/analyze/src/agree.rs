@@ -1,0 +1,197 @@
+//! Static ↔ dynamic cross-check.
+//!
+//! The static linter and the vector-clock replay are two independent
+//! implementations of the same memory-model judgment; this module pins
+//! them against each other. For every body:
+//!
+//! * the set of locations `SL001` fires for must equal the set of
+//!   locations the replay reports as raced, and
+//! * `SL002` must be present iff the replay observed a block barrier
+//!   executing under divergence.
+//!
+//! A disagreement in either direction (static-says-race ∧
+//! dynamic-says-clean, or vice versa) is a bug in one of the halves and
+//! is reported as an [`Agreement`] failure — test suites and the
+//! `sync_lint` CLI treat it as fatal.
+
+use syncperf_core::{CpuOp, GpuOp};
+
+use crate::lint::{divergent_barriers, static_race_locs_cpu, static_race_locs_gpu};
+use crate::trace::Loc;
+use crate::vc::{replay_cpu_body, replay_gpu_body, DynReport};
+
+/// The outcome of cross-checking one body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Agreement {
+    /// Locations only the static linter called raced.
+    pub static_only: Vec<Loc>,
+    /// Locations only the dynamic replay called raced.
+    pub dynamic_only: Vec<Loc>,
+    /// `SL002` verdicts: (static, dynamic).
+    pub divergence: (bool, bool),
+    /// The dynamic report, for callers that want the evidence.
+    pub report: DynReport,
+}
+
+impl Agreement {
+    /// Whether both halves reached the same verdict.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.static_only.is_empty()
+            && self.dynamic_only.is_empty()
+            && self.divergence.0 == self.divergence.1
+    }
+
+    /// Human-readable explanation of a failed agreement.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.static_only.is_empty() {
+            parts.push(format!(
+                "static-only race locations: {:?}",
+                self.static_only
+            ));
+        }
+        if !self.dynamic_only.is_empty() {
+            parts.push(format!(
+                "dynamic-only race locations: {:?}",
+                self.dynamic_only
+            ));
+        }
+        if self.divergence.0 != self.divergence.1 {
+            parts.push(format!(
+                "divergence verdicts differ (static {}, dynamic {})",
+                self.divergence.0, self.divergence.1
+            ));
+        }
+        if parts.is_empty() {
+            "static and dynamic verdicts agree".to_string()
+        } else {
+            parts.join("; ")
+        }
+    }
+
+    fn from_parts(
+        static_locs: std::collections::BTreeSet<Loc>,
+        static_divergence: bool,
+        report: DynReport,
+    ) -> Agreement {
+        let dyn_locs = report.race_locs();
+        Agreement {
+            static_only: static_locs.difference(&dyn_locs).copied().collect(),
+            dynamic_only: dyn_locs.difference(&static_locs).copied().collect(),
+            divergence: (static_divergence, report.barrier_divergence),
+            report,
+        }
+    }
+}
+
+/// Cross-checks a CPU body with the default audit geometry.
+#[must_use]
+pub fn check_cpu_body(body: &[CpuOp]) -> Agreement {
+    Agreement::from_parts(static_race_locs_cpu(body), false, replay_cpu_body(body))
+}
+
+/// Cross-checks a GPU body with the default audit geometry.
+#[must_use]
+pub fn check_gpu_body(body: &[GpuOp]) -> Agreement {
+    Agreement::from_parts(
+        static_race_locs_gpu(body),
+        !divergent_barriers(body).is_empty(),
+        replay_gpu_body(body),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{DType, Scope, Target};
+
+    #[test]
+    fn seeded_cpu_race_caught_by_both_halves() {
+        let body = [CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        }];
+        let a = check_cpu_body(&body);
+        assert!(a.holds(), "{}", a.explain());
+        assert_eq!(a.report.races.len(), 1, "dynamic half must see the race");
+        assert_eq!(
+            crate::lint::static_race_locs_cpu(&body).len(),
+            1,
+            "static half must see the race"
+        );
+    }
+
+    #[test]
+    fn seeded_divergence_caught_by_both_halves() {
+        let body = [
+            GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 2,
+            },
+            GpuOp::SyncThreads,
+        ];
+        let a = check_gpu_body(&body);
+        assert!(a.holds(), "{}", a.explain());
+        assert!(a.divergence.0 && a.divergence.1);
+    }
+
+    #[test]
+    fn seeded_scope_mismatch_races_dynamically() {
+        // The block-scoped atomic is the racy half of an SL003 pair;
+        // both halves must flag the location.
+        let body = [
+            GpuOp::AtomicAdd {
+                dtype: DType::I32,
+                scope: Scope::Block,
+                target: Target::SHARED,
+            },
+            GpuOp::AtomicAdd {
+                dtype: DType::I32,
+                scope: Scope::Device,
+                target: Target::SHARED,
+            },
+        ];
+        let a = check_gpu_body(&body);
+        assert!(a.holds(), "{}", a.explain());
+        assert_eq!(a.report.races.len(), 1);
+    }
+
+    #[test]
+    fn all_builtin_kernel_bodies_agree() {
+        use syncperf_core::kernel;
+        let cpu = [
+            kernel::omp_barrier(),
+            kernel::omp_atomic_update_scalar(DType::F64),
+            kernel::omp_atomic_update_array(DType::I32, 0),
+            kernel::omp_atomic_capture_scalar(DType::U64),
+            kernel::omp_atomic_write(DType::F32),
+            kernel::omp_atomic_read(DType::I32),
+            kernel::omp_critical_add(DType::I32),
+            kernel::omp_flush(DType::F64, 1),
+        ];
+        for k in cpu {
+            for body in [&k.baseline, &k.test] {
+                let a = check_cpu_body(body);
+                assert!(a.holds(), "{}: {}", k.name, a.explain());
+            }
+        }
+        let gpu = [
+            kernel::cuda_syncthreads(),
+            kernel::cuda_syncwarp(),
+            kernel::cuda_atomic_add_scalar(DType::F32),
+            kernel::cuda_atomic_add_array(DType::I32, 0),
+            kernel::cuda_atomic_cas_scalar(DType::I32),
+            kernel::cuda_atomic_exch(DType::U64),
+            kernel::cuda_threadfence(Scope::System, DType::I32, 1),
+            kernel::cuda_divergence(DType::I32, 8),
+        ];
+        for k in gpu {
+            for body in [&k.baseline, &k.test] {
+                let a = check_gpu_body(body);
+                assert!(a.holds(), "{}: {}", k.name, a.explain());
+            }
+        }
+    }
+}

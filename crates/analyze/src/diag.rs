@@ -1,0 +1,202 @@
+//! Structured diagnostics with stable codes.
+//!
+//! Every finding of the static linter (and every dynamic cross-check
+//! failure) is reported as a [`Diagnostic`] carrying one of the stable
+//! [`DiagCode`]s documented in `docs/ANALYSIS.md`. Codes are stable so
+//! that allowlists, CI gates, and downstream tooling can match on them.
+
+use std::fmt;
+
+/// Stable diagnostic codes emitted by the sync linter.
+///
+/// The numeric part never changes meaning; retired codes are not
+/// reused. Each code is documented with examples in `docs/ANALYSIS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// `SL001` — data race: a plain (or effectively plain) access to a
+    /// thread-shared location conflicts with a write without any
+    /// protecting atomicity or barrier ordering.
+    DataRace,
+    /// `SL002` — barrier divergence: a block-wide barrier executes in
+    /// the shadow of a divergent branch, which deadlocks (or is
+    /// undefined) on real hardware.
+    BarrierDivergence,
+    /// `SL003` — scope mismatch: block-scoped and device/system-scoped
+    /// atomics address the same target, so the narrower atomics do not
+    /// order against the wider ones.
+    ScopeMismatch,
+    /// `SL004` — fence-free publish: plain updates to a shared array
+    /// are never followed by a flush/fence/barrier, so other threads
+    /// have no defined point at which they may observe them.
+    UnfencedPublish,
+    /// `SL005` — redundant synchronization: back-to-back barriers, or a
+    /// fence immediately after an equal-or-stronger fence, where the
+    /// second can be removed.
+    RedundantSync,
+    /// `SL006` — floating-point atomic lowered to a CAS retry loop:
+    /// correct but costly; the paper recommends integer atomics where
+    /// possible.
+    FpAtomicCas,
+}
+
+impl DiagCode {
+    /// Every code, in numeric order.
+    pub const ALL: [DiagCode; 6] = [
+        DiagCode::DataRace,
+        DiagCode::BarrierDivergence,
+        DiagCode::ScopeMismatch,
+        DiagCode::UnfencedPublish,
+        DiagCode::RedundantSync,
+        DiagCode::FpAtomicCas,
+    ];
+
+    /// The stable code string, e.g. `"SL001"`.
+    #[must_use]
+    pub const fn code(self) -> &'static str {
+        match self {
+            DiagCode::DataRace => "SL001",
+            DiagCode::BarrierDivergence => "SL002",
+            DiagCode::ScopeMismatch => "SL003",
+            DiagCode::UnfencedPublish => "SL004",
+            DiagCode::RedundantSync => "SL005",
+            DiagCode::FpAtomicCas => "SL006",
+        }
+    }
+
+    /// Short human-readable title.
+    #[must_use]
+    pub const fn title(self) -> &'static str {
+        match self {
+            DiagCode::DataRace => "data race",
+            DiagCode::BarrierDivergence => "barrier under divergence",
+            DiagCode::ScopeMismatch => "mixed atomic scopes on one target",
+            DiagCode::UnfencedPublish => "fence-free publish",
+            DiagCode::RedundantSync => "redundant synchronization",
+            DiagCode::FpAtomicCas => "floating-point atomic via CAS loop",
+        }
+    }
+
+    /// The severity this code is reported at.
+    #[must_use]
+    pub const fn severity(self) -> Severity {
+        match self {
+            DiagCode::DataRace | DiagCode::BarrierDivergence | DiagCode::ScopeMismatch => {
+                Severity::Error
+            }
+            DiagCode::UnfencedPublish | DiagCode::RedundantSync => Severity::Warning,
+            DiagCode::FpAtomicCas => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: correct but likely slower than an alternative.
+    Info,
+    /// Suspicious: probably unintended, but not undefined behavior.
+    Warning,
+    /// A correctness bug (race, deadlock, broken atomicity).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which body of a kernel a diagnostic refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BodyKind {
+    /// The baseline loop body.
+    Baseline,
+    /// The test loop body.
+    Test,
+}
+
+impl fmt::Display for BodyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BodyKind::Baseline => "baseline",
+            BodyKind::Test => "test",
+        })
+    }
+}
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Index of the primary offending op within the body, when the
+    /// finding is tied to one op rather than a whole-body pattern.
+    pub op_index: Option<usize>,
+    /// Human-readable explanation, including the evidence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for `code` with the canonical severity.
+    #[must_use]
+    pub fn new(code: DiagCode, op_index: Option<usize>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            op_index,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.code, self.severity, self.message)?;
+        if let Some(i) = self.op_index {
+            write!(f, " (op #{i})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sequential() {
+        let codes: Vec<&str> = DiagCode::ALL.iter().map(|c| c.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), DiagCode::ALL.len());
+        for (i, c) in codes.iter().enumerate() {
+            assert_eq!(*c, format!("SL{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn severity_ordering_supports_gating() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn display_carries_code_and_op() {
+        let d = Diagnostic::new(DiagCode::DataRace, Some(2), "plain update on shared int");
+        let s = d.to_string();
+        assert!(s.contains("SL001") && s.contains("error") && s.contains("op #2"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Static and dynamic analysis of syncperf kernel bodies.
+//!
+//! This crate implements `syncperf-analyze`, the repo's sync-lint and
+//! race-detection layer. It has two independent halves that check each
+//! other:
+//!
+//! 1. **The static linter** ([`lint`]) walks a kernel body (the same
+//!    [`syncperf_core::CpuOp`]/[`syncperf_core::GpuOp`] IR every
+//!    executor interprets) and emits structured [`diag::Diagnostic`]s
+//!    with stable `SL00x` codes: data races, barriers under divergent
+//!    control flow, mixed atomic scopes, fence-free publishes,
+//!    redundant synchronization, and CAS-lowered float atomics.
+//! 2. **The dynamic detector** ([`vc`]) replays the body's per-thread
+//!    access streams — the same streams the cpu-sim MESI engine
+//!    replays — under a vector-clock happens-before model and reports
+//!    the races it actually observes.
+//!
+//! The [`agree`] module pins the two halves together: for every body,
+//! `SL001`'s location set must equal the replay's raced-location set,
+//! and `SL002` must match the replay's divergence observation. The
+//! workspace test suite and the `sync_lint` CLI treat any disagreement
+//! as a fatal bug in the analyzer itself.
+//!
+//! Diagnostic codes, the allowlist format, and the agreement contract
+//! are documented in `docs/ANALYSIS.md`.
+
+pub mod agree;
+pub mod allow;
+pub mod diag;
+pub mod lint;
+pub mod record;
+pub mod trace;
+pub mod vc;
+
+pub use agree::{check_cpu_body, check_gpu_body, Agreement};
+pub use allow::{allowed_by, glob_match, AllowEntry, BUILTIN as BUILTIN_ALLOWLIST};
+pub use diag::{BodyKind, DiagCode, Diagnostic, Severity};
+pub use lint::{lint_cpu_body, lint_gpu_body};
+pub use trace::{Geometry, Loc};
+pub use vc::{replay_cpu_body, replay_gpu_body, DynReport, RaceFinding};

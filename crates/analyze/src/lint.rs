@@ -1,0 +1,576 @@
+//! The static sync linter.
+//!
+//! Each rule reasons over the same lowering ([`crate::trace`]) the
+//! dynamic detector replays, which is what makes the static verdicts
+//! checkable: for every body, `SL001` findings must name exactly the
+//! locations the vector-clock replay reports as raced, and `SL002` must
+//! fire iff the replay observes a barrier executing under divergence
+//! (see [`crate::agree`]).
+//!
+//! The race rule exploits the SPMD structure of kernel bodies — every
+//! thread runs the same op sequence — so "is there a racing pair?"
+//! reduces to per-location bookkeeping over one body:
+//!
+//! * A **plain write** to a thread-shared location always races:
+//!   every thread performs that write at the same position, and no
+//!   amount of barriers orders two different threads' instances of the
+//!   same op occurrence.
+//! * An **atomic write plus a plain read** races unless a barrier
+//!   separates them on *both* sides of the loop — i.e. unless they sit
+//!   in different segments of the circular, barrier-delimited body.
+//!   Fences don't help: a fence chain is asymmetric and always leaves
+//!   at least one cross-thread pair unordered.
+//! * On the GPU the segment refinement is unavailable entirely:
+//!   `__syncthreads()` orders nothing across blocks, and every
+//!   device-visible location is reachable from at least two blocks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use syncperf_core::{CpuOp, DType, GpuOp, Scope, Target};
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::trace::{lower_cpu_op, lower_gpu_op, AccessKind, Loc, TraceEvent};
+
+/// Formats a target for diagnostics.
+fn describe(dtype: DType, target: Target) -> String {
+    match target {
+        Target::SharedScalar(i) => format!("shared scalar #{i} ({dtype})"),
+        Target::Private { array, stride } => {
+            format!("array {array} at stride {stride} ({dtype})")
+        }
+    }
+}
+
+/// Per-location access indexes gathered from one body.
+#[derive(Debug)]
+struct LocAccesses {
+    dtype: DType,
+    target: Target,
+    plain_writes: Vec<usize>,
+    plain_reads: Vec<usize>,
+    atomic_writes: Vec<usize>,
+}
+
+/// Collects thread-shared accesses per location. The lowering for
+/// thread 0 is representative: thread-shared locations resolve to the
+/// same element for every tid.
+fn collect_shared<F>(len: usize, lower: F) -> BTreeMap<Loc, LocAccesses>
+where
+    F: Fn(usize) -> Vec<TraceEvent>,
+{
+    let mut map: BTreeMap<Loc, LocAccesses> = BTreeMap::new();
+    for i in 0..len {
+        for ev in lower(i) {
+            if let TraceEvent::Access {
+                loc,
+                kind,
+                dtype,
+                target,
+            } = ev
+            {
+                if !target.is_thread_shared() {
+                    continue;
+                }
+                let acc = map.entry(loc).or_insert_with(|| LocAccesses {
+                    dtype,
+                    target,
+                    plain_writes: Vec::new(),
+                    plain_reads: Vec::new(),
+                    atomic_writes: Vec::new(),
+                });
+                match kind {
+                    AccessKind::PlainWrite => acc.plain_writes.push(i),
+                    AccessKind::PlainRead => acc.plain_reads.push(i),
+                    AccessKind::AtomicWrite => acc.atomic_writes.push(i),
+                    // Atomic reads race only against plain writes, and
+                    // any plain write already races on its own.
+                    AccessKind::AtomicRead => {}
+                }
+            }
+        }
+    }
+    map
+}
+
+/// One race verdict: the raced location plus the op to point at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StaticRace {
+    loc: Loc,
+    dtype: DType,
+    target: Target,
+    op_index: usize,
+}
+
+/// CPU race analysis. `barriers` are the body indexes of `Barrier` ops;
+/// the body is circular (it is run in a loop), so segments wrap.
+fn cpu_races(body: &[CpuOp]) -> Vec<StaticRace> {
+    let barriers: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, CpuOp::Barrier))
+        .map(|(i, _)| i)
+        .collect();
+    // Circular segment id of a non-barrier op index: ops before the
+    // first barrier and after the last barrier share a segment.
+    let seg = |idx: usize| -> usize {
+        if barriers.is_empty() {
+            0
+        } else {
+            barriers.iter().take_while(|&&b| b < idx).count() % barriers.len()
+        }
+    };
+    let shared = collect_shared(body.len(), |i| lower_cpu_op(body[i], 0));
+    let mut races = Vec::new();
+    for (loc, acc) in shared {
+        if let Some(&w) = acc.plain_writes.first() {
+            races.push(StaticRace {
+                loc,
+                dtype: acc.dtype,
+                target: acc.target,
+                op_index: w,
+            });
+        } else if let Some((&w, _)) = acc
+            .atomic_writes
+            .iter()
+            .flat_map(|w| acc.plain_reads.iter().map(move |r| (w, r)))
+            .find(|(w, r)| seg(**w) == seg(**r))
+        {
+            races.push(StaticRace {
+                loc,
+                dtype: acc.dtype,
+                target: acc.target,
+                op_index: w,
+            });
+        }
+    }
+    races
+}
+
+/// GPU race analysis: no segment refinement (see module docs).
+fn gpu_races(body: &[GpuOp]) -> Vec<StaticRace> {
+    let shared = collect_shared(body.len(), |i| lower_gpu_op(body[i], 0));
+    let mut races = Vec::new();
+    for (loc, acc) in shared {
+        let verdict = if let Some(&w) = acc.plain_writes.first() {
+            Some(w)
+        } else if !acc.plain_reads.is_empty() {
+            acc.atomic_writes.first().copied()
+        } else {
+            None
+        };
+        if let Some(w) = verdict {
+            races.push(StaticRace {
+                loc,
+                dtype: acc.dtype,
+                target: acc.target,
+                op_index: w,
+            });
+        }
+    }
+    races
+}
+
+/// Locations `SL001` fires for on a CPU body (the static half of the
+/// agreement contract).
+#[must_use]
+pub fn static_race_locs_cpu(body: &[CpuOp]) -> BTreeSet<Loc> {
+    cpu_races(body).into_iter().map(|r| r.loc).collect()
+}
+
+/// Locations `SL001` fires for on a GPU body.
+#[must_use]
+pub fn static_race_locs_gpu(body: &[GpuOp]) -> BTreeSet<Loc> {
+    gpu_races(body).into_iter().map(|r| r.loc).collect()
+}
+
+/// Body indexes of block barriers statically reachable under a
+/// divergent mask: `Diverge { paths > 1 }` immediately (circularly)
+/// followed by a block barrier.
+#[must_use]
+pub fn divergent_barriers(body: &[GpuOp]) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for (i, op) in body.iter().enumerate() {
+        if let GpuOp::Diverge { paths, .. } = op {
+            if *paths > 1 {
+                let next = (i + 1) % body.len();
+                if body[next].is_block_barrier() && next != i {
+                    hits.push(next);
+                }
+            }
+        }
+    }
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
+
+fn race_diag(r: &StaticRace, detail: &str) -> Diagnostic {
+    Diagnostic::new(
+        DiagCode::DataRace,
+        Some(r.op_index),
+        format!("{} on {}", detail, describe(r.dtype, r.target)),
+    )
+}
+
+/// Fence width order for the redundant-fence rule.
+const fn fence_width(scope: Scope) -> u8 {
+    match scope {
+        Scope::Block => 0,
+        Scope::Device => 1,
+        Scope::System => 2,
+    }
+}
+
+/// Lints a CPU (OpenMP) body.
+#[must_use]
+pub fn lint_cpu_body(body: &[CpuOp]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // SL001 — data races.
+    for r in cpu_races(body) {
+        let detail = if matches!(body[r.op_index], CpuOp::Update { .. }) {
+            "unprotected plain update"
+        } else {
+            "atomic write vs. plain read without a barrier on both sides"
+        };
+        out.push(race_diag(&r, detail));
+    }
+
+    // SL004 — plain array updates with no flush or barrier anywhere.
+    let has_publish_point = body
+        .iter()
+        .any(|op| matches!(op, CpuOp::Barrier | CpuOp::Flush));
+    if !has_publish_point {
+        if let Some((i, (dtype, target))) = body.iter().enumerate().find_map(|(i, op)| match op {
+            CpuOp::Update { dtype, target }
+                if matches!(target, Target::Private { stride, .. } if *stride > 0) =>
+            {
+                Some((i, (*dtype, *target)))
+            }
+            _ => None,
+        }) {
+            out.push(Diagnostic::new(
+                DiagCode::UnfencedPublish,
+                Some(i),
+                format!(
+                    "plain updates to {} are never published: body contains no flush or barrier",
+                    describe(dtype, target)
+                ),
+            ));
+        }
+    }
+
+    // SL005 — redundant adjacent synchronization.
+    for (i, pair) in body.windows(2).enumerate() {
+        let redundant = matches!(
+            pair,
+            [CpuOp::Barrier, CpuOp::Barrier] | [CpuOp::Flush, CpuOp::Flush]
+        );
+        if redundant {
+            out.push(Diagnostic::new(
+                DiagCode::RedundantSync,
+                Some(i + 1),
+                format!(
+                    "{:?} immediately repeats the previous op; the second is redundant",
+                    pair[1]
+                ),
+            ));
+        }
+    }
+
+    // SL006 — float atomic update/capture lowers to a CAS retry loop
+    // (paper Fig. 2: float/double atomic updates cost far more than
+    // int/ull on CPUs). One diagnostic per (dtype, target).
+    let mut seen = std::collections::HashSet::new();
+    for (i, op) in body.iter().enumerate() {
+        if let CpuOp::AtomicUpdate { dtype, target } | CpuOp::AtomicCapture { dtype, target } = op {
+            if dtype.is_float() && seen.insert((dtype.label(), *target)) {
+                out.push(Diagnostic::new(
+                    DiagCode::FpAtomicCas,
+                    Some(i),
+                    format!(
+                        "atomic update of {} lowers to a CAS retry loop; prefer integer atomics where possible",
+                        describe(*dtype, *target)
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+/// Lints a GPU (CUDA) body.
+#[must_use]
+pub fn lint_gpu_body(body: &[GpuOp]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // SL001 — data races.
+    for r in gpu_races(body) {
+        let detail = match body[r.op_index] {
+            GpuOp::Update { .. } => "unprotected plain update",
+            op if op.sync_scope() == Some(Scope::Block) => {
+                "block-scoped atomic on device-visible memory (no atomicity across blocks)"
+            }
+            _ => "atomic write vs. plain read (__syncthreads orders nothing across blocks)",
+        };
+        out.push(race_diag(&r, detail));
+    }
+
+    // SL002 — block barrier under a divergent branch.
+    for i in divergent_barriers(body) {
+        out.push(Diagnostic::new(
+            DiagCode::BarrierDivergence,
+            Some(i),
+            "block-wide barrier executes under a divergent branch; this deadlocks on hardware"
+                .to_string(),
+        ));
+    }
+
+    // SL003 — mixed atomic scopes on one target.
+    let mut scopes: BTreeMap<String, (Target, BTreeSet<&'static str>, bool, bool, usize)> =
+        BTreeMap::new();
+    for (i, op) in body.iter().enumerate() {
+        if op.is_atomic_access() {
+            if let (Some((_, target)), Some(scope)) = (op.memory_operand(), op.sync_scope()) {
+                let entry = scopes.entry(format!("{target:?}")).or_insert((
+                    target,
+                    BTreeSet::new(),
+                    false,
+                    false,
+                    i,
+                ));
+                entry.1.insert(match scope {
+                    Scope::Block => "block",
+                    Scope::Device => "device",
+                    Scope::System => "system",
+                });
+                match scope {
+                    Scope::Block => entry.2 = true,
+                    Scope::Device | Scope::System => entry.3 = true,
+                }
+            }
+        }
+    }
+    for (_, (target, names, narrow, wide, first)) in scopes {
+        if narrow && wide {
+            out.push(Diagnostic::new(
+                DiagCode::ScopeMismatch,
+                Some(first),
+                format!(
+                    "target {target:?} is accessed with mixed atomic scopes ({}); block-scoped atomics do not order against wider ones",
+                    names.into_iter().collect::<Vec<_>>().join(", ")
+                ),
+            ));
+        }
+    }
+
+    // SL004 — plain array updates with no fence or block barrier.
+    let has_publish_point = body
+        .iter()
+        .any(|op| matches!(op, GpuOp::ThreadFence { .. }) || op.is_block_barrier());
+    if !has_publish_point {
+        if let Some((i, (dtype, target))) = body.iter().enumerate().find_map(|(i, op)| match op {
+            GpuOp::Update { dtype, target }
+                if matches!(target, Target::Private { stride, .. } if *stride > 0) =>
+            {
+                Some((i, (*dtype, *target)))
+            }
+            _ => None,
+        }) {
+            out.push(Diagnostic::new(
+                DiagCode::UnfencedPublish,
+                Some(i),
+                format!(
+                    "plain updates to {} are never published: body contains no __threadfence or __syncthreads",
+                    describe(dtype, target)
+                ),
+            ));
+        }
+    }
+
+    // SL005 — redundant adjacent synchronization.
+    for (i, pair) in body.windows(2).enumerate() {
+        let redundant = match (pair[0], pair[1]) {
+            // A bare __syncthreads right after any block barrier adds
+            // nothing (a SyncThreadsReduce second would still do work).
+            (a, GpuOp::SyncThreads) if a.is_block_barrier() => true,
+            (GpuOp::SyncWarp, GpuOp::SyncWarp) => true,
+            // A warp sync is wholly implied by a block barrier.
+            (a, GpuOp::SyncWarp) if a.is_block_barrier() => true,
+            (GpuOp::ThreadFence { scope: s1 }, GpuOp::ThreadFence { scope: s2 }) => {
+                fence_width(s2) <= fence_width(s1)
+            }
+            _ => false,
+        };
+        if redundant {
+            out.push(Diagnostic::new(
+                DiagCode::RedundantSync,
+                Some(i + 1),
+                format!(
+                    "{:?} immediately follows {:?}, which already provides its ordering",
+                    pair[1], pair[0]
+                ),
+            ));
+        }
+    }
+
+    // SL006 — float atomicMax has no hardware instruction and lowers to
+    // a CAS loop (the paper recommends int atomic adds / CAS over other
+    // data types).
+    let mut seen = std::collections::HashSet::new();
+    for (i, op) in body.iter().enumerate() {
+        if let GpuOp::AtomicMax { dtype, target, .. } = op {
+            if dtype.is_float() && seen.insert((dtype.label(), *target)) {
+                out.push(Diagnostic::new(
+                    DiagCode::FpAtomicCas,
+                    Some(i),
+                    format!(
+                        "atomicMax on {} lowers to a CAS retry loop; prefer int atomic adds and CAS over other data types",
+                        describe(*dtype, *target)
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::kernel;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn plain_shared_update_is_sl001() {
+        let body = [CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        }];
+        assert_eq!(codes(&lint_cpu_body(&body)), ["SL001"]);
+    }
+
+    #[test]
+    fn atomic_bodies_are_clean() {
+        for dt in [DType::I32, DType::U64] {
+            let k = kernel::omp_atomic_update_scalar(dt);
+            assert!(lint_cpu_body(&k.baseline).is_empty());
+            assert!(lint_cpu_body(&k.test).is_empty());
+        }
+    }
+
+    #[test]
+    fn barrier_segments_gate_write_read_pairs() {
+        let aw = CpuOp::AtomicUpdate {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        };
+        let r = CpuOp::Read {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        };
+        let clean = [aw, CpuOp::Barrier, r, CpuOp::Barrier];
+        assert!(static_race_locs_cpu(&clean).is_empty());
+        // One barrier only: the wrap-around direction is unprotected.
+        let racy = [aw, CpuOp::Barrier, r];
+        assert_eq!(static_race_locs_cpu(&racy).len(), 1);
+        // Flushes do not create segments.
+        let flushy = [aw, CpuOp::Flush, r, CpuOp::Flush];
+        assert_eq!(static_race_locs_cpu(&flushy).len(), 1);
+    }
+
+    #[test]
+    fn divergence_before_barrier_is_sl002() {
+        let body = [
+            GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 4,
+            },
+            GpuOp::SyncThreads,
+        ];
+        assert!(codes(&lint_gpu_body(&body)).contains(&"SL002"));
+        // A divergent region that reconverges before the barrier is ok.
+        let body = [
+            GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 4,
+            },
+            GpuOp::Alu { dtype: DType::I32 },
+            GpuOp::SyncThreads,
+        ];
+        assert!(!codes(&lint_gpu_body(&body)).contains(&"SL002"));
+    }
+
+    #[test]
+    fn mixed_scopes_are_sl003() {
+        let body = [
+            GpuOp::AtomicAdd {
+                dtype: DType::I32,
+                scope: Scope::Block,
+                target: Target::SHARED,
+            },
+            GpuOp::AtomicAdd {
+                dtype: DType::I32,
+                scope: Scope::Device,
+                target: Target::SHARED,
+            },
+        ];
+        assert!(codes(&lint_gpu_body(&body)).contains(&"SL003"));
+    }
+
+    #[test]
+    fn unfenced_publish_fires_on_flush_baselines() {
+        let k = kernel::omp_flush(DType::F64, 4);
+        assert_eq!(codes(&lint_cpu_body(&k.baseline)), ["SL004"]);
+        // The test body adds the flush, which is the publish point.
+        assert!(lint_cpu_body(&k.test).is_empty());
+    }
+
+    #[test]
+    fn back_to_back_barriers_are_sl005() {
+        let k = kernel::omp_barrier();
+        assert!(lint_cpu_body(&k.baseline).is_empty());
+        assert_eq!(codes(&lint_cpu_body(&k.test)), ["SL005"]);
+        let g = kernel::cuda_syncthreads();
+        assert_eq!(codes(&lint_gpu_body(&g.test)), ["SL005"]);
+    }
+
+    #[test]
+    fn fence_ladder_redundancy_respects_width() {
+        let strong_then_weak = [
+            GpuOp::ThreadFence {
+                scope: Scope::System,
+            },
+            GpuOp::ThreadFence {
+                scope: Scope::Block,
+            },
+        ];
+        assert_eq!(codes(&lint_gpu_body(&strong_then_weak)), ["SL005"]);
+        let weak_then_strong = [
+            GpuOp::ThreadFence {
+                scope: Scope::Block,
+            },
+            GpuOp::ThreadFence {
+                scope: Scope::Device,
+            },
+        ];
+        assert!(lint_gpu_body(&weak_then_strong).is_empty());
+    }
+
+    #[test]
+    fn float_atomics_are_sl006() {
+        let k = kernel::omp_atomic_update_scalar(DType::F64);
+        assert_eq!(codes(&lint_cpu_body(&k.test)), ["SL006"]);
+        let body = [GpuOp::AtomicMax {
+            dtype: DType::F32,
+            scope: Scope::Device,
+            target: Target::SHARED,
+        }];
+        assert_eq!(codes(&lint_gpu_body(&body)), ["SL006"]);
+    }
+}

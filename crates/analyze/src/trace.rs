@@ -1,0 +1,359 @@
+//! Lowering from kernel IR to per-thread memory/synchronization traces.
+//!
+//! Both halves of the analyzer speak this vocabulary: the static linter
+//! reasons about the events a body *would* generate, and the dynamic
+//! detector ([`crate::vc`]) replays the events each thread *does*
+//! generate — the same per-thread access streams the cpu-sim MESI
+//! engine replays (element-granular rather than line-granular, because
+//! races are a property of memory elements, not cache lines).
+//!
+//! The lowering fixes the conventions the two halves must share:
+//!
+//! * **Block-scoped atomics on device-visible memory are plain
+//!   accesses.** Every replay spans at least two blocks, and an
+//!   `atomicAdd_block()` provides no atomicity against another block's
+//!   accesses, so cross-block it behaves like an unordered update.
+//! * **`Diverge` taints the immediately following op.** The flat IR
+//!   serializes a divergent region into a single `Diverge` op; the op
+//!   right after it is treated as still under the divergent mask, which
+//!   is how `if (divergent) __syncthreads();` is expressed.
+//! * **Warp-synchronous ops** (`Shfl`, `Vote`, `WarpReduce`,
+//!   `SyncWarp`) are warp barriers; they order nothing across warps.
+
+use syncperf_core::{CpuOp, DType, GpuOp, Scope, Target};
+
+/// One memory element of the simulated address space.
+///
+/// Mirrors `syncperf_cpu_sim::memline::line_of` but at element
+/// granularity: scalars and each `(dtype, array)` pair live in disjoint
+/// regions, and a private element sits at index `tid × stride`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc {
+    region: u32,
+    elem: u64,
+}
+
+const fn dtype_idx(dtype: DType) -> u32 {
+    match dtype {
+        DType::I32 => 0,
+        DType::U64 => 1,
+        DType::F32 => 2,
+        DType::F64 => 3,
+    }
+}
+
+/// The element `(dtype, target)` resolves to for thread `tid`.
+#[must_use]
+pub fn loc_of(dtype: DType, target: Target, tid: usize) -> Loc {
+    match target {
+        Target::SharedScalar(i) => Loc {
+            region: 0x1000 + u32::from(i),
+            elem: u64::from(dtype_idx(dtype)),
+        },
+        Target::Private { array, stride } => Loc {
+            region: 0x2000 + dtype_idx(dtype) * 16 + u32::from(array),
+            elem: tid as u64 * u64::from(stride),
+        },
+    }
+}
+
+/// How an access touches its element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Non-atomic load.
+    PlainRead,
+    /// Non-atomic store / read-modify-write.
+    PlainWrite,
+    /// Atomic load.
+    AtomicRead,
+    /// Atomic store / read-modify-write (including lock-protected).
+    AtomicWrite,
+}
+
+impl AccessKind {
+    /// Whether the access writes the element.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::PlainWrite | AccessKind::AtomicWrite)
+    }
+
+    /// Whether the access is atomic.
+    #[must_use]
+    pub const fn is_atomic(self) -> bool {
+        matches!(self, AccessKind::AtomicRead | AccessKind::AtomicWrite)
+    }
+}
+
+/// Fence width in the replay's two-level (block / device) hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceScope {
+    /// Orders only against threads of the same block.
+    Block,
+    /// Orders against every thread on the device (and host).
+    Global,
+}
+
+/// One lowered per-thread event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A memory access to `loc`. The originating `(dtype, target)` is
+    /// kept so reports and the MESI cross-check can name the location.
+    Access {
+        /// The element accessed.
+        loc: Loc,
+        /// Access kind after scope lowering.
+        kind: AccessKind,
+        /// Operand type.
+        dtype: DType,
+        /// IR-level target.
+        target: Target,
+    },
+    /// Barrier across every replayed thread (`#pragma omp barrier`).
+    BarrierAll,
+    /// Barrier across the thread's block (`__syncthreads()` family).
+    BarrierBlock,
+    /// Barrier across the thread's warp.
+    BarrierWarp,
+    /// Memory fence of the given width (`flush` / `__threadfence*`).
+    Fence(FenceScope),
+    /// Acquire the (single, unnamed) critical-section lock.
+    LockAcquire,
+    /// Release the critical-section lock.
+    LockRelease,
+    /// Divergent branch: taints the next op slot with `paths`-way
+    /// divergence.
+    Diverge(u32),
+    /// No observable effect (register ALU work).
+    Nop,
+}
+
+/// Lowers one CPU op to the events thread `tid` generates for it.
+#[must_use]
+pub fn lower_cpu_op(op: CpuOp, tid: usize) -> Vec<TraceEvent> {
+    let access = |dtype, target, kind| TraceEvent::Access {
+        loc: loc_of(dtype, target, tid),
+        kind,
+        dtype,
+        target,
+    };
+    match op {
+        CpuOp::Barrier => vec![TraceEvent::BarrierAll],
+        CpuOp::Flush => vec![TraceEvent::Fence(FenceScope::Global)],
+        CpuOp::Read { dtype, target } => vec![access(dtype, target, AccessKind::PlainRead)],
+        CpuOp::Update { dtype, target } => vec![access(dtype, target, AccessKind::PlainWrite)],
+        CpuOp::AtomicRead { dtype, target } => vec![access(dtype, target, AccessKind::AtomicRead)],
+        CpuOp::AtomicUpdate { dtype, target }
+        | CpuOp::AtomicCapture { dtype, target }
+        | CpuOp::AtomicWrite { dtype, target } => {
+            vec![access(dtype, target, AccessKind::AtomicWrite)]
+        }
+        CpuOp::CriticalAdd { dtype, target } => vec![
+            TraceEvent::LockAcquire,
+            access(dtype, target, AccessKind::AtomicWrite),
+            TraceEvent::LockRelease,
+        ],
+    }
+}
+
+/// Lowers one GPU op to the events thread `tid` generates for it.
+///
+/// Block-scoped atomics lower to *plain* accesses (see module docs):
+/// the replay always spans multiple blocks, and so does every
+/// device-visible location they could legally target.
+#[must_use]
+pub fn lower_gpu_op(op: GpuOp, tid: usize) -> Vec<TraceEvent> {
+    let access = |dtype, target, kind| TraceEvent::Access {
+        loc: loc_of(dtype, target, tid),
+        kind,
+        dtype,
+        target,
+    };
+    let atomic_kind = |scope| match scope {
+        Scope::Block => AccessKind::PlainWrite,
+        Scope::Device | Scope::System => AccessKind::AtomicWrite,
+    };
+    match op {
+        GpuOp::SyncThreads | GpuOp::SyncThreadsReduce { .. } => vec![TraceEvent::BarrierBlock],
+        GpuOp::SyncWarp | GpuOp::Shfl { .. } | GpuOp::Vote { .. } | GpuOp::WarpReduce { .. } => {
+            vec![TraceEvent::BarrierWarp]
+        }
+        GpuOp::ThreadFence { scope } => vec![TraceEvent::Fence(match scope {
+            Scope::Block => FenceScope::Block,
+            Scope::Device | Scope::System => FenceScope::Global,
+        })],
+        GpuOp::AtomicAdd {
+            dtype,
+            scope,
+            target,
+        }
+        | GpuOp::AtomicCas {
+            dtype,
+            scope,
+            target,
+        }
+        | GpuOp::AtomicExch {
+            dtype,
+            scope,
+            target,
+        }
+        | GpuOp::AtomicMax {
+            dtype,
+            scope,
+            target,
+        }
+        | GpuOp::AtomicRmw {
+            dtype,
+            scope,
+            target,
+            ..
+        } => vec![access(dtype, target, atomic_kind(scope))],
+        GpuOp::Update { dtype, target } => vec![access(dtype, target, AccessKind::PlainWrite)],
+        GpuOp::Read { dtype, target } => vec![access(dtype, target, AccessKind::PlainRead)],
+        GpuOp::Alu { .. } => vec![TraceEvent::Nop],
+        GpuOp::Diverge { paths, .. } => vec![TraceEvent::Diverge(paths)],
+    }
+}
+
+/// Thread geometry of a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of blocks (1 for CPU teams).
+    pub blocks: usize,
+    /// Warps per block (irrelevant for CPU bodies, which never emit
+    /// warp barriers).
+    pub warps_per_block: usize,
+    /// Threads (lanes) per warp.
+    pub lanes_per_warp: usize,
+}
+
+impl Geometry {
+    /// Default CPU replay geometry: one team of four threads.
+    pub const CPU_AUDIT: Geometry = Geometry {
+        blocks: 1,
+        warps_per_block: 1,
+        lanes_per_warp: 4,
+    };
+
+    /// Default GPU replay geometry: two blocks of two warps of four
+    /// lanes. Two blocks so cross-block hazards (block-scoped atomics,
+    /// `__syncthreads()` non-ordering) are observable; two warps so
+    /// `__syncwarp()` never masquerades as a block barrier.
+    pub const GPU_AUDIT: Geometry = Geometry {
+        blocks: 2,
+        warps_per_block: 2,
+        lanes_per_warp: 4,
+    };
+
+    /// Total threads.
+    #[must_use]
+    pub const fn total_threads(&self) -> usize {
+        self.blocks * self.warps_per_block * self.lanes_per_warp
+    }
+
+    /// Threads per block.
+    #[must_use]
+    pub const fn threads_per_block(&self) -> usize {
+        self.warps_per_block * self.lanes_per_warp
+    }
+
+    /// The block a global thread id belongs to.
+    #[must_use]
+    pub const fn block_of(&self, tid: usize) -> usize {
+        tid / self.threads_per_block()
+    }
+
+    /// The global warp id a thread belongs to.
+    #[must_use]
+    pub const fn warp_of(&self, tid: usize) -> usize {
+        tid / self.lanes_per_warp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_scalar_loc_is_tid_independent() {
+        let a = loc_of(DType::I32, Target::SHARED, 0);
+        let b = loc_of(DType::I32, Target::SHARED, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, loc_of(DType::I32, Target::SHARED2, 0));
+        assert_ne!(a, loc_of(DType::F64, Target::SHARED, 0));
+    }
+
+    #[test]
+    fn private_elements_disjoint_unless_stride_zero() {
+        let a = loc_of(DType::I32, Target::private(1), 0);
+        let b = loc_of(DType::I32, Target::private(1), 1);
+        assert_ne!(a, b);
+        let z0 = loc_of(DType::I32, Target::private(0), 0);
+        let z9 = loc_of(DType::I32, Target::private(0), 9);
+        assert_eq!(z0, z9);
+    }
+
+    #[test]
+    fn critical_lowering_brackets_the_write() {
+        let ev = lower_cpu_op(
+            CpuOp::CriticalAdd {
+                dtype: DType::I32,
+                target: Target::SHARED,
+            },
+            0,
+        );
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0], TraceEvent::LockAcquire);
+        assert!(matches!(
+            ev[1],
+            TraceEvent::Access {
+                kind: AccessKind::AtomicWrite,
+                ..
+            }
+        ));
+        assert_eq!(ev[2], TraceEvent::LockRelease);
+    }
+
+    #[test]
+    fn block_scoped_atomic_lowers_to_plain_write() {
+        let ev = lower_gpu_op(
+            GpuOp::AtomicAdd {
+                dtype: DType::I32,
+                scope: Scope::Block,
+                target: Target::SHARED,
+            },
+            3,
+        );
+        assert!(matches!(
+            ev[0],
+            TraceEvent::Access {
+                kind: AccessKind::PlainWrite,
+                ..
+            }
+        ));
+        let ev = lower_gpu_op(
+            GpuOp::AtomicAdd {
+                dtype: DType::I32,
+                scope: Scope::Device,
+                target: Target::SHARED,
+            },
+            3,
+        );
+        assert!(matches!(
+            ev[0],
+            TraceEvent::Access {
+                kind: AccessKind::AtomicWrite,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn geometry_maps_threads() {
+        let g = Geometry::GPU_AUDIT;
+        assert_eq!(g.total_threads(), 16);
+        assert_eq!(g.block_of(0), 0);
+        assert_eq!(g.block_of(8), 1);
+        assert_eq!(g.warp_of(3), 0);
+        assert_eq!(g.warp_of(4), 1);
+    }
+}

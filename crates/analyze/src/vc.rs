@@ -1,0 +1,518 @@
+//! Dynamic happens-before race detection via vector clocks.
+//!
+//! The detector replays a kernel body over a small SPMD thread grid —
+//! the same element-granular access streams the cpu-sim MESI directory
+//! replays — tracking one vector clock per thread and four per-location
+//! access clocks (plain/atomic × read/write). Two accesses to the same
+//! element race when they are unordered by happens-before, at least one
+//! writes, and at least one is (effectively) non-atomic.
+//!
+//! Happens-before edges:
+//!
+//! * **Barriers** (`BarrierAll`/`BarrierBlock`/`BarrierWarp`) join the
+//!   clocks of every thread in the group.
+//! * **Fences** chain through a scope-wide fence clock in thread order
+//!   within a round: a fence publishes the thread's clock and acquires
+//!   everything published before it. This deliberately leaves at least
+//!   one cross-thread pair unordered per round — a fence is not a
+//!   barrier — matching the static linter's rule that fences do not
+//!   protect symmetric SPMD conflicts.
+//! * **The critical-section lock** serializes `CriticalAdd` bodies.
+//!
+//! Replays run [`AUDIT_ITERATIONS`] body iterations so wrap-around
+//! hazards (a barrier protecting one direction but not the other) are
+//! observed, exactly as the measurement loops would hit them.
+
+use std::collections::BTreeMap;
+
+use syncperf_core::{CpuOp, DType, GpuOp, Target};
+
+use crate::trace::{lower_cpu_op, lower_gpu_op, AccessKind, FenceScope, Geometry, Loc, TraceEvent};
+
+/// Body iterations per replay: enough for every circular (wrap-around)
+/// pairing of accesses to occur at least once.
+pub const AUDIT_ITERATIONS: usize = 3;
+
+/// One detected race, keyed by location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// The raced element.
+    pub loc: Loc,
+    /// Operand type of the access that exposed the race.
+    pub dtype: DType,
+    /// IR-level target of that access.
+    pub target: Target,
+    /// Body op index of the access that exposed the race.
+    pub op_index: usize,
+}
+
+/// The outcome of one body replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynReport {
+    /// Detected races, one finding per raced location.
+    pub races: BTreeMap<Loc, RaceFinding>,
+    /// Whether a block barrier executed in the shadow of a divergent
+    /// branch (deadlock on real hardware).
+    pub barrier_divergence: bool,
+}
+
+impl DynReport {
+    /// Whether the replay observed neither races nor barrier
+    /// divergence.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && !self.barrier_divergence
+    }
+
+    /// The raced locations.
+    #[must_use]
+    pub fn race_locs(&self) -> std::collections::BTreeSet<Loc> {
+        self.races.keys().copied().collect()
+    }
+}
+
+type Vc = Vec<u32>;
+
+fn join_into(dst: &mut Vc, src: &Vc) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// `true` when some *other* thread's component of `x` is ahead of `c`,
+/// i.e. the accesses recorded in `x` are not all ordered before the
+/// current event of the thread owning `c`.
+fn concurrent(x: &Vc, c: &Vc, me: usize) -> bool {
+    x.iter()
+        .zip(c)
+        .enumerate()
+        .any(|(u, (xv, cv))| u != me && xv > cv)
+}
+
+#[derive(Debug, Clone, Default)]
+struct LocClocks {
+    plain_write: Vc,
+    plain_read: Vc,
+    atomic_write: Vc,
+    atomic_read: Vc,
+}
+
+struct Replay {
+    geom: Geometry,
+    clocks: Vec<Vc>,
+    fence_global: Vc,
+    fence_block: Vec<Vc>,
+    lock: Vc,
+    locs: BTreeMap<Loc, LocClocks>,
+    diverged: Vec<Option<u32>>,
+    report: DynReport,
+}
+
+impl Replay {
+    fn new(geom: Geometry) -> Self {
+        let n = geom.total_threads();
+        let mut clocks = vec![vec![0; n]; n];
+        for (t, c) in clocks.iter_mut().enumerate() {
+            c[t] = 1;
+        }
+        Replay {
+            geom,
+            clocks,
+            fence_global: vec![0; n],
+            fence_block: vec![vec![0; n]; geom.blocks],
+            lock: vec![0; n],
+            locs: BTreeMap::new(),
+            diverged: vec![None; n],
+            report: DynReport::default(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.geom.total_threads()
+    }
+
+    /// Joins the clocks of a thread group at a barrier.
+    fn barrier_join(&mut self, members: &[usize]) {
+        let n = self.n();
+        let mut joined = vec![0; n];
+        for &t in members {
+            join_into(&mut joined, &self.clocks[t]);
+        }
+        for &t in members {
+            self.clocks[t].copy_from_slice(&joined);
+            self.clocks[t][t] += 1;
+        }
+    }
+
+    fn access(
+        &mut self,
+        t: usize,
+        op_index: usize,
+        loc: Loc,
+        kind: AccessKind,
+        dtype: DType,
+        target: Target,
+    ) {
+        let n = self.n();
+        let lc = self.locs.entry(loc).or_insert_with(|| LocClocks {
+            plain_write: vec![0; n],
+            plain_read: vec![0; n],
+            atomic_write: vec![0; n],
+            atomic_read: vec![0; n],
+        });
+        let c = &self.clocks[t];
+        let raced = match kind {
+            AccessKind::PlainRead => {
+                concurrent(&lc.plain_write, c, t) || concurrent(&lc.atomic_write, c, t)
+            }
+            AccessKind::PlainWrite => {
+                concurrent(&lc.plain_write, c, t)
+                    || concurrent(&lc.plain_read, c, t)
+                    || concurrent(&lc.atomic_write, c, t)
+                    || concurrent(&lc.atomic_read, c, t)
+            }
+            AccessKind::AtomicRead => concurrent(&lc.plain_write, c, t),
+            AccessKind::AtomicWrite => {
+                concurrent(&lc.plain_write, c, t) || concurrent(&lc.plain_read, c, t)
+            }
+        };
+        let epoch = c[t];
+        match kind {
+            AccessKind::PlainRead => lc.plain_read[t] = epoch,
+            AccessKind::PlainWrite => lc.plain_write[t] = epoch,
+            AccessKind::AtomicRead => lc.atomic_read[t] = epoch,
+            AccessKind::AtomicWrite => lc.atomic_write[t] = epoch,
+        }
+        if raced {
+            self.report.races.entry(loc).or_insert(RaceFinding {
+                loc,
+                dtype,
+                target,
+                op_index,
+            });
+        }
+    }
+
+    fn fence(&mut self, t: usize, scope: FenceScope) {
+        let f = match scope {
+            FenceScope::Global => &mut self.fence_global,
+            FenceScope::Block => &mut self.fence_block[self.geom.block_of(t)],
+        };
+        join_into(&mut self.clocks[t], f);
+        join_into(f, &self.clocks[t]);
+        self.clocks[t][t] += 1;
+    }
+
+    fn step(&mut self, t: usize, op_index: usize, ev: TraceEvent) {
+        match ev {
+            TraceEvent::Access {
+                loc,
+                kind,
+                dtype,
+                target,
+            } => self.access(t, op_index, loc, kind, dtype, target),
+            TraceEvent::Fence(scope) => self.fence(t, scope),
+            TraceEvent::LockAcquire => {
+                let lock = self.lock.clone();
+                join_into(&mut self.clocks[t], &lock);
+            }
+            TraceEvent::LockRelease => {
+                let c = self.clocks[t].clone();
+                join_into(&mut self.lock, &c);
+                self.clocks[t][t] += 1;
+            }
+            TraceEvent::Diverge(_) | TraceEvent::Nop => {}
+            // Group barriers are handled at op granularity by the
+            // driver, never through per-thread stepping.
+            TraceEvent::BarrierAll | TraceEvent::BarrierBlock | TraceEvent::BarrierWarp => {
+                unreachable!("barriers are op-level events")
+            }
+        }
+    }
+
+    /// Runs one op across all threads.
+    fn run_op<F>(&mut self, op_index: usize, lower: F)
+    where
+        F: Fn(usize) -> Vec<TraceEvent>,
+    {
+        let shape = lower(0);
+        match shape.first() {
+            Some(TraceEvent::BarrierAll) => {
+                let all: Vec<usize> = (0..self.n()).collect();
+                self.barrier_join(&all);
+            }
+            Some(TraceEvent::BarrierBlock) => {
+                if self.diverged.iter().any(|d| matches!(d, Some(p) if *p > 1)) {
+                    self.report.barrier_divergence = true;
+                }
+                for b in 0..self.geom.blocks {
+                    let members: Vec<usize> = (0..self.n())
+                        .filter(|&t| self.geom.block_of(t) == b)
+                        .collect();
+                    self.barrier_join(&members);
+                }
+            }
+            Some(TraceEvent::BarrierWarp) => {
+                let warps = self.geom.blocks * self.geom.warps_per_block;
+                for w in 0..warps {
+                    let members: Vec<usize> = (0..self.n())
+                        .filter(|&t| self.geom.warp_of(t) == w)
+                        .collect();
+                    self.barrier_join(&members);
+                }
+            }
+            _ => {
+                for t in 0..self.n() {
+                    for ev in lower(t) {
+                        self.step(t, op_index, ev);
+                    }
+                }
+            }
+        }
+        // Divergence taints exactly the next op slot.
+        let paths = match shape.first() {
+            Some(TraceEvent::Diverge(p)) if *p > 1 => Some(*p),
+            _ => None,
+        };
+        for d in &mut self.diverged {
+            *d = paths;
+        }
+    }
+}
+
+/// Replays a CPU body over `geom` for `iterations` body repetitions.
+#[must_use]
+pub fn replay_cpu(body: &[CpuOp], geom: Geometry, iterations: usize) -> DynReport {
+    let mut r = Replay::new(geom);
+    for _ in 0..iterations {
+        for (i, &op) in body.iter().enumerate() {
+            r.run_op(i, |tid| lower_cpu_op(op, tid));
+        }
+    }
+    r.report
+}
+
+/// Replays a GPU body over `geom` for `iterations` body repetitions.
+#[must_use]
+pub fn replay_gpu(body: &[GpuOp], geom: Geometry, iterations: usize) -> DynReport {
+    let mut r = Replay::new(geom);
+    for _ in 0..iterations {
+        for (i, &op) in body.iter().enumerate() {
+            r.run_op(i, |tid| lower_gpu_op(op, tid));
+        }
+    }
+    r.report
+}
+
+/// CPU replay with the default audit geometry and iteration count.
+#[must_use]
+pub fn replay_cpu_body(body: &[CpuOp]) -> DynReport {
+    replay_cpu(body, Geometry::CPU_AUDIT, AUDIT_ITERATIONS)
+}
+
+/// GPU replay with the default audit geometry and iteration count.
+#[must_use]
+pub fn replay_gpu_body(body: &[GpuOp]) -> DynReport {
+    replay_gpu(body, Geometry::GPU_AUDIT, AUDIT_ITERATIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, DType, Scope};
+
+    fn upd(target: Target) -> CpuOp {
+        CpuOp::Update {
+            dtype: DType::I32,
+            target,
+        }
+    }
+
+    fn aupd(target: Target) -> CpuOp {
+        CpuOp::AtomicUpdate {
+            dtype: DType::I32,
+            target,
+        }
+    }
+
+    fn rd(target: Target) -> CpuOp {
+        CpuOp::Read {
+            dtype: DType::I32,
+            target,
+        }
+    }
+
+    #[test]
+    fn plain_shared_update_races() {
+        let rep = replay_cpu_body(&[upd(Target::SHARED)]);
+        assert_eq!(rep.races.len(), 1);
+    }
+
+    #[test]
+    fn atomic_shared_update_is_clean() {
+        let rep = replay_cpu_body(&[aupd(Target::SHARED)]);
+        assert!(rep.is_clean());
+    }
+
+    #[test]
+    fn private_updates_never_race() {
+        let rep = replay_cpu_body(&[upd(Target::private(1)), upd(Target::private(16))]);
+        assert!(rep.is_clean());
+    }
+
+    #[test]
+    fn stride_zero_aliases_every_thread() {
+        let rep = replay_cpu_body(&[upd(Target::private(0))]);
+        assert_eq!(rep.races.len(), 1);
+    }
+
+    #[test]
+    fn barrier_does_not_order_symmetric_writes() {
+        // Both threads write at the same op position; a barrier before
+        // or after cannot order those instances against each other.
+        let rep = replay_cpu_body(&[CpuOp::Barrier, upd(Target::SHARED), CpuOp::Barrier]);
+        assert_eq!(rep.races.len(), 1);
+    }
+
+    #[test]
+    fn barrier_on_both_sides_orders_write_vs_read() {
+        let body = [
+            aupd(Target::SHARED),
+            CpuOp::Barrier,
+            rd(Target::SHARED),
+            CpuOp::Barrier,
+        ];
+        assert!(replay_cpu_body(&body).is_clean());
+    }
+
+    #[test]
+    fn single_barrier_leaves_wraparound_race() {
+        // Ordered test → read, but the next iteration's write is not
+        // ordered against this iteration's read.
+        let body = [aupd(Target::SHARED), CpuOp::Barrier, rd(Target::SHARED)];
+        assert_eq!(replay_cpu_body(&body).races.len(), 1);
+    }
+
+    #[test]
+    fn flush_is_not_a_barrier() {
+        let body = [aupd(Target::SHARED), CpuOp::Flush, rd(Target::SHARED)];
+        assert_eq!(replay_cpu_body(&body).races.len(), 1);
+    }
+
+    #[test]
+    fn critical_sections_serialize() {
+        let body = [CpuOp::CriticalAdd {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        }];
+        assert!(replay_cpu_body(&body).is_clean());
+    }
+
+    #[test]
+    fn critical_plus_plain_read_races() {
+        let body = [
+            CpuOp::CriticalAdd {
+                dtype: DType::I32,
+                target: Target::SHARED,
+            },
+            rd(Target::SHARED),
+        ];
+        assert_eq!(replay_cpu_body(&body).races.len(), 1);
+    }
+
+    #[test]
+    fn flush_kernel_bodies_are_race_free() {
+        for stride in [1, 4, 8, 16] {
+            let k = kernel::omp_flush(DType::F64, stride);
+            assert!(replay_cpu_body(&k.baseline).is_clean(), "s{stride}");
+            assert!(replay_cpu_body(&k.test).is_clean(), "s{stride}");
+        }
+    }
+
+    #[test]
+    fn gpu_device_atomics_clean_block_atomics_race() {
+        let dev = GpuOp::AtomicAdd {
+            dtype: DType::I32,
+            scope: Scope::Device,
+            target: Target::SHARED,
+        };
+        assert!(replay_gpu_body(&[dev]).is_clean());
+        let blk = GpuOp::AtomicAdd {
+            dtype: DType::I32,
+            scope: Scope::Block,
+            target: Target::SHARED,
+        };
+        assert_eq!(replay_gpu_body(&[blk]).races.len(), 1);
+    }
+
+    #[test]
+    fn syncthreads_does_not_protect_across_blocks() {
+        let body = [
+            GpuOp::AtomicAdd {
+                dtype: DType::I32,
+                scope: Scope::Device,
+                target: Target::SHARED,
+            },
+            GpuOp::SyncThreads,
+            GpuOp::Read {
+                dtype: DType::I32,
+                target: Target::SHARED,
+            },
+            GpuOp::SyncThreads,
+        ];
+        assert_eq!(replay_gpu_body(&body).races.len(), 1);
+    }
+
+    #[test]
+    fn divergent_barrier_detected() {
+        let body = [
+            GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 4,
+            },
+            GpuOp::SyncThreads,
+        ];
+        let rep = replay_gpu_body(&body);
+        assert!(rep.barrier_divergence);
+        // Uniform "divergence" (one path) is fine.
+        let body = [
+            GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 1,
+            },
+            GpuOp::SyncThreads,
+        ];
+        assert!(!replay_gpu_body(&body).barrier_divergence);
+    }
+
+    #[test]
+    fn divergence_wraps_to_next_iteration() {
+        // Diverge is the last op; the barrier it taints is the first op
+        // of the next iteration.
+        let body = [
+            GpuOp::SyncThreads,
+            GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 2,
+            },
+        ];
+        assert!(replay_gpu_body(&body).barrier_divergence);
+    }
+
+    #[test]
+    fn fence_kernel_bodies_are_race_free() {
+        for scope in [Scope::Block, Scope::Device, Scope::System] {
+            let k = kernel::cuda_threadfence(scope, DType::I32, 1);
+            assert!(replay_gpu_body(&k.baseline).is_clean());
+            assert!(replay_gpu_body(&k.test).is_clean());
+        }
+    }
+
+    #[test]
+    fn report_names_the_target() {
+        let rep = replay_cpu_body(&[upd(Target::SHARED)]);
+        let f = rep.races.values().next().unwrap();
+        assert_eq!(f.target, Target::SHARED);
+        assert_eq!(f.dtype, DType::I32);
+    }
+}

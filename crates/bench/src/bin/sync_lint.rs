@@ -1,0 +1,250 @@
+//! `sync_lint` — audit every registered kernel with the static sync
+//! linter, the vector-clock race detector, and the simulator
+//! cross-checks.
+//!
+//! ```console
+//! $ sync_lint all                      # audit the whole registry
+//! $ sync_lint openmp --format json     # machine-readable report
+//! $ sync_lint cuda_atomicadd_scalar    # one registry code
+//! $ sync_lint all --out report.json --format json
+//! ```
+//!
+//! For every kernel instance (both bodies):
+//!
+//! * the static linter runs and each diagnostic is either matched by a
+//!   `docs/ANALYSIS.md`-documented allowlist entry or counted as a
+//!   **violation**;
+//! * the static verdict is cross-checked against the dynamic replay
+//!   (CPU bodies additionally against the MESI directory, GPU bodies
+//!   under a scaled launch geometry) — any disagreement is fatal.
+//!
+//! Exit status: `0` clean, `1` violations or disagreements, `2` usage.
+
+use std::fmt::Write as _;
+
+use syncperf_analyze::record::{record_agreement, record_diagnostic};
+use syncperf_analyze::{
+    allowed_by, check_cpu_body, check_gpu_body, lint_cpu_body, lint_gpu_body, BodyKind, Diagnostic,
+};
+use syncperf_bench::codes::{kernel_inventory, AnyKernel};
+use syncperf_core::obs;
+
+fn usage() -> ! {
+    eprintln!("usage: sync_lint <all|openmp|cuda|CODE|KERNEL> [--format text|json] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// One audited (kernel, body) finding, resolved against the allowlist.
+struct Finding {
+    kernel: String,
+    code: &'static str,
+    body: BodyKind,
+    diag: Diagnostic,
+    allowed_reason: Option<&'static str>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(findings: &[Finding], disagreements: &[String]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"registry_code\": \"{}\", \"body\": \"{}\", \
+             \"code\": \"{}\", \"severity\": \"{}\", \"op_index\": {}, \"message\": \"{}\", \
+             \"allowed\": {}}}",
+            json_escape(&f.kernel),
+            f.code,
+            f.body,
+            f.diag.code.code(),
+            f.diag.severity,
+            f.diag
+                .op_index
+                .map_or_else(|| "null".to_string(), |i| i.to_string()),
+            json_escape(&f.diag.message),
+            f.allowed_reason.is_some(),
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"disagreements\": [\n");
+    for (i, d) in disagreements.iter().enumerate() {
+        let _ = write!(out, "    \"{}\"", json_escape(d));
+        out.push_str(if i + 1 < disagreements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selector: Option<String> = None;
+    let mut format = "text".to_string();
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("text" | "json")) => format = f.to_string(),
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => usage(),
+            },
+            other if other.starts_with('-') => usage(),
+            other if selector.is_none() => selector = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(selector) = selector else { usage() };
+
+    // Record all findings through the observability layer too, so a
+    // trace-enabled embedding sees them alongside engine events.
+    obs::install(obs::Recorder::enabled());
+    let rec = obs::global();
+
+    let inventory: Vec<_> = kernel_inventory()
+        .into_iter()
+        .filter(|k| match selector.as_str() {
+            "all" => true,
+            "openmp" => matches!(k.kernel, AnyKernel::Cpu(_)),
+            "cuda" => matches!(k.kernel, AnyKernel::Gpu(_)),
+            name => k.code == name || k.kernel.name() == name,
+        })
+        .collect();
+    if inventory.is_empty() {
+        eprintln!(
+            "error: selector `{selector}` matches no registered kernel \
+             (try `all`, `openmp`, `cuda`, a registry code, or a kernel name)"
+        );
+        std::process::exit(2);
+    }
+
+    let mut findings = Vec::new();
+    let mut disagreements = Vec::new();
+    let mut audited = 0usize;
+    for inst in &inventory {
+        let bodies: [(BodyKind, Vec<Diagnostic>, Result<(), String>); 2] = match &inst.kernel {
+            AnyKernel::Cpu(k) => [
+                (
+                    BodyKind::Baseline,
+                    lint_cpu_body(&k.baseline),
+                    syncperf_cpu_sim::crosscheck_cpu_body(&k.baseline).map(|_| ()),
+                ),
+                (
+                    BodyKind::Test,
+                    lint_cpu_body(&k.test),
+                    syncperf_cpu_sim::crosscheck_cpu_body(&k.test).map(|_| ()),
+                ),
+            ],
+            AnyKernel::Gpu(k) => [
+                (
+                    BodyKind::Baseline,
+                    lint_gpu_body(&k.baseline),
+                    syncperf_gpu_sim::audit_launch(&k.baseline, 160, 256, 32).map(|_| ()),
+                ),
+                (
+                    BodyKind::Test,
+                    lint_gpu_body(&k.test),
+                    syncperf_gpu_sim::audit_launch(&k.test, 160, 256, 32).map(|_| ()),
+                ),
+            ],
+        };
+        let name = inst.kernel.name().to_string();
+        audited += 1;
+        for (body, diags, crosscheck) in bodies {
+            match &inst.kernel {
+                AnyKernel::Cpu(k) => {
+                    let b = if body == BodyKind::Baseline {
+                        &k.baseline
+                    } else {
+                        &k.test
+                    };
+                    record_agreement(rec, &name, body, &check_cpu_body(b));
+                }
+                AnyKernel::Gpu(k) => {
+                    let b = if body == BodyKind::Baseline {
+                        &k.baseline
+                    } else {
+                        &k.test
+                    };
+                    record_agreement(rec, &name, body, &check_gpu_body(b));
+                }
+            }
+            if let Err(e) = crosscheck {
+                disagreements.push(format!("{name} ({body}): {e}"));
+            }
+            for diag in diags {
+                record_diagnostic(rec, &name, body, &diag);
+                let allowed = allowed_by(&name, body, &diag).map(|e| e.reason);
+                findings.push(Finding {
+                    kernel: name.clone(),
+                    code: inst.code,
+                    body,
+                    diag,
+                    allowed_reason: allowed,
+                });
+            }
+        }
+    }
+
+    let violations = findings
+        .iter()
+        .filter(|f| f.allowed_reason.is_none())
+        .count();
+    let report = if format == "json" {
+        render_json(&findings, &disagreements)
+    } else {
+        let mut out = String::new();
+        for f in &findings {
+            let status = match f.allowed_reason {
+                Some(reason) => format!("allowed: {reason}"),
+                None => "VIOLATION".to_string(),
+            };
+            let _ = writeln!(out, "{}:{}: {} [{}]", f.kernel, f.body, f.diag, status);
+        }
+        for d in &disagreements {
+            let _ = writeln!(out, "DISAGREEMENT: {d}");
+        }
+        let _ = writeln!(
+            out,
+            "audited {audited} kernels ({} bodies): {} findings, {} allowed, {violations} violations, {} disagreements",
+            audited * 2,
+            findings.len(),
+            findings.len() - violations,
+            disagreements.len(),
+        );
+        out
+    };
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    print!("{report}");
+
+    if violations > 0 || !disagreements.is_empty() {
+        std::process::exit(1);
+    }
+}

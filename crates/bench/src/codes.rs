@@ -433,6 +433,112 @@ pub fn registry() -> Vec<TestCode> {
     ]
 }
 
+/// One concrete kernel a registry code sweeps (either API).
+#[derive(Debug, Clone)]
+pub enum AnyKernel {
+    /// An OpenMP (CPU) kernel.
+    Cpu(CpuKernel),
+    /// A CUDA (GPU) kernel.
+    Gpu(syncperf_core::GpuKernel),
+}
+
+impl AnyKernel {
+    /// The kernel's own name (e.g. `omp_atomicadd_scalar_int`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            AnyKernel::Cpu(k) => &k.name,
+            AnyKernel::Gpu(k) => &k.name,
+        }
+    }
+}
+
+/// One auditable kernel instance: which registry code sweeps it, plus
+/// the kernel itself.
+#[derive(Debug, Clone)]
+pub struct KernelInstance {
+    /// The owning registry code's name (e.g. `omp_atomicadd_scalar`).
+    pub code: &'static str,
+    /// The concrete kernel.
+    pub kernel: AnyKernel,
+}
+
+/// Every concrete kernel the registry sweeps, one instance per
+/// `(code, dtype, stride, variant)` grid point — the audit surface for
+/// the `sync_lint` tool. Mirrors the grids in [`registry`] exactly.
+#[must_use]
+pub fn kernel_inventory() -> Vec<KernelInstance> {
+    let mut inv = Vec::new();
+    let mut cpu = |code: &'static str, k: CpuKernel| {
+        inv.push(KernelInstance {
+            code,
+            kernel: AnyKernel::Cpu(k),
+        });
+    };
+    cpu("omp_barrier", kernel::omp_barrier());
+    for dt in DType::ALL {
+        cpu("omp_atomicadd_scalar", kernel::omp_atomic_update_scalar(dt));
+        cpu(
+            "omp_atomiccapture_scalar",
+            kernel::omp_atomic_capture_scalar(dt),
+        );
+        cpu("omp_atomicwrite", kernel::omp_atomic_write(dt));
+        cpu("omp_atomicread", kernel::omp_atomic_read(dt));
+        cpu("omp_critical", kernel::omp_critical_add(dt));
+        for stride in CPU_STRIDES {
+            cpu(
+                "omp_atomicadd_array",
+                kernel::omp_atomic_update_array(dt, stride),
+            );
+            cpu("omp_flush", kernel::omp_flush(dt, stride));
+        }
+    }
+    let mut gpu = |code: &'static str, k: syncperf_core::GpuKernel| {
+        inv.push(KernelInstance {
+            code,
+            kernel: AnyKernel::Gpu(k),
+        });
+    };
+    gpu("cuda_syncthreads", kernel::cuda_syncthreads());
+    gpu("cuda_syncwarp", kernel::cuda_syncwarp());
+    for dt in DType::ALL {
+        gpu("cuda_atomicadd_scalar", kernel::cuda_atomic_add_scalar(dt));
+        gpu("cuda_shfl", kernel::cuda_shfl(dt, ShflVariant::Idx));
+        for stride in GPU_STRIDES {
+            gpu(
+                "cuda_atomicadd_array",
+                kernel::cuda_atomic_add_array(dt, stride),
+            );
+            gpu(
+                "cuda_threadfence",
+                kernel::cuda_threadfence(Scope::Device, dt, stride),
+            );
+        }
+    }
+    for dt in [DType::I32, DType::U64] {
+        gpu("cuda_atomiccas_scalar", kernel::cuda_atomic_cas_scalar(dt));
+        gpu("cuda_atomicexch", kernel::cuda_atomic_exch(dt));
+        for stride in GPU_STRIDES {
+            gpu(
+                "cuda_atomiccas_array",
+                kernel::cuda_atomic_cas_array(dt, stride),
+            );
+            gpu(
+                "cuda_threadfence_block",
+                kernel::cuda_threadfence(Scope::Block, dt, stride),
+            );
+        }
+        gpu(
+            "cuda_threadfence_system",
+            kernel::cuda_threadfence(Scope::System, dt, 1),
+        );
+    }
+    for kind in [VoteKind::Ballot, VoteKind::All, VoteKind::Any] {
+        gpu("cuda_vote", kernel::cuda_vote(kind));
+    }
+    inv
+}
+
 /// Looks up codes by selector: `all`, `openmp`, `cuda`, or an exact
 /// test name.
 ///
@@ -498,6 +604,26 @@ mod tests {
     }
 
     #[test]
+    fn inventory_covers_every_registry_code() {
+        let inv = kernel_inventory();
+        let mut inv_codes: Vec<&str> = inv.iter().map(|i| i.code).collect();
+        inv_codes.sort_unstable();
+        inv_codes.dedup();
+        let mut reg: Vec<&str> = registry().iter().map(|c| c.name).collect();
+        reg.sort_unstable();
+        assert_eq!(
+            inv_codes, reg,
+            "inventory and registry must cover the same codes"
+        );
+        // Kernel names are unique across the whole inventory.
+        let mut names: Vec<String> = inv.iter().map(|i| i.kernel.name().to_string()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate kernel instance");
+    }
+
+    #[test]
     fn cas_code_uses_integer_types_only() {
         let code = select("cuda_atomiccas_scalar").unwrap().remove(0);
         let mut store = ResultsStore::new("test");
@@ -505,7 +631,7 @@ mod tests {
         assert!(store
             .records()
             .iter()
-            .all(|r| matches!(r.dtype, Some(DType::I32) | Some(DType::U64))));
+            .all(|r| matches!(r.dtype, Some(DType::I32 | DType::U64))));
         // 2 dtypes × 5 block counts × 11 thread counts.
         assert_eq!(store.len(), 110);
     }

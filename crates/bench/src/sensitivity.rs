@@ -138,7 +138,7 @@ fn gpu_knobs() -> Vec<GpuKnob> {
     vec![
         ("gpu.same_addr_arb_cy", |m, s| m.same_addr_arb_cy *= s),
         ("gpu.atomic_service(int)", |m, s| {
-            m.atomic_device.i32_cy *= s
+            m.atomic_device.i32_cy *= s;
         }),
         ("gpu.warp_agg_reduce_cy", |m, s| m.warp_agg_reduce_cy *= s),
         ("gpu.fence_device_cy", |m, s| m.fence_device_cy *= s),

@@ -43,6 +43,18 @@ impl Target {
     pub const fn private(stride: u32) -> Target {
         Target::Private { array: 0, stride }
     }
+
+    /// Whether distinct threads reach the *same memory element* through
+    /// this target. Shared scalars always collide; private array slots
+    /// collide only at stride 0, where `tid × stride` degenerates to
+    /// element 0 for every thread.
+    #[must_use]
+    pub const fn is_thread_shared(self) -> bool {
+        match self {
+            Target::SharedScalar(_) => true,
+            Target::Private { stride, .. } => stride == 0,
+        }
+    }
 }
 
 /// Memory-fence / atomic scope, mirroring CUDA's three fence widths.
@@ -143,6 +155,50 @@ pub enum CpuOp {
     Flush,
 }
 
+impl CpuOp {
+    /// The memory operand of this op, if it touches memory.
+    #[must_use]
+    pub const fn memory_operand(self) -> Option<(DType, Target)> {
+        match self {
+            CpuOp::Barrier | CpuOp::Flush => None,
+            CpuOp::AtomicUpdate { dtype, target }
+            | CpuOp::AtomicCapture { dtype, target }
+            | CpuOp::AtomicRead { dtype, target }
+            | CpuOp::AtomicWrite { dtype, target }
+            | CpuOp::Read { dtype, target }
+            | CpuOp::Update { dtype, target }
+            | CpuOp::CriticalAdd { dtype, target } => Some((dtype, target)),
+        }
+    }
+
+    /// Whether the op's memory access is atomic (or lock-protected,
+    /// which implies atomicity for the protected addition).
+    #[must_use]
+    pub const fn is_atomic_access(self) -> bool {
+        matches!(
+            self,
+            CpuOp::AtomicUpdate { .. }
+                | CpuOp::AtomicCapture { .. }
+                | CpuOp::AtomicRead { .. }
+                | CpuOp::AtomicWrite { .. }
+                | CpuOp::CriticalAdd { .. }
+        )
+    }
+
+    /// Whether the op writes (or read-modify-writes) its operand.
+    #[must_use]
+    pub const fn writes_memory(self) -> bool {
+        matches!(
+            self,
+            CpuOp::AtomicUpdate { .. }
+                | CpuOp::AtomicCapture { .. }
+                | CpuOp::AtomicWrite { .. }
+                | CpuOp::Update { .. }
+                | CpuOp::CriticalAdd { .. }
+        )
+    }
+}
+
 /// One operation in a GPU (CUDA-style) loop body.
 ///
 /// Fields are uniform across variants: `dtype` is the operand type,
@@ -210,6 +266,76 @@ pub enum GpuOp {
     Diverge { dtype: DType, paths: u32 },
 }
 
+impl GpuOp {
+    /// The memory operand of this op, if it touches memory.
+    #[must_use]
+    pub const fn memory_operand(self) -> Option<(DType, Target)> {
+        match self {
+            GpuOp::AtomicAdd { dtype, target, .. }
+            | GpuOp::AtomicCas { dtype, target, .. }
+            | GpuOp::AtomicExch { dtype, target, .. }
+            | GpuOp::AtomicMax { dtype, target, .. }
+            | GpuOp::AtomicRmw { dtype, target, .. }
+            | GpuOp::Update { dtype, target }
+            | GpuOp::Read { dtype, target } => Some((dtype, target)),
+            GpuOp::SyncThreads
+            | GpuOp::SyncWarp
+            | GpuOp::SyncThreadsReduce { .. }
+            | GpuOp::ThreadFence { .. }
+            | GpuOp::Shfl { .. }
+            | GpuOp::Vote { .. }
+            | GpuOp::WarpReduce { .. }
+            | GpuOp::Alu { .. }
+            | GpuOp::Diverge { .. } => None,
+        }
+    }
+
+    /// The scope of an atomic or fence op, if it has one.
+    #[must_use]
+    pub const fn sync_scope(self) -> Option<Scope> {
+        match self {
+            GpuOp::AtomicAdd { scope, .. }
+            | GpuOp::AtomicCas { scope, .. }
+            | GpuOp::AtomicExch { scope, .. }
+            | GpuOp::AtomicMax { scope, .. }
+            | GpuOp::AtomicRmw { scope, .. }
+            | GpuOp::ThreadFence { scope } => Some(scope),
+            _ => None,
+        }
+    }
+
+    /// Whether the op is a hardware atomic (all GPU atomics in the IR
+    /// read-modify-write their operand).
+    #[must_use]
+    pub const fn is_atomic_access(self) -> bool {
+        matches!(
+            self,
+            GpuOp::AtomicAdd { .. }
+                | GpuOp::AtomicCas { .. }
+                | GpuOp::AtomicExch { .. }
+                | GpuOp::AtomicMax { .. }
+                | GpuOp::AtomicRmw { .. }
+        )
+    }
+
+    /// Whether the op is a block-wide execution barrier
+    /// (`__syncthreads()` or a reducing variant).
+    #[must_use]
+    pub const fn is_block_barrier(self) -> bool {
+        matches!(self, GpuOp::SyncThreads | GpuOp::SyncThreadsReduce { .. })
+    }
+
+    /// Whether the op synchronizes the executing warp (explicitly or as
+    /// an implied `__syncwarp()`).
+    #[must_use]
+    pub const fn is_warp_sync(self) -> bool {
+        matches!(
+            self,
+            GpuOp::SyncWarp | GpuOp::Shfl { .. } | GpuOp::Vote { .. } | GpuOp::WarpReduce { .. }
+        )
+    }
+}
+
 /// A baseline/test pair for one measured primitive.
 ///
 /// The test body always contains the baseline body's work plus at least
@@ -229,17 +355,26 @@ pub struct Kernel<Op> {
     pub extra_ops: u32,
 }
 
-impl<Op> Kernel<Op> {
-    /// Builds a kernel, validating that the test body contains at least
-    /// as many operations as the baseline body. Equal lengths are for
-    /// *substitution* kernels (e.g. the atomic-read test, where the
-    /// test replaces a plain read with an atomic read and the
-    /// difference measures the overhead of atomicity).
+impl<Op: PartialEq> Kernel<Op> {
+    /// Builds a kernel, validating the differential structure the
+    /// protocol relies on. Two shapes are legal:
+    ///
+    /// * **Insertion** (`test` longer than `baseline`): the test body
+    ///   must contain the baseline ops in order plus exactly
+    ///   `extra_ops` inserted occurrences of the measured primitive.
+    /// * **Substitution** (equal lengths, e.g. the atomic-read test):
+    ///   the bodies must differ in exactly `extra_ops` positions, so
+    ///   the difference measures the substituted primitive's overhead.
+    ///
+    /// Checking the structure — not just the lengths — at construction
+    /// keeps a malformed kernel from silently skewing the measured
+    /// difference.
     ///
     /// # Panics
     ///
-    /// Panics if `test` is shorter than `baseline` or `extra_ops` is
-    /// zero.
+    /// Panics if `test` is shorter than `baseline`, if `extra_ops` is
+    /// zero, or if the bodies violate the insertion/substitution shape
+    /// described above.
     #[must_use]
     pub fn new(name: impl Into<String>, baseline: Vec<Op>, test: Vec<Op>, extra_ops: u32) -> Self {
         assert!(
@@ -247,6 +382,29 @@ impl<Op> Kernel<Op> {
             "test body must contain at least as many operations as the baseline"
         );
         assert!(extra_ops > 0, "extra_ops must be at least 1");
+        let inserted = test.len() - baseline.len();
+        if inserted == 0 {
+            let differing = baseline
+                .iter()
+                .zip(test.iter())
+                .filter(|(b, t)| b != t)
+                .count();
+            assert!(
+                differing == extra_ops as usize,
+                "substitution test body must differ from the baseline in exactly {extra_ops} \
+                 position(s), but differs in {differing}"
+            );
+        } else {
+            assert!(
+                inserted == extra_ops as usize,
+                "test body inserts {inserted} op(s) over the baseline but extra_ops is {extra_ops}"
+            );
+            assert!(
+                is_subsequence(&baseline, &test),
+                "test body must contain the baseline ops in order plus the inserted primitive \
+                 occurrence(s)"
+            );
+        }
         Kernel {
             name: name.into(),
             baseline,
@@ -254,6 +412,13 @@ impl<Op> Kernel<Op> {
             extra_ops,
         }
     }
+}
+
+/// Whether `needle` appears as an (ordered, not necessarily
+/// contiguous) subsequence of `haystack`.
+fn is_subsequence<Op: PartialEq>(needle: &[Op], haystack: &[Op]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
 }
 
 /// A CPU kernel.
@@ -701,6 +866,111 @@ mod tests {
     fn substitution_kernel_allowed() {
         let k = omp_atomic_read(DType::I32);
         assert_eq!(k.baseline.len(), k.test.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "differs in 2")]
+    fn kernel_rejects_substitution_with_wrong_diff_count() {
+        // Equal lengths but two positions changed while extra_ops is 1:
+        // the measured difference would mix two primitives.
+        let _ = Kernel::new(
+            "bad_subst",
+            vec![
+                CpuOp::Read {
+                    dtype: DType::I32,
+                    target: Target::SHARED,
+                },
+                CpuOp::Read {
+                    dtype: DType::I32,
+                    target: Target::SHARED2,
+                },
+            ],
+            vec![
+                CpuOp::AtomicRead {
+                    dtype: DType::I32,
+                    target: Target::SHARED,
+                },
+                CpuOp::AtomicRead {
+                    dtype: DType::I32,
+                    target: Target::SHARED2,
+                },
+            ],
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline ops in order")]
+    fn kernel_rejects_test_that_drops_baseline_ops() {
+        // Longer test body that does NOT contain the baseline work: the
+        // subtraction would no longer isolate the inserted primitive.
+        let up = CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::private(8),
+        };
+        let _ = Kernel::new(
+            "bad_insert",
+            vec![up, up],
+            vec![CpuOp::Barrier, CpuOp::Barrier, up],
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "extra_ops is 2")]
+    fn kernel_rejects_mismatched_insert_count() {
+        let _ = Kernel::new(
+            "bad_count",
+            vec![CpuOp::Barrier],
+            vec![CpuOp::Barrier, CpuOp::Barrier],
+            2,
+        );
+    }
+
+    #[test]
+    fn accessors_classify_ops() {
+        let up = CpuOp::AtomicUpdate {
+            dtype: DType::F64,
+            target: Target::SHARED,
+        };
+        assert_eq!(up.memory_operand(), Some((DType::F64, Target::SHARED)));
+        assert!(up.is_atomic_access() && up.writes_memory());
+        assert!(CpuOp::Barrier.memory_operand().is_none());
+        let rd = CpuOp::Read {
+            dtype: DType::I32,
+            target: Target::private(4),
+        };
+        assert!(!rd.is_atomic_access() && !rd.writes_memory());
+
+        let ga = GpuOp::AtomicAdd {
+            dtype: DType::I32,
+            scope: Scope::Block,
+            target: Target::SHARED,
+        };
+        assert_eq!(ga.sync_scope(), Some(Scope::Block));
+        assert!(ga.is_atomic_access());
+        assert!(GpuOp::SyncThreads.is_block_barrier());
+        assert!(GpuOp::SyncWarp.is_warp_sync());
+        assert_eq!(
+            GpuOp::ThreadFence {
+                scope: Scope::System
+            }
+            .sync_scope(),
+            Some(Scope::System)
+        );
+    }
+
+    #[test]
+    fn thread_shared_targets() {
+        assert!(Target::SHARED.is_thread_shared());
+        assert!(Target::SHARED2.is_thread_shared());
+        assert!(Target::private(0).is_thread_shared());
+        assert!(!Target::private(1).is_thread_shared());
+        assert!(!Target::Private {
+            array: 1,
+            stride: 8
+        }
+        .is_thread_shared());
     }
 
     #[test]

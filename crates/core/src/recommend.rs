@@ -108,7 +108,10 @@ pub fn recommend_openmp(f: &OpenMpFindings) -> Vec<Recommendation> {
 
     // 1) Barriers: per-thread cost stabilizes; not a growing concern.
     if let (Some(first), Some(last)) = (f.barrier.points.first(), f.barrier.points.last()) {
-        let mid = f.barrier.y_at((first.0 + last.0) / 2.0).unwrap_or(last.1);
+        let mid = f
+            .barrier
+            .y_at(f64::midpoint(first.0, last.0))
+            .unwrap_or(last.1);
         let plateau = (last.1 / mid.max(f64::MIN_POSITIVE)).clamp(0.0, f64::MAX);
         recs.push(rec(
             "barriers",

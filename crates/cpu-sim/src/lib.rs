@@ -51,6 +51,7 @@ pub mod mesi;
 pub mod program;
 pub mod refengine;
 pub mod topology;
+pub mod trace_tap;
 
 pub use config::{BarrierKind, CpuModel};
 pub use engine::EngineResult;
@@ -60,3 +61,4 @@ pub use mesi::{MesiDirectory, MesiState, Transaction};
 pub use program::{simulate_cpu_reduction, CpuReductionReport, CpuReductionStrategy};
 pub use refengine::{run_reference, RefEngineResult};
 pub use topology::{Placement, Slot};
+pub use trace_tap::{crosscheck_cpu_body, mesi_steady_traffic, MesiCrossCheck};

@@ -1,0 +1,231 @@
+//! Cross-check between the analyzer's race detector and the MESI
+//! replay.
+//!
+//! The vector-clock detector ([`syncperf_analyze::vc`]) and the
+//! explicit MESI state machine ([`crate::mesi`]) replay the *same*
+//! per-thread access streams — the analyzer at element granularity, the
+//! directory at line granularity. That overlap makes one direction of
+//! each verdict checkable against the other:
+//!
+//! * every location the detector calls **raced** must keep its cache
+//!   line generating coherence traffic in steady state (a race needs a
+//!   write plus a concurrent access, which is exactly a MESI
+//!   invalidation ping-pong), and
+//! * the static linter must agree with the detector in full
+//!   ([`syncperf_analyze::agree`]).
+//!
+//! The converse deliberately does **not** hold — atomics and false
+//! sharing generate line traffic without any element-level race — which
+//! is asserted by the tests below.
+
+use std::collections::HashMap;
+
+use syncperf_analyze::trace::{lower_cpu_op, Geometry, TraceEvent};
+use syncperf_analyze::vc::replay_cpu;
+use syncperf_analyze::{check_cpu_body, DynReport};
+use syncperf_core::obs;
+use syncperf_core::CpuOp;
+
+use crate::memline::{line_of, lock_line, LineId};
+use crate::mesi::{LineTraffic, MesiDirectory};
+
+/// Cache-line size used by the cross-check replays.
+const LINE_BYTES: usize = 64;
+
+/// Steady-state line traffic from replaying `body` over `threads`
+/// one-thread-per-core caches: one warmup iteration (cold fills), then
+/// `iterations` measured iterations.
+#[must_use]
+pub fn mesi_steady_traffic(
+    body: &[CpuOp],
+    threads: usize,
+    iterations: usize,
+) -> HashMap<LineId, LineTraffic> {
+    let mut dir = MesiDirectory::new(threads);
+    let mut lines = Vec::new();
+    let replay_once = |dir: &mut MesiDirectory, lines: &mut Vec<LineId>| {
+        for &op in body {
+            for tid in 0..threads {
+                for ev in lower_cpu_op(op, tid) {
+                    match ev {
+                        TraceEvent::Access {
+                            kind,
+                            dtype,
+                            target,
+                            ..
+                        } => {
+                            let line = line_of(dtype, target, tid, LINE_BYTES);
+                            lines.push(line);
+                            if kind.is_write() {
+                                dir.write(tid, line);
+                            } else {
+                                dir.read(tid, line);
+                            }
+                        }
+                        // The lock itself is a read-modify-write word.
+                        TraceEvent::LockAcquire => {
+                            lines.push(lock_line());
+                            dir.write(tid, lock_line());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    };
+    replay_once(&mut dir, &mut lines);
+    dir.reset_traffic();
+    for _ in 0..iterations {
+        replay_once(&mut dir, &mut lines);
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines.into_iter().map(|l| (l, dir.traffic(l))).collect()
+}
+
+/// The result of a successful cross-check.
+#[derive(Debug, Clone)]
+pub struct MesiCrossCheck {
+    /// The dynamic race report the check was run against.
+    pub report: DynReport,
+    /// Lines whose steady-state traffic corroborated a detected race.
+    pub corroborated_lines: Vec<LineId>,
+}
+
+/// Cross-checks one CPU body three ways: static linter vs. vector-clock
+/// detector (must agree exactly), and every detected race vs. the MESI
+/// replay (the raced element's line must stay hot on the bus).
+///
+/// Records `analyze.mesi_crosscheck.{ok,fail}` on the global recorder.
+///
+/// # Errors
+///
+/// Returns a description of the first inconsistency found.
+pub fn crosscheck_cpu_body(body: &[CpuOp]) -> Result<MesiCrossCheck, String> {
+    let result = crosscheck_inner(body);
+    let counter = if result.is_ok() {
+        "analyze.mesi_crosscheck.ok"
+    } else {
+        "analyze.mesi_crosscheck.fail"
+    };
+    obs::global().counter(counter).inc();
+    result
+}
+
+fn crosscheck_inner(body: &[CpuOp]) -> Result<MesiCrossCheck, String> {
+    let agreement = check_cpu_body(body);
+    if !agreement.holds() {
+        return Err(format!(
+            "static/dynamic disagreement: {}",
+            agreement.explain()
+        ));
+    }
+    let geom = Geometry::CPU_AUDIT;
+    let report = replay_cpu(body, geom, syncperf_analyze::vc::AUDIT_ITERATIONS);
+    let traffic = mesi_steady_traffic(body, geom.total_threads(), 2);
+    let mut corroborated = Vec::new();
+    for finding in report.races.values() {
+        // Thread-shared targets resolve to the same line for every tid.
+        let line = line_of(finding.dtype, finding.target, 0, LINE_BYTES);
+        let t = traffic.get(&line).copied().unwrap_or_default();
+        if t.invalidations == 0 {
+            return Err(format!(
+                "race on {:?} (op #{}) not corroborated: line {line:?} shows no steady-state \
+                 invalidations ({t:?})",
+                finding.target, finding.op_index
+            ));
+        }
+        corroborated.push(line);
+    }
+    Ok(MesiCrossCheck {
+        report,
+        corroborated_lines: corroborated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, DType, Target};
+
+    #[test]
+    fn seeded_race_is_corroborated_by_mesi_traffic() {
+        let body = [CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        }];
+        let check = crosscheck_cpu_body(&body).expect("halves must agree");
+        assert_eq!(check.report.races.len(), 1);
+        assert_eq!(check.corroborated_lines.len(), 1);
+    }
+
+    #[test]
+    fn builtin_cpu_kernels_crosscheck_clean() {
+        let kernels = [
+            kernel::omp_barrier(),
+            kernel::omp_atomic_update_scalar(DType::F64),
+            kernel::omp_atomic_update_array(DType::I32, 1),
+            kernel::omp_atomic_capture_scalar(DType::U64),
+            kernel::omp_atomic_write(DType::F32),
+            kernel::omp_atomic_read(DType::I32),
+            kernel::omp_critical_add(DType::I32),
+            kernel::omp_flush(DType::F64, 8),
+        ];
+        for k in kernels {
+            for body in [&k.baseline, &k.test] {
+                let check = crosscheck_cpu_body(body).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                assert!(check.report.races.is_empty(), "{}: unexpected race", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_without_race_is_fine() {
+        // Contended atomics ping-pong the line but race-free: the
+        // MESI⇒race direction must NOT be enforced.
+        let body = kernel::omp_atomic_update_scalar(DType::I32).baseline;
+        let check = crosscheck_cpu_body(&body).expect("agreement");
+        assert!(check.report.races.is_empty());
+        let geom = Geometry::CPU_AUDIT;
+        let traffic = mesi_steady_traffic(&body, geom.total_threads(), 2);
+        let line = line_of(DType::I32, Target::SHARED, 0, 64);
+        assert!(traffic[&line].invalidations > 0, "atomics still contend");
+    }
+
+    #[test]
+    fn false_sharing_traffic_without_race() {
+        // Stride-1 private updates: distinct elements (no race) on one
+        // line (heavy traffic).
+        let body = [CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::private(1),
+        }];
+        let check = crosscheck_cpu_body(&body).expect("agreement");
+        assert!(check.report.races.is_empty());
+        let traffic = mesi_steady_traffic(&body, 4, 2);
+        let line = line_of(DType::I32, Target::private(1), 0, 64);
+        assert!(traffic[&line].invalidations > 0, "false sharing contends");
+    }
+
+    #[test]
+    fn padded_stride_generates_no_steady_traffic() {
+        let body = [CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::private(16),
+        }];
+        let traffic = mesi_steady_traffic(&body, 4, 2);
+        for (line, t) in traffic {
+            assert_eq!(t.bus_transactions(), 0, "{line:?} must be private");
+        }
+    }
+
+    #[test]
+    fn critical_add_hits_the_lock_line() {
+        let body = [CpuOp::CriticalAdd {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        }];
+        let traffic = mesi_steady_traffic(&body, 4, 2);
+        assert!(traffic[&lock_line()].invalidations > 0);
+    }
+}

@@ -15,6 +15,10 @@
 //! to compare orders of magnitude and catch regressions, tiny enough to
 //! vendor.
 
+// The API mirrors the real criterion crate, so some names clash with
+// pedantic style lints by construction.
+#![allow(clippy::used_underscore_binding, clippy::iter_not_returning_iterator)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -229,6 +233,7 @@ fn fmt_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
         pub fn $group() {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $( $target(&mut criterion); )+

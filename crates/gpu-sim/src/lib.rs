@@ -49,6 +49,7 @@ pub mod executor;
 pub mod explain;
 pub mod occupancy;
 pub mod program;
+pub mod trace_tap;
 
 pub use config::{AtomicService, GpuModel};
 pub use engine::GpuEngineResult;
@@ -60,3 +61,4 @@ pub use program::{
     HistogramStrategy, ReductionConfig, ReductionReport, ReductionStrategy, ScanConfig, ScanReport,
     ScanStrategy,
 };
+pub use trace_tap::{audit_geometry, audit_launch, LaunchAudit};

@@ -1,0 +1,163 @@
+//! Launch-geometry bridge into the analyzer's race detector.
+//!
+//! The GPU engine schedules warps, not threads; the analyzer replays a
+//! small SIMT grid. This module maps a real launch shape
+//! (`blocks × threads_per_block`, device warp size) onto an audit
+//! [`Geometry`] that preserves the hazards the detector must be able to
+//! observe, then runs the full static↔dynamic cross-check on a body
+//! under that geometry.
+//!
+//! The audit grid always keeps **at least two blocks and two warps per
+//! block** — the static linter's verdicts are defined against
+//! device-visible memory reachable from multiple blocks (block-scoped
+//! atomics provide no cross-block atomicity, `__syncthreads()` no
+//! cross-block ordering), so the replay must span enough of the grid to
+//! witness those hazards even when auditing a smaller launch.
+
+use syncperf_analyze::trace::Geometry;
+use syncperf_analyze::vc::{replay_gpu, AUDIT_ITERATIONS};
+use syncperf_analyze::{check_gpu_body, lint_gpu_body, Diagnostic, DynReport};
+use syncperf_core::obs;
+use syncperf_core::GpuOp;
+
+/// Scales a launch shape down to an audit geometry: lane count capped
+/// at 4 (races within a warp need only two lanes), warps and blocks
+/// kept between 2 and 4 so cross-warp and cross-block hazards stay
+/// observable without replaying thousands of threads.
+#[must_use]
+pub fn audit_geometry(blocks: u32, threads_per_block: u32, warp_size: u32) -> Geometry {
+    let warp_size = warp_size.max(1);
+    let warps = threads_per_block.div_ceil(warp_size).clamp(2, 4);
+    Geometry {
+        blocks: blocks.clamp(2, 4) as usize,
+        warps_per_block: warps as usize,
+        lanes_per_warp: warp_size.clamp(2, 4) as usize,
+    }
+}
+
+/// The outcome of auditing one body under one launch shape.
+#[derive(Debug, Clone)]
+pub struct LaunchAudit {
+    /// The audit grid the body was replayed on.
+    pub geometry: Geometry,
+    /// Static linter findings for the body.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Dynamic replay report under `geometry`.
+    pub report: DynReport,
+}
+
+/// Audits `body` as launched with `blocks × threads_per_block` threads
+/// on a device with the given warp size: runs the static linter, the
+/// vector-clock replay on the scaled-down grid, and the agreement
+/// cross-check between them.
+///
+/// Records `analyze.gpu_crosscheck.{ok,fail}` on the global recorder.
+///
+/// # Errors
+///
+/// Returns a description of any static↔dynamic disagreement.
+pub fn audit_launch(
+    body: &[GpuOp],
+    blocks: u32,
+    threads_per_block: u32,
+    warp_size: u32,
+) -> Result<LaunchAudit, String> {
+    let geometry = audit_geometry(blocks, threads_per_block, warp_size);
+    // The agreement contract is defined against the default audit
+    // grid; the launch-scaled grid must reach the same verdicts.
+    let agreement = check_gpu_body(body);
+    let report = replay_gpu(body, geometry, AUDIT_ITERATIONS);
+    let result = if !agreement.holds() {
+        Err(format!(
+            "static/dynamic disagreement: {}",
+            agreement.explain()
+        ))
+    } else if report.race_locs() != agreement.report.race_locs()
+        || report.barrier_divergence != agreement.report.barrier_divergence
+    {
+        Err(format!(
+            "launch geometry {geometry:?} changes the verdict: {:?} vs {:?}",
+            report.race_locs(),
+            agreement.report.race_locs()
+        ))
+    } else {
+        Ok(LaunchAudit {
+            geometry,
+            diagnostics: lint_gpu_body(body),
+            report,
+        })
+    };
+    let counter = if result.is_ok() {
+        "analyze.gpu_crosscheck.ok"
+    } else {
+        "analyze.gpu_crosscheck.fail"
+    };
+    obs::global().counter(counter).inc();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, DType, Scope, Target};
+
+    #[test]
+    fn geometry_scaling_preserves_hazard_shape() {
+        let g = audit_geometry(1024, 256, 32);
+        assert_eq!(g.blocks, 4);
+        assert_eq!(g.warps_per_block, 4);
+        assert_eq!(g.lanes_per_warp, 4);
+        // Even a single-block, single-warp launch audits cross-block.
+        let g = audit_geometry(1, 8, 32);
+        assert!(g.blocks >= 2 && g.warps_per_block >= 2);
+    }
+
+    #[test]
+    fn builtin_gpu_kernels_audit_clean() {
+        let kernels = [
+            kernel::cuda_syncthreads(),
+            kernel::cuda_syncwarp(),
+            kernel::cuda_atomic_add_scalar(DType::F64),
+            kernel::cuda_atomic_add_array(DType::I32, 32),
+            kernel::cuda_atomic_cas_scalar(DType::I32),
+            kernel::cuda_atomic_exch(DType::U64),
+            kernel::cuda_threadfence(Scope::Device, DType::I32, 1),
+            kernel::cuda_divergence(DType::I32, 32),
+        ];
+        for k in kernels {
+            for body in [&k.baseline, &k.test] {
+                let audit =
+                    audit_launch(body, 160, 256, 32).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                assert!(audit.report.is_clean(), "{}: unexpected race", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_block_scope_race_detected_under_any_launch() {
+        let body = [GpuOp::AtomicAdd {
+            dtype: DType::I32,
+            scope: Scope::Block,
+            target: Target::SHARED,
+        }];
+        for (blocks, tpb) in [(1, 32), (2, 64), (1024, 1024)] {
+            let audit = audit_launch(&body, blocks, tpb, 32).expect("agreement");
+            assert_eq!(audit.report.races.len(), 1, "{blocks}x{tpb}");
+            assert!(audit.diagnostics.iter().any(|d| d.code.code() == "SL001"));
+        }
+    }
+
+    #[test]
+    fn seeded_divergent_barrier_detected() {
+        let body = [
+            GpuOp::Diverge {
+                dtype: DType::I32,
+                paths: 2,
+            },
+            GpuOp::SyncThreads,
+        ];
+        let audit = audit_launch(&body, 4, 128, 32).expect("agreement");
+        assert!(audit.report.barrier_divergence);
+        assert!(audit.diagnostics.iter().any(|d| d.code.code() == "SL002"));
+    }
+}

@@ -532,12 +532,14 @@ mod tests {
     fn attached_recorder_counts_fp_cas_retries() {
         let rec = syncperf_core::obs::Recorder::enabled();
         let mut exec = OmpExecutor::new().with_recorder(rec.clone());
-        // Hammer one f64 scalar from 4 threads until the float CAS loop
-        // loses at least one race (re-running guards against a lightly
-        // loaded machine scheduling threads serially).
-        let contended = ExecParams::new(4).with_loops(2000, 10).with_warmup(1);
+        // Hammer one f64 scalar from 8 threads until the float CAS loop
+        // loses at least one race. Retrying many times guards against a
+        // lightly loaded machine scheduling the threads serially (on a
+        // single busy core a whole attempt can pass without one
+        // preemption inside the load/compare-exchange window).
+        let contended = ExecParams::new(8).with_loops(4000, 10).with_warmup(1);
         let update = kernel::omp_atomic_update_scalar(DType::F64);
-        for _ in 0..20 {
+        for _ in 0..100 {
             exec.execute(&update.test, &contended).unwrap();
             if rec.snapshot().counter("omp.fp_cas_retries") > 0 {
                 break;

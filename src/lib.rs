@@ -14,6 +14,8 @@
 //!   sections, flushes.
 //! * [`cpu_sim`] — the multicore simulator behind Figs. 1-6.
 //! * [`gpu_sim`] — the SIMT simulator behind Figs. 7-15 and Listing 1.
+//! * [`analyze`] — static sync linter plus vector-clock race detector
+//!   cross-checked against the simulators (see `docs/ANALYSIS.md`).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub use syncperf_analyze as analyze;
 pub use syncperf_core as core;
 pub use syncperf_cpu_sim as cpu_sim;
 pub use syncperf_gpu_sim as gpu_sim;

@@ -1,0 +1,98 @@
+//! Analyzer-documentation consistency: the diagnostic codes and the
+//! allowlist promised by docs/ANALYSIS.md must match the code, in the
+//! spirit of `docs_consistency.rs`.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use syncperf::analyze::{DiagCode, Severity, BUILTIN_ALLOWLIST};
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(rel: &str) -> String {
+    std::fs::read_to_string(repo_root().join(rel)).unwrap_or_else(|e| panic!("missing {rel}: {e}"))
+}
+
+#[test]
+fn diagnostic_codes_unique_and_well_formed() {
+    let mut seen = BTreeSet::new();
+    for code in DiagCode::ALL {
+        let c = code.code();
+        assert!(
+            c.len() == 5 && c.starts_with("SL") && c[2..].chars().all(|ch| ch.is_ascii_digit()),
+            "malformed code {c}"
+        );
+        assert!(seen.insert(c), "duplicate diagnostic code {c}");
+        assert!(!code.title().is_empty(), "{c} has no title");
+    }
+    assert_eq!(seen.len(), DiagCode::ALL.len());
+}
+
+#[test]
+fn every_diagnostic_code_documented_in_analysis_md() {
+    let doc = read("docs/ANALYSIS.md");
+    for code in DiagCode::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", code.code())),
+            "docs/ANALYSIS.md does not document {}",
+            code.code()
+        );
+        assert!(
+            doc.contains(code.title()),
+            "docs/ANALYSIS.md does not mention the title of {} ({:?})",
+            code.code(),
+            code.title()
+        );
+    }
+}
+
+#[test]
+fn documented_severity_split_matches_code() {
+    // docs/ANALYSIS.md promises: SL001-SL003 errors, SL004-SL005
+    // warnings, SL006 info.
+    for code in DiagCode::ALL {
+        let expected = match code.code() {
+            "SL001" | "SL002" | "SL003" => Severity::Error,
+            "SL004" | "SL005" => Severity::Warning,
+            _ => Severity::Info,
+        };
+        assert_eq!(
+            code.severity(),
+            expected,
+            "{} severity drifted",
+            code.code()
+        );
+    }
+}
+
+#[test]
+fn every_allowlist_entry_documented_in_analysis_md() {
+    let doc = read("docs/ANALYSIS.md");
+    for entry in BUILTIN_ALLOWLIST {
+        assert!(
+            doc.contains(entry.kernel_glob),
+            "allowlist glob {:?} ({}) is not documented in docs/ANALYSIS.md",
+            entry.kernel_glob,
+            entry.code.code()
+        );
+        assert!(!entry.reason.is_empty(), "allowlist entry without a reason");
+    }
+}
+
+#[test]
+fn analysis_md_linked_from_readme_and_design() {
+    assert!(read("README.md").contains("docs/ANALYSIS.md"));
+    let design = read("DESIGN.md");
+    assert!(design.contains("docs/ANALYSIS.md"));
+    assert!(design.contains("syncperf-analyze"));
+}
+
+#[test]
+fn ci_gate_runs_sync_lint() {
+    assert!(
+        read("ci.sh").contains("sync_lint"),
+        "ci.sh must run the sync_lint gate"
+    );
+}

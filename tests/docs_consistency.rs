@@ -126,6 +126,7 @@ fn design_md_lists_all_workspace_crates() {
         "syncperf-omp",
         "syncperf-cpu-sim",
         "syncperf-gpu-sim",
+        "syncperf-analyze",
         "syncperf-bench",
     ] {
         assert!(design.contains(krate), "DESIGN.md missing crate {krate}");

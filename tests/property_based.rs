@@ -187,6 +187,146 @@ proptest! {
     }
 }
 
+// ---- static/dynamic race-detector agreement -------------------------
+//
+// For ANY loop body assembled from the op pool below, the static sync
+// linter's race verdict (syncperf::analyze::lint) must coincide with
+// the vector-clock replay's (syncperf::analyze::vc) — per location, and
+// for barrier divergence. See docs/ANALYSIS.md.
+
+/// Every CPU op shape the linter distinguishes: barriers, fences, all
+/// atomic kinds, plain accesses on shared / padded / stride-0 targets.
+const CPU_OP_POOL: [CpuOp; 12] = [
+    CpuOp::Barrier,
+    CpuOp::Flush,
+    CpuOp::AtomicUpdate {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    CpuOp::AtomicCapture {
+        dtype: DType::U64,
+        target: Target::SHARED2,
+    },
+    CpuOp::AtomicRead {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    CpuOp::AtomicWrite {
+        dtype: DType::F64,
+        target: Target::SHARED2,
+    },
+    CpuOp::Read {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    CpuOp::Update {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    CpuOp::Update {
+        dtype: DType::F32,
+        target: Target::private(8),
+    },
+    CpuOp::Update {
+        dtype: DType::F64,
+        target: Target::private(0),
+    },
+    CpuOp::CriticalAdd {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    // A second array, so the two nonzero strides never alias: the
+    // analyzer models one stride per (dtype, array) pair, as every
+    // built-in kernel does (docs/ANALYSIS.md, "modeled IR domain").
+    CpuOp::Read {
+        dtype: DType::F32,
+        target: Target::Private {
+            array: 1,
+            stride: 4,
+        },
+    },
+];
+
+/// Every GPU op shape: block/device/system atomics, the three fence
+/// widths, warp ops, block barriers, divergence, plain accesses.
+const GPU_OP_POOL: [GpuOp; 16] = [
+    GpuOp::SyncThreads,
+    GpuOp::SyncWarp,
+    GpuOp::SyncThreadsReduce {
+        kind: VoteKind::Ballot,
+    },
+    GpuOp::AtomicAdd {
+        dtype: DType::I32,
+        scope: Scope::Device,
+        target: Target::SHARED,
+    },
+    GpuOp::AtomicAdd {
+        dtype: DType::I32,
+        scope: Scope::Block,
+        target: Target::SHARED,
+    },
+    GpuOp::AtomicCas {
+        dtype: DType::U64,
+        scope: Scope::System,
+        target: Target::SHARED2,
+    },
+    GpuOp::AtomicMax {
+        dtype: DType::F32,
+        scope: Scope::Device,
+        target: Target::SHARED,
+    },
+    GpuOp::ThreadFence {
+        scope: Scope::Block,
+    },
+    GpuOp::ThreadFence {
+        scope: Scope::Device,
+    },
+    GpuOp::Shfl {
+        dtype: DType::I32,
+        variant: ShflVariant::Idx,
+    },
+    GpuOp::Vote {
+        kind: VoteKind::Any,
+    },
+    GpuOp::Update {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    GpuOp::Update {
+        dtype: DType::I32,
+        target: Target::private(32),
+    },
+    GpuOp::Read {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    GpuOp::Alu { dtype: DType::I32 },
+    GpuOp::Diverge {
+        dtype: DType::I32,
+        paths: 4,
+    },
+];
+
+proptest! {
+    #[test]
+    fn cpu_static_and_dynamic_race_verdicts_agree(
+        idxs in prop::collection::vec(0usize..CPU_OP_POOL.len(), 0..9),
+    ) {
+        let body: Vec<CpuOp> = idxs.iter().map(|&i| CPU_OP_POOL[i]).collect();
+        let a = syncperf::analyze::check_cpu_body(&body);
+        prop_assert!(a.holds(), "body {body:?}: {}", a.explain());
+    }
+
+    #[test]
+    fn gpu_static_and_dynamic_race_verdicts_agree(
+        idxs in prop::collection::vec(0usize..GPU_OP_POOL.len(), 0..9),
+    ) {
+        let body: Vec<GpuOp> = idxs.iter().map(|&i| GPU_OP_POOL[i]).collect();
+        let a = syncperf::analyze::check_gpu_body(&body);
+        prop_assert!(a.holds(), "body {body:?}: {}", a.explain());
+    }
+}
+
 // Real-atomics properties: concurrent updates never lose increments,
 // for any thread/iteration mix (bounded for test time).
 proptest! {
