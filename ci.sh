@@ -24,4 +24,20 @@ echo "==> sync_lint all"
 cargo run --release --offline -p syncperf-bench --bin sync_lint -- \
   all --format json --out sync_lint_report.json
 
+# Scheduler warm-cache gate (docs/SCHEDULER.md): regenerate every
+# figure twice with 2 workers into a fresh results dir. The second run
+# must be served almost entirely from the content-addressed cache —
+# anything under 95% means job hashing went unstable.
+echo "==> scheduler warm-cache gate"
+rm -rf ci_sched_results
+SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
+  --bin all_figures -- --jobs 2 --cache-stats cache_stats_cold.json > /dev/null
+SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
+  --bin all_figures -- --jobs 2 --cache-stats cache_stats_warm.json > /dev/null
+hit=$(sed -n 's/.*"hit_rate":\([0-9.]*\).*/\1/p' cache_stats_warm.json)
+echo "warm-run cache hit rate: ${hit}"
+awk -v h="$hit" 'BEGIN { exit (h >= 0.95) ? 0 : 1 }' || {
+  echo "warm-cache hit rate ${hit} is below 0.95"; exit 1; }
+rm -rf ci_sched_results
+
 echo "CI green"

@@ -4,18 +4,20 @@
 //!
 //! On a many-core machine the shapes approach the paper's; on a small
 //! machine the sweep simply ends earlier. Use `--full` for the paper's
-//! 9×7 protocol.
+//! 9×7 protocol. The shared runner flags (`--jobs`, `--resume`,
+//! `--cache-stats`, `--trace`, ...) apply; real-thread cache entries
+//! are host-scoped, so results never leak across machines.
 
-use syncperf_core::sweep::{thread_sweep, throughput_series};
-use syncperf_core::{kernel, DType, ExecParams, FigureData, Protocol};
+use syncperf_bench::common::{max_real_threads, real_series};
+use syncperf_bench::runner::{run_with_options, RunOptions};
+use syncperf_core::sweep::thread_sweep;
+use syncperf_core::{kernel, DType, ExecParams, FigureData, Protocol, Result};
 use syncperf_omp::OmpExecutor;
 
-fn main() -> syncperf_core::Result<()> {
-    let full = std::env::args().any(|a| a == "--full");
+fn generate(full: bool) -> Result<Vec<FigureData>> {
     let protocol = if full { Protocol::PAPER } else { Protocol::SIM };
     let (n_iter, n_unroll) = if full { (1000, 100) } else { (100, 20) };
-    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get() as u32 * 2);
-    let threads: Vec<u32> = (2..=max_threads.max(2)).collect();
+    let threads: Vec<u32> = (2..=max_real_threads().max(2)).collect();
     let base = ExecParams::new(2)
         .with_loops(n_iter, n_unroll)
         .with_warmup(2);
@@ -29,9 +31,9 @@ fn main() -> syncperf_core::Result<()> {
         "threads",
         "barriers/s/thread",
     );
-    fig.push_series(throughput_series(
+    fig.push_series(real_series(
         &mut exec,
-        &protocol,
+        protocol,
         "barrier",
         thread_sweep(&threads, base, |_| kernel::omp_barrier()),
     )?);
@@ -44,9 +46,9 @@ fn main() -> syncperf_core::Result<()> {
         "ops/s/thread",
     );
     for dt in DType::ALL {
-        fig.push_series(throughput_series(
+        fig.push_series(real_series(
             &mut exec,
-            &protocol,
+            protocol,
             dt.label(),
             thread_sweep(&threads, base, |_| kernel::omp_atomic_update_scalar(dt)),
         )?);
@@ -59,15 +61,15 @@ fn main() -> syncperf_core::Result<()> {
         "threads",
         "ops/s/thread",
     );
-    fig.push_series(throughput_series(
+    fig.push_series(real_series(
         &mut exec,
-        &protocol,
+        protocol,
         "critical",
         thread_sweep(&threads, base, |_| kernel::omp_critical_add(DType::I32)),
     )?);
-    fig.push_series(throughput_series(
+    fig.push_series(real_series(
         &mut exec,
-        &protocol,
+        protocol,
         "atomic (for comparison)",
         thread_sweep(&threads, base, |_| {
             kernel::omp_atomic_update_scalar(DType::I32)
@@ -75,5 +77,20 @@ fn main() -> syncperf_core::Result<()> {
     )?);
     figs.push(fig);
 
-    syncperf_bench::emit(&figs)
+    Ok(figs)
+}
+
+fn main() -> Result<()> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    args.retain(|a| a != "--full");
+    let mut opts = RunOptions::parse(args)?;
+    // Full-protocol results answer different questions than quick ones;
+    // keep their checkpoint manifests separate.
+    opts.label = Some(if full {
+        "real_figures_full".into()
+    } else {
+        "real_figures".into()
+    });
+    run_with_options(|| generate(full), &opts)
 }

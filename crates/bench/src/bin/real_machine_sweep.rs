@@ -14,7 +14,7 @@ use syncperf_omp::OmpExecutor;
 
 fn main() -> syncperf_core::Result<()> {
     let full = std::env::args().any(|a| a == "--full");
-    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get() as u32 * 2);
+    let max_threads = syncperf_bench::common::max_real_threads();
     let (protocol, n_iter, n_unroll) = if full {
         (Protocol::PAPER, 1000, 100)
     } else {

@@ -25,13 +25,15 @@ struct Cli {
     out: Option<PathBuf>,
     format: TraceFormat,
     quiet_figures: bool,
+    jobs: Option<usize>,
+    no_cache: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: trace_report <name|list> [--format chrome|jsonl|summary] [--out <path>] \
-         [--show-figures]\n\nruns the named figure experiment with recording enabled, prints \
-         the counter summary, and optionally exports the trace"
+         [--show-figures] [--jobs <n>] [--no-cache]\n\nruns the named figure experiment with \
+         recording enabled, prints the counter summary, and optionally exports the trace"
     );
     std::process::exit(2);
 }
@@ -41,6 +43,8 @@ fn parse_cli() -> Cli {
     let mut out = None;
     let mut format = None;
     let mut quiet_figures = true;
+    let mut jobs = None;
+    let mut no_cache = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -53,6 +57,11 @@ fn parse_cli() -> Cli {
                 Some(p) => out = Some(PathBuf::from(p)),
                 None => usage(),
             },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => jobs = Some(n.max(1)),
+                None => usage(),
+            },
+            "--no-cache" => no_cache = true,
             "--show-figures" => quiet_figures = false,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -67,6 +76,8 @@ fn parse_cli() -> Cli {
         out,
         format,
         quiet_figures,
+        jobs,
+        no_cache,
     }
 }
 
@@ -89,7 +100,22 @@ fn main() -> Result<()> {
     obs::install(Recorder::enabled());
     let rec = obs::global().clone();
 
-    let figs = (entry.generate)()?;
+    let sched = if cli.jobs.is_some() || cli.no_cache {
+        let mut cfg = syncperf_sched::SchedConfig::new(cli.jobs.unwrap_or(1))
+            .with_label(format!("trace_report-{}", entry.name));
+        if cli.no_cache {
+            cfg = cfg.without_cache();
+        }
+        Some(syncperf_sched::install(syncperf_sched::Scheduler::new(cfg)))
+    } else {
+        None
+    };
+
+    let outcome = (entry.generate)();
+    if sched.is_some() {
+        syncperf_sched::uninstall();
+    }
+    let figs = outcome?;
     if !cli.quiet_figures {
         syncperf_bench::emit(&figs)?;
     }
@@ -97,6 +123,9 @@ fn main() -> Result<()> {
     let events = rec.drain_events();
     let snap = rec.snapshot();
     print!("{}", render_obs_summary(&snap));
+    if let Some(s) = &sched {
+        print!("{}", runner::render_sched_summary(&s.stats()));
+    }
     println!("({} trace events)", events.len());
     if let Some(path) = &cli.out {
         std::fs::write(path, runner::render_trace(&events, &snap, cli.format))?;

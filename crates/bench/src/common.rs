@@ -1,11 +1,23 @@
 //! Shared helpers for the figure-regeneration harness.
+//!
+//! Every sweep helper here branches on the process-global scheduler
+//! ([`syncperf_sched::current`]): with no scheduler installed (the
+//! default, and what every library unit test uses) measurements run on
+//! the serial legacy path — one executor per series with a continuous
+//! jitter-RNG stream — byte-for-byte as they always have. With a
+//! scheduler installed (the `--jobs`/`--no-cache`/`--resume` CLI
+//! surface), each sweep point becomes an independent content-hashed
+//! job that can be cached and run on the work-stealing pool.
 
-use syncperf_core::sweep::{thread_sweep, throughput_series};
+use syncperf_core::sweep::{thread_sweep, throughput_series, SweepPoint, PLOT_FLOOR_SECONDS};
 use syncperf_core::{
-    Affinity, CpuKernel, DType, ExecParams, GpuKernel, Protocol, Result, Series, SystemSpec,
+    Affinity, CpuKernel, DType, ExecParams, GpuKernel, Measurement, Protocol, Result, Series,
+    SystemSpec,
 };
 use syncperf_cpu_sim::CpuSimExecutor;
 use syncperf_gpu_sim::GpuSimExecutor;
+use syncperf_omp::OmpExecutor;
+use syncperf_sched::JobSpec;
 
 /// The loop structure used for all regenerated figures (the paper's
 /// `n_iter` = 1000, `N_UNROLL` = 100; the simulators reach steady state
@@ -33,6 +45,53 @@ pub fn gpu_threads(system: &SystemSpec) -> Vec<u32> {
     system.gpu.thread_count_sweep()
 }
 
+/// Lowers CPU sweep points onto an installed scheduler and folds the
+/// cached/pooled measurements back into a throughput series.
+fn sched_cpu_series(
+    sched: &syncperf_sched::Scheduler,
+    system: &SystemSpec,
+    label: &str,
+    points: &[SweepPoint<syncperf_core::CpuOp>],
+    protocol: Protocol,
+) -> Result<Series> {
+    let jobs = points
+        .iter()
+        .map(|p| JobSpec::cpu_sim(system, p.kernel.clone(), p.params, protocol))
+        .collect();
+    let ms = sched.run_jobs(jobs)?;
+    Ok(Series::new(
+        label,
+        points
+            .iter()
+            .zip(ms)
+            .map(|(p, m)| (p.x, m.throughput_clamped(PLOT_FLOOR_SECONDS)))
+            .collect::<Vec<_>>(),
+    ))
+}
+
+/// GPU twin of [`sched_cpu_series`].
+fn sched_gpu_series(
+    sched: &syncperf_sched::Scheduler,
+    system: &SystemSpec,
+    label: &str,
+    points: &[SweepPoint<syncperf_core::GpuOp>],
+    protocol: Protocol,
+) -> Result<Series> {
+    let jobs = points
+        .iter()
+        .map(|p| JobSpec::gpu_sim(system, p.kernel.clone(), p.params, protocol))
+        .collect();
+    let ms = sched.run_jobs(jobs)?;
+    Ok(Series::new(
+        label,
+        points
+            .iter()
+            .zip(ms)
+            .map(|(p, m)| (p.x, m.throughput_clamped(PLOT_FLOOR_SECONDS)))
+            .collect::<Vec<_>>(),
+    ))
+}
+
 /// Runs a CPU kernel family over the thread sweep, one series per data
 /// type.
 ///
@@ -45,20 +104,19 @@ pub fn cpu_dtype_series(
     dtypes: &[DType],
     mut make_kernel: impl FnMut(DType) -> CpuKernel,
 ) -> Result<Vec<Series>> {
-    let mut exec = CpuSimExecutor::new(system);
     let threads = omp_threads(system);
+    let sched = syncperf_sched::current();
+    let mut exec = CpuSimExecutor::new(system);
     let mut out = Vec::new();
     for &dt in dtypes {
         let kernel = make_kernel(dt);
         let points = thread_sweep(&threads, paper_loops(2).with_affinity(affinity), |_| {
             kernel.clone()
         });
-        out.push(throughput_series(
-            &mut exec,
-            &protocol(),
-            dt.label(),
-            points,
-        )?);
+        out.push(match &sched {
+            Some(s) => sched_cpu_series(s, system, dt.label(), &points, protocol())?,
+            None => throughput_series(&mut exec, &protocol(), dt.label(), points)?,
+        });
     }
     Ok(out)
 }
@@ -74,11 +132,14 @@ pub fn cpu_series(
     label: &str,
     kernel: &CpuKernel,
 ) -> Result<Series> {
-    let mut exec = CpuSimExecutor::new(system);
     let threads = omp_threads(system);
     let points = thread_sweep(&threads, paper_loops(2).with_affinity(affinity), |_| {
         kernel.clone()
     });
+    if let Some(sched) = syncperf_sched::current() {
+        return sched_cpu_series(&sched, system, label, &points, protocol());
+    }
+    let mut exec = CpuSimExecutor::new(system);
     throughput_series(&mut exec, &protocol(), label, points)
 }
 
@@ -94,20 +155,19 @@ pub fn gpu_dtype_series(
     dtypes: &[DType],
     mut make_kernel: impl FnMut(DType) -> GpuKernel,
 ) -> Result<Vec<Series>> {
-    let mut exec = GpuSimExecutor::new(system);
     let threads = gpu_threads(system);
+    let sched = syncperf_sched::current();
+    let mut exec = GpuSimExecutor::new(system);
     let mut out = Vec::new();
     for &dt in dtypes {
         let kernel = make_kernel(dt);
         let points = thread_sweep(&threads, paper_loops(1).with_blocks(blocks), |_| {
             kernel.clone()
         });
-        out.push(throughput_series(
-            &mut exec,
-            &protocol(),
-            dt.label(),
-            points,
-        )?);
+        out.push(match &sched {
+            Some(s) => sched_gpu_series(s, system, dt.label(), &points, protocol())?,
+            None => throughput_series(&mut exec, &protocol(), dt.label(), points)?,
+        });
     }
     Ok(out)
 }
@@ -124,12 +184,108 @@ pub fn gpu_series(
     label: &str,
     kernel: &GpuKernel,
 ) -> Result<Series> {
-    let mut exec = GpuSimExecutor::new(system);
     let threads = gpu_threads(system);
     let points = thread_sweep(&threads, paper_loops(1).with_blocks(blocks), |_| {
         kernel.clone()
     });
+    if let Some(sched) = syncperf_sched::current() {
+        return sched_gpu_series(&sched, system, label, &points, protocol());
+    }
+    let mut exec = GpuSimExecutor::new(system);
     throughput_series(&mut exec, &protocol(), label, points)
+}
+
+/// Measures a flat batch of (kernel, params) pairs on the CPU
+/// simulator: through the scheduler when one is installed, else
+/// serially on one shared executor in submission order (the legacy
+/// path the pre-scheduler experiment generators used).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_cpu_batch(
+    system: &SystemSpec,
+    protocol: Protocol,
+    batch: &[(CpuKernel, ExecParams)],
+) -> Result<Vec<Measurement>> {
+    if let Some(sched) = syncperf_sched::current() {
+        return sched.run_jobs(
+            batch
+                .iter()
+                .map(|(k, p)| JobSpec::cpu_sim(system, k.clone(), *p, protocol))
+                .collect(),
+        );
+    }
+    let mut exec = CpuSimExecutor::new(system);
+    batch
+        .iter()
+        .map(|(k, p)| protocol.measure(&mut exec, k, p))
+        .collect()
+}
+
+/// GPU twin of [`measure_cpu_batch`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_gpu_batch(
+    system: &SystemSpec,
+    protocol: Protocol,
+    batch: &[(GpuKernel, ExecParams)],
+) -> Result<Vec<Measurement>> {
+    if let Some(sched) = syncperf_sched::current() {
+        return sched.run_jobs(
+            batch
+                .iter()
+                .map(|(k, p)| JobSpec::gpu_sim(system, k.clone(), *p, protocol))
+                .collect(),
+        );
+    }
+    let mut exec = GpuSimExecutor::new(system);
+    batch
+        .iter()
+        .map(|(k, p)| protocol.measure(&mut exec, k, p))
+        .collect()
+}
+
+/// Runs a real-thread sweep as a throughput series: through the
+/// scheduler when one is installed (jobs are host-scoped, so cached
+/// results never cross machines), else serially on `exec`.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn real_series(
+    exec: &mut OmpExecutor,
+    protocol: Protocol,
+    label: &str,
+    points: Vec<SweepPoint<syncperf_core::CpuOp>>,
+) -> Result<Series> {
+    if let Some(sched) = syncperf_sched::current() {
+        let jobs = points
+            .iter()
+            .map(|p| JobSpec::real_omp(p.kernel.clone(), p.params, protocol))
+            .collect();
+        let ms = sched.run_jobs(jobs)?;
+        return Ok(Series::new(
+            label,
+            points
+                .iter()
+                .zip(ms)
+                .map(|(p, m)| (p.x, m.throughput_clamped(PLOT_FLOOR_SECONDS)))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    throughput_series(exec, &protocol, label, points)
+}
+
+/// Upper thread-count bound for real-thread sweeps on this host: twice
+/// the available parallelism (the paper sweeps past the physical core
+/// count into hyperthread oversubscription), floored at 4 so tiny
+/// containers still sweep something.
+#[must_use]
+pub fn max_real_threads() -> u32 {
+    std::thread::available_parallelism().map_or(4, |n| n.get() as u32 * 2)
 }
 
 /// Where figure CSVs land (`results/` at the workspace root, or the

@@ -2,9 +2,8 @@
 //! no-figure findings) on the CPU simulator.
 
 use syncperf_core::{kernel, Affinity, DType, FigureData, Protocol, Result, SYSTEM2, SYSTEM3};
-use syncperf_cpu_sim::CpuSimExecutor;
 
-use crate::common::{cpu_dtype_series, cpu_series, paper_loops};
+use crate::common::{cpu_dtype_series, cpu_series, measure_cpu_batch, paper_loops};
 
 /// Fig. 1 — throughput of the OpenMP barrier (System 3, spread).
 ///
@@ -171,22 +170,23 @@ pub fn fig06_flush() -> Result<Vec<FigureData>> {
 ///
 /// Propagates simulator errors.
 pub fn exp_atomic_read_capture() -> Result<Vec<FigureData>> {
-    let mut exec = CpuSimExecutor::new(&SYSTEM3);
+    let threads = [2u32, 4, 8, 16, 32];
+    let batch: Vec<_> = threads
+        .iter()
+        .flat_map(|&t| {
+            let p = paper_loops(t);
+            [
+                (kernel::omp_atomic_update_scalar(DType::I32), p),
+                (kernel::omp_atomic_capture_scalar(DType::I32), p),
+                (kernel::omp_atomic_read(DType::I32), p),
+            ]
+        })
+        .collect();
+    let ms = measure_cpu_batch(&SYSTEM3, Protocol::PAPER, &batch)?;
     let mut ratio_points = Vec::new();
     let mut free_points = Vec::new();
-    for &t in &[2u32, 4, 8, 16, 32] {
-        let p = paper_loops(t);
-        let upd = Protocol::PAPER.measure(
-            &mut exec,
-            &kernel::omp_atomic_update_scalar(DType::I32),
-            &p,
-        )?;
-        let cap = Protocol::PAPER.measure(
-            &mut exec,
-            &kernel::omp_atomic_capture_scalar(DType::I32),
-            &p,
-        )?;
-        let read = Protocol::PAPER.measure(&mut exec, &kernel::omp_atomic_read(DType::I32), &p)?;
+    for (i, &t) in threads.iter().enumerate() {
+        let (upd, cap, read) = (&ms[3 * i], &ms[3 * i + 1], &ms[3 * i + 2]);
         ratio_points.push((f64::from(t), cap.runtime_seconds() / upd.runtime_seconds()));
         free_points.push((f64::from(t), if read.is_negligible() { 1.0 } else { 0.0 }));
     }

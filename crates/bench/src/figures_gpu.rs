@@ -1,13 +1,11 @@
 //! Regeneration of the paper's CUDA figures (Figs. 7-15, §V-B3/4's
 //! no-figure findings) on the GPU simulator.
 
+use crate::common::{gpu_dtype_series, gpu_series, measure_gpu_batch, paper_loops};
 use syncperf_core::{
     kernel, DType, FigureData, Protocol, Result, Scope, Series, ShflVariant, VoteKind, SYSTEM1,
     SYSTEM3,
 };
-use syncperf_gpu_sim::GpuSimExecutor;
-
-use crate::common::{gpu_dtype_series, gpu_series, paper_loops};
 
 /// Fig. 7 — `__syncthreads()` throughput (identical at any block
 /// count).
@@ -254,7 +252,6 @@ pub fn fig15_shfl() -> Result<Vec<FigureData>> {
 ///
 /// Propagates simulator errors.
 pub fn exp_fence_scopes() -> Result<Vec<FigureData>> {
-    let mut exec = GpuSimExecutor::new(&SYSTEM3);
     let mut fig = FigureData::new(
         "exp_fence_scopes",
         "Thread-fence scopes: per-fence cost in cycles (System 3, 128 blocks)",
@@ -262,21 +259,31 @@ pub fn exp_fence_scopes() -> Result<Vec<FigureData>> {
         "cycles per fence",
     )
     .with_log_x();
-    for (label, scope) in [
+    let threads = SYSTEM3.gpu.thread_count_sweep();
+    let scopes = [
         ("block", Scope::Block),
         ("device", Scope::Device),
         ("system", Scope::System),
-    ] {
-        let mut points = Vec::new();
-        for &t in &SYSTEM3.gpu.thread_count_sweep() {
-            let m = Protocol::PAPER.measure(
-                &mut exec,
-                &kernel::cuda_threadfence(scope, DType::I32, 1),
-                &paper_loops(t).with_blocks(128),
-            )?;
-            points.push((f64::from(t), m.per_op.max(0.0)));
-        }
-        fig.push_series(Series::new(label, points));
+    ];
+    let batch: Vec<_> = scopes
+        .iter()
+        .flat_map(|&(_, scope)| {
+            threads.iter().map(move |&t| {
+                (
+                    kernel::cuda_threadfence(scope, DType::I32, 1),
+                    paper_loops(t).with_blocks(128),
+                )
+            })
+        })
+        .collect();
+    let ms = measure_gpu_batch(&SYSTEM3, Protocol::PAPER, &batch)?;
+    for (si, (label, _)) in scopes.iter().enumerate() {
+        let points = threads
+            .iter()
+            .enumerate()
+            .map(|(ti, &t)| (f64::from(t), ms[si * threads.len() + ti].per_op.max(0.0)))
+            .collect();
+        fig.push_series(Series::new(*label, points));
     }
     fig.annotate("block ≈ 0; system > device and erratic (PCIe)");
     Ok(vec![fig])
@@ -391,23 +398,28 @@ pub fn exp_atomic_ops() -> Result<Vec<FigureData>> {
 ///
 /// Propagates simulator errors.
 pub fn exp_divergence() -> Result<Vec<FigureData>> {
-    use syncperf_gpu_sim::GpuSimExecutor;
-    let mut exec = GpuSimExecutor::new(&SYSTEM3);
     let mut fig = FigureData::new(
         "exp_divergence",
         "Cost of warp divergence vs number of serialized paths (System 3)",
         "divergent paths",
         "cycles per divergent branch",
     );
-    let mut points = Vec::new();
-    for paths in [1u32, 2, 4, 8, 16, 32] {
-        let m = Protocol::PAPER.measure(
-            &mut exec,
-            &kernel::cuda_divergence(DType::I32, paths),
-            &paper_loops(32).with_blocks(1),
-        )?;
-        points.push((f64::from(paths), m.per_op.max(0.0)));
-    }
+    let paths = [1u32, 2, 4, 8, 16, 32];
+    let batch: Vec<_> = paths
+        .iter()
+        .map(|&p| {
+            (
+                kernel::cuda_divergence(DType::I32, p),
+                paper_loops(32).with_blocks(1),
+            )
+        })
+        .collect();
+    let ms = measure_gpu_batch(&SYSTEM3, Protocol::PAPER, &batch)?;
+    let points = paths
+        .iter()
+        .zip(&ms)
+        .map(|(&p, m)| (f64::from(p), m.per_op.max(0.0)))
+        .collect();
     fig.push_series(Series::new("extra cycles over uniform execution", points));
     fig.annotate("linear in paths: the per-branch divergence cost is constant (ref. [10])");
     Ok(vec![fig])

@@ -209,6 +209,19 @@ pub struct RunOptions {
     pub trace: Option<PathBuf>,
     /// Explicit trace format (otherwise inferred from the extension).
     pub format: Option<TraceFormat>,
+    /// Worker threads for the sweep scheduler (`--jobs N`). `None`
+    /// falls back to the `SYNCPERF_JOBS` environment variable, then 1.
+    pub jobs: Option<usize>,
+    /// Disable the content-addressed result cache (`--no-cache`).
+    pub no_cache: bool,
+    /// Resume from this run label's checkpoint manifest (`--resume`).
+    pub resume: bool,
+    /// Write flat-JSON scheduler/cache statistics to this path
+    /// (`--cache-stats <path>`).
+    pub cache_stats: Option<PathBuf>,
+    /// Run label scoping the checkpoint manifest (derived from the
+    /// binary name by [`run`]).
+    pub label: Option<String>,
 }
 
 impl RunOptions {
@@ -235,10 +248,28 @@ impl RunOptions {
                     })?;
                     opts.format = Some(TraceFormat::parse(&fmt)?);
                 }
+                "--jobs" => {
+                    let n = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--jobs requires a worker count".into())
+                    })?;
+                    let n: usize = n.parse().map_err(|_| {
+                        SyncPerfError::InvalidParams(format!("--jobs: `{n}` is not a number"))
+                    })?;
+                    opts.jobs = Some(n.max(1));
+                }
+                "--no-cache" => opts.no_cache = true,
+                "--resume" => opts.resume = true,
+                "--cache-stats" => {
+                    let path = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--cache-stats requires a path".into())
+                    })?;
+                    opts.cache_stats = Some(PathBuf::from(path));
+                }
                 other => {
                     return Err(SyncPerfError::InvalidParams(format!(
                         "unknown flag `{other}` (supported: --trace <path>, \
-                         --trace-format chrome|jsonl|summary)"
+                         --trace-format chrome|jsonl|summary, --jobs <n>, \
+                         --no-cache, --resume, --cache-stats <path>)"
                     )));
                 }
             }
@@ -250,6 +281,33 @@ impl RunOptions {
     #[must_use]
     pub fn effective_format(&self, path: &Path) -> TraceFormat {
         self.format.unwrap_or_else(|| TraceFormat::infer(path))
+    }
+
+    /// Worker-count precedence: `--jobs` flag, then the `SYNCPERF_JOBS`
+    /// environment variable, then 1 (serial).
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        Self::jobs_from(self.jobs, std::env::var("SYNCPERF_JOBS").ok().as_deref())
+    }
+
+    /// [`Self::effective_jobs`] with the environment injected (so the
+    /// precedence is unit-testable without mutating process state).
+    #[must_use]
+    pub fn jobs_from(flag: Option<usize>, env: Option<&str>) -> usize {
+        flag.or_else(|| env.and_then(|s| s.trim().parse().ok()))
+            .map_or(1, |n| n.max(1))
+    }
+
+    /// Whether any scheduler-facing option was given. Only then does
+    /// [`run_with_options`] install a scheduler; otherwise measurements
+    /// take the serial legacy path, which stays the reference output.
+    #[must_use]
+    pub fn wants_scheduler(&self) -> bool {
+        self.jobs.is_some()
+            || self.no_cache
+            || self.resume
+            || self.cache_stats.is_some()
+            || std::env::var_os("SYNCPERF_JOBS").is_some()
     }
 }
 
@@ -273,8 +331,53 @@ pub fn render_trace(events: &[obs::Event], snap: &obs::Snapshot, format: TraceFo
 ///
 /// Propagates generator and I/O errors.
 pub fn run(generate: impl FnOnce() -> Result<Vec<FigureData>>) -> Result<()> {
-    let opts = RunOptions::parse(std::env::args().skip(1))?;
+    let mut opts = RunOptions::parse(std::env::args().skip(1))?;
+    opts.label = std::env::args().next().as_deref().map(binary_label);
     run_with_options(generate, &opts)
+}
+
+/// Derives a checkpoint label from `argv[0]` (its file stem).
+fn binary_label(argv0: &str) -> String {
+    Path::new(argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("run")
+        .to_string()
+}
+
+/// Renders scheduler statistics as a flat JSON object (stable keys,
+/// easy to grep/parse from shell in CI).
+#[must_use]
+pub fn cache_stats_json(stats: &syncperf_sched::SchedStats) -> String {
+    format!(
+        "{{\"jobs\":{},\"executed\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"cache_stores\":{},\"steals\":{},\"retries\":{},\"resumed\":{},\
+         \"hit_rate\":{:.6}}}\n",
+        stats.jobs,
+        stats.executed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_stores,
+        stats.steals,
+        stats.retries,
+        stats.resumed,
+        stats.hit_rate(),
+    )
+}
+
+/// One-line human summary of a scheduler run.
+#[must_use]
+pub fn render_sched_summary(stats: &syncperf_sched::SchedStats) -> String {
+    format!(
+        "scheduler: {} jobs, {} cache hits ({:.1}%), {} executed, {} steals, {} retries, {} resumed\n",
+        stats.jobs,
+        stats.cache_hits,
+        stats.hit_rate() * 100.0,
+        stats.executed,
+        stats.steals,
+        stats.retries,
+        stats.resumed,
+    )
 }
 
 /// [`run`] with pre-parsed options (used by `trace_report` and tests).
@@ -286,7 +389,7 @@ pub fn run_with_options(
     generate: impl FnOnce() -> Result<Vec<FigureData>>,
     opts: &RunOptions,
 ) -> Result<()> {
-    let rec = if opts.trace.is_some() {
+    let rec = if opts.trace.is_some() || opts.cache_stats.is_some() {
         obs::install(Recorder::enabled());
         // `install` keeps an earlier recorder if one exists; either
         // way, record into whatever is globally visible.
@@ -295,7 +398,38 @@ pub fn run_with_options(
         Recorder::disabled()
     };
 
-    crate::emit(&generate()?)?;
+    let sched = if opts.wants_scheduler() {
+        let mut cfg = syncperf_sched::SchedConfig::new(opts.effective_jobs());
+        if let Some(label) = &opts.label {
+            cfg = cfg.with_label(label.clone());
+        }
+        if opts.no_cache {
+            cfg = cfg.without_cache();
+        }
+        if opts.resume {
+            cfg = cfg.with_resume();
+        }
+        Some(syncperf_sched::install(syncperf_sched::Scheduler::new(cfg)))
+    } else {
+        None
+    };
+
+    let outcome = generate().and_then(|figs| crate::emit(&figs));
+
+    if let Some(s) = &sched {
+        if outcome.is_ok() {
+            // Mark the checkpoint manifest complete only on success, so
+            // a failed run stays resumable.
+            s.finish();
+        }
+        syncperf_sched::uninstall();
+        let stats = s.stats();
+        print!("{}", render_sched_summary(&stats));
+        if let Some(path) = &opts.cache_stats {
+            std::fs::write(path, cache_stats_json(&stats))?;
+        }
+    }
+    outcome?;
 
     if let Some(path) = &opts.trace {
         let format = opts.effective_format(path);
@@ -340,6 +474,70 @@ mod tests {
         assert!(RunOptions::parse(["--bogus".to_string()]).is_err());
         assert!(RunOptions::parse(["--trace".to_string()]).is_err());
         assert!(RunOptions::parse(["--trace-format".to_string(), "yaml".to_string()]).is_err());
+        assert!(RunOptions::parse(["--jobs".to_string()]).is_err());
+        assert!(RunOptions::parse(["--jobs".to_string(), "four".to_string()]).is_err());
+        assert!(RunOptions::parse(["--cache-stats".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_scheduler_flags() {
+        let opts = RunOptions::parse(
+            [
+                "--jobs",
+                "4",
+                "--no-cache",
+                "--resume",
+                "--cache-stats",
+                "s.json",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.jobs, Some(4));
+        assert!(opts.no_cache);
+        assert!(opts.resume);
+        assert_eq!(opts.cache_stats.as_deref(), Some(Path::new("s.json")));
+        assert!(opts.wants_scheduler());
+        assert!(!RunOptions::default().no_cache);
+    }
+
+    #[test]
+    fn jobs_precedence_is_flag_then_env_then_serial() {
+        // Flag beats environment.
+        assert_eq!(RunOptions::jobs_from(Some(4), Some("8")), 4);
+        // Environment beats the serial default.
+        assert_eq!(RunOptions::jobs_from(None, Some("8")), 8);
+        assert_eq!(RunOptions::jobs_from(None, Some(" 2 ")), 2);
+        // Neither set, or the env value is garbage / zero: serial.
+        assert_eq!(RunOptions::jobs_from(None, None), 1);
+        assert_eq!(RunOptions::jobs_from(None, Some("lots")), 1);
+        assert_eq!(RunOptions::jobs_from(None, Some("0")), 1);
+        assert_eq!(RunOptions::jobs_from(Some(0), Some("8")), 1);
+    }
+
+    #[test]
+    fn binary_label_is_the_file_stem() {
+        assert_eq!(binary_label("target/release/all_figures"), "all_figures");
+        assert_eq!(binary_label("fig01_omp_barrier"), "fig01_omp_barrier");
+    }
+
+    #[test]
+    fn cache_stats_json_is_flat_and_stable() {
+        let stats = syncperf_sched::SchedStats {
+            jobs: 10,
+            executed: 2,
+            cache_hits: 8,
+            cache_misses: 2,
+            cache_stores: 2,
+            steals: 1,
+            retries: 0,
+            resumed: 0,
+        };
+        let json = cache_stats_json(&stats);
+        assert!(json.contains("\"jobs\":10"));
+        assert!(json.contains("\"cache_hits\":8"));
+        assert!(json.contains("\"hit_rate\":0.8"));
+        assert!(render_sched_summary(&stats).contains("80.0%"));
     }
 
     #[test]
@@ -350,6 +548,7 @@ mod tests {
         let opts = RunOptions {
             trace: Some(PathBuf::from("t.jsonl")),
             format: Some(TraceFormat::Chrome),
+            ..RunOptions::default()
         };
         // An explicit format wins over the extension.
         assert_eq!(

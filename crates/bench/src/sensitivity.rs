@@ -9,6 +9,7 @@
 use syncperf_core::{kernel, DType, ExecParams, Protocol, Result, SYSTEM3};
 use syncperf_cpu_sim::{CpuModel, CpuSimExecutor};
 use syncperf_gpu_sim::{GpuModel, GpuSimExecutor};
+use syncperf_sched::JobSpec;
 
 /// Outcome of evaluating one claim under one perturbed constant.
 #[derive(Debug, Clone)]
@@ -36,40 +37,46 @@ impl SensitivityRow {
 pub const SCALES: [f64; 5] = [0.5, 0.75, 1.0, 1.5, 2.0];
 
 fn cpu_claim_holds(model: CpuModel, claim: &str) -> Result<bool> {
-    let mut sim = CpuSimExecutor::with_model(&SYSTEM3, model);
-    fn runtime(sim: &mut CpuSimExecutor, k: &syncperf_core::CpuKernel, t: u32) -> Result<f64> {
+    // Perturbed-model measurements route through the scheduler when one
+    // is installed (`JobSpec::cpu_sim_with_model` folds the model digest
+    // into the cache key), else run serially on one shared executor.
+    let sched = syncperf_sched::current();
+    let mut sim = CpuSimExecutor::with_model(&SYSTEM3, model.clone());
+    let mut runtime = |k: &syncperf_core::CpuKernel, t: u32| -> Result<f64> {
         let p = ExecParams::new(t).with_loops(500, 50);
-        Ok(Protocol::SIM.measure(sim, k, &p)?.runtime_seconds())
-    }
+        let m = match &sched {
+            Some(s) => s.measure(JobSpec::cpu_sim_with_model(
+                &SYSTEM3,
+                model.clone(),
+                k.clone(),
+                p,
+                Protocol::SIM,
+            ))?,
+            None => Protocol::SIM.measure(&mut sim, k, &p)?,
+        };
+        Ok(m.runtime_seconds())
+    };
     Ok(match claim {
         "barrier plateaus beyond ~8 threads" => {
             let b = kernel::omp_barrier();
-            let r2 = runtime(&mut sim, &b, 2)?;
-            let r8 = runtime(&mut sim, &b, 8)?;
-            let r32 = runtime(&mut sim, &b, 32)?;
+            let r2 = runtime(&b, 2)?;
+            let r8 = runtime(&b, 8)?;
+            let r32 = runtime(&b, 32)?;
             r8 > 1.5 * r2 && r32 < 2.0 * r8
         }
         "int atomics beat doubles" => {
-            let i = runtime(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), 16)?;
-            let d = runtime(&mut sim, &kernel::omp_atomic_update_scalar(DType::F64), 16)?;
+            let i = runtime(&kernel::omp_atomic_update_scalar(DType::I32), 16)?;
+            let d = runtime(&kernel::omp_atomic_update_scalar(DType::F64), 16)?;
             d > i
         }
         "padding removes the false-sharing penalty" => {
-            let s1 = runtime(
-                &mut sim,
-                &kernel::omp_atomic_update_array(DType::I32, 1),
-                16,
-            )?;
-            let s16 = runtime(
-                &mut sim,
-                &kernel::omp_atomic_update_array(DType::I32, 16),
-                16,
-            )?;
+            let s1 = runtime(&kernel::omp_atomic_update_array(DType::I32, 1), 16)?;
+            let s16 = runtime(&kernel::omp_atomic_update_array(DType::I32, 16), 16)?;
             s1 > 2.0 * s16
         }
         "critical sections lose to atomics" => {
-            let c = runtime(&mut sim, &kernel::omp_critical_add(DType::I32), 16)?;
-            let a = runtime(&mut sim, &kernel::omp_atomic_update_scalar(DType::I32), 16)?;
+            let c = runtime(&kernel::omp_critical_add(DType::I32), 16)?;
+            let a = runtime(&kernel::omp_atomic_update_scalar(DType::I32), 16)?;
             c > a
         }
         other => unreachable!("unknown cpu claim {other}"),
@@ -77,43 +84,49 @@ fn cpu_claim_holds(model: CpuModel, claim: &str) -> Result<bool> {
 }
 
 fn gpu_claim_holds(model: GpuModel, claim: &str) -> Result<bool> {
-    let mut sim = GpuSimExecutor::with_model(&SYSTEM3, model);
-    fn cy(
-        sim: &mut GpuSimExecutor,
-        k: &syncperf_core::GpuKernel,
-        blocks: u32,
-        threads: u32,
-    ) -> Result<f64> {
+    let sched = syncperf_sched::current();
+    let mut sim = GpuSimExecutor::with_model(&SYSTEM3, model.clone());
+    let mut cy = |k: &syncperf_core::GpuKernel, blocks: u32, threads: u32| -> Result<f64> {
         let p = ExecParams::new(threads)
             .with_blocks(blocks)
             .with_loops(500, 50);
-        Ok(Protocol::SIM.measure(sim, k, &p)?.per_op)
-    }
+        let m = match &sched {
+            Some(s) => s.measure(JobSpec::gpu_sim_with_model(
+                &SYSTEM3,
+                model.clone(),
+                k.clone(),
+                p,
+                Protocol::SIM,
+            ))?,
+            None => Protocol::SIM.measure(&mut sim, k, &p)?,
+        };
+        Ok(m.per_op)
+    };
     Ok(match claim {
         "aggregated adds flat to 64 threads at 2 blocks" => {
             let k = kernel::cuda_atomic_add_scalar(DType::I32);
-            let t32 = cy(&mut sim, &k, 2, 32)?;
-            let t64 = cy(&mut sim, &k, 2, 64)?;
-            let t128 = cy(&mut sim, &k, 2, 128)?;
+            let t32 = cy(&k, 2, 32)?;
+            let t64 = cy(&k, 2, 64)?;
+            let t128 = cy(&k, 2, 128)?;
             (t64 - t32).abs() < 1e-9 && t128 > t64
         }
         "CAS knee at 4 threads for 1 block" => {
             let k = kernel::cuda_atomic_cas_scalar(DType::I32);
-            let t4 = cy(&mut sim, &k, 1, 4)?;
-            let t8 = cy(&mut sim, &k, 1, 8)?;
+            let t4 = cy(&k, 1, 4)?;
+            let t8 = cy(&k, 1, 8)?;
             t8 > t4
         }
         "fences cost the same at any occupancy" => {
             let k = kernel::cuda_threadfence(syncperf_core::Scope::Device, DType::I32, 1);
-            let a = cy(&mut sim, &k, 1, 32)?;
-            let b = cy(&mut sim, &k, 128, 1024)?;
+            let a = cy(&k, 1, 32)?;
+            let b = cy(&k, 128, 1024)?;
             (a / b - 1.0).abs() < 0.05
         }
         "64-bit shuffles cost twice 32-bit" => {
             let f32k = kernel::cuda_shfl(DType::F32, syncperf_core::ShflVariant::Idx);
             let f64k = kernel::cuda_shfl(DType::F64, syncperf_core::ShflVariant::Idx);
-            let a = cy(&mut sim, &f32k, 2, 32)?;
-            let b = cy(&mut sim, &f64k, 2, 32)?;
+            let a = cy(&f32k, 2, 32)?;
+            let b = cy(&f64k, 2, 32)?;
             (b / a - 2.0).abs() < 0.1
         }
         other => unreachable!("unknown gpu claim {other}"),

@@ -201,6 +201,23 @@ impl GpuModel {
         }
     }
 
+    /// A stable 64-bit digest of every model constant (FNV-1a over the
+    /// canonical debug rendering). Two models agree on the digest iff
+    /// they would produce identical simulations, which is what lets
+    /// the sweep scheduler use it as part of a content-addressed cache
+    /// key: recalibrating any constant invalidates cached results.
+    #[must_use]
+    pub fn config_digest(&self) -> u64 {
+        // Local FNV-1a: the digest must be process- and
+        // platform-independent, unlike `std::hash`.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Issue-bandwidth slowdown factor at `demand` "32-bit-op threads"
     /// resident on an SM (64-bit shuffles count double — Fig. 15).
     #[must_use]

@@ -76,6 +76,16 @@ impl GpuSimExecutor {
         }
     }
 
+    /// Replaces the jitter RNG seed, leaving system and model intact.
+    /// The sweep scheduler seeds each job's executor from the job's
+    /// content hash so a measurement depends only on its own identity,
+    /// never on execution order.
+    #[must_use]
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64::seed_from_u64(seed);
+        self
+    }
+
     /// The active model.
     #[must_use]
     pub fn model(&self) -> &GpuModel {

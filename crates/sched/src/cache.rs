@@ -1,0 +1,303 @@
+//! The content-addressed on-disk result cache.
+//!
+//! One JSON file per job under `<results>/.cache/<hash16>.json`, where
+//! the name is the job's content hash. Writes go through a temp file
+//! plus atomic rename so a crashed or concurrent run can never leave a
+//! half-written entry under the final name; loads are
+//! corruption-tolerant — any parse or validation failure is treated as
+//! a miss (recompute), never an error.
+//!
+//! Floats are serialized with Rust's shortest round-trip formatting
+//! (`{:?}`) and parsed back with `str::parse::<f64>`, which restores
+//! the exact bit pattern. A cached [`Measurement`] is therefore
+//! byte-identical to a recomputed one in every downstream rendering —
+//! the property the warm-cache CSV tests pin down.
+
+use std::path::{Path, PathBuf};
+
+use syncperf_core::obs::json::{self, Value};
+use syncperf_core::{Affinity, ExecParams, Measurement, TimeUnit};
+
+use crate::hash::hex16;
+
+/// Handle to one cache directory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Cache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a job hash.
+    #[must_use]
+    pub fn entry_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{}.json", hex16(hash)))
+    }
+
+    /// Loads the entry for `hash`, or `None` on miss *or* on any kind
+    /// of corruption (unreadable file, bad JSON, missing fields,
+    /// non-finite or inconsistent values).
+    #[must_use]
+    pub fn load(&self, hash: u64) -> Option<Measurement> {
+        let text = std::fs::read_to_string(self.entry_path(hash)).ok()?;
+        decode_measurement(&text)
+    }
+
+    /// Stores `m` as the entry for `hash`: write to a temp file in the
+    /// same directory, then rename over the final name. Rename within
+    /// one directory is atomic, so readers only ever see complete
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (the scheduler downgrades them to a
+    /// warning — a read-only cache must not fail the run).
+    pub fn store(&self, hash: u64, m: &Measurement) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp.{}", hex16(hash), std::process::id()));
+        std::fs::write(&tmp, encode_measurement(m))?;
+        std::fs::rename(&tmp, self.entry_path(hash))
+    }
+}
+
+fn push_runs(out: &mut String, key: &str, runs: &[f64]) {
+    out.push_str("  \"");
+    out.push_str(key);
+    out.push_str("\": [");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{r:?}"));
+    }
+    out.push_str("],\n");
+}
+
+/// Renders a [`Measurement`] as a cache-entry JSON document.
+#[must_use]
+pub fn encode_measurement(m: &Measurement) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"kernel\": {},\n", json_string(&m.kernel_name)));
+    let p = &m.params;
+    out.push_str(&format!(
+        "  \"params\": {{\"threads\": {}, \"blocks\": {}, \"affinity\": \"{}\", \
+         \"n_iter\": {}, \"n_unroll\": {}, \"n_warmup\": {}}},\n",
+        p.threads,
+        p.blocks,
+        p.affinity.label(),
+        p.n_iter,
+        p.n_unroll,
+        p.n_warmup
+    ));
+    match m.time_unit {
+        TimeUnit::Seconds => out.push_str("  \"time_unit\": {\"kind\": \"seconds\"},\n"),
+        TimeUnit::Cycles { clock_ghz } => out.push_str(&format!(
+            "  \"time_unit\": {{\"kind\": \"cycles\", \"clock_ghz\": {clock_ghz:?}}},\n"
+        )),
+    }
+    push_runs(&mut out, "baseline_runs", &m.baseline_runs);
+    push_runs(&mut out, "test_runs", &m.test_runs);
+    out.push_str(&format!(
+        "  \"median_baseline\": {:?},\n  \"median_test\": {:?},\n  \"per_op\": {:?},\n",
+        m.median_baseline, m.median_test, m.per_op
+    ));
+    out.push_str(&format!(
+        "  \"retries\": {},\n  \"exhausted_runs\": {}\n}}\n",
+        m.retries, m.exhausted_runs
+    ));
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn get_f64(v: &Value, key: &str) -> Option<f64> {
+    let x = v.get(key)?.as_f64()?;
+    x.is_finite().then_some(x)
+}
+
+fn get_u32(v: &Value, key: &str) -> Option<u32> {
+    let x = v.get(key)?.as_f64()?;
+    (x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= f64::from(u32::MAX)).then_some(x as u32)
+}
+
+fn get_runs(v: &Value, key: &str) -> Option<Vec<f64>> {
+    v.get(key)?
+        .as_array()?
+        .iter()
+        .map(|x| {
+            let x = x.as_f64()?;
+            x.is_finite().then_some(x)
+        })
+        .collect()
+}
+
+/// Parses a cache entry back into a [`Measurement`]; `None` on any
+/// structural problem (the caller recomputes).
+#[must_use]
+pub fn decode_measurement(text: &str) -> Option<Measurement> {
+    let v = json::parse(text).ok()?;
+    if get_u32(&v, "schema")? != 1 {
+        return None;
+    }
+    let kernel_name = v.get("kernel")?.as_str()?.to_string();
+
+    let p = v.get("params")?;
+    let affinity = match p.get("affinity")?.as_str()? {
+        "spread" => Affinity::Spread,
+        "close" => Affinity::Close,
+        "system" => Affinity::SystemChoice,
+        _ => return None,
+    };
+    let params = ExecParams {
+        threads: get_u32(p, "threads")?,
+        blocks: get_u32(p, "blocks")?,
+        affinity,
+        n_iter: get_u32(p, "n_iter")?,
+        n_unroll: get_u32(p, "n_unroll")?,
+        n_warmup: get_u32(p, "n_warmup")?,
+    };
+
+    let tu = v.get("time_unit")?;
+    let time_unit = match tu.get("kind")?.as_str()? {
+        "seconds" => TimeUnit::Seconds,
+        "cycles" => TimeUnit::Cycles {
+            clock_ghz: get_f64(tu, "clock_ghz")?,
+        },
+        _ => return None,
+    };
+
+    let baseline_runs = get_runs(&v, "baseline_runs")?;
+    let test_runs = get_runs(&v, "test_runs")?;
+    if baseline_runs.is_empty() || baseline_runs.len() != test_runs.len() {
+        return None;
+    }
+
+    Some(Measurement {
+        kernel_name,
+        params,
+        time_unit,
+        baseline_runs,
+        test_runs,
+        median_baseline: get_f64(&v, "median_baseline")?,
+        median_test: get_f64(&v, "median_test")?,
+        per_op: get_f64(&v, "per_op")?,
+        retries: get_u32(&v, "retries")?,
+        exhausted_runs: get_u32(&v, "exhausted_runs")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Measurement {
+        Measurement {
+            kernel_name: "omp_barrier".into(),
+            params: ExecParams::new(8).with_loops(1000, 100),
+            time_unit: TimeUnit::Cycles { clock_ghz: 2.52 },
+            baseline_runs: vec![1.25e-3, 0.1 + 0.2, 3.0_f64.sqrt()],
+            test_runs: vec![2.5e-3, 2.5e-3, 2.6e-3],
+            median_baseline: 1.25e-3,
+            median_test: 2.5e-3,
+            per_op: 1.25e-8,
+            retries: 3,
+            exhausted_runs: 1,
+        }
+    }
+
+    fn tmp_cache(tag: &str) -> Cache {
+        let dir =
+            std::env::temp_dir().join(format!("syncperf-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::new(dir)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let m = sample();
+        let back = decode_measurement(&encode_measurement(&m)).unwrap();
+        // PartialEq on f64 fields: exact bit-pattern equality is the
+        // byte-identical-CSV guarantee.
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn store_then_load() {
+        let cache = tmp_cache("roundtrip");
+        let m = sample();
+        assert!(cache.load(42).is_none(), "cold cache misses");
+        cache.store(42, &m).unwrap();
+        assert_eq!(cache.load(42).unwrap(), m);
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_garbled_entries_are_misses() {
+        let cache = tmp_cache("corrupt");
+        let m = sample();
+        cache.store(7, &m).unwrap();
+        let path = cache.entry_path(7);
+
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.load(7).is_none(), "truncated entry must miss");
+
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(cache.load(7).is_none(), "garbled entry must miss");
+
+        // Structurally valid JSON with broken content also misses.
+        std::fs::write(&path, "{\"schema\": 1, \"kernel\": \"x\"}").unwrap();
+        assert!(cache.load(7).is_none(), "incomplete entry must miss");
+
+        // Mismatched run lengths are rejected.
+        let bad = full.replace(
+            "\"test_runs\": [0.0025, 0.0025, 0.0026]",
+            "\"test_runs\": [0.0025]",
+        );
+        std::fs::write(&path, bad).unwrap();
+        assert!(cache.load(7).is_none(), "inconsistent entry must miss");
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        let m = sample();
+        let text = encode_measurement(&m).replace("1.25e-8", "1e999");
+        assert!(decode_measurement(&text).is_none());
+    }
+
+    #[test]
+    fn seconds_unit_roundtrips() {
+        let mut m = sample();
+        m.time_unit = TimeUnit::Seconds;
+        assert_eq!(decode_measurement(&encode_measurement(&m)).unwrap(), m);
+    }
+}

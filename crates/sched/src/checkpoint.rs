@@ -1,0 +1,226 @@
+//! Checkpoint manifests: which jobs of a labeled run already
+//! completed, enabling `--resume` after an interruption.
+//!
+//! A checkpoint lists content hashes, so it composes with the cache:
+//! resuming re-keys every job, skips the ones whose hash is both in
+//! the manifest and in the cache, and recomputes anything else. A
+//! stale manifest can therefore never resurrect wrong results — at
+//! worst it causes recomputation.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use syncperf_core::obs::json;
+
+use crate::hash::{hex16, parse_hex16};
+
+/// How many completions may accumulate before the manifest is
+/// re-flushed to disk.
+pub const FLUSH_EVERY: usize = 32;
+
+/// The on-disk progress manifest of one labeled run.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    label: String,
+    done: BTreeSet<u64>,
+    complete: bool,
+    dirty: usize,
+}
+
+/// Restricts a run label to filesystem-safe characters.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl Checkpoint {
+    /// The manifest path for `label` under `dir`.
+    #[must_use]
+    pub fn path_for(dir: &Path, label: &str) -> PathBuf {
+        dir.join(format!("checkpoint-{}.json", sanitize(label)))
+    }
+
+    /// A fresh, empty manifest for `label` (ignores any on-disk
+    /// state).
+    #[must_use]
+    pub fn fresh(dir: &Path, label: &str) -> Self {
+        Checkpoint {
+            path: Self::path_for(dir, label),
+            label: label.to_string(),
+            done: BTreeSet::new(),
+            complete: false,
+            dirty: 0,
+        }
+    }
+
+    /// Loads the manifest for `label`, tolerating a missing or corrupt
+    /// file (both yield an empty manifest — resume then simply
+    /// recomputes).
+    #[must_use]
+    pub fn load(dir: &Path, label: &str) -> Self {
+        let mut cp = Self::fresh(dir, label);
+        let Ok(text) = std::fs::read_to_string(&cp.path) else {
+            return cp;
+        };
+        let Ok(v) = json::parse(&text) else {
+            return cp;
+        };
+        if v.get("label").and_then(json::Value::as_str) != Some(label) {
+            return cp;
+        }
+        cp.complete = matches!(v.get("complete"), Some(json::Value::Bool(true)));
+        if let Some(done) = v.get("done").and_then(json::Value::as_array) {
+            for h in done {
+                if let Some(h) = h.as_str().and_then(parse_hex16) {
+                    cp.done.insert(h);
+                }
+            }
+        }
+        cp
+    }
+
+    /// Whether the labeled run previously finished all its jobs.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Whether `hash` completed in a previous (or the current) run.
+    #[must_use]
+    pub fn contains(&self, hash: u64) -> bool {
+        self.done.contains(&hash)
+    }
+
+    /// Number of recorded completions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Whether no completions are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// Iterates over the recorded completion hashes.
+    pub fn hashes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.done.iter().copied()
+    }
+
+    /// Records a completed job, flushing the manifest to disk every
+    /// [`FLUSH_EVERY`] new completions (frequent enough that an
+    /// interrupted long sweep loses little work, rare enough to stay
+    /// off the hot path).
+    pub fn record(&mut self, hash: u64) {
+        if self.done.insert(hash) {
+            self.dirty += 1;
+            if self.dirty >= FLUSH_EVERY {
+                let _ = self.save();
+            }
+        }
+    }
+
+    /// Marks the run complete and flushes.
+    pub fn finish(&mut self) {
+        self.complete = true;
+        let _ = self.save();
+    }
+
+    /// Writes the manifest (temp file + atomic rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; callers treat the manifest as advisory
+    /// and may ignore them.
+    pub fn save(&mut self) -> std::io::Result<()> {
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"label\": \"{}\",\n", sanitize(&self.label)));
+        out.push_str(&format!("  \"complete\": {},\n", self.complete));
+        out.push_str("  \"done\": [");
+        for (i, h) in self.done.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", hex16(*h)));
+        }
+        out.push_str("]\n}\n");
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.dirty = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("syncperf-cp-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_resume() {
+        let dir = tmp_dir("roundtrip");
+        let mut cp = Checkpoint::fresh(&dir, "all_figures");
+        cp.record(1);
+        cp.record(2);
+        cp.save().unwrap();
+
+        let resumed = Checkpoint::load(&dir, "all_figures");
+        assert!(resumed.contains(1) && resumed.contains(2) && !resumed.contains(3));
+        assert_eq!(resumed.len(), 2);
+        assert!(!resumed.is_complete());
+
+        cp.finish();
+        assert!(Checkpoint::load(&dir, "all_figures").is_complete());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_corrupt_or_mislabeled_manifests_load_empty() {
+        let dir = tmp_dir("tolerant");
+        assert!(Checkpoint::load(&dir, "nothing").is_empty());
+
+        std::fs::write(Checkpoint::path_for(&dir, "bad"), "{{{").unwrap();
+        assert!(Checkpoint::load(&dir, "bad").is_empty());
+
+        let mut cp = Checkpoint::fresh(&dir, "fig01");
+        cp.record(9);
+        cp.save().unwrap();
+        // A manifest saved for one label must not resume another.
+        std::fs::copy(
+            Checkpoint::path_for(&dir, "fig01"),
+            Checkpoint::path_for(&dir, "fig02"),
+        )
+        .unwrap();
+        assert!(Checkpoint::load(&dir, "fig02").is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        let p = Checkpoint::path_for(Path::new("/x"), "a/b c");
+        assert_eq!(p, PathBuf::from("/x/checkpoint-a_b_c.json"));
+    }
+}

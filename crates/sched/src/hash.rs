@@ -1,0 +1,67 @@
+//! Stable content hashing for job identities.
+//!
+//! Cache keys must be identical across processes, platforms, and
+//! worker counts, so the hash is a fixed algorithm over a canonical
+//! string rather than `std::hash` (whose output is unspecified and
+//! randomized for `HashMap` keys). FNV-1a over 64 bits is plenty for
+//! the few thousand distinct jobs a full figure run produces.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Renders a hash as the 16-digit lowercase hex used for cache file
+/// names.
+#[must_use]
+pub fn hex16(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Parses a [`hex16`] string back to the hash value.
+#[must_use]
+pub fn parse_hex16(s: &str) -> Option<u64> {
+    if s.len() == 16 {
+        u64::from_str_radix(s, 16).ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = fnv1a(b"syncperf");
+        assert_eq!(parse_hex16(&hex16(h)), Some(h));
+        assert_eq!(hex16(h).len(), 16);
+        assert_eq!(parse_hex16("nope"), None);
+        assert_eq!(parse_hex16("zzzzzzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a(b"job-a"), fnv1a(b"job-b"));
+    }
+}

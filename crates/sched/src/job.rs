@@ -1,0 +1,362 @@
+//! Job descriptions: one independent measurement per sweep point.
+//!
+//! A [`JobSpec`] captures everything that determines a measurement's
+//! outcome — the executor kind, the simulated system, an optional
+//! model override, the kernel (name *and* op bodies), the execution
+//! parameters, and the protocol — so its canonical form can serve as a
+//! content-addressed cache key. Anything not captured here must be
+//! folded into the scheduler's version salt instead.
+
+use std::fmt::Write as _;
+
+use syncperf_core::{CpuKernel, ExecParams, GpuKernel, Measurement, Protocol, Result, SystemSpec};
+use syncperf_cpu_sim::{CpuModel, CpuSimExecutor};
+use syncperf_gpu_sim::{GpuModel, GpuSimExecutor};
+use syncperf_omp::OmpExecutor;
+
+/// One independent measurement job: kernel × parameters × protocol on
+/// a concrete executor configuration.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// A measurement on the CPU simulator.
+    CpuSim {
+        /// The simulated system.
+        system: SystemSpec,
+        /// Latency-model override (`None` = the system's calibrated
+        /// model).
+        model: Option<CpuModel>,
+        /// The kernel to measure.
+        kernel: CpuKernel,
+        /// The parameter point.
+        params: ExecParams,
+        /// The measurement protocol.
+        protocol: Protocol,
+    },
+    /// A measurement on the GPU simulator.
+    GpuSim {
+        /// The simulated system.
+        system: SystemSpec,
+        /// Latency-model override (`None` = the system's calibrated
+        /// model).
+        model: Option<GpuModel>,
+        /// The kernel to measure.
+        kernel: GpuKernel,
+        /// The parameter point.
+        params: ExecParams,
+        /// The measurement protocol.
+        protocol: Protocol,
+    },
+    /// A measurement on this machine's real threads. Results are only
+    /// meaningful on the host that produced them, so the host identity
+    /// is part of the job's content hash.
+    RealOmp {
+        /// Hostname × hardware-parallelism fingerprint.
+        host: String,
+        /// The kernel to measure.
+        kernel: CpuKernel,
+        /// The parameter point.
+        params: ExecParams,
+        /// The measurement protocol.
+        protocol: Protocol,
+    },
+}
+
+/// The host fingerprint used for [`JobSpec::RealOmp`] hashing: results
+/// from one machine must never be served as another machine's.
+#[must_use]
+pub fn host_fingerprint() -> String {
+    let host = std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".into());
+    let par = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    format!("{host}/{par}")
+}
+
+impl JobSpec {
+    /// A CPU-simulator job with the system's calibrated model.
+    #[must_use]
+    pub fn cpu_sim(
+        system: &SystemSpec,
+        kernel: CpuKernel,
+        params: ExecParams,
+        protocol: Protocol,
+    ) -> Self {
+        JobSpec::CpuSim {
+            system: system.clone(),
+            model: None,
+            kernel,
+            params,
+            protocol,
+        }
+    }
+
+    /// A CPU-simulator job with an explicit latency model (used by the
+    /// sensitivity sweep's perturbed models).
+    #[must_use]
+    pub fn cpu_sim_with_model(
+        system: &SystemSpec,
+        model: CpuModel,
+        kernel: CpuKernel,
+        params: ExecParams,
+        protocol: Protocol,
+    ) -> Self {
+        JobSpec::CpuSim {
+            system: system.clone(),
+            model: Some(model),
+            kernel,
+            params,
+            protocol,
+        }
+    }
+
+    /// A GPU-simulator job with the system's calibrated model.
+    #[must_use]
+    pub fn gpu_sim(
+        system: &SystemSpec,
+        kernel: GpuKernel,
+        params: ExecParams,
+        protocol: Protocol,
+    ) -> Self {
+        JobSpec::GpuSim {
+            system: system.clone(),
+            model: None,
+            kernel,
+            params,
+            protocol,
+        }
+    }
+
+    /// A GPU-simulator job with an explicit latency model.
+    #[must_use]
+    pub fn gpu_sim_with_model(
+        system: &SystemSpec,
+        model: GpuModel,
+        kernel: GpuKernel,
+        params: ExecParams,
+        protocol: Protocol,
+    ) -> Self {
+        JobSpec::GpuSim {
+            system: system.clone(),
+            model: Some(model),
+            kernel,
+            params,
+            protocol,
+        }
+    }
+
+    /// A real-thread job on this host.
+    #[must_use]
+    pub fn real_omp(kernel: CpuKernel, params: ExecParams, protocol: Protocol) -> Self {
+        JobSpec::RealOmp {
+            host: host_fingerprint(),
+            kernel,
+            params,
+            protocol,
+        }
+    }
+
+    /// The measured kernel's name (stored in cache entries and checked
+    /// against them on load).
+    #[must_use]
+    pub fn kernel_name(&self) -> &str {
+        match self {
+            JobSpec::CpuSim { kernel, .. } | JobSpec::RealOmp { kernel, .. } => &kernel.name,
+            JobSpec::GpuSim { kernel, .. } => &kernel.name,
+        }
+    }
+
+    /// The parameter point this job measures at.
+    #[must_use]
+    pub fn params(&self) -> &ExecParams {
+        match self {
+            JobSpec::CpuSim { params, .. }
+            | JobSpec::GpuSim { params, .. }
+            | JobSpec::RealOmp { params, .. } => params,
+        }
+    }
+
+    /// The canonical string the content hash is computed over. Covers
+    /// the executor kind, system spec, effective latency-model digest,
+    /// full kernel (name, op bodies, extra-op count), parameters, and
+    /// protocol — everything that determines the measurement.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let mut s = String::new();
+        match self {
+            JobSpec::CpuSim {
+                system,
+                model,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let model = model
+                    .clone()
+                    .unwrap_or_else(|| CpuModel::for_system(&system.cpu, system.cpu_jitter));
+                let _ = write!(
+                    s,
+                    "exec=cpu-sim\nsystem={system:?}\nmodel={:016x}\n",
+                    model.config_digest()
+                );
+                Self::push_tail(&mut s, &format!("{kernel:?}"), params, *protocol);
+            }
+            JobSpec::GpuSim {
+                system,
+                model,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let model = model
+                    .clone()
+                    .unwrap_or_else(|| GpuModel::for_spec(&system.gpu));
+                let _ = write!(
+                    s,
+                    "exec=gpu-sim\nsystem={system:?}\nmodel={:016x}\n",
+                    model.config_digest()
+                );
+                Self::push_tail(&mut s, &format!("{kernel:?}"), params, *protocol);
+            }
+            JobSpec::RealOmp {
+                host,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let _ = write!(s, "exec=real-omp\nhost={host}\n");
+                Self::push_tail(&mut s, &format!("{kernel:?}"), params, *protocol);
+            }
+        }
+        s
+    }
+
+    fn push_tail(s: &mut String, kernel: &str, params: &ExecParams, protocol: Protocol) {
+        let _ = write!(
+            s,
+            "kernel={kernel}\nparams={params:?}\nprotocol={protocol:?}\n"
+        );
+    }
+
+    /// Executes the job. Simulator jobs get `seed` as their jitter
+    /// seed, so a job's outcome depends only on its own identity —
+    /// never on which worker ran it or what ran before it — which is
+    /// what makes N-worker output byte-identical to 1-worker output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor/protocol errors.
+    pub fn execute(&self, seed: u64) -> Result<Measurement> {
+        match self {
+            JobSpec::CpuSim {
+                system,
+                model,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let mut exec = match model {
+                    Some(m) => CpuSimExecutor::with_model(system, m.clone()),
+                    None => CpuSimExecutor::new(system),
+                }
+                .with_jitter_seed(seed);
+                protocol.measure(&mut exec, kernel, params)
+            }
+            JobSpec::GpuSim {
+                system,
+                model,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let mut exec = match model {
+                    Some(m) => GpuSimExecutor::with_model(system, m.clone()),
+                    None => GpuSimExecutor::new(system),
+                }
+                .with_jitter_seed(seed);
+                protocol.measure(&mut exec, kernel, params)
+            }
+            JobSpec::RealOmp {
+                kernel,
+                params,
+                protocol,
+                ..
+            } => {
+                let mut exec = OmpExecutor::new();
+                protocol.measure(&mut exec, kernel, params)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, DType, SYSTEM3};
+
+    fn point() -> (ExecParams, Protocol) {
+        (ExecParams::new(4).with_loops(50, 4), Protocol::SIM)
+    }
+
+    #[test]
+    fn canonical_covers_kernel_params_and_protocol() {
+        let (p, proto) = point();
+        let a = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p, proto);
+        let b = JobSpec::cpu_sim(
+            &SYSTEM3,
+            kernel::omp_atomic_update_scalar(DType::I32),
+            p,
+            proto,
+        );
+        let c = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p.with_loops(51, 4), proto);
+        let d = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p, Protocol::PAPER);
+        assert_ne!(a.canonical(), b.canonical());
+        assert_ne!(a.canonical(), c.canonical());
+        assert_ne!(a.canonical(), d.canonical());
+        assert_eq!(
+            a.canonical(),
+            JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p, proto).canonical()
+        );
+    }
+
+    #[test]
+    fn model_override_changes_canonical() {
+        let (p, proto) = point();
+        let base = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p, proto);
+        let mut m = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+        m.line_transfer_ns *= 2.0;
+        let tweaked = JobSpec::cpu_sim_with_model(&SYSTEM3, m, kernel::omp_barrier(), p, proto);
+        assert_ne!(base.canonical(), tweaked.canonical());
+    }
+
+    #[test]
+    fn execute_is_seed_deterministic() {
+        let (p, proto) = point();
+        let job = JobSpec::cpu_sim(
+            &SYSTEM3,
+            kernel::omp_atomic_update_scalar(DType::I32),
+            p,
+            proto,
+        );
+        let a = job.execute(7).unwrap();
+        let b = job.execute(7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gpu_job_executes() {
+        let job = JobSpec::gpu_sim(
+            &SYSTEM3,
+            kernel::cuda_syncthreads(),
+            ExecParams::new(32).with_blocks(2).with_loops(50, 4),
+            Protocol::SIM,
+        );
+        assert_eq!(job.kernel_name(), "cuda_syncthreads");
+        let m = job.execute(1).unwrap();
+        assert_eq!(m.kernel_name, "cuda_syncthreads");
+    }
+
+    #[test]
+    fn real_job_hash_is_host_scoped() {
+        let (p, proto) = point();
+        let job = JobSpec::real_omp(kernel::omp_barrier(), p, proto);
+        assert!(job.canonical().contains(&host_fingerprint()));
+    }
+}

@@ -1,0 +1,47 @@
+//! # syncperf-sched
+//!
+//! Work-stealing sweep scheduler with a content-addressed result
+//! cache and checkpoint/resume for the syncperf measurement harness.
+//!
+//! Three layers, bottom up:
+//!
+//! 1. **Job graph** ([`job`]): every sweep point (kernel × dtype ×
+//!    thread/block count × affinity) is an independent [`JobSpec`]
+//!    whose canonical form — executor kind, system, latency-model
+//!    digest, full kernel body, parameters, protocol — is hashed with
+//!    FNV-1a ([`hash`]) into a stable content hash.
+//! 2. **Work-stealing pool** ([`pool`]): per-worker deques plus an
+//!    index-ordered result merge, built on `std::thread` only. Jobs
+//!    seed their simulator's jitter RNG from their own content hash,
+//!    so N-worker output is byte-identical to the 1-worker output.
+//! 3. **Content-addressed cache** ([`cache`]) and **checkpoint
+//!    manifests** ([`checkpoint`]): `results/.cache/<hash>.json`
+//!    entries written via temp-file + atomic rename, loaded
+//!    corruption-tolerantly (a bad entry is a miss, never a crash),
+//!    plus per-run-label manifests enabling `--resume`.
+//!
+//! The [`scheduler`] module ties them together and exposes the
+//! process-global [`install`]/[`current`] registry the bench sweep
+//! helpers branch on; without an installed scheduler every measurement
+//! takes the serial legacy path, unchanged.
+//!
+//! The measurement protocol itself (Section IV of the paper: 9 runs ×
+//! 7 attempts, median-of-medians differential timing) is untouched —
+//! the scheduler only decides *which* jobs run, *where*, and *whether
+//! a cached result already answers them*.
+
+pub mod cache;
+pub mod checkpoint;
+pub mod hash;
+pub mod job;
+pub mod pool;
+pub mod scheduler;
+
+pub use cache::Cache;
+pub use checkpoint::Checkpoint;
+pub use job::{host_fingerprint, JobSpec};
+pub use pool::{run_indexed, PoolOutcome};
+pub use scheduler::{
+    current, install, uninstall, SchedConfig, SchedStats, Scheduler, MAX_EXECUTE_ATTEMPTS,
+    SCHED_SALT,
+};

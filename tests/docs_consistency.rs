@@ -127,9 +127,50 @@ fn design_md_lists_all_workspace_crates() {
         "syncperf-cpu-sim",
         "syncperf-gpu-sim",
         "syncperf-analyze",
+        "syncperf-sched",
         "syncperf-bench",
     ] {
         assert!(design.contains(krate), "DESIGN.md missing crate {krate}");
+    }
+}
+
+#[test]
+fn scheduler_docs_match_the_cli_and_code() {
+    // docs/SCHEDULER.md, DESIGN.md §8, and the README subsection
+    // document the same scheduler surface the runner implements.
+    let sched_doc = read("docs/SCHEDULER.md");
+    let design = read("DESIGN.md");
+    let readme = read("README.md");
+    let runner = read("crates/bench/src/runner.rs");
+
+    for flag in ["--jobs", "--no-cache", "--resume", "--cache-stats"] {
+        for (doc, name) in [
+            (&sched_doc, "docs/SCHEDULER.md"),
+            (&design, "DESIGN.md"),
+            (&runner, "runner.rs"),
+        ] {
+            assert!(doc.contains(flag), "{name} missing flag {flag}");
+        }
+    }
+    for (doc, name) in [
+        (&sched_doc, "docs/SCHEDULER.md"),
+        (&design, "DESIGN.md"),
+        (&readme, "README.md"),
+    ] {
+        assert!(doc.contains("SYNCPERF_JOBS"), "{name} missing env fallback");
+    }
+
+    assert!(design.contains("docs/SCHEDULER.md"));
+    assert!(readme.contains("docs/SCHEDULER.md"));
+    assert!(readme.contains("Parallel & incremental runs"));
+
+    // The documented salt and counter names are the code's.
+    assert!(sched_doc.contains(syncperf_sched::SCHED_SALT));
+    for counter in ["sched.jobs", "sched.cache_hits", "sched.steals"] {
+        assert!(
+            sched_doc.contains(counter),
+            "docs/SCHEDULER.md missing counter {counter}"
+        );
     }
 }
 
