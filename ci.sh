@@ -38,6 +38,69 @@ hit=$(sed -n 's/.*"hit_rate":\([0-9.]*\).*/\1/p' cache_stats_warm.json)
 echo "warm-run cache hit rate: ${hit}"
 awk -v h="$hit" 'BEGIN { exit (h >= 0.95) ? 0 : 1 }' || {
   echo "warm-cache hit rate ${hit} is below 0.95"; exit 1; }
+
+# The same gate over the sensitivity grid: hundreds of perturbed-model
+# jobs whose hashes fold in each perturbed model's digest. A warm
+# second run under 95% means model-digest hashing went unstable.
+echo "==> sensitivity warm-cache gate"
+SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
+  --bin sensitivity_analysis -- --jobs 2 \
+  --cache-stats cache_stats_sensitivity_cold.json > /dev/null
+SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
+  --bin sensitivity_analysis -- --jobs 2 \
+  --cache-stats cache_stats_sensitivity_warm.json > /dev/null
+sens_hit=$(sed -n 's/.*"hit_rate":\([0-9.]*\).*/\1/p' cache_stats_sensitivity_warm.json)
+echo "sensitivity warm-run cache hit rate: ${sens_hit}"
+awk -v h="$sens_hit" 'BEGIN { exit (h >= 0.95) ? 0 : 1 }' || {
+  echo "sensitivity warm-cache hit rate ${sens_hit} is below 0.95"; exit 1; }
+
+# Serve smoke test (docs/SERVING.md): launch the query service over
+# the warm cache the gates above just filled, hit every read endpoint
+# plus a 404, prove the answers came from the cache without any
+# recomputation (serve.cache_hits > 0, serve.computes == 0), and shut
+# down gracefully over the wire.
+echo "==> serve smoke test"
+rm -f serve_out.log
+SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
+  --bin serve -- --addr 127.0.0.1:0 --workers 2 --jobs 1 > serve_out.log &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's#^listening on http://##p' serve_out.log)
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "serve did not come up"; cat serve_out.log; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "serve is up on ${addr}"
+
+curl -fsS "http://${addr}/healthz" > /dev/null
+query=$(curl -fsS "http://${addr}/query?kernel=omp_barrier&threads=8")
+hash=$(printf '%s' "$query" | sed -n 's/.*"hash": "\([0-9a-f]\{16\}\)".*/\1/p' | head -n 1)
+[ -n "$hash" ] || { echo "/query returned no hash: ${query}"; kill "$serve_pid" 2>/dev/null; exit 1; }
+curl -fsS "http://${addr}/job/${hash}" > /dev/null
+curl -fsS "http://${addr}/figure/fig01" | head -n 1 > /dev/null
+curl -fsS "http://${addr}/figure/fig01.svg" > /dev/null
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://${addr}/job/0000000000000000")
+[ "$code" = "404" ] || { echo "expected 404 for an unknown job, got ${code}"; kill "$serve_pid" 2>/dev/null; exit 1; }
+
+stats=$(curl -fsS "http://${addr}/stats")
+echo "serve stats: ${stats}"
+serve_hits=$(printf '%s' "$stats" | sed -n 's/.*"cache_hits": \([0-9]*\).*/\1/p' | head -n 1)
+serve_computes=$(printf '%s' "$stats" | sed -n 's/.*"computes": \([0-9]*\).*/\1/p' | head -n 1)
+[ "${serve_hits:-0}" -ge 2 ] || { echo "serve answered without cache hits"; kill "$serve_pid" 2>/dev/null; exit 1; }
+[ "${serve_computes:-1}" -eq 0 ] || { echo "serve recomputed a warm entry"; kill "$serve_pid" 2>/dev/null; exit 1; }
+
+curl -fsS -X POST "http://${addr}/shutdown" > /dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+  echo "serve did not shut down gracefully"; kill -9 "$serve_pid"; exit 1
+fi
+wait "$serve_pid" || { echo "serve exited nonzero"; exit 1; }
+grep -q "shut down cleanly" serve_out.log || { echo "serve missed its clean-exit line"; exit 1; }
+rm -f serve_out.log
 rm -rf ci_sched_results
 
 echo "CI green"

@@ -1,0 +1,101 @@
+//! `serve` — the long-lived measurement query service.
+//!
+//! Serves the content-addressed result cache over HTTP: cached
+//! measurements by hash (`/job/<hash>`), exact-or-nearest sweep-point
+//! queries (`/query`), figure outputs (`/figure/<name>`), and
+//! compute-on-miss (`POST /compute`) dispatched to the sweep
+//! scheduler with per-hash deduplication. See `docs/SERVING.md`.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--jobs N]
+//!       [--cache-bytes BYTES] [--timeout-secs SECS]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
+//! printed as `listening on http://...` once the service is up (the
+//! CI smoke test scrapes it). `--workers` sizes the HTTP accept pool,
+//! `--jobs` the compute pool. `--cache-bytes` (or the
+//! `SYNCPERF_CACHE_BYTES` environment variable) bounds the on-disk
+//! cache; 0 or unset means unbounded.
+
+use std::io::Write;
+use std::time::Duration;
+
+use syncperf_bench::{common, serving};
+use syncperf_core::{Result, SyncPerfError};
+use syncperf_serve::{cache_bytes_from_env, install_sigterm_handler, ServeConfig, Server};
+
+struct Args {
+    addr: String,
+    workers: usize,
+    jobs: usize,
+    cache_bytes: Option<u64>,
+    timeout_secs: u64,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args> {
+    let mut args = Args {
+        addr: "127.0.0.1:8642".into(),
+        workers: 4,
+        jobs: 2,
+        cache_bytes: cache_bytes_from_env(std::env::var("SYNCPERF_CACHE_BYTES").ok()),
+        timeout_secs: 10,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| SyncPerfError::InvalidParams(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?.parse().map_err(|_| {
+                    SyncPerfError::InvalidParams("--workers must be a number".into())
+                })?;
+            }
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| SyncPerfError::InvalidParams("--jobs must be a number".into()))?;
+            }
+            "--cache-bytes" => {
+                args.cache_bytes = cache_bytes_from_env(Some(value("--cache-bytes")?));
+            }
+            "--timeout-secs" => {
+                args.timeout_secs = value("--timeout-secs")?.parse().map_err(|_| {
+                    SyncPerfError::InvalidParams("--timeout-secs must be a number".into())
+                })?;
+            }
+            other => {
+                return Err(SyncPerfError::InvalidParams(format!(
+                    "unknown flag {other} (serve takes --addr --workers --jobs --cache-bytes --timeout-secs)"
+                )));
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> Result<()> {
+    let args = parse_args(std::env::args().skip(1))?;
+    install_sigterm_handler();
+
+    let sched_cfg = syncperf_sched::SchedConfig::new(args.jobs).with_label("serve");
+    let scheduler = std::sync::Arc::new(syncperf_sched::Scheduler::new(sched_cfg));
+
+    let mut cfg = ServeConfig::new(scheduler, serving::default_resolver());
+    cfg.addr = args.addr;
+    cfg.workers = args.workers.max(1);
+    cfg.results_dir = common::results_dir();
+    cfg.cache_bytes = args.cache_bytes;
+    cfg.request_timeout = Duration::from_secs(args.timeout_secs.max(1));
+
+    let server = Server::start(cfg)?;
+    println!("listening on http://{}", server.addr());
+    // The CI smoke test (and anything else scripting us) scrapes that
+    // line, so make sure it is out before we block.
+    std::io::stdout().flush().ok();
+    server.wait();
+    println!("serve: shut down cleanly");
+    Ok(())
+}

@@ -17,6 +17,7 @@ pub mod figures_cpu;
 pub mod figures_gpu;
 pub mod runner;
 pub mod sensitivity;
+pub mod serving;
 pub mod tables;
 pub mod verify;
 

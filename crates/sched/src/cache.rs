@@ -7,6 +7,12 @@
 //! corruption-tolerant — any parse or validation failure is treated as
 //! a miss (recompute), never an error.
 //!
+//! As defense in depth, every entry also embeds its own hash (the
+//! `"hash"` field); a load rejects any entry whose stored hash
+//! disagrees with the file name it was loaded under, so a copied or
+//! renamed entry file can never answer for a different job even when
+//! its kernel/params happen to match.
+//!
 //! Floats are serialized with Rust's shortest round-trip formatting
 //! (`{:?}`) and parsed back with `str::parse::<f64>`, which restores
 //! the exact bit pattern. A cached [`Measurement`] is therefore
@@ -14,11 +20,26 @@
 //! the property the warm-cache CSV tests pin down.
 
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 use syncperf_core::obs::json::{self, Value};
 use syncperf_core::{Affinity, ExecParams, Measurement, TimeUnit};
 
-use crate::hash::hex16;
+use crate::hash::{hex16, parse_hex16};
+
+/// On-disk facts about one cache entry, as reported by
+/// [`Cache::entries`] — what an index or eviction policy needs without
+/// decoding the entry body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryInfo {
+    /// The entry's content hash (from its file name).
+    pub hash: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last modification time (the store time), when the filesystem
+    /// reports one.
+    pub modified: Option<SystemTime>,
+}
 
 /// Handle to one cache directory.
 #[derive(Debug, Clone)]
@@ -47,11 +68,12 @@ impl Cache {
 
     /// Loads the entry for `hash`, or `None` on miss *or* on any kind
     /// of corruption (unreadable file, bad JSON, missing fields,
-    /// non-finite or inconsistent values).
+    /// non-finite or inconsistent values, or a stored hash that
+    /// disagrees with the file name).
     #[must_use]
     pub fn load(&self, hash: u64) -> Option<Measurement> {
         let text = std::fs::read_to_string(self.entry_path(hash)).ok()?;
-        decode_measurement(&text)
+        decode_measurement(hash, &text)
     }
 
     /// Stores `m` as the entry for `hash`: write to a temp file in the
@@ -68,8 +90,60 @@ impl Cache {
         let tmp = self
             .dir
             .join(format!(".{}.tmp.{}", hex16(hash), std::process::id()));
-        std::fs::write(&tmp, encode_measurement(m))?;
+        std::fs::write(&tmp, encode_measurement(hash, m))?;
         std::fs::rename(&tmp, self.entry_path(hash))
+    }
+
+    /// Lists every entry currently on disk (files named
+    /// `<hex16>.json`), with size and modification time. Temp files,
+    /// checkpoint manifests, and anything else in the directory are
+    /// skipped. A missing directory is an empty cache.
+    #[must_use]
+    pub fn entries(&self) -> Vec<EntryInfo> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for e in dir.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let Some(hash) = parse_hex16(stem) else {
+                continue;
+            };
+            let Ok(meta) = e.metadata() else { continue };
+            out.push(EntryInfo {
+                hash,
+                bytes: meta.len(),
+                modified: meta.modified().ok(),
+            });
+        }
+        // Deterministic order for callers that seed recency from it.
+        out.sort_by_key(|e| e.hash);
+        out
+    }
+
+    /// Removes the entry for `hash`, returning whether a file was
+    /// actually deleted (`false` when it was already gone — another
+    /// evictor may have raced us, which is fine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than `NotFound`.
+    pub fn remove(&self, hash: u64) -> std::io::Result<bool> {
+        match std::fs::remove_file(self.entry_path(hash)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Total bytes of all entries currently on disk.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.entries().iter().map(|e| e.bytes).sum()
     }
 }
 
@@ -86,11 +160,13 @@ fn push_runs(out: &mut String, key: &str, runs: &[f64]) {
     out.push_str("],\n");
 }
 
-/// Renders a [`Measurement`] as a cache-entry JSON document.
+/// Renders a [`Measurement`] as the cache-entry JSON document for
+/// `hash` (the hash is embedded so a misfiled copy is detectable).
 #[must_use]
-pub fn encode_measurement(m: &Measurement) -> String {
+pub fn encode_measurement(hash: u64, m: &Measurement) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
+    out.push_str(&format!("  \"hash\": \"{}\",\n", hex16(hash)));
     out.push_str(&format!("  \"kernel\": {},\n", json_string(&m.kernel_name)));
     let p = &m.params;
     out.push_str(&format!(
@@ -159,12 +235,17 @@ fn get_runs(v: &Value, key: &str) -> Option<Vec<f64>> {
         .collect()
 }
 
-/// Parses a cache entry back into a [`Measurement`]; `None` on any
-/// structural problem (the caller recomputes).
+/// Parses the cache entry expected to belong to `expected_hash` back
+/// into a [`Measurement`]; `None` on any structural problem *or* when
+/// the entry's stored hash disagrees with the expected one (the caller
+/// recomputes).
 #[must_use]
-pub fn decode_measurement(text: &str) -> Option<Measurement> {
+pub fn decode_measurement(expected_hash: u64, text: &str) -> Option<Measurement> {
     let v = json::parse(text).ok()?;
-    if get_u32(&v, "schema")? != 1 {
+    if get_u32(&v, "schema")? != 2 {
+        return None;
+    }
+    if v.get("hash")?.as_str().and_then(parse_hex16)? != expected_hash {
         return None;
     }
     let kernel_name = v.get("kernel")?.as_str()?.to_string();
@@ -243,10 +324,52 @@ mod tests {
     #[test]
     fn roundtrip_is_bit_exact() {
         let m = sample();
-        let back = decode_measurement(&encode_measurement(&m)).unwrap();
+        let back = decode_measurement(42, &encode_measurement(42, &m)).unwrap();
         // PartialEq on f64 fields: exact bit-pattern equality is the
         // byte-identical-CSV guarantee.
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mismatched_hash_field_is_a_miss() {
+        let cache = tmp_cache("hash-mismatch");
+        let m = sample();
+        cache.store(42, &m).unwrap();
+        // A copied/renamed entry must never answer for another hash,
+        // even though its body is perfectly valid.
+        std::fs::copy(cache.entry_path(42), cache.entry_path(43)).unwrap();
+        assert!(cache.load(42).is_some(), "original still loads");
+        assert!(cache.load(43).is_none(), "misfiled copy must miss");
+        // And a directly tampered hash field invalidates the original.
+        let text = encode_measurement(42, &m);
+        assert!(decode_measurement(43, &text).is_none());
+        let tampered = text.replace(&hex16(42), &hex16(99));
+        assert!(decode_measurement(42, &tampered).is_none());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn entries_lists_and_remove_deletes() {
+        let cache = tmp_cache("entries");
+        assert!(cache.entries().is_empty(), "missing dir is empty");
+        let m = sample();
+        cache.store(1, &m).unwrap();
+        cache.store(2, &m).unwrap();
+        // Non-entry files are ignored by the listing.
+        std::fs::write(cache.dir().join("checkpoint-x.json"), "{}").unwrap();
+        std::fs::write(cache.dir().join(".0000000000000001.tmp.1"), "x").unwrap();
+        let entries = cache.entries();
+        assert_eq!(
+            entries.iter().map(|e| e.hash).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(entries.iter().all(|e| e.bytes > 0));
+        assert_eq!(cache.total_bytes(), entries.iter().map(|e| e.bytes).sum());
+        assert!(cache.remove(1).unwrap());
+        assert!(!cache.remove(1).unwrap(), "second remove is a no-op");
+        assert!(cache.load(1).is_none());
+        assert!(cache.load(2).is_some());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
     }
 
     #[test]
@@ -290,14 +413,17 @@ mod tests {
     #[test]
     fn non_finite_floats_are_rejected() {
         let m = sample();
-        let text = encode_measurement(&m).replace("1.25e-8", "1e999");
-        assert!(decode_measurement(&text).is_none());
+        let text = encode_measurement(7, &m).replace("1.25e-8", "1e999");
+        assert!(decode_measurement(7, &text).is_none());
     }
 
     #[test]
     fn seconds_unit_roundtrips() {
         let mut m = sample();
         m.time_unit = TimeUnit::Seconds;
-        assert_eq!(decode_measurement(&encode_measurement(&m)).unwrap(), m);
+        assert_eq!(
+            decode_measurement(7, &encode_measurement(7, &m)).unwrap(),
+            m
+        );
     }
 }

@@ -37,11 +37,11 @@ pub mod job;
 pub mod pool;
 pub mod scheduler;
 
-pub use cache::Cache;
+pub use cache::{Cache, EntryInfo};
 pub use checkpoint::Checkpoint;
 pub use job::{host_fingerprint, JobSpec};
 pub use pool::{run_indexed, PoolOutcome};
 pub use scheduler::{
-    current, install, uninstall, SchedConfig, SchedStats, Scheduler, MAX_EXECUTE_ATTEMPTS,
-    SCHED_SALT,
+    current, install, uninstall, SchedConfig, SchedStats, Scheduler, StoreHook,
+    MAX_EXECUTE_ATTEMPTS, SCHED_SALT,
 };

@@ -171,15 +171,31 @@ impl SchedStats {
     }
 }
 
+/// Callback invoked after every successful cache store, with the job's
+/// content hash and the stored measurement. The serving layer uses it
+/// to update its in-memory index incrementally and to trigger cache
+/// eviction; it runs on the worker thread that stored the entry.
+pub type StoreHook = Box<dyn Fn(u64, &Measurement) + Send + Sync>;
+
 /// The sweep scheduler: cache consultation, work-stealing execution,
 /// deterministic index-ordered merge, checkpointing.
-#[derive(Debug)]
 pub struct Scheduler {
     cfg: SchedConfig,
     cache: Option<Cache>,
     checkpoint: Mutex<Checkpoint>,
     resumed_hashes: std::collections::BTreeSet<u64>,
     stats: StatCells,
+    store_hook: RwLock<Option<StoreHook>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("cfg", &self.cfg)
+            .field("cache", &self.cache)
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl Scheduler {
@@ -202,6 +218,7 @@ impl Scheduler {
             checkpoint: Mutex::new(checkpoint),
             resumed_hashes,
             stats: StatCells::default(),
+            store_hook: RwLock::new(None),
         }
     }
 
@@ -209,6 +226,18 @@ impl Scheduler {
     #[must_use]
     pub fn config(&self) -> &SchedConfig {
         &self.cfg
+    }
+
+    /// The content-addressed cache, when caching is enabled (the
+    /// serving layer iterates/evicts through this handle).
+    #[must_use]
+    pub fn cache(&self) -> Option<&Cache> {
+        self.cache.as_ref()
+    }
+
+    /// Registers (or replaces) the post-store hook; see [`StoreHook`].
+    pub fn set_store_hook(&self, hook: impl Fn(u64, &Measurement) + Send + Sync + 'static) {
+        *self.store_hook.write().unwrap() = Some(Box::new(hook));
     }
 
     /// The content hash of `job` under this scheduler's salt.
@@ -294,6 +323,9 @@ impl Scheduler {
                     if cache.store(h, m).is_ok() {
                         self.stats.cache_stores.fetch_add(1, Ordering::Relaxed);
                         obs::global().counter("sched.cache_stores").inc();
+                        if let Some(hook) = self.store_hook.read().unwrap().as_ref() {
+                            hook(h, m);
+                        }
                     }
                 }
                 self.checkpoint.lock().unwrap().record(h);

@@ -1,0 +1,337 @@
+//! A minimal HTTP/1.1 request/response layer over `std::net`.
+//!
+//! Only what the measurement service needs: request-line + header
+//! parsing, `Content-Length` bodies, percent-decoded query strings,
+//! and plain (unchunked) responses with `Connection: close`. No
+//! keep-alive, no TLS, no chunked transfer — clients that want more
+//! are welcome to put a real proxy in front.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body (`/compute` specs are tiny).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// Method verb (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// Path component, percent-decoded (e.g. `/job/abc`).
+    pub path: String,
+    /// Percent-decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: String,
+}
+
+impl Request {
+    /// First value for the query parameter `key`.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseFailure {
+    /// Malformed request (bad request line, oversized head/body, …) —
+    /// answer 400.
+    BadRequest(&'static str),
+    /// The socket timed out or was dropped mid-request — answer 408 if
+    /// the connection is still writable.
+    Timeout,
+}
+
+/// Reads and parses one request from `stream`. Read timeouts must be
+/// configured by the caller (`TcpStream::set_read_timeout`).
+///
+/// # Errors
+///
+/// [`ParseFailure::BadRequest`] for malformed input,
+/// [`ParseFailure::Timeout`] when the socket blocks past its timeout
+/// or closes early.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseFailure> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until the blank line; the head is tiny and the
+    // simplicity beats a buffered reader we would need to hand the
+    // body bytes back from.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(ParseFailure::BadRequest("request head too large"));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(ParseFailure::Timeout),
+            Ok(_) => head.push(byte[0]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(ParseFailure::Timeout)
+            }
+            Err(_) => return Err(ParseFailure::Timeout),
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseFailure::BadRequest("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseFailure::BadRequest("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseFailure::BadRequest("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseFailure::BadRequest("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        stream.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+                || e.kind() == std::io::ErrorKind::UnexpectedEof
+            {
+                ParseFailure::Timeout
+            } else {
+                ParseFailure::BadRequest("body read failed")
+            }
+        })?;
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: percent_decode(path),
+        query: parse_query(query),
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Parses `a=1&b=two` into percent-decoded pairs (valueless keys get
+/// an empty value).
+#[must_use]
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%xx` escapes and `+`-for-space; invalid escapes pass
+/// through literally.
+#[must_use]
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
+                if let Some(b) = hex {
+                    out.push(b);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// One response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error response with a `{"error": ...}` body.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(status, format!("{{\"error\": {}}}\n", json_string(message)))
+    }
+}
+
+/// The reason phrase for the status codes the service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `resp` onto `stream` (best-effort; a dead client is not
+/// an error worth propagating).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(resp.body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// JSON-escapes `s` into a quoted string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_decode() {
+        let q = parse_query("kernel=omp_barrier&threads=8&label=a+b%2Fc&flag");
+        assert_eq!(q[0], ("kernel".into(), "omp_barrier".into()));
+        assert_eq!(q[1], ("threads".into(), "8".into()));
+        assert_eq!(q[2], ("label".into(), "a b/c".into()));
+        assert_eq!(q[3], ("flag".into(), String::new()));
+    }
+
+    #[test]
+    fn percent_decoding_tolerates_garbage() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("a+b"), "a b");
+    }
+
+    #[test]
+    fn request_param_lookup() {
+        let req = Request {
+            query: parse_query("a=1&b=2&a=3"),
+            ..Request::default()
+        };
+        assert_eq!(req.query_param("a"), Some("1"));
+        assert_eq!(req.query_param("b"), Some("2"));
+        assert_eq!(req.query_param("c"), None);
+    }
+
+    #[test]
+    fn responses_have_reasons() {
+        assert_eq!(reason(200), "OK");
+        assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(599), "Unknown");
+        let r = Response::error(404, "no such \"job\"");
+        assert!(r.body.contains("\\\"job\\\""));
+    }
+
+    #[test]
+    fn roundtrip_over_a_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s).unwrap();
+            write_response(&mut s, &Response::json(200, req.body.clone()));
+            req
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(
+            b"POST /compute?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n",
+        )
+        .unwrap();
+        let req = t.join().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/compute");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.body, "{\"a\": 1}\n");
+        let mut reply = String::new();
+        c.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(reply.ends_with("{\"a\": 1}\n"));
+    }
+}

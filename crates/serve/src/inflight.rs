@@ -1,0 +1,183 @@
+//! Per-hash in-flight compute deduplication: the single-writer-per-
+//! entry protocol.
+//!
+//! The first request for a missing hash becomes that hash's *owner*
+//! and runs the computation; every concurrent identical request
+//! becomes a *waiter* blocked on the owner's condvar. When the owner
+//! finishes (success or failure), waiters wake and re-consult the
+//! index — on success they find the freshly stored entry, on failure
+//! one of them claims ownership and retries. At most one scheduler
+//! job per hash is ever in flight.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Slot {
+    state: Mutex<bool>, // true once the owner finished
+    cv: Condvar,
+}
+
+/// The in-flight compute table.
+#[derive(Debug, Default)]
+pub struct Inflight {
+    map: Mutex<HashMap<u64, Arc<Slot>>>,
+}
+
+/// Outcome of [`Inflight::claim_or_wait`].
+#[derive(Debug)]
+pub enum Claim {
+    /// This caller owns the computation for the hash; it must run the
+    /// job and then drop (or [`OwnerGuard::complete`]) the guard.
+    Owner(OwnerGuard),
+    /// Another request owned the computation and has since finished;
+    /// the caller should re-consult the index.
+    Waited,
+    /// The owner did not finish within the caller's patience budget.
+    TimedOut,
+}
+
+/// RAII ownership of one hash's computation. Dropping it (on any
+/// path, including a panic unwinding through the compute call) marks
+/// the computation finished and wakes all waiters.
+#[derive(Debug)]
+pub struct OwnerGuard {
+    table: Arc<Inflight>,
+    hash: u64,
+    slot: Arc<Slot>,
+}
+
+impl OwnerGuard {
+    /// Explicitly finish (equivalent to dropping the guard).
+    pub fn complete(self) {}
+}
+
+impl Drop for OwnerGuard {
+    fn drop(&mut self) {
+        *self.slot.state.lock().unwrap() = true;
+        self.table.map.lock().unwrap().remove(&self.hash);
+        self.slot.cv.notify_all();
+    }
+}
+
+impl Inflight {
+    /// New empty table.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Inflight::default())
+    }
+
+    /// Whether `hash` currently has an in-flight writer (used by the
+    /// eviction policy: such an entry must not be evicted).
+    #[must_use]
+    pub fn contains(&self, hash: u64) -> bool {
+        self.map.lock().unwrap().contains_key(&hash)
+    }
+
+    /// Number of in-flight computations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Claims the computation for `hash`, or waits up to `patience`
+    /// for the current owner to finish.
+    #[must_use]
+    pub fn claim_or_wait(self: &Arc<Self>, hash: u64, patience: Duration) -> Claim {
+        let slot = {
+            let mut map = self.map.lock().unwrap();
+            if let Some(slot) = map.get(&hash) {
+                Arc::clone(slot)
+            } else {
+                let slot = Arc::new(Slot::default());
+                map.insert(hash, Arc::clone(&slot));
+                return Claim::Owner(OwnerGuard {
+                    table: Arc::clone(self),
+                    hash,
+                    slot,
+                });
+            }
+        };
+        let done = slot.state.lock().unwrap();
+        let (done, timeout) = slot
+            .cv
+            .wait_timeout_while(done, patience, |finished| !*finished)
+            .unwrap();
+        drop(done);
+        if timeout.timed_out() {
+            Claim::TimedOut
+        } else {
+            Claim::Waited
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn second_claim_waits_for_the_owner() {
+        let table = Inflight::new();
+        let Claim::Owner(guard) = table.claim_or_wait(7, Duration::from_secs(1)) else {
+            panic!("first claim must own");
+        };
+        assert!(table.contains(7));
+
+        let computed = Arc::new(AtomicU32::new(0));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                let computed = Arc::clone(&computed);
+                std::thread::spawn(
+                    move || match table.claim_or_wait(7, Duration::from_secs(5)) {
+                        Claim::Owner(g) => {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            g.complete();
+                        }
+                        Claim::Waited => {}
+                        Claim::TimedOut => panic!("owner finished within patience"),
+                    },
+                )
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        guard.complete();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        // Anyone who raced in after the owner released may have become
+        // a new owner, but while the owner held the slot, nobody did.
+        assert!(table.is_empty());
+        assert!(computed.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn waiters_time_out_when_the_owner_stalls() {
+        let table = Inflight::new();
+        let Claim::Owner(_guard) = table.claim_or_wait(9, Duration::from_secs(1)) else {
+            panic!("first claim must own");
+        };
+        match table.claim_or_wait(9, Duration::from_millis(20)) {
+            Claim::TimedOut => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_hashes_do_not_serialize() {
+        let table = Inflight::new();
+        let a = table.claim_or_wait(1, Duration::from_millis(1));
+        let b = table.claim_or_wait(2, Duration::from_millis(1));
+        assert!(matches!(a, Claim::Owner(_)) && matches!(b, Claim::Owner(_)));
+        assert_eq!(table.len(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # syncperf-serve
+//!
+//! A long-lived measurement query service over the syncperf
+//! content-addressed result cache. Zero external dependencies — the
+//! HTTP layer is `std::net::TcpListener` plus a bounded worker-thread
+//! accept pool, matching the std-only discipline of the obs, analyze,
+//! and sched crates.
+//!
+//! Endpoints:
+//!
+//! - `GET /job/<hash>` — the cached measurement for a 16-hex-digit
+//!   content hash, byte-identical to the on-disk cache entry.
+//! - `GET /query?kernel=..&threads=..[&dtype=..][&blocks=..][&exact=1]`
+//!   — the exact or nearest cached sweep point, from an in-memory
+//!   index rebuilt at startup and updated incrementally on every
+//!   cache store.
+//! - `GET /figure/<name>[.csv|.svg]` — generated figure outputs from
+//!   the results directory.
+//! - `POST /compute` — compute-on-miss: the request resolves to a
+//!   [`JobSpec`](syncperf_sched::JobSpec), and concurrent identical
+//!   requests deduplicate onto a single scheduler job
+//!   (single-writer-per-entry, [`inflight`]).
+//! - `GET /stats`, `GET /healthz`, `POST /shutdown` — operations.
+//!
+//! The on-disk cache honours an LRU size budget
+//! (`SYNCPERF_CACHE_BYTES`): eviction never removes an entry with a
+//! live reader pin or an in-flight writer ([`index`]). Every request
+//! is counted and latency-bucketed under `serve.*` obs counters, and
+//! shutdown is graceful on SIGTERM or `/shutdown` — workers stop
+//! accepting, finish their current request, and join.
+
+pub mod http;
+pub mod index;
+pub mod inflight;
+pub mod server;
+
+pub use http::{Request, Response};
+pub use index::{Index, Pin, Query, QueryMatch};
+pub use inflight::{Claim, Inflight, OwnerGuard};
+pub use server::{
+    cache_bytes_from_env, install_sigterm_handler, ComputeRequest, Resolver, ServeConfig,
+    ServeStats, Server, LATENCY_BUCKETS_US,
+};

@@ -1,0 +1,670 @@
+//! The query service proper: a bounded accept pool over
+//! `std::net::TcpListener`, request routing, and the compute-on-miss
+//! path through the sweep scheduler.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use syncperf_core::obs::{Counter, Recorder, Snapshot};
+use syncperf_core::Measurement;
+use syncperf_sched::cache::encode_measurement;
+use syncperf_sched::{hash::hex16, hash::parse_hex16, JobSpec, Scheduler};
+
+use crate::http::{json_string, read_request, write_response, ParseFailure, Request, Response};
+use crate::index::{Index, Query};
+use crate::inflight::{Claim, Inflight};
+
+/// Latency histogram bucket upper bounds, in microseconds. Each
+/// bucket is a cumulative `serve.latency_us_le_<bound>` counter (plus
+/// `serve.latency_us_le_inf` for everything), Prometheus-style.
+pub const LATENCY_BUCKETS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// A parsed `POST /compute` request body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComputeRequest {
+    /// Executor kind: `cpu-sim` or `gpu-sim` (real-thread jobs are
+    /// host-scoped and not served remotely).
+    pub executor: String,
+    /// Full kernel name (e.g. `omp_atomicadd_scalar_int`).
+    pub kernel: String,
+    /// Thread count (CPU: team size; GPU: threads per block).
+    pub threads: u32,
+    /// Block count (GPU; ignored for CPU kernels).
+    pub blocks: Option<u32>,
+    /// Affinity label (`spread`, `close`, `system`).
+    pub affinity: Option<String>,
+    /// Measured loop iterations (resolver default when absent).
+    pub n_iter: Option<u32>,
+    /// Unrolled ops per iteration (resolver default when absent).
+    pub n_unroll: Option<u32>,
+}
+
+impl ComputeRequest {
+    /// Parses a request from its JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed bodies.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let v = syncperf_core::obs::json::parse(body).map_err(|e| format!("bad JSON: {e:?}"))?;
+        let get_str = |k: &str| v.get(k).and_then(|x| x.as_str()).map(str::to_string);
+        let get_u32 = |k: &str| -> Result<Option<u32>, String> {
+            match v.get(k) {
+                None => Ok(None),
+                Some(x) => {
+                    let f = x
+                        .as_f64()
+                        .ok_or_else(|| format!("`{k}` must be a number"))?;
+                    if f.is_finite() && f >= 0.0 && f.fract() == 0.0 && f <= f64::from(u32::MAX) {
+                        Ok(Some(f as u32))
+                    } else {
+                        Err(format!("`{k}` must be a non-negative integer"))
+                    }
+                }
+            }
+        };
+        Ok(ComputeRequest {
+            executor: get_str("executor").ok_or("missing `executor`")?,
+            kernel: get_str("kernel").ok_or("missing `kernel`")?,
+            threads: get_u32("threads")?.ok_or("missing `threads`")?,
+            blocks: get_u32("blocks")?,
+            affinity: get_str("affinity"),
+            n_iter: get_u32("n_iter")?,
+            n_unroll: get_u32("n_unroll")?,
+        })
+    }
+}
+
+/// Maps a [`ComputeRequest`] to a concrete [`JobSpec`], or `None`
+/// when the kernel/executor combination is unknown. The bench crate
+/// supplies a resolver over its kernel registry.
+pub type Resolver = Box<dyn Fn(&ComputeRequest) -> Option<JobSpec> + Send + Sync>;
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Accept-pool worker threads.
+    pub workers: usize,
+    /// Directory figure CSV/SVG files are served from.
+    pub results_dir: PathBuf,
+    /// On-disk cache size budget in bytes (`None` = unbounded).
+    pub cache_bytes: Option<u64>,
+    /// Per-request socket read/write timeout.
+    pub request_timeout: Duration,
+    /// How long a deduplicated `/compute` waits for the owning
+    /// computation before answering 503.
+    pub compute_patience: Duration,
+    /// The scheduler computes run on (its cache dir is the index's
+    /// source of truth).
+    pub scheduler: Arc<Scheduler>,
+    /// Compute-request resolver.
+    pub resolver: Resolver,
+    /// Recorder the `serve.*` counters register in.
+    pub recorder: Recorder,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("results_dir", &self.results_dir)
+            .field("cache_bytes", &self.cache_bytes)
+            .finish()
+    }
+}
+
+impl ServeConfig {
+    /// A config with sensible defaults: 4 workers, 10 s timeouts, the
+    /// budget from `SYNCPERF_CACHE_BYTES` (unset or unparsable =
+    /// unbounded), serving figures from `results_dir`.
+    #[must_use]
+    pub fn new(scheduler: Arc<Scheduler>, resolver: Resolver) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            results_dir: PathBuf::from("results"),
+            cache_bytes: cache_bytes_from_env(std::env::var("SYNCPERF_CACHE_BYTES").ok()),
+            request_timeout: Duration::from_secs(10),
+            compute_patience: Duration::from_secs(60),
+            scheduler,
+            resolver,
+            // Not the process-global recorder: that one is disabled
+            // unless tracing was installed, and /stats (plus the CI
+            // smoke test) needs these counters live unconditionally.
+            recorder: Recorder::enabled(),
+        }
+    }
+}
+
+/// Parses a `SYNCPERF_CACHE_BYTES` value (plain bytes; `0`, absence,
+/// or garbage mean unbounded).
+#[must_use]
+pub fn cache_bytes_from_env(v: Option<String>) -> Option<u64> {
+    v.and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&b| b > 0)
+}
+
+/// The `serve.*` counter family.
+#[derive(Debug, Clone)]
+struct Counters {
+    requests: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    computes: Counter,
+    dedup_waits: Counter,
+    evictions: Counter,
+    errors: Counter,
+    latency: Vec<(u64, Counter)>,
+    latency_inf: Counter,
+}
+
+impl Counters {
+    fn new(rec: &Recorder) -> Self {
+        Counters {
+            requests: rec.counter("serve.requests"),
+            cache_hits: rec.counter("serve.cache_hits"),
+            cache_misses: rec.counter("serve.cache_misses"),
+            computes: rec.counter("serve.computes"),
+            dedup_waits: rec.counter("serve.dedup_waits"),
+            evictions: rec.counter("serve.evictions"),
+            errors: rec.counter("serve.errors"),
+            latency: LATENCY_BUCKETS_US
+                .iter()
+                .map(|&b| (b, rec.counter(&format!("serve.latency_us_le_{b}"))))
+                .collect(),
+            latency_inf: rec.counter("serve.latency_us_le_inf"),
+        }
+    }
+
+    fn observe_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros() as u64;
+        for (bound, c) in &self.latency {
+            if us <= *bound {
+                c.inc();
+            }
+        }
+        self.latency_inf.inc();
+    }
+}
+
+/// A point-in-time view of the `serve.*` counters, recoverable from
+/// any obs [`Snapshot`] the way [`syncperf_sched::SchedStats`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests handled (all endpoints).
+    pub requests: u64,
+    /// `/job` + `/query` + `/compute` answers served from the index.
+    pub cache_hits: u64,
+    /// Lookups that found nothing cached.
+    pub cache_misses: u64,
+    /// Scheduler computations dispatched by `/compute`.
+    pub computes: u64,
+    /// `/compute` requests deduplicated onto another request's
+    /// in-flight computation.
+    pub dedup_waits: u64,
+    /// Cache entries evicted by the size budget.
+    pub evictions: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: u64,
+}
+
+impl ServeStats {
+    /// Extracts the `serve.*` counters from an obs snapshot.
+    #[must_use]
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        ServeStats {
+            requests: snap.counter("serve.requests"),
+            cache_hits: snap.counter("serve.cache_hits"),
+            cache_misses: snap.counter("serve.cache_misses"),
+            computes: snap.counter("serve.computes"),
+            dedup_waits: snap.counter("serve.dedup_waits"),
+            evictions: snap.counter("serve.evictions"),
+            errors: snap.counter("serve.errors"),
+        }
+    }
+}
+
+struct Shared {
+    index: Arc<Index>,
+    inflight: Arc<Inflight>,
+    scheduler: Arc<Scheduler>,
+    resolver: Resolver,
+    results_dir: PathBuf,
+    counters: Counters,
+    compute_patience: Duration,
+    shutdown: AtomicBool,
+}
+
+/// SIGTERM sets this process-global flag; every running server polls
+/// it alongside its own shutdown flag.
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGTERM handler that requests graceful shutdown of all
+/// servers in the process. Uses the libc `signal` symbol std already
+/// links; a no-op on non-unix targets.
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigterm(_sig: i32) {
+            SIGTERM.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGTERM_NO: i32 = 15;
+        unsafe {
+            signal(SIGTERM_NO, on_sigterm);
+        }
+    }
+}
+
+/// A running server: the bound address plus worker handles.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("results_dir", &self.results_dir)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Builds the index from the scheduler's cache, binds the
+    /// listener, and starts the accept pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let cache = cfg.scheduler.cache().cloned().unwrap_or_else(|| {
+            syncperf_sched::Cache::new(cfg.scheduler.config().cache_dir.clone())
+        });
+        let index = Index::build(cache, cfg.cache_bytes);
+        let inflight = Inflight::new();
+        let counters = Counters::new(&cfg.recorder);
+
+        // Incremental index updates + eviction ride the scheduler's
+        // store hook, so entries written by /compute (or by any other
+        // user of this scheduler) become queryable immediately.
+        {
+            let index = Arc::clone(&index);
+            let inflight = Arc::clone(&inflight);
+            let evictions = counters.evictions.clone();
+            cfg.scheduler.set_store_hook(move |hash, m| {
+                index.insert(hash, m);
+                let n = index.evict_to_budget(&|h| inflight.contains(h));
+                evictions.add(n);
+            });
+        }
+        // Enforce the budget over pre-existing entries right away.
+        counters
+            .evictions
+            .add(index.evict_to_budget(&|h| inflight.contains(h)));
+
+        let shared = Arc::new(Shared {
+            index,
+            inflight,
+            scheduler: cfg.scheduler,
+            resolver: cfg.resolver,
+            results_dir: cfg.results_dir,
+            counters,
+            compute_patience: cfg.compute_patience,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let listener = listener.try_clone().expect("clone listener");
+                let shared = Arc::clone(&shared);
+                let timeout = cfg.request_timeout;
+                std::thread::spawn(move || accept_loop(&listener, &shared, timeout))
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound socket address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The measurement index (tests assert consistency through this;
+    /// everything request-facing goes through the endpoints).
+    #[must_use]
+    pub fn index(&self) -> Arc<Index> {
+        Arc::clone(&self.shared.index)
+    }
+
+    /// Whether shutdown has been requested (via [`Server::shutdown`],
+    /// `/shutdown`, or SIGTERM).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst) || SIGTERM.load(Ordering::SeqCst)
+    }
+
+    /// Requests graceful shutdown and joins the accept pool: workers
+    /// stop accepting, finish their current request, and exit.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks until shutdown is requested, then joins the workers.
+    pub fn wait(self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, timeout: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) && !SIGTERM.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_read_timeout(Some(timeout));
+                let _ = stream.set_write_timeout(Some(timeout));
+                handle_connection(&mut stream, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    let start = Instant::now();
+    shared.counters.requests.inc();
+    let resp = match read_request(stream) {
+        Ok(req) => route(&req, shared),
+        Err(ParseFailure::BadRequest(msg)) => Response::error(400, msg),
+        Err(ParseFailure::Timeout) => Response::error(408, "request timed out"),
+    };
+    if resp.status >= 400 {
+        shared.counters.errors.inc();
+    }
+    write_response(stream, &resp);
+    shared.counters.observe_latency(start.elapsed());
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/stats") => stats_response(shared),
+        ("GET" | "POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"shutting_down\": true}\n")
+        }
+        ("GET", "/query") => handle_query(req, shared),
+        ("POST", "/compute") => handle_compute(req, shared),
+        ("GET", path) if path.starts_with("/job/") => handle_job(&path[5..], shared),
+        ("GET", path) if path.starts_with("/figure/") => handle_figure(&path[8..], shared),
+        ("GET", _) => Response::error(404, "no such endpoint"),
+        (_, "/query" | "/compute" | "/healthz" | "/stats") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Renders a measurement answer. The measurement body is the cache
+/// entry encoding itself, so a served answer is byte-identical to the
+/// on-disk entry (and to what a scheduler recompute would produce).
+fn measurement_response(
+    hash: u64,
+    m: &Measurement,
+    source: &str,
+    distance: Option<u32>,
+) -> Response {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("\"hash\": \"{}\",\n", hex16(hash)));
+    body.push_str(&format!("\"source\": {},\n", json_string(source)));
+    if let Some(d) = distance {
+        body.push_str(&format!("\"distance\": {d},\n"));
+    }
+    body.push_str(&format!(
+        "\"measurement\": {}}}\n",
+        encode_measurement(hash, m)
+    ));
+    Response::json(200, body)
+}
+
+fn handle_job(hash_str: &str, shared: &Arc<Shared>) -> Response {
+    let Some(hash) = parse_hex16(hash_str) else {
+        return Response::error(400, "job hash must be 16 hex digits");
+    };
+    if let Some(pin) = shared.index.get(hash) {
+        shared.counters.cache_hits.inc();
+        measurement_response(hash, pin.measurement(), "cache", None)
+    } else {
+        shared.counters.cache_misses.inc();
+        Response::error(404, "no cached measurement for that hash")
+    }
+}
+
+fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(kernel) = req.query_param("kernel") else {
+        return Response::error(400, "missing `kernel` parameter");
+    };
+    let Some(threads) = req.query_param("threads").and_then(|t| t.parse().ok()) else {
+        return Response::error(400, "missing or non-numeric `threads` parameter");
+    };
+    let blocks = match req.query_param("blocks") {
+        None => None,
+        Some(b) => match b.parse() {
+            Ok(b) => Some(b),
+            Err(_) => return Response::error(400, "non-numeric `blocks` parameter"),
+        },
+    };
+    let q = Query {
+        kernel: kernel.to_string(),
+        dtype: req.query_param("dtype").map(str::to_string),
+        threads,
+        blocks,
+        exact: matches!(req.query_param("exact"), Some("1" | "true")),
+    };
+    if let Some(found) = shared.index.query(&q) {
+        shared.counters.cache_hits.inc();
+        measurement_response(
+            found.hash,
+            found.pin.measurement(),
+            "cache",
+            Some(found.distance),
+        )
+    } else {
+        shared.counters.cache_misses.inc();
+        Response::error(404, "no cached sweep point matches")
+    }
+}
+
+fn handle_figure(name: &str, shared: &Arc<Shared>) -> Response {
+    let (stem, svg) = match name.strip_suffix(".svg") {
+        Some(stem) => (stem, true),
+        None => (name.strip_suffix(".csv").unwrap_or(name), false),
+    };
+    // The allowlist is the charset: figure ids are [a-z0-9_] with no
+    // separators, so nothing can escape the results directory.
+    if stem.is_empty()
+        || !stem
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Response::error(400, "figure names are alphanumeric/underscore only");
+    }
+    let ext = if svg { "svg" } else { "csv" };
+    let path = shared.results_dir.join(format!("{stem}.{ext}"));
+    match std::fs::read_to_string(&path) {
+        Ok(body) => Response {
+            status: 200,
+            content_type: if svg { "image/svg+xml" } else { "text/csv" },
+            body,
+        },
+        Err(_) => Response::error(404, "no such figure output (regenerate it first)"),
+    }
+}
+
+fn handle_compute(req: &Request, shared: &Arc<Shared>) -> Response {
+    let spec = match ComputeRequest::from_json(&req.body) {
+        Ok(spec) => spec,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let Some(job) = (shared.resolver)(&spec) else {
+        return Response::error(
+            422,
+            "unknown kernel/executor combination (see /stats for counts, docs/SERVING.md for the spec format)",
+        );
+    };
+    let hash = shared.scheduler.job_hash(&job);
+
+    // Fast path: already cached and indexed.
+    if let Some(pin) = shared.index.get(hash) {
+        shared.counters.cache_hits.inc();
+        return measurement_response(hash, pin.measurement(), "cache", None);
+    }
+    shared.counters.cache_misses.inc();
+
+    // Single-writer-per-entry: claim the hash or wait for its owner.
+    loop {
+        match shared.inflight.claim_or_wait(hash, shared.compute_patience) {
+            Claim::Owner(guard) => {
+                shared.counters.computes.inc();
+                let result = shared.scheduler.measure(job);
+                guard.complete();
+                return match result {
+                    // The store hook has already indexed the entry.
+                    Ok(m) => measurement_response(hash, &m, "computed", None),
+                    Err(e) => Response::error(500, &format!("measurement failed: {e}")),
+                };
+            }
+            Claim::Waited => {
+                shared.counters.dedup_waits.inc();
+                if let Some(pin) = shared.index.get(hash) {
+                    return measurement_response(hash, pin.measurement(), "deduplicated", None);
+                }
+                // The owner failed (nothing landed in the index):
+                // loop and claim ownership ourselves.
+            }
+            Claim::TimedOut => {
+                return Response::error(503, "computation in flight; retry later");
+            }
+        }
+    }
+}
+
+fn stats_response(shared: &Arc<Shared>) -> Response {
+    let c = &shared.counters;
+    let sched = shared.scheduler.stats();
+    let mut body = String::from("{\n");
+    body.push_str(&format!(
+        "\"serve\": {{\"requests\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"computes\": {}, \"dedup_waits\": {}, \"evictions\": {}, \"errors\": {}}},\n",
+        c.requests.get(),
+        c.cache_hits.get(),
+        c.cache_misses.get(),
+        c.computes.get(),
+        c.dedup_waits.get(),
+        c.evictions.get(),
+        c.errors.get(),
+    ));
+    body.push_str("\"latency_us\": {");
+    for (i, (bound, counter)) in c.latency.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("\"le_{bound}\": {}", counter.get()));
+    }
+    body.push_str(&format!(", \"le_inf\": {}}},\n", c.latency_inf.get()));
+    body.push_str(&format!(
+        "\"index\": {{\"entries\": {}, \"bytes\": {}, \"budget_bytes\": {}, \"inflight\": {}}},\n",
+        shared.index.len(),
+        shared.index.total_bytes(),
+        shared
+            .index
+            .budget()
+            .map_or_else(|| "null".into(), |b| b.to_string()),
+        shared.inflight.len(),
+    ));
+    body.push_str(&format!(
+        "\"sched\": {{\"jobs\": {}, \"executed\": {}, \"cache_hits\": {}, \"cache_stores\": {}}}\n",
+        sched.jobs, sched.executed, sched.cache_hits, sched.cache_stores,
+    ));
+    body.push('}');
+    body.push('\n');
+    Response::json(200, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_request_parses_and_validates() {
+        let spec = ComputeRequest::from_json(
+            "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_barrier\", \"threads\": 8}",
+        )
+        .unwrap();
+        assert_eq!(spec.executor, "cpu-sim");
+        assert_eq!(spec.kernel, "omp_barrier");
+        assert_eq!(spec.threads, 8);
+        assert_eq!(spec.blocks, None);
+
+        assert!(ComputeRequest::from_json("not json").is_err());
+        assert!(ComputeRequest::from_json("{\"executor\": \"cpu-sim\"}").is_err());
+        assert!(ComputeRequest::from_json(
+            "{\"executor\": \"x\", \"kernel\": \"k\", \"threads\": -1}"
+        )
+        .is_err());
+        assert!(ComputeRequest::from_json(
+            "{\"executor\": \"x\", \"kernel\": \"k\", \"threads\": 1.5}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cache_bytes_env_parsing() {
+        assert_eq!(cache_bytes_from_env(None), None);
+        assert_eq!(cache_bytes_from_env(Some("0".into())), None);
+        assert_eq!(cache_bytes_from_env(Some("garbage".into())), None);
+        assert_eq!(cache_bytes_from_env(Some(" 4096 ".into())), Some(4096));
+    }
+
+    #[test]
+    fn serve_stats_mirror_snapshot() {
+        let rec = Recorder::enabled();
+        let c = Counters::new(&rec);
+        c.requests.add(3);
+        c.cache_hits.add(2);
+        c.observe_latency(Duration::from_micros(50));
+        c.observe_latency(Duration::from_millis(5));
+        let snap = rec.snapshot();
+        let stats = ServeStats::from_snapshot(&snap);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(snap.counter("serve.latency_us_le_100"), 1);
+        assert_eq!(snap.counter("serve.latency_us_le_10000"), 2);
+        assert_eq!(snap.counter("serve.latency_us_le_inf"), 2);
+    }
+}

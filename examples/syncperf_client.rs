@@ -1,0 +1,133 @@
+//! A complete round trip through the measurement query service: start
+//! a server in-process on an ephemeral port, then exercise every
+//! endpoint the way an external client would — plain HTTP/1.1 over a
+//! `TcpStream`, no client library required.
+//!
+//! Run with: `cargo run --release --example syncperf_client`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use syncperf_bench::serving;
+use syncperf_core::Result;
+use syncperf_sched::{SchedConfig, Scheduler};
+use syncperf_serve::{ServeConfig, Server};
+
+/// Minimal HTTP client: one request, `Connection: close`, returns
+/// (status line, body).
+fn http(addr: std::net::SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("recv");
+    let status = raw.lines().next().unwrap_or_default().to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: syncperf\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (String, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: syncperf\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn main() -> Result<()> {
+    // Keep the example hermetic: its own results/cache directory.
+    let results = std::env::temp_dir().join(format!("syncperf-client-{}", std::process::id()));
+    std::fs::create_dir_all(&results)?;
+    std::fs::write(results.join("fig_demo.csv"), "threads,ops\n2,100\n4,180\n")?;
+
+    let mut sched_cfg = SchedConfig::new(2).with_label("client-example");
+    sched_cfg.cache_dir = results.join(".cache");
+    let scheduler = Arc::new(Scheduler::new(sched_cfg));
+
+    let mut cfg = ServeConfig::new(scheduler, serving::default_resolver());
+    cfg.addr = "127.0.0.1:0".into();
+    cfg.results_dir.clone_from(&results);
+    let server = Server::start(cfg)?;
+    let addr = server.addr();
+    println!("serving on http://{addr}\n");
+
+    // 1. Liveness.
+    let (status, body) = get(addr, "/healthz");
+    println!("GET /healthz           -> {status}: {}", body.trim());
+
+    // 2. Compute a measurement (cold: runs on the scheduler pool).
+    let spec = "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_barrier\", \"threads\": 8}";
+    let (status, body) = post(addr, "/compute", spec);
+    println!("POST /compute (cold)   -> {status}");
+    let hash = body
+        .split("\"hash\": \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("hash in response")
+        .to_string();
+    println!("    computed job {hash}");
+
+    // 3. The same request again is answered from the cache.
+    let (status, body) = post(addr, "/compute", spec);
+    let source = body
+        .split("\"source\": \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next());
+    println!(
+        "POST /compute (warm)   -> {status} (source: {})",
+        source.unwrap_or("?")
+    );
+
+    // 4. Fetch it directly by content hash.
+    let (status, _) = get(addr, &format!("/job/{hash}"));
+    println!("GET /job/{hash} -> {status}");
+
+    // 5. Parameter query: exact, then nearest-match.
+    let (status, _) = get(addr, "/query?kernel=omp_barrier&threads=8&exact=1");
+    println!("GET /query (exact)     -> {status}");
+    let (status, body) = get(addr, "/query?kernel=omp_barrier&threads=6");
+    let distance = body
+        .split("\"distance\": ")
+        .nth(1)
+        .and_then(|s| s.split(',').next());
+    println!(
+        "GET /query (nearest)   -> {status} (distance: {})",
+        distance.unwrap_or("?")
+    );
+
+    // 6. Figure outputs straight from the results directory.
+    let (status, body) = get(addr, "/figure/fig_demo");
+    println!(
+        "GET /figure/fig_demo   -> {status} ({} bytes of CSV)",
+        body.len()
+    );
+
+    // 7. A miss is a clean 404, not an error.
+    let (status, _) = get(addr, "/job/0000000000000000");
+    println!("GET /job/<unknown>     -> {status}");
+
+    // 8. Service counters.
+    let (status, body) = get(addr, "/stats");
+    println!("GET /stats             -> {status}\n{body}");
+
+    // 9. Graceful shutdown over the wire.
+    let (status, _) = post(addr, "/shutdown", "");
+    println!("POST /shutdown         -> {status}");
+    server.wait();
+    println!("server exited cleanly");
+
+    std::fs::remove_dir_all(&results)?;
+    Ok(())
+}

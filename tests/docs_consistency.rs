@@ -128,6 +128,7 @@ fn design_md_lists_all_workspace_crates() {
         "syncperf-gpu-sim",
         "syncperf-analyze",
         "syncperf-sched",
+        "syncperf-serve",
         "syncperf-bench",
     ] {
         assert!(design.contains(krate), "DESIGN.md missing crate {krate}");
@@ -172,6 +173,78 @@ fn scheduler_docs_match_the_cli_and_code() {
             "docs/SCHEDULER.md missing counter {counter}"
         );
     }
+}
+
+#[test]
+fn serving_docs_match_the_endpoints_and_code() {
+    // docs/SERVING.md, DESIGN.md §9, and the README subsection
+    // document the same service surface the serve crate implements.
+    let serving_doc = read("docs/SERVING.md");
+    let design = read("DESIGN.md");
+    let readme = read("README.md");
+    let server_src = read("crates/serve/src/server.rs");
+
+    for endpoint in [
+        "/job/",
+        "/query",
+        "/figure/",
+        "/compute",
+        "/stats",
+        "/shutdown",
+    ] {
+        for (doc, name) in [
+            (&serving_doc, "docs/SERVING.md"),
+            (&design, "DESIGN.md"),
+            (&server_src, "server.rs"),
+        ] {
+            assert!(doc.contains(endpoint), "{name} missing endpoint {endpoint}");
+        }
+    }
+    for flag in ["--addr", "--workers", "--cache-bytes", "--timeout-secs"] {
+        assert!(
+            serving_doc.contains(flag),
+            "docs/SERVING.md missing flag {flag}"
+        );
+    }
+    for (doc, name) in [
+        (&serving_doc, "docs/SERVING.md"),
+        (&design, "DESIGN.md"),
+        (&readme, "README.md"),
+    ] {
+        assert!(
+            doc.contains("SYNCPERF_CACHE_BYTES"),
+            "{name} missing cache-budget env var"
+        );
+    }
+    assert!(readme.contains("docs/SERVING.md"));
+    assert!(design.contains("docs/SERVING.md"));
+
+    // The documented counters are the code's (the latency buckets are
+    // format!-built in server.rs, so match on their shared prefix).
+    for counter in [
+        "serve.requests",
+        "serve.cache_hits",
+        "serve.cache_misses",
+        "serve.computes",
+        "serve.dedup_waits",
+        "serve.evictions",
+        "serve.errors",
+        "serve.latency_us_le_",
+    ] {
+        assert!(
+            serving_doc.contains(counter),
+            "docs/SERVING.md missing counter {counter}"
+        );
+        assert!(
+            server_src.contains(counter),
+            "server.rs missing counter {counter}"
+        );
+    }
+
+    // The serve binary and client example the docs promise exist.
+    assert!(bench_binaries().contains("serve"));
+    assert!(repo_root().join("examples/syncperf_client.rs").exists());
+    assert!(repo_root().join("tests/serve_consistency.rs").exists());
 }
 
 #[test]

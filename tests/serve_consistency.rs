@@ -1,0 +1,358 @@
+//! End-to-end query-service consistency (ROADMAP: the serving layer
+//! must answer from the warm cache without recomputation, and a
+//! compute-on-miss must be byte-identical to the serial runner).
+//!
+//! Each test starts a real server on an ephemeral port and talks to it
+//! over plain TCP — the same path an external client takes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use syncperf_bench::serving;
+use syncperf_sched::cache::encode_measurement;
+use syncperf_sched::{SchedConfig, Scheduler};
+use syncperf_serve::{ComputeRequest, ServeConfig, ServeStats, Server};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("syncperf-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(results: &std::path::Path, cache_bytes: Option<u64>) -> Server {
+    let cfg = SchedConfig::new(2)
+        .with_cache_dir(results.join(".cache"))
+        .with_label("serve-it");
+    let mut serve_cfg =
+        ServeConfig::new(Arc::new(Scheduler::new(cfg)), serving::default_resolver());
+    serve_cfg.addr = "127.0.0.1:0".into();
+    serve_cfg.results_dir = results.to_path_buf();
+    serve_cfg.cache_bytes = cache_bytes;
+    serve_cfg.recorder = syncperf_core::obs::Recorder::enabled();
+    Server::start(serve_cfg).expect("server starts")
+}
+
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("recv");
+    let status = reply
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The `"measurement"` object of a service answer, which is exactly
+/// the cache-entry encoding (trailing `}` and newline of the envelope
+/// stripped).
+fn measurement_of(body: &str) -> String {
+    body.split_once("\"measurement\": ")
+        .expect("answer carries a measurement")
+        .1
+        .strip_suffix("}\n")
+        .expect("envelope closes")
+        .to_string()
+}
+
+fn field<'a>(body: &'a str, key: &str) -> &'a str {
+    body.split_once(&format!("\"{key}\": \""))
+        .unwrap_or_else(|| panic!("`{key}` in response: {body}"))
+        .1
+        .split('"')
+        .next()
+        .unwrap()
+}
+
+#[test]
+fn cold_compute_is_byte_identical_to_the_serial_runner() {
+    let results = tmp("cold");
+    let server = start_server(&results, None);
+    let addr = server.addr();
+
+    let spec =
+        "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_atomicadd_scalar_int\", \"threads\": 8}";
+    let (status, body) = post(addr, "/compute", spec);
+    assert_eq!(status, 200, "cold compute succeeds: {body}");
+    assert_eq!(field(&body, "source"), "computed");
+    let served = measurement_of(&body);
+
+    // The reference: the same request resolved and measured on a
+    // fresh serial (1-worker) scheduler with its own cold cache.
+    let req = ComputeRequest {
+        executor: "cpu-sim".into(),
+        kernel: "omp_atomicadd_scalar_int".into(),
+        threads: 8,
+        ..ComputeRequest::default()
+    };
+    let job = serving::resolve(&req).expect("request resolves");
+    let serial_dir = tmp("cold-serial");
+    let serial = Scheduler::new(
+        SchedConfig::new(1)
+            .with_cache_dir(serial_dir.join(".cache"))
+            .with_label("serve-it-serial"),
+    );
+    let hash = serial.job_hash(&job);
+    let m = serial.measure(job).expect("serial measure");
+    assert_eq!(
+        served,
+        encode_measurement(hash, &m),
+        "served bytes must equal the serial runner's encoding"
+    );
+    assert_eq!(field(&body, "hash"), syncperf_sched::hash::hex16(hash));
+
+    // The same request again is a pure cache answer: no new
+    // computation, and /job serves the identical bytes.
+    let (status, warm) = post(addr, "/compute", spec);
+    assert_eq!(status, 200);
+    assert_eq!(field(&warm, "source"), "cache");
+    assert_eq!(measurement_of(&warm), served);
+    let (status, by_hash) = get(addr, &format!("/job/{}", field(&body, "hash")));
+    assert_eq!(status, 200);
+    assert_eq!(measurement_of(&by_hash), served);
+
+    let (_, stats) = get(addr, "/stats");
+    assert!(
+        stats.contains("\"computes\": 1"),
+        "exactly one computation: {stats}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+    let _ = std::fs::remove_dir_all(&serial_dir);
+}
+
+#[test]
+fn warm_restart_answers_without_recomputation() {
+    let results = tmp("warm");
+    // First server computes and shuts down.
+    let server = start_server(&results, None);
+    let spec = "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_barrier\", \"threads\": 4}";
+    let (status, body) = post(server.addr(), "/compute", spec);
+    assert_eq!(status, 200);
+    let hash = field(&body, "hash").to_string();
+    let served = measurement_of(&body);
+    server.shutdown();
+
+    // A fresh server over the same results dir rebuilds its index from
+    // disk and answers /job and /query without any computation.
+    let server = start_server(&results, None);
+    let addr = server.addr();
+    let (status, by_hash) = get(addr, &format!("/job/{hash}"));
+    assert_eq!(status, 200);
+    assert_eq!(measurement_of(&by_hash), served);
+    let (status, by_query) = get(addr, "/query?kernel=omp_barrier&threads=4&exact=1");
+    assert_eq!(status, 200);
+    assert_eq!(measurement_of(&by_query), served);
+    let (_, stats) = get(addr, "/stats");
+    assert!(stats.contains("\"computes\": 0"), "no recompute: {stats}");
+    assert!(
+        stats.contains("\"cache_hits\": 2"),
+        "both were hits: {stats}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn figure_endpoint_serves_results_files_and_rejects_traversal() {
+    let results = tmp("figure");
+    std::fs::create_dir_all(&results).unwrap();
+    std::fs::write(results.join("fig99.csv"), "threads,ops\n1,1\n").unwrap();
+    std::fs::write(results.join("fig99.svg"), "<svg></svg>").unwrap();
+    let server = start_server(&results, None);
+    let addr = server.addr();
+
+    let (status, csv) = get(addr, "/figure/fig99");
+    assert_eq!((status, csv.as_str()), (200, "threads,ops\n1,1\n"));
+    let (status, svg) = get(addr, "/figure/fig99.svg");
+    assert_eq!((status, svg.as_str()), (200, "<svg></svg>"));
+    let (status, _) = get(addr, "/figure/no_such_figure");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/figure/..%2F..%2Fetc%2Fpasswd");
+    assert_eq!(status, 400, "path traversal is rejected outright");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn concurrent_identical_computes_run_exactly_one_job() {
+    let results = tmp("dedup");
+    let server = start_server(&results, None);
+    let addr = server.addr();
+    let spec = "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_critical_int\", \"threads\": 16}";
+
+    // 6 identical computes racing, while 6 more threads hammer /query
+    // the whole time. Every /query answer must be a complete document
+    // (404 before the entry lands, 200 with parseable JSON after) —
+    // never a torn read.
+    let computes: Vec<_> = (0..6)
+        .map(|_| {
+            let spec = spec.to_string();
+            std::thread::spawn(move || post(addr, "/compute", &spec))
+        })
+        .collect();
+    let queries: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut seen_hit = false;
+                for _ in 0..30 {
+                    let (status, body) = get(addr, "/query?kernel=omp_critical_int&threads=16");
+                    match status {
+                        200 => {
+                            let m = measurement_of(&body);
+                            syncperf_core::obs::json::parse(&m)
+                                .expect("a served measurement is always complete JSON");
+                            seen_hit = true;
+                        }
+                        404 => {}
+                        other => panic!("unexpected status {other}: {body}"),
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                seen_hit
+            })
+        })
+        .collect();
+
+    let mut bodies = Vec::new();
+    for c in computes {
+        let (status, body) = c.join().unwrap();
+        assert_eq!(status, 200, "every racer gets an answer: {body}");
+        bodies.push(measurement_of(&body));
+    }
+    for q in queries {
+        let _ = q.join().unwrap();
+    }
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "all racers see identical bytes"
+    );
+
+    // Exactly one scheduler job ran, no matter how the race resolved.
+    let (_, stats) = get(addr, "/stats");
+    assert!(
+        stats.contains("\"computes\": 1"),
+        "exactly one compute: {stats}"
+    );
+    assert!(
+        stats.contains("\"executed\": 1"),
+        "exactly one scheduler execution: {stats}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn eviction_keeps_the_cache_under_budget_and_the_index_consistent() {
+    let results = tmp("evict");
+    // Budget of ~2 entries (entries for these kernels run ~800 bytes).
+    let server = start_server(&results, Some(2000));
+    let addr = server.addr();
+
+    for threads in [2u32, 4, 8, 16, 32] {
+        let spec = format!(
+            "{{\"executor\": \"cpu-sim\", \"kernel\": \"omp_barrier\", \"threads\": {threads}}}"
+        );
+        let (status, body) = post(addr, "/compute", &spec);
+        assert_eq!(status, 200, "compute at {threads} threads: {body}");
+    }
+
+    let index = server.index();
+    assert!(index.is_consistent(), "index survives eviction churn");
+    assert!(
+        index.total_bytes() <= 2000,
+        "on-disk cache respects SYNCPERF_CACHE_BYTES: {} bytes",
+        index.total_bytes()
+    );
+    assert!(!index.is_empty(), "eviction never empties a live cache");
+    let (_, stats) = get(addr, "/stats");
+    let evictions: u64 = stats
+        .split_once("\"evictions\": ")
+        .and_then(|(_, rest)| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .expect("evictions counter in stats");
+    assert!(evictions >= 3, "5 entries minus a 2-entry budget: {stats}");
+
+    // What survives is still queryable, and what was evicted recomputes
+    // cleanly rather than erroring.
+    let (status, _) = get(addr, "/query?kernel=omp_barrier&threads=32");
+    assert_eq!(status, 200);
+    let (status, body) = post(
+        addr,
+        "/compute",
+        "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_barrier\", \"threads\": 2}",
+    );
+    assert_eq!(status, 200);
+    assert!(
+        field(&body, "source") == "computed" || field(&body, "source") == "cache",
+        "evicted entries come back on demand"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn serve_stats_round_trip_through_snapshot() {
+    let results = tmp("stats");
+    let rec = syncperf_core::obs::Recorder::enabled();
+    let cfg = SchedConfig::new(1)
+        .with_cache_dir(results.join(".cache"))
+        .with_label("serve-it-stats");
+    let mut serve_cfg =
+        ServeConfig::new(Arc::new(Scheduler::new(cfg)), serving::default_resolver());
+    serve_cfg.addr = "127.0.0.1:0".into();
+    serve_cfg.results_dir = results.clone();
+    serve_cfg.recorder = rec.clone();
+    let server = Server::start(serve_cfg).expect("server starts");
+    let addr = server.addr();
+
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let (status, _) = get(addr, "/job/0000000000000000");
+    assert_eq!(status, 404);
+    server.shutdown();
+
+    let stats = ServeStats::from_snapshot(&rec.snapshot());
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.errors, 1);
+    let _ = std::fs::remove_dir_all(&results);
+}
