@@ -16,13 +16,26 @@ cargo clippy --workspace --release --offline --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --release --offline -q
 
+# Criterion smoke run (docs/PERFORMANCE.md): every benchmark body must
+# still execute; SYNCPERF_BENCH_QUICK clamps the budgets so this takes
+# seconds, not minutes. The numbers are not comparison-grade.
+echo "==> criterion smoke benches"
+SYNCPERF_BENCH_QUICK=1 cargo bench --offline -p syncperf-bench > /dev/null
+
+# Tracked macro-benchmark (docs/PERFORMANCE.md): a cold
+# `all_figures --jobs 2` must stay within 25% of the committed
+# BENCH_syncperf.json number.
+echo "==> bench_report --check"
+cargo run --release --offline -p syncperf-bench --bin bench_report -- --check
+
 # Static sync-lint + race-detector cross-check over every registered
 # kernel (docs/ANALYSIS.md). Exits nonzero on any non-allowlisted
 # diagnostic or static/dynamic disagreement; the JSON report is
 # uploaded as a CI artifact.
 echo "==> sync_lint all"
+mkdir -p results
 cargo run --release --offline -p syncperf-bench --bin sync_lint -- \
-  all --format json --out sync_lint_report.json
+  all --format json --out results/sync_lint_report.json
 
 # Scheduler warm-cache gate (docs/SCHEDULER.md): regenerate every
 # figure twice with 2 workers into a fresh results dir. The second run
@@ -31,10 +44,10 @@ cargo run --release --offline -p syncperf-bench --bin sync_lint -- \
 echo "==> scheduler warm-cache gate"
 rm -rf ci_sched_results
 SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
-  --bin all_figures -- --jobs 2 --cache-stats cache_stats_cold.json > /dev/null
+  --bin all_figures -- --jobs 2 --cache-stats results/cache_stats_cold.json > /dev/null
 SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
-  --bin all_figures -- --jobs 2 --cache-stats cache_stats_warm.json > /dev/null
-hit=$(sed -n 's/.*"hit_rate":\([0-9.]*\).*/\1/p' cache_stats_warm.json)
+  --bin all_figures -- --jobs 2 --cache-stats results/cache_stats_warm.json > /dev/null
+hit=$(sed -n 's/.*"hit_rate":\([0-9.]*\).*/\1/p' results/cache_stats_warm.json)
 echo "warm-run cache hit rate: ${hit}"
 awk -v h="$hit" 'BEGIN { exit (h >= 0.95) ? 0 : 1 }' || {
   echo "warm-cache hit rate ${hit} is below 0.95"; exit 1; }
@@ -45,14 +58,29 @@ awk -v h="$hit" 'BEGIN { exit (h >= 0.95) ? 0 : 1 }' || {
 echo "==> sensitivity warm-cache gate"
 SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
   --bin sensitivity_analysis -- --jobs 2 \
-  --cache-stats cache_stats_sensitivity_cold.json > /dev/null
+  --cache-stats results/cache_stats_sensitivity_cold.json > /dev/null
 SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
   --bin sensitivity_analysis -- --jobs 2 \
-  --cache-stats cache_stats_sensitivity_warm.json > /dev/null
-sens_hit=$(sed -n 's/.*"hit_rate":\([0-9.]*\).*/\1/p' cache_stats_sensitivity_warm.json)
+  --cache-stats results/cache_stats_sensitivity_warm.json > /dev/null
+sens_hit=$(sed -n 's/.*"hit_rate":\([0-9.]*\).*/\1/p' results/cache_stats_sensitivity_warm.json)
 echo "sensitivity warm-run cache hit rate: ${sens_hit}"
 awk -v h="$sens_hit" 'BEGIN { exit (h >= 0.95) ? 0 : 1 }' || {
   echo "sensitivity warm-cache hit rate ${sens_hit} is below 0.95"; exit 1; }
+
+# The same gate over the artifact `launch` sweeps (ROADMAP: warm-cache
+# gate breadth): an OpenMP + CUDA subset run twice through the
+# scheduler path; the second run must be >=95% cache hits.
+echo "==> launch warm-cache gate"
+SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
+  --bin launch -- omp_barrier cuda_shfl --yes --jobs 2 \
+  --cache-stats results/cache_stats_launch_cold.json > /dev/null
+SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
+  --bin launch -- omp_barrier cuda_shfl --yes --jobs 2 \
+  --cache-stats results/cache_stats_launch_warm.json > /dev/null
+launch_hit=$(sed -n 's/.*"hit_rate":\([0-9.]*\).*/\1/p' results/cache_stats_launch_warm.json)
+echo "launch warm-run cache hit rate: ${launch_hit}"
+awk -v h="$launch_hit" 'BEGIN { exit (h >= 0.95) ? 0 : 1 }' || {
+  echo "launch warm-cache hit rate ${launch_hit} is below 0.95"; exit 1; }
 
 # Serve smoke test (docs/SERVING.md): launch the query service over
 # the warm cache the gates above just filled, hit every read endpoint

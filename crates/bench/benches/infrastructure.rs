@@ -136,11 +136,102 @@ fn bench_case_studies(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scheduler dispatch overhead: hashing a job's full content, and a
+/// warm `run_jobs` batch where every job answers from the cache — the
+/// steady-state cost a cached figure regeneration actually pays.
+fn bench_sched_dispatch(c: &mut Criterion) {
+    use syncperf_core::{kernel, ExecParams, Protocol};
+    use syncperf_sched::{JobSpec, SchedConfig, Scheduler};
+
+    let dir = std::env::temp_dir().join(format!("syncperf-bench-sched-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sched = Scheduler::new(
+        SchedConfig::new(1)
+            .with_cache_dir(dir.join(".cache"))
+            .with_label("bench"),
+    );
+    let jobs = || -> Vec<JobSpec> {
+        (1..=16u32)
+            .map(|t| {
+                JobSpec::cpu_sim(
+                    &SYSTEM3,
+                    kernel::omp_atomic_update_scalar(DType::I32),
+                    ExecParams::new(t).with_loops(1000, 100),
+                    Protocol::PAPER,
+                )
+            })
+            .collect()
+    };
+    // Warm the cache once so the measured batches are pure hits.
+    sched.run_jobs(jobs()).expect("warm-up batch");
+
+    let mut g = c.benchmark_group("sched");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    let one = jobs().pop().unwrap();
+    g.bench_function("job_hash", |b| b.iter(|| sched.job_hash(&one)));
+    g.bench_function("dispatch_warm_16_jobs", |b| {
+        b.iter(|| sched.run_jobs(jobs()).unwrap());
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Serve-layer index lookups: pinned `get` by content hash and the
+/// nearest-thread-count `query` over a populated kernel family.
+fn bench_serve_index(c: &mut Criterion) {
+    use syncperf_core::{ExecParams, Measurement, TimeUnit};
+    use syncperf_serve::index::{Index, Query};
+
+    let dir = std::env::temp_dir().join(format!("syncperf-bench-index-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let index = Index::build(syncperf_sched::cache::Cache::new(dir.join(".cache")), None);
+    for i in 0..256u64 {
+        let threads = 1 + (i % 64) as u32;
+        let m = Measurement {
+            kernel_name: format!("bench_kernel_{}", i % 8),
+            params: ExecParams::new(threads).with_loops(1000, 100),
+            time_unit: TimeUnit::Seconds,
+            baseline_runs: vec![1.0; 9],
+            test_runs: vec![2.0; 9],
+            median_baseline: 1.0,
+            median_test: 2.0,
+            per_op: 0.01,
+            retries: 0,
+            exhausted_runs: 0,
+        };
+        index.insert(0x5EED_0000 + i, &m);
+    }
+
+    let mut g = c.benchmark_group("serve_index");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    g.bench_function("get_by_hash", |b| {
+        b.iter(|| index.get(0x5EED_0080).expect("entry exists"));
+    });
+    let q = Query {
+        kernel: "bench_kernel_3".into(),
+        dtype: None,
+        threads: 33,
+        blocks: None,
+        exact: false,
+    };
+    g.bench_function("query_nearest", |b| {
+        b.iter(|| index.query(&q).expect("family matches"));
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_rendering,
     bench_mesi,
     bench_artifact_store,
-    bench_case_studies
+    bench_case_studies,
+    bench_sched_dispatch,
+    bench_serve_index
 );
 criterion_main!(benches);

@@ -63,6 +63,44 @@ fn bench_gpu_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tracked speedup: the steady-state fast path (what `run` uses)
+/// against the full-stepping oracle at the paper's 100k-rep protocol
+/// point. The ratio between these two groups is the whole point of the
+/// fast path — `BENCH_syncperf.json` tracks it end-to-end.
+fn bench_fast_vs_full(c: &mut Criterion) {
+    let rec = syncperf_core::obs::Recorder::disabled();
+    let mut g = c.benchmark_group("fast_vs_full");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+
+    let cpu_model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 16);
+    let body = kernel::omp_atomic_update_scalar(DType::I32).test;
+    g.bench_function("cpu_fast_100k", |b| {
+        b.iter(|| syncperf_cpu_sim::engine::run(&cpu_model, &placement, &body, 100_000).unwrap());
+    });
+    g.bench_function("cpu_full_stepping_100k", |b| {
+        b.iter(|| {
+            syncperf_cpu_sim::run_full_stepping(&cpu_model, &placement, &body, 100_000, &rec)
+                .unwrap()
+        });
+    });
+
+    let gpu_model = GpuModel::for_spec(&SYSTEM3.gpu);
+    let occ = Occupancy::compute(&SYSTEM3.gpu, 64, 256).unwrap();
+    let gpu_body = kernel::cuda_atomic_add_scalar(DType::I32).test;
+    g.bench_function("gpu_fast_100k", |b| {
+        b.iter(|| syncperf_gpu_sim::engine::run(&gpu_model, &occ, &gpu_body, 100_000).unwrap());
+    });
+    g.bench_function("gpu_full_stepping_100k", |b| {
+        b.iter(|| {
+            syncperf_gpu_sim::run_full_stepping(&gpu_model, &occ, &gpu_body, 100_000, &rec).unwrap()
+        });
+    });
+    g.finish();
+}
+
 fn bench_full_protocol(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocol");
     g.measurement_time(Duration::from_secs(2));
@@ -106,6 +144,7 @@ criterion_group!(
     benches,
     bench_cpu_engine,
     bench_gpu_engine,
+    bench_fast_vs_full,
     bench_full_protocol,
     bench_reductions
 );

@@ -1,0 +1,189 @@
+//! The tracked macro-benchmark: times a cold `all_figures --jobs 2`
+//! regeneration (fresh cache, throwaway results directory) in-process
+//! and writes `BENCH_syncperf.json` at the repo root, recording the
+//! pre-optimization baseline alongside the current number.
+//!
+//! ```console
+//! $ bench_report                   # measure, write BENCH_syncperf.json
+//! $ bench_report --check           # measure, fail if >25% slower than
+//!                                  # the committed after_ms
+//! $ bench_report --out PATH        # write somewhere else
+//! ```
+//!
+//! The workload is exactly what the `all_figures` binary does under
+//! `--jobs 2`: tables, every figure generator, CSV/SVG emission —
+//! routed through a freshly-installed 2-worker scheduler with an empty
+//! result cache, so every sweep point is measured, not served.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use syncperf_core::obs::json;
+
+/// Cold `all_figures --jobs 2` wall time before the steady-state fast
+/// path landed: the pre-fast-path engines, rebuilt and re-timed under
+/// this binary's exact methodology (RAM-backed scratch, best of 3).
+const BASELINE_BEFORE_MS: f64 = 934.0;
+
+/// `--check` fails when the fresh measurement exceeds the committed
+/// `after_ms` by more than this factor.
+const REGRESSION_FACTOR: f64 = 1.25;
+
+/// Timed cold runs; the minimum is the tracked number (least
+/// scheduler/OS noise).
+const RUNS: usize = 3;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_report [--check] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Scratch root for the throwaway results/cache tree. Prefers a
+/// RAM-backed filesystem: the tracked number must reflect the
+/// harness's own work, not whatever writeback pressure the host's
+/// disk happens to be under when CI runs.
+fn scratch_root() -> PathBuf {
+    let shm = PathBuf::from("/dev/shm");
+    if std::fs::metadata(&shm).map(|m| m.is_dir()).unwrap_or(false) {
+        let probe = shm.join(format!(".syncperf-probe-{}", std::process::id()));
+        if std::fs::write(&probe, b"x").is_ok() {
+            let _ = std::fs::remove_file(&probe);
+            return shm;
+        }
+    }
+    std::env::temp_dir()
+}
+
+/// One cold regeneration: fresh results dir, fresh cache, 2 workers.
+fn cold_run_ms(root: &std::path::Path, tag: usize) -> syncperf_core::Result<f64> {
+    let dir = root.join(format!(
+        "syncperf-bench-report-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("SYNCPERF_RESULTS", &dir);
+    let cfg = syncperf_sched::SchedConfig::new(2)
+        .with_cache_dir(dir.join(".cache"))
+        .with_label("bench_report");
+    let sched = syncperf_sched::install(syncperf_sched::Scheduler::new(cfg));
+
+    let start = Instant::now();
+    let outcome = (|| {
+        let _table1 = syncperf_bench::tables::table1();
+        let _listing1 = syncperf_bench::tables::listing1_report(&syncperf_core::SYSTEM3)?;
+        let figs = syncperf_bench::all_figures()?;
+        syncperf_bench::emit(&figs)
+    })();
+    if outcome.is_ok() {
+        sched.finish();
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    syncperf_sched::uninstall();
+    std::env::remove_var("SYNCPERF_RESULTS");
+    let stats = sched.stats();
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome?;
+    // Figures share sweep points, so even a cold run has intra-run
+    // hits — but most jobs must have been genuinely executed.
+    assert!(
+        stats.executed > stats.cache_hits,
+        "a cold run must mostly measure, not serve ({} executed, {} hits)",
+        stats.executed,
+        stats.cache_hits
+    );
+    Ok(elapsed_ms)
+}
+
+fn render_report(runs_ms: &[f64], after_ms: f64) -> String {
+    let runs = runs_ms
+        .iter()
+        .map(|ms| format!("{ms:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"benchmark\": \"cold all_figures --jobs 2 (fresh cache, temp results dir)\",\n  \
+         \"unit\": \"ms\",\n  \
+         \"before_ms\": {BASELINE_BEFORE_MS:.1},\n  \
+         \"after_ms\": {after_ms:.1},\n  \
+         \"speedup\": {:.2},\n  \
+         \"runs_ms\": [{runs}],\n  \
+         \"check_regression_factor\": {REGRESSION_FACTOR}\n}}\n",
+        BASELINE_BEFORE_MS / after_ms,
+    )
+}
+
+/// The committed `after_ms`, read from an existing report file.
+fn committed_after_ms(path: &std::path::Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    json::parse(&text).ok()?.get("after_ms")?.as_f64()
+}
+
+fn main() {
+    let mut check = false;
+    let mut out = PathBuf::from("BENCH_syncperf.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.into(),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let root = scratch_root();
+    eprintln!("scratch root: {}", root.display());
+    let mut runs_ms = Vec::with_capacity(RUNS);
+    for i in 0..RUNS {
+        match cold_run_ms(&root, i) {
+            Ok(ms) => {
+                eprintln!("cold run {}/{RUNS}: {ms:.1} ms", i + 1);
+                runs_ms.push(ms);
+            }
+            Err(e) => {
+                eprintln!("error: cold run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let after_ms = runs_ms.iter().copied().fold(f64::INFINITY, f64::min);
+
+    if check {
+        let Some(committed) = committed_after_ms(&out) else {
+            eprintln!(
+                "error: --check needs a committed {} with after_ms",
+                out.display()
+            );
+            std::process::exit(1);
+        };
+        let limit = committed * REGRESSION_FACTOR;
+        eprintln!(
+            "check: measured {after_ms:.1} ms vs committed {committed:.1} ms (limit {limit:.1} ms)"
+        );
+        if after_ms > limit {
+            eprintln!(
+                "error: cold all_figures regressed >{:.0}% vs the committed baseline",
+                (REGRESSION_FACTOR - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("bench check ok: {after_ms:.1} ms <= {limit:.1} ms");
+        return;
+    }
+
+    let report = render_report(&runs_ms, after_ms);
+    if let Err(e) = std::fs::write(&out, &report) {
+        eprintln!("error writing {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    print!("{report}");
+    println!(
+        "wrote {} ({:.2}x vs the {BASELINE_BEFORE_MS:.0} ms pre-fast-path baseline)",
+        out.display(),
+        BASELINE_BEFORE_MS / after_ms
+    );
+}

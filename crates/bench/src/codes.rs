@@ -11,8 +11,8 @@ use syncperf_core::{
     kernel, Affinity, CpuKernel, DType, ExecParams, Protocol, Result, ResultsStore, RunRecord,
     Scope, ShflVariant, SystemSpec, VoteKind,
 };
-use syncperf_cpu_sim::CpuSimExecutor;
-use syncperf_gpu_sim::GpuSimExecutor;
+
+use crate::common::{measure_cpu_batch, measure_gpu_batch};
 
 /// Which API a test code exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,32 +47,67 @@ const CPU_STRIDES: [u32; 4] = [1, 4, 8, 16];
 /// The strides the paper shows for GPU array tests.
 const GPU_STRIDES: [u32; 2] = [1, 32];
 
-#[allow(clippy::too_many_arguments)]
-fn push_cpu(
-    store: &mut ResultsStore,
-    sim: &mut CpuSimExecutor,
-    name: &str,
-    k: &CpuKernel,
+/// Per-point sweep metadata, waiting to be zipped back with its
+/// measurement.
+#[derive(Debug, Clone, Copy)]
+struct GridPoint {
     threads: u32,
+    blocks: u32,
     stride: u32,
     dtype: Option<DType>,
     affinity: Affinity,
-) -> Result<()> {
-    let p = ExecParams::new(threads)
-        .with_affinity(affinity)
-        .with_loops(1000, 100);
-    let m = Protocol::PAPER.measure(sim, k, &p)?;
+}
+
+fn push_record(store: &mut ResultsStore, name: &str, g: GridPoint, m: &syncperf_core::Measurement) {
     store.push(RunRecord {
         test: name.to_string(),
-        threads,
-        blocks: 1,
-        stride,
-        dtype,
-        affinity,
+        threads: g.threads,
+        blocks: g.blocks,
+        stride: g.stride,
+        dtype: g.dtype,
+        affinity: g.affinity,
         runtime_ns: m.runtime_seconds() * 1e9,
         throughput: m.throughput_clamped(1e-10),
     });
+}
+
+/// Measures an accumulated CPU grid through [`measure_cpu_batch`] —
+/// serially on one executor without a scheduler (the legacy byte-exact
+/// path), as content-hashed cacheable jobs with one installed — and
+/// records each point.
+fn run_cpu_grid(
+    sys: &SystemSpec,
+    store: &mut ResultsStore,
+    name: &str,
+    batch: Vec<(CpuKernel, ExecParams)>,
+    grid: Vec<GridPoint>,
+) -> Result<()> {
+    let ms = measure_cpu_batch(sys, Protocol::PAPER, &batch)?;
+    for (g, m) in grid.into_iter().zip(ms) {
+        push_record(store, name, g, &m);
+    }
     Ok(())
+}
+
+/// GPU twin of [`run_cpu_grid`].
+fn run_gpu_grid(
+    sys: &SystemSpec,
+    store: &mut ResultsStore,
+    name: &str,
+    batch: Vec<(syncperf_core::GpuKernel, ExecParams)>,
+    grid: Vec<GridPoint>,
+) -> Result<()> {
+    let ms = measure_gpu_batch(sys, Protocol::PAPER, &batch)?;
+    for (g, m) in grid.into_iter().zip(ms) {
+        push_record(store, name, g, &m);
+    }
+    Ok(())
+}
+
+fn cpu_params(threads: u32, affinity: Affinity) -> ExecParams {
+    ExecParams::new(threads)
+        .with_affinity(affinity)
+        .with_loops(1000, 100)
 }
 
 fn cpu_scalar_code(
@@ -82,14 +117,22 @@ fn cpu_scalar_code(
     affinity: Affinity,
     make: fn(DType) -> CpuKernel,
 ) -> Result<()> {
-    let mut sim = CpuSimExecutor::new(sys);
+    let mut batch = Vec::new();
+    let mut grid = Vec::new();
     for dt in DType::ALL {
         let k = make(dt);
-        for t in sys.cpu.omp_thread_counts() {
-            push_cpu(store, &mut sim, name, &k, t, 0, Some(dt), affinity)?;
+        for threads in sys.cpu.omp_thread_counts() {
+            batch.push((k.clone(), cpu_params(threads, affinity)));
+            grid.push(GridPoint {
+                threads,
+                blocks: 1,
+                stride: 0,
+                dtype: Some(dt),
+                affinity,
+            });
         }
     }
-    Ok(())
+    run_cpu_grid(sys, store, name, batch, grid)
 }
 
 fn cpu_array_code(
@@ -99,44 +142,30 @@ fn cpu_array_code(
     affinity: Affinity,
     make: fn(DType, u32) -> CpuKernel,
 ) -> Result<()> {
-    let mut sim = CpuSimExecutor::new(sys);
+    let mut batch = Vec::new();
+    let mut grid = Vec::new();
     for stride in CPU_STRIDES {
         for dt in DType::ALL {
             let k = make(dt, stride);
-            for t in sys.cpu.omp_thread_counts() {
-                push_cpu(store, &mut sim, name, &k, t, stride, Some(dt), affinity)?;
+            for threads in sys.cpu.omp_thread_counts() {
+                batch.push((k.clone(), cpu_params(threads, affinity)));
+                grid.push(GridPoint {
+                    threads,
+                    blocks: 1,
+                    stride,
+                    dtype: Some(dt),
+                    affinity,
+                });
             }
         }
     }
-    Ok(())
+    run_cpu_grid(sys, store, name, batch, grid)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn push_gpu(
-    store: &mut ResultsStore,
-    sim: &mut GpuSimExecutor,
-    name: &str,
-    k: &syncperf_core::GpuKernel,
-    blocks: u32,
-    threads: u32,
-    stride: u32,
-    dtype: Option<DType>,
-) -> Result<()> {
-    let p = ExecParams::new(threads)
+fn gpu_params(blocks: u32, threads: u32) -> ExecParams {
+    ExecParams::new(threads)
         .with_blocks(blocks)
-        .with_loops(1000, 100);
-    let m = Protocol::PAPER.measure(sim, k, &p)?;
-    store.push(RunRecord {
-        test: name.to_string(),
-        threads,
-        blocks,
-        stride,
-        dtype,
-        affinity: Affinity::SystemChoice,
-        runtime_ns: m.runtime_seconds() * 1e9,
-        throughput: m.throughput_clamped(1e-10),
-    });
-    Ok(())
+        .with_loops(1000, 100)
 }
 
 fn gpu_code(
@@ -147,18 +176,26 @@ fn gpu_code(
     strides: &[u32],
     make: fn(Option<DType>, u32) -> syncperf_core::GpuKernel,
 ) -> Result<()> {
-    let mut sim = GpuSimExecutor::new(sys);
+    let mut batch = Vec::new();
+    let mut grid = Vec::new();
     for &stride in strides {
         for &dt in dtypes {
             let k = make(dt, stride);
             for blocks in sys.gpu.block_count_sweep() {
                 for threads in sys.gpu.thread_count_sweep() {
-                    push_gpu(store, &mut sim, name, &k, blocks, threads, stride, dt)?;
+                    batch.push((k.clone(), gpu_params(blocks, threads)));
+                    grid.push(GridPoint {
+                        threads,
+                        blocks,
+                        stride,
+                        dtype: dt,
+                        affinity: Affinity::SystemChoice,
+                    });
                 }
             }
         }
     }
-    Ok(())
+    run_gpu_grid(sys, store, name, batch, grid)
 }
 
 const ALL_DT: [Option<DType>; 4] = [
@@ -178,21 +215,20 @@ pub fn registry() -> Vec<TestCode> {
             name: "omp_barrier",
             api: Api::OpenMp,
             run: |sys, store| {
-                let mut sim = CpuSimExecutor::new(sys);
                 let k = kernel::omp_barrier();
-                for t in sys.cpu.omp_thread_counts() {
-                    push_cpu(
-                        store,
-                        &mut sim,
-                        "omp_barrier",
-                        &k,
-                        t,
-                        0,
-                        None,
-                        Affinity::Spread,
-                    )?;
+                let mut batch = Vec::new();
+                let mut grid = Vec::new();
+                for threads in sys.cpu.omp_thread_counts() {
+                    batch.push((k.clone(), cpu_params(threads, Affinity::Spread)));
+                    grid.push(GridPoint {
+                        threads,
+                        blocks: 1,
+                        stride: 0,
+                        dtype: None,
+                        affinity: Affinity::Spread,
+                    });
                 }
-                Ok(())
+                run_cpu_grid(sys, store, "omp_barrier", batch, grid)
             },
         },
         TestCode {
@@ -418,16 +454,24 @@ pub fn registry() -> Vec<TestCode> {
             name: "cuda_vote",
             api: Api::Cuda,
             run: |sys, store| {
-                let mut sim = GpuSimExecutor::new(sys);
+                let mut batch = Vec::new();
+                let mut grid = Vec::new();
                 for kind in [VoteKind::Ballot, VoteKind::All, VoteKind::Any] {
                     let k = kernel::cuda_vote(kind);
                     for blocks in sys.gpu.block_count_sweep() {
                         for threads in sys.gpu.thread_count_sweep() {
-                            push_gpu(store, &mut sim, "cuda_vote", &k, blocks, threads, 0, None)?;
+                            batch.push((k.clone(), gpu_params(blocks, threads)));
+                            grid.push(GridPoint {
+                                threads,
+                                blocks,
+                                stride: 0,
+                                dtype: None,
+                                affinity: Affinity::SystemChoice,
+                            });
                         }
                     }
                 }
-                Ok(())
+                run_gpu_grid(sys, store, "cuda_vote", batch, grid)
             },
         },
     ]

@@ -32,7 +32,7 @@
 //!     fn time_unit(&self) -> TimeUnit { TimeUnit::Seconds }
 //!     fn execute(&mut self, body: &[Self::Op], p: &ExecParams) -> Result<ThreadTimes> {
 //!         let t = body.len() as f64 * 20e-9 * p.timed_reps() as f64;
-//!         Ok(ThreadTimes { per_thread: vec![t; p.threads as usize] })
+//!         Ok(ThreadTimes::uniform(t, p.threads as usize))
 //!     }
 //! }
 //!

@@ -336,9 +336,7 @@ mod tests {
                 -self.noise
             };
             let t = body.len() as f64 * self.op_cost * reps + jitter;
-            Ok(ThreadTimes {
-                per_thread: vec![t; params.threads as usize],
-            })
+            Ok(ThreadTimes::uniform(t, params.threads as usize))
         }
     }
 
@@ -503,9 +501,7 @@ mod tests {
                 self.rejected_so_far = 0; // good attempt ends the run
                 self.base * 2.0
             };
-            Ok(ThreadTimes {
-                per_thread: vec![t; params.threads as usize],
-            })
+            Ok(ThreadTimes::uniform(t, params.threads as usize))
         }
     }
 

@@ -109,9 +109,7 @@ mod tests {
             // Cost grows with thread count: 1 ns per op per thread.
             let reps = params.timed_reps() as f64;
             let t = body.len() as f64 * 1e-9 * f64::from(params.threads) * reps;
-            Ok(ThreadTimes {
-                per_thread: vec![t; params.threads as usize],
-            })
+            Ok(ThreadTimes::uniform(t, params.threads as usize))
         }
     }
 

@@ -34,9 +34,7 @@ impl Executor for ParamExec {
         let noise = self.noise_seq[self.call % self.noise_seq.len()];
         self.call += 1;
         let t = body.len() as f64 * self.op_cost * params.timed_reps() as f64 * (1.0 + noise);
-        Ok(ThreadTimes {
-            per_thread: vec![t; params.threads as usize],
-        })
+        Ok(ThreadTimes::uniform(t, params.threads as usize))
     }
 }
 

@@ -8,13 +8,30 @@
 //! a store's coherence latency until a fence drains them, hyperthread
 //! pairs share issue bandwidth and an L1, and barriers release all
 //! arrivals together after a participant-count-dependent cost.
+//!
+//! Time is integer fixed-point (2²⁰ units per nanosecond, see
+//! [`crate::plan`]): every `(thread, op)` cost is quantized once per run
+//! by the compiled [`RunPlan`], and the engine detects the per-thread
+//! *steady state* — consecutive repetitions with identical per-thread
+//! deltas, barrier offsets, and store-buffer horizons — after which the
+//! remaining repetitions are extrapolated with one exact integer
+//! multiply instead of being stepped. [`run_full_stepping`] is the
+//! oracle that never extrapolates; the fast path is bit-exact against
+//! it by construction (property-tested in `tests/property_based.rs`).
 
 use syncperf_core::obs::{ArgValue, Recorder};
-use syncperf_core::{CpuOp, DType, Result, SyncPerfError};
+use syncperf_core::{CpuOp, Result, SyncPerfError};
 
 use crate::config::CpuModel;
 use crate::memline::{classify, line_of, Access, ContentionMap};
+use crate::plan::{units_to_ns, PlanOp, RunPlan};
 use crate::topology::Placement;
+
+/// With a live recorder the first `OBSERVED_REPS` repetitions are
+/// always stepped with per-op event emission (bounding trace volume the
+/// same way the previous engine's warm-rep window did); steady-state
+/// extrapolation is only allowed past this window.
+pub const OBSERVED_REPS: u64 = 4;
 
 /// Outcome of one engine run: per-thread virtual nanoseconds.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,16 +40,6 @@ pub struct EngineResult {
     pub per_thread_ns: Vec<f64>,
     /// Number of barrier episodes executed.
     pub barrier_episodes: u64,
-}
-
-/// Per-thread mutable state during a run.
-#[derive(Debug, Clone)]
-struct ThreadState {
-    /// Current virtual time.
-    t: f64,
-    /// Latest time at which all of this thread's pending stores are
-    /// globally visible (the store buffer drain horizon).
-    pending_store_until: f64,
 }
 
 /// Runs `body` for `reps` repetitions on every placed thread.
@@ -51,13 +58,15 @@ pub fn run(
 
 /// [`run`] with an explicit [`Recorder`]. With recording enabled this
 /// emits, under category `cpu_sim`: an `engine_run` span, one per-op
-/// instant (tagged `tid`/`rep`/`idx`/`cost_ns`) for each simulated warm
-/// repetition, and `store_buffer_drain` instants at fences — plus the
-/// `cpu_sim.barrier_rounds`, `cpu_sim.mesi_transitions` (analytic
-/// coherence-transaction count derived from the contention map) and
-/// `cpu_sim.store_buffer_drains` counters and the
-/// `cpu_sim.arb_queue_depth_max` high-water gauge. A disabled recorder
-/// costs one branch per site.
+/// instant (tagged `tid`/`rep`/`idx`/`cost_ns`) for each of the first
+/// [`OBSERVED_REPS`] repetitions, and `store_buffer_drain` instants at
+/// fences — plus the `cpu_sim.barrier_rounds`,
+/// `cpu_sim.mesi_transitions` (analytic coherence-transaction count
+/// derived from the contention map) and `cpu_sim.store_buffer_drains`
+/// counters and the `cpu_sim.arb_queue_depth_max` high-water gauge. A
+/// disabled recorder costs one branch per site. Recording never changes
+/// the simulated times: the steady-state fast path is exact, so
+/// observed and unobserved runs return bit-identical results.
 ///
 /// # Errors
 ///
@@ -69,121 +78,237 @@ pub fn run_observed(
     reps: u64,
     rec: &Recorder,
 ) -> Result<EngineResult> {
+    run_impl(model, placement, body, reps, rec, false)
+}
+
+/// The reference path: identical to [`run_observed`] but steps every
+/// repetition, never extrapolating. The property tests assert the fast
+/// path is bit-exact against this oracle.
+///
+/// # Errors
+///
+/// Returns [`SyncPerfError::InvalidParams`] if `reps` is zero.
+pub fn run_full_stepping(
+    model: &CpuModel,
+    placement: &Placement,
+    body: &[CpuOp],
+    reps: u64,
+    rec: &Recorder,
+) -> Result<EngineResult> {
+    run_impl(model, placement, body, reps, rec, true)
+}
+
+/// Reusable per-run scratch: thread clocks, store-buffer horizons, the
+/// barrier release order, and the steady-state detector's previous-rep
+/// snapshot. One allocation set per run, none per rep or per op.
+struct Scratch {
+    /// Per-thread clock, fixed-point units.
+    t: Vec<u64>,
+    /// Per-thread store-buffer drain horizon, fixed-point units.
+    pending: Vec<u64>,
+    /// Barrier release order (reused across rendezvous).
+    order: Vec<usize>,
+    /// Previous rep boundary: per-thread clock.
+    prev_t: Vec<u64>,
+    /// Previous rep: per-thread delta.
+    prev_delta: Vec<u64>,
+    /// Previous rep boundary: clock offset above the slowest thread.
+    prev_off: Vec<u64>,
+    /// Previous rep boundary: `pending − t` (saturating).
+    prev_pend: Vec<u64>,
+}
+
+fn run_impl(
+    model: &CpuModel,
+    placement: &Placement,
+    body: &[CpuOp],
+    reps: u64,
+    rec: &Recorder,
+    force_full: bool,
+) -> Result<EngineResult> {
     if reps == 0 {
         return Err(SyncPerfError::InvalidParams("reps must be > 0".into()));
     }
     let n = placement.len();
     let contention = ContentionMap::analyze(body, placement, 64);
-    let mut threads = vec![
-        ThreadState {
-            t: 0.0,
-            pending_store_until: 0.0
-        };
-        n
-    ];
-    let mut barrier_episodes = 0u64;
+    let plan = RunPlan::compile(model, placement, &contention, body);
 
     let mut span = rec.span("cpu_sim", "engine_run");
     span.push_arg("threads", n);
     span.push_arg("ops", body.len());
     span.push_arg("reps", reps);
     rec.counter("cpu_sim.engine_runs").inc();
-    if rec.is_enabled() {
+    let enabled = rec.is_enabled();
+    if enabled {
         record_coherence_profile(model, placement, &contention, body, reps, rec);
     }
 
-    // Positions of barrier ops within the body; every thread executes
-    // the identical body, so barrier rendezvous points align and the
-    // run can proceed in lock-step segments between barriers.
-    let barrier_positions: Vec<usize> = body
-        .iter()
-        .enumerate()
-        .filter(|(_, op)| matches!(op, CpuOp::Barrier))
-        .map(|(i, _)| i)
-        .collect();
+    let mut s = Scratch {
+        t: vec![0u64; n],
+        pending: vec![0u64; n],
+        order: Vec::with_capacity(n),
+        prev_t: vec![0u64; n],
+        prev_delta: vec![0u64; n],
+        prev_off: vec![0u64; n],
+        prev_pend: vec![0u64; n],
+    };
+    let mut barrier_episodes = 0u64;
+    let emit_reps = if enabled { OBSERVED_REPS.min(reps) } else { 0 };
+    let has_barriers = plan.barriers_per_rep() > 0;
+    let mut have_prev = false;
 
-    if barrier_positions.is_empty() {
-        // Fast path: threads never interact mid-run (contention is
-        // captured analytically by the contention map), and per-rep
-        // cost reaches steady state after the first rep (store-buffer
-        // state is the only carry-over). Simulate a few reps and
-        // extrapolate linearly from the steady-state rep.
-        let warm = reps.min(4);
-        let mut prev_t: Vec<f64> = vec![0.0; n];
-        let mut last_delta: Vec<f64> = vec![0.0; n];
-        for rep in 0..warm {
-            for (tid, st) in threads.iter_mut().enumerate() {
-                run_ops(model, placement, &contention, body, tid, st, rec, rep, 0);
-                last_delta[tid] = st.t - prev_t[tid];
-                prev_t[tid] = st.t;
-            }
+    let mut rep = 0u64;
+    while rep < reps {
+        step_rep(
+            &plan,
+            body,
+            &mut s,
+            rec,
+            rep < emit_reps,
+            rep,
+            &mut barrier_episodes,
+        );
+        rep += 1;
+        if force_full {
+            continue;
         }
-        if reps > warm {
-            let extra = (reps - warm) as f64;
-            for (st, d) in threads.iter_mut().zip(&last_delta) {
-                st.t += d * extra;
+        // Steady-state detection at the rep boundary: the stepping
+        // relation is invariant under a uniform clock shift, so if this
+        // rep's per-thread deltas, store-buffer horizons, and (when
+        // barriers couple the threads) relative clock offsets all match
+        // the previous rep's, every later rep repeats exactly — one
+        // integer multiply extrapolates the rest bit-exactly.
+        let min_t = s.t.iter().copied().min().unwrap_or(0);
+        let mut steady = have_prev && rep >= emit_reps;
+        for tid in 0..n {
+            let delta = s.t[tid] - s.prev_t[tid];
+            let off = s.t[tid] - min_t;
+            let pend = s.pending[tid].saturating_sub(s.t[tid]);
+            if steady
+                && (delta != s.prev_delta[tid]
+                    || pend != s.prev_pend[tid]
+                    || (has_barriers && off != s.prev_off[tid]))
+            {
+                steady = false;
             }
+            s.prev_delta[tid] = delta;
+            s.prev_off[tid] = off;
+            s.prev_pend[tid] = pend;
+            s.prev_t[tid] = s.t[tid];
         }
-    } else {
-        // Barrier path: run segment-by-segment with rendezvous. The
-        // rendezvous collapses all thread clocks each rep, so per-rep
-        // cost is steady after the first rep — simulate a few reps and
-        // extrapolate.
-        let warm = reps.min(4);
-        let mut prev_t: Vec<f64> = vec![0.0; n];
-        let mut last_delta: Vec<f64> = vec![0.0; n];
-        for rep in 0..warm {
-            let mut seg_start = 0usize;
-            for &bpos in &barrier_positions {
-                for (tid, st) in threads.iter_mut().enumerate() {
-                    let seg = &body[seg_start..bpos];
-                    run_ops(
-                        model,
-                        placement,
-                        &contention,
-                        seg,
-                        tid,
-                        st,
-                        rec,
-                        rep,
-                        seg_start,
-                    );
-                }
-                rendezvous(model, &mut threads);
-                barrier_episodes += 1;
-                seg_start = bpos + 1;
+        have_prev = true;
+        if steady && rep < reps {
+            let remaining = reps - rep;
+            for tid in 0..n {
+                s.t[tid] += s.prev_delta[tid] * remaining;
+                s.pending[tid] = s.t[tid] + s.prev_pend[tid];
             }
-            for (tid, st) in threads.iter_mut().enumerate() {
-                let seg = &body[seg_start..];
-                run_ops(
-                    model,
-                    placement,
-                    &contention,
-                    seg,
-                    tid,
-                    st,
-                    rec,
-                    rep,
-                    seg_start,
-                );
-                last_delta[tid] = st.t - prev_t[tid];
-                prev_t[tid] = st.t;
-            }
-        }
-        if reps > warm {
-            let extra = (reps - warm) as f64;
-            for (st, d) in threads.iter_mut().zip(&last_delta) {
-                st.t += d * extra;
-            }
-            barrier_episodes += barrier_positions.len() as u64 * (reps - warm);
+            barrier_episodes += plan.barriers_per_rep() * remaining;
+            break;
         }
     }
     rec.counter("cpu_sim.barrier_rounds").add(barrier_episodes);
 
     Ok(EngineResult {
-        per_thread_ns: threads.iter().map(|s| s.t).collect(),
+        per_thread_ns: s.t.iter().map(|&u| units_to_ns(u)).collect(),
         barrier_episodes,
     })
+}
+
+/// Steps one full repetition for all threads: segment by segment with a
+/// rendezvous after every segment but the last.
+fn step_rep(
+    plan: &RunPlan,
+    body: &[CpuOp],
+    s: &mut Scratch,
+    rec: &Recorder,
+    emit: bool,
+    rep: u64,
+    barrier_episodes: &mut u64,
+) {
+    let segments = plan.segments();
+    let last = segments.len() - 1;
+    for (seg_idx, &(start, end)) in segments.iter().enumerate() {
+        for tid in 0..plan.threads() {
+            step_ops(plan, body, tid, start, end, s, rec, emit, rep);
+        }
+        if seg_idx < last {
+            rendezvous(plan, &mut s.t, &mut s.order);
+            *barrier_episodes += 1;
+        }
+    }
+}
+
+/// Executes a straight-line (barrier-free) op range for one thread.
+#[allow(clippy::too_many_arguments)]
+fn step_ops(
+    plan: &RunPlan,
+    body: &[CpuOp],
+    tid: usize,
+    start: usize,
+    end: usize,
+    s: &mut Scratch,
+    rec: &Recorder,
+    emit: bool,
+    rep: u64,
+) {
+    let t = &mut s.t[tid];
+    let pending = &mut s.pending[tid];
+    for (idx, op) in body.iter().enumerate().take(end).skip(start) {
+        let before = *t;
+        match plan.op(tid, idx) {
+            PlanOp::Barrier => unreachable!("barriers handled by rendezvous"),
+            PlanOp::Fixed(cost) => *t += cost,
+            PlanOp::Store {
+                visible,
+                pending_extra,
+            } => {
+                *t += visible;
+                *pending = (*pending).max(*t + pending_extra);
+            }
+            PlanOp::Flush { base } => {
+                let drain = pending.saturating_sub(*t);
+                *t += base + drain;
+                *pending = *t;
+                if emit && drain > 0 {
+                    rec.counter("cpu_sim.store_buffer_drains").inc();
+                    rec.instant_args(
+                        "cpu_sim",
+                        "store_buffer_drain",
+                        vec![
+                            ("tid", ArgValue::from(tid)),
+                            ("drain_ns", ArgValue::F64(units_to_ns(drain))),
+                        ],
+                    );
+                }
+            }
+        }
+        if emit {
+            rec.instant_args(
+                "cpu_sim.op",
+                format!("{op:?}"),
+                vec![
+                    ("tid", ArgValue::from(tid)),
+                    ("rep", ArgValue::from(rep)),
+                    ("idx", ArgValue::from(idx)),
+                    ("cost_ns", ArgValue::F64(units_to_ns(*t - before))),
+                ],
+            );
+        }
+    }
+}
+
+/// Releases all threads from a barrier. Order of release follows order
+/// of arrival (stable: ties release in thread-id order).
+fn rendezvous(plan: &RunPlan, t: &mut [u64], order: &mut Vec<usize>) {
+    let max_arrival = t.iter().copied().max().unwrap_or(0);
+    let release = max_arrival + plan.barrier_units();
+    order.clear();
+    order.extend(0..t.len());
+    order.sort_by_key(|&tid| t[tid]);
+    for (rank, &tid) in order.iter().enumerate() {
+        t[tid] = release + rank as u64 * plan.stagger_units();
+    }
 }
 
 /// Records the analytic coherence profile of a run: the number of
@@ -201,9 +326,9 @@ fn record_coherence_profile(
 ) {
     let arb = rec.gauge("cpu_sim.arb_queue_depth_max");
     let mut transitions = 0u64;
+    let mut lines: Vec<(crate::memline::LineId, bool)> = Vec::with_capacity(2);
     for tid in 0..placement.len() {
         let core = placement.slot(tid).core;
-        let mut lines: Vec<(crate::memline::LineId, bool)> = Vec::with_capacity(2);
         for op in body {
             lines.clear();
             match classify(op) {
@@ -231,180 +356,10 @@ fn record_coherence_profile(
     rec.counter("cpu_sim.mesi_transitions").add(transitions);
 }
 
-/// Releases all threads from a barrier.
-fn rendezvous(model: &CpuModel, threads: &mut [ThreadState]) {
-    let n = threads.len() as u32;
-    let max_arrival = threads.iter().map(|s| s.t).fold(f64::MIN, f64::max);
-    let release = max_arrival + model.barrier_ns(n);
-    // Order of release follows order of arrival.
-    let mut order: Vec<usize> = (0..threads.len()).collect();
-    order.sort_by(|&a, &b| threads[a].t.total_cmp(&threads[b].t));
-    for (rank, &tid) in order.iter().enumerate() {
-        threads[tid].t = release + rank as f64 * model.release_stagger_ns;
-    }
-}
-
-/// Executes a straight-line (barrier-free) op slice for one thread.
-/// `rep` and `base_idx` tag the per-op trace events emitted when the
-/// recorder is enabled (the fast/barrier paths only simulate warm
-/// repetitions, so event volume stays bounded).
-#[allow(clippy::too_many_arguments)]
-fn run_ops(
-    model: &CpuModel,
-    placement: &Placement,
-    contention: &ContentionMap,
-    ops: &[CpuOp],
-    tid: usize,
-    st: &mut ThreadState,
-    rec: &Recorder,
-    rep: u64,
-    base_idx: usize,
-) {
-    let slot = placement.slot(tid);
-    let smt = if placement.core_is_smt_loaded(tid) {
-        model.smt_service_factor
-    } else {
-        1.0
-    };
-    let emit = rec.is_enabled();
-
-    for (i, op) in ops.iter().enumerate() {
-        let t_before = st.t;
-        match *op {
-            CpuOp::Barrier => unreachable!("barriers handled by rendezvous"),
-            CpuOp::Flush => {
-                let drain = (st.pending_store_until - st.t).max(0.0);
-                st.t += model.fence_base_ns * smt + drain;
-                st.pending_store_until = st.t;
-                if emit && drain > 0.0 {
-                    rec.counter("cpu_sim.store_buffer_drains").inc();
-                    rec.instant_args(
-                        "cpu_sim",
-                        "store_buffer_drain",
-                        vec![
-                            ("tid", ArgValue::from(tid)),
-                            ("drain_ns", ArgValue::F64(drain)),
-                        ],
-                    );
-                }
-            }
-            CpuOp::CriticalAdd { dtype, target } => {
-                // Lock acquire (RMW on the lock line), protected plain
-                // update, lock release (store on the lock line).
-                let (lc, lcross) =
-                    contention.contenders(crate::memline::lock_line(), slot.core, true);
-                let lock_line_cost = model.contention_ns(lc, lcross);
-                let acquire = model.rmw_int_ns * smt + lock_line_cost;
-                let release = model.store_ns * smt + lock_line_cost;
-                let body_cost = write_cost(model, placement, contention, dtype, target, tid, smt);
-                st.t += model.lock_overhead_ns * smt + acquire + body_cost.0 + release;
-            }
-            _ => {
-                let (cost, pending) = op_cost(model, placement, contention, op, tid, smt);
-                st.t += cost;
-                if let Some(extra) = pending {
-                    st.pending_store_until = st.pending_store_until.max(st.t + extra);
-                }
-            }
-        }
-        if emit {
-            rec.instant_args(
-                "cpu_sim.op",
-                format!("{op:?}"),
-                vec![
-                    ("tid", ArgValue::from(tid)),
-                    ("rep", ArgValue::from(rep)),
-                    ("idx", ArgValue::from(base_idx + i)),
-                    ("cost_ns", ArgValue::F64(st.t - t_before)),
-                ],
-            );
-        }
-    }
-}
-
-/// Cost of one non-barrier, non-critical, non-flush op, plus (for plain
-/// stores) the extra time until the store becomes globally visible.
-fn op_cost(
-    model: &CpuModel,
-    placement: &Placement,
-    contention: &ContentionMap,
-    op: &CpuOp,
-    tid: usize,
-    smt: f64,
-) -> (f64, Option<f64>) {
-    let slot = placement.slot(tid);
-    match classify(op) {
-        Access::None => (0.0, None),
-        Access::Read(dtype, target) => {
-            let line = line_of(dtype, target, tid, contention.line_bytes());
-            let (c, cross) = contention.contenders(line, slot.core, false);
-            (model.l1_hit_ns * smt + model.contention_ns(c, cross), None)
-        }
-        Access::Write(dtype, target) => {
-            let is_plain_store = matches!(op, CpuOp::Update { .. });
-            let is_pure_write = matches!(op, CpuOp::AtomicWrite { .. });
-            let line = line_of(dtype, target, tid, contention.line_bytes());
-            let (c, cross) = contention.contenders(line, slot.core, true);
-            let coherence = model.contention_ns(c, cross);
-            if is_plain_store {
-                // The store buffer hides part of the coherence latency
-                // from the issuing thread; a fence that drains the
-                // buffer pays the hidden fraction.
-                let visible = (model.l1_hit_ns + model.store_ns) * smt
-                    + (1.0 - model.store_buffer_hiding) * coherence;
-                (visible, Some(coherence * model.store_buffer_hiding))
-            } else {
-                let service = if is_pure_write {
-                    // No arithmetic: word size and type are irrelevant
-                    // (Fig. 4) — a 64-bit CPU stores ≤ 8 B in one go.
-                    model.store_ns
-                } else {
-                    atomic_rmw_service(model, dtype, c)
-                };
-                (service * smt + coherence, None)
-            }
-        }
-        Access::CriticalWrite(..) => unreachable!("handled in run_ops"),
-    }
-}
-
-/// Cost of the protected body write inside a critical section.
-fn write_cost(
-    model: &CpuModel,
-    placement: &Placement,
-    contention: &ContentionMap,
-    dtype: DType,
-    target: syncperf_core::Target,
-    tid: usize,
-    smt: f64,
-) -> (f64, Option<f64>) {
-    let slot = placement.slot(tid);
-    let line = line_of(dtype, target, tid, contention.line_bytes());
-    let (c, cross) = contention.contenders(line, slot.core, true);
-    (
-        (model.l1_hit_ns + model.store_ns) * smt + model.contention_ns(c, cross),
-        None,
-    )
-}
-
-/// Service time of an atomic read-modify-write: integers use one
-/// lock-prefixed instruction; floats run a compare-exchange loop that
-/// retries under contention (hence the integer/floating-point gap in
-/// Figs. 2 and 3).
-fn atomic_rmw_service(model: &CpuModel, dtype: DType, contenders: u32) -> f64 {
-    if dtype.is_integer() {
-        model.rmw_int_ns
-    } else {
-        model.rmw_int_ns
-            + model.fp_cas_extra_ns
-            + model.fp_retry_ns * f64::from(contenders.min(model.contention_sat))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use syncperf_core::{kernel, Affinity, SYSTEM3};
+    use syncperf_core::{kernel, Affinity, DType, SYSTEM3};
 
     fn setup(n: u32) -> (CpuModel, Placement) {
         (
@@ -657,5 +612,33 @@ mod tests {
         let a = run(&m, &p, &body, 25).unwrap();
         let b = run(&m, &p, &body, 25).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fast_path_matches_full_stepping_bit_exactly() {
+        let rec = Recorder::disabled();
+        for (name, body) in [
+            ("barrier", kernel::omp_barrier().test),
+            ("flush", kernel::omp_flush(DType::I32, 1).test),
+            ("critical", kernel::omp_critical_add(DType::F64).test),
+            (
+                "atomic",
+                kernel::omp_atomic_update_scalar(DType::F32).baseline,
+            ),
+        ] {
+            let (m, p) = setup(8);
+            let fast = run(&m, &p, &body, 500).unwrap();
+            let full = run_full_stepping(&m, &p, &body, 500, &rec).unwrap();
+            assert_eq!(fast, full, "{name}");
+        }
+    }
+
+    #[test]
+    fn recorder_does_not_change_results() {
+        let (m, p) = setup(32); // SMT-loaded: differing per-thread deltas
+        let body = kernel::omp_flush(DType::I32, 1).test;
+        let quiet = run(&m, &p, &body, 200).unwrap();
+        let observed = run_observed(&m, &p, &body, 200, &Recorder::enabled()).unwrap();
+        assert_eq!(quiet, observed);
     }
 }

@@ -48,13 +48,14 @@ pub mod executor;
 pub mod explain;
 pub mod memline;
 pub mod mesi;
+pub mod plan;
 pub mod program;
 pub mod refengine;
 pub mod topology;
 pub mod trace_tap;
 
 pub use config::{BarrierKind, CpuModel};
-pub use engine::EngineResult;
+pub use engine::{run_full_stepping, EngineResult, OBSERVED_REPS};
 pub use executor::CpuSimExecutor;
 pub use explain::{explain_body, explain_op, CpuCostBreakdown};
 pub use mesi::{MesiDirectory, MesiState, Transaction};

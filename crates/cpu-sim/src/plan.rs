@@ -1,0 +1,304 @@
+//! Compiled per-run execution plan: integer fixed-point op costs.
+//!
+//! The engine used to recompute every op's latency (model lookups,
+//! contention-map queries, SMT factors) on every repetition of every
+//! thread. All of those inputs are constant for the duration of a run,
+//! so the plan computes each `(thread, op)` cost exactly once and
+//! quantizes it to an integer number of fixed-point time units.
+//!
+//! Quantization is what makes the steady-state fast path *bit-exact*:
+//! integer addition is associative, so `delta × remaining_reps` (one
+//! multiply) equals stepping `remaining_reps` more repetitions — which
+//! is never true of repeated `f64` addition. A nanosecond is split into
+//! 2²⁰ units; the worst-case run total stays far below 2⁵³ units, so
+//! the single conversion back to `f64` at the end of a run is exact.
+
+use syncperf_core::CpuOp;
+
+use crate::config::CpuModel;
+use crate::memline::{classify, line_of, Access, ContentionMap};
+use crate::topology::Placement;
+
+/// log₂ of the number of fixed-point units per nanosecond.
+pub const SCALE_BITS: u32 = 20;
+
+/// Fixed-point units per nanosecond (2²⁰).
+pub const SCALE: f64 = (1u64 << SCALE_BITS) as f64;
+
+/// Quantizes a latency in nanoseconds to fixed-point units.
+#[must_use]
+pub fn quantize(ns: f64) -> u64 {
+    debug_assert!(ns >= 0.0, "negative latency {ns}");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (ns * SCALE).round() as u64
+    }
+}
+
+/// Converts fixed-point units back to nanoseconds. Exact for any total
+/// below 2⁵³ units (≈ 8.6 × 10⁶ seconds of virtual time).
+#[must_use]
+pub fn units_to_ns(units: u64) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    {
+        units as f64 / SCALE
+    }
+}
+
+/// One precompiled op cost for a specific thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// State-independent cost: the thread clock advances by the units.
+    Fixed(u64),
+    /// A plain store: `visible` is charged to the clock, and the store
+    /// buffer's drain horizon rises to `t + pending_extra`.
+    Store {
+        /// Cost visible to the issuing thread.
+        visible: u64,
+        /// Hidden coherence latency a later fence must pay.
+        pending_extra: u64,
+    },
+    /// A fence: charges `base` plus whatever the store buffer still
+    /// hides (`pending − t`), then drains the buffer.
+    Flush {
+        /// Fixed fence cost with an empty store buffer.
+        base: u64,
+    },
+    /// Placeholder at a barrier position; never stepped — the engine
+    /// rendezvouses instead.
+    Barrier,
+}
+
+/// The fully compiled plan of one engine run: per-`(thread, op)` integer
+/// costs, the barrier segmentation of the body, and the quantized
+/// barrier constants.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    threads: usize,
+    body_len: usize,
+    /// `threads × body_len` cost table, thread-major.
+    ops: Vec<PlanOp>,
+    /// `[start, end)` op ranges between barriers; rendezvous happens
+    /// after every segment except the last.
+    segments: Vec<(usize, usize)>,
+    /// Quantized release cost of one barrier episode.
+    barrier_units: u64,
+    /// Quantized release stagger between consecutive barrier leavers.
+    stagger_units: u64,
+}
+
+impl RunPlan {
+    /// Compiles `body` against a model, placement, and contention map.
+    #[must_use]
+    pub fn compile(
+        model: &CpuModel,
+        placement: &Placement,
+        contention: &ContentionMap,
+        body: &[CpuOp],
+    ) -> Self {
+        let n = placement.len();
+        let mut ops = Vec::with_capacity(n * body.len());
+        for tid in 0..n {
+            let smt = if placement.core_is_smt_loaded(tid) {
+                model.smt_service_factor
+            } else {
+                1.0
+            };
+            for op in body {
+                ops.push(compile_op(model, placement, contention, op, tid, smt));
+            }
+        }
+
+        let mut segments = Vec::new();
+        let mut start = 0usize;
+        for (i, op) in body.iter().enumerate() {
+            if matches!(op, CpuOp::Barrier) {
+                segments.push((start, i));
+                start = i + 1;
+            }
+        }
+        segments.push((start, body.len()));
+
+        #[allow(clippy::cast_possible_truncation)]
+        let barrier_units = quantize(model.barrier_ns(n as u32));
+        RunPlan {
+            threads: n,
+            body_len: body.len(),
+            ops,
+            segments,
+            barrier_units,
+            stagger_units: quantize(model.release_stagger_ns),
+        }
+    }
+
+    /// Number of placed threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The compiled cost of op `idx` for thread `tid`.
+    #[must_use]
+    pub fn op(&self, tid: usize, idx: usize) -> PlanOp {
+        self.ops[tid * self.body_len + idx]
+    }
+
+    /// The barrier-free segments of the body, in execution order.
+    #[must_use]
+    pub fn segments(&self) -> &[(usize, usize)] {
+        &self.segments
+    }
+
+    /// Barriers executed per repetition.
+    #[must_use]
+    pub fn barriers_per_rep(&self) -> u64 {
+        self.segments.len() as u64 - 1
+    }
+
+    /// Quantized cost of one barrier release.
+    #[must_use]
+    pub fn barrier_units(&self) -> u64 {
+        self.barrier_units
+    }
+
+    /// Quantized stagger between consecutive barrier leavers.
+    #[must_use]
+    pub fn stagger_units(&self) -> u64 {
+        self.stagger_units
+    }
+}
+
+/// Compiles one op's latency for one thread, mirroring the cost model
+/// the engine previously evaluated per repetition.
+fn compile_op(
+    model: &CpuModel,
+    placement: &Placement,
+    contention: &ContentionMap,
+    op: &CpuOp,
+    tid: usize,
+    smt: f64,
+) -> PlanOp {
+    let slot = placement.slot(tid);
+    match *op {
+        CpuOp::Barrier => PlanOp::Barrier,
+        CpuOp::Flush => PlanOp::Flush {
+            base: quantize(model.fence_base_ns * smt),
+        },
+        CpuOp::CriticalAdd { dtype, target } => {
+            // Lock acquire (RMW on the lock line), protected plain
+            // update, lock release (store on the lock line).
+            let (lc, lcross) = contention.contenders(crate::memline::lock_line(), slot.core, true);
+            let lock_line_cost = model.contention_ns(lc, lcross);
+            let acquire = model.rmw_int_ns * smt + lock_line_cost;
+            let release = model.store_ns * smt + lock_line_cost;
+            let line = line_of(dtype, target, tid, contention.line_bytes());
+            let (c, cross) = contention.contenders(line, slot.core, true);
+            let body_cost =
+                (model.l1_hit_ns + model.store_ns) * smt + model.contention_ns(c, cross);
+            PlanOp::Fixed(quantize(
+                model.lock_overhead_ns * smt + acquire + body_cost + release,
+            ))
+        }
+        _ => match classify(op) {
+            Access::None => PlanOp::Fixed(0),
+            Access::Read(dtype, target) => {
+                let line = line_of(dtype, target, tid, contention.line_bytes());
+                let (c, cross) = contention.contenders(line, slot.core, false);
+                PlanOp::Fixed(quantize(
+                    model.l1_hit_ns * smt + model.contention_ns(c, cross),
+                ))
+            }
+            Access::Write(dtype, target) => {
+                let is_plain_store = matches!(op, CpuOp::Update { .. });
+                let is_pure_write = matches!(op, CpuOp::AtomicWrite { .. });
+                let line = line_of(dtype, target, tid, contention.line_bytes());
+                let (c, cross) = contention.contenders(line, slot.core, true);
+                let coherence = model.contention_ns(c, cross);
+                if is_plain_store {
+                    // The store buffer hides part of the coherence
+                    // latency from the issuing thread; a fence that
+                    // drains the buffer pays the hidden fraction.
+                    let visible = (model.l1_hit_ns + model.store_ns) * smt
+                        + (1.0 - model.store_buffer_hiding) * coherence;
+                    PlanOp::Store {
+                        visible: quantize(visible),
+                        pending_extra: quantize(coherence * model.store_buffer_hiding),
+                    }
+                } else {
+                    let service = if is_pure_write {
+                        // No arithmetic: word size and type are
+                        // irrelevant (Fig. 4) — a 64-bit CPU stores
+                        // ≤ 8 B in one go.
+                        model.store_ns
+                    } else {
+                        atomic_rmw_service(model, dtype, c)
+                    };
+                    PlanOp::Fixed(quantize(service * smt + coherence))
+                }
+            }
+            Access::CriticalWrite(..) => unreachable!("handled above"),
+        },
+    }
+}
+
+/// Service time of an atomic read-modify-write: integers use one
+/// lock-prefixed instruction; floats run a compare-exchange loop that
+/// retries under contention (hence the integer/floating-point gap in
+/// Figs. 2 and 3).
+fn atomic_rmw_service(model: &CpuModel, dtype: syncperf_core::DType, contenders: u32) -> f64 {
+    if dtype.is_integer() {
+        model.rmw_int_ns
+    } else {
+        model.rmw_int_ns
+            + model.fp_cas_extra_ns
+            + model.fp_retry_ns * f64::from(contenders.min(model.contention_sat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, Affinity, DType, SYSTEM3};
+
+    #[test]
+    fn quantization_round_trips_small_integers() {
+        for ns in [0.0, 1.0, 6.5, 10.0, 150.0, 40.0] {
+            assert!((units_to_ns(quantize(ns)) - ns).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn plan_segments_split_at_barriers() {
+        let model = CpuModel::baseline();
+        let p = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 4);
+        let body = kernel::omp_barrier().test;
+        let c = ContentionMap::analyze(&body, &p, 64);
+        let plan = RunPlan::compile(&model, &p, &c, &body);
+        let barriers = body
+            .iter()
+            .filter(|op| matches!(op, CpuOp::Barrier))
+            .count() as u64;
+        assert_eq!(plan.barriers_per_rep(), barriers);
+        assert_eq!(plan.segments().len() as u64, barriers + 1);
+        assert!(plan.barrier_units() > 0);
+    }
+
+    #[test]
+    fn identical_costs_quantize_identically() {
+        // The word-size-irrelevance claims (Fig. 4) rely on equal f64
+        // costs staying equal after quantization.
+        let model = CpuModel::baseline();
+        let p = Placement::new(&SYSTEM3.cpu, Affinity::Spread, 8);
+        let bi = kernel::omp_atomic_update_scalar(DType::I32).baseline;
+        let bu = kernel::omp_atomic_update_scalar(DType::U64).baseline;
+        let ci = ContentionMap::analyze(&bi, &p, 64);
+        let cu = ContentionMap::analyze(&bu, &p, 64);
+        let pi = RunPlan::compile(&model, &p, &ci, &bi);
+        let pu = RunPlan::compile(&model, &p, &cu, &bu);
+        for tid in 0..8 {
+            for idx in 0..bi.len() {
+                assert_eq!(pi.op(tid, idx), pu.op(tid, idx));
+            }
+        }
+    }
+}

@@ -134,10 +134,22 @@ impl BenchmarkGroup<'_> {
         if !self._criterion.matches(&full) {
             return;
         }
+        // `SYNCPERF_BENCH_QUICK=1` clamps every budget so a CI smoke
+        // run exercises each benchmark body in milliseconds; the
+        // numbers it prints are not comparison-grade.
+        let quick = std::env::var_os("SYNCPERF_BENCH_QUICK").is_some();
         let mut b = Bencher {
-            warm_up_time: self.warm_up_time,
-            measurement_time: self.measurement_time,
-            sample_size: self.sample_size,
+            warm_up_time: if quick {
+                self.warm_up_time.min(Duration::from_millis(20))
+            } else {
+                self.warm_up_time
+            },
+            measurement_time: if quick {
+                self.measurement_time.min(Duration::from_millis(50))
+            } else {
+                self.measurement_time
+            },
+            sample_size: if quick { 2 } else { self.sample_size },
             report: None,
         };
         f(&mut b);

@@ -1,10 +1,18 @@
 //! The GPU simulation engine: interprets a kernel body at warp
-//! granularity and returns per-thread `clock64()`-style cycle counts.
+//! granularity and returns `clock64()`-style cycle counts.
 //!
 //! All threads execute the identical body (the paper's kernels have no
 //! divergence in the timed loop), so a warp is the unit of progress and
 //! every resident warp accrues the same per-repetition cost; block-wide
-//! barriers add their rendezvous cost in place.
+//! barriers add their rendezvous cost in place. Because every thread
+//! finishes at the same instant, the result stores one scalar total
+//! instead of a per-thread vector (the old `vec![total; 131072]` was
+//! the dominant allocation of a sweep).
+//!
+//! Per-op cycle costs are quantized once to integer fixed-point units
+//! (2²⁰ units per cycle); the total over `reps` repetitions is one
+//! exact integer multiply, bit-identical to stepping every repetition
+//! ([`run_full_stepping`] is the oracle that does exactly that).
 
 use syncperf_core::obs::{ArgValue, Recorder};
 use syncperf_core::{DType, GpuOp, Result, Scope, SyncPerfError, Target};
@@ -13,16 +21,59 @@ use crate::config::GpuModel;
 use crate::cost::{self, AtomicKind};
 use crate::occupancy::Occupancy;
 
+/// log₂ of the number of fixed-point units per cycle.
+pub const SCALE_BITS: u32 = 20;
+
+/// Fixed-point units per cycle (2²⁰).
+pub const SCALE: f64 = (1u64 << SCALE_BITS) as f64;
+
+/// Quantizes a cost in cycles to fixed-point units.
+#[must_use]
+pub fn quantize_cycles(cycles: f64) -> u64 {
+    debug_assert!(cycles >= 0.0, "negative cost {cycles}");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (cycles * SCALE).round() as u64
+    }
+}
+
+/// Converts fixed-point units back to cycles. Exact for any total below
+/// 2⁵³ units.
+#[must_use]
+pub fn units_to_cycles(units: u64) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    {
+        units as f64 / SCALE
+    }
+}
+
 /// Outcome of one engine run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GpuEngineResult {
-    /// Elapsed cycles per thread (length = blocks × threads per block).
-    pub per_thread_cycles: Vec<f64>,
-    /// Cycles of one body repetition (before multiplying by reps).
-    pub cycles_per_rep: f64,
+    /// Total elapsed time of the run in fixed-point units
+    /// ([`SCALE`] units per cycle); identical for every thread.
+    pub total_units: u64,
+    /// Quantized cost of one body repetition, fixed-point units.
+    pub units_per_rep: u64,
+    /// Number of launched threads (blocks × threads per block).
+    pub total_threads: u64,
     /// Whether the body contains a system-scope fence (the executor
     /// adds PCIe jitter for those).
     pub has_system_fence: bool,
+}
+
+impl GpuEngineResult {
+    /// Total elapsed cycles (every thread finishes together).
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        units_to_cycles(self.total_units)
+    }
+
+    /// Cycles of one body repetition (before multiplying by reps).
+    #[must_use]
+    pub fn cycles_per_rep(&self) -> f64 {
+        units_to_cycles(self.units_per_rep)
+    }
 }
 
 /// Validates dtype support for CAS/Exch ops (`atomicCAS()` has no
@@ -111,6 +162,55 @@ pub fn run_observed(
     reps: u64,
     rec: &Recorder,
 ) -> Result<GpuEngineResult> {
+    let mut r = analyze_body(m, occ, body, reps, rec)?;
+    // One exact integer multiply extrapolates all repetitions — every
+    // rep costs the same quantized units, so this is bit-identical to
+    // stepping them (u64 addition is associative).
+    r.total_units = r.units_per_rep * reps;
+    Ok(r)
+}
+
+/// The reference path: identical to [`run_observed`] but charges every
+/// repetition op-by-op in a stepping loop instead of multiplying. The
+/// property tests assert the fast path is bit-exact against this
+/// oracle.
+///
+/// # Errors
+///
+/// Propagates unsupported-op errors and rejects `reps == 0`.
+pub fn run_full_stepping(
+    m: &GpuModel,
+    occ: &Occupancy,
+    body: &[GpuOp],
+    reps: u64,
+    rec: &Recorder,
+) -> Result<GpuEngineResult> {
+    let mut r = analyze_body(m, occ, body, reps, rec)?;
+    let mut op_units = Vec::with_capacity(body.len());
+    for op in body {
+        op_units.push(quantize_cycles(op_cycles(m, occ, op)?));
+    }
+    let mut total = 0u64;
+    for _ in 0..reps {
+        for &u in &op_units {
+            total += u;
+        }
+    }
+    r.total_units = total;
+    Ok(r)
+}
+
+/// Shared per-run analysis: validates the body, sums the quantized
+/// per-repetition cost, flags system fences, and emits the launch span
+/// plus scheduling/conflict counters. `total_units` is left at zero for
+/// the caller to fill in.
+fn analyze_body(
+    m: &GpuModel,
+    occ: &Occupancy,
+    body: &[GpuOp],
+    reps: u64,
+    rec: &Recorder,
+) -> Result<GpuEngineResult> {
     if reps == 0 {
         return Err(SyncPerfError::InvalidParams("reps must be > 0".into()));
     }
@@ -126,10 +226,10 @@ pub fn run_observed(
         .add(u64::from(occ.blocks) * u64::from(occ.warps_per_block));
 
     let total_threads = u64::from(occ.blocks) * u64::from(occ.threads_per_block);
-    let mut cycles_per_rep = 0.0;
+    let mut units_per_rep = 0u64;
     let mut has_system_fence = false;
     for (idx, op) in body.iter().enumerate() {
-        cycles_per_rep += op_cycles(m, occ, op)?;
+        units_per_rep += quantize_cycles(op_cycles(m, occ, op)?);
         if matches!(
             op,
             GpuOp::ThreadFence {
@@ -159,11 +259,11 @@ pub fn run_observed(
             }
         }
     }
-    let total = cycles_per_rep * reps as f64;
-    span.push_arg("cycles_per_rep", cycles_per_rep);
+    span.push_arg("cycles_per_rep", units_to_cycles(units_per_rep));
     Ok(GpuEngineResult {
-        per_thread_cycles: vec![total; total_threads as usize],
-        cycles_per_rep,
+        total_units: 0,
+        units_per_rep,
+        total_threads,
         has_system_fence,
     })
 }
@@ -186,8 +286,29 @@ mod tests {
         let body = kernel::cuda_syncwarp().baseline;
         let r1 = run(&m(), &occ(1, 32), &body, 1).unwrap();
         let r10 = run(&m(), &occ(1, 32), &body, 10).unwrap();
-        assert!((r10.per_thread_cycles[0] - 10.0 * r1.per_thread_cycles[0]).abs() < 1e-9);
-        assert_eq!(r1.per_thread_cycles.len(), 32);
+        assert!((r10.total_cycles() - 10.0 * r1.total_cycles()).abs() < 1e-9);
+        assert_eq!(r1.total_threads, 32);
+    }
+
+    #[test]
+    fn fast_path_matches_full_stepping_bit_exactly() {
+        let model = m();
+        let rec = Recorder::disabled();
+        for k in [
+            kernel::cuda_syncthreads(),
+            kernel::cuda_atomic_add_scalar(DType::F64),
+            kernel::cuda_threadfence(Scope::System, DType::I32, 1),
+            kernel::cuda_shfl(DType::I32, ShflVariant::Down),
+        ] {
+            for (blocks, threads) in [(1, 32), (4, 256), (128, 1024)] {
+                let o = occ(blocks, threads);
+                for reps in [1, 7, 100, 10_000] {
+                    let fast = run_observed(&model, &o, &k.test, reps, &rec).unwrap();
+                    let full = run_full_stepping(&model, &o, &k.test, reps, &rec).unwrap();
+                    assert_eq!(fast, full, "{} b={blocks} t={threads} r={reps}", k.name);
+                }
+            }
+        }
     }
 
     #[test]
@@ -240,8 +361,8 @@ mod tests {
         {
             let k = kernel::cuda_threadfence(Scope::Device, DType::I32, stride);
             let o = occ(blocks, threads);
-            let base = run(&model, &o, &k.baseline, 1).unwrap().cycles_per_rep;
-            let test = run(&model, &o, &k.test, 1).unwrap().cycles_per_rep;
+            let base = run(&model, &o, &k.baseline, 1).unwrap().cycles_per_rep();
+            let test = run(&model, &o, &k.test, 1).unwrap().cycles_per_rep();
             assert!(
                 ((test - base) - model.fence_device_cy).abs() < 1e-9,
                 "blocks={blocks} threads={threads} stride={stride}"
@@ -254,8 +375,8 @@ mod tests {
         let model = m();
         let k = kernel::cuda_threadfence(Scope::Block, DType::I32, 4);
         let o = occ(1, 64);
-        let base = run(&model, &o, &k.baseline, 1).unwrap().cycles_per_rep;
-        let test = run(&model, &o, &k.test, 1).unwrap().cycles_per_rep;
+        let base = run(&model, &o, &k.baseline, 1).unwrap().cycles_per_rep();
+        let test = run(&model, &o, &k.test, 1).unwrap().cycles_per_rep();
         // 2 cycles on a 16-cycle baseline — within measurement noise of
         // the real experiment ("runtimes at or near zero").
         assert!(test - base < 0.15 * base, "§V-B3: at or near zero");
@@ -275,7 +396,7 @@ mod tests {
         .map(|&v| {
             run(&model, &o, &kernel::cuda_shfl(DType::I32, v).baseline, 1)
                 .unwrap()
-                .cycles_per_rep
+                .cycles_per_rep()
         })
         .collect();
         for w in costs.windows(2) {
@@ -306,7 +427,7 @@ mod tests {
             let base = run(&model, &o, &k.baseline, 5).unwrap();
             let test = run(&model, &o, &k.test, 5).unwrap();
             assert!(
-                test.cycles_per_rep > base.cycles_per_rep,
+                test.cycles_per_rep() > base.cycles_per_rep(),
                 "{}: test must cost more",
                 k.name
             );
@@ -327,8 +448,8 @@ mod tests {
             let rmw = kernel::cuda_atomic_rmw_scalar(op, DType::I32).baseline;
             let add = kernel::cuda_atomic_add_scalar(DType::I32).baseline;
             assert_eq!(
-                run(&model, &o, &rmw, 1).unwrap().cycles_per_rep,
-                run(&model, &o, &add, 1).unwrap().cycles_per_rep,
+                run(&model, &o, &rmw, 1).unwrap().cycles_per_rep(),
+                run(&model, &o, &add, 1).unwrap().cycles_per_rep(),
                 "{op:?}"
             );
         }
@@ -351,7 +472,7 @@ mod tests {
                 1,
             )
             .unwrap()
-            .cycles_per_rep
+            .cycles_per_rep()
         };
         let marginal_2 = cost(2) - cost(1);
         let marginal_16 = (cost(16) - cost(8)) / 8.0;
@@ -387,7 +508,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            a.cycles_per_rep, b.cycles_per_rep,
+            a.cycles_per_rep(),
+            b.cycles_per_rep(),
             "a warp has only 32 lanes"
         );
     }

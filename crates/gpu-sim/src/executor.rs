@@ -146,20 +146,21 @@ impl Executor for GpuSimExecutor {
             params.timed_reps(),
             self.effective_recorder(),
         )?;
-        let per_thread = if result.has_system_fence {
+        let total = result.total_cycles();
+        #[allow(clippy::cast_possible_truncation)]
+        let n = result.total_threads as usize;
+        if result.has_system_fence {
             let amp = self.model.fence_system_jitter;
-            result
-                .per_thread_cycles
-                .iter()
-                .map(|&cy| {
+            let per_thread = (0..n)
+                .map(|_| {
                     let u: f64 = self.rng.gen_symmetric();
-                    cy * (1.0 + amp * u)
+                    total * (1.0 + amp * u)
                 })
-                .collect()
+                .collect();
+            Ok(ThreadTimes::per_thread(per_thread))
         } else {
-            result.per_thread_cycles
-        };
-        Ok(ThreadTimes { per_thread })
+            Ok(ThreadTimes::uniform(total, n))
+        }
     }
 }
 
@@ -189,7 +190,7 @@ mod tests {
         let t = gpu
             .execute(&kernel::cuda_syncwarp().baseline, &quick(4, 64))
             .unwrap();
-        assert_eq!(t.per_thread.len(), 256);
+        assert_eq!(t.len(), 256);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod program;
 pub mod trace_tap;
 
 pub use config::{AtomicService, GpuModel};
-pub use engine::GpuEngineResult;
+pub use engine::{run_full_stepping, GpuEngineResult};
 pub use executor::GpuSimExecutor;
 pub use explain::{explain_op as explain_gpu_op, GpuCostBreakdown};
 pub use occupancy::Occupancy;

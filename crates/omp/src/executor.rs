@@ -411,7 +411,7 @@ impl Executor for OmpExecutor {
             rec.counter("omp.executions").inc();
         }
 
-        Ok(ThreadTimes { per_thread })
+        Ok(ThreadTimes::per_thread(per_thread))
     }
 }
 
@@ -429,8 +429,8 @@ mod tests {
         let mut exec = OmpExecutor::new();
         let body = kernel::omp_barrier().baseline;
         let times = exec.execute(&body, &quick_params(4)).unwrap();
-        assert_eq!(times.per_thread.len(), 4);
-        assert!(times.per_thread.iter().all(|&t| t > 0.0));
+        assert_eq!(times.len(), 4);
+        assert!(times.iter().all(|t| t > 0.0));
     }
 
     #[test]
@@ -457,7 +457,7 @@ mod tests {
             kernel::omp_flush(DType::I32, 4),
         ] {
             let t = exec.execute(&k.test, &quick_params(2)).unwrap();
-            assert_eq!(t.per_thread.len(), 2, "{}", k.name);
+            assert_eq!(t.len(), 2, "{}", k.name);
         }
     }
 

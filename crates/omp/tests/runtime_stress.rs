@@ -176,11 +176,11 @@ fn executor_per_thread_times_individually_recorded() {
     let times = exec
         .execute(&body, &ExecParams::new(5).with_loops(20, 10).with_warmup(1))
         .unwrap();
-    assert_eq!(times.per_thread.len(), 5);
+    assert_eq!(times.len(), 5);
     // Barrier-synchronized threads finish within a small factor of each
     // other.
-    let min = times.per_thread.iter().copied().fold(f64::MAX, f64::min);
-    let max = times.per_thread.iter().copied().fold(f64::MIN, f64::max);
+    let min = times.iter().fold(f64::MAX, f64::min);
+    let max = times.iter().fold(f64::MIN, f64::max);
     assert!(max / min < 50.0, "wildly uneven barrier exits: {times:?}");
 }
 

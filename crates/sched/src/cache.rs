@@ -20,6 +20,7 @@
 //! the property the warm-cache CSV tests pin down.
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Once};
 use std::time::SystemTime;
 
 use syncperf_core::obs::json::{self, Value};
@@ -45,13 +46,20 @@ pub struct EntryInfo {
 #[derive(Debug, Clone)]
 pub struct Cache {
     dir: PathBuf,
+    /// Guards the one-time `create_dir_all` — a sweep stores thousands
+    /// of entries and must not pay a directory-existence syscall per
+    /// store. Shared across clones so the guard stays one-time.
+    dir_ensured: Arc<Once>,
 }
 
 impl Cache {
     /// A cache rooted at `dir` (created lazily on first store).
     #[must_use]
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Cache { dir: dir.into() }
+        Cache {
+            dir: dir.into(),
+            dir_ensured: Arc::new(Once::new()),
+        }
     }
 
     /// The cache directory.
@@ -86,11 +94,22 @@ impl Cache {
     /// Propagates I/O errors (the scheduler downgrades them to a
     /// warning — a read-only cache must not fail the run).
     pub fn store(&self, hash: u64, m: &Measurement) -> std::io::Result<()> {
-        std::fs::create_dir_all(&self.dir)?;
+        self.dir_ensured
+            .call_once(|| drop(std::fs::create_dir_all(&self.dir)));
         let tmp = self
             .dir
             .join(format!(".{}.tmp.{}", hex16(hash), std::process::id()));
-        std::fs::write(&tmp, encode_measurement(hash, m))?;
+        let encoded = encode_measurement(hash, m);
+        if let Err(e) = std::fs::write(&tmp, &encoded) {
+            // The directory may have been removed since the one-time
+            // guard ran (tests and eviction churn do this): recreate it
+            // and retry once rather than failing every later store.
+            if e.kind() != std::io::ErrorKind::NotFound {
+                return Err(e);
+            }
+            std::fs::create_dir_all(&self.dir)?;
+            std::fs::write(&tmp, &encoded)?;
+        }
         std::fs::rename(&tmp, self.entry_path(hash))
     }
 

@@ -26,7 +26,7 @@ use crate::pool;
 /// change alters measurement semantics without changing any job field
 /// (e.g. a simulator engine fix): every cached result is then invalid
 /// at once.
-pub const SCHED_SALT: &str = "syncperf-sched-v1";
+pub const SCHED_SALT: &str = "syncperf-sched-v2";
 
 /// Attempt budget per job: the initial execution plus up to two
 /// reattempts (for transient errors or runs that exhausted the

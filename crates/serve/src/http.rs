@@ -2,9 +2,10 @@
 //!
 //! Only what the measurement service needs: request-line + header
 //! parsing, `Content-Length` bodies, percent-decoded query strings,
-//! and plain (unchunked) responses with `Connection: close`. No
-//! keep-alive, no TLS, no chunked transfer — clients that want more
-//! are welcome to put a real proxy in front.
+//! plain (unchunked) responses, and HTTP/1.1 persistent connections
+//! (`Connection: close` honored, HTTP/1.0 defaults to close). No TLS,
+//! no chunked transfer — clients that want more are welcome to put a
+//! real proxy in front.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -26,6 +27,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was given).
     pub body: String,
+    /// Whether the connection may serve another request afterwards:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -48,6 +53,9 @@ pub enum ParseFailure {
     /// The socket timed out or was dropped mid-request — answer 408 if
     /// the connection is still writable.
     Timeout,
+    /// The socket closed or idled out before the first request byte —
+    /// a keep-alive connection ending between requests; close quietly.
+    Idle,
 }
 
 /// Reads and parses one request from `stream`. Read timeouts must be
@@ -68,16 +76,26 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseFailure> {
         if head.len() >= MAX_HEAD_BYTES {
             return Err(ParseFailure::BadRequest("request head too large"));
         }
+        // Before the first byte the connection is merely idle (a
+        // keep-alive peer that went away); after it, a stall is a
+        // genuine mid-request timeout.
+        let stalled = || {
+            if head.is_empty() {
+                ParseFailure::Idle
+            } else {
+                ParseFailure::Timeout
+            }
+        };
         match stream.read(&mut byte) {
-            Ok(0) => return Err(ParseFailure::Timeout),
+            Ok(0) => return Err(stalled()),
             Ok(_) => head.push(byte[0]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                return Err(ParseFailure::Timeout)
+                return Err(stalled())
             }
-            Err(_) => return Err(ParseFailure::Timeout),
+            Err(_) => return Err(stalled()),
         }
     }
     let head = String::from_utf8_lossy(&head).into_owned();
@@ -93,6 +111,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseFailure> {
     }
 
     let mut content_length = 0usize;
+    let mut connection = String::new();
     for line in lines {
         if let Some((k, v)) = line.split_once(':') {
             if k.eq_ignore_ascii_case("content-length") {
@@ -100,9 +119,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseFailure> {
                     .trim()
                     .parse()
                     .map_err(|_| ParseFailure::BadRequest("bad Content-Length"))?;
+            } else if k.eq_ignore_ascii_case("connection") {
+                connection = v.trim().to_ascii_lowercase();
             }
         }
     }
+    let keep_alive = if version == "HTTP/1.0" {
+        connection == "keep-alive"
+    } else {
+        connection != "close"
+    };
     if content_length > MAX_BODY_BYTES {
         return Err(ParseFailure::BadRequest("request body too large"));
     }
@@ -129,6 +155,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseFailure> {
         path: percent_decode(path),
         query: parse_query(query),
         body: String::from_utf8_lossy(&body).into_owned(),
+        keep_alive,
     })
 }
 
@@ -236,14 +263,16 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// Serializes `resp` onto `stream` (best-effort; a dead client is not
-/// an error worth propagating).
-pub fn write_response(stream: &mut TcpStream, resp: &Response) {
+/// an error worth propagating), advertising whether the server will
+/// keep the connection open for another request.
+pub fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool) {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
-        resp.body.len()
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(resp.body.as_bytes());
@@ -316,7 +345,7 @@ mod tests {
         let t = std::thread::spawn(move || {
             let (mut s, _) = listener.accept().unwrap();
             let req = read_request(&mut s).unwrap();
-            write_response(&mut s, &Response::json(200, req.body.clone()));
+            write_response(&mut s, &Response::json(200, req.body.clone()), false);
             req
         });
         let mut c = TcpStream::connect(addr).unwrap();
@@ -329,9 +358,44 @@ mod tests {
         assert_eq!(req.path, "/compute");
         assert_eq!(req.query_param("x"), Some("1"));
         assert_eq!(req.body, "{\"a\": 1}\n");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
         let mut reply = String::new();
         c.read_to_string(&mut reply).unwrap();
         assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(reply.contains("Connection: close\r\n"));
         assert!(reply.ends_with("{\"a\": 1}\n"));
+    }
+
+    /// Parses one request served from a raw byte string.
+    fn parse_bytes(raw: &[u8]) -> Result<Request, ParseFailure> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let t = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&raw).unwrap();
+        });
+        let (mut s, _) = listener.accept().unwrap();
+        let req = read_request(&mut s);
+        t.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn connection_header_decides_keep_alive() {
+        let req = parse_bytes(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        assert!(req.keep_alive, "1.1 without Connection header persists");
+        let req = parse_bytes(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "Connection: close honored");
+        let req = parse_bytes(b"GET / HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "1.0 defaults to close");
+        let req = parse_bytes(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive, "1.0 opts in case-insensitively");
+    }
+
+    #[test]
+    fn empty_connection_is_idle_not_timeout() {
+        assert!(matches!(parse_bytes(b""), Err(ParseFailure::Idle)));
+        assert!(matches!(parse_bytes(b"GET"), Err(ParseFailure::Timeout)));
     }
 }

@@ -395,19 +395,46 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, timeout: Duration) 
     }
 }
 
+/// Requests served per connection before the server forces a close — a
+/// fairness bound so one chatty client cannot pin an accept worker
+/// forever.
+const MAX_REQUESTS_PER_CONNECTION: u32 = 128;
+
 fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
-    let start = Instant::now();
-    shared.counters.requests.inc();
-    let resp = match read_request(stream) {
-        Ok(req) => route(&req, shared),
-        Err(ParseFailure::BadRequest(msg)) => Response::error(400, msg),
-        Err(ParseFailure::Timeout) => Response::error(408, "request timed out"),
-    };
-    if resp.status >= 400 {
-        shared.counters.errors.inc();
+    for served in 0..MAX_REQUESTS_PER_CONNECTION {
+        let start = Instant::now();
+        let parsed = read_request(stream);
+        // The peer closed or idled out between requests: nothing to
+        // answer, nothing to count.
+        if served > 0 && matches!(parsed, Err(ParseFailure::Idle)) {
+            return;
+        }
+        shared.counters.requests.inc();
+        let (resp, client_keep_alive) = match parsed {
+            Ok(req) => {
+                let ka = req.keep_alive;
+                (route(&req, shared), ka)
+            }
+            Err(ParseFailure::BadRequest(msg)) => (Response::error(400, msg), false),
+            Err(ParseFailure::Timeout | ParseFailure::Idle) => {
+                (Response::error(408, "request timed out"), false)
+            }
+        };
+        if resp.status >= 400 {
+            shared.counters.errors.inc();
+        }
+        // Stop reusing the connection once shutdown is in flight so
+        // accept workers can drain and exit promptly.
+        let keep_alive = client_keep_alive
+            && served + 1 < MAX_REQUESTS_PER_CONNECTION
+            && !shared.shutdown.load(Ordering::SeqCst)
+            && !SIGTERM.load(Ordering::SeqCst);
+        write_response(stream, &resp, keep_alive);
+        shared.counters.observe_latency(start.elapsed());
+        if !keep_alive {
+            return;
+        }
     }
-    write_response(stream, &resp);
-    shared.counters.observe_latency(start.elapsed());
 }
 
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {

@@ -248,6 +248,63 @@ fn serving_docs_match_the_endpoints_and_code() {
 }
 
 #[test]
+fn performance_docs_match_the_code() {
+    // docs/PERFORMANCE.md, DESIGN.md §10, and the tracked benchmark
+    // report document the fast path the engines actually implement.
+    let perf_doc = read("docs/PERFORMANCE.md");
+    let design = read("DESIGN.md");
+    let ci = read("ci.sh");
+
+    // The documented constants are the code's.
+    assert!(perf_doc.contains("SCALE_BITS = 20"));
+    assert_eq!(syncperf::cpu_sim::plan::SCALE_BITS, 20);
+    assert_eq!(syncperf::gpu_sim::engine::SCALE_BITS, 20);
+    assert!(perf_doc.contains("OBSERVED_REPS"));
+    assert!(perf_doc.contains("(= 4)"));
+    assert_eq!(syncperf::cpu_sim::OBSERVED_REPS, 4);
+    assert!(perf_doc.contains(syncperf_sched::SCHED_SALT));
+
+    // The oracle, the property test, and the bench suites it names
+    // all exist.
+    assert!(perf_doc.contains("run_full_stepping"));
+    assert!(repo_root().join("tests/property_based.rs").exists());
+    for bench in ["sim_engines", "infrastructure"] {
+        assert!(perf_doc.contains(bench));
+        assert!(
+            repo_root()
+                .join(format!("crates/bench/benches/{bench}.rs"))
+                .exists(),
+            "docs/PERFORMANCE.md promises bench suite {bench}"
+        );
+    }
+
+    // The tracked harness: binary, committed report, and the CI gates
+    // that keep them honest.
+    assert!(bench_binaries().contains("bench_report"));
+    assert!(perf_doc.contains("BENCH_syncperf.json"));
+    assert!(perf_doc.contains("SYNCPERF_BENCH_QUICK"));
+    assert!(ci.contains("bench_report --check"));
+    assert!(ci.contains("SYNCPERF_BENCH_QUICK=1"));
+    let report = read("BENCH_syncperf.json");
+    let parsed = syncperf::core::obs::json::parse(&report).expect("BENCH_syncperf.json parses");
+    for field in [
+        "before_ms",
+        "after_ms",
+        "speedup",
+        "check_regression_factor",
+    ] {
+        assert!(
+            parsed.get(field).and_then(|v| v.as_f64()).is_some(),
+            "BENCH_syncperf.json missing numeric field {field}"
+        );
+    }
+
+    // DESIGN.md §10 summarizes the same contract.
+    assert!(design.contains("## 10."));
+    assert!(design.contains("docs/PERFORMANCE.md"));
+}
+
+#[test]
 fn ablations_promised_in_design_exist() {
     let design = read("DESIGN.md");
     let bins = bench_binaries();

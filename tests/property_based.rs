@@ -170,8 +170,8 @@ proptest! {
         for blocks in [1u32, 2, 64, 128] {
             let o = Occupancy::compute(&SYSTEM3.gpu, blocks, threads).unwrap();
             let r = syncperf::gpu_sim::engine::run(&m, &o, &body, 1).unwrap();
-            prop_assert!(r.cycles_per_rep >= prev, "more blocks → more same-address contention");
-            prev = r.cycles_per_rep;
+            prop_assert!(r.cycles_per_rep() >= prev, "more blocks → more same-address contention");
+            prev = r.cycles_per_rep();
         }
     }
 
@@ -324,6 +324,64 @@ proptest! {
         let body: Vec<GpuOp> = idxs.iter().map(|&i| GPU_OP_POOL[i]).collect();
         let a = syncperf::analyze::check_gpu_body(&body);
         prop_assert!(a.holds(), "body {body:?}: {}", a.explain());
+    }
+}
+
+// ---- steady-state fast path ≡ full stepping -------------------------
+//
+// The engines extrapolate once a fixed point is reached; these
+// properties pin the extrapolated result to the op-by-op stepping
+// oracle, bit for bit, over random bodies drawn from the same op pools
+// the race-detector properties use — with and without a live recorder.
+
+proptest! {
+    #[test]
+    fn cpu_fast_path_bit_exact_vs_full_stepping(
+        idxs in prop::collection::vec(0usize..CPU_OP_POOL.len(), 1..9),
+        threads in 1u32..24,
+        aff_idx in 0usize..3,
+        reps in 1u64..200,
+        observe in proptest::bool::ANY,
+    ) {
+        let aff = [Affinity::Spread, Affinity::Close, Affinity::SystemChoice][aff_idx];
+        let m = CpuModel::baseline();
+        let p = Placement::new(&SYSTEM3.cpu, aff, threads);
+        let body: Vec<CpuOp> = idxs.iter().map(|&i| CPU_OP_POOL[i]).collect();
+        let rec = if observe {
+            syncperf::core::obs::Recorder::enabled()
+        } else {
+            syncperf::core::obs::Recorder::disabled()
+        };
+        let fast = syncperf::cpu_sim::engine::run_observed(&m, &p, &body, reps, &rec).unwrap();
+        let full = syncperf::cpu_sim::run_full_stepping(&m, &p, &body, reps, &rec).unwrap();
+        prop_assert_eq!(fast, full);
+    }
+
+    #[test]
+    fn gpu_fast_path_bit_exact_vs_full_stepping(
+        idxs in prop::collection::vec(0usize..GPU_OP_POOL.len(), 1..9),
+        blocks in 1u32..64,
+        threads in 1u32..=256,
+        reps in 1u64..200,
+        observe in proptest::bool::ANY,
+    ) {
+        let m = syncperf::gpu_sim::GpuModel::for_spec(&SYSTEM3.gpu);
+        let o = Occupancy::compute(&SYSTEM3.gpu, blocks, threads).unwrap();
+        let body: Vec<GpuOp> = idxs.iter().map(|&i| GPU_OP_POOL[i]).collect();
+        let rec = if observe {
+            syncperf::core::obs::Recorder::enabled()
+        } else {
+            syncperf::core::obs::Recorder::disabled()
+        };
+        let fast = syncperf::gpu_sim::engine::run_observed(&m, &o, &body, reps, &rec);
+        let full = syncperf::gpu_sim::run_full_stepping(&m, &o, &body, reps, &rec);
+        match (fast, full) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            // Unsupported op (e.g. a float atomicMax): both paths must
+            // reject it the same way.
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {a:?} vs {b:?}"),
+        }
     }
 }
 

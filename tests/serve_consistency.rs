@@ -66,7 +66,7 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     request(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
@@ -324,6 +324,96 @@ fn eviction_keeps_the_cache_under_budget_and_the_index_consistent() {
         field(&body, "source") == "computed" || field(&body, "source") == "cache",
         "evicted entries come back on demand"
     );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+/// Reads exactly one HTTP response off `stream` using Content-Length
+/// framing (a keep-alive client can't read to EOF — the connection
+/// stays open).
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut buf = Vec::new();
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let mut chunk = [0u8; 512];
+        let n = stream.read(&mut chunk).expect("read headers");
+        assert!(n > 0, "connection closed before headers completed");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .expect("Content-Length header");
+    let mut body = buf[header_end..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 512];
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    (status, head, String::from_utf8_lossy(&body).to_string())
+}
+
+#[test]
+fn keep_alive_serves_two_requests_on_one_socket() {
+    let results = tmp("keepalive");
+    let server = start_server(&results, None);
+    let addr = server.addr();
+
+    // One TCP connection, two sequential requests. HTTP/1.1 without
+    // `Connection: close` defaults to keep-alive, so both answers must
+    // arrive on this same socket.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send first");
+    let (status, head, body) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "first request on the socket: {body}");
+    assert!(
+        head.contains("Connection: keep-alive\r\n"),
+        "server advertises reuse: {head}"
+    );
+
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send second");
+    let (status, _, body) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "second request reuses the socket: {body}");
+    assert!(
+        body.contains("\"requests\": 2"),
+        "both requests were counted: {body}"
+    );
+
+    // A third request that opts out is answered and then closed: the
+    // next read sees EOF.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send third");
+    let (status, head, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("Connection: close\r\n"),
+        "close is honored and echoed: {head}"
+    );
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("drain to EOF");
+    assert!(rest.is_empty(), "server closed after Connection: close");
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&results);
