@@ -118,6 +118,26 @@ serve_computes=$(printf '%s' "$stats" | sed -n 's/.*"computes": \([0-9]*\).*/\1/
 [ "${serve_hits:-0}" -ge 2 ] || { echo "serve answered without cache hits"; kill "$serve_pid" 2>/dev/null; exit 1; }
 [ "${serve_computes:-1}" -eq 0 ] || { echo "serve recomputed a warm entry"; kill "$serve_pid" 2>/dev/null; exit 1; }
 
+# Telemetry plane (docs/OBSERVABILITY.md): scrape /metrics, assert the
+# exposition is well-formed with nonzero request counters, tail the
+# flight recorder, and keep both as workflow artifacts.
+curl -fsS "http://${addr}/metrics" > results/serve_metrics.prom
+grep -q '^# TYPE serve_requests counter$' results/serve_metrics.prom || {
+  echo "exposition is missing its TYPE lines"; kill "$serve_pid" 2>/dev/null; exit 1; }
+grep -q '^# TYPE serve_latency_us histogram$' results/serve_metrics.prom || {
+  echo "exposition is missing the latency histogram"; kill "$serve_pid" 2>/dev/null; exit 1; }
+grep -q 'serve_latency_us_bucket{le="+Inf"}' results/serve_metrics.prom || {
+  echo "exposition is missing the +Inf bucket"; kill "$serve_pid" 2>/dev/null; exit 1; }
+metrics_requests=$(sed -n 's/^serve_requests \([0-9]*\)$/\1/p' results/serve_metrics.prom)
+[ "${metrics_requests:-0}" -ge 1 ] || {
+  echo "serve_requests counter is zero in /metrics"; kill "$serve_pid" 2>/dev/null; exit 1; }
+awk '!/^#/ && NF { if ($NF !~ /^[0-9.]+$/) { print "bad sample line: " $0; exit 1 } }' \
+  results/serve_metrics.prom || { kill "$serve_pid" 2>/dev/null; exit 1; }
+curl -fsS "http://${addr}/events?n=50" > results/serve_events_tail.jsonl
+grep -q '"cat":"http"' results/serve_events_tail.jsonl || {
+  echo "flight recorder did not record the requests"; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "telemetry snapshot: results/serve_metrics.prom ($(wc -l < results/serve_metrics.prom) lines), flight tail: $(wc -l < results/serve_events_tail.jsonl) events"
+
 curl -fsS -X POST "http://${addr}/shutdown" > /dev/null
 for _ in $(seq 1 100); do
   kill -0 "$serve_pid" 2>/dev/null || break

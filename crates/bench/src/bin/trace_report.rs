@@ -27,13 +27,16 @@ struct Cli {
     quiet_figures: bool,
     jobs: Option<usize>,
     no_cache: bool,
+    metrics: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: trace_report <name|list> [--format chrome|jsonl|summary] [--out <path>] \
-         [--show-figures] [--jobs <n>] [--no-cache]\n\nruns the named figure experiment with \
-         recording enabled, prints the counter summary, and optionally exports the trace"
+         [--metrics <path|->] [--show-figures] [--jobs <n>] [--no-cache]\n\nruns the named \
+         figure experiment with recording enabled, prints the counter summary, and optionally \
+         exports the trace; --metrics renders the snapshot in Prometheus-style exposition \
+         format (`-` for stdout)"
     );
     std::process::exit(2);
 }
@@ -45,6 +48,7 @@ fn parse_cli() -> Cli {
     let mut quiet_figures = true;
     let mut jobs = None;
     let mut no_cache = false;
+    let mut metrics = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -59,6 +63,10 @@ fn parse_cli() -> Cli {
             },
             "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => jobs = Some(n.max(1)),
+                None => usage(),
+            },
+            "--metrics" => match it.next() {
+                Some(p) => metrics = Some(PathBuf::from(p)),
                 None => usage(),
             },
             "--no-cache" => no_cache = true,
@@ -78,6 +86,7 @@ fn parse_cli() -> Cli {
         quiet_figures,
         jobs,
         no_cache,
+        metrics,
     }
 }
 
@@ -127,6 +136,19 @@ fn main() -> Result<()> {
         print!("{}", runner::render_sched_summary(&s.stats()));
     }
     println!("({} trace events)", events.len());
+    let dropped = rec.dropped_events();
+    if dropped > 0 {
+        println!("({dropped} events dropped — per-thread breakdown in the summary above)");
+    }
+    if let Some(path) = &cli.metrics {
+        let text = obs::metrics::render(&snap);
+        if path.as_os_str() == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, text)?;
+            println!("(metrics: {})", path.display());
+        }
+    }
     if let Some(path) = &cli.out {
         std::fs::write(path, runner::render_trace(&events, &snap, cli.format))?;
         println!("(trace: {})", path.display());

@@ -219,6 +219,10 @@ pub struct RunOptions {
     /// Write flat-JSON scheduler/cache statistics to this path
     /// (`--cache-stats <path>`).
     pub cache_stats: Option<PathBuf>,
+    /// Write the final recorder snapshot in Prometheus-style text
+    /// exposition format to this path (`--metrics <path>`) — the same
+    /// rendering `syncperf-serve` exposes at `GET /metrics`.
+    pub metrics: Option<PathBuf>,
     /// Run label scoping the checkpoint manifest (derived from the
     /// binary name by [`run`]).
     pub label: Option<String>,
@@ -265,11 +269,18 @@ impl RunOptions {
                     })?;
                     opts.cache_stats = Some(PathBuf::from(path));
                 }
+                "--metrics" => {
+                    let path = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--metrics requires a path".into())
+                    })?;
+                    opts.metrics = Some(PathBuf::from(path));
+                }
                 other => {
                     return Err(SyncPerfError::InvalidParams(format!(
                         "unknown flag `{other}` (supported: --trace <path>, \
                          --trace-format chrome|jsonl|summary, --jobs <n>, \
-                         --no-cache, --resume, --cache-stats <path>)"
+                         --no-cache, --resume, --cache-stats <path>, \
+                         --metrics <path>)"
                     )));
                 }
             }
@@ -352,7 +363,10 @@ pub fn cache_stats_json(stats: &syncperf_sched::SchedStats) -> String {
     format!(
         "{{\"jobs\":{},\"executed\":{},\"cache_hits\":{},\"cache_misses\":{},\
          \"cache_stores\":{},\"steals\":{},\"retries\":{},\"resumed\":{},\
-         \"hit_rate\":{:.6}}}\n",
+         \"wait_us_p50\":{},\"wait_us_p99\":{},\
+         \"service_hit_us_p50\":{},\"service_hit_us_p99\":{},\
+         \"service_miss_us_p50\":{},\"service_miss_us_p99\":{},\
+         \"queue_depth_peak\":{},\"hit_rate\":{:.6}}}\n",
         stats.jobs,
         stats.executed,
         stats.cache_hits,
@@ -361,6 +375,13 @@ pub fn cache_stats_json(stats: &syncperf_sched::SchedStats) -> String {
         stats.steals,
         stats.retries,
         stats.resumed,
+        stats.wait_us_p50,
+        stats.wait_us_p99,
+        stats.service_hit_us_p50,
+        stats.service_hit_us_p99,
+        stats.service_miss_us_p50,
+        stats.service_miss_us_p99,
+        stats.queue_depth_peak,
         stats.hit_rate(),
     )
 }
@@ -389,7 +410,7 @@ pub fn run_with_options(
     generate: impl FnOnce() -> Result<Vec<FigureData>>,
     opts: &RunOptions,
 ) -> Result<()> {
-    let rec = if opts.trace.is_some() || opts.cache_stats.is_some() {
+    let rec = if opts.trace.is_some() || opts.cache_stats.is_some() || opts.metrics.is_some() {
         obs::install(Recorder::enabled());
         // `install` keeps an earlier recorder if one exists; either
         // way, record into whatever is globally visible.
@@ -431,6 +452,12 @@ pub fn run_with_options(
     }
     outcome?;
 
+    if let Some(path) = &opts.metrics {
+        // Scheduler observations were mirrored into the global recorder
+        // while it ran, so the exposition covers sched.* histograms too.
+        std::fs::write(path, obs::metrics::render(&rec.snapshot()))?;
+        println!("(metrics: {})", path.display());
+    }
     if let Some(path) = &opts.trace {
         let format = opts.effective_format(path);
         let events = rec.drain_events();
@@ -499,6 +526,10 @@ mod tests {
         assert_eq!(opts.cache_stats.as_deref(), Some(Path::new("s.json")));
         assert!(opts.wants_scheduler());
         assert!(!RunOptions::default().no_cache);
+        let m = RunOptions::parse(["--metrics", "m.prom"].map(String::from)).unwrap();
+        assert_eq!(opts.metrics, None);
+        assert_eq!(m.metrics.as_deref(), Some(Path::new("m.prom")));
+        assert!(RunOptions::parse(["--metrics".to_string()]).is_err());
     }
 
     #[test]
@@ -530,12 +561,15 @@ mod tests {
             cache_misses: 2,
             cache_stores: 2,
             steals: 1,
-            retries: 0,
-            resumed: 0,
+            wait_us_p99: 120,
+            queue_depth_peak: 4,
+            ..Default::default()
         };
         let json = cache_stats_json(&stats);
         assert!(json.contains("\"jobs\":10"));
         assert!(json.contains("\"cache_hits\":8"));
+        assert!(json.contains("\"wait_us_p99\":120"));
+        assert!(json.contains("\"queue_depth_peak\":4"));
         assert!(json.contains("\"hit_rate\":0.8"));
         assert!(render_sched_summary(&stats).contains("80.0%"));
     }

@@ -436,12 +436,49 @@ pub fn render_obs_summary(snap: &crate::obs::Snapshot) -> String {
         let _ = writeln!(out, "{name:<name_w$}  {value:>14}  counter");
     }
     for (name, value) in &snap.gauges {
-        let _ = writeln!(out, "{name:<name_w$}  {value:>14}  gauge (max)");
-    }
-    if snap.dropped_events > 0 {
+        let mode = snap.gauge_modes.get(name).copied().unwrap_or_default();
         let _ = writeln!(
             out,
-            "\n!! {} events dropped (ring capacity)",
+            "{name:<name_w$}  {value:>14}  gauge ({})",
+            mode.label()
+        );
+    }
+    if !snap.histograms.is_empty() {
+        let hist_w = snap
+            .histograms
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(9)
+            .max(9);
+        let _ = writeln!(
+            out,
+            "\n{:<hist_w$}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(hist_w + 60));
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<hist_w$}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max()
+            );
+        }
+    }
+    if snap.dropped_events > 0 {
+        let per_thread = snap
+            .dropped_by_thread
+            .iter()
+            .map(|(tid, n)| format!("tid {tid}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "\n!! {} events dropped (ring capacity) [{per_thread}]",
             snap.dropped_events
         );
     }

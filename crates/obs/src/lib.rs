@@ -39,8 +39,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
+pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod sink;
+
+pub use flight::{FlightEntry, FlightRecorder};
+pub use hist::{Histogram, HistogramSnapshot};
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -170,7 +176,8 @@ struct Inner {
     next_tid: AtomicU64,
     rings: Mutex<Vec<Arc<ThreadRing>>>,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, (Arc<AtomicU64>, GaugeMode)>>,
+    histograms: Mutex<BTreeMap<String, Arc<hist::HistCells>>>,
 }
 
 /// Source of process-unique recorder ids.
@@ -221,6 +228,7 @@ impl Recorder {
                 rings: Mutex::new(Vec::new()),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -330,17 +338,55 @@ impl Recorder {
     }
 
     /// A handle to the named high-water-mark gauge (no-op when
-    /// disabled).
+    /// disabled). The first registration of a name fixes its mode;
+    /// later handles inherit it.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Gauge {
-        Gauge {
-            cell: self.inner.as_ref().map(|inner| {
-                inner
+        self.gauge_with_mode(name, GaugeMode::Max)
+    }
+
+    /// A handle to the named current-value gauge (no-op when
+    /// disabled): [`Gauge::set`] overwrites, [`Gauge::add`] /
+    /// [`Gauge::sub`] adjust — for live quantities like queue depth
+    /// or inflight requests, where the high-water mark is not enough.
+    #[must_use]
+    pub fn gauge_set(&self, name: &str) -> Gauge {
+        self.gauge_with_mode(name, GaugeMode::Set)
+    }
+
+    fn gauge_with_mode(&self, name: &str, want: GaugeMode) -> Gauge {
+        match &self.inner {
+            Some(inner) => {
+                let (cell, mode) = inner
                     .gauges
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .entry(name.to_string())
-                    .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                    .or_insert_with(|| (Arc::new(AtomicU64::new(0)), want))
+                    .clone();
+                Gauge {
+                    cell: Some(cell),
+                    mode,
+                }
+            }
+            None => Gauge {
+                cell: None,
+                mode: want,
+            },
+        }
+    }
+
+    /// A handle to the named latency histogram (no-op when disabled).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram {
+            cells: self.inner.as_ref().map(|inner| {
+                inner
+                    .histograms
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(hist::HistCells::new()))
                     .clone()
             }),
         }
@@ -360,7 +406,7 @@ impl Recorder {
                 snap.counters
                     .insert(name.clone(), cell.load(Ordering::Relaxed));
             }
-            for (name, cell) in inner
+            for (name, (cell, mode)) in inner
                 .gauges
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
@@ -368,8 +414,28 @@ impl Recorder {
             {
                 snap.gauges
                     .insert(name.clone(), cell.load(Ordering::Relaxed));
+                snap.gauge_modes.insert(name.clone(), *mode);
             }
-            snap.dropped_events = self.dropped_events();
+            for (name, cells) in inner
+                .histograms
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+            {
+                snap.histograms.insert(name.clone(), cells.snapshot());
+            }
+            for ring in inner
+                .rings
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+            {
+                let dropped = ring.dropped.load(Ordering::Relaxed);
+                if dropped > 0 {
+                    snap.dropped_by_thread.insert(ring.tid, dropped);
+                }
+            }
+            snap.dropped_events = snap.dropped_by_thread.values().sum();
         }
         snap
     }
@@ -471,36 +537,108 @@ impl Counter {
     }
 }
 
-/// A high-water-mark gauge (records the maximum observed value).
+/// How a [`Gauge`] folds recorded values into its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GaugeMode {
+    /// High-water mark: [`Gauge::record`] keeps the maximum.
+    #[default]
+    Max,
+    /// Current value: [`Gauge::set`] overwrites; [`Gauge::add`] and
+    /// [`Gauge::sub`] adjust (for queue depths, inflight counts).
+    Set,
+}
+
+impl GaugeMode {
+    /// Stable lowercase label (used in summaries and exposition).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GaugeMode::Max => "max",
+            GaugeMode::Set => "set",
+        }
+    }
+}
+
+/// A gauge handle; semantics depend on its [`GaugeMode`] (the mode the
+/// name was first registered with).
 #[derive(Debug, Clone, Default)]
 pub struct Gauge {
     cell: Option<Arc<AtomicU64>>,
+    mode: GaugeMode,
 }
 
 impl Gauge {
-    /// Records `v`, keeping the maximum.
+    /// Records `v` per the gauge's mode: maximum for
+    /// [`GaugeMode::Max`], overwrite for [`GaugeMode::Set`].
     pub fn record(&self, v: u64) {
         if let Some(cell) = &self.cell {
-            cell.fetch_max(v, Ordering::Relaxed);
+            match self.mode {
+                GaugeMode::Max => {
+                    cell.fetch_max(v, Ordering::Relaxed);
+                }
+                GaugeMode::Set => cell.store(v, Ordering::Relaxed),
+            }
         }
     }
 
-    /// Current high-water mark (0 when disabled).
+    /// Overwrites the current value (any mode).
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` to the current value.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n` from the current value (saturating at 0).
+    pub fn sub(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_sub(n);
+                match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// The mode this gauge was registered with.
+    #[must_use]
+    pub fn mode(&self) -> GaugeMode {
+        self.mode
+    }
+
+    /// Current value (0 when disabled).
     #[must_use]
     pub fn get(&self) -> u64 {
         self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
 }
 
-/// Frozen counter/gauge values.
+/// Frozen counter/gauge/histogram values.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
-    /// Gauge high-water marks by name.
+    /// Gauge values by name (high-water mark or current value,
+    /// depending on the mode in [`Snapshot::gauge_modes`]).
     pub gauges: BTreeMap<String, u64>,
+    /// Each gauge's registered [`GaugeMode`].
+    pub gauge_modes: BTreeMap<String, GaugeMode>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Events dropped because a per-thread ring filled up.
     pub dropped_events: u64,
+    /// Drop counts by recorder-assigned thread id (only threads that
+    /// dropped anything appear).
+    pub dropped_by_thread: BTreeMap<u64, u64>,
 }
 
 impl Snapshot {
@@ -514,6 +652,38 @@ impl Snapshot {
     #[must_use]
     pub fn gauge(&self, name: &str) -> u64 {
         self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience lookup (empty snapshot when the histogram never
+    /// fired).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Folds `other` into `self`: counters add, `Max` gauges take the
+    /// maximum, `Set` gauges add (current values of distinct workers
+    /// stack), histograms merge bucket-wise, drop counts add.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            let mode = other.gauge_modes.get(name).copied().unwrap_or_default();
+            let mode = *self.gauge_modes.entry(name.clone()).or_insert(mode);
+            let cell = self.gauges.entry(name.clone()).or_insert(0);
+            match mode {
+                GaugeMode::Max => *cell = (*cell).max(*v),
+                GaugeMode::Set => *cell += v,
+            }
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        self.dropped_events += other.dropped_events;
+        for (tid, v) in &other.dropped_by_thread {
+            *self.dropped_by_thread.entry(*tid).or_insert(0) += v;
+        }
     }
 }
 
@@ -649,6 +819,83 @@ mod tests {
             rec.instant("t", "e");
             assert_eq!(rec.drain_events().len(), 1, "iteration {i} lost its event");
         }
+    }
+
+    #[test]
+    fn set_gauge_tracks_current_value() {
+        let rec = Recorder::enabled();
+        let g = rec.gauge_set("queue.depth");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.record(9);
+        g.record(1);
+        assert_eq!(g.get(), 1, "set mode overwrites instead of keeping max");
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        let snap = rec.snapshot();
+        assert_eq!(snap.gauge("queue.depth"), 0);
+        assert_eq!(snap.gauge_modes["queue.depth"], GaugeMode::Set);
+    }
+
+    #[test]
+    fn gauge_mode_fixed_by_first_registration() {
+        let rec = Recorder::enabled();
+        let first = rec.gauge("depth");
+        let second = rec.gauge_set("depth");
+        assert_eq!(second.mode(), GaugeMode::Max, "first registration wins");
+        first.record(7);
+        second.record(3);
+        assert_eq!(first.get(), 7);
+    }
+
+    #[test]
+    fn histograms_appear_in_snapshot() {
+        let rec = Recorder::enabled();
+        let h = rec.histogram("lat_us");
+        h.observe(10);
+        h.observe(20);
+        let snap = rec.snapshot();
+        assert_eq!(snap.histogram("lat_us").count(), 2);
+        assert_eq!(snap.histogram("lat_us").sum, 30);
+        assert_eq!(snap.histogram("absent").count(), 0);
+        // Disabled recorders hand out inert histograms.
+        let off = Recorder::disabled().histogram("lat_us");
+        off.observe(5);
+        assert_eq!(off.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_folds_all_sections() {
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        a.counter("c").add(2);
+        b.counter("c").add(3);
+        a.gauge("hw").record(5);
+        b.gauge("hw").record(9);
+        a.gauge_set("depth").set(4);
+        b.gauge_set("depth").set(6);
+        a.histogram("h").observe(1);
+        b.histogram("h").observe(100);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("c"), 5);
+        assert_eq!(merged.gauge("hw"), 9, "max gauges take the maximum");
+        assert_eq!(merged.gauge("depth"), 10, "set gauges stack");
+        assert_eq!(merged.histogram("h").count(), 2);
+        assert_eq!(merged.histogram("h").max(), 100);
+    }
+
+    #[test]
+    fn snapshot_reports_drops_per_thread() {
+        let rec = Recorder::with_capacity(4);
+        for _ in 0..10 {
+            rec.instant("t", "e");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.dropped_events, 6);
+        assert_eq!(snap.dropped_by_thread.values().sum::<u64>(), 6);
+        assert_eq!(snap.dropped_by_thread.len(), 1);
     }
 
     #[test]

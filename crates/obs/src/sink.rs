@@ -161,6 +161,23 @@ pub fn snapshot_json(snapshot: &Snapshot) -> String {
         }
         out.push_str(&format!("\"{}\":{value}", json_escape(name)));
     }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            json_escape(name),
+            h.count(),
+            h.sum,
+            h.min(),
+            h.max(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+        ));
+    }
     out.push_str(&format!(
         "}},\"dropped_events\":{}}}",
         snapshot.dropped_events

@@ -40,7 +40,7 @@ pub mod scheduler;
 pub use cache::{Cache, EntryInfo};
 pub use checkpoint::Checkpoint;
 pub use job::{host_fingerprint, JobSpec};
-pub use pool::{run_indexed, PoolOutcome};
+pub use pool::{run_indexed, PoolOutcome, PoolWorkerStats};
 pub use scheduler::{
     current, install, uninstall, SchedConfig, SchedStats, Scheduler, StoreHook,
     MAX_EXECUTE_ATTEMPTS, SCHED_SALT,

@@ -17,6 +17,29 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-worker execution profile for one pool run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolWorkerStats {
+    /// Jobs this worker executed (own deque plus steals).
+    pub executed: u64,
+    /// Jobs this worker stole from another worker's deque.
+    pub stolen: u64,
+    /// Nanoseconds this worker spent inside job bodies (its
+    /// utilization numerator; the denominator is the run's wall time).
+    pub busy_ns: u64,
+}
+
+impl PoolWorkerStats {
+    /// Adds `other`'s tallies into `self` (for accumulating across
+    /// batches).
+    pub fn absorb(&mut self, other: &PoolWorkerStats) {
+        self.executed += other.executed;
+        self.stolen += other.stolen;
+        self.busy_ns += other.busy_ns;
+    }
+}
 
 /// What a pool run produced: results in submission order, plus steal
 /// statistics.
@@ -27,6 +50,9 @@ pub struct PoolOutcome<R> {
     /// Successful steals (a worker taking a job from another worker's
     /// deque).
     pub steals: u64,
+    /// One profile per worker thread (a single entry on the serial
+    /// path).
+    pub per_worker: Vec<PoolWorkerStats>,
 }
 
 /// Runs `f` over every item on `workers` threads, returning results in
@@ -40,12 +66,21 @@ where
 {
     let n = items.len();
     if workers <= 1 || n <= 1 {
+        let start = Instant::now();
         let results = items
             .into_iter()
             .enumerate()
             .map(|(i, t)| f(i, t))
             .collect();
-        return PoolOutcome { results, steals: 0 };
+        return PoolOutcome {
+            results,
+            steals: 0,
+            per_worker: vec![PoolWorkerStats {
+                executed: n as u64,
+                stolen: 0,
+                busy_ns: start.elapsed().as_nanos() as u64,
+            }],
+        };
     }
 
     let workers = workers.min(n);
@@ -56,36 +91,51 @@ where
     }
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let steals = AtomicU64::new(0);
+    let profiles: Vec<Mutex<PoolWorkerStats>> = (0..workers)
+        .map(|_| Mutex::new(PoolWorkerStats::default()))
+        .collect();
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let deques = &deques;
             let slots = &slots;
             let steals = &steals;
+            let profiles = &profiles;
             let f = &f;
-            scope.spawn(move || loop {
-                // Own work first, newest job first.
-                let mut job = deques[w].lock().unwrap().pop_back();
-                if job.is_none() {
-                    // Steal oldest-first from the other workers,
-                    // scanning from our right-hand neighbour.
-                    for off in 1..workers {
-                        let v = (w + off) % workers;
-                        if let Some(j) = deques[v].lock().unwrap().pop_front() {
-                            steals.fetch_add(1, Ordering::Relaxed);
-                            job = Some(j);
-                            break;
+            scope.spawn(move || {
+                // Tally locally; publish once when the worker retires.
+                let mut mine = PoolWorkerStats::default();
+                loop {
+                    // Own work first, newest job first.
+                    let mut job = deques[w].lock().unwrap().pop_back();
+                    if job.is_none() {
+                        // Steal oldest-first from the other workers,
+                        // scanning from our right-hand neighbour.
+                        for off in 1..workers {
+                            let v = (w + off) % workers;
+                            if let Some(j) = deques[v].lock().unwrap().pop_front() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                mine.stolen += 1;
+                                job = Some(j);
+                                break;
+                            }
                         }
                     }
-                }
-                match job {
-                    Some((i, item)) => {
-                        *slots[i].lock().unwrap() = Some(f(i, item));
+                    match job {
+                        Some((i, item)) => {
+                            let started = Instant::now();
+                            let r = f(i, item);
+                            mine.executed += 1;
+                            mine.busy_ns += started.elapsed().as_nanos() as u64;
+                            *slots[i].lock().unwrap() = Some(r);
+                        }
+                        // Every deque is empty and no new work can
+                        // appear: the job set is static, so this
+                        // worker is done.
+                        None => break,
                     }
-                    // Every deque is empty and no new work can appear:
-                    // the job set is static, so this worker is done.
-                    None => break,
                 }
+                *profiles[w].lock().unwrap() = mine;
             });
         }
     });
@@ -101,6 +151,10 @@ where
     PoolOutcome {
         results,
         steals: steals.into_inner(),
+        per_worker: profiles
+            .into_iter()
+            .map(|p| p.into_inner().unwrap())
+            .collect(),
     }
 }
 
@@ -155,5 +209,39 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let out = run_indexed(16, vec![1, 2], |_, x| x);
         assert_eq!(out.results, vec![1, 2]);
+    }
+
+    #[test]
+    fn per_worker_stats_account_for_every_job() {
+        let out = run_indexed(4, (0..64).collect::<Vec<u32>>(), |_, x| x);
+        assert_eq!(out.per_worker.len(), 4);
+        let executed: u64 = out.per_worker.iter().map(|p| p.executed).sum();
+        assert_eq!(executed, 64, "every job attributed to some worker");
+        let stolen: u64 = out.per_worker.iter().map(|p| p.stolen).sum();
+        assert_eq!(stolen, out.steals, "per-worker steals sum to the total");
+    }
+
+    #[test]
+    fn serial_path_reports_one_worker() {
+        let out = run_indexed(1, vec![1u32, 2, 3], |_, x| x);
+        assert_eq!(out.per_worker.len(), 1);
+        assert_eq!(out.per_worker[0].executed, 3);
+        assert_eq!(out.per_worker[0].stolen, 0);
+    }
+
+    #[test]
+    fn busy_time_tracks_job_bodies() {
+        let out = run_indexed(2, (0..8).collect::<Vec<u32>>(), |_, x| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        });
+        for p in &out.per_worker {
+            if p.executed > 0 {
+                assert!(
+                    p.busy_ns >= p.executed * 1_000_000,
+                    "each 1ms job contributes at least 1ms of busy time"
+                );
+            }
+        }
     }
 }

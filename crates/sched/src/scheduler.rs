@@ -12,15 +12,16 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
-use syncperf_core::obs::{self, Snapshot};
+use syncperf_core::obs::{self, Histogram, Snapshot};
 use syncperf_core::{Measurement, Result, SyncPerfError};
 
 use crate::cache::Cache;
 use crate::checkpoint::Checkpoint;
 use crate::hash::fnv1a;
 use crate::job::JobSpec;
-use crate::pool;
+use crate::pool::{self, PoolWorkerStats};
 
 /// Code-version salt folded into every job hash. Bump whenever a
 /// change alters measurement semantics without changing any job field
@@ -120,6 +121,41 @@ struct StatCells {
     resumed: AtomicU64,
 }
 
+/// Always-on scheduler profile: latency histograms, live queue depth,
+/// and per-worker execution tallies — kept standalone (not behind the
+/// global recorder) so a server that never installs a global recorder
+/// still gets scheduler telemetry via [`Scheduler::export_into`].
+#[derive(Debug)]
+struct Profile {
+    /// Miss wait time: batch submission → a worker picking the job up
+    /// (microseconds).
+    wait_us: Histogram,
+    /// Hit service time: how long the cache load took (microseconds).
+    service_hit_us: Histogram,
+    /// Miss service time: how long the execution took (microseconds).
+    service_miss_us: Histogram,
+    /// Jobs currently dispatched to the pool and not yet finished.
+    pending: AtomicU64,
+    /// High-water mark of `pending`.
+    pending_peak: AtomicU64,
+    /// Per-worker tallies accumulated across batches (indexed by the
+    /// pool's worker number; the serial path is worker 0).
+    workers: Mutex<Vec<PoolWorkerStats>>,
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Profile {
+            wait_us: Histogram::standalone(),
+            service_hit_us: Histogram::standalone(),
+            service_miss_us: Histogram::standalone(),
+            pending: AtomicU64::new(0),
+            pending_peak: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+}
+
 /// A point-in-time view of a scheduler's counters — also recoverable
 /// from any obs [`Snapshot`] via [`SchedStats::from_snapshot`], the
 /// way `RetrySummary` mirrors the `protocol.*` counters.
@@ -141,12 +177,30 @@ pub struct SchedStats {
     pub retries: u64,
     /// Cache hits whose hash was recorded by the resumed checkpoint.
     pub resumed: u64,
+    /// Median miss wait (batch submission → pickup), microseconds.
+    pub wait_us_p50: u64,
+    /// p99 miss wait, microseconds.
+    pub wait_us_p99: u64,
+    /// Median cache-hit service time (cache load), microseconds.
+    pub service_hit_us_p50: u64,
+    /// p99 cache-hit service time, microseconds.
+    pub service_hit_us_p99: u64,
+    /// Median cache-miss service time (execution), microseconds.
+    pub service_miss_us_p50: u64,
+    /// p99 cache-miss service time, microseconds.
+    pub service_miss_us_p99: u64,
+    /// High-water mark of jobs pending in the pool at once.
+    pub queue_depth_peak: u64,
 }
 
 impl SchedStats {
-    /// Extracts the `sched.*` counters from an obs snapshot.
+    /// Extracts the `sched.*` counters, histograms, and gauges from an
+    /// obs snapshot.
     #[must_use]
     pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let wait = snap.histogram("sched.wait_us");
+        let hit = snap.histogram("sched.service_us.hit");
+        let miss = snap.histogram("sched.service_us.miss");
         SchedStats {
             jobs: snap.counter("sched.jobs"),
             executed: snap.counter("sched.jobs_executed"),
@@ -156,6 +210,13 @@ impl SchedStats {
             steals: snap.counter("sched.steals"),
             retries: snap.counter("sched.retries"),
             resumed: snap.counter("sched.resumed"),
+            wait_us_p50: wait.quantile(0.50),
+            wait_us_p99: wait.quantile(0.99),
+            service_hit_us_p50: hit.quantile(0.50),
+            service_hit_us_p99: hit.quantile(0.99),
+            service_miss_us_p50: miss.quantile(0.50),
+            service_miss_us_p99: miss.quantile(0.99),
+            queue_depth_peak: snap.gauge("sched.queue_depth_peak"),
         }
     }
 
@@ -185,6 +246,7 @@ pub struct Scheduler {
     checkpoint: Mutex<Checkpoint>,
     resumed_hashes: std::collections::BTreeSet<u64>,
     stats: StatCells,
+    profile: Profile,
     store_hook: RwLock<Option<StoreHook>>,
 }
 
@@ -218,6 +280,7 @@ impl Scheduler {
             checkpoint: Mutex::new(checkpoint),
             resumed_hashes,
             stats: StatCells::default(),
+            profile: Profile::default(),
             store_hook: RwLock::new(None),
         }
     }
@@ -248,9 +311,12 @@ impl Scheduler {
         fnv1a(s.as_bytes())
     }
 
-    /// A point-in-time view of the counters.
+    /// A point-in-time view of the counters and latency quantiles.
     #[must_use]
     pub fn stats(&self) -> SchedStats {
+        let wait = self.profile.wait_us.snapshot();
+        let hit = self.profile.service_hit_us.snapshot();
+        let miss = self.profile.service_miss_us.snapshot();
         SchedStats {
             jobs: self.stats.jobs.load(Ordering::Relaxed),
             executed: self.stats.executed.load(Ordering::Relaxed),
@@ -260,6 +326,73 @@ impl Scheduler {
             steals: self.stats.steals.load(Ordering::Relaxed),
             retries: self.stats.retries.load(Ordering::Relaxed),
             resumed: self.stats.resumed.load(Ordering::Relaxed),
+            wait_us_p50: wait.quantile(0.50),
+            wait_us_p99: wait.quantile(0.99),
+            service_hit_us_p50: hit.quantile(0.50),
+            service_hit_us_p99: hit.quantile(0.99),
+            service_miss_us_p50: miss.quantile(0.50),
+            service_miss_us_p99: miss.quantile(0.99),
+            queue_depth_peak: self.profile.pending_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-worker execution tallies accumulated across every batch
+    /// this scheduler ran (index = pool worker number; the serial path
+    /// accumulates onto worker 0).
+    #[must_use]
+    pub fn worker_stats(&self) -> Vec<PoolWorkerStats> {
+        self.profile.workers.lock().unwrap().clone()
+    }
+
+    /// Injects this scheduler's live telemetry — `sched.*` counters,
+    /// queue-depth gauges, wait/service histograms, and per-worker
+    /// tallies — into `snap`, so a process that never installed a
+    /// global recorder (like `syncperf-serve`) can still expose
+    /// scheduler metrics.
+    pub fn export_into(&self, snap: &mut Snapshot) {
+        use syncperf_core::obs::GaugeMode;
+        let st = self.stats();
+        for (name, v) in [
+            ("sched.jobs", st.jobs),
+            ("sched.jobs_executed", st.executed),
+            ("sched.cache_hits", st.cache_hits),
+            ("sched.cache_misses", st.cache_misses),
+            ("sched.cache_stores", st.cache_stores),
+            ("sched.steals", st.steals),
+            ("sched.retries", st.retries),
+            ("sched.resumed", st.resumed),
+        ] {
+            snap.counters.insert(name.to_string(), v);
+        }
+        snap.gauges.insert(
+            "sched.queue_depth".to_string(),
+            self.profile.pending.load(Ordering::Relaxed),
+        );
+        snap.gauge_modes
+            .insert("sched.queue_depth".to_string(), GaugeMode::Set);
+        snap.gauges.insert(
+            "sched.queue_depth_peak".to_string(),
+            self.profile.pending_peak.load(Ordering::Relaxed),
+        );
+        snap.gauge_modes
+            .insert("sched.queue_depth_peak".to_string(), GaugeMode::Max);
+        snap.histograms
+            .insert("sched.wait_us".to_string(), self.profile.wait_us.snapshot());
+        snap.histograms.insert(
+            "sched.service_us.hit".to_string(),
+            self.profile.service_hit_us.snapshot(),
+        );
+        snap.histograms.insert(
+            "sched.service_us.miss".to_string(),
+            self.profile.service_miss_us.snapshot(),
+        );
+        for (w, p) in self.worker_stats().iter().enumerate() {
+            snap.counters
+                .insert(format!("sched.worker.{w}.executed"), p.executed);
+            snap.counters
+                .insert(format!("sched.worker.{w}.stolen"), p.stolen);
+            snap.counters
+                .insert(format!("sched.worker.{w}.busy_us"), p.busy_ns / 1_000);
         }
     }
 
@@ -284,13 +417,18 @@ impl Scheduler {
         let mut todo: Vec<(usize, JobSpec, u64)> = Vec::new();
         let mut hits = 0u64;
         let mut resumed = 0u64;
+        let hit_hist = rec.histogram("sched.service_us.hit");
         for (i, job) in jobs.into_iter().enumerate() {
             let h = self.job_hash(&job);
             if let Some(cache) = &self.cache {
+                let load_start = Instant::now();
                 if let Some(m) = cache.load(h) {
                     // Guard against a (vanishingly unlikely) hash
                     // collision: the entry must describe this job.
                     if m.kernel_name == job.kernel_name() && m.params == *job.params() {
+                        let load_us = load_start.elapsed().as_micros() as u64;
+                        self.profile.service_hit_us.observe(load_us);
+                        hit_hist.observe(load_us);
                         hits += 1;
                         if self.resumed_hashes.contains(&h) {
                             resumed += 1;
@@ -314,8 +452,31 @@ impl Scheduler {
             rec.counter("sched.cache_misses").add(todo.len() as u64);
         }
 
+        // Dispatch: track live queue depth and per-job wait/service
+        // latency, mirroring into the global recorder's telemetry.
+        let dispatched = Instant::now();
+        let depth_gauge = rec.gauge_set("sched.queue_depth");
+        let peak_gauge = rec.gauge("sched.queue_depth_peak");
+        let wait_hist = rec.histogram("sched.wait_us");
+        let miss_hist = rec.histogram("sched.service_us.miss");
+        self.profile
+            .pending
+            .store(todo.len() as u64, Ordering::Relaxed);
+        self.profile
+            .pending_peak
+            .fetch_max(todo.len() as u64, Ordering::Relaxed);
+        depth_gauge.set(todo.len() as u64);
+        peak_gauge.record(todo.len() as u64);
+
         let outcome = pool::run_indexed(self.cfg.workers, todo, |_, (i, job, h)| {
+            let wait_us = dispatched.elapsed().as_micros() as u64;
+            self.profile.wait_us.observe(wait_us);
+            wait_hist.observe(wait_us);
+            let exec_start = Instant::now();
             let r = self.execute_with_retry(&job, h);
+            let exec_us = exec_start.elapsed().as_micros() as u64;
+            self.profile.service_miss_us.observe(exec_us);
+            miss_hist.observe(exec_us);
             if let Ok(m) = &r {
                 if let Some(cache) = &self.cache {
                     // A read-only cache directory must not fail the
@@ -330,12 +491,23 @@ impl Scheduler {
                 }
                 self.checkpoint.lock().unwrap().record(h);
             }
+            let left = self.profile.pending.fetch_sub(1, Ordering::Relaxed) - 1;
+            depth_gauge.set(left);
             (i, r)
         });
         self.stats
             .steals
             .fetch_add(outcome.steals, Ordering::Relaxed);
         rec.counter("sched.steals").add(outcome.steals);
+        {
+            let mut workers = self.profile.workers.lock().unwrap();
+            if workers.len() < outcome.per_worker.len() {
+                workers.resize_with(outcome.per_worker.len(), PoolWorkerStats::default);
+            }
+            for (acc, batch) in workers.iter_mut().zip(&outcome.per_worker) {
+                acc.absorb(batch);
+            }
+        }
 
         for (i, r) in outcome.results {
             match r {
@@ -555,6 +727,51 @@ mod tests {
         fresh.run_jobs(sim_jobs()).unwrap();
         assert_eq!(fresh.stats().resumed, 0);
         assert_eq!(fresh.stats().cache_hits, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profiling_tracks_service_split_and_workers() {
+        let dir = tmp_dir("profile");
+        let s = Scheduler::new(SchedConfig::new(2).with_cache_dir(&dir));
+        s.run_jobs(sim_jobs()).unwrap();
+        let cold = s.stats();
+        assert!(
+            cold.service_miss_us_p99 >= cold.service_miss_us_p50,
+            "miss service quantiles are ordered"
+        );
+        assert_eq!(cold.service_hit_us_p50, 0, "no hits yet");
+        assert_eq!(cold.queue_depth_peak, 3, "all three jobs were pending");
+
+        s.run_jobs(sim_jobs()).unwrap();
+        let warm = s.stats();
+        assert!(
+            warm.service_hit_us_p99 >= warm.service_hit_us_p50,
+            "hit service quantiles populated after the warm pass"
+        );
+
+        let workers = s.worker_stats();
+        assert!(!workers.is_empty());
+        let executed: u64 = workers.iter().map(|w| w.executed).sum();
+        assert_eq!(executed, 3, "only the cold batch executed jobs");
+
+        let mut snap = Snapshot::default();
+        s.export_into(&mut snap);
+        assert_eq!(snap.counter("sched.jobs"), 6);
+        assert_eq!(snap.counter("sched.cache_hits"), 3);
+        assert_eq!(snap.gauge("sched.queue_depth"), 0, "nothing pending now");
+        assert_eq!(snap.gauge("sched.queue_depth_peak"), 3);
+        assert_eq!(snap.histogram("sched.service_us.miss").count(), 3);
+        assert_eq!(snap.histogram("sched.service_us.hit").count(), 3);
+        assert_eq!(snap.histogram("sched.wait_us").count(), 3);
+        let per_worker_exec: u64 = (0..workers.len())
+            .map(|w| snap.counter(&format!("sched.worker.{w}.executed")))
+            .sum();
+        assert_eq!(per_worker_exec, 3);
+        // The exported snapshot round-trips through SchedStats.
+        let st = SchedStats::from_snapshot(&snap);
+        assert_eq!(st.jobs, 6);
+        assert_eq!(st.queue_depth_peak, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -20,14 +20,22 @@
 //!   [`JobSpec`](syncperf_sched::JobSpec), and concurrent identical
 //!   requests deduplicate onto a single scheduler job
 //!   (single-writer-per-entry, [`inflight`]).
+//! - `GET /metrics` — the live telemetry snapshot (request counters,
+//!   per-endpoint latency histograms, scheduler profile, index
+//!   gauges) in Prometheus-style text exposition format.
+//! - `GET /events?n=..` — the tail of the always-on flight-recorder
+//!   ring as JSONL, for post-mortems and live debugging.
 //! - `GET /stats`, `GET /healthz`, `POST /shutdown` — operations.
 //!
 //! The on-disk cache honours an LRU size budget
 //! (`SYNCPERF_CACHE_BYTES`): eviction never removes an entry with a
 //! live reader pin or an in-flight writer ([`index`]). Every request
-//! is counted and latency-bucketed under `serve.*` obs counters, and
+//! is counted under `serve.*` obs counters and observed into
+//! per-endpoint `serve.endpoint.<label>.latency_us` histograms, and
 //! shutdown is graceful on SIGTERM or `/shutdown` — workers stop
-//! accepting, finish their current request, and join.
+//! accepting, finish their current request, and join. The flight
+//! recorder auto-dumps to `results/flightrec-<pid>.jsonl` on panic or
+//! SIGTERM.
 
 pub mod http;
 pub mod index;
@@ -38,6 +46,6 @@ pub use http::{Request, Response};
 pub use index::{Index, Pin, Query, QueryMatch};
 pub use inflight::{Claim, Inflight, OwnerGuard};
 pub use server::{
-    cache_bytes_from_env, install_sigterm_handler, ComputeRequest, Resolver, ServeConfig,
-    ServeStats, Server, LATENCY_BUCKETS_US,
+    cache_bytes_from_env, endpoint_label, install_sigterm_handler, ComputeRequest, Resolver,
+    ServeConfig, ServeStats, Server, ENDPOINT_LABELS,
 };

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use syncperf_core::obs::{Counter, Recorder, Snapshot};
+use syncperf_core::obs::{self, Counter, FlightRecorder, Histogram, Recorder, Snapshot};
 use syncperf_core::Measurement;
 use syncperf_sched::cache::encode_measurement;
 use syncperf_sched::{hash::hex16, hash::parse_hex16, JobSpec, Scheduler};
@@ -17,10 +17,31 @@ use crate::http::{json_string, read_request, write_response, ParseFailure, Reque
 use crate::index::{Index, Query};
 use crate::inflight::{Claim, Inflight};
 
-/// Latency histogram bucket upper bounds, in microseconds. Each
-/// bucket is a cumulative `serve.latency_us_le_<bound>` counter (plus
-/// `serve.latency_us_le_inf` for everything), Prometheus-style.
-pub const LATENCY_BUCKETS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+/// The fixed endpoint label set request counters and latency
+/// histograms are split by (`other` absorbs unknown paths and parse
+/// failures). Metric names embed these labels:
+/// `serve.endpoint.<label>.requests` / `serve.endpoint.<label>.latency_us`.
+pub const ENDPOINT_LABELS: [&str; 10] = [
+    "healthz", "stats", "metrics", "events", "query", "job", "figure", "compute", "shutdown",
+    "other",
+];
+
+/// Classifies a request path into one of [`ENDPOINT_LABELS`].
+#[must_use]
+pub fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/stats" => "stats",
+        "/metrics" => "metrics",
+        "/events" => "events",
+        "/query" => "query",
+        "/compute" => "compute",
+        "/shutdown" => "shutdown",
+        p if p.starts_with("/job/") => "job",
+        p if p.starts_with("/figure/") => "figure",
+        _ => "other",
+    }
+}
 
 /// A parsed `POST /compute` request body.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -149,7 +170,7 @@ pub fn cache_bytes_from_env(v: Option<String>) -> Option<u64> {
         .filter(|&b| b > 0)
 }
 
-/// The `serve.*` counter family.
+/// The `serve.*` counter/histogram family.
 #[derive(Debug, Clone)]
 struct Counters {
     requests: Counter,
@@ -159,8 +180,11 @@ struct Counters {
     dedup_waits: Counter,
     evictions: Counter,
     errors: Counter,
-    latency: Vec<(u64, Counter)>,
-    latency_inf: Counter,
+    /// All-endpoint request latency (`serve.latency_us`).
+    latency_us: Histogram,
+    /// Per-endpoint request counter + latency histogram, one row per
+    /// [`ENDPOINT_LABELS`] entry.
+    endpoints: Vec<(&'static str, Counter, Histogram)>,
 }
 
 impl Counters {
@@ -173,22 +197,29 @@ impl Counters {
             dedup_waits: rec.counter("serve.dedup_waits"),
             evictions: rec.counter("serve.evictions"),
             errors: rec.counter("serve.errors"),
-            latency: LATENCY_BUCKETS_US
+            latency_us: rec.histogram("serve.latency_us"),
+            endpoints: ENDPOINT_LABELS
                 .iter()
-                .map(|&b| (b, rec.counter(&format!("serve.latency_us_le_{b}"))))
+                .map(|&label| {
+                    (
+                        label,
+                        rec.counter(&format!("serve.endpoint.{label}.requests")),
+                        rec.histogram(&format!("serve.endpoint.{label}.latency_us")),
+                    )
+                })
                 .collect(),
-            latency_inf: rec.counter("serve.latency_us_le_inf"),
         }
     }
 
-    fn observe_latency(&self, elapsed: Duration) {
+    /// Records one finished request against the overall and
+    /// per-endpoint series.
+    fn observe_request(&self, label: &str, elapsed: Duration) {
         let us = elapsed.as_micros() as u64;
-        for (bound, c) in &self.latency {
-            if us <= *bound {
-                c.inc();
-            }
+        self.latency_us.observe(us);
+        if let Some((_, counter, hist)) = self.endpoints.iter().find(|(l, _, _)| *l == label) {
+            counter.inc();
+            hist.observe(us);
         }
-        self.latency_inf.inc();
     }
 }
 
@@ -236,6 +267,8 @@ struct Shared {
     resolver: Resolver,
     results_dir: PathBuf,
     counters: Counters,
+    recorder: Recorder,
+    flight: FlightRecorder,
     compute_patience: Duration,
     shutdown: AtomicBool,
 }
@@ -312,6 +345,15 @@ impl Server {
             .evictions
             .add(index.evict_to_budget(&|h| inflight.contains(h)));
 
+        // Always-on flight recorder: the last ~1k annotated events,
+        // auto-dumped for post-mortems when the process panics (and by
+        // [`Server::wait`] on SIGTERM).
+        let flight = FlightRecorder::default();
+        flight.install_panic_dump(
+            cfg.results_dir
+                .join(format!("flightrec-{}.jsonl", std::process::id())),
+        );
+
         let shared = Arc::new(Shared {
             index,
             inflight,
@@ -319,6 +361,8 @@ impl Server {
             resolver: cfg.resolver,
             results_dir: cfg.results_dir,
             counters,
+            recorder: cfg.recorder,
+            flight,
             compute_patience: cfg.compute_patience,
             shutdown: AtomicBool::new(false),
         });
@@ -326,6 +370,9 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        shared
+            .flight
+            .record("lifecycle", format!("listening on {addr}"));
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
                 let listener = listener.try_clone().expect("clone listener");
@@ -364,16 +411,24 @@ impl Server {
     /// Requests graceful shutdown and joins the accept pool: workers
     /// stop accepting, finish their current request, and exit.
     pub fn shutdown(self) {
+        self.shared.flight.record("lifecycle", "shutdown");
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for w in self.workers {
             let _ = w.join();
         }
     }
 
-    /// Blocks until shutdown is requested, then joins the workers.
+    /// Blocks until shutdown is requested, then joins the workers. A
+    /// SIGTERM-triggered exit also dumps every installed flight
+    /// recorder to its `results/flightrec-<pid>.jsonl` post-mortem
+    /// file, same as a panic would.
     pub fn wait(self) {
         while !self.shutdown_requested() {
             std::thread::sleep(Duration::from_millis(50));
+        }
+        if SIGTERM.load(Ordering::SeqCst) {
+            self.shared.flight.record("lifecycle", "sigterm");
+            obs::flight::dump_installed();
         }
         self.shutdown();
     }
@@ -410,15 +465,25 @@ fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
             return;
         }
         shared.counters.requests.inc();
-        let (resp, client_keep_alive) = match parsed {
+        let (resp, client_keep_alive, label, line) = match parsed {
             Ok(req) => {
                 let ka = req.keep_alive;
-                (route(&req, shared), ka)
+                let label = endpoint_label(&req.path);
+                let line = format!("{} {}", req.method, req.path);
+                (route(&req, shared), ka, label, line)
             }
-            Err(ParseFailure::BadRequest(msg)) => (Response::error(400, msg), false),
-            Err(ParseFailure::Timeout | ParseFailure::Idle) => {
-                (Response::error(408, "request timed out"), false)
-            }
+            Err(ParseFailure::BadRequest(msg)) => (
+                Response::error(400, msg),
+                false,
+                "other",
+                "unparseable request".to_string(),
+            ),
+            Err(ParseFailure::Timeout | ParseFailure::Idle) => (
+                Response::error(408, "request timed out"),
+                false,
+                "other",
+                "request timeout".to_string(),
+            ),
         };
         if resp.status >= 400 {
             shared.counters.errors.inc();
@@ -430,7 +495,12 @@ fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
             && !shared.shutdown.load(Ordering::SeqCst)
             && !SIGTERM.load(Ordering::SeqCst);
         write_response(stream, &resp, keep_alive);
-        shared.counters.observe_latency(start.elapsed());
+        let elapsed = start.elapsed();
+        shared.counters.observe_request(label, elapsed);
+        shared.flight.record(
+            "http",
+            format!("{line} -> {} in {}us", resp.status, elapsed.as_micros()),
+        );
         if !keep_alive {
             return;
         }
@@ -441,6 +511,8 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/stats") => stats_response(shared),
+        ("GET", "/metrics") => metrics_response(shared),
+        ("GET", "/events") => events_response(req, shared),
         ("GET" | "POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::json(200, "{\"shutting_down\": true}\n")
@@ -450,10 +522,76 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
         ("GET", path) if path.starts_with("/job/") => handle_job(&path[5..], shared),
         ("GET", path) if path.starts_with("/figure/") => handle_figure(&path[8..], shared),
         ("GET", _) => Response::error(404, "no such endpoint"),
-        (_, "/query" | "/compute" | "/healthz" | "/stats") => {
+        (_, "/query" | "/compute" | "/healthz" | "/stats" | "/metrics" | "/events") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// The full live snapshot behind `GET /metrics`: the server's own
+/// recorder (request counters + endpoint histograms), the scheduler's
+/// exported telemetry, and the index/inflight gauges.
+fn telemetry_snapshot(shared: &Arc<Shared>) -> Snapshot {
+    use syncperf_core::obs::GaugeMode;
+    let mut snap = shared.recorder.snapshot();
+    shared.scheduler.export_into(&mut snap);
+    for (name, v, mode) in [
+        (
+            "serve.index_entries",
+            shared.index.len() as u64,
+            GaugeMode::Set,
+        ),
+        (
+            "serve.index_bytes",
+            shared.index.total_bytes(),
+            GaugeMode::Set,
+        ),
+        (
+            "serve.inflight",
+            shared.inflight.len() as u64,
+            GaugeMode::Set,
+        ),
+        (
+            "serve.flight_events",
+            shared.flight.recorded(),
+            GaugeMode::Set,
+        ),
+    ] {
+        snap.gauges.insert(name.to_string(), v);
+        snap.gauge_modes.insert(name.to_string(), mode);
+    }
+    snap
+}
+
+fn metrics_response(shared: &Arc<Shared>) -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: obs::metrics::render(&telemetry_snapshot(shared)),
+    }
+}
+
+/// `GET /events?n=..`: the last `n` flight-recorder entries (default
+/// 100) as JSONL, oldest first.
+fn events_response(req: &Request, shared: &Arc<Shared>) -> Response {
+    let n = match req.query_param("n") {
+        None => 100,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "`n` must be a non-negative integer"),
+        },
+    };
+    let body: String = shared
+        .flight
+        .tail(n)
+        .iter()
+        .map(|e| e.to_json() + "\n")
+        .collect();
+    Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        body,
     }
 }
 
@@ -616,14 +754,15 @@ fn stats_response(shared: &Arc<Shared>) -> Response {
         c.evictions.get(),
         c.errors.get(),
     ));
-    body.push_str("\"latency_us\": {");
-    for (i, (bound, counter)) in c.latency.iter().enumerate() {
-        if i > 0 {
-            body.push_str(", ");
-        }
-        body.push_str(&format!("\"le_{bound}\": {}", counter.get()));
-    }
-    body.push_str(&format!(", \"le_inf\": {}}},\n", c.latency_inf.get()));
+    let lat = c.latency_us.snapshot();
+    body.push_str(&format!(
+        "\"latency_us\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n",
+        lat.count(),
+        lat.quantile(0.50),
+        lat.quantile(0.90),
+        lat.quantile(0.99),
+        lat.max(),
+    ));
     body.push_str(&format!(
         "\"index\": {{\"entries\": {}, \"bytes\": {}, \"budget_bytes\": {}, \"inflight\": {}}},\n",
         shared.index.len(),
@@ -684,14 +823,35 @@ mod tests {
         let c = Counters::new(&rec);
         c.requests.add(3);
         c.cache_hits.add(2);
-        c.observe_latency(Duration::from_micros(50));
-        c.observe_latency(Duration::from_millis(5));
+        c.observe_request("stats", Duration::from_micros(50));
+        c.observe_request("query", Duration::from_millis(5));
         let snap = rec.snapshot();
         let stats = ServeStats::from_snapshot(&snap);
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.cache_hits, 2);
-        assert_eq!(snap.counter("serve.latency_us_le_100"), 1);
-        assert_eq!(snap.counter("serve.latency_us_le_10000"), 2);
-        assert_eq!(snap.counter("serve.latency_us_le_inf"), 2);
+        assert_eq!(snap.histogram("serve.latency_us").count(), 2);
+        assert_eq!(snap.histogram("serve.endpoint.stats.latency_us").count(), 1);
+        assert_eq!(snap.histogram("serve.endpoint.query.latency_us").count(), 1);
+        assert_eq!(snap.counter("serve.endpoint.stats.requests"), 1);
+        assert_eq!(snap.counter("serve.endpoint.query.requests"), 1);
+    }
+
+    #[test]
+    fn endpoint_labels_cover_every_route() {
+        assert_eq!(endpoint_label("/healthz"), "healthz");
+        assert_eq!(endpoint_label("/metrics"), "metrics");
+        assert_eq!(endpoint_label("/events"), "events");
+        assert_eq!(endpoint_label("/job/0011223344556677"), "job");
+        assert_eq!(endpoint_label("/figure/fig01.csv"), "figure");
+        assert_eq!(endpoint_label("/nope"), "other");
+        for label in [
+            endpoint_label("/stats"),
+            endpoint_label("/query"),
+            endpoint_label("/compute"),
+            endpoint_label("/shutdown"),
+            endpoint_label("/"),
+        ] {
+            assert!(ENDPOINT_LABELS.contains(&label));
+        }
     }
 }

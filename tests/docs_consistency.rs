@@ -189,6 +189,8 @@ fn serving_docs_match_the_endpoints_and_code() {
         "/query",
         "/figure/",
         "/compute",
+        "/metrics",
+        "/events",
         "/stats",
         "/shutdown",
     ] {
@@ -219,8 +221,9 @@ fn serving_docs_match_the_endpoints_and_code() {
     assert!(readme.contains("docs/SERVING.md"));
     assert!(design.contains("docs/SERVING.md"));
 
-    // The documented counters are the code's (the latency buckets are
-    // format!-built in server.rs, so match on their shared prefix).
+    // The documented metric names are the code's (the per-endpoint
+    // families are format!-built in server.rs, so match on their
+    // shared prefix).
     for counter in [
         "serve.requests",
         "serve.cache_hits",
@@ -229,7 +232,8 @@ fn serving_docs_match_the_endpoints_and_code() {
         "serve.dedup_waits",
         "serve.evictions",
         "serve.errors",
-        "serve.latency_us_le_",
+        "serve.latency_us",
+        "serve.endpoint.",
     ] {
         assert!(
             serving_doc.contains(counter),
@@ -245,6 +249,63 @@ fn serving_docs_match_the_endpoints_and_code() {
     assert!(bench_binaries().contains("serve"));
     assert!(repo_root().join("examples/syncperf_client.rs").exists());
     assert!(repo_root().join("tests/serve_consistency.rs").exists());
+}
+
+#[test]
+fn observability_docs_match_the_telemetry_plane() {
+    // docs/OBSERVABILITY.md documents the metric names, the exposition
+    // schema, and the flight recorder the obs/sched/serve code
+    // implements; keep the three in lockstep.
+    let obs_doc = read("docs/OBSERVABILITY.md");
+    let readme = read("README.md");
+    let design = read("DESIGN.md");
+    let server_src = read("crates/serve/src/server.rs");
+    let sched_src = read("crates/sched/src/scheduler.rs");
+
+    // Metric-name table: every family the code registers is listed.
+    for (name, src, which) in [
+        ("serve.latency_us", &server_src, "server.rs"),
+        ("serve.endpoint.", &server_src, "server.rs"),
+        ("serve.index_entries", &server_src, "server.rs"),
+        ("serve.inflight", &server_src, "server.rs"),
+        ("serve.flight_events", &server_src, "server.rs"),
+        ("sched.wait_us", &sched_src, "scheduler.rs"),
+        ("sched.service_us.hit", &sched_src, "scheduler.rs"),
+        ("sched.service_us.miss", &sched_src, "scheduler.rs"),
+        ("sched.queue_depth", &sched_src, "scheduler.rs"),
+        ("sched.queue_depth_peak", &sched_src, "scheduler.rs"),
+        ("sched.worker.", &sched_src, "scheduler.rs"),
+    ] {
+        assert!(
+            obs_doc.contains(name),
+            "docs/OBSERVABILITY.md missing metric {name}"
+        );
+        assert!(src.contains(name), "{which} missing metric {name}");
+    }
+
+    // Exposition and flight-recorder schema anchors.
+    for needle in [
+        "# TYPE",
+        "_bucket{le=",
+        "events_dropped_total",
+        "GET /metrics",
+        "GET /events",
+        "flightrec-",
+        "--metrics",
+        "syncperf_top",
+    ] {
+        assert!(
+            obs_doc.contains(needle),
+            "docs/OBSERVABILITY.md missing {needle}"
+        );
+    }
+
+    // The live-view binary and the quantile/golden tests exist.
+    assert!(bench_binaries().contains("syncperf_top"));
+    assert!(repo_root().join("tests/telemetry_consistency.rs").exists());
+    assert!(readme.contains("syncperf_top"));
+    assert!(readme.contains("docs/OBSERVABILITY.md"));
+    assert!(design.contains("docs/OBSERVABILITY.md"));
 }
 
 #[test]

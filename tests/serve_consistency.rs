@@ -420,6 +420,107 @@ fn keep_alive_serves_two_requests_on_one_socket() {
 }
 
 #[test]
+fn metrics_counters_advance_across_keep_alive_requests() {
+    let results = tmp("metrics");
+    let server = start_server(&results, None);
+    let addr = server.addr();
+
+    // Two /metrics scrapes over one keep-alive socket. Each exposition
+    // must parse losslessly, and the second must show the first scrape
+    // counted — the counters advance while the connection stays open.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send first");
+    let (status, head, body) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "Prometheus exposition content type: {head}"
+    );
+    assert!(head.contains("Connection: keep-alive\r\n"));
+    // Parsed snapshots carry the exposition names (dots sanitized to
+    // underscores on the wire).
+    let first = syncperf_core::obs::metrics::parse(&body);
+    let first_requests = first.counter("serve_requests");
+    let first_scrapes = first.counter("serve_endpoint_metrics_requests");
+
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send second");
+    let (status, _, body) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    let second = syncperf_core::obs::metrics::parse(&body);
+    assert_eq!(
+        second.counter("serve_requests"),
+        first_requests + 1,
+        "the first scrape itself was counted"
+    );
+    assert_eq!(
+        second.counter("serve_endpoint_metrics_requests"),
+        first_scrapes + 1
+    );
+    assert!(
+        second
+            .histogram("serve_endpoint_metrics_latency_us")
+            .count()
+            >= 1,
+        "scrape latency lands in the per-endpoint histogram"
+    );
+    // Exposition is well-formed: every sample line has a numeric value,
+    // and the histogram families are typed.
+    for line in body.lines().filter(|l| !l.starts_with('#')) {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "sample value parses: {line:?}"
+        );
+    }
+    assert!(body.contains("# TYPE serve_latency_us histogram"));
+    assert!(body.contains("serve_latency_us_bucket{le=\"+Inf\"}"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn events_endpoint_tails_the_flight_recorder_as_jsonl() {
+    let results = tmp("events");
+    let server = start_server(&results, None);
+    let addr = server.addr();
+
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let (status, body) = get(addr, "/events?n=4");
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(!lines.is_empty(), "startup + requests were recorded");
+    assert!(lines.len() <= 4, "n bounds the tail: {} lines", lines.len());
+    let mut prev_seq = None;
+    for line in &lines {
+        let v = syncperf_core::obs::json::parse(line).expect("each line is one JSON object");
+        let seq = v
+            .get("seq")
+            .and_then(syncperf_core::obs::json::Value::as_f64)
+            .expect("entries carry a sequence number");
+        if let Some(p) = prev_seq {
+            assert!(seq > p, "tail is oldest-first by sequence");
+        }
+        prev_seq = Some(seq);
+    }
+    assert!(
+        body.contains("\"cat\":\"http\""),
+        "the /healthz request itself was recorded: {body}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
 fn serve_stats_round_trip_through_snapshot() {
     let results = tmp("stats");
     let rec = syncperf_core::obs::Recorder::enabled();

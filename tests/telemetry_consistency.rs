@@ -1,0 +1,213 @@
+//! Telemetry-plane consistency: the exposition format is golden-pinned
+//! (it is a wire format — `syncperf-top`, the CI smoke test, and any
+//! external Prometheus scraper parse it), histogram quantiles track a
+//! sorted-vector oracle within log-bucket resolution, merge is exact,
+//! and the flight recorder / gauge modes behave as documented in
+//! `docs/OBSERVABILITY.md`.
+
+use proptest::prelude::*;
+use syncperf_core::obs::{self, metrics, FlightRecorder, GaugeMode, Histogram, Recorder};
+
+/// The exposition text for a known snapshot, byte for byte. If this
+/// test fails because the format deliberately changed, update
+/// `docs/OBSERVABILITY.md` and `syncperf-top` in the same change.
+#[test]
+fn exposition_format_is_golden() {
+    let rec = Recorder::enabled();
+    rec.counter("serve.requests").add(3);
+    rec.gauge("peak").record(9);
+    rec.gauge_set("depth").set(2);
+    let h = rec.histogram("lat.us");
+    for v in [0u64, 1, 3, 100] {
+        h.observe(v);
+    }
+    let text = metrics::render(&rec.snapshot());
+    let golden = "\
+# TYPE serve_requests counter
+serve_requests 3
+# TYPE depth gauge
+depth{mode=\"set\"} 2
+# TYPE peak gauge
+peak{mode=\"max\"} 9
+# TYPE lat_us histogram
+lat_us_bucket{le=\"0\"} 1
+lat_us_bucket{le=\"1\"} 2
+lat_us_bucket{le=\"3\"} 3
+lat_us_bucket{le=\"127\"} 4
+lat_us_bucket{le=\"+Inf\"} 4
+lat_us_sum 104
+lat_us_count 4
+# TYPE lat_us_min gauge
+lat_us_min 0
+# TYPE lat_us_max gauge
+lat_us_max 100
+# TYPE events_dropped_total counter
+events_dropped_total 0
+";
+    assert_eq!(text, golden);
+}
+
+/// log2 bucket index of a value — the resolution unit the histogram
+/// promises (bucket 0 holds exactly the value 0).
+fn bucket_of(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros()
+    }
+}
+
+/// The oracle the histogram quantile approximates: the rank-`ceil(qn)`
+/// order statistic of the exact observation list.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(target - 1) as usize]
+}
+
+fn observations() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..2_000_000, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn quantiles_track_the_sorted_oracle_within_one_bucket(mut v in observations()) {
+        let h = Histogram::standalone();
+        for &x in &v {
+            h.observe(x);
+        }
+        v.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.50, 0.90, 0.99] {
+            let est = snap.quantile(q);
+            let exact = oracle_quantile(&v, q);
+            let db = (i64::from(bucket_of(est)) - i64::from(bucket_of(exact))).abs();
+            prop_assert!(
+                db <= 1,
+                "q={q}: estimate {est} (bucket {}) vs oracle {exact} (bucket {})",
+                bucket_of(est),
+                bucket_of(exact)
+            );
+        }
+        prop_assert_eq!(snap.min(), v[0], "min is exact");
+        prop_assert_eq!(snap.max(), *v.last().unwrap(), "max is exact");
+        prop_assert_eq!(snap.count(), v.len() as u64);
+        prop_assert_eq!(snap.sum, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_histogram(a in observations(), b in observations()) {
+        let (ha, hb, hall) = (Histogram::standalone(), Histogram::standalone(), Histogram::standalone());
+        for &x in &a {
+            ha.observe(x);
+            hall.observe(x);
+        }
+        for &x in &b {
+            hb.observe(x);
+            hall.observe(x);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let direct = hall.snapshot();
+        prop_assert_eq!(&merged.counts, &direct.counts, "bucket-exact merge");
+        prop_assert_eq!(merged.sum, direct.sum);
+        prop_assert_eq!(merged.min(), direct.min());
+        prop_assert_eq!(merged.max(), direct.max());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+
+    #[test]
+    fn exposition_round_trip_is_lossless_at_bucket_resolution(v in observations()) {
+        let rec = Recorder::enabled();
+        let h = rec.histogram("rt.us");
+        for &x in &v {
+            h.observe(x);
+        }
+        let snap = rec.snapshot();
+        let parsed = metrics::parse(&metrics::render(&snap));
+        let orig = snap.histogram("rt.us");
+        // Parsed snapshots live in the exposition namespace, where the
+        // dot was sanitized to an underscore.
+        let back = parsed.histogram("rt_us");
+        prop_assert_eq!(&back.counts, &orig.counts);
+        prop_assert_eq!(back.sum, orig.sum);
+        prop_assert_eq!(back.min(), orig.min());
+        prop_assert_eq!(back.max(), orig.max());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(back.quantile(q), orig.quantile(q));
+        }
+    }
+}
+
+#[test]
+fn gauge_modes_expose_high_water_vs_last_value() {
+    let rec = Recorder::enabled();
+    let peak = rec.gauge("q.peak");
+    let now = rec.gauge_set("q.now");
+    for depth in [3u64, 7, 2] {
+        peak.record(depth);
+        now.set(depth);
+    }
+    let snap = rec.snapshot();
+    assert_eq!(
+        snap.gauge("q.peak"),
+        7,
+        "max mode keeps the high-water mark"
+    );
+    assert_eq!(snap.gauge("q.now"), 2, "set mode keeps the last value");
+    assert_eq!(snap.gauge_modes["q.peak"], GaugeMode::Max);
+    assert_eq!(snap.gauge_modes["q.now"], GaugeMode::Set);
+}
+
+#[test]
+fn snapshot_merge_combines_planes() {
+    let (a, b) = (Recorder::enabled(), Recorder::enabled());
+    a.counter("jobs").add(2);
+    b.counter("jobs").add(3);
+    a.gauge("peak").record(5);
+    b.gauge("peak").record(9);
+    a.gauge_set("depth").set(1);
+    b.gauge_set("depth").set(2);
+    a.histogram("w.us").observe(10);
+    b.histogram("w.us").observe(1000);
+    let mut merged = a.snapshot();
+    merged.merge(&b.snapshot());
+    assert_eq!(merged.counter("jobs"), 5);
+    assert_eq!(merged.gauge("peak"), 9, "max gauges take the max");
+    assert_eq!(merged.gauge("depth"), 3, "set gauges sum across sources");
+    let h = merged.histogram("w.us");
+    assert_eq!((h.count(), h.min(), h.max()), (2, 10, 1000));
+}
+
+#[test]
+fn flight_recorder_ring_keeps_the_newest_entries() {
+    let fr = FlightRecorder::with_capacity(4);
+    for i in 0..10 {
+        fr.record("test", format!("event {i}"));
+    }
+    let tail = fr.tail(100);
+    assert_eq!(tail.len(), 4, "ring is bounded");
+    assert_eq!(fr.recorded(), 10, "total recorded is not");
+    let msgs: Vec<&str> = tail.iter().map(|e| e.msg.as_str()).collect();
+    assert_eq!(msgs, ["event 6", "event 7", "event 8", "event 9"]);
+    assert!(
+        tail.windows(2).all(|w| w[0].seq < w[1].seq),
+        "oldest-first by sequence"
+    );
+    // JSONL dump: one parseable object per line.
+    for line in fr.to_jsonl().lines() {
+        obs::json::parse(line).expect("flight entries serialize to valid JSON");
+    }
+}
+
+#[test]
+fn disabled_recorder_histograms_are_free_and_inert() {
+    let rec = Recorder::disabled();
+    let h = rec.histogram("never.us");
+    assert!(!h.is_enabled());
+    h.observe(123);
+    assert_eq!(h.snapshot().count(), 0);
+    assert!(rec.snapshot().histograms.is_empty());
+}
