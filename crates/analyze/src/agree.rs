@@ -16,6 +16,7 @@
 
 use syncperf_core::{CpuOp, GpuOp};
 
+use crate::explore::{explore_cpu_body, explore_gpu_body, ExploreStats};
 use crate::lint::{divergent_barriers, static_race_locs_cpu, static_race_locs_gpu};
 use crate::trace::Loc;
 use crate::vc::{replay_cpu_body, replay_gpu_body, DynReport};
@@ -84,6 +85,83 @@ impl Agreement {
             report,
         }
     }
+}
+
+/// The outcome of cross-checking the explorer's race engine against
+/// the vector-clock replay on one body.
+///
+/// The two engines replay the same lowering under the same
+/// happens-before discipline but are independent implementations (the
+/// explorer additionally drops fence edges); on every deadlock-free,
+/// completely-explored body their raced-location sets must be equal.
+/// Bodies that can wedge have no well-defined race verdict — the
+/// contract holds vacuously there, with the wedge reported as
+/// SL007/SL008 instead.
+#[derive(Debug, Clone)]
+pub struct EngineAgreement {
+    /// Locations only the explorer's engine called raced.
+    pub explorer_only: Vec<Loc>,
+    /// Locations only the vector-clock replay called raced.
+    pub vc_only: Vec<Loc>,
+    /// Whether every explored schedule completed (no wedge).
+    pub deadlock_free: bool,
+    /// The exploration's counters.
+    pub stats: ExploreStats,
+}
+
+impl EngineAgreement {
+    /// Whether the contract holds.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        !(self.deadlock_free && self.stats.complete)
+            || (self.explorer_only.is_empty() && self.vc_only.is_empty())
+    }
+
+    /// Human-readable explanation of a failed agreement.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        if self.holds() {
+            return "explorer and vector-clock race verdicts agree".to_string();
+        }
+        let mut parts = Vec::new();
+        if !self.explorer_only.is_empty() {
+            parts.push(format!(
+                "explorer-only race locations: {:?}",
+                self.explorer_only
+            ));
+        }
+        if !self.vc_only.is_empty() {
+            parts.push(format!("vc-only race locations: {:?}", self.vc_only));
+        }
+        parts.join("; ")
+    }
+}
+
+fn engine_parts(
+    explorer: &crate::explore::ExploreReport,
+    vc_locs: &std::collections::BTreeSet<Loc>,
+) -> EngineAgreement {
+    let ex_locs = explorer.race_locs();
+    EngineAgreement {
+        explorer_only: ex_locs.difference(vc_locs).copied().collect(),
+        vc_only: vc_locs.difference(&ex_locs).copied().collect(),
+        deadlock_free: explorer.deadlock_free,
+        stats: explorer.stats,
+    }
+}
+
+/// Cross-checks the explorer's CPU race verdict against the
+/// vector-clock replay's.
+#[must_use]
+pub fn crosscheck_engines_cpu(body: &[CpuOp]) -> EngineAgreement {
+    engine_parts(&explore_cpu_body(body), &replay_cpu_body(body).race_locs())
+}
+
+/// Cross-checks the explorer's GPU race verdict against the
+/// vector-clock replay's.
+#[must_use]
+pub fn crosscheck_engines_gpu(body: &[GpuOp]) -> EngineAgreement {
+    engine_parts(&explore_gpu_body(body), &replay_gpu_body(body).race_locs())
 }
 
 /// Cross-checks a CPU body with the default audit geometry.

@@ -156,6 +156,11 @@ mod tests {
             assert_ne!(e.code, DiagCode::DataRace);
             assert_ne!(e.code, DiagCode::BarrierDivergence);
             assert_ne!(e.code, DiagCode::ScopeMismatch);
+            // Explorer verdicts are proofs over the bounded model, not
+            // heuristics — suppressing one hides a real deadlock/race.
+            assert_ne!(e.code, DiagCode::BarrierDeadlock);
+            assert_ne!(e.code, DiagCode::LockCycle);
+            assert_ne!(e.code, DiagCode::AtomicityViolation);
         }
     }
 }

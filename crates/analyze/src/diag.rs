@@ -37,17 +37,41 @@ pub enum DiagCode {
     /// correct but costly; the paper recommends integer atomics where
     /// possible.
     FpAtomicCas,
+    /// `SL007` — barrier deadlock / arity mismatch: the bounded
+    /// exhaustive explorer found a schedule (or a warp-divergence path
+    /// assignment) in which some threads wait at a barrier that the
+    /// remaining threads can never reach.
+    BarrierDeadlock,
+    /// `SL008` — lock-order deadlock: the explorer found a schedule in
+    /// which every blocked thread waits for a critical-section lock
+    /// that is never released (a wait-for cycle, including
+    /// self-re-entry of a non-reentrant lock).
+    LockCycle,
+    /// `SL009` — atomicity violation: a read-modify-write of a
+    /// thread-shared location is split across plain ops with no common
+    /// lock held across the window, so another thread's write can
+    /// interleave between the read and the write.
+    AtomicityViolation,
+    /// `SL010` — insufficient fence: a plain store is still pending in
+    /// the store-buffer abstract domain when a later atomic publish to
+    /// a different shared location executes, so other threads can
+    /// observe the publish before the data it advertises.
+    InsufficientFence,
 }
 
 impl DiagCode {
     /// Every code, in numeric order.
-    pub const ALL: [DiagCode; 6] = [
+    pub const ALL: [DiagCode; 10] = [
         DiagCode::DataRace,
         DiagCode::BarrierDivergence,
         DiagCode::ScopeMismatch,
         DiagCode::UnfencedPublish,
         DiagCode::RedundantSync,
         DiagCode::FpAtomicCas,
+        DiagCode::BarrierDeadlock,
+        DiagCode::LockCycle,
+        DiagCode::AtomicityViolation,
+        DiagCode::InsufficientFence,
     ];
 
     /// The stable code string, e.g. `"SL001"`.
@@ -60,6 +84,10 @@ impl DiagCode {
             DiagCode::UnfencedPublish => "SL004",
             DiagCode::RedundantSync => "SL005",
             DiagCode::FpAtomicCas => "SL006",
+            DiagCode::BarrierDeadlock => "SL007",
+            DiagCode::LockCycle => "SL008",
+            DiagCode::AtomicityViolation => "SL009",
+            DiagCode::InsufficientFence => "SL010",
         }
     }
 
@@ -73,6 +101,10 @@ impl DiagCode {
             DiagCode::UnfencedPublish => "fence-free publish",
             DiagCode::RedundantSync => "redundant synchronization",
             DiagCode::FpAtomicCas => "floating-point atomic via CAS loop",
+            DiagCode::BarrierDeadlock => "barrier deadlock (path-sensitive)",
+            DiagCode::LockCycle => "lock-order deadlock cycle",
+            DiagCode::AtomicityViolation => "split read-modify-write",
+            DiagCode::InsufficientFence => "publish outruns unflushed store",
         }
     }
 
@@ -80,11 +112,86 @@ impl DiagCode {
     #[must_use]
     pub const fn severity(self) -> Severity {
         match self {
-            DiagCode::DataRace | DiagCode::BarrierDivergence | DiagCode::ScopeMismatch => {
-                Severity::Error
+            DiagCode::DataRace
+            | DiagCode::BarrierDivergence
+            | DiagCode::ScopeMismatch
+            | DiagCode::BarrierDeadlock
+            | DiagCode::LockCycle
+            | DiagCode::AtomicityViolation => Severity::Error,
+            DiagCode::UnfencedPublish | DiagCode::RedundantSync | DiagCode::InsufficientFence => {
+                Severity::Warning
             }
-            DiagCode::UnfencedPublish | DiagCode::RedundantSync => Severity::Warning,
             DiagCode::FpAtomicCas => Severity::Info,
+        }
+    }
+
+    /// A paragraph-length explanation of what the code means, what
+    /// evidence triggers it, and which engine produces it. Surfaced by
+    /// `sync_lint --explain SL00x` and as the SARIF rule
+    /// `fullDescription`.
+    #[must_use]
+    pub const fn explain(self) -> &'static str {
+        match self {
+            DiagCode::DataRace => {
+                "Two threads access the same element, at least one access writes, and at least \
+                 one side is plain (or a block-scoped GPU atomic, which is effectively plain \
+                 across blocks), with no barrier or atomicity ordering the pair. Produced by the \
+                 static linter from the lowered access streams and independently confirmed by \
+                 the vector-clock replay; the two verdicts must agree."
+            }
+            DiagCode::BarrierDivergence => {
+                "A block-wide barrier is the op immediately after a divergent branch, so part of \
+                 the warp may arrive while the rest takes another path — a deadlock (or \
+                 undefined behavior) on real hardware. This is the fast adjacency pre-pass; the \
+                 explorer's SL007 covers the general any-distance case."
+            }
+            DiagCode::ScopeMismatch => {
+                "The same target is accessed with both block-scoped and device/system-scoped \
+                 atomics. The narrower scope does not order against the wider one, so the \
+                 atomics silently fail to serialize across blocks."
+            }
+            DiagCode::UnfencedPublish => {
+                "Plain updates to a shared array are never followed by a flush, fence, or \
+                 barrier anywhere in the body, so no other thread has a defined point at which \
+                 it may observe the values."
+            }
+            DiagCode::RedundantSync => {
+                "Back-to-back barriers, or a fence immediately following an equal-or-stronger \
+                 fence: the second primitive orders nothing new and only costs time."
+            }
+            DiagCode::FpAtomicCas => {
+                "A floating-point atomic read-modify-write lowers to a compare-and-swap retry \
+                 loop on this hardware. It is correct, but under contention it retries; the \
+                 paper recommends integer atomics where the algorithm permits."
+            }
+            DiagCode::BarrierDeadlock => {
+                "The bounded exhaustive explorer found a reachable state in which at least one \
+                 thread waits at a barrier that the remaining threads can never reach — because \
+                 they already terminated (arity mismatch), are blocked on a lock held by a \
+                 waiting thread, or (on the GPU) sit on the other side of an unreconverged \
+                 divergent branch. Path-sensitive: the barrier may be any distance from the \
+                 divergence point, superseding the SL002 adjacency heuristic."
+            }
+            DiagCode::LockCycle => {
+                "The explorer found a reachable state in which every blocked thread waits for a \
+                 critical-section lock that will never be released: a lock-order cycle across \
+                 threads, or a thread re-entering a non-reentrant lock it already holds \
+                 (including across the measurement loop's iteration boundary)."
+            }
+            DiagCode::AtomicityViolation => {
+                "Within one body iteration a thread reads a thread-shared location and later \
+                 writes it with plain ops, with no lock held across the whole window. Another \
+                 thread's write can interleave between the read and the write, losing an \
+                 update. A barrier inside the window closes it: staged phases are not a \
+                 violation."
+            }
+            DiagCode::InsufficientFence => {
+                "In the store-buffer abstract domain (the same model the cpu-sim executes), a \
+                 plain store is still buffered when a later atomic write publishes a different \
+                 shared location. Only a global fence (flush / __threadfence) drains the \
+                 buffer, so a reader that observes the publish may still read stale data. \
+                 Block-scoped GPU fences do not order across blocks."
+            }
         }
     }
 }

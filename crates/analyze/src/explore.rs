@@ -1,0 +1,931 @@
+//! Bounded exhaustive exploration of kernel bodies: the model checker.
+//!
+//! Where [`crate::lint`] pattern-matches op sequences and [`crate::vc`]
+//! replays one canonical schedule, this module *explores*:
+//!
+//! * **CPU bodies** — a memoized depth-first search over every
+//!   sync-granularity interleaving of the audit geometry's threads.
+//!   The partial-order reduction lives in [`crate::interp::advance`]:
+//!   thread-local events are macro-stepped, barriers fire as soon as
+//!   everyone arrives (the only enabled transition at that point), and
+//!   the search branches solely on *lock grants* — which waiting
+//!   thread gets a free lock. A state where no thread can move is a
+//!   wedge: `SL007` if anyone is parked at a barrier, else `SL008`.
+//! * **GPU bodies** — locks do not exist, so schedules collapse to one
+//!   path per *divergence assignment*: every data-dependent branch
+//!   (`Diverge`) independently either diverges or stays uniform. The
+//!   explorer enumerates all `2^sites` assignments and tracks
+//!   reconvergence (uniform ALU work, `__syncwarp`, and block
+//!   barriers reconverge; memory accesses and fences do not — the
+//!   independent-thread-scheduling model), flagging any block barrier
+//!   reachable while divergent as `SL007`. This supersedes the SL002
+//!   adjacency heuristic, which only sees a barrier *immediately*
+//!   after the branch.
+//!
+//! On deadlock-free bodies the explorer also reruns the races with its
+//! own round-lockstep clock engine — same lowering, same race matrix,
+//! per-lock clocks, but **no fence edges** (a fence is not a barrier;
+//! dropping its asymmetric chaining cannot hide a symmetric SPMD race
+//! at location granularity). [`crate::agree::crosscheck_engines_cpu`]
+//! pins this verdict against the vector-clock replay's on every body.
+//!
+//! Two straight-line abstract-domain passes ride along:
+//!
+//! * `SL009` — a read of a thread-shared element followed by a write
+//!   to it in the same iteration with no common lock held across the
+//!   window: a split read-modify-write another thread can interleave.
+//! * `SL010` — a plain store still pending in the store-buffer domain
+//!   (only a *global* fence drains it, exactly like the cpu-sim's
+//!   `Flush`) when a later atomic write publishes a different shared
+//!   element.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use syncperf_core::{CpuOp, GpuOp};
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::interp::{advance, cpu_streams, critical_regions, Stop, Stream};
+use crate::trace::{
+    loc_of, lower_cpu_op, lower_gpu_op, AccessKind, FenceScope, Geometry, Loc, TraceEvent,
+};
+use crate::vc::{RaceFinding, AUDIT_ITERATIONS};
+
+/// Hard ceiling on memoized scheduler states per body. Registry
+/// kernels stay orders of magnitude below this; hitting it marks the
+/// exploration incomplete rather than hanging CI.
+const STATE_CAP: usize = 1 << 20;
+
+/// Hard ceiling on GPU divergence sites (assignments are `2^sites`).
+const SITE_CAP: usize = 16;
+
+/// Counters describing one body's exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Scheduler states visited (closure rounds plus memoized branch
+    /// states; for GPU bodies, simulated op-steps).
+    pub states: u64,
+    /// Branch alternatives taken (lock grants / divergence
+    /// assignments beyond the first).
+    pub branches: u64,
+    /// Whether the search ran to exhaustion. `false` only when a cap
+    /// was hit; incomplete explorations assert nothing.
+    pub complete: bool,
+}
+
+/// The outcome of exploring one body.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Path-sensitive findings: SL007/SL008 wedges, SL009 atomicity
+    /// windows, SL010 store-buffer leaks.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Raced locations from the explorer's own clock engine. Empty
+    /// (and meaningless) when the body can wedge.
+    pub races: BTreeMap<Loc, RaceFinding>,
+    /// Whether every explored schedule ran to completion.
+    pub deadlock_free: bool,
+    /// Search counters.
+    pub stats: ExploreStats,
+}
+
+impl ExploreReport {
+    /// The raced locations.
+    #[must_use]
+    pub fn race_locs(&self) -> BTreeSet<Loc> {
+        self.races.keys().copied().collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// CPU: memoized DFS over lock-grant choices.
+// ---------------------------------------------------------------------
+
+/// One memoized search state: per-thread stream positions plus the
+/// sorted (lock, owner) list.
+type SearchState = (Vec<usize>, Vec<(u8, usize)>);
+
+struct CpuSearch<'a> {
+    streams: &'a [Stream],
+    visited: HashSet<SearchState>,
+    wedges: BTreeMap<(DiagCode, Option<usize>), Diagnostic>,
+    states: u64,
+    branches: u64,
+    complete: bool,
+    any_wedge: bool,
+}
+
+impl CpuSearch<'_> {
+    fn dfs(&mut self, mut pos: Vec<usize>, mut locks: BTreeMap<u8, usize>) {
+        let n = self.streams.len();
+        loop {
+            if !self.complete {
+                return;
+            }
+            self.states += 1;
+            // Closure: macro-advance everyone past their local events
+            // (releases free locks eagerly inside `advance`).
+            let stops: Vec<Stop> = (0..n)
+                .map(|t| advance(&self.streams[t], &mut pos[t], t, &mut locks))
+                .collect();
+            if stops.iter().all(|s| matches!(s, Stop::Done)) {
+                return;
+            }
+            // A barrier fires the moment every thread is parked at
+            // one; nothing else is enabled then, so firing eagerly is
+            // not even a reduction — it is determinism.
+            if stops.iter().all(|s| matches!(s, Stop::Barrier { .. })) {
+                for p in &mut pos {
+                    *p += 1;
+                }
+                continue;
+            }
+            let grants: Vec<(usize, u8)> = stops
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    Stop::Acquire { lock, .. } if !locks.contains_key(lock) => Some((t, *lock)),
+                    _ => None,
+                })
+                .collect();
+            if grants.is_empty() {
+                self.record_wedge(&stops, &locks);
+                return;
+            }
+            if grants.len() == 1 {
+                // The sole enabled transition: take it in place.
+                let (t, l) = grants[0];
+                locks.insert(l, t);
+                pos[t] += 1;
+                continue;
+            }
+            // A real choice: memoize and branch over every grant.
+            let key = (
+                pos.clone(),
+                locks.iter().map(|(&l, &t)| (l, t)).collect::<Vec<_>>(),
+            );
+            if !self.visited.insert(key) {
+                return;
+            }
+            if self.visited.len() > STATE_CAP {
+                self.complete = false;
+                return;
+            }
+            for (t, l) in grants {
+                self.branches += 1;
+                let mut pos2 = pos.clone();
+                let mut locks2 = locks.clone();
+                locks2.insert(l, t);
+                pos2[t] += 1;
+                self.dfs(pos2, locks2);
+            }
+            return;
+        }
+    }
+
+    fn record_wedge(&mut self, stops: &[Stop], locks: &BTreeMap<u8, usize>) {
+        self.any_wedge = true;
+        let waiting_barrier: Vec<usize> = stops
+            .iter()
+            .enumerate()
+            .filter_map(|(t, s)| matches!(s, Stop::Barrier { .. }).then_some(t))
+            .collect();
+        let waiting_lock: Vec<(usize, u8)> = stops
+            .iter()
+            .enumerate()
+            .filter_map(|(t, s)| match s {
+                Stop::Acquire { lock, .. } => Some((t, *lock)),
+                _ => None,
+            })
+            .collect();
+        let describe_locks = |list: &[(usize, u8)]| {
+            list.iter()
+                .map(|(t, l)| {
+                    let owner = locks
+                        .get(l)
+                        .map_or_else(|| "no one".to_string(), |o| format!("thread {o}"));
+                    format!("thread {t} waits for lock {l} (held by {owner})")
+                })
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+        let (code, op_index, message) = if waiting_barrier.is_empty() {
+            let op = waiting_lock.iter().find_map(|(t, _)| match stops[*t] {
+                Stop::Acquire { op_index, .. } => Some(op_index),
+                _ => None,
+            });
+            (
+                DiagCode::LockCycle,
+                op,
+                format!(
+                    "explored schedule wedges with no barrier involved: {}",
+                    describe_locks(&waiting_lock)
+                ),
+            )
+        } else {
+            let op = waiting_barrier.iter().find_map(|t| match stops[*t] {
+                Stop::Barrier { op_index } => Some(op_index),
+                _ => None,
+            });
+            let mut msg = format!(
+                "explored schedule wedges at a barrier: threads {waiting_barrier:?} wait at the \
+                 barrier while the rest can never arrive"
+            );
+            if !waiting_lock.is_empty() {
+                msg.push_str(&format!(" ({})", describe_locks(&waiting_lock)));
+            }
+            let done: Vec<usize> = stops
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| matches!(s, Stop::Done).then_some(t))
+                .collect();
+            if !done.is_empty() {
+                msg.push_str(&format!(" (threads {done:?} already terminated)"));
+            }
+            (DiagCode::BarrierDeadlock, op, msg)
+        };
+        self.wedges
+            .entry((code, op_index))
+            .or_insert_with(|| Diagnostic::new(code, op_index, message));
+    }
+}
+
+/// Explores every sync-granularity interleaving of a CPU body over
+/// `geom` × `iterations`.
+#[must_use]
+pub fn explore_cpu(body: &[CpuOp], geom: Geometry, iterations: usize) -> ExploreReport {
+    let streams = cpu_streams(body, geom, iterations);
+    let mut search = CpuSearch {
+        streams: &streams,
+        visited: HashSet::new(),
+        wedges: BTreeMap::new(),
+        states: 0,
+        branches: 0,
+        complete: true,
+        any_wedge: false,
+    };
+    search.dfs(vec![0; streams.len()], BTreeMap::new());
+    let deadlock_free = search.complete && !search.any_wedge;
+    let mut diagnostics: Vec<Diagnostic> = search.wedges.into_values().collect();
+    diagnostics.extend(atomicity_pass(body, geom));
+    diagnostics.extend(fence_pass_cpu(body, geom));
+    let races = if deadlock_free {
+        race_replay_cpu(body, geom, iterations)
+    } else {
+        BTreeMap::new()
+    };
+    ExploreReport {
+        diagnostics,
+        races,
+        deadlock_free,
+        stats: ExploreStats {
+            states: search.states,
+            branches: search.branches,
+            complete: search.complete,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// GPU: one deterministic path per divergence assignment.
+// ---------------------------------------------------------------------
+
+/// Explores every warp-divergence path assignment of a GPU body.
+#[must_use]
+pub fn explore_gpu(body: &[GpuOp], geom: Geometry, iterations: usize) -> ExploreReport {
+    let shapes: Vec<Vec<TraceEvent>> = body.iter().map(|&op| lower_gpu_op(op, 0)).collect();
+    let sites: Vec<usize> = shapes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s.first() {
+            Some(TraceEvent::Diverge(p)) if *p > 1 => Some(i),
+            _ => None,
+        })
+        .collect();
+    let complete = sites.len() <= SITE_CAP;
+    let masks: u64 = 1 << sites.len().min(SITE_CAP);
+    let mut states = 0u64;
+    let mut branches = 0u64;
+    // op index of the hazardous barrier -> op index of the divergence.
+    let mut hazards: BTreeMap<usize, usize> = BTreeMap::new();
+    for mask in 0..masks {
+        branches += 1;
+        let mut diverged: Option<usize> = None;
+        for _ in 0..iterations {
+            for (i, shape) in shapes.iter().enumerate() {
+                states += 1;
+                for ev in shape {
+                    match ev {
+                        TraceEvent::Diverge(p) => {
+                            let site = sites.iter().position(|&s| s == i);
+                            let takes = site.is_some_and(|s| mask >> s & 1 == 1);
+                            if *p > 1 && takes {
+                                diverged = Some(i);
+                            }
+                        }
+                        // Uniform register work and warp-level syncs
+                        // are reconvergence points.
+                        TraceEvent::Nop | TraceEvent::BarrierWarp => diverged = None,
+                        TraceEvent::BarrierBlock => {
+                            if let Some(src) = diverged {
+                                hazards.entry(i).or_insert(src);
+                            }
+                            diverged = None;
+                        }
+                        // Memory traffic and fences execute fine on a
+                        // divergent warp (independent thread
+                        // scheduling) and do not reconverge it.
+                        TraceEvent::Access { .. } | TraceEvent::Fence(_) => {}
+                        TraceEvent::BarrierAll
+                        | TraceEvent::LockAcquire(_)
+                        | TraceEvent::LockRelease(_) => {
+                            unreachable!("GPU lowering emits no {ev:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut diagnostics: Vec<Diagnostic> = hazards
+        .iter()
+        .map(|(&bar, &src)| {
+            Diagnostic::new(
+                DiagCode::BarrierDeadlock,
+                Some(bar),
+                format!(
+                    "block barrier at op #{bar} is reachable with the warp still divergent from \
+                     the branch at op #{src}: part of the warp can wait forever"
+                ),
+            )
+        })
+        .collect();
+    diagnostics.extend(atomicity_pass_gpu(body, geom));
+    diagnostics.extend(fence_pass_gpu(body, geom));
+    let deadlock_free = complete && hazards.is_empty();
+    ExploreReport {
+        races: race_replay_gpu(body, geom, iterations),
+        diagnostics,
+        deadlock_free,
+        stats: ExploreStats {
+            states,
+            branches,
+            complete,
+        },
+    }
+}
+
+/// CPU exploration with the default audit geometry and iterations.
+#[must_use]
+pub fn explore_cpu_body(body: &[CpuOp]) -> ExploreReport {
+    explore_cpu(body, Geometry::CPU_AUDIT, AUDIT_ITERATIONS)
+}
+
+/// GPU exploration with the default audit geometry and iterations.
+#[must_use]
+pub fn explore_gpu_body(body: &[GpuOp]) -> ExploreReport {
+    explore_gpu(body, Geometry::GPU_AUDIT, AUDIT_ITERATIONS)
+}
+
+// ---------------------------------------------------------------------
+// The explorer's own race engine: round-lockstep, per-lock clocks, no
+// fence edges. Independent of crate::vc on purpose — agreement between
+// the two is asserted, not assumed.
+// ---------------------------------------------------------------------
+
+type Clock = Vec<u32>;
+
+fn join(dst: &mut Clock, src: &Clock) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn unordered(past: &Clock, now: &Clock, me: usize) -> bool {
+    past.iter()
+        .zip(now)
+        .enumerate()
+        .any(|(u, (p, c))| u != me && p > c)
+}
+
+#[derive(Default, Clone)]
+struct LocState {
+    plain_write: Clock,
+    plain_read: Clock,
+    atomic_write: Clock,
+    atomic_read: Clock,
+}
+
+struct RaceEngine {
+    geom: Geometry,
+    clocks: Vec<Clock>,
+    locks: BTreeMap<u8, Clock>,
+    locs: BTreeMap<Loc, LocState>,
+    races: BTreeMap<Loc, RaceFinding>,
+}
+
+impl RaceEngine {
+    fn new(geom: Geometry) -> Self {
+        let n = geom.total_threads();
+        let mut clocks = vec![vec![0; n]; n];
+        for (t, c) in clocks.iter_mut().enumerate() {
+            c[t] = 1;
+        }
+        RaceEngine {
+            geom,
+            clocks,
+            locks: BTreeMap::new(),
+            locs: BTreeMap::new(),
+            races: BTreeMap::new(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.geom.total_threads()
+    }
+
+    fn barrier(&mut self, members: &[usize]) {
+        let mut joined = vec![0; self.n()];
+        for &t in members {
+            join(&mut joined, &self.clocks[t]);
+        }
+        for &t in members {
+            self.clocks[t].copy_from_slice(&joined);
+            self.clocks[t][t] += 1;
+        }
+    }
+
+    fn step(&mut self, t: usize, op_index: usize, ev: TraceEvent) {
+        match ev {
+            TraceEvent::Access {
+                loc,
+                kind,
+                dtype,
+                target,
+            } => {
+                let n = self.n();
+                let lc = self.locs.entry(loc).or_insert_with(|| LocState {
+                    plain_write: vec![0; n],
+                    plain_read: vec![0; n],
+                    atomic_write: vec![0; n],
+                    atomic_read: vec![0; n],
+                });
+                let c = &self.clocks[t];
+                let raced = match kind {
+                    AccessKind::PlainRead => {
+                        unordered(&lc.plain_write, c, t) || unordered(&lc.atomic_write, c, t)
+                    }
+                    AccessKind::PlainWrite => {
+                        unordered(&lc.plain_write, c, t)
+                            || unordered(&lc.plain_read, c, t)
+                            || unordered(&lc.atomic_write, c, t)
+                            || unordered(&lc.atomic_read, c, t)
+                    }
+                    AccessKind::AtomicRead => unordered(&lc.plain_write, c, t),
+                    AccessKind::AtomicWrite => {
+                        unordered(&lc.plain_write, c, t) || unordered(&lc.plain_read, c, t)
+                    }
+                };
+                let epoch = c[t];
+                match kind {
+                    AccessKind::PlainRead => lc.plain_read[t] = epoch,
+                    AccessKind::PlainWrite => lc.plain_write[t] = epoch,
+                    AccessKind::AtomicRead => lc.atomic_read[t] = epoch,
+                    AccessKind::AtomicWrite => lc.atomic_write[t] = epoch,
+                }
+                if raced {
+                    self.races.entry(loc).or_insert(RaceFinding {
+                        loc,
+                        dtype,
+                        target,
+                        op_index,
+                    });
+                }
+            }
+            TraceEvent::LockAcquire(l) => {
+                let n = self.n();
+                let lock = self.locks.entry(l).or_insert_with(|| vec![0; n]).clone();
+                join(&mut self.clocks[t], &lock);
+            }
+            TraceEvent::LockRelease(l) => {
+                let n = self.n();
+                let c = self.clocks[t].clone();
+                join(self.locks.entry(l).or_insert_with(|| vec![0; n]), &c);
+                self.clocks[t][t] += 1;
+            }
+            // No fence edges: a fence is not a barrier, and in
+            // symmetric SPMD its asymmetric chaining never changes the
+            // raced-location set — asserted against crate::vc by the
+            // engine-agreement tests.
+            TraceEvent::Fence(_) | TraceEvent::Diverge(_) | TraceEvent::Nop => {}
+            TraceEvent::BarrierAll | TraceEvent::BarrierBlock | TraceEvent::BarrierWarp => {
+                unreachable!("barriers run at op level")
+            }
+        }
+    }
+
+    fn run_op(&mut self, op_index: usize, lower: &dyn Fn(usize) -> Vec<TraceEvent>) {
+        let shape = lower(0);
+        match shape.first() {
+            Some(TraceEvent::BarrierAll) => {
+                let all: Vec<usize> = (0..self.n()).collect();
+                self.barrier(&all);
+            }
+            Some(TraceEvent::BarrierBlock) => {
+                for b in 0..self.geom.blocks {
+                    let members: Vec<usize> = (0..self.n())
+                        .filter(|&t| self.geom.block_of(t) == b)
+                        .collect();
+                    self.barrier(&members);
+                }
+            }
+            Some(TraceEvent::BarrierWarp) => {
+                let warps = self.geom.blocks * self.geom.warps_per_block;
+                for w in 0..warps {
+                    let members: Vec<usize> = (0..self.n())
+                        .filter(|&t| self.geom.warp_of(t) == w)
+                        .collect();
+                    self.barrier(&members);
+                }
+            }
+            _ => {
+                for t in 0..self.n() {
+                    for ev in lower(t) {
+                        self.step(t, op_index, ev);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn race_replay_cpu(
+    body: &[CpuOp],
+    geom: Geometry,
+    iterations: usize,
+) -> BTreeMap<Loc, RaceFinding> {
+    let mut e = RaceEngine::new(geom);
+    let regions = critical_regions(body);
+    for _ in 0..iterations {
+        let mut i = 0;
+        while i < body.len() {
+            if let Some(&(s, end)) = regions.iter().find(|&&(s, _)| s == i) {
+                // The outermost lock serializes the whole region:
+                // each thread runs it as one super-op, in tid order.
+                for t in 0..e.n() {
+                    for (off, &op) in body[s..=end].iter().enumerate() {
+                        for ev in lower_cpu_op(op, t) {
+                            e.step(t, s + off, ev);
+                        }
+                    }
+                }
+                i = end + 1;
+            } else {
+                let op = body[i];
+                e.run_op(i, &|tid| lower_cpu_op(op, tid));
+                i += 1;
+            }
+        }
+    }
+    e.races
+}
+
+fn race_replay_gpu(
+    body: &[GpuOp],
+    geom: Geometry,
+    iterations: usize,
+) -> BTreeMap<Loc, RaceFinding> {
+    let mut e = RaceEngine::new(geom);
+    for _ in 0..iterations {
+        for (i, &op) in body.iter().enumerate() {
+            e.run_op(i, &|tid| lower_gpu_op(op, tid));
+        }
+    }
+    e.races
+}
+
+// ---------------------------------------------------------------------
+// Straight-line abstract-domain passes: SL009 and SL010.
+// ---------------------------------------------------------------------
+
+/// Whether a location is the same element for every thread.
+fn is_shared(ev: &TraceEvent) -> Option<Loc> {
+    if let TraceEvent::Access {
+        loc, dtype, target, ..
+    } = ev
+    {
+        (loc_of(*dtype, *target, 0) == loc_of(*dtype, *target, 1)).then_some(*loc)
+    } else {
+        None
+    }
+}
+
+/// Per-thread events of one body iteration (thread 0 is
+/// representative: bodies are SPMD-symmetric).
+fn one_iteration<Op: Copy>(
+    body: &[Op],
+    lower: impl Fn(Op, usize) -> Vec<TraceEvent>,
+) -> Vec<(usize, TraceEvent)> {
+    let mut evs = Vec::new();
+    for (i, &op) in body.iter().enumerate() {
+        for ev in lower(op, 0) {
+            evs.push((i, ev));
+        }
+    }
+    evs
+}
+
+/// SL009: a read of a thread-shared element opens a window that a
+/// later same-thread write to the element closes; if no lock spans the
+/// whole window, another thread's write can interleave. Barriers close
+/// windows benignly (staged phases are intentional).
+fn atomicity_windows(events: &[(usize, TraceEvent)]) -> Vec<Diagnostic> {
+    let mut held: BTreeSet<u8> = BTreeSet::new();
+    // loc -> (op index of the opening read, locks held at the read)
+    let mut open: BTreeMap<Loc, (usize, BTreeSet<u8>)> = BTreeMap::new();
+    let mut out = Vec::new();
+    for &(i, ev) in events {
+        match ev {
+            TraceEvent::LockAcquire(l) => {
+                held.insert(l);
+            }
+            TraceEvent::LockRelease(l) => {
+                held.remove(&l);
+            }
+            TraceEvent::BarrierAll | TraceEvent::BarrierBlock | TraceEvent::BarrierWarp => {
+                open.clear();
+            }
+            TraceEvent::Access { kind, .. } => {
+                let Some(loc) = is_shared(&ev) else { continue };
+                match kind {
+                    AccessKind::PlainRead | AccessKind::AtomicRead => {
+                        open.entry(loc).or_insert_with(|| (i, held.clone()));
+                    }
+                    AccessKind::PlainWrite | AccessKind::AtomicWrite => {
+                        if let Some((read_op, read_locks)) = open.remove(&loc) {
+                            if read_locks.intersection(&held).next().is_none() {
+                                out.push(Diagnostic::new(
+                                    DiagCode::AtomicityViolation,
+                                    Some(i),
+                                    format!(
+                                        "read-modify-write of a shared element is split: read at \
+                                         op #{read_op}, write at op #{i}, no common lock held \
+                                         across the window — another thread's write can \
+                                         interleave"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            TraceEvent::Fence(_) | TraceEvent::Diverge(_) | TraceEvent::Nop => {}
+        }
+    }
+    out
+}
+
+/// SL010: plain stores sit in the store buffer until a *global* fence
+/// drains them (the cpu-sim's `Flush`; block-scoped GPU fences do not
+/// order across blocks). An atomic publish of a different shared
+/// element while stores are pending can be observed before the data.
+fn fence_windows(events: &[(usize, TraceEvent)]) -> Vec<Diagnostic> {
+    let mut pending: BTreeMap<Loc, usize> = BTreeMap::new();
+    let mut out = Vec::new();
+    for &(i, ev) in events {
+        match ev {
+            TraceEvent::Fence(FenceScope::Global) => pending.clear(),
+            TraceEvent::Access { loc, kind, .. } => match kind {
+                AccessKind::PlainWrite => {
+                    pending.insert(loc, i);
+                }
+                AccessKind::AtomicWrite => {
+                    let Some(shared) = is_shared(&ev) else {
+                        continue;
+                    };
+                    if let Some((&sloc, &sop)) = pending.iter().find(|&(&l, _)| l != shared) {
+                        out.push(Diagnostic::new(
+                            DiagCode::InsufficientFence,
+                            Some(i),
+                            format!(
+                                "atomic publish at op #{i} while the plain store at op #{sop} \
+                                 (loc {sloc:?}) is still in the store buffer: only a global \
+                                 fence (flush / device-scope threadfence) drains it before the \
+                                 publish"
+                            ),
+                        ));
+                        pending.clear();
+                    }
+                }
+                AccessKind::PlainRead | AccessKind::AtomicRead => {}
+            },
+            _ => {}
+        }
+    }
+    out
+}
+
+fn atomicity_pass(body: &[CpuOp], _geom: Geometry) -> Vec<Diagnostic> {
+    atomicity_windows(&one_iteration(body, lower_cpu_op))
+}
+
+fn atomicity_pass_gpu(body: &[GpuOp], _geom: Geometry) -> Vec<Diagnostic> {
+    atomicity_windows(&one_iteration(body, lower_gpu_op))
+}
+
+fn fence_pass_cpu(body: &[CpuOp], _geom: Geometry) -> Vec<Diagnostic> {
+    fence_windows(&one_iteration(body, lower_cpu_op))
+}
+
+fn fence_pass_gpu(body: &[GpuOp], _geom: Geometry) -> Vec<Diagnostic> {
+    fence_windows(&one_iteration(body, lower_gpu_op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{kernel, DType, Scope, Target};
+
+    fn codes(r: &ExploreReport) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn clean_cpu_bodies_explore_clean() {
+        for k in [
+            kernel::omp_barrier(),
+            kernel::omp_critical_add(DType::I32),
+            kernel::omp_critical_section(DType::I32),
+            kernel::omp_flush(DType::F64, 4),
+        ] {
+            for body in [&k.baseline, &k.test] {
+                let r = explore_cpu_body(body);
+                assert!(r.deadlock_free, "{}: {:?}", k.name, r.diagnostics);
+                assert!(r.stats.complete);
+                assert!(codes(&r).is_empty(), "{}: {:?}", k.name, r.diagnostics);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_inside_critical_wedges_as_sl007() {
+        let body = [
+            CpuOp::CriticalBegin { lock: 0 },
+            CpuOp::Barrier,
+            CpuOp::CriticalEnd { lock: 0 },
+        ];
+        let r = explore_cpu_body(&body);
+        assert!(!r.deadlock_free);
+        assert!(r.stats.complete);
+        assert!(codes(&r).contains(&"SL007"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn unreleased_lock_self_reentry_is_sl008() {
+        let body = [CpuOp::CriticalBegin { lock: 0 }];
+        let r = explore_cpu_body(&body);
+        assert!(!r.deadlock_free);
+        assert!(codes(&r).contains(&"SL008"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn hand_over_hand_wraparound_is_sl008() {
+        // Acquire 0, acquire 1, release 0 — each iteration carries
+        // lock 1 into the next iteration's acquire of lock 0, so two
+        // threads can grab the locks in opposite orders.
+        let body = [
+            CpuOp::CriticalBegin { lock: 0 },
+            CpuOp::CriticalBegin { lock: 1 },
+            CpuOp::CriticalEnd { lock: 0 },
+        ];
+        let r = explore_cpu_body(&body);
+        assert!(!r.deadlock_free);
+        assert!(r.stats.complete);
+        assert!(codes(&r).contains(&"SL008"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn divergent_barrier_far_downstream_is_sl007() {
+        // SL002's adjacency window misses this (the read sits between
+        // the branch and the barrier); the explorer does not.
+        let k = kernel::cuda_divergent_barrier(DType::I32, 2);
+        let r = explore_gpu_body(&k.test);
+        assert!(codes(&r).contains(&"SL007"), "{:?}", r.diagnostics);
+        assert!(!r.deadlock_free);
+        // The baseline (no barrier) is clean.
+        let rb = explore_gpu_body(&k.baseline);
+        assert!(rb.deadlock_free, "{:?}", rb.diagnostics);
+    }
+
+    #[test]
+    fn reconvergence_points_clear_divergence() {
+        // Uniform ALU work between branch and barrier reconverges —
+        // the SL002 pinned clean case stays clean under SL007 too.
+        let alu = GpuOp::Alu { dtype: DType::I32 };
+        let div = GpuOp::Diverge {
+            dtype: DType::I32,
+            paths: 4,
+        };
+        let r = explore_gpu_body(&[div, alu, GpuOp::SyncThreads]);
+        assert!(r.deadlock_free, "{:?}", r.diagnostics);
+        // __syncwarp also reconverges.
+        let r = explore_gpu_body(&[div, GpuOp::SyncWarp, GpuOp::SyncThreads]);
+        assert!(r.deadlock_free, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn divergence_wraps_into_next_iteration_barrier() {
+        // Diverge as the *last* op: the hazard is the barrier at the
+        // top of the next iteration.
+        let div = GpuOp::Diverge {
+            dtype: DType::I32,
+            paths: 2,
+        };
+        let r = explore_gpu_body(&[GpuOp::SyncThreads, div]);
+        assert!(codes(&r).contains(&"SL007"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn split_rmw_is_sl009_and_lock_protected_is_not() {
+        let read = CpuOp::Read {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        };
+        let write = CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        };
+        let r = explore_cpu_body(&[read, write]);
+        assert!(codes(&r).contains(&"SL009"), "{:?}", r.diagnostics);
+        // The same window under a lock is a correct critical section.
+        let r = explore_cpu_body(&[
+            CpuOp::CriticalBegin { lock: 0 },
+            read,
+            write,
+            CpuOp::CriticalEnd { lock: 0 },
+        ]);
+        assert!(!codes(&r).contains(&"SL009"), "{:?}", r.diagnostics);
+        // A barrier between read and write is staging, not a split.
+        let r = explore_cpu_body(&[read, CpuOp::Barrier, write]);
+        assert!(!codes(&r).contains(&"SL009"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn unflushed_publish_is_sl010_and_flushed_is_not() {
+        let data = CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        };
+        let publish = CpuOp::AtomicWrite {
+            dtype: DType::I32,
+            target: Target::SHARED2,
+        };
+        let r = explore_cpu_body(&[data, publish]);
+        assert!(codes(&r).contains(&"SL010"), "{:?}", r.diagnostics);
+        let r = explore_cpu_body(&[data, CpuOp::Flush, publish]);
+        assert!(!codes(&r).contains(&"SL010"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn block_fence_does_not_drain_for_publish() {
+        let data = GpuOp::Update {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        };
+        let publish = GpuOp::AtomicExch {
+            dtype: DType::I32,
+            scope: Scope::Device,
+            target: Target::SHARED2,
+        };
+        let block_fence = GpuOp::ThreadFence {
+            scope: Scope::Block,
+        };
+        let device_fence = GpuOp::ThreadFence {
+            scope: Scope::Device,
+        };
+        let r = explore_gpu_body(&[data, block_fence, publish]);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == DiagCode::InsufficientFence),
+            "{:?}",
+            r.diagnostics
+        );
+        let r = explore_gpu_body(&[data, device_fence, publish]);
+        assert!(
+            !r.diagnostics
+                .iter()
+                .any(|d| d.code == DiagCode::InsufficientFence),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn critical_add_explores_all_grant_orders() {
+        // 4 threads x 3 iterations of lock 0: plenty of branch points,
+        // all of which complete.
+        let k = kernel::omp_critical_add(DType::I32);
+        let r = explore_cpu_body(&k.test);
+        assert!(r.deadlock_free);
+        assert!(r.stats.branches > 0, "{:?}", r.stats);
+        assert!(r.stats.complete);
+    }
+}

@@ -1,0 +1,225 @@
+//! Small-step abstract interpreter over the microkernel IR.
+//!
+//! This module is the substrate of the bounded exhaustive explorer
+//! ([`crate::explore`]): it flattens a body into per-thread event
+//! *streams* using the very same lowering ([`crate::trace`]) the
+//! simulators and the vector-clock replay consume — so the explorer
+//! cannot drift from them — and provides the *macro-advance* step that
+//! is the explorer's partial-order reduction.
+//!
+//! In the abstract domain only two event classes interact across
+//! threads in a way that affects reachability: **lock acquires**
+//! (a scheduling choice — who gets the lock next) and **barriers**
+//! (a rendezvous). Everything else (accesses, fences, divergence
+//! markers, register work, and even lock *releases*, which are always
+//! enabled) is thread-local, so [`advance`] consumes events greedily
+//! until the next visible stop. Exploring only the visible stops
+//! visits exactly one representative of every Mazurkiewicz trace.
+
+use std::collections::BTreeMap;
+
+use syncperf_core::CpuOp;
+
+use crate::trace::{lower_cpu_op, Geometry, TraceEvent};
+
+/// One thread's flattened event stream: `(body_op_index, event)` per
+/// lowered event, over every replayed body iteration.
+pub type Stream = Vec<(usize, TraceEvent)>;
+
+/// Flattens `body` into per-thread event streams over `geom` for
+/// `iterations` body repetitions.
+#[must_use]
+pub fn cpu_streams(body: &[CpuOp], geom: Geometry, iterations: usize) -> Vec<Stream> {
+    (0..geom.total_threads())
+        .map(|tid| {
+            let mut s = Stream::new();
+            for _ in 0..iterations {
+                for (i, &op) in body.iter().enumerate() {
+                    for ev in lower_cpu_op(op, tid) {
+                        s.push((i, ev));
+                    }
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Why a thread's macro-advance stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// The stream is exhausted.
+    Done,
+    /// The thread is about to acquire `lock` (a scheduling choice
+    /// point — the explorer decides who gets it).
+    Acquire {
+        /// The lock the thread is waiting for.
+        lock: u8,
+        /// Body op index of the acquiring op.
+        op_index: usize,
+    },
+    /// The thread arrived at an all-thread barrier.
+    Barrier {
+        /// Body op index of the barrier op.
+        op_index: usize,
+    },
+}
+
+/// Advances thread `tid` through its stream, consuming thread-local
+/// events, until the next visible stop. `pos` is the stream cursor and
+/// is left *on* the stopping event (re-entrant: calling again without
+/// consuming the stop returns the same [`Stop`]).
+///
+/// Lock releases are always enabled, so they execute eagerly here:
+/// releasing a lock the thread does not hold is a permissive no-op
+/// (the runtime's `unset` behaves the same way).
+pub fn advance(
+    stream: &[(usize, TraceEvent)],
+    pos: &mut usize,
+    tid: usize,
+    locks: &mut BTreeMap<u8, usize>,
+) -> Stop {
+    while let Some(&(op_index, ev)) = stream.get(*pos) {
+        match ev {
+            TraceEvent::LockAcquire(lock) => return Stop::Acquire { lock, op_index },
+            TraceEvent::BarrierAll | TraceEvent::BarrierBlock | TraceEvent::BarrierWarp => {
+                return Stop::Barrier { op_index }
+            }
+            TraceEvent::LockRelease(lock) => {
+                if locks.get(&lock) == Some(&tid) {
+                    locks.remove(&lock);
+                }
+                *pos += 1;
+            }
+            TraceEvent::Access { .. }
+            | TraceEvent::Fence(_)
+            | TraceEvent::Diverge(_)
+            | TraceEvent::Nop => *pos += 1,
+        }
+    }
+    Stop::Done
+}
+
+/// Finds the balanced, barrier-free critical regions of a CPU body:
+/// maximal spans `[begin..=end]` where a `CriticalBegin` opens at
+/// depth 0 and the matching `CriticalEnd` returns to depth 0, with no
+/// `Barrier` inside. Such a region executes atomically per thread (the
+/// outermost lock serializes it), so replays may treat it as one
+/// per-thread super-op. Regions containing a barrier, or bodies whose
+/// bracketing never balances, are not groupable — those wedge at run
+/// time, which the explorer reports separately.
+#[must_use]
+pub fn critical_regions(body: &[CpuOp]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut has_barrier = false;
+    for (i, op) in body.iter().enumerate() {
+        match op {
+            CpuOp::CriticalBegin { .. } => {
+                if depth == 0 {
+                    start = i;
+                    has_barrier = false;
+                }
+                depth += 1;
+            }
+            CpuOp::CriticalEnd { .. } => {
+                // An End with no open Begin: unbalanced, nothing groups.
+                if depth == 0 {
+                    return Vec::new();
+                }
+                depth -= 1;
+                if depth == 0 && !has_barrier {
+                    regions.push((start, i));
+                }
+            }
+            CpuOp::Barrier if depth > 0 => has_barrier = true,
+            _ => {}
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syncperf_core::{DType, Target};
+
+    fn upd() -> CpuOp {
+        CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        }
+    }
+
+    #[test]
+    fn regions_find_balanced_spans() {
+        let body = [
+            CpuOp::CriticalBegin { lock: 0 },
+            upd(),
+            CpuOp::CriticalEnd { lock: 0 },
+            CpuOp::Barrier,
+            CpuOp::CriticalBegin { lock: 1 },
+            CpuOp::CriticalEnd { lock: 1 },
+        ];
+        assert_eq!(critical_regions(&body), vec![(0, 2), (4, 5)]);
+    }
+
+    #[test]
+    fn region_with_inner_barrier_is_not_groupable() {
+        let body = [
+            CpuOp::CriticalBegin { lock: 0 },
+            CpuOp::Barrier,
+            CpuOp::CriticalEnd { lock: 0 },
+        ];
+        assert!(critical_regions(&body).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_bodies_do_not_group() {
+        assert!(critical_regions(&[CpuOp::CriticalBegin { lock: 0 }]).is_empty());
+        assert!(critical_regions(&[CpuOp::CriticalEnd { lock: 0 }, upd()]).is_empty());
+        // Nesting balances through depth, regardless of lock ids.
+        let nested = [
+            CpuOp::CriticalBegin { lock: 0 },
+            CpuOp::CriticalBegin { lock: 1 },
+            upd(),
+            CpuOp::CriticalEnd { lock: 1 },
+            CpuOp::CriticalEnd { lock: 0 },
+        ];
+        assert_eq!(critical_regions(&nested), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn advance_consumes_local_events_and_stops_at_sync() {
+        let body = [
+            upd(),
+            CpuOp::Flush,
+            CpuOp::CriticalAdd {
+                dtype: DType::I32,
+                target: Target::SHARED,
+            },
+        ];
+        let streams = cpu_streams(&body, Geometry::CPU_AUDIT, 1);
+        let mut locks = BTreeMap::new();
+        let mut pos = 0;
+        // Stops on the CriticalAdd's acquire, having consumed the
+        // update and the fence.
+        let stop = advance(&streams[0], &mut pos, 0, &mut locks);
+        assert_eq!(
+            stop,
+            Stop::Acquire {
+                lock: 0,
+                op_index: 2
+            }
+        );
+        // Re-entrant: same answer until the caller consumes it.
+        assert_eq!(advance(&streams[0], &mut pos, 0, &mut locks), stop);
+        // Granting and stepping past runs the protected write and the
+        // release to the end of the stream.
+        locks.insert(0, 0);
+        pos += 1;
+        assert_eq!(advance(&streams[0], &mut pos, 0, &mut locks), Stop::Done);
+        assert!(locks.is_empty(), "release freed the lock eagerly");
+    }
+}

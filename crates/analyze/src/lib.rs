@@ -1,8 +1,8 @@
 //! Static and dynamic analysis of syncperf kernel bodies.
 //!
 //! This crate implements `syncperf-analyze`, the repo's sync-lint and
-//! race-detection layer. It has two independent halves that check each
-//! other:
+//! race-detection layer. It has three independent engines that check
+//! each other:
 //!
 //! 1. **The static linter** ([`lint`]) walks a kernel body (the same
 //!    [`syncperf_core::CpuOp`]/[`syncperf_core::GpuOp`] IR every
@@ -14,12 +14,22 @@
 //!    access streams — the same streams the cpu-sim MESI engine
 //!    replays — under a vector-clock happens-before model and reports
 //!    the races it actually observes.
+//! 3. **The model checker** ([`interp`] + [`explore`]) exhaustively
+//!    explores every sync-granularity interleaving and every
+//!    warp-divergence path assignment of the audit geometry (with
+//!    partial-order reduction), proving deadlock freedom or reporting
+//!    path-sensitive wedges (`SL007`/`SL008`) plus abstract-domain
+//!    atomicity (`SL009`) and store-buffer fence (`SL010`) findings.
 //!
-//! The [`agree`] module pins the two halves together: for every body,
+//! The [`agree`] module pins the engines together: for every body,
 //! `SL001`'s location set must equal the replay's raced-location set,
-//! and `SL002` must match the replay's divergence observation. The
-//! workspace test suite and the `sync_lint` CLI treat any disagreement
-//! as a fatal bug in the analyzer itself.
+//! `SL002` must match the replay's divergence observation, and the
+//! explorer's race verdict must equal the replay's on every
+//! deadlock-free body. The workspace test suite and the `sync_lint`
+//! CLI treat any disagreement as a fatal bug in the analyzer itself.
+//!
+//! Findings render as text, JSON, or SARIF 2.1.0 ([`sarif`]) for
+//! inline PR annotation.
 //!
 //! Diagnostic codes, the allowlist format, and the agreement contract
 //! are documented in `docs/ANALYSIS.md`.
@@ -27,14 +37,22 @@
 pub mod agree;
 pub mod allow;
 pub mod diag;
+pub mod explore;
+pub mod interp;
 pub mod lint;
 pub mod record;
+pub mod sarif;
 pub mod trace;
 pub mod vc;
 
-pub use agree::{check_cpu_body, check_gpu_body, Agreement};
+pub use agree::{
+    check_cpu_body, check_gpu_body, crosscheck_engines_cpu, crosscheck_engines_gpu, Agreement,
+    EngineAgreement,
+};
 pub use allow::{allowed_by, glob_match, AllowEntry, BUILTIN as BUILTIN_ALLOWLIST};
 pub use diag::{BodyKind, DiagCode, Diagnostic, Severity};
+pub use explore::{explore_cpu_body, explore_gpu_body, ExploreReport, ExploreStats};
 pub use lint::{lint_cpu_body, lint_gpu_body};
+pub use sarif::{render_sarif, SarifFinding};
 pub use trace::{Geometry, Loc};
 pub use vc::{replay_cpu_body, replay_gpu_body, DynReport, RaceFinding};

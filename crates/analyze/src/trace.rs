@@ -116,10 +116,12 @@ pub enum TraceEvent {
     BarrierWarp,
     /// Memory fence of the given width (`flush` / `__threadfence*`).
     Fence(FenceScope),
-    /// Acquire the (single, unnamed) critical-section lock.
-    LockAcquire,
-    /// Release the critical-section lock.
-    LockRelease,
+    /// Acquire the critical-section lock with the given id. The
+    /// unnamed `#pragma omp critical` lock is id 0; named sections
+    /// ([`CpuOp::CriticalBegin`]) carry their own ids.
+    LockAcquire(u8),
+    /// Release the critical-section lock with the given id.
+    LockRelease(u8),
     /// Divergent branch: taints the next op slot with `paths`-way
     /// divergence.
     Diverge(u32),
@@ -148,10 +150,12 @@ pub fn lower_cpu_op(op: CpuOp, tid: usize) -> Vec<TraceEvent> {
             vec![access(dtype, target, AccessKind::AtomicWrite)]
         }
         CpuOp::CriticalAdd { dtype, target } => vec![
-            TraceEvent::LockAcquire,
+            TraceEvent::LockAcquire(0),
             access(dtype, target, AccessKind::AtomicWrite),
-            TraceEvent::LockRelease,
+            TraceEvent::LockRelease(0),
         ],
+        CpuOp::CriticalBegin { lock } => vec![TraceEvent::LockAcquire(lock)],
+        CpuOp::CriticalEnd { lock } => vec![TraceEvent::LockRelease(lock)],
     }
 }
 
@@ -302,7 +306,7 @@ mod tests {
             0,
         );
         assert_eq!(ev.len(), 3);
-        assert_eq!(ev[0], TraceEvent::LockAcquire);
+        assert_eq!(ev[0], TraceEvent::LockAcquire(0));
         assert!(matches!(
             ev[1],
             TraceEvent::Access {
@@ -310,7 +314,7 @@ mod tests {
                 ..
             }
         ));
-        assert_eq!(ev[2], TraceEvent::LockRelease);
+        assert_eq!(ev[2], TraceEvent::LockRelease(0));
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   one cross-thread pair unordered per round — a fence is not a
 //!   barrier — matching the static linter's rule that fences do not
 //!   protect symmetric SPMD conflicts.
-//! * **The critical-section lock** serializes `CriticalAdd` bodies.
+//! * **Critical-section locks** (one clock per lock id) serialize
+//!   `CriticalAdd` bodies and bracketed `CriticalBegin`/`CriticalEnd`
+//!   regions; a multi-op region executes as one per-thread super-op so
+//!   the replay never interleaves inside a region it would serialize.
 //!
 //! Replays run [`AUDIT_ITERATIONS`] body iterations so wrap-around
 //! hazards (a barrier protecting one direction but not the other) are
@@ -102,7 +105,7 @@ struct Replay {
     clocks: Vec<Vc>,
     fence_global: Vc,
     fence_block: Vec<Vc>,
-    lock: Vc,
+    locks: BTreeMap<u8, Vc>,
     locs: BTreeMap<Loc, LocClocks>,
     diverged: Vec<Option<u32>>,
     report: DynReport,
@@ -120,7 +123,7 @@ impl Replay {
             clocks,
             fence_global: vec![0; n],
             fence_block: vec![vec![0; n]; geom.blocks],
-            lock: vec![0; n],
+            locks: BTreeMap::new(),
             locs: BTreeMap::new(),
             diverged: vec![None; n],
             report: DynReport::default(),
@@ -212,13 +215,16 @@ impl Replay {
                 target,
             } => self.access(t, op_index, loc, kind, dtype, target),
             TraceEvent::Fence(scope) => self.fence(t, scope),
-            TraceEvent::LockAcquire => {
-                let lock = self.lock.clone();
+            TraceEvent::LockAcquire(l) => {
+                let n = self.n();
+                let lock = self.locks.entry(l).or_insert_with(|| vec![0; n]).clone();
                 join_into(&mut self.clocks[t], &lock);
             }
-            TraceEvent::LockRelease => {
+            TraceEvent::LockRelease(l) => {
+                let n = self.n();
                 let c = self.clocks[t].clone();
-                join_into(&mut self.lock, &c);
+                let lock = self.locks.entry(l).or_insert_with(|| vec![0; n]);
+                join_into(lock, &c);
                 self.clocks[t][t] += 1;
             }
             TraceEvent::Diverge(_) | TraceEvent::Nop => {}
@@ -281,12 +287,34 @@ impl Replay {
 }
 
 /// Replays a CPU body over `geom` for `iterations` body repetitions.
+///
+/// Balanced barrier-free `CriticalBegin`/`CriticalEnd` regions
+/// ([`crate::interp::critical_regions`]) execute as per-thread
+/// super-ops: each thread runs the whole region's events before the
+/// next thread enters, exactly as the lock serializes it at run time.
+/// Unbalanced bodies (which wedge — the explorer flags them) fall back
+/// to plain op-level stepping.
 #[must_use]
 pub fn replay_cpu(body: &[CpuOp], geom: Geometry, iterations: usize) -> DynReport {
     let mut r = Replay::new(geom);
+    let regions = crate::interp::critical_regions(body);
     for _ in 0..iterations {
-        for (i, &op) in body.iter().enumerate() {
-            r.run_op(i, |tid| lower_cpu_op(op, tid));
+        let mut i = 0;
+        while i < body.len() {
+            if let Some(&(s, e)) = regions.iter().find(|&&(s, _)| s == i) {
+                for t in 0..r.n() {
+                    for (off, &op) in body[s..=e].iter().enumerate() {
+                        for ev in lower_cpu_op(op, t) {
+                            r.step(t, s + off, ev);
+                        }
+                    }
+                }
+                i = e + 1;
+            } else {
+                let op = body[i];
+                r.run_op(i, |tid| lower_cpu_op(op, tid));
+                i += 1;
+            }
         }
     }
     r.report

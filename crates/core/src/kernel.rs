@@ -153,6 +153,14 @@ pub enum CpuOp {
     CriticalAdd { dtype: DType, target: Target },
     /// `#pragma omp flush` — a full memory fence.
     Flush,
+    /// Entry into a named critical section (`#pragma omp critical(L)`
+    /// open brace): acquires lock `lock`. Must be balanced by a
+    /// matching [`CpuOp::CriticalEnd`] with the same lock id;
+    /// unbalanced bodies are representable (the analyzer's deadlock
+    /// oracle uses them) but wedge at run time.
+    CriticalBegin { lock: u8 },
+    /// Exit from a named critical section: releases lock `lock`.
+    CriticalEnd { lock: u8 },
 }
 
 impl CpuOp {
@@ -160,7 +168,10 @@ impl CpuOp {
     #[must_use]
     pub const fn memory_operand(self) -> Option<(DType, Target)> {
         match self {
-            CpuOp::Barrier | CpuOp::Flush => None,
+            CpuOp::Barrier
+            | CpuOp::Flush
+            | CpuOp::CriticalBegin { .. }
+            | CpuOp::CriticalEnd { .. } => None,
             CpuOp::AtomicUpdate { dtype, target }
             | CpuOp::AtomicCapture { dtype, target }
             | CpuOp::AtomicRead { dtype, target }
@@ -542,6 +553,35 @@ pub fn omp_critical_add(dtype: DType) -> CpuKernel {
     Kernel::new(format!("omp_critical_{dtype}"), vec![op], vec![op, op], 1)
 }
 
+/// Extension (§II-A3's named critical sections) — a multi-op critical
+/// region: the baseline holds lock 0 around one shared update, the
+/// test performs a second update inside the same region. Exercises the
+/// bracketed [`CpuOp::CriticalBegin`]/[`CpuOp::CriticalEnd`] form that
+/// the analyzer's model checker reasons about; not part of the
+/// measured registry.
+#[must_use]
+pub fn omp_critical_section(dtype: DType) -> CpuKernel {
+    let upd = CpuOp::Update {
+        dtype,
+        target: Target::SHARED,
+    };
+    Kernel::new(
+        format!("omp_critical_section_{dtype}"),
+        vec![
+            CpuOp::CriticalBegin { lock: 0 },
+            upd,
+            CpuOp::CriticalEnd { lock: 0 },
+        ],
+        vec![
+            CpuOp::CriticalBegin { lock: 0 },
+            upd,
+            upd,
+            CpuOp::CriticalEnd { lock: 0 },
+        ],
+        1,
+    )
+}
+
 /// Fig. 6 — OpenMP flush: each thread increments its private element of
 /// two arrays; the test inserts a flush between the two increments.
 #[must_use]
@@ -752,6 +792,26 @@ pub fn cuda_divergence(dtype: DType, paths: u32) -> GpuKernel {
         format!("cuda_divergence_{dtype}_p{paths}"),
         vec![GpuOp::Alu { dtype }],
         vec![GpuOp::Diverge { dtype, paths }],
+        1,
+    )
+}
+
+/// Extension (analyzer regression) — a block barrier reached *two* ops
+/// after the divergence point, i.e. outside the one-op adjacency
+/// window of the SL002 heuristic. The baseline diverges and reads; the
+/// test adds a `__syncthreads()` downstream, which a divergent warp
+/// may reach with partial arrival. Exists to pin the model checker's
+/// path-sensitive verdict (SL007); not part of the measured registry.
+#[must_use]
+pub fn cuda_divergent_barrier(dtype: DType, paths: u32) -> GpuKernel {
+    let read = GpuOp::Read {
+        dtype,
+        target: Target::private(1),
+    };
+    Kernel::new(
+        format!("cuda_divergent_barrier_{dtype}_p{paths}"),
+        vec![GpuOp::Diverge { dtype, paths }, read],
+        vec![GpuOp::Diverge { dtype, paths }, read, GpuOp::SyncThreads],
         1,
     )
 }

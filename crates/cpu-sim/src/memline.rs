@@ -90,7 +90,11 @@ pub enum Access {
 #[must_use]
 pub fn classify(op: &CpuOp) -> Access {
     match *op {
-        CpuOp::Barrier | CpuOp::Flush => Access::None,
+        // CriticalBegin/End touch only the lock line, which
+        // `ContentionMap::analyze` registers explicitly.
+        CpuOp::Barrier | CpuOp::Flush | CpuOp::CriticalBegin { .. } | CpuOp::CriticalEnd { .. } => {
+            Access::None
+        }
         CpuOp::AtomicRead { dtype, target } | CpuOp::Read { dtype, target } => {
             Access::Read(dtype, target)
         }
@@ -118,6 +122,15 @@ impl ContentionMap {
         for tid in 0..placement.len() {
             let slot = placement.slot(tid);
             for op in body {
+                // Explicit critical brackets write the lock line even
+                // though they carry no memory operand of their own.
+                if matches!(op, CpuOp::CriticalBegin { .. } | CpuOp::CriticalEnd { .. }) {
+                    let s = lines.entry(lock_line()).or_default();
+                    s.writer_cores.insert(slot.core);
+                    s.accessor_cores.insert(slot.core);
+                    s.sockets.insert(slot.socket);
+                    continue;
+                }
                 let (line, writes) = match classify(op) {
                     Access::None => continue,
                     Access::Read(dt, tg) => (line_of(dt, tg, tid, line_bytes), false),

@@ -199,6 +199,21 @@ fn compile_op(
                 model.lock_overhead_ns * smt + acquire + body_cost + release,
             ))
         }
+        CpuOp::CriticalBegin { .. } => {
+            // The acquire half of the CriticalAdd cost split: lock
+            // overhead plus an RMW on the contended lock line.
+            let (lc, lcross) = contention.contenders(crate::memline::lock_line(), slot.core, true);
+            let lock_line_cost = model.contention_ns(lc, lcross);
+            PlanOp::Fixed(quantize(
+                model.lock_overhead_ns * smt + model.rmw_int_ns * smt + lock_line_cost,
+            ))
+        }
+        CpuOp::CriticalEnd { .. } => {
+            // The release half: a store on the lock line.
+            let (lc, lcross) = contention.contenders(crate::memline::lock_line(), slot.core, true);
+            let lock_line_cost = model.contention_ns(lc, lcross);
+            PlanOp::Fixed(quantize(model.store_ns * smt + lock_line_cost))
+        }
         _ => match classify(op) {
             Access::None => PlanOp::Fixed(0),
             Access::Read(dtype, target) => {

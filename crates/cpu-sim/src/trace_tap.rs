@@ -63,7 +63,7 @@ pub fn mesi_steady_traffic(
                             }
                         }
                         // The lock itself is a read-modify-write word.
-                        TraceEvent::LockAcquire => {
+                        TraceEvent::LockAcquire(_) => {
                             lines.push(lock_line());
                             dir.write(tid, lock_line());
                         }

@@ -15,6 +15,7 @@ use syncperf_core::{
 use crate::atomics::{AtomicCell, Primitive};
 use crate::critical::Critical;
 use crate::flush::flush;
+use crate::lock::OmpLock;
 use crate::padded::StridedArray;
 use crate::team::{Team, ThreadCtx};
 
@@ -75,7 +76,10 @@ impl Memory {
                 | CpuOp::Read { dtype, target }
                 | CpuOp::Update { dtype, target }
                 | CpuOp::CriticalAdd { dtype, target } => (dtype, target),
-                CpuOp::Barrier | CpuOp::Flush => continue,
+                CpuOp::Barrier
+                | CpuOp::Flush
+                | CpuOp::CriticalBegin { .. }
+                | CpuOp::CriticalEnd { .. } => continue,
             };
             if let Target::Private { array, stride } = target {
                 if stride == 0 {
@@ -123,6 +127,13 @@ struct OpTallies {
     critical_contended: u64,
 }
 
+/// The run's shared mutual-exclusion objects: the unnamed critical
+/// section's lock and one real lock per named critical section.
+struct SyncObjects<'a> {
+    critical: &'a Critical,
+    locks: &'a [OmpLock],
+}
+
 /// Executes one op for thread `tid`. `sink` accumulates read results
 /// so the compiler cannot remove the loads as dead code. With `record`
 /// false (the default measurement path) the op lowers to exactly the
@@ -134,15 +145,21 @@ fn run_op(
     op: &CpuOp,
     mem: &Memory,
     ctx: &ThreadCtx<'_>,
-    critical: &Critical,
+    sync: &SyncObjects<'_>,
     sink: &mut f64,
     record: bool,
     tallies: &mut OpTallies,
 ) {
     let tid = ctx.tid;
+    let critical = sync.critical;
     match *op {
         CpuOp::Barrier => ctx.barrier(),
         CpuOp::Flush => flush(),
+        // Named critical sections lower to the OpenMP lock routines,
+        // exactly as the spec describes (§II-A3): one shared lock per
+        // section name, set on entry, unset on exit.
+        CpuOp::CriticalBegin { lock } => sync.locks[usize::from(lock)].set(),
+        CpuOp::CriticalEnd { lock } => sync.locks[usize::from(lock)].unset(),
         CpuOp::AtomicUpdate { dtype, target } if record => {
             let retries = match dtype {
                 DType::I32 => mem.i32s.cell(target, tid).update_counting(1),
@@ -344,6 +361,21 @@ impl Executor for OmpExecutor {
         let threads = params.threads as usize;
         let mem = Memory::plan(body, threads)?;
         let critical = Critical::private();
+        // One real lock per named critical section in the body.
+        let max_lock = body
+            .iter()
+            .filter_map(|op| match op {
+                CpuOp::CriticalBegin { lock } | CpuOp::CriticalEnd { lock } => Some(*lock),
+                _ => None,
+            })
+            .max();
+        let locks: Vec<OmpLock> = (0..max_lock.map_or(0, |m| usize::from(m) + 1))
+            .map(|_| OmpLock::new())
+            .collect();
+        let sync = SyncObjects {
+            critical: &critical,
+            locks: &locks,
+        };
         let team = Team::new(threads);
         let n_warmup = params.n_warmup;
         let n_iter = params.n_iter;
@@ -362,7 +394,7 @@ impl Executor for OmpExecutor {
                     for op in body {
                         // Warmup runs uninstrumented so the recorded
                         // tallies describe the timed region only.
-                        run_op(op, &mem, ctx, &critical, &mut sink, false, &mut tallies);
+                        run_op(op, &mem, ctx, &sync, &mut sink, false, &mut tallies);
                     }
                 }
             }
@@ -372,7 +404,7 @@ impl Executor for OmpExecutor {
             for _ in 0..n_iter {
                 for _ in 0..n_unroll {
                     for op in body {
-                        run_op(op, &mem, ctx, &critical, &mut sink, record, &mut tallies);
+                        run_op(op, &mem, ctx, &sync, &mut sink, record, &mut tallies);
                     }
                 }
             }

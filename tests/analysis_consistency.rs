@@ -50,12 +50,13 @@ fn every_diagnostic_code_documented_in_analysis_md() {
 
 #[test]
 fn documented_severity_split_matches_code() {
-    // docs/ANALYSIS.md promises: SL001-SL003 errors, SL004-SL005
-    // warnings, SL006 info.
+    // docs/ANALYSIS.md promises: SL001-SL003 and the explorer's
+    // SL007-SL009 are errors, SL004-SL005 and SL010 warnings, SL006
+    // info.
     for code in DiagCode::ALL {
         let expected = match code.code() {
-            "SL001" | "SL002" | "SL003" => Severity::Error,
-            "SL004" | "SL005" => Severity::Warning,
+            "SL001" | "SL002" | "SL003" | "SL007" | "SL008" | "SL009" => Severity::Error,
+            "SL004" | "SL005" | "SL010" => Severity::Warning,
             _ => Severity::Info,
         };
         assert_eq!(

@@ -406,3 +406,42 @@ fn model_md_constants_match_code() {
     assert!(model.contains("device 250"));
     assert_eq!(gpu.fence_device_cy, 250.0);
 }
+
+#[test]
+fn model_checker_docs_match_the_cli_and_code() {
+    // docs/ANALYSIS.md documents the explorer's codes, the engine
+    // selector, the explain flag, and the SARIF output; ci.sh actually
+    // runs the gate it promises; DESIGN.md describes the explorer.
+    let analysis = read("docs/ANALYSIS.md");
+    for needle in [
+        "`SL007`",
+        "`SL008`",
+        "`SL009`",
+        "`SL010`",
+        "--engine",
+        "--explain",
+        "sarif",
+        "partial-order reduction",
+        "tests/golden/sync_lint.sarif",
+    ] {
+        assert!(
+            analysis.contains(needle),
+            "docs/ANALYSIS.md missing {needle}"
+        );
+    }
+
+    let ci = read("ci.sh");
+    assert!(
+        ci.contains("--engine both"),
+        "ci.sh must gate on both engines"
+    );
+    assert!(ci.contains("sarif"), "ci.sh must emit the SARIF report");
+
+    let design = read("DESIGN.md");
+    for needle in ["interp", "explore", "partial-order reduction", "sarif"] {
+        assert!(design.contains(needle), "DESIGN.md missing {needle}");
+    }
+
+    // The golden SARIF file the docs point at is committed.
+    assert!(repo_root().join("tests/golden/sync_lint.sarif").is_file());
+}

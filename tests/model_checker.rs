@@ -1,0 +1,301 @@
+//! End-to-end model-checker gates: the bounded exhaustive explorer
+//! must (a) prove the whole kernel registry deadlock-free within the
+//! CI time budget, (b) agree with the vector-clock replay on every
+//! race verdict, (c) subsume the SL002 adjacency heuristic, and
+//! (d) keep agreeing on randomly generated IR bodies.
+
+use std::time::Instant;
+
+use proptest::prelude::*;
+use syncperf::analyze::{
+    crosscheck_engines_cpu, crosscheck_engines_gpu, explore_cpu_body, explore_gpu_body,
+    lint_gpu_body, DiagCode,
+};
+use syncperf::core::{kernel, CpuOp, DType, GpuOp, Scope, Target};
+use syncperf_bench::codes::{kernel_inventory, AnyKernel};
+
+/// Every registered instance, both bodies: the explorer must finish
+/// under the state cap, prove deadlock freedom, raise none of
+/// SL007–SL010, and agree with the vector-clock engine — all inside
+/// the 60-second budget ISSUE.md pins for the registry sweep.
+#[test]
+fn registry_explores_clean_and_engines_agree() {
+    let started = Instant::now();
+    let mut bodies = 0usize;
+    for inst in kernel_inventory() {
+        let name = inst.kernel.name();
+        match &inst.kernel {
+            AnyKernel::Cpu(k) => {
+                for body in [&k.baseline, &k.test] {
+                    bodies += 1;
+                    let report = explore_cpu_body(body);
+                    assert!(report.stats.complete, "{name}: state cap hit");
+                    assert!(report.deadlock_free, "{name}: not deadlock free");
+                    assert!(
+                        report.diagnostics.is_empty(),
+                        "{name}: unexpected explorer findings {:?}",
+                        report.diagnostics
+                    );
+                    let agreement = crosscheck_engines_cpu(body);
+                    assert!(agreement.holds(), "{name}: {}", agreement.explain());
+                }
+            }
+            AnyKernel::Gpu(k) => {
+                for body in [&k.baseline, &k.test] {
+                    bodies += 1;
+                    let report = explore_gpu_body(body);
+                    assert!(report.stats.complete, "{name}: bound hit");
+                    assert!(report.deadlock_free, "{name}: not deadlock free");
+                    assert!(
+                        report.diagnostics.is_empty(),
+                        "{name}: unexpected explorer findings {:?}",
+                        report.diagnostics
+                    );
+                    let agreement = crosscheck_engines_gpu(body);
+                    assert!(agreement.holds(), "{name}: {}", agreement.explain());
+                }
+            }
+        }
+    }
+    assert!(bodies >= 192, "registry shrank: {bodies} bodies");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed.as_secs() < 60,
+        "registry exploration took {elapsed:?} (budget 60 s)"
+    );
+}
+
+/// Wherever the adjacency heuristic fires, the path-sensitive verdict
+/// must fire too (the converse is deliberately false — see the
+/// regression test below).
+#[test]
+fn sl002_hits_are_subsumed_by_sl007() {
+    for inst in kernel_inventory() {
+        let AnyKernel::Gpu(k) = &inst.kernel else {
+            continue;
+        };
+        for body in [&k.baseline, &k.test] {
+            let lint_hit = lint_gpu_body(body)
+                .iter()
+                .any(|d| d.code == DiagCode::BarrierDivergence);
+            if lint_hit {
+                let explored = explore_gpu_body(body);
+                assert!(
+                    explored
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == DiagCode::BarrierDeadlock),
+                    "{}: SL002 fired but explorer saw no SL007",
+                    inst.kernel.name()
+                );
+            }
+        }
+    }
+}
+
+/// SL002's false-negative window: a barrier two ops downstream of the
+/// divergence. The adjacency heuristic misses it; the explorer does
+/// not. (`cuda_divergent_barrier` is the non-registry regression
+/// factory added for exactly this case.)
+#[test]
+fn explorer_closes_the_sl002_adjacency_window() {
+    let k = kernel::cuda_divergent_barrier(DType::I32, 2);
+    assert!(
+        !lint_gpu_body(&k.test)
+            .iter()
+            .any(|d| d.code == DiagCode::BarrierDivergence),
+        "the regression body must sit outside SL002's adjacency window"
+    );
+    let report = explore_gpu_body(&k.test);
+    assert!(!report.deadlock_free);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::BarrierDeadlock));
+    // The baseline (no barrier after the divergence) stays clean.
+    let baseline = explore_gpu_body(&k.baseline);
+    assert!(baseline.deadlock_free);
+    assert!(baseline.diagnostics.is_empty());
+}
+
+/// The deadlock oracle: three hand-written wedging bodies, each with a
+/// distinct wedge shape, must each produce the right diagnostic.
+#[test]
+fn deadlock_oracle() {
+    // A barrier inside a critical section: the lock holder parks at
+    // the barrier, everyone else parks on the lock → SL007.
+    let barrier_in_critical = [
+        CpuOp::CriticalBegin { lock: 0 },
+        CpuOp::Barrier,
+        CpuOp::CriticalEnd { lock: 0 },
+    ];
+    let report = explore_cpu_body(&barrier_in_critical);
+    assert!(!report.deadlock_free);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::BarrierDeadlock));
+
+    // An unreleased lock wedges every other thread at the acquire.
+    let unreleased = [
+        CpuOp::CriticalBegin { lock: 0 },
+        CpuOp::Update {
+            dtype: DType::I32,
+            target: Target::SHARED,
+        },
+    ];
+    let report = explore_cpu_body(&unreleased);
+    assert!(!report.deadlock_free);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::LockCycle));
+
+    // Hand-over-hand locking that wraps across iterations: classic
+    // AB/BA order inversion → SL008.
+    let hand_over_hand = [
+        CpuOp::CriticalBegin { lock: 0 },
+        CpuOp::CriticalBegin { lock: 1 },
+        CpuOp::CriticalEnd { lock: 0 },
+    ];
+    let report = explore_cpu_body(&hand_over_hand);
+    assert!(!report.deadlock_free);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::LockCycle));
+}
+
+/// Op pools for the random-body generators. The race-agreement pool
+/// excludes explicit critical brackets so every generated body is
+/// deadlock-free by construction and the agreement check is never
+/// vacuous.
+const CPU_RACE_POOL: [CpuOp; 8] = [
+    CpuOp::Barrier,
+    CpuOp::Flush,
+    CpuOp::Read {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    CpuOp::Update {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    CpuOp::AtomicUpdate {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    CpuOp::AtomicWrite {
+        dtype: DType::U64,
+        target: Target::SHARED2,
+    },
+    CpuOp::AtomicRead {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    CpuOp::CriticalAdd {
+        dtype: DType::F64,
+        target: Target::SHARED,
+    },
+];
+
+/// Extension ops for the robustness pool: balanced and unbalanced
+/// critical brackets, so generated bodies may wedge.
+const CPU_LOCK_POOL: [CpuOp; 4] = [
+    CpuOp::CriticalBegin { lock: 0 },
+    CpuOp::CriticalEnd { lock: 0 },
+    CpuOp::CriticalBegin { lock: 1 },
+    CpuOp::CriticalEnd { lock: 1 },
+];
+
+const GPU_POOL: [GpuOp; 8] = [
+    GpuOp::SyncThreads,
+    GpuOp::SyncWarp,
+    GpuOp::Read {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    GpuOp::Update {
+        dtype: DType::I32,
+        target: Target::SHARED,
+    },
+    GpuOp::AtomicAdd {
+        dtype: DType::I32,
+        scope: Scope::Device,
+        target: Target::SHARED,
+    },
+    GpuOp::ThreadFence {
+        scope: Scope::Device,
+    },
+    GpuOp::Alu { dtype: DType::I32 },
+    GpuOp::Diverge {
+        dtype: DType::I32,
+        paths: 2,
+    },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random deadlock-free CPU bodies: the explorer's race verdict
+    /// must match the vector-clock replay's, location for location.
+    #[test]
+    fn random_cpu_bodies_race_verdicts_agree(
+        picks in prop::collection::vec(0usize..CPU_RACE_POOL.len(), 1..6)
+    ) {
+        let body: Vec<CpuOp> = picks.iter().map(|&i| CPU_RACE_POOL[i]).collect();
+        let report = explore_cpu_body(&body);
+        prop_assert!(report.deadlock_free);
+        prop_assert!(report.stats.complete);
+        let agreement = crosscheck_engines_cpu(&body);
+        prop_assert!(agreement.holds(), "{}: {}", body.len(), agreement.explain());
+    }
+
+    /// Random GPU bodies (divergence included): whenever the bounded
+    /// exploration completes and finds no deadlock, the race verdicts
+    /// must agree.
+    #[test]
+    fn random_gpu_bodies_race_verdicts_agree(
+        picks in prop::collection::vec(0usize..GPU_POOL.len(), 1..6)
+    ) {
+        let body: Vec<GpuOp> = picks.iter().map(|&i| GPU_POOL[i]).collect();
+        let agreement = crosscheck_engines_gpu(&body);
+        prop_assert!(agreement.holds(), "{}", agreement.explain());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Robustness: bodies drawn from the full pool (unbalanced critical
+    /// brackets allowed) must never panic or blow the state cap into an
+    /// inconsistent verdict — agreement is checked whenever it is not
+    /// vacuous, and wedged bodies must carry a deadlock diagnostic.
+    #[test]
+    fn random_lock_bodies_are_classified_soundly(
+        picks in prop::collection::vec(0usize..(CPU_RACE_POOL.len() + CPU_LOCK_POOL.len()), 1..6)
+    ) {
+        let body: Vec<CpuOp> = picks
+            .iter()
+            .map(|&i| {
+                if i < CPU_RACE_POOL.len() {
+                    CPU_RACE_POOL[i]
+                } else {
+                    CPU_LOCK_POOL[i - CPU_RACE_POOL.len()]
+                }
+            })
+            .collect();
+        let report = explore_cpu_body(&body);
+        if !report.deadlock_free {
+            prop_assert!(
+                report.diagnostics.iter().any(|d| matches!(
+                    d.code,
+                    DiagCode::BarrierDeadlock | DiagCode::LockCycle
+                )),
+                "wedged body without a deadlock diagnostic: {body:?}"
+            );
+        }
+        let agreement = crosscheck_engines_cpu(&body);
+        prop_assert!(agreement.holds(), "{}", agreement.explain());
+    }
+}

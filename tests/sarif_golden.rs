@@ -1,0 +1,69 @@
+//! SARIF output is golden-pinned: the rendered log for a fixed finding
+//! set must match `tests/golden/sync_lint.sarif` byte for byte. SARIF
+//! consumers (GitHub code scanning, VS Code SARIF viewers) key on
+//! exact field shapes, so any change to the renderer must show up as a
+//! reviewed diff of the golden file.
+
+use std::path::Path;
+
+use syncperf::analyze::{render_sarif, BodyKind, DiagCode, Diagnostic, SarifFinding};
+
+fn golden_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sync_lint.sarif")
+}
+
+/// The fixed finding set the golden file pins: one allowlisted
+/// heuristic finding and one live explorer verdict, covering both the
+/// suppression path and an op-anchored logical location.
+fn fixture() -> Vec<SarifFinding> {
+    vec![
+        SarifFinding {
+            kernel: "omp_flush_f64_s8".to_string(),
+            body: BodyKind::Test,
+            diagnostic: Diagnostic::new(
+                DiagCode::RedundantSync,
+                Some(1),
+                "flush at op #1 is immediately followed by a barrier",
+            ),
+            allowed_reason: Some(
+                "the paper's flush test measures exactly this pattern".to_string(),
+            ),
+        },
+        SarifFinding {
+            kernel: "demo_wedge".to_string(),
+            body: BodyKind::Baseline,
+            diagnostic: Diagnostic::new(
+                DiagCode::BarrierDeadlock,
+                Some(1),
+                "barrier at op #1 unreachable by threads parked on lock 0",
+            ),
+            allowed_reason: None,
+        },
+    ]
+}
+
+#[test]
+fn sarif_output_matches_golden_file() {
+    let rendered = render_sarif(&fixture());
+    if std::env::var_os("SYNCPERF_REGOLDEN").is_some() {
+        std::fs::write(golden_path(), &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("tests/golden/sync_lint.sarif missing — regenerate with the fixture");
+    assert_eq!(
+        rendered, golden,
+        "SARIF renderer drifted from tests/golden/sync_lint.sarif; if the change is \
+         intentional, update the golden file and review the diff"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_sarif_2_1_0() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file");
+    assert!(golden.contains("\"version\": \"2.1.0\""));
+    assert!(golden.contains("sarif-2.1.0.json"));
+    // The suppression path: the allowlisted finding is emitted, marked
+    // suppressed, never dropped.
+    assert!(golden.contains("\"suppressions\""));
+    assert!(golden.contains("\"kind\": \"external\""));
+}
