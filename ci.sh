@@ -27,6 +27,24 @@ if [ "${SYNCPERF_SANITIZE:-0}" = "1" ]; then
   exit 0
 fi
 
+# Polls a background service's log for its ready line and echoes the
+# captured value (e.g. a bound address). Every smoke service below
+# binds port 0 and prints where it landed, so concurrent lanes in one
+# CI job can never collide on a port — the only thing worth waiting
+# for is the ready line itself.
+wait_for_ready() { # wait_for_ready <logfile> <sed-capture-pattern>
+  local log="$1" pat="$2" got=""
+  for _ in $(seq 1 150); do
+    got=$(sed -n "$pat" "$log" 2>/dev/null | head -n 1)
+    if [ -n "$got" ]; then
+      printf '%s' "$got"
+      return 0
+    fi
+    sleep 0.2
+  done
+  return 1
+}
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -50,6 +68,13 @@ SYNCPERF_BENCH_QUICK=1 cargo bench --offline -p syncperf-bench > /dev/null
 # BENCH_syncperf.json number.
 echo "==> bench_report --check"
 cargo run --release --offline -p syncperf-bench --bin bench_report -- --check
+
+# Tracked distributed benchmark (docs/DISTRIBUTED.md): cold
+# `all_figures` with 3 worker processes must stay within 25% of the
+# committed BENCH_dist.json number (and is re-measured against
+# `--jobs 3` threads each run).
+echo "==> syncperf_dist bench --check"
+cargo run --release --offline -p syncperf-bench --bin syncperf_dist -- bench --check
 
 # Static sync-lint + race-detector cross-check + bounded model checker
 # over every registered kernel (docs/ANALYSIS.md). Exits nonzero on any
@@ -130,13 +155,8 @@ rm -f serve_out.log
 SYNCPERF_RESULTS=ci_sched_results cargo run --release --offline -p syncperf-bench \
   --bin serve -- --addr 127.0.0.1:0 --workers 2 --jobs 1 > serve_out.log &
 serve_pid=$!
-addr=""
-for _ in $(seq 1 100); do
-  addr=$(sed -n 's#^listening on http://##p' serve_out.log)
-  [ -n "$addr" ] && break
-  sleep 0.2
-done
-[ -n "$addr" ] || { echo "serve did not come up"; cat serve_out.log; kill "$serve_pid" 2>/dev/null; exit 1; }
+addr=$(wait_for_ready serve_out.log 's#^listening on http://##p') \
+  || { echo "serve did not come up"; cat serve_out.log; kill "$serve_pid" 2>/dev/null; exit 1; }
 echo "serve is up on ${addr}"
 
 curl -fsS "http://${addr}/healthz" > /dev/null
@@ -188,5 +208,37 @@ wait "$serve_pid" || { echo "serve exited nonzero"; exit 1; }
 grep -q "shut down cleanly" serve_out.log || { echo "serve missed its clean-exit line"; exit 1; }
 rm -f serve_out.log
 rm -rf ci_sched_results
+
+# Distributed execution lane (docs/DISTRIBUTED.md): a cold 3-worker
+# run and a cold run with one worker SIGKILLed mid-sweep must both
+# produce byte-identical figures to a serial `--jobs 3` run. The
+# cache trees are excluded from the diff (same entries, but the
+# kill can orphan an in-flight store); everything the figures are
+# built from must match to the byte.
+echo "==> distributed execution lane"
+rm -rf ci_dist_serial ci_dist_workers ci_dist_chaos dist_out.log dist_chaos_out.log
+SYNCPERF_RESULTS=ci_dist_serial cargo run --release --offline -p syncperf-bench \
+  --bin all_figures -- --jobs 3 > /dev/null
+SYNCPERF_RESULTS=ci_dist_workers cargo run --release --offline -p syncperf-bench \
+  --bin syncperf_dist -- all_figures --workers 3 \
+  --cache-stats results/cache_stats_dist.json > dist_out.log
+grep '^dist:' dist_out.log || { echo "coordinator summary line missing"; cat dist_out.log; exit 1; }
+diff -r -x .cache ci_dist_serial ci_dist_workers \
+  || { echo "3-worker output diverged from serial"; exit 1; }
+dist_workers=$(sed -n 's/.*"dist_workers":\([0-9]*\).*/\1/p' results/cache_stats_dist.json)
+[ "${dist_workers:-0}" -eq 3 ] || { echo "cache-stats did not record the fleet"; exit 1; }
+
+echo "==> distributed chaos lane (kill one worker mid-sweep)"
+SYNCPERF_RESULTS=ci_dist_chaos cargo run --release --offline -p syncperf-bench \
+  --bin syncperf_dist -- all_figures --workers 3 --chaos-kill-one 25 \
+  --cache-stats results/cache_stats_dist_chaos.json > dist_chaos_out.log
+grep '^dist:' dist_chaos_out.log || { echo "chaos summary line missing"; cat dist_chaos_out.log; exit 1; }
+diff -r -x .cache ci_dist_serial ci_dist_chaos \
+  || { echo "chaos output diverged from serial"; exit 1; }
+deaths=$(sed -n 's/.*"dist_worker_deaths":\([0-9]*\).*/\1/p' results/cache_stats_dist_chaos.json)
+[ "${deaths:-0}" -ge 1 ] || { echo "chaos hook did not kill a worker"; exit 1; }
+echo "chaos run converged with ${deaths} worker death(s)"
+rm -f dist_out.log dist_chaos_out.log
+rm -rf ci_dist_serial ci_dist_workers ci_dist_chaos
 
 echo "CI green"

@@ -155,7 +155,9 @@ fn main() {
         let stats = s.stats();
         print!("{}", syncperf_bench::runner::render_sched_summary(&stats));
         if let Some(path) = &cache_stats {
-            if let Err(e) = std::fs::write(path, syncperf_bench::runner::cache_stats_json(&stats)) {
+            if let Err(e) =
+                std::fs::write(path, syncperf_bench::runner::cache_stats_json(&stats, None))
+            {
                 eprintln!("error writing cache stats: {e}");
                 std::process::exit(1);
             }

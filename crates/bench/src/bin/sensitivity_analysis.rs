@@ -36,7 +36,7 @@ fn main() -> syncperf_core::Result<()> {
         let stats = s.stats();
         print!("{}", runner::render_sched_summary(&stats));
         if let Some(path) = &opts.cache_stats {
-            std::fs::write(path, runner::cache_stats_json(&stats))?;
+            std::fs::write(path, runner::cache_stats_json(&stats, None))?;
         }
     }
 

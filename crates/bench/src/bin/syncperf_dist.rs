@@ -1,0 +1,292 @@
+//! `syncperf_dist` — the distributed sweep front-end.
+//!
+//! ```console
+//! $ syncperf_dist all_figures --workers 3            # spawn 3 local worker
+//!                                                    # processes, run the sweep
+//! $ syncperf_dist worker --listen 0.0.0.0:7070       # pre-started worker
+//! $ syncperf_dist all_figures --connect host:7070 \
+//!                             --connect host:7071    # use pre-started workers
+//! $ syncperf_dist all_figures --workers 3 --chaos-kill-one 25
+//! $ syncperf_dist all_figures --workers 3 --metrics-addr 127.0.0.1:0
+//! $ syncperf_dist bench                              # tracked BENCH_dist.json:
+//!                                                    # 3 processes vs --jobs 3 threads
+//! $ syncperf_dist bench --check                      # regression gate vs committed
+//! ```
+//!
+//! Coordinator mode accepts every shared figure-binary flag (see
+//! `syncperf_bench::runner::RunOptions`); when neither `--workers` nor
+//! `--connect` is given it defaults to `--workers 3`. The spawned
+//! workers are this same binary re-exec'd in the hidden `__dist-worker`
+//! mode.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use syncperf_bench::runner::{self, RunOptions};
+use syncperf_core::obs::json;
+
+/// Cold `all_figures` runs per configuration; the minimum is tracked.
+const RUNS: usize = 3;
+
+/// `--check` fails when the fresh distributed measurement exceeds the
+/// committed `dist_ms` by more than this factor.
+const REGRESSION_FACTOR: f64 = 1.25;
+
+/// Worker processes (and reference threads) for the tracked benchmark.
+const BENCH_WORKERS: usize = 3;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: syncperf_dist <entry> [--workers N | --connect host:port ...] [shared flags]\n\
+         \x20      syncperf_dist worker (--listen|--connect) host:port\n\
+         \x20      syncperf_dist bench [--check] [--out PATH]\n\
+         \x20      syncperf_dist --list"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        // Hidden re-exec mode used by spawn-mode coordinators (both
+        // this binary's and the figure binaries').
+        Some("__dist-worker") => {
+            let code = match args.get(2).map(String::as_str) {
+                Some("--connect") if args.len() == 4 => {
+                    match syncperf_dist::run_connect(&args[3]) {
+                        Ok(()) => 0,
+                        Err(e) => {
+                            eprintln!("worker: {e}");
+                            1
+                        }
+                    }
+                }
+                _ => {
+                    eprintln!("__dist-worker requires --connect <host:port>");
+                    2
+                }
+            };
+            std::process::exit(code);
+        }
+        Some("worker") => {
+            let result = match (args.get(2).map(String::as_str), args.get(3)) {
+                (Some("--listen"), Some(addr)) => syncperf_dist::run_listen(addr),
+                (Some("--connect"), Some(addr)) => syncperf_dist::run_connect(addr),
+                _ => usage(),
+            };
+            if let Err(e) = result {
+                eprintln!("worker: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("bench") => bench(&args[2..]),
+        Some("--list") => {
+            for e in runner::registry() {
+                println!("{:32} {}", e.name, e.about);
+            }
+        }
+        Some(entry) if !entry.starts_with('-') => coordinate(entry, &args[2..]),
+        _ => usage(),
+    }
+}
+
+/// Coordinator mode: run a registry entry with distributed execution.
+fn coordinate(entry: &str, rest: &[String]) {
+    let Some(e) = runner::find(entry) else {
+        eprintln!("unknown entry `{entry}` (try --list)");
+        std::process::exit(2);
+    };
+    let mut opts = match RunOptions::parse(rest.iter().cloned()) {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    };
+    if !opts.wants_dist() {
+        opts.workers = Some(BENCH_WORKERS);
+    }
+    // Label by entry name so checkpoint manifests merge with (and
+    // resume from) runs of the plain figure binary.
+    opts.label = Some(e.name.to_string());
+    if let Err(err) = runner::run_with_options(e.generate, &opts) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+}
+
+/// Scratch root for throwaway results/cache trees (same policy as
+/// `bench_report`: prefer RAM-backed storage).
+fn scratch_root() -> PathBuf {
+    let shm = PathBuf::from("/dev/shm");
+    if std::fs::metadata(&shm).map(|m| m.is_dir()).unwrap_or(false) {
+        let probe = shm.join(format!(".syncperf-dist-probe-{}", std::process::id()));
+        if std::fs::write(&probe, b"x").is_ok() {
+            let _ = std::fs::remove_file(&probe);
+            return shm;
+        }
+    }
+    std::env::temp_dir()
+}
+
+/// The `all_figures` workload, exactly as `bench_report` times it.
+fn workload() -> syncperf_core::Result<()> {
+    let _table1 = syncperf_bench::tables::table1();
+    let _listing1 = syncperf_bench::tables::listing1_report(&syncperf_core::SYSTEM3)?;
+    let figs = syncperf_bench::all_figures()?;
+    syncperf_bench::emit(&figs)
+}
+
+/// One cold run: fresh results dir and cache. `dist` routes execution
+/// through a freshly spawned local worker fleet; otherwise the
+/// scheduler's in-process thread pool runs it.
+fn cold_run_ms(root: &std::path::Path, tag: &str, dist: bool) -> syncperf_core::Result<f64> {
+    let dir = root.join(format!("syncperf-dist-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("SYNCPERF_RESULTS", &dir);
+    let cfg = syncperf_sched::SchedConfig::new(BENCH_WORKERS)
+        .with_cache_dir(dir.join(".cache"))
+        .with_label("dist_bench");
+    let sched = syncperf_sched::install(syncperf_sched::Scheduler::new(cfg));
+    let coord = if dist {
+        let cache = sched
+            .cache()
+            .map(|c| syncperf_sched::Cache::new(c.dir().to_path_buf()));
+        let coord = syncperf_dist::Coordinator::start(
+            syncperf_dist::DistConfig::new(BENCH_WORKERS),
+            cache,
+        )?;
+        coord.attach(&sched);
+        Some(coord)
+    } else {
+        None
+    };
+
+    let start = Instant::now();
+    let outcome = workload();
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    if let Some(c) = &coord {
+        c.shutdown();
+    }
+    if outcome.is_ok() {
+        sched.finish();
+    }
+    syncperf_sched::uninstall();
+    std::env::remove_var("SYNCPERF_RESULTS");
+    let stats = sched.stats();
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome?;
+    assert!(
+        stats.executed > stats.cache_hits,
+        "a cold run must mostly measure, not serve ({} executed, {} hits)",
+        stats.executed,
+        stats.cache_hits
+    );
+    Ok(elapsed_ms)
+}
+
+fn render_report(threads_runs: &[f64], dist_runs: &[f64]) -> String {
+    let fmt = |runs: &[f64]| {
+        runs.iter()
+            .map(|ms| format!("{ms:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let threads_ms = threads_runs.iter().copied().fold(f64::INFINITY, f64::min);
+    let dist_ms = dist_runs.iter().copied().fold(f64::INFINITY, f64::min);
+    format!(
+        "{{\n  \"benchmark\": \"cold all_figures: {BENCH_WORKERS} worker processes vs --jobs {BENCH_WORKERS} threads (fresh cache)\",\n  \
+         \"unit\": \"ms\",\n  \
+         \"threads_ms\": {threads_ms:.1},\n  \
+         \"dist_ms\": {dist_ms:.1},\n  \
+         \"speedup\": {:.2},\n  \
+         \"threads_runs_ms\": [{}],\n  \
+         \"dist_runs_ms\": [{}],\n  \
+         \"check_regression_factor\": {REGRESSION_FACTOR}\n}}\n",
+        threads_ms / dist_ms,
+        fmt(threads_runs),
+        fmt(dist_runs),
+    )
+}
+
+/// The committed `dist_ms`, read from an existing report file.
+fn committed_dist_ms(path: &std::path::Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    json::parse(&text).ok()?.get("dist_ms")?.as_f64()
+}
+
+/// The tracked multi-process-vs-threads benchmark (`bench` subcommand).
+fn bench(args: &[String]) {
+    let mut check = false;
+    let mut out = PathBuf::from("BENCH_dist.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.into(),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let root = scratch_root();
+    eprintln!("scratch root: {}", root.display());
+    let mut threads_runs = Vec::with_capacity(RUNS);
+    let mut dist_runs = Vec::with_capacity(RUNS);
+    for i in 0..RUNS {
+        match cold_run_ms(&root, &format!("threads-{i}"), false) {
+            Ok(ms) => {
+                eprintln!("threads run {}/{RUNS}: {ms:.1} ms", i + 1);
+                threads_runs.push(ms);
+            }
+            Err(e) => {
+                eprintln!("error: threads run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        match cold_run_ms(&root, &format!("dist-{i}"), true) {
+            Ok(ms) => {
+                eprintln!("dist run {}/{RUNS}: {ms:.1} ms", i + 1);
+                dist_runs.push(ms);
+            }
+            Err(e) => {
+                eprintln!("error: dist run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let dist_ms = dist_runs.iter().copied().fold(f64::INFINITY, f64::min);
+
+    if check {
+        let Some(committed) = committed_dist_ms(&out) else {
+            eprintln!(
+                "error: --check needs a committed {} with dist_ms",
+                out.display()
+            );
+            std::process::exit(1);
+        };
+        let limit = committed * REGRESSION_FACTOR;
+        eprintln!(
+            "check: measured {dist_ms:.1} ms vs committed {committed:.1} ms (limit {limit:.1} ms)"
+        );
+        if dist_ms > limit {
+            eprintln!(
+                "error: distributed cold all_figures regressed >{:.0}% vs the committed baseline",
+                (REGRESSION_FACTOR - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("dist bench check ok: {dist_ms:.1} ms <= {limit:.1} ms");
+        return;
+    }
+
+    let report = render_report(&threads_runs, &dist_runs);
+    if let Err(e) = std::fs::write(&out, &report) {
+        eprintln!("error writing {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    print!("{report}");
+}

@@ -1,5 +1,6 @@
 //! `syncperf_top` — a one-screen live view of a running
-//! `syncperf-serve` instance, in the spirit of `top`.
+//! `syncperf-serve` instance or `syncperf_dist` coordinator
+//! (`--metrics-addr`), in the spirit of `top`.
 //!
 //! Polls `GET /metrics`, parses the Prometheus-style exposition back
 //! into an [`obs::Snapshot`](syncperf_core::obs::Snapshot) with
@@ -176,10 +177,33 @@ fn render_frame(snap: &Snapshot, prev: Option<&Snapshot>, dt: Duration, addr: &s
         }
     }
 
+    // Distributed coordinator section: present when the scraped
+    // endpoint belongs to (or exports) a `syncperf_dist` coordinator.
+    if snap.counter("dist_workers") > 0 {
+        out.push_str(&format!(
+            "\ndist: {} workers ({} live)   in-flight {}   reissues {}   migrations {}   deaths {}\n\
+             dist jobs: {} sent / {} results   coordinator {}   local {}   dup {}   corrupt {}\n",
+            snap.counter("dist_workers"),
+            snap.gauge("dist_workers_live"),
+            snap.gauge("dist_batches_inflight"),
+            snap.counter("dist_shard_reissues"),
+            snap.counter("dist_migrations"),
+            snap.counter("dist_worker_deaths"),
+            snap.counter("dist_jobs_sent"),
+            snap.counter("dist_results_received"),
+            snap.counter("dist_coordinator_jobs"),
+            snap.counter("dist_local_jobs"),
+            snap.counter("dist_duplicate_results"),
+            snap.counter("dist_corrupt_entries"),
+        ));
+    }
+
     for (title, name) in [
         ("sched wait", "sched_wait_us"),
         ("sched hit svc", "sched_service_us_hit"),
         ("sched miss svc", "sched_service_us_miss"),
+        ("dist wait", "dist_wait_us"),
+        ("dist svc", "dist_service_us"),
     ] {
         let h = snap.histogram(name);
         if h.count() > 0 {
@@ -244,6 +268,33 @@ mod tests {
         assert!(frame.contains("worker"));
         assert!(frame.contains("1234"));
         assert!(frame.contains("queue depth 2"));
+    }
+
+    #[test]
+    fn frame_renders_dist_section_only_with_a_coordinator() {
+        let snap = sample_snapshot();
+        let frame = render_frame(&snap, None, Duration::from_secs(1), "test:0");
+        assert!(!frame.contains("dist:"), "no dist section without dist_*");
+
+        let rec = obs::Recorder::enabled();
+        rec.counter("dist_workers").add(3);
+        rec.gauge_set("dist_workers_live").set(2);
+        rec.gauge_set("dist_batches_inflight").set(4);
+        rec.counter("dist_shard_reissues").add(1);
+        rec.counter("dist_jobs_sent").add(90);
+        rec.counter("dist_results_received").add(88);
+        rec.counter("dist_coordinator_jobs").add(11);
+        rec.histogram("dist_service_us").observe(42);
+        let frame = render_frame(&rec.snapshot(), None, Duration::from_secs(1), "test:0");
+        assert!(
+            frame.contains("dist: 3 workers (2 live)"),
+            "frame:\n{frame}"
+        );
+        assert!(frame.contains("in-flight 4"));
+        assert!(frame.contains("reissues 1"));
+        assert!(frame.contains("90 sent / 88 results"));
+        assert!(frame.contains("coordinator 11"));
+        assert!(frame.contains("dist svc"));
     }
 
     #[test]

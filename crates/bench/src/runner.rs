@@ -226,6 +226,20 @@ pub struct RunOptions {
     /// Run label scoping the checkpoint manifest (derived from the
     /// binary name by [`run`]).
     pub label: Option<String>,
+    /// Execute cache misses on this many local worker *processes*
+    /// (`--workers N`) via the distributed coordinator instead of
+    /// in-process threads.
+    pub workers: Option<usize>,
+    /// Pre-started worker addresses (`--connect host:port`, repeatable)
+    /// — implies distributed execution with exactly these workers.
+    pub connect: Vec<String>,
+    /// Chaos hook (`--chaos-kill-one N`): SIGKILL one spawned worker
+    /// after N results have been received. Spawn mode only.
+    pub chaos_kill_one: Option<u64>,
+    /// Serve live `GET /metrics` on this address for the duration of
+    /// the run (`--metrics-addr host:port`; port 0 picks a free port
+    /// and the bound address is printed as a ready line).
+    pub metrics_addr: Option<String>,
 }
 
 impl RunOptions {
@@ -263,6 +277,38 @@ impl RunOptions {
                 }
                 "--no-cache" => opts.no_cache = true,
                 "--resume" => opts.resume = true,
+                "--workers" => {
+                    let n = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--workers requires a process count".into())
+                    })?;
+                    let n: usize = n.parse().map_err(|_| {
+                        SyncPerfError::InvalidParams(format!("--workers: `{n}` is not a number"))
+                    })?;
+                    opts.workers = Some(n.max(1));
+                }
+                "--connect" => {
+                    let addr = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--connect requires host:port".into())
+                    })?;
+                    opts.connect.push(addr);
+                }
+                "--chaos-kill-one" => {
+                    let n = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--chaos-kill-one requires a count".into())
+                    })?;
+                    let n: u64 = n.parse().map_err(|_| {
+                        SyncPerfError::InvalidParams(format!(
+                            "--chaos-kill-one: `{n}` is not a number"
+                        ))
+                    })?;
+                    opts.chaos_kill_one = Some(n);
+                }
+                "--metrics-addr" => {
+                    let addr = it.next().ok_or_else(|| {
+                        SyncPerfError::InvalidParams("--metrics-addr requires host:port".into())
+                    })?;
+                    opts.metrics_addr = Some(addr);
+                }
                 "--cache-stats" => {
                     let path = it.next().ok_or_else(|| {
                         SyncPerfError::InvalidParams("--cache-stats requires a path".into())
@@ -279,6 +325,8 @@ impl RunOptions {
                     return Err(SyncPerfError::InvalidParams(format!(
                         "unknown flag `{other}` (supported: --trace <path>, \
                          --trace-format chrome|jsonl|summary, --jobs <n>, \
+                         --workers <n>, --connect <host:port>, \
+                         --chaos-kill-one <n>, --metrics-addr <host:port>, \
                          --no-cache, --resume, --cache-stats <path>, \
                          --metrics <path>)"
                     )));
@@ -318,7 +366,14 @@ impl RunOptions {
             || self.no_cache
             || self.resume
             || self.cache_stats.is_some()
+            || self.wants_dist()
             || std::env::var_os("SYNCPERF_JOBS").is_some()
+    }
+
+    /// Whether distributed (multi-process) execution was requested.
+    #[must_use]
+    pub fn wants_dist(&self) -> bool {
+        self.workers.is_some() || !self.connect.is_empty()
     }
 }
 
@@ -342,9 +397,30 @@ pub fn render_trace(events: &[obs::Event], snap: &obs::Snapshot, format: TraceFo
 ///
 /// Propagates generator and I/O errors.
 pub fn run(generate: impl FnOnce() -> Result<Vec<FigureData>>) -> Result<()> {
-    let mut opts = RunOptions::parse(std::env::args().skip(1))?;
-    opts.label = std::env::args().next().as_deref().map(binary_label);
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|a| a == "__dist-worker") {
+        // This process was re-exec'd by a coordinator as a local dist
+        // worker: skip the figure pipeline entirely and serve jobs.
+        // (Every figure binary is therefore self-hosting as a worker.)
+        return run_dist_worker(&args[2..]);
+    }
+    let mut opts = RunOptions::parse(args.iter().skip(1).cloned())?;
+    opts.label = args.first().map(|a| binary_label(a));
     run_with_options(generate, &opts)
+}
+
+/// The `__dist-worker --connect <addr>` re-exec mode: dial the
+/// coordinator and serve until shutdown.
+fn run_dist_worker(args: &[String]) -> Result<()> {
+    let addr = match args {
+        [flag, addr] if flag == "--connect" => addr,
+        _ => {
+            return Err(SyncPerfError::InvalidParams(
+                "__dist-worker requires --connect <host:port>".into(),
+            ))
+        }
+    };
+    syncperf_dist::run_connect(addr).map_err(SyncPerfError::from)
 }
 
 /// Derives a checkpoint label from `argv[0]` (its file stem).
@@ -357,16 +433,21 @@ fn binary_label(argv0: &str) -> String {
 }
 
 /// Renders scheduler statistics as a flat JSON object (stable keys,
-/// easy to grep/parse from shell in CI).
+/// easy to grep/parse from shell in CI). When a distributed
+/// coordinator ran, its `dist_*` counters and quantiles are appended
+/// to the same flat object.
 #[must_use]
-pub fn cache_stats_json(stats: &syncperf_sched::SchedStats) -> String {
-    format!(
+pub fn cache_stats_json(
+    stats: &syncperf_sched::SchedStats,
+    dist: Option<&syncperf_dist::DistStats>,
+) -> String {
+    let mut json = format!(
         "{{\"jobs\":{},\"executed\":{},\"cache_hits\":{},\"cache_misses\":{},\
          \"cache_stores\":{},\"steals\":{},\"retries\":{},\"resumed\":{},\
          \"wait_us_p50\":{},\"wait_us_p99\":{},\
          \"service_hit_us_p50\":{},\"service_hit_us_p99\":{},\
          \"service_miss_us_p50\":{},\"service_miss_us_p99\":{},\
-         \"queue_depth_peak\":{},\"hit_rate\":{:.6}}}\n",
+         \"queue_depth_peak\":{},\"hit_rate\":{:.6}",
         stats.jobs,
         stats.executed,
         stats.cache_hits,
@@ -383,6 +464,55 @@ pub fn cache_stats_json(stats: &syncperf_sched::SchedStats) -> String {
         stats.service_miss_us_p99,
         stats.queue_depth_peak,
         stats.hit_rate(),
+    );
+    if let Some(d) = dist {
+        json.push_str(&format!(
+            ",\"dist_workers\":{},\"dist_jobs_sent\":{},\"dist_results_received\":{},\
+             \"dist_local_jobs\":{},\"dist_coordinator_jobs\":{},\
+             \"dist_shard_reissues\":{},\"dist_migrations\":{},\
+             \"dist_worker_deaths\":{},\"dist_corrupt_entries\":{},\
+             \"dist_duplicate_results\":{},\"dist_worker_errors\":{},\
+             \"dist_bytes_sent\":{},\"dist_bytes_received\":{},\
+             \"dist_wait_us_p50\":{},\"dist_wait_us_p99\":{},\
+             \"dist_service_us_p50\":{},\"dist_service_us_p99\":{}",
+            d.workers,
+            d.jobs_sent,
+            d.results_received,
+            d.local_jobs,
+            d.coordinator_jobs,
+            d.shard_reissues,
+            d.migrations,
+            d.worker_deaths,
+            d.corrupt_entries,
+            d.duplicate_results,
+            d.worker_errors,
+            d.bytes_sent,
+            d.bytes_received,
+            d.wait_us_p50,
+            d.wait_us_p99,
+            d.service_us_p50,
+            d.service_us_p99,
+        ));
+    }
+    json.push_str("}\n");
+    json
+}
+
+/// One-line human summary of a distributed run.
+#[must_use]
+pub fn render_dist_summary(d: &syncperf_dist::DistStats) -> String {
+    format!(
+        "dist: {} workers ({} live), {} jobs sent, {} results, {} local, \
+         {} coordinator, {} reissues, {} migrations, {} deaths\n",
+        d.workers,
+        d.workers_live,
+        d.jobs_sent,
+        d.results_received,
+        d.local_jobs,
+        d.coordinator_jobs,
+        d.shard_reissues,
+        d.migrations,
+        d.worker_deaths,
     )
 }
 
@@ -410,7 +540,11 @@ pub fn run_with_options(
     generate: impl FnOnce() -> Result<Vec<FigureData>>,
     opts: &RunOptions,
 ) -> Result<()> {
-    let rec = if opts.trace.is_some() || opts.cache_stats.is_some() || opts.metrics.is_some() {
+    let rec = if opts.trace.is_some()
+        || opts.cache_stats.is_some()
+        || opts.metrics.is_some()
+        || opts.metrics_addr.is_some()
+    {
         obs::install(Recorder::enabled());
         // `install` keeps an earlier recorder if one exists; either
         // way, record into whatever is globally visible.
@@ -435,8 +569,57 @@ pub fn run_with_options(
         None
     };
 
+    // Distributed mode: start the coordinator fleet and route every
+    // cache miss through it. The scheduler still owns cache lookups,
+    // checkpointing, and the index-ordered merge, so the output bytes
+    // are identical to an in-process run.
+    let coord = if opts.wants_dist() {
+        let s = sched
+            .as_ref()
+            .expect("wants_dist implies a scheduler is installed");
+        let mut dcfg = if opts.connect.is_empty() {
+            syncperf_dist::DistConfig::new(opts.workers.unwrap_or(1))
+        } else {
+            syncperf_dist::DistConfig::new(opts.connect.len()).with_connect(opts.connect.clone())
+        };
+        dcfg = dcfg.with_salt_extra(s.config().salt_extra);
+        if let Some(n) = opts.chaos_kill_one {
+            dcfg = dcfg.with_chaos_kill_one_after(n);
+        }
+        let cache = s
+            .cache()
+            .map(|c| syncperf_sched::Cache::new(c.dir().to_path_buf()));
+        let coord = syncperf_dist::Coordinator::start(dcfg, cache)?;
+        coord.attach(s);
+        Some(coord)
+    } else {
+        None
+    };
+
+    if let Some(addr) = &opts.metrics_addr {
+        // Live scrape endpoint for syncperf_top: each request renders a
+        // fresh snapshot (global recorder + scheduler + dist export).
+        let rec2 = rec.clone();
+        let sched2 = sched.clone();
+        let bound = syncperf_dist::serve_metrics(addr, move || {
+            let mut snap = rec2.snapshot();
+            if let Some(s) = &sched2 {
+                s.export_into(&mut snap);
+            }
+            snap
+        })?;
+        println!("metrics listening on http://{bound}/metrics");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+    }
+
     let outcome = generate().and_then(|figs| crate::emit(&figs));
 
+    let dist_stats = coord.as_ref().map(|c| {
+        let st = c.stats();
+        c.shutdown();
+        st
+    });
     if let Some(s) = &sched {
         if outcome.is_ok() {
             // Mark the checkpoint manifest complete only on success, so
@@ -446,8 +629,11 @@ pub fn run_with_options(
         syncperf_sched::uninstall();
         let stats = s.stats();
         print!("{}", render_sched_summary(&stats));
+        if let Some(d) = &dist_stats {
+            print!("{}", render_dist_summary(d));
+        }
         if let Some(path) = &opts.cache_stats {
-            std::fs::write(path, cache_stats_json(&stats))?;
+            std::fs::write(path, cache_stats_json(&stats, dist_stats.as_ref()))?;
         }
     }
     outcome?;
@@ -565,13 +751,56 @@ mod tests {
             queue_depth_peak: 4,
             ..Default::default()
         };
-        let json = cache_stats_json(&stats);
+        let json = cache_stats_json(&stats, None);
         assert!(json.contains("\"jobs\":10"));
         assert!(json.contains("\"cache_hits\":8"));
         assert!(json.contains("\"wait_us_p99\":120"));
         assert!(json.contains("\"queue_depth_peak\":4"));
         assert!(json.contains("\"hit_rate\":0.8"));
+        assert!(
+            !json.contains("dist_"),
+            "no dist fields without a coordinator"
+        );
         assert!(render_sched_summary(&stats).contains("80.0%"));
+
+        let dist = syncperf_dist::DistStats {
+            workers: 3,
+            workers_live: 2,
+            jobs_sent: 9,
+            results_received: 9,
+            shard_reissues: 1,
+            wait_us_p99: 77,
+            service_us_p50: 41,
+            ..Default::default()
+        };
+        let json = cache_stats_json(&stats, Some(&dist));
+        assert!(json.contains("\"dist_workers\":3"));
+        assert!(json.contains("\"dist_jobs_sent\":9"));
+        assert!(json.contains("\"dist_shard_reissues\":1"));
+        assert!(json.contains("\"dist_wait_us_p99\":77"));
+        assert!(json.contains("\"dist_service_us_p50\":41"));
+        assert!(json.trim_end().ends_with('}'), "stays one flat object");
+        let summary = render_dist_summary(&dist);
+        assert!(summary.contains("3 workers (2 live)"));
+        assert!(summary.contains("1 reissues"));
+    }
+
+    #[test]
+    fn parse_accepts_dist_flags() {
+        let opts = RunOptions::parse(["--workers", "3"].map(String::from)).unwrap();
+        assert_eq!(opts.workers, Some(3));
+        assert!(opts.wants_dist());
+        assert!(opts.wants_scheduler());
+        let opts = RunOptions::parse(
+            ["--connect", "127.0.0.1:7001", "--connect", "127.0.0.1:7002"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.connect.len(), 2);
+        assert!(opts.wants_dist());
+        assert!(!RunOptions::default().wants_dist());
+        assert!(RunOptions::parse(["--workers".to_string()]).is_err());
+        assert!(RunOptions::parse(["--workers".to_string(), "many".to_string()]).is_err());
+        assert!(RunOptions::parse(["--connect".to_string()]).is_err());
     }
 
     #[test]

@@ -1,0 +1,1445 @@
+//! The coordinator: partitions each batch of cache misses into
+//! hash-range shards, streams them to workers, merges results
+//! exactly-once, and migrates or reissues shards when workers idle,
+//! slow, or die.
+//!
+//! ## Shard lifecycle
+//!
+//! ```text
+//!   assigned ──(results stream in)──▶ draining ──▶ complete
+//!      │                                 │
+//!      │ (owner dies / times out)        │ (owner goes idle elsewhere:
+//!      ▼                                 ▼  Revoke → Revoked)
+//!   reissued (new shard, live worker) migrated (new shard, idle worker)
+//! ```
+//!
+//! Every transition preserves two invariants: a job's result is merged
+//! **exactly once** (content-hash dedup — a duplicate completion is
+//! counted and dropped), and every entry that reaches the cache passed
+//! the same self-validating decode a local store would have (a corrupt
+//! wire entry is counted, discarded, and recomputed locally).
+//!
+//! The coordinator plugs into the scheduler as a
+//! [`syncperf_sched::ExecBackend`] (see [`Coordinator::attach`]):
+//! cache consultation, checkpointing,
+//! and the deterministic index-ordered merge stay in
+//! `Scheduler::run_jobs`, so distributed output is byte-identical to
+//! `--jobs N` serial output by construction.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use syncperf_core::obs::{self, json, GaugeMode, Histogram, Snapshot};
+use syncperf_core::Measurement;
+
+use syncperf_sched::{
+    decode_measurement, execute_job_with_retry, BackendExec, Cache, JobSpec, Scheduler, SCHED_SALT,
+};
+
+use crate::codec::encode_job;
+use crate::frame::{read_frame, write_frame, FrameType, PROTO_VERSION};
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Worker processes to spawn locally (ignored when `connect` is
+    /// non-empty).
+    pub workers: usize,
+    /// Addresses of pre-started workers to connect to instead of
+    /// spawning.
+    pub connect: Vec<String>,
+    /// How long a worker may stay silent (no frames at all) before it
+    /// is declared dead and its shards reissued.
+    pub heartbeat_timeout: Duration,
+    /// Minimum remaining jobs in a shard for it to be worth migrating
+    /// to an idle worker.
+    pub rebalance_threshold: usize,
+    /// Extra hash salt, forwarded to workers in the handshake (must
+    /// match the scheduler's `salt_extra`).
+    pub salt_extra: u64,
+    /// Chaos hook: after this many results have been received, SIGKILL
+    /// one spawned worker (spawn mode only; `None` = never).
+    pub chaos_kill_one_after: Option<u64>,
+    /// Override argv for spawned workers (`None` = re-exec the current
+    /// binary with `__dist-worker --connect <addr>` appended).
+    pub worker_cmd: Option<Vec<String>>,
+}
+
+impl DistConfig {
+    /// A spawn-mode config with `workers` local worker processes and
+    /// default timeouts.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        DistConfig {
+            workers: workers.max(1),
+            connect: Vec::new(),
+            heartbeat_timeout: Duration::from_secs(10),
+            rebalance_threshold: 4,
+            salt_extra: 0,
+            chaos_kill_one_after: None,
+            worker_cmd: None,
+        }
+    }
+
+    /// Connect-mode: use these pre-started workers.
+    #[must_use]
+    pub fn with_connect(mut self, addrs: Vec<String>) -> Self {
+        self.connect = addrs;
+        self
+    }
+
+    /// Replaces the extra hash salt.
+    #[must_use]
+    pub fn with_salt_extra(mut self, salt: u64) -> Self {
+        self.salt_extra = salt;
+        self
+    }
+
+    /// Arms the kill-one-worker chaos hook.
+    #[must_use]
+    pub fn with_chaos_kill_one_after(mut self, results: u64) -> Self {
+        self.chaos_kill_one_after = Some(results);
+        self
+    }
+
+    /// Replaces the heartbeat timeout.
+    #[must_use]
+    pub fn with_heartbeat_timeout(mut self, t: Duration) -> Self {
+        self.heartbeat_timeout = t;
+        self
+    }
+}
+
+/// Atomic tally cells behind [`DistStats`].
+#[derive(Debug, Default)]
+struct DistCells {
+    batches_streamed: AtomicU64,
+    jobs_sent: AtomicU64,
+    results_received: AtomicU64,
+    shard_reissues: AtomicU64,
+    migrations: AtomicU64,
+    worker_deaths: AtomicU64,
+    corrupt_entries: AtomicU64,
+    duplicate_results: AtomicU64,
+    local_jobs: AtomicU64,
+    coordinator_jobs: AtomicU64,
+    worker_errors: AtomicU64,
+    retries: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+/// A point-in-time view of the coordinator's counters and latency
+/// quantiles — the `dist.*` analog of `SchedStats`, recoverable from
+/// any obs [`Snapshot`] via [`DistStats::from_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DistStats {
+    /// Batch frames streamed to workers (initial shards + reissues +
+    /// migrations).
+    pub batches_streamed: u64,
+    /// Jobs shipped over the wire (a reissued job counts again).
+    pub jobs_sent: u64,
+    /// Result frames received (before dedup/validation).
+    pub results_received: u64,
+    /// Shards reissued after a worker death or heartbeat timeout.
+    pub shard_reissues: u64,
+    /// Shards migrated from a busy worker to an idle one.
+    pub migrations: u64,
+    /// Workers declared dead.
+    pub worker_deaths: u64,
+    /// Wire entries that failed the self-validating decode and were
+    /// recomputed locally.
+    pub corrupt_entries: u64,
+    /// Results for an already-merged hash, dropped by the
+    /// exactly-once dedup.
+    pub duplicate_results: u64,
+    /// Jobs not wire-serializable (real-thread / model-override),
+    /// executed on the coordinator.
+    pub local_jobs: u64,
+    /// Backlog jobs the work-conserving coordinator executed inline
+    /// while its event queue was idle (throughput self-balancing; see
+    /// [`Coordinator::run_batch`]).
+    pub coordinator_jobs: u64,
+    /// Jobs a worker reported as failed (recomputed locally).
+    pub worker_errors: u64,
+    /// Worker-side retry attempts reported in result headers.
+    pub retries: u64,
+    /// Payload bytes streamed to workers (batches, revokes, control).
+    pub bytes_sent: u64,
+    /// Payload bytes received from workers (results, control).
+    pub bytes_received: u64,
+    /// Configured worker count.
+    pub workers: u64,
+    /// Workers currently alive.
+    pub workers_live: u64,
+    /// Median coordinator-side queue wait (dispatch → result arrival,
+    /// minus worker service time), microseconds.
+    pub wait_us_p50: u64,
+    /// p99 queue wait, microseconds.
+    pub wait_us_p99: u64,
+    /// Median worker service time per job, microseconds.
+    pub service_us_p50: u64,
+    /// p99 worker service time, microseconds.
+    pub service_us_p99: u64,
+}
+
+impl DistStats {
+    /// Extracts the `dist.*` counters, gauges, and histograms from an
+    /// obs snapshot.
+    #[must_use]
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let wait = snap.histogram("dist.wait_us");
+        let service = snap.histogram("dist.service_us");
+        DistStats {
+            batches_streamed: snap.counter("dist.batches_streamed"),
+            jobs_sent: snap.counter("dist.jobs_sent"),
+            results_received: snap.counter("dist.results_received"),
+            shard_reissues: snap.counter("dist.shard_reissues"),
+            migrations: snap.counter("dist.migrations"),
+            worker_deaths: snap.counter("dist.worker_deaths"),
+            corrupt_entries: snap.counter("dist.corrupt_entries"),
+            duplicate_results: snap.counter("dist.duplicate_results"),
+            local_jobs: snap.counter("dist.local_jobs"),
+            coordinator_jobs: snap.counter("dist.coordinator_jobs"),
+            worker_errors: snap.counter("dist.worker_errors"),
+            retries: snap.counter("dist.retries"),
+            bytes_sent: snap.counter("dist.bytes_sent"),
+            bytes_received: snap.counter("dist.bytes_received"),
+            workers: snap.counter("dist.workers"),
+            workers_live: snap.gauge("dist.workers_live"),
+            wait_us_p50: wait.quantile(0.50),
+            wait_us_p99: wait.quantile(0.99),
+            service_us_p50: service.quantile(0.50),
+            service_us_p99: service.quantile(0.99),
+        }
+    }
+}
+
+/// One connected worker.
+struct WorkerHandle {
+    /// Send half (whole frames under the lock, so writers never
+    /// interleave).
+    writer: Mutex<TcpStream>,
+    /// Cleared when the connection dies or is declared dead.
+    alive: AtomicBool,
+    /// Last instant any frame arrived (updated by the reader thread,
+    /// so it stays fresh even between batches).
+    last_seen: Mutex<Instant>,
+    /// The spawned child process, in spawn mode.
+    child: Mutex<Option<Child>>,
+}
+
+/// Events funneled from all reader threads into the drain loop.
+enum Event {
+    Frame(usize, FrameType, Vec<u8>),
+    /// A Result frame, already parsed and hash-verified by the reader
+    /// thread so the single-threaded drain loop only does bookkeeping
+    /// — with N workers the (comparatively expensive) JSON decode and
+    /// content-hash check run N-way parallel.
+    Result(usize, Box<DecodedResult>),
+    Dead(usize),
+}
+
+/// A Result frame after reader-side parsing.
+struct DecodedResult {
+    shard: u64,
+    hash: u64,
+    /// Worker-side wall time and retry count, from the header.
+    micros: u64,
+    retries: u64,
+    /// The raw cache-entry bytes, ready for the store thread.
+    entry: String,
+    /// `Some` iff the entry passed the self-validating load against
+    /// the expected content hash ([`decode_measurement`]).
+    measurement: Option<Measurement>,
+}
+
+/// A shard in flight: who owns it and which hashes are still unmerged.
+struct Shard {
+    worker: usize,
+    remaining: BTreeSet<u64>,
+    /// A Revoke is outstanding; don't revoke again or double-assign.
+    revoking: bool,
+}
+
+/// One pending (dispatched, unmerged) job.
+struct Pending {
+    index: usize,
+    job: JobSpec,
+    /// The `{"hash":..,"job":..}` batch item, kept for reissue.
+    payload: String,
+    dispatched: Instant,
+}
+
+/// The coordinator. Create with [`Coordinator::start`] (spawn or
+/// connect mode per the config) or [`Coordinator::from_streams`]
+/// (pre-established connections, used by in-process tests), then
+/// [`Coordinator::attach`] it to a scheduler.
+pub struct Coordinator {
+    cfg: DistConfig,
+    workers: Vec<Arc<WorkerHandle>>,
+    /// Receiver end of the shared event channel. Locked for the whole
+    /// of every batch — the lock doubles as the one-batch-at-a-time
+    /// guard.
+    events: Mutex<mpsc::Receiver<Event>>,
+    stats: DistCells,
+    wait_us: Histogram,
+    service_us: Histogram,
+    shard_counter: AtomicU64,
+    chaos_armed: AtomicBool,
+    inflight_shards: AtomicU64,
+    /// Sender half of the persistent cache-writer thread (present iff
+    /// a cache is configured). Validated entries are queued here so the
+    /// merge loop never blocks on the filesystem; [`Coordinator::shutdown`]
+    /// drops the sender and joins the writer, flushing every queued
+    /// entry to disk.
+    store_tx: Mutex<Option<mpsc::Sender<(u64, String)>>>,
+    store_join: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Payload bytes received across all reader threads (shared with
+    /// them, so it keeps counting while a batch is idle).
+    bytes_received: Arc<AtomicU64>,
+    /// Spawn mode on a host with one hardware thread: the local worker
+    /// fleet cannot add parallelism, so dispatch keeps shards small and
+    /// prefetch shallow and the work-conserving loop carries the bulk.
+    /// Never set in connect mode — remote workers are real parallelism
+    /// regardless of this host's core count.
+    starved_host: bool,
+    /// Monotonic batch number, used to rotate starved-host priming
+    /// through the fleet.
+    batch_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("cfg", &self.cfg)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Coordinator {
+    /// Starts a coordinator per `cfg`: connects to `cfg.connect`
+    /// workers when given, otherwise binds a loopback listener and
+    /// spawns `cfg.workers` local worker processes that dial back in.
+    ///
+    /// # Errors
+    ///
+    /// Fails when workers cannot be spawned/connected or a handshake
+    /// is refused (version or salt skew).
+    pub fn start(cfg: DistConfig, cache: Option<Cache>) -> io::Result<Arc<Coordinator>> {
+        let mut streams: Vec<TcpStream> = Vec::new();
+        let mut children: Vec<Child> = Vec::new();
+        if cfg.connect.is_empty() {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?.to_string();
+            listener.set_nonblocking(true)?;
+            children = (0..cfg.workers)
+                .map(|_| spawn_worker(cfg.worker_cmd.as_deref(), &addr))
+                .collect::<io::Result<_>>()?;
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while streams.len() < cfg.workers {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        s.set_nonblocking(false)?;
+                        streams.push(s);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        for c in &mut children {
+                            if let Ok(Some(status)) = c.try_wait() {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::BrokenPipe,
+                                    format!("worker exited during startup: {status}"),
+                                ));
+                            }
+                        }
+                        if Instant::now() > deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "workers did not connect within 10s",
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        } else {
+            for addr in &cfg.connect {
+                streams.push(TcpStream::connect(addr)?);
+            }
+        }
+        Self::from_parts(cfg, cache, streams, children)
+    }
+
+    /// Builds a coordinator over already-connected worker streams (the
+    /// in-process test entry point; the far ends run
+    /// [`crate::worker::serve_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a handshake is refused.
+    pub fn from_streams(
+        cfg: DistConfig,
+        cache: Option<Cache>,
+        streams: Vec<TcpStream>,
+    ) -> io::Result<Arc<Coordinator>> {
+        Self::from_parts(cfg, cache, streams, Vec::new())
+    }
+
+    fn from_parts(
+        cfg: DistConfig,
+        cache: Option<Cache>,
+        streams: Vec<TcpStream>,
+        mut children: Vec<Child>,
+    ) -> io::Result<Arc<Coordinator>> {
+        // Children imply spawn mode: the fleet shares this host's
+        // cores. (`from_streams` test rigs and connect-mode fleets are
+        // never treated as starved — their workers may well be remote.)
+        let spawned = !children.is_empty();
+        let (tx, rx) = mpsc::channel();
+        let bytes_received = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::new();
+        for (i, stream) in streams.into_iter().enumerate() {
+            stream.set_nodelay(true).ok();
+            let mut writer = stream.try_clone()?;
+            let hello = format!(
+                "{{\"proto\":{PROTO_VERSION},\"salt\":\"{SCHED_SALT}\",\"salt_extra\":\"{:016x}\"}}",
+                cfg.salt_extra
+            );
+            write_frame(&mut writer, FrameType::Hello, hello.as_bytes())?;
+            let (ty, ack) = read_frame(&mut &stream)?;
+            if ty != FrameType::HelloAck {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "worker refused handshake",
+                ));
+            }
+            // Pair this connection with the child process that owns it
+            // (the ack carries the worker's PID; accept order is not
+            // spawn order, so positional pairing would kill the wrong
+            // process on heartbeat timeout or chaos injection).
+            let pid = json::parse(&String::from_utf8_lossy(&ack))
+                .ok()
+                .and_then(|d| d.get("pid").and_then(json::Value::as_f64))
+                .map(|p| p as u32);
+            let child = pid
+                .and_then(|p| children.iter().position(|c| c.id() == p))
+                .map(|at| children.remove(at));
+            let handle = Arc::new(WorkerHandle {
+                writer: Mutex::new(writer),
+                alive: AtomicBool::new(true),
+                last_seen: Mutex::new(Instant::now()),
+                child: Mutex::new(child),
+            });
+            spawn_reader(
+                i,
+                stream,
+                Arc::clone(&handle),
+                tx.clone(),
+                Arc::clone(&bytes_received),
+            );
+            workers.push(handle);
+        }
+        // Any child left unmatched (e.g. a worker whose ack did not
+        // carry a usable PID) still needs reaping at shutdown: hand the
+        // leftovers to handles that have none, in order.
+        let mut leftovers = children.into_iter();
+        for h in &workers {
+            let mut slot = h.child.lock().unwrap();
+            if slot.is_none() {
+                *slot = leftovers.next();
+            }
+        }
+        // Persistent cache-writer thread: one per coordinator, not one
+        // per batch, so batch completion never waits on fsync tails.
+        let (store_tx, store_join) = match &cache {
+            Some(c) => {
+                let dir = c.dir().to_path_buf();
+                let (stx, srx) = mpsc::channel::<(u64, String)>();
+                let handle = std::thread::spawn(move || {
+                    let cache = Cache::new(dir);
+                    for (hash, text) in srx {
+                        let _ = cache.store_raw(hash, &text);
+                    }
+                });
+                (Some(stx), Some(handle))
+            }
+            None => (None, None),
+        };
+        Ok(Arc::new(Coordinator {
+            cfg,
+            workers,
+            events: Mutex::new(rx),
+            stats: DistCells::default(),
+            wait_us: Histogram::standalone(),
+            service_us: Histogram::standalone(),
+            shard_counter: AtomicU64::new(0),
+            chaos_armed: AtomicBool::new(true),
+            inflight_shards: AtomicU64::new(0),
+            store_tx: Mutex::new(store_tx),
+            store_join: Mutex::new(store_join),
+            bytes_received,
+            starved_host: spawned
+                && std::thread::available_parallelism().is_ok_and(|n| n.get() == 1),
+            batch_seq: AtomicU64::new(0),
+        }))
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &DistConfig {
+        &self.cfg
+    }
+
+    /// Workers currently alive.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// A point-in-time view of the counters and latency quantiles.
+    #[must_use]
+    pub fn stats(&self) -> DistStats {
+        let wait = self.wait_us.snapshot();
+        let service = self.service_us.snapshot();
+        DistStats {
+            batches_streamed: self.stats.batches_streamed.load(Ordering::Relaxed),
+            jobs_sent: self.stats.jobs_sent.load(Ordering::Relaxed),
+            results_received: self.stats.results_received.load(Ordering::Relaxed),
+            shard_reissues: self.stats.shard_reissues.load(Ordering::Relaxed),
+            migrations: self.stats.migrations.load(Ordering::Relaxed),
+            worker_deaths: self.stats.worker_deaths.load(Ordering::Relaxed),
+            corrupt_entries: self.stats.corrupt_entries.load(Ordering::Relaxed),
+            duplicate_results: self.stats.duplicate_results.load(Ordering::Relaxed),
+            local_jobs: self.stats.local_jobs.load(Ordering::Relaxed),
+            coordinator_jobs: self.stats.coordinator_jobs.load(Ordering::Relaxed),
+            worker_errors: self.stats.worker_errors.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            bytes_sent: self.stats.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            workers: self.workers.len() as u64,
+            workers_live: self.live_workers() as u64,
+            wait_us_p50: wait.quantile(0.50),
+            wait_us_p99: wait.quantile(0.99),
+            service_us_p50: service.quantile(0.50),
+            service_us_p99: service.quantile(0.99),
+        }
+    }
+
+    /// Injects the coordinator's live telemetry — `dist.*` counters,
+    /// live-worker/in-flight gauges, and wait/service histograms —
+    /// into `snap`. Wired into `Scheduler::export_into` by
+    /// [`Coordinator::attach`], so `--cache-stats`, `--metrics`, and
+    /// any `/metrics` endpoint pick it up automatically.
+    pub fn export_into(&self, snap: &mut Snapshot) {
+        let st = self.stats();
+        for (name, v) in [
+            ("dist.batches_streamed", st.batches_streamed),
+            ("dist.jobs_sent", st.jobs_sent),
+            ("dist.results_received", st.results_received),
+            ("dist.shard_reissues", st.shard_reissues),
+            ("dist.migrations", st.migrations),
+            ("dist.worker_deaths", st.worker_deaths),
+            ("dist.corrupt_entries", st.corrupt_entries),
+            ("dist.duplicate_results", st.duplicate_results),
+            ("dist.local_jobs", st.local_jobs),
+            ("dist.coordinator_jobs", st.coordinator_jobs),
+            ("dist.worker_errors", st.worker_errors),
+            ("dist.retries", st.retries),
+            ("dist.bytes_sent", st.bytes_sent),
+            ("dist.bytes_received", st.bytes_received),
+            ("dist.workers", st.workers),
+        ] {
+            snap.counters.insert(name.to_string(), v);
+        }
+        snap.gauges
+            .insert("dist.workers_live".to_string(), st.workers_live);
+        snap.gauge_modes
+            .insert("dist.workers_live".to_string(), GaugeMode::Set);
+        snap.gauges.insert(
+            "dist.batches_inflight".to_string(),
+            self.inflight_shards.load(Ordering::Relaxed),
+        );
+        snap.gauge_modes
+            .insert("dist.batches_inflight".to_string(), GaugeMode::Set);
+        snap.histograms
+            .insert("dist.wait_us".to_string(), self.wait_us.snapshot());
+        snap.histograms
+            .insert("dist.service_us".to_string(), self.service_us.snapshot());
+    }
+
+    /// Installs this coordinator as `sched`'s execution backend and
+    /// telemetry export hook: every cache miss the scheduler sees is
+    /// routed through [`Coordinator::run_batch`], and every telemetry
+    /// export carries the `dist.*` metrics.
+    pub fn attach(self: &Arc<Self>, sched: &Scheduler) {
+        let c = Arc::clone(self);
+        sched.set_exec_backend(move |todo| c.run_batch(todo));
+        let c = Arc::clone(self);
+        sched.set_export_hook(move |snap| c.export_into(snap));
+    }
+
+    /// Executes one batch of cache misses across the worker fleet.
+    /// This is the [`syncperf_sched::ExecBackend`] entry point; see the
+    /// module docs for the shard lifecycle.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_batch(&self, todo: &[(usize, JobSpec, u64)]) -> Vec<BackendExec> {
+        let rec = obs::global();
+        let events = self.events.lock().unwrap();
+        // Absorb anything that happened between batches (worker deaths;
+        // stray frames from a chaos-killed worker's last gasp).
+        while let Ok(ev) = events.try_recv() {
+            if let Event::Dead(w) = ev {
+                self.mark_dead(w);
+            }
+        }
+
+        let mut out: Vec<BackendExec> = Vec::with_capacity(todo.len());
+        let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
+        let mut local: Vec<(usize, JobSpec, u64)> = Vec::new();
+        for (index, job, hash) in todo {
+            if pending.contains_key(hash) {
+                // Identical job submitted twice in one batch (the
+                // scheduler's own collision guard makes this unlikely);
+                // run the duplicate locally rather than double-issue.
+                local.push((*index, job.clone(), *hash));
+                continue;
+            }
+            match encode_job(job) {
+                Some(encoded) => {
+                    let payload = format!("{{\"hash\":\"{hash:016x}\",\"job\":{encoded}}}");
+                    pending.insert(
+                        *hash,
+                        Pending {
+                            index: *index,
+                            job: job.clone(),
+                            payload,
+                            dispatched: Instant::now(),
+                        },
+                    );
+                }
+                None => local.push((*index, job.clone(), *hash)),
+            }
+        }
+
+        // Cache stores go to the coordinator-lifetime writer thread so
+        // the merge loop never blocks on the filesystem (entries are
+        // validated before they are queued; writes from this batch may
+        // still be in flight when it returns — shutdown flushes them).
+        let store_guard = self.store_tx.lock().unwrap();
+        let store_tx = store_guard.as_ref();
+
+        // Partition the serializable jobs into small contiguous
+        // hash-range chunks (the pending map is hash-ordered). Each
+        // live worker is primed with two chunks — one executing, one
+        // queued so it never starves between waves — and the rest wait
+        // in a coordinator-side backlog that idle workers drain. This
+        // self-balances without re-sending jobs; the Revoke/migrate
+        // path only fires at the tail, once the backlog is dry.
+        let live: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| self.workers[w].alive.load(Ordering::Relaxed))
+            .collect();
+        let mut shards: BTreeMap<u64, Shard> = BTreeMap::new();
+        let mut backlog: VecDeque<BTreeSet<u64>> = VecDeque::new();
+        if live.is_empty() {
+            // Total fleet loss: everything runs locally.
+            let drained: Vec<(u64, Pending)> = std::mem::take(&mut pending).into_iter().collect();
+            for (hash, p) in drained {
+                out.push(self.execute_locally(p.index, &p.job, hash));
+            }
+        } else {
+            let hashes: Vec<u64> = pending.keys().copied().collect();
+            let waves = 8;
+            let ideal = hashes.len().div_ceil(live.len() * waves);
+            // Small batches still amortize a round-trip over a few
+            // jobs instead of paying one per job.
+            let floor = 4usize.min(hashes.len().div_ceil(live.len()).max(1));
+            // On a one-core host, every wire job costs codec overhead
+            // and buys no parallelism: keep shards tiny so the fleet
+            // stays exercised while the coordinator does the bulk.
+            let chunk = if self.starved_host {
+                2
+            } else {
+                ideal.max(floor)
+            };
+            for c in hashes.chunks(chunk) {
+                backlog.push_back(c.iter().copied().collect());
+            }
+            // Prime workers with one chunk each; the refill path tops
+            // them up as they make progress. The rest of the backlog
+            // is drained from the front by worker refills and from the
+            // back by the coordinator's own work-conserving loop below.
+            //
+            // Starved host: any wire work in flight when a batch ends
+            // adds a synchronization tail (one worker round-trip), and
+            // the scheduler issues many small batches — so only every
+            // sixteenth batch primes, rotating through the fleet,
+            // which keeps every worker (and the whole protocol)
+            // exercised without paying the tail on each batch.
+            let seq = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+            let prime: Vec<usize> = if self.starved_host {
+                if seq.is_multiple_of(16) {
+                    vec![live[(seq / 16) as usize % live.len()]]
+                } else {
+                    Vec::new()
+                }
+            } else {
+                live.clone()
+            };
+            for w in prime {
+                let Some(remaining) = backlog.pop_front() else {
+                    break;
+                };
+                if let Some(unsent) = self.send_shard(w, remaining, &mut shards, &pending) {
+                    backlog.push_front(unsent);
+                }
+            }
+        }
+        self.inflight_shards
+            .store((shards.len() + backlog.len()) as u64, Ordering::Relaxed);
+
+        // Unserializable jobs execute on the coordinator while workers
+        // chew on their shards.
+        self.stats
+            .local_jobs
+            .fetch_add(local.len() as u64, Ordering::Relaxed);
+        rec.counter("dist.local_jobs").add(local.len() as u64);
+        for (index, job, hash) in local {
+            out.push(self.execute_locally(index, &job, hash));
+        }
+
+        // Drain until every dispatched job is merged.
+        while !pending.is_empty() {
+            // Reissue any shard whose owner died before this iteration.
+            let orphaned: Vec<u64> = shards
+                .iter()
+                .filter(|(_, s)| !self.workers[s.worker].alive.load(Ordering::Relaxed))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in orphaned {
+                let shard = shards.remove(&id).unwrap();
+                self.reissue(
+                    shard.remaining,
+                    &mut shards,
+                    &mut pending,
+                    &mut backlog,
+                    &mut out,
+                );
+            }
+            // A dead fleet can leave work stranded in the backlog with
+            // no ShardDone ever coming: run it locally.
+            if shards.is_empty()
+                && !backlog.is_empty()
+                && !self.workers.iter().any(|h| h.alive.load(Ordering::Relaxed))
+            {
+                for chunk in backlog.drain(..) {
+                    for h in chunk {
+                        if let Some(p) = pending.remove(&h) {
+                            out.push(self.execute_locally(p.index, &p.job, h));
+                        }
+                    }
+                }
+            }
+            self.inflight_shards
+                .store((shards.len() + backlog.len()) as u64, Ordering::Relaxed);
+            if pending.is_empty() {
+                break;
+            }
+
+            // Work-conserving coordinator: when no worker traffic is
+            // waiting, execute one backlog job inline instead of
+            // blocking. Workers drain the backlog from the front (in
+            // whole chunks), the coordinator from the back (one job at
+            // a time), so the split self-balances with the fleet's
+            // real throughput: on a many-core host workers win most of
+            // the backlog; on a starved or single-core host the
+            // coordinator degrades gracefully toward serial speed
+            // instead of stalling on round-trips.
+            let mut ev = events.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => mpsc::RecvTimeoutError::Timeout,
+                mpsc::TryRecvError::Disconnected => mpsc::RecvTimeoutError::Disconnected,
+            });
+            if matches!(ev, Err(mpsc::RecvTimeoutError::Timeout)) {
+                if let Some(hash) = take_back(&mut backlog) {
+                    if let Some(p) = pending.remove(&hash) {
+                        self.stats.coordinator_jobs.fetch_add(1, Ordering::Relaxed);
+                        rec.counter("dist.coordinator_jobs").inc();
+                        out.push(self.execute_locally(p.index, &p.job, hash));
+                    }
+                    continue;
+                }
+                // Backlog dry, wire jobs still out. On a starved host
+                // the batch tail must not wait a full worker round-trip
+                // on one core: hedge the oldest straggler locally (the
+                // slower copy lands as a counted duplicate). The age
+                // gate is a handful of job-execution times — long
+                // enough that a healthy in-flight result usually beats
+                // it, short enough that the per-batch tail stays well
+                // under a round-trip.
+                if self.starved_host {
+                    let aged = pending
+                        .iter()
+                        .filter(|(_, p)| p.dispatched.elapsed() > Duration::from_micros(200))
+                        .min_by_key(|(_, p)| p.dispatched)
+                        .map(|(&h, _)| h);
+                    if let Some(hash) = aged {
+                        let p = pending.remove(&hash).unwrap();
+                        self.stats.coordinator_jobs.fetch_add(1, Ordering::Relaxed);
+                        rec.counter("dist.coordinator_jobs").inc();
+                        out.push(self.execute_locally(p.index, &p.job, hash));
+                        continue;
+                    }
+                }
+                let wait = if self.starved_host {
+                    // Short enough to re-check the hedge age gate
+                    // promptly when the wire goes silent.
+                    Duration::from_micros(500)
+                } else {
+                    Duration::from_millis(100)
+                };
+                ev = events.recv_timeout(wait);
+            }
+            match ev {
+                Ok(Event::Dead(w)) => self.mark_dead(w),
+                Ok(Event::Result(w, r)) => {
+                    self.handle_result(
+                        w,
+                        *r,
+                        &mut shards,
+                        &mut pending,
+                        &mut backlog,
+                        store_tx,
+                        &mut out,
+                    );
+                }
+                Ok(Event::Frame(w, ty, payload)) => {
+                    self.handle_worker_frame(
+                        w,
+                        ty,
+                        &payload,
+                        &mut shards,
+                        &mut pending,
+                        &mut backlog,
+                        &mut out,
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => self.check_heartbeats(),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // All reader threads gone: finish locally.
+                    for w in 0..self.workers.len() {
+                        self.mark_dead(w);
+                    }
+                }
+            }
+        }
+        self.inflight_shards.store(0, Ordering::Relaxed);
+        out
+    }
+
+    /// Merges one reader-decoded Result: exactly-once dedup against the
+    /// pending map, cross-check of the already-verified measurement
+    /// against the expected job, then handoff to the store thread.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_result(
+        &self,
+        w: usize,
+        r: DecodedResult,
+        shards: &mut BTreeMap<u64, Shard>,
+        pending: &mut BTreeMap<u64, Pending>,
+        backlog: &mut VecDeque<BTreeSet<u64>>,
+        store_tx: Option<&mpsc::Sender<(u64, String)>>,
+        out: &mut Vec<BackendExec>,
+    ) {
+        let rec = obs::global();
+        self.stats.results_received.fetch_add(1, Ordering::Relaxed);
+        rec.counter("dist.results_received").inc();
+        self.maybe_chaos_kill();
+        if let Some(s) = shards.get_mut(&r.shard) {
+            s.remaining.remove(&r.hash);
+        }
+        let Some(p) = pending.get(&r.hash) else {
+            // Already merged (duplicate completion after a
+            // migration/reissue race): exactly-once dedup.
+            self.stats.duplicate_results.fetch_add(1, Ordering::Relaxed);
+            rec.counter("dist.duplicate_results").inc();
+            return;
+        };
+        let validated = r
+            .measurement
+            .filter(|m| m.kernel_name == p.job.kernel_name() && m.params == *p.job.params());
+        if let Some(m) = validated {
+            self.stats.retries.fetch_add(r.retries, Ordering::Relaxed);
+            rec.counter("dist.retries").add(r.retries);
+            let total_us = p.dispatched.elapsed().as_micros() as u64;
+            self.service_us.observe(r.micros);
+            rec.histogram("dist.service_us").observe(r.micros);
+            let wait = total_us.saturating_sub(r.micros);
+            self.wait_us.observe(wait);
+            rec.histogram("dist.wait_us").observe(wait);
+            let stored = store_tx.is_some_and(|tx| tx.send((r.hash, r.entry)).is_ok());
+            let p = pending.remove(&r.hash).unwrap();
+            out.push(BackendExec {
+                index: p.index,
+                hash: r.hash,
+                result: Ok(m),
+                stored,
+            });
+        } else {
+            // The bytes failed the same self-validating load a local
+            // cache read would apply (or named the wrong job): count,
+            // discard, recompute.
+            self.stats.corrupt_entries.fetch_add(1, Ordering::Relaxed);
+            rec.counter("dist.corrupt_entries").inc();
+            let p = pending.remove(&r.hash).unwrap();
+            out.push(self.execute_locally(p.index, &p.job, r.hash));
+        }
+        self.maybe_rebalance(w, shards, pending, backlog);
+    }
+
+    /// Handles one worker control frame inside the drain loop.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_worker_frame(
+        &self,
+        w: usize,
+        ty: FrameType,
+        payload: &[u8],
+        shards: &mut BTreeMap<u64, Shard>,
+        pending: &mut BTreeMap<u64, Pending>,
+        backlog: &mut VecDeque<BTreeSet<u64>>,
+        out: &mut Vec<BackendExec>,
+    ) {
+        let rec = obs::global();
+        match ty {
+            FrameType::Result => {
+                // Only reached when the reader thread could not parse
+                // the payload at all (no header line / bad hash): there
+                // is nothing to attribute it to, so it is dropped and
+                // the job completes via reissue or heartbeat timeout.
+                self.stats.results_received.fetch_add(1, Ordering::Relaxed);
+                rec.counter("dist.results_received").inc();
+                self.stats.corrupt_entries.fetch_add(1, Ordering::Relaxed);
+                rec.counter("dist.corrupt_entries").inc();
+            }
+            FrameType::JobError => {
+                let Ok(doc) = json::parse(&String::from_utf8_lossy(payload)) else {
+                    return;
+                };
+                let Some(hash) = get_hash(&doc) else { return };
+                if let Some(s) = shards.get_mut(&get_shard(&doc)) {
+                    s.remaining.remove(&hash);
+                }
+                self.stats.worker_errors.fetch_add(1, Ordering::Relaxed);
+                rec.counter("dist.worker_errors").inc();
+                if let Some(p) = pending.remove(&hash) {
+                    // Recompute locally so the error surfaced to the
+                    // scheduler (if it persists) is the exact local
+                    // error, not a stringified remote one.
+                    out.push(self.execute_locally(p.index, &p.job, hash));
+                }
+                self.maybe_rebalance(w, shards, pending, backlog);
+            }
+            FrameType::ShardDone => {
+                let shard_id = shard_id_of(payload);
+                if let Some(s) = shards.remove(&shard_id) {
+                    // Frames from one worker arrive in order, so every
+                    // result for this shard has already been merged;
+                    // anything left produced no usable result (e.g. an
+                    // unattributable corrupt frame) and is reissued.
+                    if !s.remaining.is_empty() {
+                        self.reissue(s.remaining, shards, pending, backlog, out);
+                    }
+                }
+                self.maybe_rebalance(w, shards, pending, backlog);
+            }
+            FrameType::Revoked => {
+                let Ok(doc) = json::parse(&String::from_utf8_lossy(payload)) else {
+                    return;
+                };
+                let shard_id = get_shard(&doc);
+                shards.remove(&shard_id);
+                let remaining: BTreeSet<u64> = doc
+                    .get("remaining")
+                    .and_then(json::Value::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|v| v.as_str())
+                    .filter_map(|s| u64::from_str_radix(s, 16).ok())
+                    .filter(|h| pending.contains_key(h))
+                    .collect();
+                if !remaining.is_empty() {
+                    self.stats.migrations.fetch_add(1, Ordering::Relaxed);
+                    rec.counter("dist.migrations").inc();
+                    self.assign_shard(remaining, shards, pending, backlog, out, true);
+                }
+            }
+            // Heartbeats are consumed by the reader thread; anything
+            // else is protocol chatter we can ignore.
+            _ => {}
+        }
+    }
+
+    /// After worker `w` made progress, feed it more work if it has
+    /// gone idle: first from the coordinator-side backlog (free — no
+    /// job is re-sent), then — once the backlog is dry — by revoking
+    /// part of a busy peer's deepest shard (the migration path).
+    fn maybe_rebalance(
+        &self,
+        w: usize,
+        shards: &mut BTreeMap<u64, Shard>,
+        pending: &BTreeMap<u64, Pending>,
+        backlog: &mut VecDeque<BTreeSet<u64>>,
+    ) {
+        if !self.workers[w].alive.load(Ordering::Relaxed) {
+            return;
+        }
+        // Keep the worker double-buffered: one chunk executing, one
+        // queued behind it, so the refill round-trip hides behind
+        // execution instead of stalling the worker after every chunk.
+        // (Depth 1 on a starved host — prefetch there only moves work
+        // away from the faster work-conserving coordinator.)
+        let depth = if self.starved_host { 1 } else { 2 };
+        let outstanding = shards
+            .values()
+            .filter(|s| s.worker == w && !s.remaining.is_empty())
+            .count();
+        if outstanding >= depth {
+            return;
+        }
+        let mut need = depth - outstanding;
+        while need > 0 {
+            let Some(chunk) = backlog.pop_front() else {
+                break;
+            };
+            let remaining: BTreeSet<u64> = chunk
+                .into_iter()
+                .filter(|h| pending.contains_key(h))
+                .collect();
+            if remaining.is_empty() {
+                continue;
+            }
+            if let Some(unsent) = self.send_shard(w, remaining, shards, pending) {
+                // Worker just died mid-assignment; keep the chunk.
+                backlog.push_front(unsent);
+                return;
+            }
+            need -= 1;
+        }
+        if need < depth - outstanding || outstanding > 0 {
+            // Fed from the backlog (or still executing): no migration.
+            return;
+        }
+        // Backlog dry: steal from the deepest revocable shard on
+        // another live worker.
+        let candidate = shards
+            .iter_mut()
+            .filter(|(_, s)| {
+                s.worker != w
+                    && !s.revoking
+                    && s.remaining.len() > self.cfg.rebalance_threshold
+                    && self.workers[s.worker].alive.load(Ordering::Relaxed)
+            })
+            .max_by_key(|(_, s)| s.remaining.len());
+        if let Some((&id, s)) = candidate {
+            s.revoking = true;
+            let doc = format!("{{\"shard\":{id}}}");
+            let owner = s.worker;
+            if !self.send(owner, FrameType::Revoke, doc.as_bytes()) {
+                self.mark_dead(owner);
+            }
+        }
+    }
+
+    /// Reissues orphaned hashes (dead worker) as a fresh shard.
+    fn reissue(
+        &self,
+        remaining: BTreeSet<u64>,
+        shards: &mut BTreeMap<u64, Shard>,
+        pending: &mut BTreeMap<u64, Pending>,
+        backlog: &mut VecDeque<BTreeSet<u64>>,
+        out: &mut Vec<BackendExec>,
+    ) {
+        let remaining: BTreeSet<u64> = remaining
+            .into_iter()
+            .filter(|h| pending.contains_key(h))
+            .collect();
+        if remaining.is_empty() {
+            return;
+        }
+        self.stats.shard_reissues.fetch_add(1, Ordering::Relaxed);
+        obs::global().counter("dist.shard_reissues").inc();
+        self.assign_shard(remaining, shards, pending, backlog, out, false);
+    }
+
+    /// Ships `remaining` as a new shard to the least-loaded live
+    /// worker, or executes locally when the fleet is gone.
+    /// `prefer_idle` (the migration path) requires a fully idle target
+    /// and parks the shard in the backlog when nobody is idle.
+    fn assign_shard(
+        &self,
+        remaining: BTreeSet<u64>,
+        shards: &mut BTreeMap<u64, Shard>,
+        pending: &mut BTreeMap<u64, Pending>,
+        backlog: &mut VecDeque<BTreeSet<u64>>,
+        out: &mut Vec<BackendExec>,
+        prefer_idle: bool,
+    ) {
+        let mut remaining = remaining;
+        loop {
+            let load = |w: usize| -> usize {
+                shards
+                    .values()
+                    .filter(|s| s.worker == w)
+                    .map(|s| s.remaining.len())
+                    .sum()
+            };
+            let target = (0..self.workers.len())
+                .filter(|&w| self.workers[w].alive.load(Ordering::Relaxed))
+                .filter(|&w| !prefer_idle || load(w) == 0)
+                .min_by_key(|&w| load(w));
+            match target {
+                Some(w) => match self.send_shard(w, remaining, shards, pending) {
+                    None => return,
+                    // That worker died mid-send: try the next one.
+                    Some(unsent) => remaining = unsent,
+                },
+                None if prefer_idle => {
+                    // Nobody idle right now: the next worker to drain
+                    // its queue picks this up from the backlog.
+                    backlog.push_front(remaining);
+                    return;
+                }
+                None => {
+                    for h in remaining {
+                        if let Some(p) = pending.remove(&h) {
+                            out.push(self.execute_locally(p.index, &p.job, h));
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Streams `remaining` to worker `w` as a fresh shard. Returns the
+    /// set back when the send fails (the worker is then marked dead).
+    fn send_shard(
+        &self,
+        w: usize,
+        remaining: BTreeSet<u64>,
+        shards: &mut BTreeMap<u64, Shard>,
+        pending: &BTreeMap<u64, Pending>,
+    ) -> Option<BTreeSet<u64>> {
+        let rec = obs::global();
+        let shard = self.shard_counter.fetch_add(1, Ordering::Relaxed);
+        let items: Vec<&str> = remaining
+            .iter()
+            .filter_map(|h| pending.get(h).map(|p| p.payload.as_str()))
+            .collect();
+        let doc = format!("{{\"shard\":{shard},\"jobs\":[{}]}}", items.join(","));
+        if self.send(w, FrameType::Batch, doc.as_bytes()) {
+            self.stats.batches_streamed.fetch_add(1, Ordering::Relaxed);
+            rec.counter("dist.batches_streamed").inc();
+            self.stats
+                .jobs_sent
+                .fetch_add(remaining.len() as u64, Ordering::Relaxed);
+            rec.counter("dist.jobs_sent").add(remaining.len() as u64);
+            shards.insert(
+                shard,
+                Shard {
+                    worker: w,
+                    remaining,
+                    revoking: false,
+                },
+            );
+            None
+        } else {
+            self.mark_dead(w);
+            Some(remaining)
+        }
+    }
+
+    /// Runs a job on the coordinator with the standard retry ladder.
+    fn execute_locally(&self, index: usize, job: &JobSpec, hash: u64) -> BackendExec {
+        let result = execute_job_with_retry(job, hash, |_| {
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            obs::global().counter("dist.retries").inc();
+        });
+        BackendExec {
+            index,
+            hash,
+            result,
+            stored: false,
+        }
+    }
+
+    /// Declares workers dead when they exceed the heartbeat timeout
+    /// (the reader thread refreshes `last_seen` on every frame,
+    /// heartbeats included).
+    fn check_heartbeats(&self) {
+        for w in 0..self.workers.len() {
+            let h = &self.workers[w];
+            if h.alive.load(Ordering::Relaxed)
+                && h.last_seen.lock().unwrap().elapsed() > self.cfg.heartbeat_timeout
+            {
+                self.mark_dead(w);
+            }
+        }
+    }
+
+    /// Marks a worker dead: closes its socket (unblocking its reader),
+    /// kills its child process, counts the death. Idempotent.
+    fn mark_dead(&self, w: usize) {
+        let h = &self.workers[w];
+        if !h.alive.swap(false, Ordering::Relaxed) {
+            return;
+        }
+        self.stats.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        obs::global().counter("dist.worker_deaths").inc();
+        if let Ok(s) = h.writer.lock() {
+            s.shutdown(std::net::Shutdown::Both).ok();
+        }
+        if let Some(c) = h.child.lock().unwrap().as_mut() {
+            c.kill().ok();
+            c.wait().ok();
+        }
+    }
+
+    /// Fires the kill-one-worker chaos hook once the configured result
+    /// count is reached (spawn mode only).
+    fn maybe_chaos_kill(&self) {
+        let Some(after) = self.cfg.chaos_kill_one_after else {
+            return;
+        };
+        if self.stats.results_received.load(Ordering::Relaxed) < after {
+            return;
+        }
+        if !self.chaos_armed.swap(false, Ordering::Relaxed) {
+            return;
+        }
+        // SIGKILL the first live spawned worker — no goodbye frames,
+        // exactly the crash the reissue path must absorb.
+        for h in &self.workers {
+            if h.alive.load(Ordering::Relaxed) {
+                if let Some(c) = h.child.lock().unwrap().as_mut() {
+                    c.kill().ok();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Sends one frame to worker `w`; `false` means the connection is
+    /// broken.
+    fn send(&self, w: usize, ty: FrameType, payload: &[u8]) -> bool {
+        self.stats
+            .bytes_sent
+            .fetch_add(payload.len() as u64 + 5, Ordering::Relaxed);
+        let mut stream = self.workers[w].writer.lock().unwrap();
+        write_frame(&mut *stream, ty, payload).is_ok()
+    }
+
+    /// Graceful shutdown: flushes the cache-writer queue, sends
+    /// Shutdown frames to live workers, then reaps children (killing
+    /// any that linger past 2 s). Idempotent.
+    pub fn shutdown(&self) {
+        drop(self.store_tx.lock().unwrap().take());
+        if let Some(handle) = self.store_join.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        for (w, h) in self.workers.iter().enumerate() {
+            if h.alive.load(Ordering::Relaxed) {
+                self.send(w, FrameType::Shutdown, b"{}");
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for h in &self.workers {
+            let mut child = h.child.lock().unwrap();
+            if let Some(c) = child.as_mut() {
+                loop {
+                    match c.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        _ => {
+                            c.kill().ok();
+                            c.wait().ok();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn spawn_worker(cmd: Option<&[String]>, addr: &str) -> io::Result<Child> {
+    let mut command = if let Some([prog, args @ ..]) = cmd {
+        let mut c = Command::new(prog);
+        c.args(args);
+        c
+    } else {
+        let mut c = Command::new(std::env::current_exe()?);
+        c.arg("__dist-worker");
+        c
+    };
+    command
+        .arg("--connect")
+        .arg(addr)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+}
+
+/// Reader thread: owns the receive half, refreshes liveness, forwards
+/// semantic frames, reports death on EOF/error.
+fn spawn_reader(
+    id: usize,
+    stream: TcpStream,
+    handle: Arc<WorkerHandle>,
+    tx: mpsc::Sender<Event>,
+    bytes_received: Arc<AtomicU64>,
+) {
+    std::thread::spawn(move || {
+        // Buffered: a worker's flush delivers several frames in one
+        // recv; read_frame then costs no syscall for most of them.
+        let mut r = io::BufReader::new(stream);
+        loop {
+            if let Ok((ty, payload)) = read_frame(&mut r) {
+                *handle.last_seen.lock().unwrap() = Instant::now();
+                bytes_received.fetch_add(payload.len() as u64 + 5, Ordering::Relaxed);
+                if ty == FrameType::Heartbeat {
+                    continue;
+                }
+                let event = if ty == FrameType::Result {
+                    // Decode and hash-verify here, off the drain loop's
+                    // critical path; an unparseable payload falls
+                    // through as a raw frame the drain loop discards.
+                    match decode_result(&payload) {
+                        Some(r) => Event::Result(id, Box::new(r)),
+                        None => Event::Frame(id, ty, payload),
+                    }
+                } else {
+                    Event::Frame(id, ty, payload)
+                };
+                if tx.send(event).is_err() {
+                    return;
+                }
+            } else {
+                let _ = tx.send(Event::Dead(id));
+                return;
+            }
+        }
+    });
+}
+
+/// Reader-side parse of a Result payload: header fields plus the
+/// self-validating load of the entry against its expected hash.
+fn decode_result(payload: &[u8]) -> Option<DecodedResult> {
+    let (header, entry) = split_result(payload)?;
+    let hash = get_hash(&header)?;
+    let field = |name: &str| {
+        header
+            .get(name)
+            .and_then(json::Value::as_f64)
+            .map_or(0, |x| x as u64)
+    };
+    Some(DecodedResult {
+        shard: get_shard(&header),
+        hash,
+        micros: field("micros"),
+        retries: field("retries"),
+        measurement: decode_measurement(hash, entry),
+        entry: entry.to_string(),
+    })
+}
+
+/// Splits a Result payload into its parsed JSON header and the raw
+/// entry text.
+fn split_result(payload: &[u8]) -> Option<(json::Value, &str)> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let (header, entry) = text.split_once('\n')?;
+    Some((json::parse(header).ok()?, entry))
+}
+
+fn get_shard(doc: &json::Value) -> u64 {
+    doc.get("shard")
+        .and_then(json::Value::as_f64)
+        .map_or(0, |s| s as u64)
+}
+
+fn get_hash(doc: &json::Value) -> Option<u64> {
+    doc.get("hash")
+        .and_then(json::Value::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+}
+
+/// Pops one hash off the back of the backlog (the coordinator's end —
+/// worker refills take whole chunks from the front), dropping chunks it
+/// empties.
+fn take_back(backlog: &mut VecDeque<BTreeSet<u64>>) -> Option<u64> {
+    loop {
+        let chunk = backlog.back_mut()?;
+        if let Some(h) = chunk.pop_last() {
+            if chunk.is_empty() {
+                backlog.pop_back();
+            }
+            return Some(h);
+        }
+        backlog.pop_back();
+    }
+}
+
+fn shard_id_of(payload: &[u8]) -> u64 {
+    json::parse(&String::from_utf8_lossy(payload))
+        .ok()
+        .map_or(0, |d| get_shard(&d))
+}
+
+/// Serves a minimal `GET /metrics` endpoint (Prometheus exposition
+/// 0.0.4, same renderer as `syncperf-serve`) on `addr` from a detached
+/// thread; `make` produces each scrape's snapshot. Returns the bound
+/// address. `syncperf_dist --metrics-addr` uses this so `syncperf_top`
+/// can watch a live coordinator.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound.
+pub fn serve_metrics(
+    addr: &str,
+    make: impl Fn() -> Snapshot + Send + 'static,
+) -> io::Result<std::net::SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut s) = stream else { continue };
+            // Read (and discard) the request line + headers.
+            let mut buf = [0u8; 4096];
+            let _ = s.read(&mut buf);
+            let body = obs::metrics::render(&make());
+            let resp = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            use std::io::Write as _;
+            let _ = s.write_all(resp.as_bytes());
+        }
+    });
+    Ok(bound)
+}

@@ -1,0 +1,346 @@
+//! Merge-correctness tests for the coordinator/worker protocol.
+//!
+//! Two rigs are used. Real-worker tests drive [`serve_stream`] over a
+//! localhost socket pair and check the results (and the persisted cache
+//! entries) are byte-identical to local execution. Fake-worker tests
+//! speak the wire protocol by hand to force the manifest-merge edge
+//! cases that a healthy worker never produces: overlapping hash ranges
+//! from a reissued shard, corrupt cache-entry bytes over the wire,
+//! duplicate completion of the same job hash, and mid-shard death.
+
+use std::collections::BTreeSet;
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+
+use syncperf_core::obs::json;
+use syncperf_core::{kernel, ExecParams, Protocol, SYSTEM3};
+use syncperf_dist::{
+    decode_job, read_frame, serve_stream, write_frame, Coordinator, DistConfig, FrameType,
+};
+use syncperf_sched::{
+    encode_measurement, execute_job_with_retry, job_hash_with_salt, Cache, JobSpec,
+};
+
+/// `n` distinct simulator jobs, cheap enough to execute many times.
+fn make_jobs(n: usize) -> Vec<(usize, JobSpec, u64)> {
+    (0..n)
+        .map(|i| {
+            let job = JobSpec::cpu_sim(
+                &SYSTEM3,
+                kernel::omp_barrier(),
+                ExecParams::new(i as u32 + 2).with_loops(20, 4),
+                Protocol::SIM,
+            );
+            let hash = job_hash_with_salt(&job, 0);
+            (i, job, hash)
+        })
+        .collect()
+}
+
+/// A connected localhost pair: (coordinator side, worker side).
+fn socket_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    (client, server)
+}
+
+/// Every index appears exactly once and every result is `Ok` — the
+/// exactly-once merge invariant.
+fn assert_exactly_once(out: &[syncperf_sched::BackendExec], n: usize) {
+    assert_eq!(out.len(), n, "one BackendExec per submitted job");
+    let indexes: BTreeSet<usize> = out.iter().map(|b| b.index).collect();
+    assert_eq!(indexes.len(), n, "no index merged twice");
+    for b in out {
+        assert!(b.result.is_ok(), "job {} failed: {:?}", b.index, b.result);
+    }
+}
+
+// ---- fake-worker wire helpers -------------------------------------
+
+fn handshake(stream: &TcpStream) {
+    let (ty, _) = read_frame(&mut &*stream).unwrap();
+    assert_eq!(ty, FrameType::Hello);
+    write_frame(&mut &*stream, FrameType::HelloAck, b"{\"pid\":0}").unwrap();
+}
+
+/// Skips protocol chatter until the next Batch frame, returning its
+/// shard id and decoded `(hash, job)` list.
+fn next_batch(stream: &TcpStream) -> (u64, Vec<(u64, JobSpec)>) {
+    loop {
+        let (ty, payload) = read_frame(&mut &*stream).unwrap();
+        if ty != FrameType::Batch {
+            continue;
+        }
+        let doc = json::parse(&String::from_utf8_lossy(&payload)).unwrap();
+        let shard = doc
+            .get("shard")
+            .and_then(json::Value::as_f64)
+            .map_or(0, |s| s as u64);
+        let jobs = doc
+            .get("jobs")
+            .and_then(json::Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|entry| {
+                let hash = entry
+                    .get("hash")
+                    .and_then(json::Value::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .unwrap();
+                (hash, entry.get("job").and_then(decode_job).unwrap())
+            })
+            .collect();
+        return (shard, jobs);
+    }
+}
+
+/// A well-formed Result frame payload: header line + raw entry bytes.
+fn result_payload(shard: u64, hash: u64, entry: &str) -> Vec<u8> {
+    let header =
+        format!("{{\"shard\":{shard},\"hash\":\"{hash:016x}\",\"micros\":5,\"retries\":0}}");
+    let mut payload = header.into_bytes();
+    payload.push(b'\n');
+    payload.extend_from_slice(entry.as_bytes());
+    payload
+}
+
+/// Executes the job exactly as a real worker would and returns the
+/// cache-entry bytes it would put on the wire.
+fn real_entry(job: &JobSpec, hash: u64) -> String {
+    let m = execute_job_with_retry(job, hash, |_| {}).unwrap();
+    encode_measurement(hash, &m)
+}
+
+fn send_result(stream: &TcpStream, shard: u64, hash: u64, entry: &str) {
+    let payload = result_payload(shard, hash, entry);
+    write_frame(&mut &*stream, FrameType::Result, &payload).unwrap();
+}
+
+fn send_shard_done(stream: &TcpStream, shard: u64) {
+    let doc = format!("{{\"shard\":{shard}}}");
+    write_frame(&mut &*stream, FrameType::ShardDone, doc.as_bytes()).unwrap();
+}
+
+/// Absorbs coordinator frames until Shutdown (or the socket closes) so
+/// the script thread exits cleanly.
+fn drain_until_shutdown(stream: &TcpStream) {
+    loop {
+        match read_frame(&mut &*stream) {
+            Ok((FrameType::Shutdown, _)) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+// ---- real-worker tests --------------------------------------------
+
+#[test]
+fn wire_results_and_cache_entries_match_local_execution_bytes() {
+    let dir = std::env::temp_dir().join(format!(
+        "syncperf_dist_bytes_{}_{:?}",
+        std::process::id(),
+        thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (c0, w0) = socket_pair();
+    let (c1, w1) = socket_pair();
+    let h0 = thread::spawn(move || serve_stream(w0));
+    let h1 = thread::spawn(move || serve_stream(w1));
+    let coord = Coordinator::from_streams(DistConfig::new(2), Some(Cache::new(&dir)), vec![c0, c1])
+        .unwrap();
+
+    let todo = make_jobs(8);
+    let out = coord.run_batch(&todo);
+    assert_exactly_once(&out, todo.len());
+    for (index, job, hash) in &todo {
+        let got = out.iter().find(|b| b.index == *index).unwrap();
+        let local = execute_job_with_retry(job, *hash, |_| {}).unwrap();
+        // Byte-level determinism: the entry the worker shipped encodes
+        // to exactly what a serial run would have written.
+        assert_eq!(
+            encode_measurement(*hash, got.result.as_ref().unwrap()),
+            encode_measurement(*hash, &local),
+        );
+    }
+
+    let st = coord.stats();
+    assert_eq!(st.jobs_sent, 8, "both primed chunks travel the wire");
+    assert_eq!(
+        st.results_received + st.coordinator_jobs + st.local_jobs,
+        8,
+        "every job accounted to exactly one execution site"
+    );
+    assert_eq!(st.corrupt_entries, 0);
+    assert_eq!(st.duplicate_results, 0);
+
+    // Shutdown flushes the store thread; the persisted entries must be
+    // the same bytes, and a restarted run must see them as cache hits.
+    coord.shutdown();
+    h0.join().unwrap().unwrap();
+    h1.join().unwrap().unwrap();
+    let resumed = Cache::new(&dir);
+    for (_, job, hash) in &todo {
+        let entry = std::fs::read_to_string(resumed.entry_path(*hash)).unwrap();
+        assert_eq!(entry, real_entry(job, *hash), "cache entry bytes differ");
+        assert!(resumed.load(*hash).is_some(), "resume would miss {hash:x}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- fake-worker edge-case tests ----------------------------------
+
+#[test]
+fn duplicate_completion_of_same_hash_merges_exactly_once() {
+    let (c, w) = socket_pair();
+    let script = thread::spawn(move || {
+        handshake(&w);
+        let (shard, jobs) = next_batch(&w);
+        let entries: Vec<(u64, String)> =
+            jobs.iter().map(|(h, j)| (*h, real_entry(j, *h))).collect();
+        // First job completes twice — a migration-race double send.
+        send_result(&w, shard, entries[0].0, &entries[0].1);
+        send_result(&w, shard, entries[0].0, &entries[0].1);
+        for (h, e) in &entries[1..] {
+            send_result(&w, shard, *h, e);
+        }
+        send_shard_done(&w, shard);
+        drain_until_shutdown(&w);
+    });
+
+    let coord = Coordinator::from_streams(DistConfig::new(1), None, vec![c]).unwrap();
+    let todo = make_jobs(4);
+    let out = coord.run_batch(&todo);
+    assert_exactly_once(&out, todo.len());
+    let st = coord.stats();
+    assert_eq!(
+        st.duplicate_results, 1,
+        "second completion counted, dropped"
+    );
+    assert_eq!(st.results_received, 5, "all five Result frames observed");
+    coord.shutdown();
+    script.join().unwrap();
+}
+
+#[test]
+fn corrupt_wire_entry_is_counted_and_recomputed() {
+    let (c, w) = socket_pair();
+    let script = thread::spawn(move || {
+        handshake(&w);
+        let (shard, jobs) = next_batch(&w);
+        // First job's entry bytes are garbage: the header attributes
+        // it, but the self-validating load must reject the payload.
+        send_result(&w, shard, jobs[0].0, "not a cache entry");
+        for (h, j) in &jobs[1..] {
+            send_result(&w, shard, *h, &real_entry(j, *h));
+        }
+        send_shard_done(&w, shard);
+        drain_until_shutdown(&w);
+    });
+
+    let coord = Coordinator::from_streams(DistConfig::new(1), None, vec![c]).unwrap();
+    let todo = make_jobs(4);
+    let out = coord.run_batch(&todo);
+    assert_exactly_once(&out, todo.len());
+    // The corrupted job was recomputed locally and still matches.
+    let (_, job, hash) = &todo[0];
+    let got = out.iter().find(|b| b.hash == *hash).unwrap();
+    assert_eq!(
+        encode_measurement(*hash, got.result.as_ref().unwrap()),
+        real_entry(job, *hash),
+    );
+    let st = coord.stats();
+    assert_eq!(st.corrupt_entries, 1);
+    coord.shutdown();
+    script.join().unwrap();
+}
+
+#[test]
+fn reissued_shard_with_overlapping_range_converges_exactly_once() {
+    let (c, w) = socket_pair();
+    let script = thread::spawn(move || {
+        handshake(&w);
+        let (first, jobs) = next_batch(&w);
+        let entries: Vec<(u64, String)> =
+            jobs.iter().map(|(h, j)| (*h, real_entry(j, *h))).collect();
+        // One result, then a premature ShardDone: the coordinator must
+        // reissue the unfinished remainder as a fresh shard whose hash
+        // range overlaps the one it just retired.
+        send_result(&w, first, entries[0].0, &entries[0].1);
+        send_shard_done(&w, first);
+        let (second, reissued) = next_batch(&w);
+        assert_ne!(first, second, "reissue must mint a new shard id");
+        let reissued_hashes: BTreeSet<u64> = reissued.iter().map(|(h, _)| *h).collect();
+        let original: BTreeSet<u64> = entries.iter().map(|(h, _)| *h).collect();
+        assert!(
+            reissued_hashes.is_subset(&original),
+            "reissued range lies inside the retired shard's range"
+        );
+        // Complete one overlapped job under BOTH shard ids (the old
+        // attribution races the reissue), then finish the rest.
+        send_result(&w, first, entries[1].0, &entries[1].1);
+        send_result(&w, second, entries[1].0, &entries[1].1);
+        for (h, e) in &entries[2..] {
+            send_result(&w, second, *h, e);
+        }
+        send_shard_done(&w, second);
+        drain_until_shutdown(&w);
+    });
+
+    let coord = Coordinator::from_streams(DistConfig::new(1), None, vec![c]).unwrap();
+    let todo = make_jobs(4);
+    let out = coord.run_batch(&todo);
+    assert_exactly_once(&out, todo.len());
+    let st = coord.stats();
+    assert_eq!(st.shard_reissues, 1);
+    assert_eq!(st.duplicate_results, 1, "overlap deduped by content hash");
+    coord.shutdown();
+    script.join().unwrap();
+}
+
+#[test]
+fn worker_death_mid_shard_reissues_and_finishes_locally() {
+    let (c, w) = socket_pair();
+    let script = thread::spawn(move || {
+        handshake(&w);
+        let (shard, jobs) = next_batch(&w);
+        // One result, then vanish without a manifest — the reader's
+        // EOF is the death signal; no heartbeat timeout needed.
+        send_result(&w, shard, jobs[0].0, &real_entry(&jobs[0].1, jobs[0].0));
+        drop(w);
+    });
+
+    let coord = Coordinator::from_streams(DistConfig::new(1), None, vec![c]).unwrap();
+    let todo = make_jobs(4);
+    let out = coord.run_batch(&todo);
+    assert_exactly_once(&out, todo.len());
+    let st = coord.stats();
+    assert_eq!(st.worker_deaths, 1);
+    assert_eq!(st.shard_reissues, 1, "orphaned remainder reissued");
+    assert_eq!(st.results_received, 1, "only the pre-death result arrived");
+    assert_eq!(coord.live_workers(), 0);
+    coord.shutdown();
+    script.join().unwrap();
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    use std::io::{Read as _, Write as _};
+    let rec = syncperf_core::obs::Recorder::enabled();
+    rec.counter("dist.workers").add(3);
+    rec.counter("dist.jobs_sent").add(42);
+    let bound = syncperf_dist::serve_metrics("127.0.0.1:0", move || rec.snapshot()).unwrap();
+    // Two sequential scrapes: the endpoint must survive its first client.
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(bound).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "got: {body}");
+        assert!(body.contains("dist_workers 3"), "got: {body}");
+        assert!(body.contains("dist_jobs_sent 42"), "got: {body}");
+    }
+}

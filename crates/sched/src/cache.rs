@@ -94,13 +94,26 @@ impl Cache {
     /// Propagates I/O errors (the scheduler downgrades them to a
     /// warning — a read-only cache must not fail the run).
     pub fn store(&self, hash: u64, m: &Measurement) -> std::io::Result<()> {
+        self.store_raw(hash, &encode_measurement(hash, m))
+    }
+
+    /// Stores already-encoded entry text under `hash`, with the same
+    /// temp-file-plus-rename discipline as [`Cache::store`]. The
+    /// distributed coordinator uses this to persist entry bytes exactly
+    /// as a worker sent them (after validating with
+    /// [`decode_measurement`]), so a distributed cache file is
+    /// byte-identical to a locally stored one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn store_raw(&self, hash: u64, encoded: &str) -> std::io::Result<()> {
         self.dir_ensured
             .call_once(|| drop(std::fs::create_dir_all(&self.dir)));
         let tmp = self
             .dir
             .join(format!(".{}.tmp.{}", hex16(hash), std::process::id()));
-        let encoded = encode_measurement(hash, m);
-        if let Err(e) = std::fs::write(&tmp, &encoded) {
+        if let Err(e) = std::fs::write(&tmp, encoded) {
             // The directory may have been removed since the one-time
             // guard ran (tests and eviction churn do this): recreate it
             // and retry once rather than failing every later store.
@@ -108,7 +121,7 @@ impl Cache {
                 return Err(e);
             }
             std::fs::create_dir_all(&self.dir)?;
-            std::fs::write(&tmp, &encoded)?;
+            std::fs::write(&tmp, encoded)?;
         }
         std::fs::rename(&tmp, self.entry_path(hash))
     }

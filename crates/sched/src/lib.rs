@@ -37,11 +37,12 @@ pub mod job;
 pub mod pool;
 pub mod scheduler;
 
-pub use cache::{Cache, EntryInfo};
+pub use cache::{decode_measurement, encode_measurement, Cache, EntryInfo};
 pub use checkpoint::Checkpoint;
 pub use job::{host_fingerprint, JobSpec};
 pub use pool::{run_indexed, PoolOutcome, PoolWorkerStats};
 pub use scheduler::{
-    current, install, uninstall, SchedConfig, SchedStats, Scheduler, StoreHook,
-    MAX_EXECUTE_ATTEMPTS, SCHED_SALT,
+    current, execute_job_with_retry, install, job_hash_with_salt, uninstall, BackendExec,
+    ExecBackend, ExportHook, SchedConfig, SchedStats, Scheduler, StoreHook, MAX_EXECUTE_ATTEMPTS,
+    SCHED_SALT,
 };

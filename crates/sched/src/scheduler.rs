@@ -34,6 +34,68 @@ pub const SCHED_SALT: &str = "syncperf-sched-v2";
 /// protocol's own attempt budget), with exponential backoff between.
 pub const MAX_EXECUTE_ATTEMPTS: u32 = 3;
 
+/// The content hash of `job` under the scheduler's hashing scheme:
+/// FNV-1a over the canonical form plus [`SCHED_SALT`] and
+/// `salt_extra`. Exposed as a free function so distributed workers can
+/// re-key a job received over the wire and verify it against the
+/// coordinator's hash before executing it.
+#[must_use]
+pub fn job_hash_with_salt(job: &JobSpec, salt_extra: u64) -> u64 {
+    let mut s = job.canonical();
+    s.push_str(&format!("salt={SCHED_SALT}/{salt_extra}\n"));
+    fnv1a(s.as_bytes())
+}
+
+/// Executes one job under the scheduler's retry policy: up to
+/// [`MAX_EXECUTE_ATTEMPTS`] attempts with exponential backoff, retrying
+/// when the result looks faulty (exhausted protocol runs) or the error
+/// is transient. Attempt `k` perturbs the jitter seed as
+/// `hash ^ k · 0x9E37_79B9_7F4A_7C15`, so the outcome depends only on
+/// (hash, attempt) — never on which process or worker ran it — which is
+/// what lets a distributed worker reproduce the coordinator's results
+/// bit for bit. `on_retry` is called with the failed attempt number
+/// before each backoff sleep.
+///
+/// # Errors
+///
+/// Returns the final attempt's error when the budget is exhausted.
+pub fn execute_job_with_retry(
+    job: &JobSpec,
+    hash: u64,
+    mut on_retry: impl FnMut(u32),
+) -> Result<Measurement> {
+    let mut attempt = 0u32;
+    loop {
+        let seed = hash ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut reattempt = |a: u32| {
+            on_retry(a);
+            std::thread::sleep(std::time::Duration::from_millis(1 << a));
+        };
+        match job.execute(seed) {
+            Ok(m) => {
+                if m.exhausted_runs > 0 && attempt + 1 < MAX_EXECUTE_ATTEMPTS {
+                    reattempt(attempt);
+                    attempt += 1;
+                    continue;
+                }
+                return Ok(m);
+            }
+            Err(e) => {
+                let transient = matches!(
+                    e,
+                    SyncPerfError::MeasurementUnstable { .. } | SyncPerfError::Io(_)
+                );
+                if transient && attempt + 1 < MAX_EXECUTE_ATTEMPTS {
+                    reattempt(attempt);
+                    attempt += 1;
+                    continue;
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
 pub struct SchedConfig {
@@ -238,6 +300,37 @@ impl SchedStats {
 /// eviction; it runs on the worker thread that stored the entry.
 pub type StoreHook = Box<dyn Fn(u64, &Measurement) + Send + Sync>;
 
+/// One job's outcome as reported by an [`ExecBackend`].
+#[derive(Debug)]
+pub struct BackendExec {
+    /// Submission index of the job within the batch handed to the
+    /// backend (positions results for the deterministic merge).
+    pub index: usize,
+    /// The job's content hash under the scheduler's salt.
+    pub hash: u64,
+    /// The measurement, or the error after the backend's own retry
+    /// budget was exhausted.
+    pub result: Result<Measurement>,
+    /// Whether the backend already persisted the entry into this
+    /// scheduler's cache directory (e.g. a coordinator storing raw
+    /// wire bytes); when set the scheduler skips its own store but
+    /// still counts it and fires the store hook.
+    pub stored: bool,
+}
+
+/// Alternative execution strategy for cache misses: given the batch's
+/// missing jobs as `(submission index, job, hash)` triples, produce one
+/// [`BackendExec`] per job (in any order). The distributed coordinator
+/// installs itself here; without a backend, misses run on the in-process
+/// work-stealing pool.
+pub type ExecBackend = Box<dyn Fn(&[(usize, JobSpec, u64)]) -> Vec<BackendExec> + Send + Sync>;
+
+/// Extra telemetry exporter appended to [`Scheduler::export_into`]:
+/// lets a subsystem attached to the scheduler (like the distributed
+/// coordinator's `dist.*` metrics) ride along every `/metrics` and
+/// `--cache-stats` export without the host knowing about it.
+pub type ExportHook = Box<dyn Fn(&mut Snapshot) + Send + Sync>;
+
 /// The sweep scheduler: cache consultation, work-stealing execution,
 /// deterministic index-ordered merge, checkpointing.
 pub struct Scheduler {
@@ -248,6 +341,8 @@ pub struct Scheduler {
     stats: StatCells,
     profile: Profile,
     store_hook: RwLock<Option<StoreHook>>,
+    backend: RwLock<Option<ExecBackend>>,
+    export_hook: RwLock<Option<ExportHook>>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -282,6 +377,8 @@ impl Scheduler {
             stats: StatCells::default(),
             profile: Profile::default(),
             store_hook: RwLock::new(None),
+            backend: RwLock::new(None),
+            export_hook: RwLock::new(None),
         }
     }
 
@@ -303,12 +400,32 @@ impl Scheduler {
         *self.store_hook.write().unwrap() = Some(Box::new(hook));
     }
 
+    /// Registers (or replaces) the miss-execution backend; see
+    /// [`ExecBackend`]. Pass-through telemetry (executed counts, retry
+    /// counts, wait/service histograms) becomes the backend's job.
+    pub fn set_exec_backend(
+        &self,
+        backend: impl Fn(&[(usize, JobSpec, u64)]) -> Vec<BackendExec> + Send + Sync + 'static,
+    ) {
+        *self.backend.write().unwrap() = Some(Box::new(backend));
+    }
+
+    /// Removes the miss-execution backend; misses run on the pool
+    /// again.
+    pub fn clear_exec_backend(&self) {
+        *self.backend.write().unwrap() = None;
+    }
+
+    /// Registers (or replaces) the extra telemetry exporter; see
+    /// [`ExportHook`].
+    pub fn set_export_hook(&self, hook: impl Fn(&mut Snapshot) + Send + Sync + 'static) {
+        *self.export_hook.write().unwrap() = Some(Box::new(hook));
+    }
+
     /// The content hash of `job` under this scheduler's salt.
     #[must_use]
     pub fn job_hash(&self, job: &JobSpec) -> u64 {
-        let mut s = job.canonical();
-        s.push_str(&format!("salt={SCHED_SALT}/{}\n", self.cfg.salt_extra));
-        fnv1a(s.as_bytes())
+        job_hash_with_salt(job, self.cfg.salt_extra)
     }
 
     /// A point-in-time view of the counters and latency quantiles.
@@ -394,6 +511,9 @@ impl Scheduler {
             snap.counters
                 .insert(format!("sched.worker.{w}.busy_us"), p.busy_ns / 1_000);
         }
+        if let Some(hook) = self.export_hook.read().unwrap().as_ref() {
+            hook(snap);
+        }
     }
 
     /// Runs a batch of jobs: cache hits are served immediately, misses
@@ -451,6 +571,64 @@ impl Scheduler {
                 .fetch_add(todo.len() as u64, Ordering::Relaxed);
             rec.counter("sched.cache_misses").add(todo.len() as u64);
         }
+
+        // Backend path: an installed [`ExecBackend`] (the distributed
+        // coordinator) takes the whole miss set at once; results come
+        // back unordered and are merged by submission index, with the
+        // same lowest-index-error-wins contract as the pool path.
+        let backend_guard = self.backend.read().unwrap();
+        if let Some(backend) = backend_guard.as_ref() {
+            self.stats
+                .executed
+                .fetch_add(todo.len() as u64, Ordering::Relaxed);
+            rec.counter("sched.jobs_executed").add(todo.len() as u64);
+            self.profile
+                .pending
+                .store(todo.len() as u64, Ordering::Relaxed);
+            self.profile
+                .pending_peak
+                .fetch_max(todo.len() as u64, Ordering::Relaxed);
+            rec.gauge_set("sched.queue_depth").set(todo.len() as u64);
+            rec.gauge("sched.queue_depth_peak")
+                .record(todo.len() as u64);
+            let mut execs = backend(&todo);
+            self.profile.pending.store(0, Ordering::Relaxed);
+            rec.gauge_set("sched.queue_depth").set(0);
+            execs.sort_by_key(|e| e.index);
+            let mut first_err: Option<SyncPerfError> = None;
+            for e in execs {
+                match e.result {
+                    Ok(m) => {
+                        if let Some(cache) = &self.cache {
+                            // `stored` means the backend already wrote
+                            // the entry (raw wire bytes); either way it
+                            // counts and the store hook fires.
+                            let ok = e.stored || cache.store(e.hash, &m).is_ok();
+                            if ok {
+                                self.stats.cache_stores.fetch_add(1, Ordering::Relaxed);
+                                rec.counter("sched.cache_stores").inc();
+                                if let Some(hook) = self.store_hook.read().unwrap().as_ref() {
+                                    hook(e.hash, &m);
+                                }
+                            }
+                        }
+                        self.checkpoint.lock().unwrap().record(e.hash);
+                        results[e.index] = Some(m);
+                    }
+                    // Finish persisting siblings before failing, so a
+                    // rerun only recomputes the failures.
+                    Err(err) => first_err = first_err.or(Some(err)),
+                }
+            }
+            if let Some(err) = first_err {
+                return Err(err);
+            }
+            return Ok(results
+                .into_iter()
+                .map(|m| m.expect("every job either hit the cache or ran on the backend"))
+                .collect());
+        }
+        drop(backend_guard);
 
         // Dispatch: track live queue depth and per-job wait/service
         // latency, mirroring into the global recorder's telemetry.
@@ -545,37 +723,10 @@ impl Scheduler {
         let rec = obs::global();
         self.stats.executed.fetch_add(1, Ordering::Relaxed);
         rec.counter("sched.jobs_executed").inc();
-        let mut attempt = 0u32;
-        loop {
-            let seed = hash ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let reattempt = |a: u32| {
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
-                rec.counter("sched.retries").inc();
-                std::thread::sleep(std::time::Duration::from_millis(1 << a));
-            };
-            match job.execute(seed) {
-                Ok(m) => {
-                    if m.exhausted_runs > 0 && attempt + 1 < MAX_EXECUTE_ATTEMPTS {
-                        reattempt(attempt);
-                        attempt += 1;
-                        continue;
-                    }
-                    return Ok(m);
-                }
-                Err(e) => {
-                    let transient = matches!(
-                        e,
-                        SyncPerfError::MeasurementUnstable { .. } | SyncPerfError::Io(_)
-                    );
-                    if transient && attempt + 1 < MAX_EXECUTE_ATTEMPTS {
-                        reattempt(attempt);
-                        attempt += 1;
-                        continue;
-                    }
-                    return Err(e);
-                }
-            }
-        }
+        execute_job_with_retry(job, hash, |_| {
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            rec.counter("sched.retries").inc();
+        })
     }
 
     /// Marks the run's checkpoint complete and flushes it.

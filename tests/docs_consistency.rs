@@ -129,10 +129,129 @@ fn design_md_lists_all_workspace_crates() {
         "syncperf-analyze",
         "syncperf-sched",
         "syncperf-serve",
+        "syncperf-dist",
         "syncperf-bench",
     ] {
         assert!(design.contains(krate), "DESIGN.md missing crate {krate}");
     }
+}
+
+#[test]
+fn distributed_docs_match_the_wire_and_code() {
+    // docs/DISTRIBUTED.md, DESIGN.md §12, the README subsection, and
+    // the observability docs document the same coordinator/worker
+    // surface the dist crate implements.
+    let dist_doc = read("docs/DISTRIBUTED.md");
+    let sched_doc = read("docs/SCHEDULER.md");
+    let obs_doc = read("docs/OBSERVABILITY.md");
+    let design = read("DESIGN.md");
+    let readme = read("README.md");
+    let runner = read("crates/bench/src/runner.rs");
+    let coordinator = read("crates/dist/src/coordinator.rs");
+    let frame = read("crates/dist/src/frame.rs");
+
+    // CLI flags: documented where the scheduler flags are, parsed by
+    // the shared runner.
+    for flag in [
+        "--workers",
+        "--connect",
+        "--chaos-kill-one",
+        "--metrics-addr",
+    ] {
+        for (doc, name) in [
+            (&dist_doc, "docs/DISTRIBUTED.md"),
+            (&sched_doc, "docs/SCHEDULER.md"),
+            (&runner, "runner.rs"),
+        ] {
+            assert!(doc.contains(flag), "{name} missing flag {flag}");
+        }
+    }
+
+    // Every wire frame kind is named in the protocol table.
+    for frame_kind in [
+        "Hello",
+        "HelloAck",
+        "Batch",
+        "Result",
+        "JobError",
+        "ShardDone",
+        "Revoke",
+        "Revoked",
+        "Heartbeat",
+        "Shutdown",
+    ] {
+        assert!(
+            dist_doc.contains(frame_kind),
+            "docs/DISTRIBUTED.md missing frame {frame_kind}"
+        );
+        assert!(frame.contains(frame_kind), "frame.rs missing {frame_kind}");
+    }
+
+    // The documented dist.* metric names are the ones the coordinator
+    // registers/exports, and the metric-name table knows them too.
+    for metric in [
+        "dist.workers",
+        "dist.workers_live",
+        "dist.batches_streamed",
+        "dist.batches_inflight",
+        "dist.jobs_sent",
+        "dist.results_received",
+        "dist.local_jobs",
+        "dist.coordinator_jobs",
+        "dist.shard_reissues",
+        "dist.migrations",
+        "dist.worker_deaths",
+        "dist.corrupt_entries",
+        "dist.duplicate_results",
+        "dist.worker_errors",
+        "dist.retries",
+        "dist.bytes_sent",
+        "dist.bytes_received",
+        "dist.wait_us",
+        "dist.service_us",
+    ] {
+        for (doc, name) in [
+            (&dist_doc, "docs/DISTRIBUTED.md"),
+            (&obs_doc, "docs/OBSERVABILITY.md"),
+            (&coordinator, "coordinator.rs"),
+        ] {
+            assert!(doc.contains(metric), "{name} missing metric {metric}");
+        }
+    }
+
+    // Flat-field schema sync: every key `--cache-stats` actually
+    // writes (base and dist) is listed verbatim in docs/SCHEDULER.md.
+    let json = syncperf_bench::runner::cache_stats_json(
+        &syncperf_sched::SchedStats::default(),
+        Some(&syncperf_dist::DistStats::default()),
+    );
+    for piece in json.split('"').skip(1).step_by(2) {
+        assert!(
+            sched_doc.contains(&format!("`{piece}`")),
+            "docs/SCHEDULER.md missing --cache-stats field `{piece}`"
+        );
+    }
+
+    // Cross-references, the front-end binary, and the tracked bench.
+    assert!(readme.contains("docs/DISTRIBUTED.md"));
+    assert!(design.contains("docs/DISTRIBUTED.md"));
+    assert!(bench_binaries().contains("syncperf_dist"));
+    for (doc, name) in [
+        (&dist_doc, "docs/DISTRIBUTED.md"),
+        (&design, "DESIGN.md"),
+        (&readme, "README.md"),
+    ] {
+        assert!(
+            doc.contains("BENCH_dist.json"),
+            "{name} missing the tracked benchmark"
+        );
+    }
+    assert!(
+        repo_root()
+            .join("crates/dist/tests/dist_consistency.rs")
+            .exists(),
+        "the merge edge-case suite the docs promise is missing"
+    );
 }
 
 #[test]
