@@ -27,16 +27,19 @@ if [ "${SYNCPERF_SANITIZE:-0}" = "1" ]; then
   exit 0
 fi
 
-# Polls a background service's log for its ready line and echoes the
-# captured value (e.g. a bound address). Every smoke service below
-# binds port 0 and prints where it landed, so concurrent lanes in one
-# CI job can never collide on a port — the only thing worth waiting
-# for is the ready line itself.
-wait_for_ready() { # wait_for_ready <logfile> <sed-capture-pattern>
-  local log="$1" pat="$2" got=""
+# Polls a background service's log for its ready line(s) and echoes
+# the captured values (e.g. bound addresses), one per line. Every
+# smoke service below binds port 0 and prints where it landed, so
+# concurrent lanes in one CI job can never collide on a port — the
+# only thing worth waiting for is the ready line itself. An optional
+# third argument waits for that many matches (a `--replicas N` fleet
+# prints one ready line per replica).
+wait_for_ready() { # wait_for_ready <logfile> <sed-capture-pattern> [count]
+  local log="$1" pat="$2" want="${3:-1}" got="" n=0
   for _ in $(seq 1 150); do
-    got=$(sed -n "$pat" "$log" 2>/dev/null | head -n 1)
-    if [ -n "$got" ]; then
+    got=$(sed -n "$pat" "$log" 2>/dev/null | head -n "$want")
+    n=$(printf '%s' "$got" | grep -c . || true)
+    if [ "$n" -ge "$want" ]; then
       printf '%s' "$got"
       return 0
     fi
@@ -208,6 +211,45 @@ wait "$serve_pid" || { echo "serve exited nonzero"; exit 1; }
 grep -q "shut down cleanly" serve_out.log || { echo "serve missed its clean-exit line"; exit 1; }
 rm -f serve_out.log
 rm -rf ci_sched_results
+
+# Serving load lane (docs/SERVING.md): a real two-replica fleet over
+# one shared cache, warmed over HTTP by the harness, then driven by
+# `syncperf_load bench --quick --check` and gated against the
+# committed BENCH_serve.json baseline. The measured load report and
+# the replicas' SIGTERM flight-recorder dumps become workflow
+# artifacts.
+echo "==> serve load lane (replica pair + syncperf_load --check)"
+rm -rf ci_load_results load_serve_out.log
+mkdir -p ci_load_results
+SYNCPERF_RESULTS=ci_load_results cargo run --release --offline -p syncperf-bench \
+  --bin serve -- --addr 127.0.0.1:0 --workers 2 --jobs 2 --replicas 2 > load_serve_out.log &
+load_pid=$!
+addrs=$(wait_for_ready load_serve_out.log 's#^listening on http://##p' 2) \
+  || { echo "replica fleet did not come up"; cat load_serve_out.log; kill "$load_pid" 2>/dev/null; exit 1; }
+echo "replica fleet is up on: $(printf '%s' "$addrs" | tr '\n' ' ')"
+target_flags=()
+while IFS= read -r a; do target_flags+=(--target "$a"); done <<< "$addrs"
+cargo run --release --offline -p syncperf-bench --bin syncperf_load -- \
+  bench --quick --check "${target_flags[@]}" --report results/load_report.json \
+  || { echo "load gate failed"; kill "$load_pid" 2>/dev/null; exit 1; }
+kill -TERM "$load_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$load_pid" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$load_pid" 2>/dev/null; then
+  echo "replica fleet did not shut down on SIGTERM"; kill -9 "$load_pid"; exit 1
+fi
+wait "$load_pid" || { echo "replica supervisor exited nonzero"; cat load_serve_out.log; exit 1; }
+grep -q "replica fleet shut down cleanly" load_serve_out.log \
+  || { echo "supervisor missed its clean-exit line"; cat load_serve_out.log; exit 1; }
+# Each replica dumps its flight recorder on SIGTERM; keep the dumps
+# (and the load report above) as workflow artifacts.
+cp ci_load_results/flightrec-*.jsonl results/ 2>/dev/null \
+  || echo "note: no flight-recorder dumps found"
+echo "load lane artifacts: results/load_report.json + $(ls results/flightrec-*.jsonl 2>/dev/null | wc -l) flight dump(s)"
+rm -f load_serve_out.log
+rm -rf ci_load_results
 
 # Distributed execution lane (docs/DISTRIBUTED.md): a cold 3-worker
 # run and a cold run with one worker SIGKILLed mid-sweep must both

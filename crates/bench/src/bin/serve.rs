@@ -2,28 +2,43 @@
 //!
 //! Serves the content-addressed result cache over HTTP: cached
 //! measurements by hash (`/job/<hash>`), exact-or-nearest sweep-point
-//! queries (`/query`), figure outputs (`/figure/<name>`), and
-//! compute-on-miss (`POST /compute`) dispatched to the sweep
-//! scheduler with per-hash deduplication. See `docs/SERVING.md`.
+//! queries (`/query`), figure outputs (`/figure/<name>`), checkpoint
+//! manifests (`/manifest/<label>`), and compute-on-miss
+//! (`POST /compute`) dispatched to the sweep scheduler with per-hash
+//! deduplication. See `docs/SERVING.md`.
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--jobs N]
 //!       [--cache-bytes BYTES] [--timeout-secs SECS]
+//!       [--max-conns N] [--replicas N]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
 //! printed as `listening on http://...` once the service is up (the
-//! CI smoke test scrapes it). `--workers` sizes the HTTP accept pool,
-//! `--jobs` the compute pool. `--cache-bytes` (or the
-//! `SYNCPERF_CACHE_BYTES` environment variable) bounds the on-disk
-//! cache; 0 or unset means unbounded.
+//! CI smoke test scrapes it). `--workers` sizes the blocking compute
+//! pool behind the event loop (`--jobs` sizes the scheduler inside
+//! it). `--cache-bytes` (or the `SYNCPERF_CACHE_BYTES` environment
+//! variable) bounds the on-disk cache; 0 or unset means unbounded.
+//! `--max-conns` caps concurrent connections (over-cap accepts are
+//! shed with `503 + Retry-After`).
+//!
+//! `--replicas N` (N > 1) runs this binary as a supervisor: it spawns
+//! N child serve processes that share one results/cache directory,
+//! each on its own port (`--addr host:P` gives ports P, P+1, …;
+//! `host:0` gives N ephemeral ports). Each child prints its own
+//! `listening on http://...` line. The supervisor forwards SIGTERM to
+//! the children and exits nonzero if any child dies unexpectedly.
+//! Cache sharing is safe: stores are atomic renames and every replica
+//! re-scans the directory for foreign writes.
 
 use std::io::Write;
 use std::time::Duration;
 
 use syncperf_bench::{common, serving};
 use syncperf_core::{Result, SyncPerfError};
-use syncperf_serve::{cache_bytes_from_env, install_sigterm_handler, ServeConfig, Server};
+use syncperf_serve::{
+    cache_bytes_from_env, install_sigterm_handler, sigterm_received, ServeConfig, Server,
+};
 
 struct Args {
     addr: String,
@@ -31,6 +46,8 @@ struct Args {
     jobs: usize,
     cache_bytes: Option<u64>,
     timeout_secs: u64,
+    max_conns: usize,
+    replicas: usize,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args> {
@@ -40,35 +57,34 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args> {
         jobs: 2,
         cache_bytes: cache_bytes_from_env(std::env::var("SYNCPERF_CACHE_BYTES").ok()),
         timeout_secs: 10,
+        max_conns: 2048,
+        replicas: 1,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
                 .ok_or_else(|| SyncPerfError::InvalidParams(format!("{name} needs a value")))
         };
+        let numeric = |name: &str, v: Result<String>| -> Result<usize> {
+            v?.parse()
+                .map_err(|_| SyncPerfError::InvalidParams(format!("{name} must be a number")))
+        };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
-            "--workers" => {
-                args.workers = value("--workers")?.parse().map_err(|_| {
-                    SyncPerfError::InvalidParams("--workers must be a number".into())
-                })?;
-            }
-            "--jobs" => {
-                args.jobs = value("--jobs")?
-                    .parse()
-                    .map_err(|_| SyncPerfError::InvalidParams("--jobs must be a number".into()))?;
-            }
+            "--workers" => args.workers = numeric("--workers", value("--workers"))?,
+            "--jobs" => args.jobs = numeric("--jobs", value("--jobs"))?,
             "--cache-bytes" => {
                 args.cache_bytes = cache_bytes_from_env(Some(value("--cache-bytes")?));
             }
             "--timeout-secs" => {
-                args.timeout_secs = value("--timeout-secs")?.parse().map_err(|_| {
-                    SyncPerfError::InvalidParams("--timeout-secs must be a number".into())
-                })?;
+                args.timeout_secs = numeric("--timeout-secs", value("--timeout-secs"))? as u64;
             }
+            "--max-conns" => args.max_conns = numeric("--max-conns", value("--max-conns"))?,
+            "--replicas" => args.replicas = numeric("--replicas", value("--replicas"))?,
             other => {
                 return Err(SyncPerfError::InvalidParams(format!(
-                    "unknown flag {other} (serve takes --addr --workers --jobs --cache-bytes --timeout-secs)"
+                    "unknown flag {other} (serve takes --addr --workers --jobs --cache-bytes \
+                     --timeout-secs --max-conns --replicas)"
                 )));
             }
         }
@@ -76,11 +92,106 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args> {
     Ok(args)
 }
 
+/// Supervisor mode: spawn `replicas` children of this same binary
+/// (each with `--replicas 1` and its own port), forward SIGTERM, and
+/// reap.
+fn supervise(args: &Args) -> Result<()> {
+    let exe = std::env::current_exe()
+        .map_err(|e| SyncPerfError::InvalidParams(format!("cannot find own binary: {e}")))?;
+    let (host, port) = args
+        .addr
+        .rsplit_once(':')
+        .ok_or_else(|| SyncPerfError::InvalidParams("--addr must be HOST:PORT".into()))?;
+    let base_port: u16 = port
+        .parse()
+        .map_err(|_| SyncPerfError::InvalidParams("--addr port must be a number".into()))?;
+
+    let mut children = Vec::new();
+    for i in 0..args.replicas {
+        let child_port = if base_port == 0 {
+            0
+        } else {
+            base_port + u16::try_from(i).unwrap_or(0)
+        };
+        let child = std::process::Command::new(&exe)
+            .args([
+                "--addr",
+                &format!("{host}:{child_port}"),
+                "--workers",
+                &args.workers.to_string(),
+                "--jobs",
+                &args.jobs.to_string(),
+                "--timeout-secs",
+                &args.timeout_secs.to_string(),
+                "--max-conns",
+                &args.max_conns.to_string(),
+                "--replicas",
+                "1",
+            ])
+            .args(
+                args.cache_bytes
+                    .map(|b| vec!["--cache-bytes".to_string(), b.to_string()])
+                    .unwrap_or_default(),
+            )
+            .spawn()
+            .map_err(|e| SyncPerfError::InvalidParams(format!("spawn replica {i}: {e}")))?;
+        children.push(child);
+    }
+    println!("serve: supervising {} replicas", children.len());
+    std::io::stdout().flush().ok();
+
+    // The libc kill() std already links, for SIGTERM forwarding.
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM_NO: i32 = 15;
+    let mut failed = false;
+    'supervise: loop {
+        if sigterm_received() {
+            for child in &children {
+                unsafe {
+                    kill(child.id() as i32, SIGTERM_NO);
+                }
+            }
+            break;
+        }
+        for child in &mut children {
+            if let Ok(Some(status)) = child.try_wait() {
+                eprintln!("serve: replica exited unexpectedly ({status})");
+                failed = true;
+                break 'supervise;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // Tear the fleet down (idempotent for already-dead children) and
+    // reap everyone.
+    for child in &children {
+        unsafe {
+            kill(child.id() as i32, SIGTERM_NO);
+        }
+    }
+    for mut child in children {
+        let _ = child.wait();
+    }
+    if failed {
+        return Err(SyncPerfError::InvalidParams(
+            "a replica died; fleet stopped".into(),
+        ));
+    }
+    println!("serve: replica fleet shut down cleanly");
+    Ok(())
+}
+
 fn main() -> Result<()> {
     let args = parse_args(std::env::args().skip(1))?;
     install_sigterm_handler();
 
-    let sched_cfg = syncperf_sched::SchedConfig::new(args.jobs).with_label("serve");
+    if args.replicas > 1 {
+        return supervise(&args);
+    }
+
+    let sched_cfg = syncperf_sched::SchedConfig::new(args.jobs.max(1)).with_label("serve");
     let scheduler = std::sync::Arc::new(syncperf_sched::Scheduler::new(sched_cfg));
 
     let mut cfg = ServeConfig::new(scheduler, serving::default_resolver());
@@ -89,6 +200,7 @@ fn main() -> Result<()> {
     cfg.results_dir = common::results_dir();
     cfg.cache_bytes = args.cache_bytes;
     cfg.request_timeout = Duration::from_secs(args.timeout_secs.max(1));
+    cfg.max_connections = args.max_conns.max(1);
 
     let server = Server::start(cfg)?;
     println!("listening on http://{}", server.addr());

@@ -126,11 +126,18 @@ fn render_frame(snap: &Snapshot, prev: Option<&Snapshot>, dt: Duration, addr: &s
     } else {
         100.0 * hits as f64 / looked as f64
     };
+    let lat = snap.histogram("serve_latency_us");
     out.push_str(&format!(
         "syncperf-top — {addr}\n\
          requests {total} ({rate:.1}/s)   errors {}   cache hit {hit_pct:.1}% ({hits}/{looked})\n\
+         conns {}   p50 {}us   p99 {}us   rejected {}   timeouts {}\n\
          index {} entries / {} bytes   inflight {}   queue depth {} (peak {})   events dropped {}\n",
         snap.counter("serve_errors"),
+        snap.gauge("serve_connections"),
+        lat.quantile(0.50),
+        lat.quantile(0.99),
+        snap.counter("serve_rejected"),
+        snap.counter("serve_timeouts"),
         snap.gauge("serve_index_entries"),
         snap.gauge("serve_index_bytes"),
         snap.gauge("serve_inflight"),
@@ -253,6 +260,10 @@ mod tests {
         rec.counter("serve_endpoint_stats_requests").inc();
         let h = rec.histogram("serve_endpoint_stats_latency_us");
         h.observe(150);
+        rec.histogram("serve_latency_us").observe(150);
+        rec.gauge_set("serve_connections").set(3);
+        rec.counter("serve_rejected").add(2);
+        rec.counter("serve_timeouts").inc();
         rec.counter("sched_worker_0_executed").add(7);
         rec.counter("sched_worker_0_busy_us").add(1234);
         rec.gauge_set("sched_queue_depth").set(2);
@@ -264,6 +275,9 @@ mod tests {
         let snap = sample_snapshot();
         let frame = render_frame(&snap, None, Duration::from_secs(1), "test:0");
         assert!(frame.contains("requests 5"));
+        assert!(frame.contains("conns 3"));
+        assert!(frame.contains("rejected 2"));
+        assert!(frame.contains("timeouts 1"));
         assert!(frame.contains("stats"));
         assert!(frame.contains("worker"));
         assert!(frame.contains("1234"));

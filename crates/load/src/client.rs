@@ -1,0 +1,179 @@
+//! A minimal blocking keep-alive HTTP/1.1 client.
+//!
+//! One [`ClientConn`] owns one TCP connection and reuses it across
+//! requests, transparently reconnecting when the server closes it
+//! (the serve front end forces a close every 128 requests as a
+//! fairness bound, and sheds over-cap accepts with `Connection:
+//! close`). Responses must carry `Content-Length` — the serve layer
+//! always does — and chunked encoding is deliberately unsupported.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One HTTP status + body answer.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (decoded per `Content-Length`).
+    pub body: String,
+}
+
+/// A keep-alive connection to one server.
+#[derive(Debug)]
+pub struct ClientConn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+    connected_once: bool,
+    /// Times the connection was re-established (graceful
+    /// `Connection: close` — e.g. the server's per-connection request
+    /// cap — as well as error-path retries).
+    pub reconnects: u64,
+}
+
+impl ClientConn {
+    /// Prepares a (not yet connected) client for `host:port`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the target does not resolve to a socket address.
+    pub fn new(target: &str, timeout: Duration) -> io::Result<ClientConn> {
+        let addr = target
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable target"))?;
+        Ok(ClientConn {
+            addr,
+            stream: None,
+            timeout,
+            connected_once: false,
+            reconnects: 0,
+        })
+    }
+
+    /// The resolved server address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Opens the connection eagerly (load harnesses connect their
+    /// whole fleet before the measured window starts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failure.
+    pub fn connect(&mut self) -> io::Result<()> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+            if self.connected_once {
+                self.reconnects += 1;
+            }
+            self.connected_once = true;
+        }
+        Ok(())
+    }
+
+    /// Issues one request and reads the full reply. Reuses the open
+    /// connection; if the server closed it since the last exchange,
+    /// reconnects and retries once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/IO/parse errors after the one retry.
+    pub fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<Reply> {
+        let had_stream = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Ok(reply) => Ok(reply),
+            Err(e) if had_stream => {
+                // A reused connection may have been closed under us
+                // (request cap, idle eviction): one fresh retry.
+                // connect() counts the re-establishment.
+                let _ = e;
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<Reply> {
+        self.connect()?;
+        let stream = self.stream.as_mut().expect("connected above");
+        let body = body.unwrap_or("");
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: syncperf\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        if let Err(e) = stream.write_all(req.as_bytes()) {
+            self.stream = None;
+            return Err(e);
+        }
+        match read_reply(stream) {
+            Ok((reply, keep_alive)) => {
+                if !keep_alive {
+                    self.stream = None;
+                }
+                Ok(reply)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one `Content-Length`-framed HTTP response; returns it plus
+/// whether the connection stays usable.
+fn read_reply(stream: &mut TcpStream) -> io::Result<(Reply, bool)> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() > 64 * 1024 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "head too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "closed mid-head",
+                ))
+            }
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+    Ok((Reply { status, body }, keep_alive))
+}

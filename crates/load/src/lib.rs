@@ -1,0 +1,271 @@
+//! # syncperf-load
+//!
+//! A zero-dependency HTTP load harness for the syncperf serving
+//! layer — the serving twin of the compute-side `bench_report`
+//! tracked benchmarks. It holds a fleet of keep-alive connections
+//! ([`client::ClientConn`]) across one or more serve replicas,
+//! drives a deterministic mixed traffic profile
+//! ([`profile::Profile`]: hash lookups, sweep queries, figure
+//! fetches, telemetry scrapes, warm computes), measures per-request
+//! latency on obs histograms, and aggregates a [`report::LoadReport`]
+//! with p50/p90/p99/max, throughput, and error rate. The committed
+//! `BENCH_serve.json` baseline plus [`report::Baseline::check`] form
+//! the CI regression gate (`syncperf_load bench --check`).
+//!
+//! The harness is a closed-loop generator: `workers` threads each own
+//! a slice of the connection fleet and issue one request at a time
+//! per thread, rotating over their connections so every connection
+//! stays warm and exercised. Connections the server closes (the
+//! per-connection request cap, idle eviction) are transparently
+//! re-established and counted as `reconnects`.
+
+pub mod client;
+pub mod profile;
+pub mod report;
+
+pub use client::{ClientConn, Reply};
+pub use profile::{Op, Profile, Rng};
+pub use report::{Baseline, LoadReport};
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use syncperf_obs::{Histogram, HistogramSnapshot};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Target servers (`host:port`), connection fleet round-robins
+    /// across them.
+    pub targets: Vec<String>,
+    /// Total keep-alive connections to hold.
+    pub connections: usize,
+    /// Measured window length.
+    pub duration: Duration,
+    /// Generator threads (each owns `connections / workers` conns).
+    pub workers: usize,
+    /// Per-request connect/read/write timeout.
+    pub timeout: Duration,
+    /// PRNG seed for the op mix.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// A config for the given targets with the defaults the CI lane
+    /// uses: 1000 connections, 32 worker threads, 5 s timeout.
+    #[must_use]
+    pub fn new(targets: Vec<String>) -> LoadConfig {
+        LoadConfig {
+            targets,
+            connections: 1000,
+            duration: Duration::from_secs(8),
+            workers: 32,
+            timeout: Duration::from_secs(5),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One worker thread's tally.
+struct WorkerResult {
+    requests: u64,
+    errors: u64,
+    reconnects: u64,
+    latency: HistogramSnapshot,
+}
+
+/// Runs the load: connect the whole fleet, drive the profile until
+/// the window closes, merge per-worker tallies.
+///
+/// # Errors
+///
+/// Fails when no target is given or the fleet cannot be constructed;
+/// individual request failures are counted, not propagated.
+pub fn run(cfg: &LoadConfig, profile: &Profile) -> io::Result<LoadReport> {
+    if cfg.targets.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "no targets"));
+    }
+    if profile.hashes.is_empty() || profile.points.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "profile not warmed (no hashes/points)",
+        ));
+    }
+    let workers = cfg.workers.clamp(1, cfg.connections.max(1));
+    let deadline = Instant::now() + cfg.duration;
+    let start = Instant::now();
+    // Connections failing even the initial connect (target down) are
+    // visible in this shared counter so the report can't silently
+    // claim a fleet it never held.
+    let connect_failures = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            // Distribute the fleet: earlier workers absorb the
+            // remainder, every target gets an even share.
+            let share = cfg.connections / workers + usize::from(w < cfg.connections % workers);
+            let targets = cfg.targets.clone();
+            let profile = profile.clone();
+            let timeout = cfg.timeout;
+            let seed = cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let connect_failures = Arc::clone(&connect_failures);
+            std::thread::spawn(move || {
+                drive(
+                    &targets,
+                    share,
+                    w,
+                    &profile,
+                    timeout,
+                    seed,
+                    deadline,
+                    &connect_failures,
+                )
+            })
+        })
+        .collect();
+
+    let mut requests = 0;
+    let mut errors = 0;
+    let mut reconnects = 0;
+    let mut latency = Histogram::standalone().snapshot();
+    for h in handles {
+        let r = h.join().map_err(|_| io::Error::other("worker panicked"))?;
+        requests += r.requests;
+        errors += r.errors;
+        reconnects += r.reconnects;
+        latency.merge(&r.latency);
+    }
+    let failed = connect_failures.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        connections: (cfg.connections as u64).saturating_sub(failed),
+        duration_s: start.elapsed().as_secs_f64(),
+        requests,
+        errors: errors + failed,
+        reconnects,
+        p50_us: latency.quantile(0.50),
+        p90_us: latency.quantile(0.90),
+        p99_us: latency.quantile(0.99),
+        max_us: latency.max(),
+    })
+}
+
+/// The per-thread generator loop.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    targets: &[String],
+    share: usize,
+    worker: usize,
+    profile: &Profile,
+    timeout: Duration,
+    seed: u64,
+    deadline: Instant,
+    connect_failures: &AtomicU64,
+) -> WorkerResult {
+    let hist = Histogram::standalone();
+    let mut rng = Rng::new(seed);
+    let mut requests = 0;
+    let mut errors = 0;
+
+    // Build + eagerly connect this worker's slice of the fleet,
+    // spreading it over the targets.
+    let mut conns = Vec::with_capacity(share);
+    for i in 0..share {
+        let target = &targets[(worker + i) % targets.len()];
+        match ClientConn::new(target, timeout) {
+            Ok(mut conn) => {
+                if conn.connect().is_err() {
+                    connect_failures.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    conns.push(conn);
+                }
+            }
+            Err(_) => {
+                connect_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let mut next = 0usize;
+    while Instant::now() < deadline && !conns.is_empty() {
+        let idx = next % conns.len();
+        let conn = &mut conns[idx];
+        next = next.wrapping_add(1);
+        let op = profile.next_op(&mut rng);
+        let (method, path, body) = match &op {
+            Op::Job(hash) => ("GET", format!("/job/{hash}"), None),
+            Op::Query(q) => ("GET", q.clone(), None),
+            Op::Figure(name) => ("GET", format!("/figure/{name}.csv"), None),
+            Op::Metrics => ("GET", "/metrics".to_string(), None),
+            Op::Stats => ("GET", "/stats".to_string(), None),
+            Op::Compute(body) => ("POST", "/compute".to_string(), Some(body.clone())),
+        };
+        let t0 = Instant::now();
+        requests += 1;
+        if let Ok(reply) = conn.request(method, &path, body.as_deref()) {
+            hist.observe(t0.elapsed().as_micros() as u64);
+            // A figure 404 is a correct answer (the scratch results
+            // dir has no rendered figures); any other non-2xx is an
+            // error for the harness.
+            let figure_miss = matches!(op, Op::Figure(_)) && reply.status == 404;
+            if reply.status >= 400 && !figure_miss {
+                errors += 1;
+            }
+        } else {
+            errors += 1;
+        }
+    }
+    let reconnects = conns.iter().map(|c| c.reconnects).sum();
+    WorkerResult {
+        requests,
+        errors,
+        reconnects,
+        latency: hist.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_rejects_unusable_configs() {
+        let profile = Profile {
+            hashes: vec!["00112233445566aa".into()],
+            points: vec![("omp_barrier".into(), 4)],
+            figures: vec![],
+        };
+        let empty = LoadConfig::new(vec![]);
+        assert!(run(&empty, &profile).is_err());
+
+        let cold = Profile {
+            hashes: vec![],
+            points: vec![],
+            figures: vec![],
+        };
+        let cfg = LoadConfig::new(vec!["127.0.0.1:1".into()]);
+        assert!(run(&cfg, &cold).is_err());
+    }
+
+    #[test]
+    fn unreachable_targets_count_as_connect_failures() {
+        let profile = Profile {
+            hashes: vec!["00112233445566aa".into()],
+            points: vec![("omp_barrier".into(), 4)],
+            figures: vec![],
+        };
+        // Port 1 is essentially never listening; every connect fails
+        // fast (connection refused), the run completes with zero held
+        // connections and no requests.
+        let mut cfg = LoadConfig::new(vec!["127.0.0.1:1".into()]);
+        cfg.connections = 4;
+        cfg.workers = 2;
+        cfg.duration = Duration::from_millis(50);
+        cfg.timeout = Duration::from_millis(200);
+        let report = run(&cfg, &profile).unwrap();
+        assert_eq!(report.connections, 0);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.errors, 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! The mixed traffic profile: a deterministic PRNG choosing between
+//! hash lookups, sweep-point queries, figure fetches, telemetry
+//! scrapes, and compute-on-miss posts — roughly the shape of a
+//! figure-regeneration client fleet hitting a warm replica pair.
+
+use std::time::Duration;
+
+use crate::client::ClientConn;
+
+/// `xorshift64*` — tiny, deterministic, and plenty for op mixing.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator (zero is mapped to a fixed odd constant).
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// One request in the mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `GET /job/<hash>` for a known-cached hash.
+    Job(String),
+    /// `GET /query?...` for a known-cached sweep point.
+    Query(String),
+    /// `GET /figure/<name>.csv` (may 404; that is not an error for
+    /// the harness — 404 on a figure is a correct server answer).
+    Figure(String),
+    /// `GET /metrics` telemetry scrape.
+    Metrics,
+    /// `GET /stats` counter snapshot.
+    Stats,
+    /// `POST /compute` of an already-cached job (exercises the
+    /// resolver + index fast path without unbounded compute).
+    Compute(String),
+}
+
+/// The workload: known-warm cache state plus the op mix.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Hashes known to be cached (targets of `Job` ops).
+    pub hashes: Vec<String>,
+    /// Warmed `(kernel, threads)` sweep points (targets of `Query`).
+    pub points: Vec<(String, u32)>,
+    /// Figure names to fetch.
+    pub figures: Vec<String>,
+}
+
+/// The kernels the warmup computes, all resolvable by the bench
+/// resolver's CPU simulator path.
+const WARM_KERNELS: [&str; 3] = [
+    "omp_barrier",
+    "omp_atomicadd_scalar_int",
+    "omp_critical_int",
+];
+const WARM_THREADS: [u32; 2] = [4, 8];
+
+impl Profile {
+    /// Warms the target server's cache over HTTP (`POST /compute` of
+    /// a small kernel × thread grid) and records the resulting hashes
+    /// as the profile's hot set. Requires no scheduler access — the
+    /// harness stays a pure HTTP client.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the server is unreachable or a warmup compute does
+    /// not answer 200.
+    pub fn warm(target: &str, timeout: Duration) -> std::io::Result<Profile> {
+        let mut conn = ClientConn::new(target, timeout)?;
+        let mut hashes = Vec::new();
+        let mut points = Vec::new();
+        for kernel in WARM_KERNELS {
+            for threads in WARM_THREADS {
+                let body = format!(
+                    "{{\"executor\": \"cpu-sim\", \"kernel\": \"{kernel}\", \"threads\": {threads}}}"
+                );
+                let reply = conn.request("POST", "/compute", Some(&body))?;
+                if reply.status != 200 {
+                    return Err(std::io::Error::other(format!(
+                        "warmup compute of {kernel}/{threads} answered {}",
+                        reply.status
+                    )));
+                }
+                if let Some(hash) = extract_hash(&reply.body) {
+                    hashes.push(hash);
+                }
+                points.push((kernel.to_string(), threads));
+            }
+        }
+        Ok(Profile {
+            hashes,
+            points,
+            figures: vec!["fig01_atomics_cpu".into(), "fig07_barrier_cpu".into()],
+        })
+    }
+
+    /// Picks the next op with the fixed mix: 40% hash lookups, 25%
+    /// queries, 10% figures, 10% computes (of warm jobs), 10% stats,
+    /// 5% metrics.
+    pub fn next_op(&self, rng: &mut Rng) -> Op {
+        let roll = rng.below(100);
+        match roll {
+            0..=39 => Op::Job(self.hashes[rng.below(self.hashes.len())].clone()),
+            40..=64 => {
+                let (kernel, threads) = &self.points[rng.below(self.points.len())];
+                Op::Query(format!("/query?kernel={kernel}&threads={threads}"))
+            }
+            65..=74 => Op::Figure(self.figures[rng.below(self.figures.len())].clone()),
+            75..=84 => {
+                let (kernel, threads) = &self.points[rng.below(self.points.len())];
+                Op::Compute(format!(
+                    "{{\"executor\": \"cpu-sim\", \"kernel\": \"{kernel}\", \"threads\": {threads}}}"
+                ))
+            }
+            85..=94 => Op::Stats,
+            _ => Op::Metrics,
+        }
+    }
+}
+
+/// Pulls the `"hash": "<hex16>"` field out of a measurement response
+/// without a full JSON parse (the serve layer renders it first).
+#[must_use]
+pub fn extract_hash(body: &str) -> Option<String> {
+    let idx = body.find("\"hash\"")?;
+    let rest = &body[idx + 6..];
+    let open = rest.find('"')? + 1;
+    let close = open + rest[open..].find('"')?;
+    let hash = &rest[open..close];
+    (hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit())).then(|| hash.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            assert!(a.below(7) < 7);
+        }
+        // Zero seed must not lock up at zero.
+        let mut z = Rng::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn op_mix_covers_every_variant() {
+        let profile = Profile {
+            hashes: vec!["00112233445566aa".into()],
+            points: vec![("omp_barrier".into(), 4)],
+            figures: vec!["fig01".into()],
+        };
+        let mut rng = Rng::new(7);
+        let mut seen_job = false;
+        let mut seen_query = false;
+        let mut seen_figure = false;
+        let mut seen_metrics = false;
+        let mut seen_stats = false;
+        let mut seen_compute = false;
+        for _ in 0..2000 {
+            match profile.next_op(&mut rng) {
+                Op::Job(h) => {
+                    assert_eq!(h, "00112233445566aa");
+                    seen_job = true;
+                }
+                Op::Query(q) => {
+                    assert_eq!(q, "/query?kernel=omp_barrier&threads=4");
+                    seen_query = true;
+                }
+                Op::Figure(_) => seen_figure = true,
+                Op::Metrics => seen_metrics = true,
+                Op::Stats => seen_stats = true,
+                Op::Compute(body) => {
+                    assert!(body.contains("cpu-sim"));
+                    seen_compute = true;
+                }
+            }
+        }
+        assert!(
+            seen_job && seen_query && seen_figure && seen_metrics && seen_stats && seen_compute
+        );
+    }
+
+    #[test]
+    fn hash_extraction_is_strict() {
+        assert_eq!(
+            extract_hash("{\n\"hash\": \"00112233445566aa\",\n\"source\": \"cache\"}"),
+            Some("00112233445566aa".into())
+        );
+        assert_eq!(extract_hash("{\"hash\": \"xyz\"}"), None);
+        assert_eq!(extract_hash("no hash here"), None);
+    }
+}

@@ -1,0 +1,236 @@
+//! The load-run result: latency quantiles, throughput, and error
+//! rate, with a JSON encoding (BENCH_serve.json) and the `--check`
+//! comparison against a committed baseline.
+
+use syncperf_obs::json;
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Concurrent keep-alive connections held.
+    pub connections: u64,
+    /// Measured window length in seconds.
+    pub duration_s: f64,
+    /// Requests completed in the window.
+    pub requests: u64,
+    /// Requests that failed (transport error or unexpected 5xx).
+    pub errors: u64,
+    /// Connections re-established mid-run (request cap, idle close).
+    pub reconnects: u64,
+    /// Latency quantiles over all successful requests, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// Requests per second over the measured window.
+    #[must_use]
+    pub fn rps(&self) -> f64 {
+        if self.duration_s > 0.0 {
+            self.requests as f64 / self.duration_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of requests that errored.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.requests > 0 {
+            self.errors as f64 / self.requests as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The BENCH_serve.json encoding (stable field order; the
+    /// `check_*` fields document the gate the CI lane applies).
+    #[must_use]
+    pub fn to_json(&self, p99_factor: f64, max_error_rate: f64) -> String {
+        format!(
+            "{{\n\
+             \"benchmark\": \"syncperf_load mixed keep-alive traffic vs a serve replica pair\",\n\
+             \"connections\": {},\n\
+             \"duration_s\": {:.2},\n\
+             \"requests\": {},\n\
+             \"errors\": {},\n\
+             \"reconnects\": {},\n\
+             \"throughput_rps\": {:.1},\n\
+             \"error_rate\": {:.4},\n\
+             \"p50_us\": {},\n\
+             \"p90_us\": {},\n\
+             \"p99_us\": {},\n\
+             \"max_us\": {},\n\
+             \"check_p99_factor\": {:.1},\n\
+             \"check_max_error_rate\": {:.3}\n\
+             }}\n",
+            self.connections,
+            self.duration_s,
+            self.requests,
+            self.errors,
+            self.reconnects,
+            self.rps(),
+            self.error_rate(),
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+            p99_factor,
+            max_error_rate,
+        )
+    }
+
+    /// A human-readable run summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "load: {} conns for {:.1}s -> {} requests ({:.0} rps), {} errors ({:.2}%), \
+             {} reconnects\nlatency: p50 {}us  p90 {}us  p99 {}us  max {}us",
+            self.connections,
+            self.duration_s,
+            self.requests,
+            self.rps(),
+            self.errors,
+            self.error_rate() * 100.0,
+            self.reconnects,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+/// The committed baseline a `--check` run gates against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    /// Baseline 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Allowed p99 growth factor before the gate fails.
+    pub p99_factor: f64,
+    /// Allowed error-rate ceiling before the gate fails.
+    pub max_error_rate: f64,
+}
+
+impl Baseline {
+    /// Parses a BENCH_serve.json body.
+    ///
+    /// # Errors
+    ///
+    /// Describes missing/malformed fields.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let v = json::parse(text).map_err(|e| format!("bad BENCH_serve.json: {e:?}"))?;
+        let num = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("BENCH_serve.json missing numeric `{k}`"))
+        };
+        Ok(Baseline {
+            p99_us: num("p99_us")? as u64,
+            p99_factor: num("check_p99_factor")?,
+            max_error_rate: num("check_max_error_rate")?,
+        })
+    }
+
+    /// Applies the gate; `Err` carries the human-readable failure.
+    ///
+    /// # Errors
+    ///
+    /// Reports which bound regressed and by how much.
+    pub fn check(&self, report: &LoadReport) -> Result<(), String> {
+        let p99_limit = (self.p99_us as f64 * self.p99_factor) as u64;
+        if report.p99_us > p99_limit {
+            return Err(format!(
+                "p99 regression: measured {}us > limit {}us (baseline {}us x {:.1})",
+                report.p99_us, p99_limit, self.p99_us, self.p99_factor
+            ));
+        }
+        if report.error_rate() > self.max_error_rate {
+            return Err(format!(
+                "error-rate regression: measured {:.4} > limit {:.3}",
+                report.error_rate(),
+                self.max_error_rate
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LoadReport {
+        LoadReport {
+            connections: 1000,
+            duration_s: 2.0,
+            requests: 10_000,
+            errors: 10,
+            reconnects: 78,
+            p50_us: 400,
+            p90_us: 900,
+            p99_us: 2_000,
+            max_us: 15_000,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_baseline() {
+        let r = report();
+        assert!((r.rps() - 5000.0).abs() < 1e-9);
+        assert!((r.error_rate() - 0.001).abs() < 1e-9);
+        let encoded = r.to_json(2.5, 0.02);
+        let base = Baseline::from_json(&encoded).unwrap();
+        assert_eq!(base.p99_us, 2_000);
+        assert!((base.p99_factor - 2.5).abs() < 1e-9);
+        assert!(base.check(&r).is_ok());
+    }
+
+    #[test]
+    fn gate_catches_regressions() {
+        let base = Baseline {
+            p99_us: 1000,
+            p99_factor: 2.0,
+            max_error_rate: 0.01,
+        };
+        let mut r = report();
+        r.p99_us = 1999;
+        assert!(base.check(&r).is_ok());
+        r.p99_us = 2001;
+        assert!(base.check(&r).unwrap_err().contains("p99 regression"));
+        r.p99_us = 100;
+        r.errors = 500; // 5% > 1%
+        assert!(base
+            .check(&r)
+            .unwrap_err()
+            .contains("error-rate regression"));
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_json() {
+        assert!(Baseline::from_json("not json").is_err());
+        assert!(Baseline::from_json("{\"p99_us\": 5}").is_err());
+    }
+
+    #[test]
+    fn empty_run_divides_safely() {
+        let r = LoadReport {
+            connections: 0,
+            duration_s: 0.0,
+            requests: 0,
+            errors: 0,
+            reconnects: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            max_us: 0,
+        };
+        assert!((r.rps() - 0.0).abs() < 1e-9);
+        assert!((r.error_rate() - 0.0).abs() < 1e-9);
+    }
+}

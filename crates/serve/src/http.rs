@@ -5,7 +5,14 @@
 //! plain (unchunked) responses, and HTTP/1.1 persistent connections
 //! (`Connection: close` honored, HTTP/1.0 defaults to close). No TLS,
 //! no chunked transfer — clients that want more are welcome to put a
-//! real proxy in front.
+//! real proxy in front (docs/SERVING.md has an nginx/caddy recipe).
+//!
+//! Parsing comes in two shapes: [`try_parse`] is the incremental,
+//! buffer-based form the nonblocking event loop feeds — it consumes
+//! zero bytes until a full request is buffered, so pipelined requests
+//! and partial reads fall out naturally — and [`read_request`] is the
+//! blocking convenience wrapper over one `TcpStream` that tests and
+//! simple clients use.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -47,9 +54,12 @@ impl Request {
 /// Why a request could not be parsed.
 #[derive(Debug)]
 pub enum ParseFailure {
-    /// Malformed request (bad request line, oversized head/body, …) —
+    /// Malformed request (bad request line, oversized body, …) —
     /// answer 400.
     BadRequest(&'static str),
+    /// The request line + headers exceed [`MAX_HEAD_BYTES`] — answer
+    /// 431 (Request Header Fields Too Large).
+    HeadTooLarge,
     /// The socket timed out or was dropped mid-request — answer 408 if
     /// the connection is still writable.
     Timeout,
@@ -58,47 +68,97 @@ pub enum ParseFailure {
     Idle,
 }
 
-/// Reads and parses one request from `stream`. Read timeouts must be
-/// configured by the caller (`TcpStream::set_read_timeout`).
+impl ParseFailure {
+    /// The HTTP status code a parse failure answers with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseFailure::BadRequest(_) => 400,
+            ParseFailure::HeadTooLarge => 431,
+            ParseFailure::Timeout | ParseFailure::Idle => 408,
+        }
+    }
+
+    /// The error message for the response body.
+    #[must_use]
+    pub fn message(&self) -> &'static str {
+        match self {
+            ParseFailure::BadRequest(msg) => msg,
+            ParseFailure::HeadTooLarge => "request head too large",
+            ParseFailure::Timeout | ParseFailure::Idle => "request timed out",
+        }
+    }
+}
+
+/// Outcome of one [`try_parse`] call over a receive buffer.
+#[derive(Debug)]
+pub enum ParseStep {
+    /// The buffer does not yet hold a complete request; read more.
+    Incomplete,
+    /// One complete request, plus the number of buffer bytes it
+    /// consumed (the caller drains them; any remainder is the start of
+    /// the next pipelined request).
+    Complete(Request, usize),
+}
+
+/// Incrementally parses the first request in `buf` without consuming
+/// anything. Returns [`ParseStep::Incomplete`] until the head *and*
+/// the declared body are fully buffered.
 ///
 /// # Errors
 ///
-/// [`ParseFailure::BadRequest`] for malformed input,
-/// [`ParseFailure::Timeout`] when the socket blocks past its timeout
-/// or closes early.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseFailure> {
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    // Byte-at-a-time until the blank line; the head is tiny and the
-    // simplicity beats a buffered reader we would need to hand the
-    // body bytes back from.
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() >= MAX_HEAD_BYTES {
-            return Err(ParseFailure::BadRequest("request head too large"));
+/// [`ParseFailure::HeadTooLarge`] once more than [`MAX_HEAD_BYTES`]
+/// arrive without a blank line, [`ParseFailure::BadRequest`] for
+/// malformed request lines, versions, or oversized bodies.
+pub fn try_parse(buf: &[u8]) -> Result<ParseStep, ParseFailure> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseFailure::HeadTooLarge);
         }
-        // Before the first byte the connection is merely idle (a
-        // keep-alive peer that went away); after it, a stall is a
-        // genuine mid-request timeout.
-        let stalled = || {
-            if head.is_empty() {
-                ParseFailure::Idle
-            } else {
-                ParseFailure::Timeout
-            }
-        };
-        match stream.read(&mut byte) {
-            Ok(0) => return Err(stalled()),
-            Ok(_) => head.push(byte[0]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Err(stalled())
-            }
-            Err(_) => return Err(stalled()),
-        }
+        return Ok(ParseStep::Incomplete);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(ParseFailure::HeadTooLarge);
     }
-    let head = String::from_utf8_lossy(&head).into_owned();
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let parsed = parse_head(&head)?;
+    let total = head_end + 4 + parsed.content_length;
+    if buf.len() < total {
+        return Ok(ParseStep::Incomplete);
+    }
+    let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+    let (path, query) = match parsed.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (parsed.target.as_str(), ""),
+    };
+    Ok(ParseStep::Complete(
+        Request {
+            method: parsed.method,
+            path: percent_decode(path),
+            query: parse_query(query),
+            body,
+            keep_alive: parsed.keep_alive,
+        },
+        total,
+    ))
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The request line + headers, parsed but not yet bound to a body.
+struct Head {
+    method: String,
+    target: String,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// Parses the request line and headers (`head` excludes the blank
+/// line).
+fn parse_head(head: &str) -> Result<Head, ParseFailure> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_ascii_whitespace();
@@ -124,39 +184,67 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseFailure> {
             }
         }
     }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseFailure::BadRequest("request body too large"));
+    }
     let keep_alive = if version == "HTTP/1.0" {
         connection == "keep-alive"
     } else {
         connection != "close"
     };
-    if content_length > MAX_BODY_BYTES {
-        return Err(ParseFailure::BadRequest("request body too large"));
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        stream.read_exact(&mut body).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut
-                || e.kind() == std::io::ErrorKind::UnexpectedEof
-            {
-                ParseFailure::Timeout
-            } else {
-                ParseFailure::BadRequest("body read failed")
-            }
-        })?;
-    }
-
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    Ok(Request {
+    Ok(Head {
         method: method.to_ascii_uppercase(),
-        path: percent_decode(path),
-        query: parse_query(query),
-        body: String::from_utf8_lossy(&body).into_owned(),
+        target: target.to_string(),
         keep_alive,
+        content_length,
     })
+}
+
+/// Reads and parses one request from `stream`, blocking. Read
+/// timeouts must be configured by the caller
+/// (`TcpStream::set_read_timeout`).
+///
+/// # Errors
+///
+/// [`ParseFailure::BadRequest`] / [`ParseFailure::HeadTooLarge`] for
+/// malformed input, [`ParseFailure::Timeout`] when the socket blocks
+/// past its timeout or closes early, [`ParseFailure::Idle`] when it
+/// does so before the first byte.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseFailure> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    let mut head_seen = false;
+    loop {
+        // Only attempt a parse once the head terminator has arrived
+        // (byte-at-a-time reads mean it can only be a suffix), keeping
+        // the per-byte cost constant instead of rescanning the buffer.
+        head_seen = head_seen || buf.ends_with(b"\r\n\r\n");
+        if head_seen {
+            match try_parse(&buf)? {
+                ParseStep::Complete(req, _consumed) => return Ok(req),
+                ParseStep::Incomplete => {}
+            }
+        } else if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseFailure::HeadTooLarge);
+        }
+        // Before the first byte the connection is merely idle (a
+        // keep-alive peer that went away); after it, a stall is a
+        // genuine mid-request timeout. Byte-at-a-time keeps pipelined
+        // follow-up requests in the kernel buffer for the next call.
+        let stalled = || {
+            if buf.is_empty() {
+                ParseFailure::Idle
+            } else {
+                ParseFailure::Timeout
+            }
+        };
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(stalled()),
+            Ok(_) => buf.push(byte[0]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(stalled()),
+        }
+    }
 }
 
 /// Parses `a=1&b=two` into percent-decoded pairs (valueless keys get
@@ -207,7 +295,7 @@ pub fn percent_decode(s: &str) -> String {
 }
 
 /// One response ready to serialize.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
@@ -215,6 +303,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// Optional `Retry-After` header value in seconds (backpressure
+    /// 503s carry one so clients know when to come back).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -225,6 +316,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -235,6 +327,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -242,6 +335,13 @@ impl Response {
     #[must_use]
     pub fn error(status: u16, message: &str) -> Self {
         Response::json(status, format!("{{\"error\": {}}}\n", json_string(message)))
+    }
+
+    /// Attaches a `Retry-After` header (seconds).
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 }
 
@@ -256,26 +356,39 @@ pub fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         409 => "Conflict",
         422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Serializes `resp` onto `stream` (best-effort; a dead client is not
-/// an error worth propagating), advertising whether the server will
-/// keep the connection open for another request.
-pub fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool) {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+/// Serializes `resp` to wire bytes, advertising whether the server
+/// will keep the connection open for another request. The event loop
+/// queues these bytes on its per-connection write buffer.
+#[must_use]
+pub fn render_response(resp: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(resp.body.as_bytes());
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(resp.body.as_bytes());
+    out
+}
+
+/// Serializes `resp` onto `stream` (best-effort; a dead client is not
+/// an error worth propagating), blocking form of [`render_response`].
+pub fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool) {
+    let _ = stream.write_all(&render_response(resp, keep_alive));
     let _ = stream.flush();
 }
 
@@ -333,9 +446,60 @@ mod tests {
     fn responses_have_reasons() {
         assert_eq!(reason(200), "OK");
         assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(431), "Request Header Fields Too Large");
         assert_eq!(reason(599), "Unknown");
         let r = Response::error(404, "no such \"job\"");
         assert!(r.body.contains("\\\"job\\\""));
+    }
+
+    #[test]
+    fn incremental_parse_handles_partial_and_pipelined_input() {
+        let raw = b"POST /compute?x=1 HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\nGET /healthz HTTP/1.1\r\n\r\n";
+        // Every prefix short of the full first request is Incomplete.
+        for cut in [0, 5, 30, 52, 57] {
+            assert!(
+                matches!(try_parse(&raw[..cut]), Ok(ParseStep::Incomplete)),
+                "cut at {cut} must be incomplete"
+            );
+        }
+        let ParseStep::Complete(req, consumed) = try_parse(raw).unwrap() else {
+            panic!("full buffer parses")
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/compute");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.body, "{\"a\": 1}\n");
+        // The pipelined follow-up parses from the remainder.
+        let ParseStep::Complete(req2, consumed2) = try_parse(&raw[consumed..]).unwrap() else {
+            panic!("pipelined request parses")
+        };
+        assert_eq!(req2.path, "/healthz");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn oversized_heads_fail_with_431() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 8));
+        let err = try_parse(&raw).unwrap_err();
+        assert!(matches!(err, ParseFailure::HeadTooLarge));
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn malformed_requests_fail_with_400() {
+        let bad = |raw: &[u8]| match try_parse(raw) {
+            Err(ParseFailure::BadRequest(_)) => {}
+            other => panic!("expected BadRequest, got {other:?}"),
+        };
+        bad(b"GARBAGE\r\n\r\n");
+        bad(b"GET / HTTP/2.0\r\n\r\n");
+        bad(b"GET / HTTP/1.1\r\nContent-Length: potato\r\n\r\n");
+        bad(format!(
+            "GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .as_bytes());
     }
 
     #[test]
@@ -366,6 +530,17 @@ mod tests {
         assert!(reply.ends_with("{\"a\": 1}\n"));
     }
 
+    #[test]
+    fn retry_after_header_renders() {
+        let resp = Response::error(503, "overloaded").with_retry_after(2);
+        let bytes = render_response(&resp, false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("HTTP/1.1 503 Service Unavailable\r\n"));
+        let plain = render_response(&Response::text(200, "ok"), true);
+        assert!(!String::from_utf8(plain).unwrap().contains("Retry-After"));
+    }
+
     /// Parses one request served from a raw byte string.
     fn parse_bytes(raw: &[u8]) -> Result<Request, ParseFailure> {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
@@ -376,6 +551,8 @@ mod tests {
             c.write_all(&raw).unwrap();
         });
         let (mut s, _) = listener.accept().unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .unwrap();
         let req = read_request(&mut s);
         t.join().unwrap();
         req

@@ -265,6 +265,69 @@ impl Index {
         })
     }
 
+    /// Reconciles the index with the on-disk cache directory: entries
+    /// written by *other* processes sharing the directory (multi-
+    /// replica serving) are decoded and indexed, and entries another
+    /// replica evicted from disk are dropped from memory (unless a
+    /// reader currently pins them). Returns `(added, removed)`.
+    ///
+    /// The event loop calls this periodically (`ServeConfig::
+    /// index_refresh`); the scan is one `readdir` plus a decode per
+    /// *new* entry, so steady state costs microseconds.
+    pub fn refresh(&self) -> (u64, u64) {
+        // Snapshot the known set *before* the readdir: an entry our
+        // own store hook inserts mid-scan is then absent from `known`
+        // and can never be mistaken for a foreign eviction.
+        let known: Vec<u64> = {
+            let st = self.state.lock().unwrap();
+            st.entries.keys().copied().collect()
+        };
+        let infos = self.cache.entries();
+        let on_disk: std::collections::HashSet<u64> = infos.iter().map(|i| i.hash).collect();
+
+        let mut added = 0u64;
+        for info in infos {
+            if self.state.lock().unwrap().entries.contains_key(&info.hash) {
+                continue;
+            }
+            // Decode outside the lock; misfiled or torn entries are
+            // skipped exactly as at startup.
+            let Ok(text) = std::fs::read_to_string(self.cache.entry_path(info.hash)) else {
+                continue;
+            };
+            let Some(m) = syncperf_sched::cache::decode_measurement(info.hash, &text) else {
+                continue;
+            };
+            self.insert_entry(info.hash, m, info.bytes);
+            added += 1;
+        }
+
+        let mut removed = 0u64;
+        let mut st = self.state.lock().unwrap();
+        for hash in known {
+            if on_disk.contains(&hash) {
+                continue;
+            }
+            let Some(e) = st.entries.get(&hash) else {
+                continue;
+            };
+            if e.pins > 0 {
+                continue; // a live reader still serves the memory copy
+            }
+            let e = st.entries.remove(&hash).expect("checked above");
+            st.total_bytes -= e.bytes;
+            let kernel = e.measurement.kernel_name;
+            if let Some(hs) = st.by_kernel.get_mut(&kernel) {
+                hs.retain(|h| *h != hash);
+                if hs.is_empty() {
+                    st.by_kernel.remove(&kernel);
+                }
+            }
+            removed += 1;
+        }
+        (added, removed)
+    }
+
     /// Evicts least-recently-used entries (disk file + index entry)
     /// until the on-disk total fits the budget. Entries that are
     /// pinned by a reader, or whose hash `writer_inflight` reports as
@@ -454,6 +517,42 @@ mod tests {
         let evicted = idx2.evict_to_budget(&|h| h == 2);
         assert_eq!(evicted, 0, "pinned + inflight entries are untouchable");
         assert_eq!(idx2.len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn refresh_picks_up_foreign_writes_and_evictions() {
+        let cache = tmp_cache("refresh");
+        cache.store(1, &measurement("omp_barrier", 4)).unwrap();
+        let dir = cache.dir().to_path_buf();
+        let idx = Index::build(cache, None);
+        assert_eq!(idx.len(), 1);
+
+        // A "foreign replica" (any other handle on the directory)
+        // writes two entries and evicts one of ours.
+        let foreign = Cache::new(&dir);
+        foreign.store(2, &measurement("omp_critical", 8)).unwrap();
+        foreign.store(3, &measurement("omp_barrier", 16)).unwrap();
+        foreign.remove(1).unwrap();
+
+        let (added, removed) = idx.refresh();
+        assert_eq!((added, removed), (2, 1));
+        assert!(idx.get(1).is_none(), "foreign eviction dropped");
+        assert!(idx.get(2).is_some() && idx.get(3).is_some());
+        assert!(idx.is_consistent());
+
+        // A pinned entry survives a foreign eviction until released.
+        let pin = idx.get(2).unwrap();
+        foreign.remove(2).unwrap();
+        let (_, removed) = idx.refresh();
+        assert_eq!(removed, 0, "pinned entry keeps serving from memory");
+        drop(pin);
+        let (_, removed) = idx.refresh();
+        assert_eq!(removed, 1);
+        assert!(idx.is_consistent());
+
+        // A quiet directory refreshes to a no-op.
+        assert_eq!(idx.refresh(), (0, 0));
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -2,9 +2,10 @@
 //!
 //! A long-lived measurement query service over the syncperf
 //! content-addressed result cache. Zero external dependencies — the
-//! HTTP layer is `std::net::TcpListener` plus a bounded worker-thread
-//! accept pool, matching the std-only discipline of the obs, analyze,
-//! and sched crates.
+//! front end is a nonblocking readiness-driven event loop (one
+//! reactor thread over a std-only `epoll` poller, [`reactor`])
+//! feeding a bounded blocking compute pool, matching the std-only
+//! discipline of the obs, analyze, and sched crates.
 //!
 //! Endpoints:
 //!
@@ -20,6 +21,8 @@
 //!   [`JobSpec`](syncperf_sched::JobSpec), and concurrent identical
 //!   requests deduplicate onto a single scheduler job
 //!   (single-writer-per-entry, [`inflight`]).
+//! - `GET /manifest/<label>` — the per-label checkpoint manifest, so
+//!   clients can resume partial sweeps against a remote cache.
 //! - `GET /metrics` — the live telemetry snapshot (request counters,
 //!   per-endpoint latency histograms, scheduler profile, index
 //!   gauges) in Prometheus-style text exposition format.
@@ -27,25 +30,36 @@
 //!   ring as JSONL, for post-mortems and live debugging.
 //! - `GET /stats`, `GET /healthz`, `POST /shutdown` — operations.
 //!
+//! Every connection is nonblocking: requests are parsed
+//! incrementally ([`http::try_parse`]), each read/write phase
+//! carries a deadline (slowloris peers are evicted, oversized heads
+//! answered `431`), and accepts beyond the connection cap shed load
+//! with `503 + Retry-After`. Several serve processes may share one
+//! cache directory (`--replicas` in the serve bin): the atomic-rename
+//! store tolerates concurrent writers and each replica's index picks
+//! up foreign writes via periodic re-scan ([`Index::refresh`]), so
+//! any cached hash serves byte-identically from every replica.
+//!
 //! The on-disk cache honours an LRU size budget
 //! (`SYNCPERF_CACHE_BYTES`): eviction never removes an entry with a
 //! live reader pin or an in-flight writer ([`index`]). Every request
 //! is counted under `serve.*` obs counters and observed into
 //! per-endpoint `serve.endpoint.<label>.latency_us` histograms, and
-//! shutdown is graceful on SIGTERM or `/shutdown` — workers stop
-//! accepting, finish their current request, and join. The flight
-//! recorder auto-dumps to `results/flightrec-<pid>.jsonl` on panic or
-//! SIGTERM.
+//! shutdown is graceful on SIGTERM or `/shutdown` — the reactor
+//! drains, compute workers finish their current measurement, and all
+//! threads join. The flight recorder auto-dumps to
+//! `results/flightrec-<pid>.jsonl` on panic or SIGTERM.
 
 pub mod http;
 pub mod index;
 pub mod inflight;
+pub mod reactor;
 pub mod server;
 
-pub use http::{Request, Response};
+pub use http::{ParseFailure, ParseStep, Request, Response};
 pub use index::{Index, Pin, Query, QueryMatch};
 pub use inflight::{Claim, Inflight, OwnerGuard};
 pub use server::{
-    cache_bytes_from_env, endpoint_label, install_sigterm_handler, ComputeRequest, Resolver,
-    ServeConfig, ServeStats, Server, ENDPOINT_LABELS,
+    cache_bytes_from_env, endpoint_label, install_sigterm_handler, sigterm_received,
+    ComputeRequest, Resolver, ServeConfig, ServeStats, Server, ENDPOINT_LABELS,
 };

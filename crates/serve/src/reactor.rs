@@ -1,0 +1,346 @@
+//! A std-only `epoll` readiness poller — the foundation of the serve
+//! crate's nonblocking event loop.
+//!
+//! ## Why an event loop (and why raw `epoll`)
+//!
+//! The alternative front end — a bounded worker pool sharing one
+//! blocking acceptor — caps concurrent connections at the thread
+//! count: a load generator holding thousands of keep-alive
+//! connections would see all but `workers` of them starve, and a
+//! single stalled (slowloris) peer pins a whole thread for its
+//! timeout. A readiness-driven loop holds every idle connection for
+//! the cost of one registered fd, enforces per-request deadlines with
+//! one timer sweep, and sheds load at accept time — so that is the
+//! design chosen here. The workspace is zero-dependency by policy
+//! (no mio/tokio), so the poller speaks to the kernel directly
+//! through the `epoll_*` symbols in the libc that `std` already
+//! links, the same technique `server.rs` uses for `signal`.
+//!
+//! Only Linux is supported, matching the rest of the repo's CI
+//! surface. The API is deliberately tiny: register/modify/deregister
+//! an fd with a `u64` token, wait for `(token, readiness)` pairs, and
+//! a self-wake channel ([`Waker`]) so worker threads can interrupt a
+//! blocked [`Poller::wait`].
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Readable readiness (`EPOLLIN`).
+pub const READABLE: u32 = 0x1;
+/// Writable readiness (`EPOLLOUT`).
+pub const WRITABLE: u32 = 0x4;
+/// Error condition (`EPOLLERR`) — always reported, never requested.
+pub const ERROR: u32 = 0x8;
+/// Peer hung up (`EPOLLHUP` | `EPOLLRDHUP`).
+pub const HANGUP: u32 = 0x10 | 0x2000;
+/// Peer closed its write half (`EPOLLRDHUP`) — request alongside
+/// [`READABLE`] to notice half-closed connections.
+pub const RDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o200_0000;
+const EINTR: i32 = 4;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel
+/// ABI there omits padding); natural layout elsewhere.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// The kernel's `struct epoll_event` (non-x86-64 layout).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// How many readiness events one [`Poller::wait`] call can deliver.
+const WAIT_BATCH: usize = 1024;
+
+/// One readiness notification: the token the fd was registered with
+/// and the readiness bits ([`READABLE`], [`WRITABLE`], [`ERROR`],
+/// [`HANGUP`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Registration token.
+    pub token: u64,
+    /// Readiness bitset.
+    pub readiness: u32,
+}
+
+impl Event {
+    /// Whether the fd is readable (or the peer closed, which reads as
+    /// EOF).
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        self.readiness & (READABLE | HANGUP | ERROR) != 0
+    }
+
+    /// Whether the fd is writable.
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        self.readiness & (WRITABLE | ERROR) != 0
+    }
+
+    /// Whether the peer hung up or the fd errored.
+    #[must_use]
+    pub fn closed(&self) -> bool {
+        self.readiness & (HANGUP | ERROR) != 0
+    }
+}
+
+/// A level-triggered `epoll` instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, std::ptr::from_mut(&mut ev)) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes the interest bits of a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregisters `fd`. Dropping a `TcpStream` also deregisters it
+    /// implicitly; this exists for explicit bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout` (`None` = forever) and appends readiness
+    /// events to `out`. A signal interruption returns cleanly with no
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failure (except `EINTR`).
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 0.4 ms deadline does not spin at 0 ms.
+            Some(t) => i32::try_from(t.as_millis().min(60_000))
+                .unwrap_or(60_000)
+                .max(i32::from(!t.is_zero())),
+        };
+        let mut buf = [EpollEvent::default(); WAIT_BATCH];
+        let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), WAIT_BATCH as i32, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(EINTR) {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in &buf[..n.max(0) as usize] {
+            // Copy out of the (possibly packed) struct before use.
+            let (data, events) = (ev.data, ev.events);
+            out.push(Event {
+                token: data,
+                readiness: events,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// A self-wake channel: worker threads call [`Waker::wake`] to make
+/// the reactor's blocked [`Poller::wait`] return. Built on a
+/// nonblocking `UnixStream` pair; the read half is registered in the
+/// poller like any connection.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Creates the pair and sets both halves nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socketpair failure.
+    pub fn new() -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// The fd to register for [`READABLE`] interest.
+    #[must_use]
+    pub fn read_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Wakes the poller. Idempotent while a wake is pending: a full
+    /// pipe means the reactor has not drained yet and will run anyway.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Drains pending wake bytes (reactor-side, after a readable event
+    /// on [`Waker::read_fd`]).
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::time::Instant;
+
+    #[test]
+    fn poller_reports_readable_and_writable() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.add(a.as_raw_fd(), 7, READABLE).unwrap();
+
+        // Nothing to read yet: a zero-ish timeout returns empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty(), "no readiness before data");
+
+        (&b).write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable() && !events[0].closed());
+
+        // Level-triggered: still readable until drained.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "level-triggered readiness persists");
+        let mut buf = [0u8; 16];
+        assert_eq!((&a).read(&mut buf).unwrap(), 4);
+
+        // Writable interest on an empty socket fires immediately.
+        poller.modify(a.as_raw_fd(), 7, WRITABLE).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .unwrap();
+        assert!(events.iter().any(Event::writable));
+        poller.delete(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn poller_reports_hangup() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller.add(a.as_raw_fd(), 1, READABLE | RDHUP).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .unwrap();
+        assert!(!events.is_empty());
+        assert!(events[0].closed());
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.add(waker.read_fd(), 0, READABLE).unwrap();
+
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake();
+            w.wake(); // double-wake coalesces
+        });
+        let start = Instant::now();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(2), "woke early");
+        assert!(events.iter().any(|e| e.token == 0));
+        waker.drain();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty(), "drained waker is quiet");
+        t.join().unwrap();
+    }
+}

@@ -1,29 +1,42 @@
-//! The query service proper: a bounded accept pool over
-//! `std::net::TcpListener`, request routing, and the compute-on-miss
-//! path through the sweep scheduler.
+//! The query service proper: a nonblocking `epoll` event loop over
+//! `std::net::TcpListener` (see [`crate::reactor`] for why that
+//! design), request routing, and the compute-on-miss path offloaded
+//! to a bounded blocking worker pool.
+//!
+//! One reactor thread owns every connection: nonblocking accept,
+//! incremental request parsing ([`crate::http::try_parse`]),
+//! per-request read/write deadlines, and a connection cap that sheds
+//! load with `503 + Retry-After` at accept time. Only `/compute`
+//! cache misses leave the reactor — they are queued to `workers`
+//! compute threads (scheduler measurements block for milliseconds to
+//! seconds) and their responses return through a completion queue +
+//! [`crate::reactor::Waker`].
 
+use std::collections::HashMap;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use syncperf_core::obs::{self, Counter, FlightRecorder, Histogram, Recorder, Snapshot};
 use syncperf_core::Measurement;
 use syncperf_sched::cache::encode_measurement;
-use syncperf_sched::{hash::hex16, hash::parse_hex16, JobSpec, Scheduler};
+use syncperf_sched::{hash::hex16, hash::parse_hex16, Checkpoint, JobSpec, Scheduler};
 
-use crate::http::{json_string, read_request, write_response, ParseFailure, Request, Response};
+use crate::http::{json_string, render_response, try_parse, ParseStep, Request, Response};
 use crate::index::{Index, Query};
 use crate::inflight::{Claim, Inflight};
+use crate::reactor::{Event, Poller, Waker, RDHUP, READABLE, WRITABLE};
 
 /// The fixed endpoint label set request counters and latency
 /// histograms are split by (`other` absorbs unknown paths and parse
 /// failures). Metric names embed these labels:
 /// `serve.endpoint.<label>.requests` / `serve.endpoint.<label>.latency_us`.
-pub const ENDPOINT_LABELS: [&str; 10] = [
-    "healthz", "stats", "metrics", "events", "query", "job", "figure", "compute", "shutdown",
-    "other",
+pub const ENDPOINT_LABELS: [&str; 11] = [
+    "healthz", "stats", "metrics", "events", "query", "job", "figure", "compute", "manifest",
+    "shutdown", "other",
 ];
 
 /// Classifies a request path into one of [`ENDPOINT_LABELS`].
@@ -39,6 +52,7 @@ pub fn endpoint_label(path: &str) -> &'static str {
         "/shutdown" => "shutdown",
         p if p.starts_with("/job/") => "job",
         p if p.starts_with("/figure/") => "figure",
+        p if p.starts_with("/manifest/") => "manifest",
         _ => "other",
     }
 }
@@ -108,17 +122,26 @@ pub type Resolver = Box<dyn Fn(&ComputeRequest) -> Option<JobSpec> + Send + Sync
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` for an ephemeral port).
     pub addr: String,
-    /// Accept-pool worker threads.
+    /// Blocking compute-pool threads (the event loop itself is one
+    /// reactor thread; only `/compute` misses occupy these).
     pub workers: usize,
     /// Directory figure CSV/SVG files are served from.
     pub results_dir: PathBuf,
     /// On-disk cache size budget in bytes (`None` = unbounded).
     pub cache_bytes: Option<u64>,
-    /// Per-request socket read/write timeout.
+    /// Per-request read/write deadline: a request whose bytes stall
+    /// longer than this (slowloris included) is evicted, as is a
+    /// response write the peer refuses to drain.
     pub request_timeout: Duration,
     /// How long a deduplicated `/compute` waits for the owning
     /// computation before answering 503.
     pub compute_patience: Duration,
+    /// Connection cap: accepts beyond this are answered `503` with a
+    /// `Retry-After` header and closed immediately.
+    pub max_connections: usize,
+    /// How often the reactor re-scans the cache directory for entries
+    /// written (or evicted) by other replicas sharing it.
+    pub index_refresh: Duration,
     /// The scheduler computes run on (its cache dir is the index's
     /// source of truth).
     pub scheduler: Arc<Scheduler>,
@@ -135,12 +158,14 @@ impl std::fmt::Debug for ServeConfig {
             .field("workers", &self.workers)
             .field("results_dir", &self.results_dir)
             .field("cache_bytes", &self.cache_bytes)
+            .field("max_connections", &self.max_connections)
             .finish()
     }
 }
 
 impl ServeConfig {
-    /// A config with sensible defaults: 4 workers, 10 s timeouts, the
+    /// A config with sensible defaults: 4 compute workers, 10 s
+    /// deadlines, 2048 connections, a 500 ms replica re-scan, the
     /// budget from `SYNCPERF_CACHE_BYTES` (unset or unparsable =
     /// unbounded), serving figures from `results_dir`.
     #[must_use]
@@ -152,6 +177,8 @@ impl ServeConfig {
             cache_bytes: cache_bytes_from_env(std::env::var("SYNCPERF_CACHE_BYTES").ok()),
             request_timeout: Duration::from_secs(10),
             compute_patience: Duration::from_secs(60),
+            max_connections: 2048,
+            index_refresh: Duration::from_millis(500),
             scheduler,
             resolver,
             // Not the process-global recorder: that one is disabled
@@ -180,6 +207,10 @@ struct Counters {
     dedup_waits: Counter,
     evictions: Counter,
     errors: Counter,
+    /// Connections rejected at accept time by the connection cap.
+    rejected: Counter,
+    /// Connections evicted by a read/write deadline.
+    timeouts: Counter,
     /// All-endpoint request latency (`serve.latency_us`).
     latency_us: Histogram,
     /// Per-endpoint request counter + latency histogram, one row per
@@ -197,6 +228,8 @@ impl Counters {
             dedup_waits: rec.counter("serve.dedup_waits"),
             evictions: rec.counter("serve.evictions"),
             errors: rec.counter("serve.errors"),
+            rejected: rec.counter("serve.rejected"),
+            timeouts: rec.counter("serve.timeouts"),
             latency_us: rec.histogram("serve.latency_us"),
             endpoints: ENDPOINT_LABELS
                 .iter()
@@ -242,6 +275,10 @@ pub struct ServeStats {
     pub evictions: u64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: u64,
+    /// Connections shed by the connection cap (`503 + Retry-After`).
+    pub rejected: u64,
+    /// Connections evicted by a read/write deadline.
+    pub timeouts: u64,
 }
 
 impl ServeStats {
@@ -256,8 +293,29 @@ impl ServeStats {
             dedup_waits: snap.counter("serve.dedup_waits"),
             evictions: snap.counter("serve.evictions"),
             errors: snap.counter("serve.errors"),
+            rejected: snap.counter("serve.rejected"),
+            timeouts: snap.counter("serve.timeouts"),
         }
     }
+}
+
+/// A `/compute` measurement queued to the blocking pool.
+struct ComputeTask {
+    token: u64,
+    job: Box<JobSpec>,
+    hash: u64,
+    keep_alive: bool,
+    line: String,
+    start: Instant,
+}
+
+/// A finished compute, traveling back to the reactor.
+struct Done {
+    token: u64,
+    resp: Response,
+    keep_alive: bool,
+    line: String,
+    start: Instant,
 }
 
 struct Shared {
@@ -271,11 +329,37 @@ struct Shared {
     flight: FlightRecorder,
     compute_patience: Duration,
     shutdown: AtomicBool,
+    /// Live connection count (gauge `serve.connections`).
+    connections: AtomicU64,
+    /// Finished computes awaiting reactor pickup.
+    completions: Mutex<Vec<Done>>,
+    waker: Waker,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("results_dir", &self.results_dir)
+            .finish()
+    }
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGTERM.load(Ordering::SeqCst)
+    }
 }
 
 /// SIGTERM sets this process-global flag; every running server polls
 /// it alongside its own shutdown flag.
 static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Whether the process received SIGTERM (replica supervisors poll
+/// this to tear their children down).
+#[must_use]
+pub fn sigterm_received() -> bool {
+    SIGTERM.load(Ordering::SeqCst)
+}
 
 /// Installs a SIGTERM handler that requests graceful shutdown of all
 /// servers in the process. Uses the libc `signal` symbol std already
@@ -296,29 +380,23 @@ pub fn install_sigterm_handler() {
     }
 }
 
-/// A running server: the bound address plus worker handles.
+/// A running server: the bound address, the reactor thread, and the
+/// compute pool.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    reactor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl std::fmt::Debug for Shared {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
-            .field("results_dir", &self.results_dir)
-            .finish()
-    }
 }
 
 impl Server {
     /// Builds the index from the scheduler's cache, binds the
-    /// listener, and starts the accept pool.
+    /// listener, and starts the reactor + compute pool.
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
+    /// Propagates bind and poller-creation errors.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let cache = cfg.scheduler.cache().cloned().unwrap_or_else(|| {
             syncperf_sched::Cache::new(cfg.scheduler.config().cache_dir.clone())
@@ -365,6 +443,9 @@ impl Server {
             flight,
             compute_patience: cfg.compute_patience,
             shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            completions: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
         });
 
         let listener = TcpListener::bind(&cfg.addr)?;
@@ -373,17 +454,38 @@ impl Server {
         shared
             .flight
             .record("lifecycle", format!("listening on {addr}"));
+
+        let (tx, rx) = mpsc::channel::<ComputeTask>();
+        let rx = Arc::new(Mutex::new(rx));
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
-                let listener = listener.try_clone().expect("clone listener");
+                let rx = Arc::clone(&rx);
                 let shared = Arc::clone(&shared);
-                let timeout = cfg.request_timeout;
-                std::thread::spawn(move || accept_loop(&listener, &shared, timeout))
+                std::thread::spawn(move || compute_worker(&rx, &shared))
             })
             .collect();
+
+        let loop_cfg = LoopConfig {
+            request_timeout: cfg.request_timeout.max(Duration::from_millis(10)),
+            compute_patience: cfg.compute_patience,
+            max_connections: cfg.max_connections.max(1),
+            index_refresh: cfg.index_refresh.max(Duration::from_millis(10)),
+        };
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                if let Err(e) = event_loop(&listener, &shared, &loop_cfg, &tx) {
+                    shared
+                        .flight
+                        .record("lifecycle", format!("reactor failed: {e}"));
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                }
+            })
+        };
         Ok(Server {
             addr,
             shared,
+            reactor: Some(reactor),
             workers,
         })
     }
@@ -405,15 +507,20 @@ impl Server {
     /// `/shutdown`, or SIGTERM).
     #[must_use]
     pub fn shutdown_requested(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst) || SIGTERM.load(Ordering::SeqCst)
+        self.shared.shutting_down()
     }
 
-    /// Requests graceful shutdown and joins the accept pool: workers
-    /// stop accepting, finish their current request, and exit.
-    pub fn shutdown(self) {
+    /// Requests graceful shutdown and joins the reactor + compute
+    /// pool: the reactor stops accepting and exits, workers finish
+    /// their current measurement and exit.
+    pub fn shutdown(mut self) {
         self.shared.flight.record("lifecycle", "shutdown");
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        for w in self.workers {
+        self.shared.waker.wake();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
+        }
+        for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
@@ -434,81 +541,504 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, timeout: Duration) {
-    while !shared.shutdown.load(Ordering::SeqCst) && !SIGTERM.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                let _ = stream.set_read_timeout(Some(timeout));
-                let _ = stream.set_write_timeout(Some(timeout));
-                handle_connection(&mut stream, shared);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
 /// Requests served per connection before the server forces a close — a
-/// fairness bound so one chatty client cannot pin an accept worker
-/// forever.
+/// fairness bound so one chatty client cannot monopolize the loop, and
+/// load-balancing churn for replica fleets behind a dumb balancer.
 const MAX_REQUESTS_PER_CONNECTION: u32 = 128;
 
-fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
-    for served in 0..MAX_REQUESTS_PER_CONNECTION {
-        let start = Instant::now();
-        let parsed = read_request(stream);
-        // The peer closed or idled out between requests: nothing to
-        // answer, nothing to count.
-        if served > 0 && matches!(parsed, Err(ParseFailure::Idle)) {
-            return;
+/// Reactor-internal configuration (the subset of [`ServeConfig`] the
+/// event loop needs, with floors applied).
+#[derive(Debug, Clone, Copy)]
+struct LoopConfig {
+    request_timeout: Duration,
+    compute_patience: Duration,
+    max_connections: usize,
+    index_refresh: Duration,
+}
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Per-connection state machine phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes.
+    Reading,
+    /// Draining a queued response.
+    Writing,
+    /// A compute worker owns the pending response.
+    Computing,
+}
+
+/// One nonblocking connection.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes (partial or pipelined requests).
+    buf: Vec<u8>,
+    /// Response bytes not yet accepted by the kernel.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Requests served on this connection.
+    served: u32,
+    /// Absolute deadline of the current phase; expiry evicts.
+    deadline: Instant,
+    state: ConnState,
+    close_after_write: bool,
+    /// Current epoll interest bits (to skip redundant `modify`s).
+    interest: u32,
+}
+
+/// Whether a [`pump`] pass keeps the connection alive.
+#[derive(Debug, PartialEq, Eq)]
+enum Keep {
+    Yes,
+    /// Close and deregister the connection.
+    No,
+}
+
+fn event_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    cfg: &LoopConfig,
+    compute_tx: &mpsc::Sender<ComputeTask>,
+) -> std::io::Result<()> {
+    use std::os::fd::AsRawFd;
+    let poller = Poller::new()?;
+    poller.add(listener.as_raw_fd(), LISTENER_TOKEN, READABLE)?;
+    poller.add(shared.waker.read_fd(), WAKER_TOKEN, READABLE)?;
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events: Vec<Event> = Vec::new();
+    let mut last_refresh = Instant::now();
+
+    while !shared.shutting_down() {
+        // Sleep until the next deadline (or a 50 ms tick for shutdown
+        // responsiveness and the replica re-scan).
+        let now = Instant::now();
+        let mut timeout = Duration::from_millis(50);
+        for c in conns.values() {
+            timeout = timeout.min(c.deadline.saturating_duration_since(now));
         }
-        shared.counters.requests.inc();
-        let (resp, client_keep_alive, label, line) = match parsed {
-            Ok(req) => {
-                let ka = req.keep_alive;
-                let label = endpoint_label(&req.path);
-                let line = format!("{} {}", req.method, req.path);
-                (route(&req, shared), ka, label, line)
+        events.clear();
+        poller.wait(&mut events, Some(timeout))?;
+
+        for ev in &events {
+            match ev.token {
+                LISTENER_TOKEN => {
+                    accept_ready(listener, &poller, &mut conns, &mut next_token, shared, cfg);
+                }
+                WAKER_TOKEN => shared.waker.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let keep = on_conn_event(conn, ev, &poller, shared, cfg, compute_tx, token);
+                    if keep == Keep::No {
+                        drop_conn(&poller, &mut conns, token, shared);
+                    }
+                }
             }
-            Err(ParseFailure::BadRequest(msg)) => (
-                Response::error(400, msg),
-                false,
-                "other",
-                "unparseable request".to_string(),
-            ),
-            Err(ParseFailure::Timeout | ParseFailure::Idle) => (
-                Response::error(408, "request timed out"),
-                false,
-                "other",
-                "request timeout".to_string(),
-            ),
-        };
-        if resp.status >= 400 {
-            shared.counters.errors.inc();
         }
-        // Stop reusing the connection once shutdown is in flight so
-        // accept workers can drain and exit promptly.
-        let keep_alive = client_keep_alive
-            && served + 1 < MAX_REQUESTS_PER_CONNECTION
-            && !shared.shutdown.load(Ordering::SeqCst)
-            && !SIGTERM.load(Ordering::SeqCst);
-        write_response(stream, &resp, keep_alive);
-        let elapsed = start.elapsed();
-        shared.counters.observe_request(label, elapsed);
-        shared.flight.record(
-            "http",
-            format!("{line} -> {} in {}us", resp.status, elapsed.as_micros()),
-        );
-        if !keep_alive {
-            return;
+
+        deliver_completions(&poller, &mut conns, shared, cfg, compute_tx);
+        sweep_deadlines(&poller, &mut conns, shared);
+
+        if last_refresh.elapsed() >= cfg.index_refresh {
+            last_refresh = Instant::now();
+            let (added, removed) = shared.index.refresh();
+            if added > 0 || removed > 0 {
+                shared
+                    .flight
+                    .record("index", format!("replica re-scan: +{added} -{removed}"));
+                let n = shared
+                    .index
+                    .evict_to_budget(&|h| shared.inflight.contains(h));
+                shared.counters.evictions.add(n);
+            }
+        }
+    }
+    shared.connections.store(0, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Accepts until the listener would block; over-cap peers get an
+/// immediate best-effort `503 + Retry-After` and a close.
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    shared: &Arc<Shared>,
+    cfg: &LoopConfig,
+) {
+    use std::os::fd::AsRawFd;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conns.len() >= cfg.max_connections {
+                    shared.counters.rejected.inc();
+                    shared.flight.record("http", "503 connection cap reached");
+                    let resp =
+                        Response::error(503, "server at connection capacity").with_retry_after(1);
+                    let mut stream = stream;
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.write(&render_response(&resp, false));
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                let interest = READABLE | RDHUP;
+                if poller.add(stream.as_raw_fd(), token, interest).is_err() {
+                    continue;
+                }
+                conns.insert(
+                    token,
+                    Conn {
+                        stream,
+                        buf: Vec::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        served: 0,
+                        deadline: Instant::now() + cfg.request_timeout,
+                        state: ConnState::Reading,
+                        close_after_write: false,
+                        interest,
+                    },
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break, // WouldBlock or transient accept failure
+        }
+    }
+    shared
+        .connections
+        .store(conns.len() as u64, Ordering::Relaxed);
+}
+
+fn drop_conn(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64, shared: &Arc<Shared>) {
+    use std::os::fd::AsRawFd;
+    if let Some(conn) = conns.remove(&token) {
+        let _ = poller.delete(conn.stream.as_raw_fd());
+    }
+    shared
+        .connections
+        .store(conns.len() as u64, Ordering::Relaxed);
+}
+
+/// One readiness notification for an established connection.
+fn on_conn_event(
+    conn: &mut Conn,
+    ev: &Event,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    cfg: &LoopConfig,
+    compute_tx: &mpsc::Sender<ComputeTask>,
+    token: u64,
+) -> Keep {
+    match conn.state {
+        ConnState::Reading if ev.readable() => {
+            if read_some(conn) == Keep::No {
+                return Keep::No;
+            }
+            pump(conn, poller, shared, cfg, compute_tx, token)
+        }
+        ConnState::Writing if ev.writable() => pump(conn, poller, shared, cfg, compute_tx, token),
+        // While computing, only a peer hangup matters: the response
+        // would be undeliverable, so free the slot early.
+        ConnState::Computing if ev.closed() => Keep::No,
+        _ => {
+            if ev.closed() && conn.out.is_empty() {
+                return Keep::No;
+            }
+            Keep::Yes
         }
     }
 }
 
-fn route(req: &Request, shared: &Arc<Shared>) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
+/// Drains the socket's readable bytes into the connection buffer.
+fn read_some(conn: &mut Conn) -> Keep {
+    use std::io::Read;
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: a peer that spoke and left gets no reply; a
+                // half-open request dies with the connection.
+                return Keep::No;
+            }
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Keep::Yes,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Keep::No,
+        }
+    }
+}
+
+/// Outcome of one nonblocking flush attempt.
+#[derive(Debug, PartialEq, Eq)]
+enum Flush {
+    Flushed,
+    Partial,
+    Dead,
+}
+
+fn try_flush(conn: &mut Conn) -> Flush {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Flush::Dead,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Flush::Partial,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Flush::Dead,
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    Flush::Flushed
+}
+
+/// Advances a connection's state machine as far as it can go without
+/// blocking: parse buffered requests, route, queue + flush responses,
+/// hand computes to the pool. Returns whether the connection stays.
+fn pump(
+    conn: &mut Conn,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    cfg: &LoopConfig,
+    compute_tx: &mpsc::Sender<ComputeTask>,
+    token: u64,
+) -> Keep {
+    loop {
+        match conn.state {
+            ConnState::Writing => match try_flush(conn) {
+                Flush::Dead => return Keep::No,
+                Flush::Partial => {
+                    conn.deadline = Instant::now() + cfg.request_timeout;
+                    return set_interest(conn, poller, WRITABLE, token);
+                }
+                Flush::Flushed => {
+                    if conn.close_after_write {
+                        return Keep::No;
+                    }
+                    conn.state = ConnState::Reading;
+                    conn.deadline = Instant::now() + cfg.request_timeout;
+                }
+            },
+            ConnState::Reading => match try_parse(&conn.buf) {
+                Ok(ParseStep::Incomplete) => {
+                    return set_interest(conn, poller, READABLE | RDHUP, token);
+                }
+                Ok(ParseStep::Complete(req, consumed)) => {
+                    conn.buf.drain(..consumed);
+                    conn.served += 1;
+                    shared.counters.requests.inc();
+                    let start = Instant::now();
+                    let line = format!("{} {}", req.method, req.path);
+                    match route(&req, shared) {
+                        Routed::Done(resp) => {
+                            finish_request(conn, shared, &resp, req.keep_alive, &line, start);
+                        }
+                        Routed::Compute(job, hash) => {
+                            let task = ComputeTask {
+                                token,
+                                job,
+                                hash,
+                                keep_alive: req.keep_alive,
+                                line,
+                                start,
+                            };
+                            if compute_tx.send(task).is_err() {
+                                // Pool gone (shutdown): shed the request.
+                                let resp = Response::error(503, "shutting down");
+                                finish_request(conn, shared, &resp, false, "shed", start);
+                                continue;
+                            }
+                            conn.state = ConnState::Computing;
+                            conn.deadline = Instant::now()
+                                + cfg.compute_patience
+                                + cfg.request_timeout
+                                + Duration::from_secs(5);
+                            return set_interest(conn, poller, RDHUP, token);
+                        }
+                    }
+                }
+                Err(failure) => {
+                    shared.counters.requests.inc();
+                    let resp = Response::error(failure.status(), failure.message());
+                    let line = format!("unparseable request ({})", failure.message());
+                    finish_request(conn, shared, &resp, false, &line, Instant::now());
+                }
+            },
+            ConnState::Computing => return Keep::Yes,
+        }
+    }
+}
+
+/// Updates epoll interest if it changed; a failed `modify` drops the
+/// connection.
+fn set_interest(conn: &mut Conn, poller: &Poller, interest: u32, token: u64) -> Keep {
+    use std::os::fd::AsRawFd;
+    if conn.interest == interest {
+        return Keep::Yes;
+    }
+    if poller
+        .modify(conn.stream.as_raw_fd(), token, interest)
+        .is_err()
+    {
+        return Keep::No;
+    }
+    conn.interest = interest;
+    Keep::Yes
+}
+
+/// Counts, records, and queues one finished response. Leaves the
+/// connection in `Writing` with the bytes queued (the caller's pump
+/// loop flushes).
+fn finish_request(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    resp: &Response,
+    client_keep_alive: bool,
+    line: &str,
+    start: Instant,
+) {
+    if resp.status >= 400 {
+        shared.counters.errors.inc();
+    }
+    // Clean error statuses (404 miss, 400 bad params) keep the
+    // connection: framing stayed intact, so reuse is safe. Parse
+    // failures arrive with `client_keep_alive == false` — the buffer
+    // can no longer be trusted. Shutdown also stops reuse so the
+    // reactor can drain and exit promptly.
+    let keep_alive =
+        client_keep_alive && conn.served < MAX_REQUESTS_PER_CONNECTION && !shared.shutting_down();
+    let label = request_label(line);
+    let elapsed = start.elapsed();
+    shared.counters.observe_request(label, elapsed);
+    shared.flight.record(
+        "http",
+        format!("{line} -> {} in {}us", resp.status, elapsed.as_micros()),
+    );
+    conn.out
+        .extend_from_slice(&render_response(resp, keep_alive));
+    conn.close_after_write = !keep_alive;
+    conn.state = ConnState::Writing;
+    conn.deadline = start + Duration::from_secs(10).max(elapsed);
+}
+
+/// Recovers the endpoint label from a recorded `METHOD /path` line.
+fn request_label(line: &str) -> &'static str {
+    line.split_ascii_whitespace()
+        .nth(1)
+        .map_or("other", endpoint_label)
+}
+
+/// Hands every queued compute completion back to its connection (if
+/// it still exists — deadline eviction may have won the race).
+fn deliver_completions(
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    shared: &Arc<Shared>,
+    cfg: &LoopConfig,
+    compute_tx: &mpsc::Sender<ComputeTask>,
+) {
+    let done: Vec<Done> = std::mem::take(&mut *shared.completions.lock().unwrap());
+    for d in done {
+        let Some(conn) = conns.get_mut(&d.token) else {
+            continue; // evicted or hung up while computing
+        };
+        if conn.state != ConnState::Computing {
+            continue;
+        }
+        finish_request(conn, shared, &d.resp, d.keep_alive, &d.line, d.start);
+        let keep = pump(conn, poller, shared, cfg, compute_tx, d.token);
+        if keep == Keep::No {
+            drop_conn(poller, conns, d.token, shared);
+        }
+    }
+}
+
+/// Evicts every connection whose phase deadline has passed.
+fn sweep_deadlines(poller: &Poller, conns: &mut HashMap<u64, Conn>, shared: &Arc<Shared>) {
+    let now = Instant::now();
+    let expired: Vec<u64> = conns
+        .iter()
+        .filter(|(_, c)| c.deadline <= now)
+        .map(|(t, _)| *t)
+        .collect();
+    for token in expired {
+        let Some(conn) = conns.get_mut(&token) else {
+            continue;
+        };
+        let idle_keep_alive =
+            conn.state == ConnState::Reading && conn.buf.is_empty() && conn.served > 0;
+        if idle_keep_alive {
+            // A keep-alive peer that finished its business: close
+            // quietly, this is not an error.
+            shared.flight.record("http", "idle keep-alive closed");
+        } else {
+            shared.counters.timeouts.inc();
+            shared.flight.record(
+                "http",
+                format!(
+                    "connection evicted by deadline ({:?}, {} buffered, {} served)",
+                    conn.state,
+                    conn.buf.len(),
+                    conn.served
+                ),
+            );
+            // A mid-request stall gets a best-effort 408; a slowloris
+            // that never sent a byte gets a bare close.
+            if conn.state == ConnState::Reading && !conn.buf.is_empty() {
+                let resp = Response::error(408, "request timed out");
+                let _ = conn.stream.write(&render_response(&resp, false));
+            }
+        }
+        drop_conn(poller, conns, token, shared);
+    }
+}
+
+/// The blocking compute-pool worker: pull a task, run the single-
+/// writer claim protocol + measurement, queue the completion, wake
+/// the reactor.
+fn compute_worker(rx: &Arc<Mutex<mpsc::Receiver<ComputeTask>>>, shared: &Arc<Shared>) {
+    loop {
+        // Holding the lock across `recv` is fine: exactly one idle
+        // worker sleeps in `recv` while the rest queue on the mutex,
+        // and each task wakes exactly one of them.
+        let task = {
+            let rx = rx.lock().unwrap();
+            rx.recv()
+        };
+        let Ok(task) = task else {
+            return; // sender dropped: reactor exited
+        };
+        let resp = compute_response(shared, &task.job, task.hash);
+        shared.completions.lock().unwrap().push(Done {
+            token: task.token,
+            resp,
+            keep_alive: task.keep_alive,
+            line: task.line,
+            start: task.start,
+        });
+        shared.waker.wake();
+    }
+}
+
+/// How routing answered a request: inline, or deferred to the pool.
+enum Routed {
+    Done(Response),
+    Compute(Box<JobSpec>, u64),
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Routed {
+    let resp = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/stats") => stats_response(shared),
         ("GET", "/metrics") => metrics_response(shared),
@@ -518,20 +1048,22 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
             Response::json(200, "{\"shutting_down\": true}\n")
         }
         ("GET", "/query") => handle_query(req, shared),
-        ("POST", "/compute") => handle_compute(req, shared),
+        ("POST", "/compute") => return handle_compute(req, shared),
         ("GET", path) if path.starts_with("/job/") => handle_job(&path[5..], shared),
         ("GET", path) if path.starts_with("/figure/") => handle_figure(&path[8..], shared),
+        ("GET", path) if path.starts_with("/manifest/") => handle_manifest(&path[10..], shared),
         ("GET", _) => Response::error(404, "no such endpoint"),
         (_, "/query" | "/compute" | "/healthz" | "/stats" | "/metrics" | "/events") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "no such endpoint"),
-    }
+    };
+    Routed::Done(resp)
 }
 
 /// The full live snapshot behind `GET /metrics`: the server's own
 /// recorder (request counters + endpoint histograms), the scheduler's
-/// exported telemetry, and the index/inflight gauges.
+/// exported telemetry, and the index/inflight/connection gauges.
 fn telemetry_snapshot(shared: &Arc<Shared>) -> Snapshot {
     use syncperf_core::obs::GaugeMode;
     let mut snap = shared.recorder.snapshot();
@@ -553,6 +1085,11 @@ fn telemetry_snapshot(shared: &Arc<Shared>) -> Snapshot {
             GaugeMode::Set,
         ),
         (
+            "serve.connections",
+            shared.connections.load(Ordering::Relaxed),
+            GaugeMode::Set,
+        ),
+        (
             "serve.flight_events",
             shared.flight.recorded(),
             GaugeMode::Set,
@@ -569,6 +1106,7 @@ fn metrics_response(shared: &Arc<Shared>) -> Response {
         status: 200,
         content_type: "text/plain; version=0.0.4",
         body: obs::metrics::render(&telemetry_snapshot(shared)),
+        retry_after: None,
     }
 }
 
@@ -592,12 +1130,15 @@ fn events_response(req: &Request, shared: &Arc<Shared>) -> Response {
         status: 200,
         content_type: "application/x-ndjson",
         body,
+        retry_after: None,
     }
 }
 
 /// Renders a measurement answer. The measurement body is the cache
 /// entry encoding itself, so a served answer is byte-identical to the
-/// on-disk entry (and to what a scheduler recompute would produce).
+/// on-disk entry (and to what a scheduler recompute would produce) —
+/// which is also why any replica sharing the cache directory serves
+/// byte-identical responses for a cached hash.
 fn measurement_response(
     hash: u64,
     m: &Measurement,
@@ -686,37 +1227,68 @@ fn handle_figure(name: &str, shared: &Arc<Shared>) -> Response {
             status: 200,
             content_type: if svg { "image/svg+xml" } else { "text/csv" },
             body,
+            retry_after: None,
         },
         Err(_) => Response::error(404, "no such figure output (regenerate it first)"),
     }
 }
 
-fn handle_compute(req: &Request, shared: &Arc<Shared>) -> Response {
+/// `GET /manifest/<label>`: the per-label checkpoint manifest, so a
+/// client can resume a partial sweep against this replica's cache.
+/// Labels pass through the same sanitizer the scheduler writes them
+/// with, so no request can escape the cache directory.
+fn handle_manifest(label: &str, shared: &Arc<Shared>) -> Response {
+    if label.is_empty() {
+        return Response::error(400, "missing checkpoint label");
+    }
+    let path = Checkpoint::path_for(shared.index.cache().dir(), label);
+    match std::fs::read_to_string(&path) {
+        Ok(body) => Response::json(200, body),
+        Err(_) => Response::error(
+            404,
+            "no checkpoint manifest for that label (labels sanitize to [A-Za-z0-9_-])",
+        ),
+    }
+}
+
+/// `POST /compute` routing: cache hits answer inline; misses resolve
+/// to a [`JobSpec`] and defer to the compute pool.
+fn handle_compute(req: &Request, shared: &Arc<Shared>) -> Routed {
     let spec = match ComputeRequest::from_json(&req.body) {
         Ok(spec) => spec,
-        Err(msg) => return Response::error(400, &msg),
+        Err(msg) => return Routed::Done(Response::error(400, &msg)),
     };
     let Some(job) = (shared.resolver)(&spec) else {
-        return Response::error(
+        return Routed::Done(Response::error(
             422,
             "unknown kernel/executor combination (see /stats for counts, docs/SERVING.md for the spec format)",
-        );
+        ));
     };
     let hash = shared.scheduler.job_hash(&job);
 
     // Fast path: already cached and indexed.
     if let Some(pin) = shared.index.get(hash) {
         shared.counters.cache_hits.inc();
-        return measurement_response(hash, pin.measurement(), "cache", None);
+        return Routed::Done(measurement_response(hash, pin.measurement(), "cache", None));
     }
     shared.counters.cache_misses.inc();
+    Routed::Compute(Box::new(job), hash)
+}
 
-    // Single-writer-per-entry: claim the hash or wait for its owner.
+/// The blocking half of `/compute`, run on a pool worker:
+/// single-writer-per-entry via the inflight table, then the scheduler
+/// measurement.
+fn compute_response(shared: &Arc<Shared>, job: &JobSpec, hash: u64) -> Response {
+    // The queue wait may have been long enough for someone else (or
+    // another replica) to fill the cache.
+    if let Some(pin) = shared.index.get(hash) {
+        return measurement_response(hash, pin.measurement(), "cache", None);
+    }
     loop {
         match shared.inflight.claim_or_wait(hash, shared.compute_patience) {
             Claim::Owner(guard) => {
                 shared.counters.computes.inc();
-                let result = shared.scheduler.measure(job);
+                let result = shared.scheduler.measure(job.clone());
                 guard.complete();
                 return match result {
                     // The store hook has already indexed the entry.
@@ -733,7 +1305,8 @@ fn handle_compute(req: &Request, shared: &Arc<Shared>) -> Response {
                 // loop and claim ownership ourselves.
             }
             Claim::TimedOut => {
-                return Response::error(503, "computation in flight; retry later");
+                return Response::error(503, "computation in flight; retry later")
+                    .with_retry_after(1);
             }
         }
     }
@@ -745,7 +1318,8 @@ fn stats_response(shared: &Arc<Shared>) -> Response {
     let mut body = String::from("{\n");
     body.push_str(&format!(
         "\"serve\": {{\"requests\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-         \"computes\": {}, \"dedup_waits\": {}, \"evictions\": {}, \"errors\": {}}},\n",
+         \"computes\": {}, \"dedup_waits\": {}, \"evictions\": {}, \"errors\": {}, \
+         \"rejected\": {}, \"timeouts\": {}, \"connections\": {}}},\n",
         c.requests.get(),
         c.cache_hits.get(),
         c.cache_misses.get(),
@@ -753,6 +1327,9 @@ fn stats_response(shared: &Arc<Shared>) -> Response {
         c.dedup_waits.get(),
         c.evictions.get(),
         c.errors.get(),
+        c.rejected.get(),
+        c.timeouts.get(),
+        shared.connections.load(Ordering::Relaxed),
     ));
     let lat = c.latency_us.snapshot();
     body.push_str(&format!(
@@ -823,12 +1400,16 @@ mod tests {
         let c = Counters::new(&rec);
         c.requests.add(3);
         c.cache_hits.add(2);
+        c.rejected.inc();
+        c.timeouts.inc();
         c.observe_request("stats", Duration::from_micros(50));
         c.observe_request("query", Duration::from_millis(5));
         let snap = rec.snapshot();
         let stats = ServeStats::from_snapshot(&snap);
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.timeouts, 1);
         assert_eq!(snap.histogram("serve.latency_us").count(), 2);
         assert_eq!(snap.histogram("serve.endpoint.stats.latency_us").count(), 1);
         assert_eq!(snap.histogram("serve.endpoint.query.latency_us").count(), 1);
@@ -843,6 +1424,7 @@ mod tests {
         assert_eq!(endpoint_label("/events"), "events");
         assert_eq!(endpoint_label("/job/0011223344556677"), "job");
         assert_eq!(endpoint_label("/figure/fig01.csv"), "figure");
+        assert_eq!(endpoint_label("/manifest/all_figures"), "manifest");
         assert_eq!(endpoint_label("/nope"), "other");
         for label in [
             endpoint_label("/stats"),
@@ -853,5 +1435,13 @@ mod tests {
         ] {
             assert!(ENDPOINT_LABELS.contains(&label));
         }
+    }
+
+    #[test]
+    fn request_labels_recover_from_flight_lines() {
+        assert_eq!(request_label("GET /query"), "query");
+        assert_eq!(request_label("POST /compute"), "compute");
+        assert_eq!(request_label("GET /manifest/all_figures"), "manifest");
+        assert_eq!(request_label("unparseable request (x)"), "other");
     }
 }

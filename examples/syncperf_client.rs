@@ -1,49 +1,27 @@
 //! A complete round trip through the measurement query service: start
 //! a server in-process on an ephemeral port, then exercise every
-//! endpoint the way an external client would — plain HTTP/1.1 over a
-//! `TcpStream`, no client library required.
+//! endpoint the way an external client would — over a single
+//! keep-alive HTTP/1.1 connection, the same reuse path the
+//! `syncperf_load` harness measures (its [`syncperf_load::ClientConn`]
+//! is the client here).
 //!
 //! Run with: `cargo run --release --example syncperf_client`
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use syncperf_bench::serving;
 use syncperf_core::Result;
+use syncperf_load::ClientConn;
 use syncperf_sched::{SchedConfig, Scheduler};
 use syncperf_serve::{ServeConfig, Server};
 
-/// Minimal HTTP client: one request, `Connection: close`, returns
-/// (status line, body).
-fn http(addr: std::net::SocketAddr, request: &str) -> (String, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(request.as_bytes()).expect("send");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("recv");
-    let status = raw.lines().next().unwrap_or_default().to_string();
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, body)
-}
-
-fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
-    http(
-        addr,
-        &format!("GET {path} HTTP/1.1\r\nHost: syncperf\r\nConnection: close\r\n\r\n"),
-    )
-}
-
-fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (String, String) {
-    http(
-        addr,
-        &format!(
-            "POST {path} HTTP/1.1\r\nHost: syncperf\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        ),
-    )
+fn field(body: &str, key: &str) -> String {
+    body.split(&format!("\"{key}\": \""))
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap_or("?")
+        .to_string()
 }
 
 fn main() -> Result<()> {
@@ -63,41 +41,42 @@ fn main() -> Result<()> {
     let addr = server.addr();
     println!("serving on http://{addr}\n");
 
+    // Every request below travels over this ONE keep-alive connection
+    // — the server advertises `Connection: keep-alive` and the client
+    // reuses the socket until told otherwise.
+    let mut conn = ClientConn::new(&addr.to_string(), Duration::from_secs(120))
+        .map_err(|e| syncperf_core::SyncPerfError::InvalidParams(e.to_string()))?;
+    let mut http = |method: &str, path: &str, body: Option<&str>| {
+        let reply = conn.request(method, path, body).expect("request");
+        (reply.status, reply.body)
+    };
+
     // 1. Liveness.
-    let (status, body) = get(addr, "/healthz");
+    let (status, body) = http("GET", "/healthz", None);
     println!("GET /healthz           -> {status}: {}", body.trim());
 
     // 2. Compute a measurement (cold: runs on the scheduler pool).
     let spec = "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_barrier\", \"threads\": 8}";
-    let (status, body) = post(addr, "/compute", spec);
+    let (status, body) = http("POST", "/compute", Some(spec));
     println!("POST /compute (cold)   -> {status}");
-    let hash = body
-        .split("\"hash\": \"")
-        .nth(1)
-        .and_then(|s| s.split('"').next())
-        .expect("hash in response")
-        .to_string();
+    let hash = field(&body, "hash");
     println!("    computed job {hash}");
 
     // 3. The same request again is answered from the cache.
-    let (status, body) = post(addr, "/compute", spec);
-    let source = body
-        .split("\"source\": \"")
-        .nth(1)
-        .and_then(|s| s.split('"').next());
+    let (status, body) = http("POST", "/compute", Some(spec));
     println!(
         "POST /compute (warm)   -> {status} (source: {})",
-        source.unwrap_or("?")
+        field(&body, "source")
     );
 
     // 4. Fetch it directly by content hash.
-    let (status, _) = get(addr, &format!("/job/{hash}"));
+    let (status, _) = http("GET", &format!("/job/{hash}"), None);
     println!("GET /job/{hash} -> {status}");
 
     // 5. Parameter query: exact, then nearest-match.
-    let (status, _) = get(addr, "/query?kernel=omp_barrier&threads=8&exact=1");
+    let (status, _) = http("GET", "/query?kernel=omp_barrier&threads=8&exact=1", None);
     println!("GET /query (exact)     -> {status}");
-    let (status, body) = get(addr, "/query?kernel=omp_barrier&threads=6");
+    let (status, body) = http("GET", "/query?kernel=omp_barrier&threads=6", None);
     let distance = body
         .split("\"distance\": ")
         .nth(1)
@@ -108,23 +87,36 @@ fn main() -> Result<()> {
     );
 
     // 6. Figure outputs straight from the results directory.
-    let (status, body) = get(addr, "/figure/fig_demo");
+    let (status, body) = http("GET", "/figure/fig_demo", None);
     println!(
         "GET /figure/fig_demo   -> {status} ({} bytes of CSV)",
         body.len()
     );
 
-    // 7. A miss is a clean 404, not an error.
-    let (status, _) = get(addr, "/job/0000000000000000");
+    // 7. A miss is a clean 404, not an error — and it does NOT cost
+    //    the connection: the next request still reuses the socket.
+    let (status, _) = http("GET", "/job/0000000000000000", None);
     println!("GET /job/<unknown>     -> {status}");
 
-    // 8. Service counters.
-    let (status, body) = get(addr, "/stats");
+    // 8. Scrape /metrics and read the telemetry back: the per-request
+    //    counters show everything above traveling one connection.
+    let (status, body) = http("GET", "/metrics", None);
+    let snap = syncperf_core::obs::metrics::parse(&body);
+    println!(
+        "GET /metrics           -> {status} ({} requests served, {} live connections, p99 {}us)",
+        snap.counter("serve_requests"),
+        snap.gauges.get("serve_connections").copied().unwrap_or(0),
+        snap.histogram("serve_latency_us").quantile(0.99),
+    );
+
+    // 9. Service counters (human-readable twin of /metrics).
+    let (status, body) = http("GET", "/stats", None);
     println!("GET /stats             -> {status}\n{body}");
 
-    // 9. Graceful shutdown over the wire.
-    let (status, _) = post(addr, "/shutdown", "");
+    // 10. Graceful shutdown over the wire.
+    let (status, _) = http("POST", "/shutdown", Some(""));
     println!("POST /shutdown         -> {status}");
+    println!("connection reconnects: {}", conn.reconnects);
     server.wait();
     println!("server exited cleanly");
 

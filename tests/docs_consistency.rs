@@ -130,6 +130,7 @@ fn design_md_lists_all_workspace_crates() {
         "syncperf-sched",
         "syncperf-serve",
         "syncperf-dist",
+        "syncperf-load",
         "syncperf-bench",
     ] {
         assert!(design.contains(krate), "DESIGN.md missing crate {krate}");
@@ -307,6 +308,7 @@ fn serving_docs_match_the_endpoints_and_code() {
         "/job/",
         "/query",
         "/figure/",
+        "/manifest/",
         "/compute",
         "/metrics",
         "/events",
@@ -315,13 +317,22 @@ fn serving_docs_match_the_endpoints_and_code() {
     ] {
         for (doc, name) in [
             (&serving_doc, "docs/SERVING.md"),
-            (&design, "DESIGN.md"),
             (&server_src, "server.rs"),
         ] {
             assert!(doc.contains(endpoint), "{name} missing endpoint {endpoint}");
         }
+        if endpoint != "/manifest/" {
+            assert!(design.contains(endpoint), "DESIGN.md missing {endpoint}");
+        }
     }
-    for flag in ["--addr", "--workers", "--cache-bytes", "--timeout-secs"] {
+    for flag in [
+        "--addr",
+        "--workers",
+        "--cache-bytes",
+        "--timeout-secs",
+        "--max-conns",
+        "--replicas",
+    ] {
         assert!(
             serving_doc.contains(flag),
             "docs/SERVING.md missing flag {flag}"
@@ -351,6 +362,9 @@ fn serving_docs_match_the_endpoints_and_code() {
         "serve.dedup_waits",
         "serve.evictions",
         "serve.errors",
+        "serve.rejected",
+        "serve.timeouts",
+        "serve.connections",
         "serve.latency_us",
         "serve.endpoint.",
     ] {
@@ -368,6 +382,90 @@ fn serving_docs_match_the_endpoints_and_code() {
     assert!(bench_binaries().contains("serve"));
     assert!(repo_root().join("examples/syncperf_client.rs").exists());
     assert!(repo_root().join("tests/serve_consistency.rs").exists());
+}
+
+#[test]
+fn serving_event_loop_and_load_docs_match_the_code() {
+    // docs/SERVING.md's event-loop/backpressure/replica/load-harness
+    // sections describe real, tested behaviour: the reactor exists,
+    // the status codes and headers it names appear in the HTTP layer,
+    // the load harness and its tracked baseline exist, and ci.sh runs
+    // the lane the docs promise.
+    let serving_doc = read("docs/SERVING.md");
+    let server_src = read("crates/serve/src/server.rs");
+    let http_src = read("crates/serve/src/http.rs");
+    let ci = read("ci.sh");
+
+    // The event-loop architecture section names its moving parts.
+    assert!(
+        repo_root().join("crates/serve/src/reactor.rs").is_file(),
+        "the epoll reactor the docs describe is missing"
+    );
+    for needle in ["epoll", "reactor.rs", "TCP_NODELAY", "try_parse"] {
+        assert!(
+            serving_doc.contains(needle),
+            "docs/SERVING.md missing event-loop anchor {needle}"
+        );
+    }
+
+    // Backpressure/deadline semantics: every status and header the
+    // docs promise is one the code can actually produce.
+    for (needle, src, which) in [
+        ("Retry-After", &server_src, "server.rs"),
+        ("503", &server_src, "server.rs"),
+        ("431", &http_src, "http.rs"),
+        ("408", &http_src, "http.rs"),
+    ] {
+        assert!(serving_doc.contains(needle), "docs missing {needle}");
+        assert!(src.contains(needle), "{which} missing {needle}");
+    }
+    assert!(serving_doc.contains("slowloris"));
+
+    // Replica mode and the shared-cache story.
+    for needle in ["--replicas", "byte-identical", "atomic rename"] {
+        assert!(
+            serving_doc.contains(needle),
+            "docs/SERVING.md missing replica anchor {needle}"
+        );
+    }
+
+    // The load harness: crate, binary, tracked baseline, CI lane.
+    assert!(repo_root().join("crates/load/src/lib.rs").is_file());
+    assert!(bench_binaries().contains("syncperf_load"));
+    for (doc, name) in [(&serving_doc, "docs/SERVING.md"), (&ci, "ci.sh")] {
+        assert!(
+            doc.contains("syncperf_load"),
+            "{name} missing the load harness"
+        );
+        assert!(
+            doc.contains("BENCH_serve.json"),
+            "{name} missing the tracked serve baseline"
+        );
+    }
+    assert!(
+        ci.contains("--replicas 2"),
+        "ci.sh load lane must drive a replica pair"
+    );
+    let report = read("BENCH_serve.json");
+    let parsed = syncperf::core::obs::json::parse(&report).expect("BENCH_serve.json parses");
+    for field in [
+        "connections",
+        "throughput_rps",
+        "error_rate",
+        "p50_us",
+        "p99_us",
+        "check_p99_factor",
+        "check_max_error_rate",
+    ] {
+        assert!(
+            parsed.get(field).and_then(|v| v.as_f64()).is_some(),
+            "BENCH_serve.json missing numeric field {field}"
+        );
+    }
+
+    // The TLS recipe covers both documented proxies.
+    assert!(serving_doc.contains("nginx"));
+    assert!(serving_doc.contains("Caddy"));
 }
 
 #[test]

@@ -23,6 +23,14 @@ fn tmp(tag: &str) -> PathBuf {
 }
 
 fn start_server(results: &std::path::Path, cache_bytes: Option<u64>) -> Server {
+    start_server_with(results, cache_bytes, |_| {})
+}
+
+fn start_server_with(
+    results: &std::path::Path,
+    cache_bytes: Option<u64>,
+    tweak: impl FnOnce(&mut ServeConfig),
+) -> Server {
     let cfg = SchedConfig::new(2)
         .with_cache_dir(results.join(".cache"))
         .with_label("serve-it");
@@ -32,6 +40,7 @@ fn start_server(results: &std::path::Path, cache_bytes: Option<u64>) -> Server {
     serve_cfg.results_dir = results.to_path_buf();
     serve_cfg.cache_bytes = cache_bytes;
     serve_cfg.recorder = syncperf_core::obs::Recorder::enabled();
+    tweak(&mut serve_cfg);
     Server::start(serve_cfg).expect("server starts")
 }
 
@@ -331,19 +340,18 @@ fn eviction_keeps_the_cache_under_budget_and_the_index_consistent() {
 
 /// Reads exactly one HTTP response off `stream` using Content-Length
 /// framing (a keep-alive client can't read to EOF — the connection
-/// stays open).
+/// stays open). Reads the head one byte at a time and the body with
+/// `read_exact`, so it can never consume bytes belonging to the next
+/// response when the server batches several into one segment.
 fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
     let mut buf = Vec::new();
-    let header_end = loop {
-        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-            break pos + 4;
-        }
-        let mut chunk = [0u8; 512];
-        let n = stream.read(&mut chunk).expect("read headers");
+    while !buf.ends_with(b"\r\n\r\n") {
+        let mut byte = [0u8; 1];
+        let n = stream.read(&mut byte).expect("read headers");
         assert!(n > 0, "connection closed before headers completed");
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&buf).to_string();
     let status: u16 = head
         .split_ascii_whitespace()
         .nth(1)
@@ -357,13 +365,8 @@ fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
                 .then(|| v.trim().parse().ok())?
         })
         .expect("Content-Length header");
-    let mut body = buf[header_end..].to_vec();
-    while body.len() < content_length {
-        let mut chunk = [0u8; 512];
-        let n = stream.read(&mut chunk).expect("read body");
-        assert!(n > 0, "connection closed mid-body");
-        body.extend_from_slice(&chunk[..n]);
-    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
     (status, head, String::from_utf8_lossy(&body).to_string())
 }
 
@@ -545,5 +548,435 @@ fn serve_stats_round_trip_through_snapshot() {
     assert_eq!(stats.requests, 2);
     assert_eq!(stats.cache_misses, 1);
     assert_eq!(stats.errors, 1);
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn stalled_connection_is_evicted_without_blocking_others() {
+    let results = tmp("slowloris");
+    // A short read deadline so the test finishes quickly.
+    let server = start_server_with(&results, None, |cfg| {
+        cfg.request_timeout = Duration::from_millis(300);
+    });
+    let addr = server.addr();
+
+    // The slowloris: connect and send nothing at all.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // A second peer drip-feeds half a request and then stalls too.
+    let mut half = TcpStream::connect(addr).expect("connect");
+    half.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    half.write_all(b"GET /healthz HT").expect("partial head");
+
+    // While both are stalled, other requests sail through.
+    for _ in 0..3 {
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, 200, "stalled peers must not block the loop");
+    }
+
+    // The deadline evicts both: the silent one reads EOF, the
+    // mid-request one gets a best-effort 408 first.
+    let mut rest = Vec::new();
+    stalled.read_to_end(&mut rest).expect("server closes");
+    assert!(rest.is_empty(), "a peer that never spoke gets no bytes");
+    let mut rest = String::new();
+    half.read_to_string(&mut rest).expect("server closes");
+    assert!(
+        rest.starts_with("HTTP/1.1 408"),
+        "a mid-request stall gets 408: {rest:?}"
+    );
+
+    let (_, stats) = get(addr, "/stats");
+    let timeouts: u64 = stats
+        .split_once("\"timeouts\": ")
+        .and_then(|(_, rest)| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .expect("timeouts counter in stats");
+    assert!(timeouts >= 2, "both stalls counted: {stats}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn oversized_heads_are_rejected_with_431() {
+    let results = tmp("431");
+    let server = start_server(&results, None);
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // 20 KiB of header without a terminator blows the 16 KiB head cap.
+    let mut raw = b"GET /healthz HTTP/1.1\r\nX-Filler: ".to_vec();
+    raw.resize(20 * 1024, b'a');
+    stream.write_all(&raw).expect("send oversized head");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("recv");
+    assert!(
+        reply.starts_with("HTTP/1.1 431"),
+        "oversized head answers 431 and closes: {reply:?}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn malformed_pipelining_answers_then_closes() {
+    let results = tmp("pipeline");
+    let server = start_server(&results, None);
+    let addr = server.addr();
+
+    // One write carrying a valid request pipelined with garbage. The
+    // valid one is answered 200; the garbage gets 400 with
+    // `Connection: close`, and the socket then reads EOF — the server
+    // must not try to re-interpret bytes after a framing error.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nNONSENSE VERBIAGE\r\n\r\n")
+        .expect("send pipelined");
+    let (status, head, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "the well-formed request is served");
+    assert!(head.contains("Connection: keep-alive\r\n"));
+    let (status, head, _) = read_one_response(&mut stream);
+    assert_eq!(status, 400, "the garbage is rejected");
+    assert!(head.contains("Connection: close\r\n"));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("drain");
+    assert!(rest.is_empty(), "connection closed after the parse error");
+
+    // Well-formed pipelining, by contrast, answers both and stays open.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nGET /stats HTTP/1.1\r\nHost: t\r\n\r\n",
+        )
+        .expect("send pipelined pair");
+    let (status, _, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    let (status, head, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: keep-alive\r\n"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn connection_cap_sheds_load_with_503_and_retry_after() {
+    let results = tmp("cap");
+    let server = start_server_with(&results, None, |cfg| {
+        cfg.max_connections = 2;
+    });
+    let addr = server.addr();
+
+    // Fill the cap with two keep-alive connections (a served request
+    // guarantees each is registered, not just queued in the backlog).
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let (status, _, _) = read_one_response(&mut stream);
+        assert_eq!(status, 200);
+        held.push(stream);
+    }
+
+    // The third connection is shed at accept time.
+    let mut extra = TcpStream::connect(addr).expect("connect");
+    extra
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reply = String::new();
+    extra.read_to_string(&mut reply).expect("recv rejection");
+    assert!(
+        reply.starts_with("HTTP/1.1 503"),
+        "over-cap accept answers 503: {reply:?}"
+    );
+    assert!(
+        reply.contains("Retry-After: 1\r\n"),
+        "backpressure advertises a retry hint: {reply:?}"
+    );
+
+    // Releasing one held connection frees a slot for a newcomer.
+    // Until the reactor notices the close, a probe may still be shed
+    // (503, or a reset if its bytes arrive after the one-shot close)
+    // — retry until one lands.
+    drop(held.pop());
+    let probe = |addr| -> std::io::Result<bool> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")?;
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply)?;
+        Ok(reply.starts_with("HTTP/1.1 200"))
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !probe(addr).unwrap_or(false) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "a freed slot must become usable"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (_, stats) = get(addr, "/stats");
+    let rejected: u64 = stats
+        .split("\"rejected\": ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("stats carry the rejected counter");
+    assert!(rejected >= 1, "the shed connection was counted: {stats}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn manifest_endpoint_serves_checkpoints_for_sweep_resume() {
+    let results = tmp("manifest");
+    let cache_dir = results.join(".cache");
+
+    // A partial sweep: two of three jobs done, checkpointed under the
+    // label a figure-regeneration run would use.
+    let sched = Scheduler::new(
+        SchedConfig::new(1)
+            .with_cache_dir(cache_dir.clone())
+            .with_label("resume-it"),
+    );
+    let specs = [
+        ("omp_barrier", 4u32),
+        ("omp_barrier", 8),
+        ("omp_critical_int", 4),
+    ];
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|(kernel, threads)| {
+            let req = ComputeRequest {
+                executor: "cpu-sim".into(),
+                kernel: (*kernel).to_string(),
+                threads: *threads,
+                ..ComputeRequest::default()
+            };
+            serving::resolve(&req).expect("resolves")
+        })
+        .collect();
+    let mut checkpoint = syncperf_sched::Checkpoint::fresh(&cache_dir, "resume-it");
+    for job in &jobs[..2] {
+        let hash = sched.job_hash(job);
+        sched.measure(job.clone()).expect("measure");
+        checkpoint.record(hash);
+    }
+    checkpoint.save().expect("checkpoint saved");
+
+    let server = start_server(&results, None);
+    let addr = server.addr();
+
+    // The manifest round-trips over HTTP and parses as the checkpoint
+    // schema.
+    let (status, body) = get(addr, "/manifest/resume-it");
+    assert_eq!(status, 200, "manifest served: {body}");
+    let v = syncperf_core::obs::json::parse(&body).expect("manifest is JSON");
+    assert_eq!(
+        v.get("label").and_then(|l| l.as_str()),
+        Some("resume-it"),
+        "label survives: {body}"
+    );
+    let done: Vec<String> = match v.get("done") {
+        Some(syncperf_core::obs::json::Value::Array(items)) => items
+            .iter()
+            .filter_map(|i| i.as_str().map(str::to_string))
+            .collect(),
+        other => panic!("manifest carries a done array, got {other:?}"),
+    };
+    assert_eq!(done.len(), 2);
+
+    // A resuming client fetches every done hash from the cache, then
+    // computes only what's missing.
+    for hash in &done {
+        let (status, body) = get(addr, &format!("/job/{hash}"));
+        assert_eq!(status, 200, "done hashes are cached: {body}");
+        assert_eq!(field(&body, "source"), "cache");
+    }
+    let (status, body) = post(
+        addr,
+        "/compute",
+        "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_critical_int\", \"threads\": 4}",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        field(&body, "source"),
+        "computed",
+        "the missing job is the only recompute: {body}"
+    );
+    let (_, stats) = get(addr, "/stats");
+    assert!(
+        stats.contains("\"computes\": 1"),
+        "resume recomputed exactly the missing job: {stats}"
+    );
+
+    // Unknown labels 404, empty labels 400, and traversal-looking
+    // labels sanitize to a plain miss rather than escaping the dir.
+    let (status, _) = get(addr, "/manifest/no-such-label");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/manifest/");
+    assert_eq!(status, 400);
+    let (status, _) = get(addr, "/manifest/..%2F..%2Fetc%2Fpasswd");
+    assert_eq!(status, 404, "traversal sanitizes to a missing label");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn replica_pair_serves_byte_identical_answers_from_a_shared_cache() {
+    let results = tmp("replicas");
+    // Two replicas over one cache directory, re-scanning quickly. This
+    // is the in-process equivalent of `serve --replicas 2` (the bin
+    // spawns child processes; each child runs exactly this server).
+    let replica_a = start_server_with(&results, None, |cfg| {
+        cfg.index_refresh = Duration::from_millis(50);
+    });
+    let replica_b = start_server_with(&results, None, |cfg| {
+        cfg.index_refresh = Duration::from_millis(50);
+    });
+
+    let spec =
+        "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_atomicadd_scalar_int\", \"threads\": 4}";
+    let (status, body) = post(replica_a.addr(), "/compute", spec);
+    assert_eq!(status, 200, "compute on replica A: {body}");
+    let hash = field(&body, "hash").to_string();
+    let from_a = measurement_of(&body);
+
+    // Replica B picks the foreign write up via re-scan and serves the
+    // identical bytes — without computing anything itself.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let from_b = loop {
+        let (status, body) = get(replica_b.addr(), &format!("/job/{hash}"));
+        if status == 200 {
+            break measurement_of(&body);
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica B must index the foreign write"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(from_b, from_a, "replicas serve byte-identical answers");
+    let (_, stats_b) = get(replica_b.addr(), "/stats");
+    assert!(
+        stats_b.contains("\"computes\": 0"),
+        "B served from the shared cache: {stats_b}"
+    );
+
+    // The single-replica reference: a fresh server over the same
+    // directory answers with the same bytes.
+    replica_a.shutdown();
+    replica_b.shutdown();
+    let single = start_server(&results, None);
+    let (status, body) = get(single.addr(), &format!("/job/{hash}"));
+    assert_eq!(status, 200);
+    assert_eq!(
+        measurement_of(&body),
+        from_a,
+        "single-replica serving is byte-identical to the pair"
+    );
+    single.shutdown();
+    let _ = std::fs::remove_dir_all(&results);
+}
+
+#[test]
+fn concurrent_multi_writer_computes_share_the_cache_without_tears() {
+    let results = tmp("multiwriter");
+    let replica_a = start_server_with(&results, None, |cfg| {
+        cfg.index_refresh = Duration::from_millis(50);
+    });
+    let replica_b = start_server_with(&results, None, |cfg| {
+        cfg.index_refresh = Duration::from_millis(50);
+    });
+    let addr_a = replica_a.addr();
+    let addr_b = replica_b.addr();
+
+    // Identical jobs race across both replicas (each may compute its
+    // own copy — exactly-once cluster-wide is NOT guaranteed without
+    // the dist coordinator), while distinct jobs land on each side.
+    let identical = "{\"executor\": \"cpu-sim\", \"kernel\": \"omp_barrier\", \"threads\": 8}";
+    let racers: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = if i % 2 == 0 { addr_a } else { addr_b };
+            std::thread::spawn(move || post(addr, "/compute", identical))
+        })
+        .collect();
+    let distinct: Vec<_> = [(addr_a, 2u32), (addr_b, 4), (addr_a, 16), (addr_b, 32)]
+        .into_iter()
+        .map(|(addr, threads)| {
+            std::thread::spawn(move || {
+                let spec = format!(
+                    "{{\"executor\": \"cpu-sim\", \"kernel\": \"omp_critical_int\", \"threads\": {threads}}}"
+                );
+                post(addr, "/compute", &spec)
+            })
+        })
+        .collect();
+
+    let mut identical_bodies = Vec::new();
+    for r in racers {
+        let (status, body) = r.join().unwrap();
+        assert_eq!(status, 200, "identical racer answered: {body}");
+        identical_bodies.push(measurement_of(&body));
+    }
+    assert!(
+        identical_bodies.windows(2).all(|w| w[0] == w[1]),
+        "every answer for the identical job is byte-identical cluster-wide"
+    );
+    for d in distinct {
+        let (status, body) = d.join().unwrap();
+        assert_eq!(status, 200, "distinct job answered: {body}");
+    }
+
+    // No index tears: both indexes are internally consistent, and
+    // every on-disk entry decodes with its embedded hash intact.
+    assert!(replica_a.index().is_consistent());
+    assert!(replica_b.index().is_consistent());
+    let cache = syncperf_sched::Cache::new(results.join(".cache"));
+    let entries = cache.entries();
+    assert!(entries.len() >= 5, "identical + 4 distinct jobs stored");
+    for info in &entries {
+        let text = std::fs::read_to_string(cache.entry_path(info.hash)).expect("entry reads");
+        syncperf_sched::cache::decode_measurement(info.hash, &text)
+            .expect("every multi-writer entry decodes cleanly");
+    }
+
+    // Once both replicas settle, the identical job's bytes match
+    // through either front end.
+    std::thread::sleep(Duration::from_millis(200));
+    let (status, via_a) = post(addr_a, "/compute", identical);
+    assert_eq!(status, 200);
+    let (status, via_b) = post(addr_b, "/compute", identical);
+    assert_eq!(status, 200);
+    assert_eq!(measurement_of(&via_a), identical_bodies[0]);
+    assert_eq!(measurement_of(&via_b), identical_bodies[0]);
+
+    replica_a.shutdown();
+    replica_b.shutdown();
     let _ = std::fs::remove_dir_all(&results);
 }
