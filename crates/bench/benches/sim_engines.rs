@@ -101,6 +101,59 @@ fn bench_fast_vs_full(c: &mut Criterion) {
     g.finish();
 }
 
+/// The trace-compilation speedup ladder on one representative kernel
+/// point: the per-rep plan interpreter (full-stepping oracle), the
+/// flat branchless op-trace, and the batched struct-of-arrays plan
+/// table amortizing one pass over a whole parameter sweep. All three
+/// produce bit-identical results; this group tracks what the lowering
+/// buys in raw evaluation speed.
+fn bench_trace_vs_interp(c: &mut Criterion) {
+    let rec = syncperf_core::obs::Recorder::disabled();
+    let model = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+    let body = kernel::omp_atomic_update_scalar(DType::I32).test;
+    let threads = 16u32;
+    let reps = 10_000u64;
+    let placement = Placement::new(&SYSTEM3.cpu, Affinity::Spread, threads);
+
+    let mut g = c.benchmark_group("trace_vs_interp");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+
+    g.bench_function("interp_10k", |b| {
+        b.iter(|| {
+            syncperf_cpu_sim::run_full_stepping(&model, &placement, &body, reps, &rec).unwrap()
+        });
+    });
+
+    let trace = syncperf_cpu_sim::trace::OpTrace::compile_for(&model, &placement, &body);
+    g.bench_function("trace_10k", |b| {
+        let lanes = threads as usize;
+        let mut order = Vec::with_capacity(lanes);
+        b.iter(|| {
+            let mut t = vec![0u64; lanes];
+            let mut pending = vec![0u64; lanes];
+            let mut episodes = 0u64;
+            for _ in 0..reps {
+                episodes += trace.step_rep(&mut t, &mut pending, &mut order);
+            }
+            (t, episodes)
+        });
+    });
+
+    // The batched path evaluates an 8-point thread sweep in one pass;
+    // Criterion reports the whole sweep, so divide by 8 to compare
+    // per-point cost against the rows above.
+    let sweep: Vec<Placement> = [2u32, 4, 6, 8, 12, 16, 24, 32]
+        .iter()
+        .map(|&t| Placement::new(&SYSTEM3.cpu, Affinity::Spread, t))
+        .collect();
+    g.bench_function("batched_8pt_10k", |b| {
+        b.iter(|| syncperf_cpu_sim::trace::run_batch(&model, &body, &sweep, reps).unwrap());
+    });
+    g.finish();
+}
+
 fn bench_full_protocol(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocol");
     g.measurement_time(Duration::from_secs(2));
@@ -145,6 +198,7 @@ criterion_group!(
     bench_cpu_engine,
     bench_gpu_engine,
     bench_fast_vs_full,
+    bench_trace_vs_interp,
     bench_full_protocol,
     bench_reductions
 );

@@ -22,7 +22,7 @@ use syncperf_core::obs::json;
 
 /// Cold `all_figures --jobs 2` wall time before the steady-state fast
 /// path landed: the pre-fast-path engines, rebuilt and re-timed under
-/// this binary's exact methodology (RAM-backed scratch, best of 3).
+/// this binary's exact methodology (RAM-backed scratch, best of 5).
 const BASELINE_BEFORE_MS: f64 = 934.0;
 
 /// `--check` fails when the fresh measurement exceeds the committed
@@ -31,7 +31,7 @@ const REGRESSION_FACTOR: f64 = 1.25;
 
 /// Timed cold runs; the minimum is the tracked number (least
 /// scheduler/OS noise).
-const RUNS: usize = 3;
+const RUNS: usize = 5;
 
 fn usage() -> ! {
     eprintln!("usage: bench_report [--check] [--out PATH]");

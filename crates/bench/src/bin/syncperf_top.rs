@@ -205,10 +205,26 @@ fn render_frame(snap: &Snapshot, prev: Option<&Snapshot>, dt: Duration, addr: &s
         ));
     }
 
+    // Plan-compilation section: present once the scheduler has
+    // grouped at least one same-shape parameter sweep for batched
+    // plan-table evaluation.
+    let plan_batches = snap.counter("sched_plan_batches");
+    if plan_batches > 0 {
+        out.push_str(&format!(
+            "\nplan: {plan_batches} batches   {} points   {} primed   compile {}us   trace ops {}\n",
+            snap.counter("sched_plan_batch_points"),
+            snap.counter("sched_plan_primed_jobs"),
+            snap.counter("sched_plan_compile_us"),
+            snap.counter("plan_trace_ops"),
+        ));
+    }
+
     for (title, name) in [
         ("sched wait", "sched_wait_us"),
         ("sched hit svc", "sched_service_us_hit"),
         ("sched miss svc", "sched_service_us_miss"),
+        ("plan compile", "plan_compile_us"),
+        ("plan batch", "plan_batch_size"),
         ("dist wait", "dist_wait_us"),
         ("dist svc", "dist_service_us"),
     ] {
@@ -309,6 +325,28 @@ mod tests {
         assert!(frame.contains("90 sent / 88 results"));
         assert!(frame.contains("coordinator 11"));
         assert!(frame.contains("dist svc"));
+    }
+
+    #[test]
+    fn frame_renders_plan_section_only_after_batching() {
+        let snap = sample_snapshot();
+        let frame = render_frame(&snap, None, Duration::from_secs(1), "test:0");
+        assert!(!frame.contains("plan:"), "no plan section without batches");
+
+        let rec = obs::Recorder::enabled();
+        rec.counter("sched_plan_batches").add(2);
+        rec.counter("sched_plan_batch_points").add(9);
+        rec.counter("sched_plan_primed_jobs").add(9);
+        rec.counter("sched_plan_compile_us").add(120);
+        rec.counter("plan_trace_ops").add(340);
+        rec.histogram("plan_batch_size").observe(4);
+        rec.histogram("plan_batch_size").observe(5);
+        let frame = render_frame(&rec.snapshot(), None, Duration::from_secs(1), "test:0");
+        assert!(
+            frame.contains("plan: 2 batches   9 points   9 primed   compile 120us   trace ops 340"),
+            "frame:\n{frame}"
+        );
+        assert!(frame.contains("plan batch"));
     }
 
     #[test]

@@ -447,7 +447,10 @@ pub fn cache_stats_json(
          \"wait_us_p50\":{},\"wait_us_p99\":{},\
          \"service_hit_us_p50\":{},\"service_hit_us_p99\":{},\
          \"service_miss_us_p50\":{},\"service_miss_us_p99\":{},\
-         \"queue_depth_peak\":{},\"hit_rate\":{:.6}",
+         \"queue_depth_peak\":{},\
+         \"plan_batches\":{},\"plan_batch_points\":{},\
+         \"plan_primed_jobs\":{},\"plan_compile_us\":{},\
+         \"hit_rate\":{:.6}",
         stats.jobs,
         stats.executed,
         stats.cache_hits,
@@ -463,6 +466,10 @@ pub fn cache_stats_json(
         stats.service_miss_us_p50,
         stats.service_miss_us_p99,
         stats.queue_depth_peak,
+        stats.plan_batches,
+        stats.plan_batch_points,
+        stats.plan_primed_jobs,
+        stats.plan_compile_us,
         stats.hit_rate(),
     );
     if let Some(d) = dist {
@@ -749,6 +756,10 @@ mod tests {
             steals: 1,
             wait_us_p99: 120,
             queue_depth_peak: 4,
+            plan_batches: 2,
+            plan_batch_points: 6,
+            plan_primed_jobs: 6,
+            plan_compile_us: 37,
             ..Default::default()
         };
         let json = cache_stats_json(&stats, None);
@@ -756,6 +767,10 @@ mod tests {
         assert!(json.contains("\"cache_hits\":8"));
         assert!(json.contains("\"wait_us_p99\":120"));
         assert!(json.contains("\"queue_depth_peak\":4"));
+        assert!(json.contains("\"plan_batches\":2"));
+        assert!(json.contains("\"plan_batch_points\":6"));
+        assert!(json.contains("\"plan_primed_jobs\":6"));
+        assert!(json.contains("\"plan_compile_us\":37"));
         assert!(json.contains("\"hit_rate\":0.8"));
         assert!(
             !json.contains("dist_"),

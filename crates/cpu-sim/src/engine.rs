@@ -26,6 +26,7 @@ use crate::config::CpuModel;
 use crate::memline::{classify, line_of, Access, ContentionMap};
 use crate::plan::{units_to_ns, PlanOp, RunPlan};
 use crate::topology::Placement;
+use crate::trace::OpTrace;
 
 /// With a live recorder the first `OBSERVED_REPS` repetitions are
 /// always stepped with per-op event emission (bounding trace volume the
@@ -157,17 +158,28 @@ fn run_impl(
     let has_barriers = plan.barriers_per_rep() > 0;
     let mut have_prev = false;
 
+    // Reps inside the emit window (and the full-stepping oracle) run
+    // the op-by-op interpreter, which can narrate per-op events. Every
+    // other rep runs the lowered branchless trace — bit-exact against
+    // the interpreter (see [`crate::trace`]) and compiled lazily on
+    // first use.
+    let mut trace: Option<OpTrace> = None;
     let mut rep = 0u64;
     while rep < reps {
-        step_rep(
-            &plan,
-            body,
-            &mut s,
-            rec,
-            rep < emit_reps,
-            rep,
-            &mut barrier_episodes,
-        );
+        if force_full || rep < emit_reps {
+            step_rep(
+                &plan,
+                body,
+                &mut s,
+                rec,
+                rep < emit_reps,
+                rep,
+                &mut barrier_episodes,
+            );
+        } else {
+            let tr = trace.get_or_insert_with(|| compile_trace(&plan, rec, enabled));
+            barrier_episodes += tr.step_rep(&mut s.t, &mut s.pending, &mut s.order);
+        }
         rep += 1;
         if force_full {
             continue;
@@ -213,6 +225,20 @@ fn run_impl(
         per_thread_ns: s.t.iter().map(|&u| units_to_ns(u)).collect(),
         barrier_episodes,
     })
+}
+
+/// Lowers the plan to a flat trace, recording `plan.compile_us` and
+/// `plan.trace_ops` when observation is on.
+fn compile_trace(plan: &RunPlan, rec: &Recorder, enabled: bool) -> OpTrace {
+    if !enabled {
+        return OpTrace::compile(plan);
+    }
+    let start = std::time::Instant::now();
+    let tr = OpTrace::compile(plan);
+    rec.histogram("plan.compile_us")
+        .observe(start.elapsed().as_micros() as u64);
+    rec.counter("plan.trace_ops").add(tr.trace_ops() as u64);
+    tr
 }
 
 /// Steps one full repetition for all threads: segment by segment with a

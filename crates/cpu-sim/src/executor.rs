@@ -182,6 +182,30 @@ impl CpuSimExecutor {
         self.cache.truncate(ENGINE_CACHE_CAP);
         Ok((result, uses_hyperthreads))
     }
+
+    /// Seeds the engine memo with a precomputed result for
+    /// `(body, params)`. The scheduler's batched sweep evaluation
+    /// computes many same-shape engine runs in one struct-of-arrays
+    /// pass ([`crate::trace::run_batch`]) and hands each job its
+    /// slice; the protocol's executions then hit the memo instead of
+    /// re-simulating. Priming is invisible to results: the engine is
+    /// deterministic, the memo is bypassed whenever a recorder is
+    /// live, and jitter is drawn after the (possibly memoized) run.
+    pub fn prime_engine(&mut self, body: &[CpuOp], params: &ExecParams, result: EngineResult) {
+        let placement = Placement::new(&self.system.cpu, params.affinity, params.threads);
+        self.cache.insert(
+            0,
+            CacheEntry {
+                body: body.to_vec(),
+                threads: params.threads,
+                affinity: params.affinity,
+                reps: params.timed_reps(),
+                result,
+                uses_hyperthreads: placement.uses_hyperthreads(),
+            },
+        );
+        self.cache.truncate(ENGINE_CACHE_CAP);
+    }
 }
 
 impl Executor for CpuSimExecutor {

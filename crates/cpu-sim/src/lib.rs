@@ -52,6 +52,7 @@ pub mod plan;
 pub mod program;
 pub mod refengine;
 pub mod topology;
+pub mod trace;
 pub mod trace_tap;
 
 pub use config::{BarrierKind, CpuModel};

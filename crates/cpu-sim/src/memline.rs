@@ -12,6 +12,84 @@ use syncperf_core::{CpuOp, DType, Target};
 
 use crate::topology::Placement;
 
+/// FNV-1a hasher for [`LineId`] keys. The line map is probed once per
+/// `(thread, op)` during plan compilation — batched sweep compilation
+/// runs that per point — and SipHash's per-lookup setup cost is
+/// measurable there. Line ids are tiny structured keys, not
+/// attacker-controlled input, so a fast non-keyed hash is fine.
+#[derive(Debug, Default, Clone)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`].
+#[derive(Debug, Default, Clone)]
+struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// Dense id set for core/socket numbers: a 256-bit bitmask with an
+/// exact spill set for larger ids (no shipped or configurable topology
+/// comes close to 256 cores, but correctness must not depend on that).
+/// Membership and cardinality are O(1) on the mask path, which is what
+/// makes [`ContentionMap::analyze`] and [`ContentionMap::contenders`]
+/// cheap enough to run once per sweep point during batched plan
+/// compilation.
+#[derive(Debug, Default, Clone)]
+struct IdSet {
+    words: [u64; 4],
+    spill: BTreeSet<u32>,
+}
+
+impl IdSet {
+    fn insert(&mut self, id: u32) {
+        if id < 256 {
+            self.words[(id / 64) as usize] |= 1u64 << (id % 64);
+        } else {
+            self.spill.insert(id);
+        }
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        if id < 256 {
+            self.words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+        } else {
+            self.spill.contains(&id)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+            + self.spill.len()
+    }
+}
+
 /// Identifies one cache line of the simulated address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LineId {
@@ -68,9 +146,21 @@ pub fn lock_line() -> LineId {
 /// Static per-line sharing facts.
 #[derive(Debug, Default, Clone)]
 pub struct LineStats {
-    writer_cores: BTreeSet<u32>,
-    accessor_cores: BTreeSet<u32>,
-    sockets: BTreeSet<u32>,
+    writer_cores: IdSet,
+    accessor_cores: IdSet,
+    sockets: IdSet,
+}
+
+impl LineStats {
+    /// Records that `slot`'s core touches the line, writing it when
+    /// `writes`.
+    fn touch(&mut self, core: u32, socket: u32, writes: bool) {
+        self.accessor_cores.insert(core);
+        self.sockets.insert(socket);
+        if writes {
+            self.writer_cores.insert(core);
+        }
+    }
 }
 
 /// What one op does to memory, for analysis purposes.
@@ -109,7 +199,7 @@ pub fn classify(op: &CpuOp) -> Access {
 /// The static contention map of one (body, placement) combination.
 #[derive(Debug, Clone)]
 pub struct ContentionMap {
-    lines: HashMap<LineId, LineStats>,
+    lines: HashMap<LineId, LineStats, FnvBuild>,
     line_bytes: usize,
 }
 
@@ -118,37 +208,50 @@ impl ContentionMap {
     /// threads execute `body`.
     #[must_use]
     pub fn analyze(body: &[CpuOp], placement: &Placement, line_bytes: usize) -> Self {
-        let mut lines: HashMap<LineId, LineStats> = HashMap::new();
-        for tid in 0..placement.len() {
-            let slot = placement.slot(tid);
-            for op in body {
-                // Explicit critical brackets write the lock line even
-                // though they carry no memory operand of their own.
-                if matches!(op, CpuOp::CriticalBegin { .. } | CpuOp::CriticalEnd { .. }) {
-                    let s = lines.entry(lock_line()).or_default();
-                    s.writer_cores.insert(slot.core);
-                    s.accessor_cores.insert(slot.core);
-                    s.sockets.insert(slot.socket);
-                    continue;
+        let mut lines: HashMap<LineId, LineStats, FnvBuild> = HashMap::default();
+        // Op-major so every op resolves its line map entry once where
+        // the line is thread-independent (scalars, the lock line) —
+        // the sweep's batched plan compilation runs this per point.
+        for op in body {
+            // Explicit critical brackets write the lock line even
+            // though they carry no memory operand of their own.
+            let (access, hits_lock) = match op {
+                CpuOp::CriticalBegin { .. } | CpuOp::CriticalEnd { .. } => (Access::None, true),
+                op => match classify(op) {
+                    // The lock line is written by every participant.
+                    Access::CriticalWrite(dt, tg) => (Access::Write(dt, tg), true),
+                    a => (a, false),
+                },
+            };
+            if hits_lock {
+                let s = lines.entry(lock_line()).or_default();
+                for tid in 0..placement.len() {
+                    let slot = placement.slot(tid);
+                    s.touch(slot.core, slot.socket, true);
                 }
-                let (line, writes) = match classify(op) {
-                    Access::None => continue,
-                    Access::Read(dt, tg) => (line_of(dt, tg, tid, line_bytes), false),
-                    Access::Write(dt, tg) => (line_of(dt, tg, tid, line_bytes), true),
-                    Access::CriticalWrite(dt, tg) => {
-                        // The lock line is written by every participant.
-                        let s = lines.entry(lock_line()).or_default();
-                        s.writer_cores.insert(slot.core);
-                        s.accessor_cores.insert(slot.core);
-                        s.sockets.insert(slot.socket);
-                        (line_of(dt, tg, tid, line_bytes), true)
+            }
+            let (dt, tg, writes) = match access {
+                Access::None => continue,
+                Access::Read(dt, tg) => (dt, tg, false),
+                Access::Write(dt, tg) | Access::CriticalWrite(dt, tg) => (dt, tg, true),
+            };
+            match tg {
+                Target::SharedScalar(_) => {
+                    // One line regardless of thread: probe the map once.
+                    let s = lines.entry(line_of(dt, tg, 0, line_bytes)).or_default();
+                    for tid in 0..placement.len() {
+                        let slot = placement.slot(tid);
+                        s.touch(slot.core, slot.socket, writes);
                     }
-                };
-                let s = lines.entry(line).or_default();
-                s.accessor_cores.insert(slot.core);
-                s.sockets.insert(slot.socket);
-                if writes {
-                    s.writer_cores.insert(slot.core);
+                }
+                Target::Private { .. } => {
+                    for tid in 0..placement.len() {
+                        let slot = placement.slot(tid);
+                        lines
+                            .entry(line_of(dt, tg, tid, line_bytes))
+                            .or_default()
+                            .touch(slot.core, slot.socket, writes);
+                    }
                 }
             }
         }
@@ -182,7 +285,7 @@ impl ContentionMap {
         } else {
             &s.writer_cores
         };
-        let others = set.iter().filter(|&&c| c != my_core).count() as u32;
+        let others = (set.len() - usize::from(set.contains(my_core))) as u32;
         let cross = s.sockets.len() > 1;
         (others, cross)
     }

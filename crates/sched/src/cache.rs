@@ -1,11 +1,14 @@
 //! The content-addressed on-disk result cache.
 //!
 //! One JSON file per job under `<results>/.cache/<hash16>.json`, where
-//! the name is the job's content hash. Writes go through a temp file
-//! plus atomic rename so a crashed or concurrent run can never leave a
-//! half-written entry under the final name; loads are
-//! corruption-tolerant — any parse or validation failure is treated as
-//! a miss (recompute), never an error.
+//! the name is the job's content hash. Entries are written directly to
+//! their final name: loads are corruption-tolerant — any parse or
+//! validation failure (including a torn or half-written file) is
+//! treated as a miss (recompute), never an error — and entry bytes are
+//! a deterministic function of the hash, so concurrent writers of the
+//! same entry produce identical bytes. A sweep stores thousands of
+//! entries and each syscall is real kernel time, which is why the
+//! write path doesn't pay for a temp file plus rename.
 //!
 //! As defense in depth, every entry also embeds its own hash (the
 //! `"hash"` field); a load rejects any entry whose stored hash
@@ -84,10 +87,7 @@ impl Cache {
         decode_measurement(hash, &text)
     }
 
-    /// Stores `m` as the entry for `hash`: write to a temp file in the
-    /// same directory, then rename over the final name. Rename within
-    /// one directory is atomic, so readers only ever see complete
-    /// entries.
+    /// Stores `m` as the entry for `hash`.
     ///
     /// # Errors
     ///
@@ -97,12 +97,13 @@ impl Cache {
         self.store_raw(hash, &encode_measurement(hash, m))
     }
 
-    /// Stores already-encoded entry text under `hash`, with the same
-    /// temp-file-plus-rename discipline as [`Cache::store`]. The
-    /// distributed coordinator uses this to persist entry bytes exactly
-    /// as a worker sent them (after validating with
-    /// [`decode_measurement`]), so a distributed cache file is
-    /// byte-identical to a locally stored one.
+    /// Stores already-encoded entry text under `hash`, writing the
+    /// final name directly (see the module docs for why a reader
+    /// racing the write stays correct). The distributed coordinator
+    /// uses this to persist entry bytes exactly as a worker sent them
+    /// (after validating with [`decode_measurement`]), so a
+    /// distributed cache file is byte-identical to a locally stored
+    /// one.
     ///
     /// # Errors
     ///
@@ -110,10 +111,8 @@ impl Cache {
     pub fn store_raw(&self, hash: u64, encoded: &str) -> std::io::Result<()> {
         self.dir_ensured
             .call_once(|| drop(std::fs::create_dir_all(&self.dir)));
-        let tmp = self
-            .dir
-            .join(format!(".{}.tmp.{}", hex16(hash), std::process::id()));
-        if let Err(e) = std::fs::write(&tmp, encoded) {
+        let path = self.entry_path(hash);
+        if let Err(e) = std::fs::write(&path, encoded) {
             // The directory may have been removed since the one-time
             // guard ran (tests and eviction churn do this): recreate it
             // and retry once rather than failing every later store.
@@ -121,9 +120,9 @@ impl Cache {
                 return Err(e);
             }
             std::fs::create_dir_all(&self.dir)?;
-            std::fs::write(&tmp, encoded)?;
+            std::fs::write(&path, encoded)?;
         }
-        std::fs::rename(&tmp, self.entry_path(hash))
+        Ok(())
     }
 
     /// Lists every entry currently on disk (files named
@@ -157,6 +156,23 @@ impl Cache {
         out
     }
 
+    /// Lists just the content hashes of the entries on disk — one
+    /// directory scan, no per-file `stat`. The scheduler seeds its
+    /// presence set from this so a cold sweep doesn't pay one failed
+    /// `open()` per miss probe.
+    #[must_use]
+    pub fn hashes(&self) -> Vec<u64> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        dir.flatten()
+            .filter_map(|e| {
+                let name = e.file_name();
+                parse_hex16(name.to_str()?.strip_suffix(".json")?)
+            })
+            .collect()
+    }
+
     /// Removes the entry for `hash`, returning whether a file was
     /// actually deleted (`false` when it was already gone — another
     /// evictor may have raced us, which is fine).
@@ -180,6 +196,7 @@ impl Cache {
 }
 
 fn push_runs(out: &mut String, key: &str, runs: &[f64]) {
+    use std::fmt::Write as _;
     out.push_str("  \"");
     out.push_str(key);
     out.push_str("\": [");
@@ -187,63 +204,79 @@ fn push_runs(out: &mut String, key: &str, runs: &[f64]) {
         if i > 0 {
             out.push_str(", ");
         }
-        out.push_str(&format!("{r:?}"));
+        let _ = write!(out, "{r:?}");
     }
     out.push_str("],\n");
 }
 
 /// Renders a [`Measurement`] as the cache-entry JSON document for
 /// `hash` (the hash is embedded so a misfiled copy is detectable).
+///
+/// Everything is written into one pre-sized buffer — a sweep stores
+/// thousands of entries, and the per-field `format!` allocations the
+/// old encoder paid were measurable in cold-run profiles. The emitted
+/// bytes are unchanged (the distributed path depends on entry files
+/// being byte-identical across encoders).
 #[must_use]
 pub fn encode_measurement(hash: u64, m: &Measurement) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 2,\n");
-    out.push_str(&format!("  \"hash\": \"{}\",\n", hex16(hash)));
-    out.push_str(&format!("  \"kernel\": {},\n", json_string(&m.kernel_name)));
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(512 + 24 * (m.baseline_runs.len() + m.test_runs.len()));
+    out.push_str("{\n  \"schema\": 2,\n");
+    let _ = writeln!(out, "  \"hash\": \"{}\",", hex16(hash));
+    out.push_str("  \"kernel\": ");
+    push_json_string(&mut out, &m.kernel_name);
+    out.push_str(",\n");
     let p = &m.params;
-    out.push_str(&format!(
+    let _ = writeln!(
+        out,
         "  \"params\": {{\"threads\": {}, \"blocks\": {}, \"affinity\": \"{}\", \
-         \"n_iter\": {}, \"n_unroll\": {}, \"n_warmup\": {}}},\n",
+         \"n_iter\": {}, \"n_unroll\": {}, \"n_warmup\": {}}},",
         p.threads,
         p.blocks,
         p.affinity.label(),
         p.n_iter,
         p.n_unroll,
         p.n_warmup
-    ));
+    );
     match m.time_unit {
         TimeUnit::Seconds => out.push_str("  \"time_unit\": {\"kind\": \"seconds\"},\n"),
-        TimeUnit::Cycles { clock_ghz } => out.push_str(&format!(
-            "  \"time_unit\": {{\"kind\": \"cycles\", \"clock_ghz\": {clock_ghz:?}}},\n"
-        )),
+        TimeUnit::Cycles { clock_ghz } => {
+            let _ = writeln!(
+                out,
+                "  \"time_unit\": {{\"kind\": \"cycles\", \"clock_ghz\": {clock_ghz:?}}},"
+            );
+        }
     }
     push_runs(&mut out, "baseline_runs", &m.baseline_runs);
     push_runs(&mut out, "test_runs", &m.test_runs);
-    out.push_str(&format!(
+    let _ = write!(
+        out,
         "  \"median_baseline\": {:?},\n  \"median_test\": {:?},\n  \"per_op\": {:?},\n",
         m.median_baseline, m.median_test, m.per_op
-    ));
-    out.push_str(&format!(
+    );
+    let _ = write!(
+        out,
         "  \"retries\": {},\n  \"exhausted_runs\": {}\n}}\n",
         m.retries, m.exhausted_runs
-    ));
+    );
     out
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
+fn push_json_string(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     out.push('"');
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out.push('"');
-    out
 }
 
 fn get_f64(v: &Value, key: &str) -> Option<f64> {
@@ -360,6 +393,23 @@ mod tests {
         // PartialEq on f64 fields: exact bit-pattern equality is the
         // byte-identical-CSV guarantee.
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn encoder_bytes_are_stable() {
+        // The distributed path stores worker-sent entry bytes verbatim,
+        // so the encoder's exact layout is part of the wire contract.
+        let text = encode_measurement(42, &sample());
+        let head = format!("{{\n  \"schema\": 2,\n  \"hash\": \"{}\",\n", hex16(42));
+        assert!(text.starts_with(&head), "text:\n{text}");
+        assert!(text.contains("  \"kernel\": \"omp_barrier\",\n"));
+        assert!(text.contains(
+            "  \"params\": {\"threads\": 8, \"blocks\": 1, \"affinity\": \"system\", \
+             \"n_iter\": 1000, \"n_unroll\": 100, \"n_warmup\": 10},\n"
+        ));
+        // Shortest round-trip float formatting (0.1 + 0.2).
+        assert!(text.contains("0.30000000000000004"));
+        assert!(text.ends_with("  \"retries\": 3,\n  \"exhausted_runs\": 1\n}\n"));
     }
 
     #[test]

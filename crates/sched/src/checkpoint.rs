@@ -15,7 +15,7 @@ use syncperf_core::obs::json;
 use crate::hash::{hex16, parse_hex16};
 
 /// How many completions may accumulate before the manifest is
-/// re-flushed to disk.
+/// re-flushed to disk (the floor — see [`Checkpoint::record`]).
 pub const FLUSH_EVERY: usize = 32;
 
 /// The on-disk progress manifest of one labeled run.
@@ -117,14 +117,17 @@ impl Checkpoint {
         self.done.iter().copied()
     }
 
-    /// Records a completed job, flushing the manifest to disk every
-    /// [`FLUSH_EVERY`] new completions (frequent enough that an
-    /// interrupted long sweep loses little work, rare enough to stay
-    /// off the hot path).
+    /// Records a completed job, flushing the manifest to disk after at
+    /// least [`FLUSH_EVERY`] new completions — and, once the manifest
+    /// grows past a few hundred entries, after an eighth of its size.
+    /// Each save rewrites the whole hash list, so a fixed interval
+    /// would make total save work quadratic in sweep size; scaling the
+    /// interval keeps it linear while still bounding how much an
+    /// interrupted sweep can lose to about 12%.
     pub fn record(&mut self, hash: u64) {
         if self.done.insert(hash) {
             self.dirty += 1;
-            if self.dirty >= FLUSH_EVERY {
+            if self.dirty >= FLUSH_EVERY.max(self.done.len() / 8) {
                 let _ = self.save();
             }
         }
@@ -146,15 +149,20 @@ impl Checkpoint {
         if let Some(dir) = self.path.parent() {
             std::fs::create_dir_all(dir)?;
         }
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"label\": \"{}\",\n", sanitize(&self.label)));
-        out.push_str(&format!("  \"complete\": {},\n", self.complete));
+        use std::fmt::Write as _;
+        // Pre-size for the hash list (20 bytes per `"hex16", ` entry):
+        // a long sweep re-saves periodically (see `record`), so the
+        // encoder runs often enough to care about reallocation churn.
+        let mut out = String::with_capacity(96 + self.label.len() + 20 * self.done.len());
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"label\": \"{}\",", sanitize(&self.label));
+        let _ = writeln!(out, "  \"complete\": {},", self.complete);
         out.push_str("  \"done\": [");
         for (i, h) in self.done.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&format!("\"{}\"", hex16(*h)));
+            let _ = write!(out, "\"{}\"", hex16(*h));
         }
         out.push_str("]\n}\n");
         let tmp = self

@@ -14,7 +14,16 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// Hashes `bytes` with 64-bit FNV-1a.
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash from a previous state: because FNV-1a
+/// folds in one byte at a time, `fnv1a_continue(fnv1a(a), b)` equals
+/// `fnv1a(a ++ b)` exactly. Callers can therefore memoize the hash
+/// state of a long shared prefix and hash only each item's short tail.
+#[must_use]
+pub fn fnv1a_continue(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
@@ -63,5 +72,14 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_hashes() {
         assert_ne!(fnv1a(b"job-a"), fnv1a(b"job-b"));
+    }
+
+    #[test]
+    fn continuation_equals_one_shot() {
+        let full = b"exec=cpu-sim\nkernel=x\nparams=y\nsalt=z\n";
+        for split in 0..=full.len() {
+            let (head, tail) = full.split_at(split);
+            assert_eq!(fnv1a_continue(fnv1a(head), tail), fnv1a(full));
+        }
     }
 }

@@ -10,8 +10,8 @@
 use std::fmt::Write as _;
 
 use syncperf_core::{CpuKernel, ExecParams, GpuKernel, Measurement, Protocol, Result, SystemSpec};
-use syncperf_cpu_sim::{CpuModel, CpuSimExecutor};
-use syncperf_gpu_sim::{GpuModel, GpuSimExecutor};
+use syncperf_cpu_sim::{CpuModel, CpuSimExecutor, EngineResult, Placement};
+use syncperf_gpu_sim::{GpuEngineResult, GpuModel, GpuSimExecutor, Occupancy};
 use syncperf_omp::OmpExecutor;
 
 /// One independent measurement job: kernel × parameters × protocol on
@@ -235,6 +235,300 @@ impl JobSpec {
         );
     }
 
+    /// [`JobSpec::canonical`] through a [`CanonicalCache`]: byte-identical
+    /// output, but the expensive system/model prefix and kernel debug
+    /// strings are memoized across calls. A sweep hashes thousands of
+    /// jobs that share a handful of systems and kernels, so this turns
+    /// the dominant hashing cost into a few lookups per job.
+    #[must_use]
+    pub fn canonical_with(&self, cache: &mut CanonicalCache) -> String {
+        match self {
+            JobSpec::CpuSim {
+                system,
+                model,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let pi = cache.cpu_prefix_idx(system, model.as_ref());
+                let ki = cache.cpu_kernel_idx(kernel);
+                let prefix = &cache.cpu_prefixes[pi].2;
+                let mut s =
+                    String::with_capacity(prefix.len() + cache.cpu_kernels[ki].1.len() + 128);
+                s.push_str(prefix);
+                Self::push_tail(&mut s, &cache.cpu_kernels[ki].1, params, *protocol);
+                s
+            }
+            JobSpec::GpuSim {
+                system,
+                model,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let pi = cache.gpu_prefix_idx(system, model.as_ref());
+                let ki = cache.gpu_kernel_idx(kernel);
+                let prefix = &cache.gpu_prefixes[pi].2;
+                let mut s =
+                    String::with_capacity(prefix.len() + cache.gpu_kernels[ki].1.len() + 128);
+                s.push_str(prefix);
+                Self::push_tail(&mut s, &cache.gpu_kernels[ki].1, params, *protocol);
+                s
+            }
+            JobSpec::RealOmp { .. } => self.canonical(),
+        }
+    }
+
+    /// The FNV-1a hash of `canonical() + salt_line` without building
+    /// the canonical string: the hash *state* over the shared
+    /// prefix-plus-kernel head is memoized in `cache` (FNV-1a is a
+    /// byte-sequential fold, so a cached state continues exactly —
+    /// see [`crate::hash::fnv1a_continue`]), and only the job's short
+    /// `params`/`protocol` tail plus `salt_line` is hashed per call.
+    /// Bit-identical to hashing the full canonical text. `RealOmp`
+    /// jobs take the plain path — real-machine sweeps are a handful of
+    /// jobs, not thousands.
+    #[must_use]
+    pub fn hash_with(&self, cache: &mut CanonicalCache, salt_line: &str) -> u64 {
+        let (state, params, protocol) = match self {
+            JobSpec::CpuSim {
+                system,
+                model,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let pi = cache.cpu_prefix_idx(system, model.as_ref());
+                let ki = cache.cpu_kernel_idx(kernel);
+                (cache.cpu_hash_state(pi, ki), params, *protocol)
+            }
+            JobSpec::GpuSim {
+                system,
+                model,
+                kernel,
+                params,
+                protocol,
+            } => {
+                let pi = cache.gpu_prefix_idx(system, model.as_ref());
+                let ki = cache.gpu_kernel_idx(kernel);
+                (cache.gpu_hash_state(pi, ki), params, *protocol)
+            }
+            JobSpec::RealOmp { .. } => {
+                let mut s = self.canonical();
+                s.push_str(salt_line);
+                return crate::hash::fnv1a(s.as_bytes());
+            }
+        };
+        let mut tail = std::mem::take(&mut cache.scratch);
+        tail.clear();
+        let _ = write!(
+            tail,
+            "params={params:?}\nprotocol={protocol:?}\n{salt_line}"
+        );
+        let h = crate::hash::fnv1a_continue(state, tail.as_bytes());
+        cache.scratch = tail;
+        h
+    }
+
+    /// Whether `self` and `other` are the same *measurement shape*:
+    /// identical executor kind, system, model override, kernel, and
+    /// protocol, with equal timed-rep counts — differing at most in the
+    /// parameter point (threads, blocks, affinity). Same-shape jobs can
+    /// be evaluated together by one batched struct-of-arrays pass.
+    #[must_use]
+    pub fn same_shape(&self, other: &JobSpec) -> bool {
+        match (self, other) {
+            (
+                JobSpec::CpuSim {
+                    system: s1,
+                    model: m1,
+                    kernel: k1,
+                    params: p1,
+                    protocol: pr1,
+                },
+                JobSpec::CpuSim {
+                    system: s2,
+                    model: m2,
+                    kernel: k2,
+                    params: p2,
+                    protocol: pr2,
+                },
+            ) => {
+                pr1 == pr2 && p1.timed_reps() == p2.timed_reps() && k1 == k2 && m1 == m2 && s1 == s2
+            }
+            (
+                JobSpec::GpuSim {
+                    system: s1,
+                    model: m1,
+                    kernel: k1,
+                    params: p1,
+                    protocol: pr1,
+                },
+                JobSpec::GpuSim {
+                    system: s2,
+                    model: m2,
+                    kernel: k2,
+                    params: p2,
+                    protocol: pr2,
+                },
+            ) => {
+                pr1 == pr2 && p1.timed_reps() == p2.timed_reps() && k1 == k2 && m1 == m2 && s1 == s2
+            }
+            _ => false,
+        }
+    }
+
+    /// Evaluates a same-shape group of jobs in one batched
+    /// struct-of-arrays pass per kernel body, returning one
+    /// [`PrimedEngine`] per job (in group order). Returns `None` —
+    /// priming nothing, so the per-job path runs unchanged and
+    /// reproduces any per-point error — when the group is not
+    /// batchable: mixed or real-thread executors, a point failing
+    /// validation, or an unsupported op at any occupancy.
+    #[must_use]
+    pub fn batch_prime(group: &[&JobSpec]) -> Option<Vec<PrimedEngine>> {
+        match group.first()? {
+            JobSpec::CpuSim {
+                system,
+                model,
+                kernel,
+                params: first_params,
+                ..
+            } => {
+                let reps = first_params.timed_reps();
+                let mut placements = Vec::with_capacity(group.len());
+                for job in group {
+                    let JobSpec::CpuSim { params, .. } = job else {
+                        return None;
+                    };
+                    if params.validate().is_err() || params.blocks != 1 {
+                        return None;
+                    }
+                    placements.push(Placement::new(&system.cpu, params.affinity, params.threads));
+                }
+                let model = model
+                    .clone()
+                    .unwrap_or_else(|| CpuModel::for_system(&system.cpu, system.cpu_jitter));
+                let rec = syncperf_core::obs::global();
+                let baseline = syncperf_cpu_sim::trace::run_batch_observed(
+                    &model,
+                    &kernel.baseline,
+                    &placements,
+                    reps,
+                    rec,
+                )
+                .ok()?;
+                let test = syncperf_cpu_sim::trace::run_batch_observed(
+                    &model,
+                    &kernel.test,
+                    &placements,
+                    reps,
+                    rec,
+                )
+                .ok()?;
+                Some(
+                    baseline
+                        .into_iter()
+                        .zip(test)
+                        .map(|(baseline, test)| PrimedEngine::Cpu { baseline, test })
+                        .collect(),
+                )
+            }
+            JobSpec::GpuSim {
+                system,
+                model,
+                kernel,
+                params: first_params,
+                ..
+            } => {
+                let reps = first_params.timed_reps();
+                let mut occs = Vec::with_capacity(group.len());
+                for job in group {
+                    let JobSpec::GpuSim { params, .. } = job else {
+                        return None;
+                    };
+                    if params.validate().is_err() {
+                        return None;
+                    }
+                    occs.push(Occupancy::compute(&system.gpu, params.blocks, params.threads).ok()?);
+                }
+                let model = model
+                    .clone()
+                    .unwrap_or_else(|| GpuModel::for_spec(&system.gpu));
+                let baseline =
+                    syncperf_gpu_sim::batch::run_batch(&model, &occs, &kernel.baseline, reps)
+                        .ok()?;
+                let test =
+                    syncperf_gpu_sim::batch::run_batch(&model, &occs, &kernel.test, reps).ok()?;
+                Some(
+                    baseline
+                        .into_iter()
+                        .zip(test)
+                        .map(|(baseline, test)| PrimedEngine::Gpu { baseline, test })
+                        .collect(),
+                )
+            }
+            JobSpec::RealOmp { .. } => None,
+        }
+    }
+
+    /// [`JobSpec::execute`] with batch-precomputed engine results: the
+    /// executor is constructed exactly as in `execute` and its engine
+    /// memo is primed with the kernel's two bodies before the protocol
+    /// runs, so every execution hits the memo instead of re-simulating.
+    /// Byte-identical to `execute(seed)` — the memo is result-invisible
+    /// (jitter is drawn after the memoized run) and the engine results
+    /// are seed-independent, so retries with different seeds may reuse
+    /// the same primed results. Falls back to `execute` on a
+    /// kind-mismatched priming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor/protocol errors.
+    pub fn execute_primed(&self, seed: u64, primed: &PrimedEngine) -> Result<Measurement> {
+        match (self, primed) {
+            (
+                JobSpec::CpuSim {
+                    system,
+                    model,
+                    kernel,
+                    params,
+                    protocol,
+                },
+                PrimedEngine::Cpu { baseline, test },
+            ) => {
+                let mut exec = match model {
+                    Some(m) => CpuSimExecutor::with_model(system, m.clone()),
+                    None => CpuSimExecutor::new(system),
+                }
+                .with_jitter_seed(seed);
+                exec.prime_engine(&kernel.baseline, params, baseline.clone());
+                exec.prime_engine(&kernel.test, params, test.clone());
+                protocol.measure(&mut exec, kernel, params)
+            }
+            (
+                JobSpec::GpuSim {
+                    system,
+                    model,
+                    kernel,
+                    params,
+                    protocol,
+                },
+                PrimedEngine::Gpu { baseline, test },
+            ) => {
+                let mut exec = match model {
+                    Some(m) => GpuSimExecutor::with_model(system, m.clone()),
+                    None => GpuSimExecutor::new(system),
+                }
+                .with_jitter_seed(seed);
+                exec.prime_engine(&kernel.baseline, params, baseline.clone());
+                exec.prime_engine(&kernel.test, params, test.clone());
+                protocol.measure(&mut exec, kernel, params)
+            }
+            _ => self.execute(seed),
+        }
+    }
+
     /// Executes the job. Simulator jobs get `seed` as their jitter
     /// seed, so a job's outcome depends only on its own identity —
     /// never on which worker ran it or what ran before it — which is
@@ -283,6 +577,131 @@ impl JobSpec {
                 protocol.measure(&mut exec, kernel, params)
             }
         }
+    }
+}
+
+/// Batch-precomputed engine results for one job: the kernel's baseline
+/// and test bodies evaluated at the job's parameter point by the
+/// struct-of-arrays batch pass ([`JobSpec::batch_prime`]).
+#[derive(Debug, Clone)]
+pub enum PrimedEngine {
+    /// CPU-simulator engine results.
+    Cpu {
+        /// Engine result for the kernel's baseline body.
+        baseline: EngineResult,
+        /// Engine result for the kernel's test body.
+        test: EngineResult,
+    },
+    /// GPU-simulator engine results.
+    Gpu {
+        /// Engine result for the kernel's baseline body.
+        baseline: GpuEngineResult,
+        /// Engine result for the kernel's test body.
+        test: GpuEngineResult,
+    },
+}
+
+/// Memoizes the expensive repeated parts of [`JobSpec::canonical`]:
+/// the executor/system/model prefix (a full `Debug` render of the
+/// system spec plus a model digest) and the kernel debug string, both
+/// looked up by value equality. Entries are never evicted — a sweep
+/// touches a handful of systems and under a hundred kernels.
+#[derive(Debug, Default)]
+pub struct CanonicalCache {
+    cpu_prefixes: Vec<(SystemSpec, Option<CpuModel>, String)>,
+    gpu_prefixes: Vec<(SystemSpec, Option<GpuModel>, String)>,
+    cpu_kernels: Vec<(CpuKernel, String)>,
+    gpu_kernels: Vec<(GpuKernel, String)>,
+    /// FNV-1a state over `prefix + "kernel={kernel}\n"`, keyed by
+    /// `(prefix idx, kernel idx)` — [`JobSpec::hash_with`] continues it
+    /// over each job's short params/protocol/salt tail.
+    cpu_states: Vec<((usize, usize), u64)>,
+    gpu_states: Vec<((usize, usize), u64)>,
+    /// Reused tail buffer so per-job hashing allocates nothing.
+    scratch: String,
+}
+
+impl CanonicalCache {
+    fn cpu_prefix_idx(&mut self, system: &SystemSpec, model: Option<&CpuModel>) -> usize {
+        if let Some(i) = self
+            .cpu_prefixes
+            .iter()
+            .position(|(s, m, _)| s == system && m.as_ref() == model)
+        {
+            return i;
+        }
+        let effective = model
+            .cloned()
+            .unwrap_or_else(|| CpuModel::for_system(&system.cpu, system.cpu_jitter));
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "exec=cpu-sim\nsystem={system:?}\nmodel={:016x}\n",
+            effective.config_digest()
+        );
+        self.cpu_prefixes.push((system.clone(), model.cloned(), s));
+        self.cpu_prefixes.len() - 1
+    }
+
+    fn gpu_prefix_idx(&mut self, system: &SystemSpec, model: Option<&GpuModel>) -> usize {
+        if let Some(i) = self
+            .gpu_prefixes
+            .iter()
+            .position(|(s, m, _)| s == system && m.as_ref() == model)
+        {
+            return i;
+        }
+        let effective = model
+            .cloned()
+            .unwrap_or_else(|| GpuModel::for_spec(&system.gpu));
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "exec=gpu-sim\nsystem={system:?}\nmodel={:016x}\n",
+            effective.config_digest()
+        );
+        self.gpu_prefixes.push((system.clone(), model.cloned(), s));
+        self.gpu_prefixes.len() - 1
+    }
+
+    fn cpu_kernel_idx(&mut self, kernel: &CpuKernel) -> usize {
+        if let Some(i) = self.cpu_kernels.iter().position(|(k, _)| k == kernel) {
+            return i;
+        }
+        self.cpu_kernels
+            .push((kernel.clone(), format!("{kernel:?}")));
+        self.cpu_kernels.len() - 1
+    }
+
+    fn gpu_kernel_idx(&mut self, kernel: &GpuKernel) -> usize {
+        if let Some(i) = self.gpu_kernels.iter().position(|(k, _)| k == kernel) {
+            return i;
+        }
+        self.gpu_kernels
+            .push((kernel.clone(), format!("{kernel:?}")));
+        self.gpu_kernels.len() - 1
+    }
+
+    fn cpu_hash_state(&mut self, pi: usize, ki: usize) -> u64 {
+        if let Some(&(_, st)) = self.cpu_states.iter().find(|&&(key, _)| key == (pi, ki)) {
+            return st;
+        }
+        let mut head = self.cpu_prefixes[pi].2.clone();
+        let _ = writeln!(head, "kernel={}", self.cpu_kernels[ki].1);
+        let st = crate::hash::fnv1a(head.as_bytes());
+        self.cpu_states.push(((pi, ki), st));
+        st
+    }
+
+    fn gpu_hash_state(&mut self, pi: usize, ki: usize) -> u64 {
+        if let Some(&(_, st)) = self.gpu_states.iter().find(|&&(key, _)| key == (pi, ki)) {
+            return st;
+        }
+        let mut head = self.gpu_prefixes[pi].2.clone();
+        let _ = writeln!(head, "kernel={}", self.gpu_kernels[ki].1);
+        let st = crate::hash::fnv1a(head.as_bytes());
+        self.gpu_states.push(((pi, ki), st));
+        st
     }
 }
 
@@ -358,5 +777,133 @@ mod tests {
         let (p, proto) = point();
         let job = JobSpec::real_omp(kernel::omp_barrier(), p, proto);
         assert!(job.canonical().contains(&host_fingerprint()));
+    }
+
+    #[test]
+    fn cached_canonical_is_byte_identical() {
+        let (p, proto) = point();
+        let mut m = CpuModel::for_system(&SYSTEM3.cpu, SYSTEM3.cpu_jitter);
+        m.line_transfer_ns *= 2.0;
+        let jobs = vec![
+            JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p, proto),
+            JobSpec::cpu_sim(
+                &SYSTEM3,
+                kernel::omp_barrier(),
+                ExecParams { threads: 8, ..p },
+                proto,
+            ),
+            JobSpec::cpu_sim_with_model(&SYSTEM3, m, kernel::omp_barrier(), p, proto),
+            JobSpec::cpu_sim(
+                &SYSTEM3,
+                kernel::omp_atomic_update_scalar(DType::I32),
+                p,
+                Protocol::PAPER,
+            ),
+            JobSpec::gpu_sim(
+                &SYSTEM3,
+                kernel::cuda_syncthreads(),
+                ExecParams::new(32).with_blocks(2).with_loops(50, 4),
+                proto,
+            ),
+            JobSpec::real_omp(kernel::omp_barrier(), p, proto),
+        ];
+        let mut cache = CanonicalCache::default();
+        for _ in 0..2 {
+            for job in &jobs {
+                assert_eq!(job.canonical(), job.canonical_with(&mut cache));
+            }
+        }
+    }
+
+    #[test]
+    fn same_shape_groups_parameter_points_only() {
+        let (p, proto) = point();
+        let a = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p, proto);
+        let b = JobSpec::cpu_sim(
+            &SYSTEM3,
+            kernel::omp_barrier(),
+            ExecParams { threads: 16, ..p },
+            proto,
+        );
+        let c = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p.with_loops(51, 4), proto);
+        let d = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p, Protocol::PAPER);
+        let e = JobSpec::cpu_sim(
+            &SYSTEM3,
+            kernel::omp_atomic_update_scalar(DType::I32),
+            p,
+            proto,
+        );
+        assert!(a.same_shape(&b), "threads vary within a shape");
+        assert!(!a.same_shape(&c), "timed reps are part of the shape");
+        assert!(!a.same_shape(&d), "protocol is part of the shape");
+        assert!(!a.same_shape(&e), "kernel is part of the shape");
+        let g = JobSpec::gpu_sim(
+            &SYSTEM3,
+            kernel::cuda_syncthreads(),
+            ExecParams::new(32).with_blocks(2).with_loops(50, 4),
+            proto,
+        );
+        assert!(!a.same_shape(&g), "executor kind is part of the shape");
+    }
+
+    #[test]
+    fn primed_execution_is_byte_identical_cpu() {
+        let (p, proto) = point();
+        let jobs: Vec<JobSpec> = [2u32, 4, 8, 16]
+            .iter()
+            .map(|&n| {
+                JobSpec::cpu_sim(
+                    &SYSTEM3,
+                    kernel::omp_barrier(),
+                    ExecParams { threads: n, ..p },
+                    proto,
+                )
+            })
+            .collect();
+        let refs: Vec<&JobSpec> = jobs.iter().collect();
+        let primed = JobSpec::batch_prime(&refs).expect("cpu group batches");
+        assert_eq!(primed.len(), jobs.len());
+        for (job, pe) in jobs.iter().zip(&primed) {
+            for seed in [1u64, 99] {
+                assert_eq!(
+                    job.execute_primed(seed, pe).unwrap(),
+                    job.execute(seed).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn primed_execution_is_byte_identical_gpu() {
+        let proto = Protocol::SIM;
+        let jobs: Vec<JobSpec> = [(1u32, 32u32), (2, 64), (8, 128)]
+            .iter()
+            .map(|&(b, t)| {
+                JobSpec::gpu_sim(
+                    &SYSTEM3,
+                    kernel::cuda_syncthreads(),
+                    ExecParams::new(t).with_blocks(b).with_loops(50, 4),
+                    proto,
+                )
+            })
+            .collect();
+        let refs: Vec<&JobSpec> = jobs.iter().collect();
+        let primed = JobSpec::batch_prime(&refs).expect("gpu group batches");
+        for (job, pe) in jobs.iter().zip(&primed) {
+            assert_eq!(job.execute_primed(5, pe).unwrap(), job.execute(5).unwrap());
+        }
+    }
+
+    #[test]
+    fn unbatchable_groups_prime_nothing() {
+        let (p, proto) = point();
+        let real = JobSpec::real_omp(kernel::omp_barrier(), p, proto);
+        assert!(JobSpec::batch_prime(&[&real]).is_none());
+        // A CPU job with blocks != 1 fails executor validation; the
+        // group declines to prime so the per-job path reproduces the
+        // error.
+        let bad = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p.with_blocks(2), proto);
+        let ok = JobSpec::cpu_sim(&SYSTEM3, kernel::omp_barrier(), p, proto);
+        assert!(JobSpec::batch_prime(&[&ok, &bad]).is_none());
     }
 }

@@ -16,9 +16,9 @@
 //!    so N-worker output is byte-identical to the 1-worker output.
 //! 3. **Content-addressed cache** ([`cache`]) and **checkpoint
 //!    manifests** ([`checkpoint`]): `results/.cache/<hash>.json`
-//!    entries written via temp-file + atomic rename, loaded
-//!    corruption-tolerantly (a bad entry is a miss, never a crash),
-//!    plus per-run-label manifests enabling `--resume`.
+//!    entries with bytes deterministic per hash, loaded
+//!    corruption-tolerantly (a bad or torn entry is a miss, never a
+//!    crash), plus per-run-label manifests enabling `--resume`.
 //!
 //! The [`scheduler`] module ties them together and exposes the
 //! process-global [`install`]/[`current`] registry the bench sweep

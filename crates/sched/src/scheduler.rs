@@ -20,7 +20,7 @@ use syncperf_core::{Measurement, Result, SyncPerfError};
 use crate::cache::Cache;
 use crate::checkpoint::Checkpoint;
 use crate::hash::fnv1a;
-use crate::job::JobSpec;
+use crate::job::{CanonicalCache, JobSpec, PrimedEngine};
 use crate::pool::{self, PoolWorkerStats};
 
 /// Code-version salt folded into every job hash. Bump whenever a
@@ -46,6 +46,20 @@ pub fn job_hash_with_salt(job: &JobSpec, salt_extra: u64) -> u64 {
     fnv1a(s.as_bytes())
 }
 
+/// [`job_hash_with_salt`] with a [`CanonicalCache`] memoizing the
+/// expensive kernel/system formatting — and the FNV-1a hash state of
+/// that shared head — across the jobs of one batch. Produces the same
+/// hash bit for bit ([`JobSpec::hash_with`]): only each job's short
+/// params/protocol/salt tail is formatted and hashed per call.
+#[must_use]
+pub fn job_hash_with_salt_cached(
+    job: &JobSpec,
+    salt_extra: u64,
+    cache: &mut CanonicalCache,
+) -> u64 {
+    job.hash_with(cache, &format!("salt={SCHED_SALT}/{salt_extra}\n"))
+}
+
 /// Executes one job under the scheduler's retry policy: up to
 /// [`MAX_EXECUTE_ATTEMPTS`] attempts with exponential backoff, retrying
 /// when the result looks faulty (exhausted protocol runs) or the error
@@ -62,6 +76,23 @@ pub fn job_hash_with_salt(job: &JobSpec, salt_extra: u64) -> u64 {
 pub fn execute_job_with_retry(
     job: &JobSpec,
     hash: u64,
+    on_retry: impl FnMut(u32),
+) -> Result<Measurement> {
+    execute_job_with_retry_primed(job, hash, None, on_retry)
+}
+
+/// [`execute_job_with_retry`] with an optional batch-primed engine
+/// result pair. When `primed` is `Some`, every attempt reuses the
+/// pre-evaluated engine results (they depend only on the job, never on
+/// the seed), so retries stay bit-identical to the unprimed path.
+///
+/// # Errors
+///
+/// Returns the final attempt's error when the budget is exhausted.
+pub fn execute_job_with_retry_primed(
+    job: &JobSpec,
+    hash: u64,
+    primed: Option<&PrimedEngine>,
     mut on_retry: impl FnMut(u32),
 ) -> Result<Measurement> {
     let mut attempt = 0u32;
@@ -71,7 +102,11 @@ pub fn execute_job_with_retry(
             on_retry(a);
             std::thread::sleep(std::time::Duration::from_millis(1 << a));
         };
-        match job.execute(seed) {
+        let run = match primed {
+            Some(pe) => job.execute_primed(seed, pe),
+            None => job.execute(seed),
+        };
+        match run {
             Ok(m) => {
                 if m.exhausted_runs > 0 && attempt + 1 < MAX_EXECUTE_ATTEMPTS {
                     reattempt(attempt);
@@ -181,6 +216,10 @@ struct StatCells {
     steals: AtomicU64,
     retries: AtomicU64,
     resumed: AtomicU64,
+    plan_batches: AtomicU64,
+    plan_batch_points: AtomicU64,
+    plan_primed_jobs: AtomicU64,
+    plan_compile_us: AtomicU64,
 }
 
 /// Always-on scheduler profile: latency histograms, live queue depth,
@@ -253,6 +292,17 @@ pub struct SchedStats {
     pub service_miss_us_p99: u64,
     /// High-water mark of jobs pending in the pool at once.
     pub queue_depth_peak: u64,
+    /// Same-shape parameter groups (≥ 2 jobs) detected in miss sets.
+    pub plan_batches: u64,
+    /// Jobs covered by those same-shape groups.
+    pub plan_batch_points: u64,
+    /// Jobs whose engine results were primed from a batched
+    /// struct-of-arrays plan-table evaluation (0 while a global
+    /// recorder is live: observed runs keep the interpreter path).
+    pub plan_primed_jobs: u64,
+    /// Time spent grouping the miss set and batch-evaluating plan
+    /// tables, microseconds.
+    pub plan_compile_us: u64,
 }
 
 impl SchedStats {
@@ -279,6 +329,10 @@ impl SchedStats {
             service_miss_us_p50: miss.quantile(0.50),
             service_miss_us_p99: miss.quantile(0.99),
             queue_depth_peak: snap.gauge("sched.queue_depth_peak"),
+            plan_batches: snap.counter("sched.plan_batches"),
+            plan_batch_points: snap.counter("sched.plan_batch_points"),
+            plan_primed_jobs: snap.counter("sched.plan_primed_jobs"),
+            plan_compile_us: snap.counter("sched.plan_compile_us"),
         }
     }
 
@@ -336,6 +390,13 @@ pub type ExportHook = Box<dyn Fn(&mut Snapshot) + Send + Sync>;
 pub struct Scheduler {
     cfg: SchedConfig,
     cache: Option<Cache>,
+    /// Hashes known to be present in the cache directory: seeded by
+    /// one directory scan on first consultation, then kept current by
+    /// this scheduler's own stores. Probing a cold cache costs a
+    /// failed `open()` per job otherwise — real kernel time at sweep
+    /// scale. Entries added by *other* processes mid-run are simply
+    /// recomputed (a conservative miss is always correct).
+    present: Mutex<Option<std::collections::HashSet<u64>>>,
     checkpoint: Mutex<Checkpoint>,
     resumed_hashes: std::collections::BTreeSet<u64>,
     stats: StatCells,
@@ -372,6 +433,7 @@ impl Scheduler {
         Scheduler {
             cfg,
             cache,
+            present: Mutex::new(None),
             checkpoint: Mutex::new(checkpoint),
             resumed_hashes,
             stats: StatCells::default(),
@@ -386,6 +448,18 @@ impl Scheduler {
     #[must_use]
     pub fn config(&self) -> &SchedConfig {
         &self.cfg
+    }
+
+    /// Worker threads actually spawned per batch: the configured count
+    /// clamped to the machine's available parallelism. Results are
+    /// worker-count independent (each job seeds its own RNG from its
+    /// content hash), so oversubscribing a small machine only buys
+    /// thread-spawn and context-switch overhead — never throughput.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        let avail =
+            std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get);
+        self.cfg.workers.min(avail).max(1)
     }
 
     /// The content-addressed cache, when caching is enabled (the
@@ -450,6 +524,10 @@ impl Scheduler {
             service_miss_us_p50: miss.quantile(0.50),
             service_miss_us_p99: miss.quantile(0.99),
             queue_depth_peak: self.profile.pending_peak.load(Ordering::Relaxed),
+            plan_batches: self.stats.plan_batches.load(Ordering::Relaxed),
+            plan_batch_points: self.stats.plan_batch_points.load(Ordering::Relaxed),
+            plan_primed_jobs: self.stats.plan_primed_jobs.load(Ordering::Relaxed),
+            plan_compile_us: self.stats.plan_compile_us.load(Ordering::Relaxed),
         }
     }
 
@@ -478,6 +556,10 @@ impl Scheduler {
             ("sched.steals", st.steals),
             ("sched.retries", st.retries),
             ("sched.resumed", st.resumed),
+            ("sched.plan_batches", st.plan_batches),
+            ("sched.plan_batch_points", st.plan_batch_points),
+            ("sched.plan_primed_jobs", st.plan_primed_jobs),
+            ("sched.plan_compile_us", st.plan_compile_us),
         ] {
             snap.counters.insert(name.to_string(), v);
         }
@@ -516,6 +598,26 @@ impl Scheduler {
         }
     }
 
+    /// Whether `hash` is plausibly on disk, per the presence set (one
+    /// directory scan on first use, plus every store this scheduler
+    /// made since). A `false` is authoritative for entries this
+    /// process owns; entries racing in from other processes read as
+    /// absent and are recomputed, which is always correct.
+    fn cache_may_contain(&self, cache: &Cache, hash: u64) -> bool {
+        let mut present = self.present.lock().unwrap();
+        present
+            .get_or_insert_with(|| cache.hashes().into_iter().collect())
+            .contains(&hash)
+    }
+
+    /// Records that this scheduler stored `hash`, keeping the presence
+    /// set current.
+    fn note_stored(&self, hash: u64) {
+        if let Some(set) = self.present.lock().unwrap().as_mut() {
+            set.insert(hash);
+        }
+    }
+
     /// Runs a batch of jobs: cache hits are served immediately, misses
     /// run on the work-stealing pool, and the merged results come back
     /// in submission order — so N-worker output is byte-identical to
@@ -538,11 +640,18 @@ impl Scheduler {
         let mut hits = 0u64;
         let mut resumed = 0u64;
         let hit_hist = rec.histogram("sched.service_us.hit");
+        let mut canon = CanonicalCache::default();
+        let salt_line = format!("salt={SCHED_SALT}/{}\n", self.cfg.salt_extra);
         for (i, job) in jobs.into_iter().enumerate() {
-            let h = self.job_hash(&job);
+            let h = job.hash_with(&mut canon, &salt_line);
             if let Some(cache) = &self.cache {
                 let load_start = Instant::now();
-                if let Some(m) = cache.load(h) {
+                let loaded = if self.cache_may_contain(cache, h) {
+                    cache.load(h)
+                } else {
+                    None
+                };
+                if let Some(m) = loaded {
                     // Guard against a (vanishingly unlikely) hash
                     // collision: the entry must describe this job.
                     if m.kernel_name == job.kernel_name() && m.params == *job.params() {
@@ -605,6 +714,7 @@ impl Scheduler {
                             // counts and the store hook fires.
                             let ok = e.stored || cache.store(e.hash, &m).is_ok();
                             if ok {
+                                self.note_stored(e.hash);
                                 self.stats.cache_stores.fetch_add(1, Ordering::Relaxed);
                                 rec.counter("sched.cache_stores").inc();
                                 if let Some(hook) = self.store_hook.read().unwrap().as_ref() {
@@ -630,6 +740,11 @@ impl Scheduler {
         }
         drop(backend_guard);
 
+        // Batch pass: group the miss set by kernel shape and evaluate
+        // each parameter sweep through one struct-of-arrays plan table,
+        // so workers start from pre-primed engine memos.
+        let primed = self.prepare_primed(&todo);
+
         // Dispatch: track live queue depth and per-job wait/service
         // latency, mirroring into the global recorder's telemetry.
         let dispatched = Instant::now();
@@ -646,33 +761,40 @@ impl Scheduler {
         depth_gauge.set(todo.len() as u64);
         peak_gauge.record(todo.len() as u64);
 
-        let outcome = pool::run_indexed(self.cfg.workers, todo, |_, (i, job, h)| {
-            let wait_us = dispatched.elapsed().as_micros() as u64;
-            self.profile.wait_us.observe(wait_us);
-            wait_hist.observe(wait_us);
-            let exec_start = Instant::now();
-            let r = self.execute_with_retry(&job, h);
-            let exec_us = exec_start.elapsed().as_micros() as u64;
-            self.profile.service_miss_us.observe(exec_us);
-            miss_hist.observe(exec_us);
-            if let Ok(m) = &r {
-                if let Some(cache) = &self.cache {
-                    // A read-only cache directory must not fail the
-                    // run; the result is simply not reusable.
-                    if cache.store(h, m).is_ok() {
-                        self.stats.cache_stores.fetch_add(1, Ordering::Relaxed);
-                        obs::global().counter("sched.cache_stores").inc();
-                        if let Some(hook) = self.store_hook.read().unwrap().as_ref() {
-                            hook(h, m);
+        let items: Vec<((usize, JobSpec, u64), Option<PrimedEngine>)> =
+            todo.into_iter().zip(primed).collect();
+        let outcome = pool::run_indexed(
+            self.effective_workers(),
+            items,
+            |_, ((i, job, h), primed)| {
+                let wait_us = dispatched.elapsed().as_micros() as u64;
+                self.profile.wait_us.observe(wait_us);
+                wait_hist.observe(wait_us);
+                let exec_start = Instant::now();
+                let r = self.execute_with_retry(&job, h, primed.as_ref());
+                let exec_us = exec_start.elapsed().as_micros() as u64;
+                self.profile.service_miss_us.observe(exec_us);
+                miss_hist.observe(exec_us);
+                if let Ok(m) = &r {
+                    if let Some(cache) = &self.cache {
+                        // A read-only cache directory must not fail the
+                        // run; the result is simply not reusable.
+                        if cache.store(h, m).is_ok() {
+                            self.note_stored(h);
+                            self.stats.cache_stores.fetch_add(1, Ordering::Relaxed);
+                            obs::global().counter("sched.cache_stores").inc();
+                            if let Some(hook) = self.store_hook.read().unwrap().as_ref() {
+                                hook(h, m);
+                            }
                         }
                     }
+                    self.checkpoint.lock().unwrap().record(h);
                 }
-                self.checkpoint.lock().unwrap().record(h);
-            }
-            let left = self.profile.pending.fetch_sub(1, Ordering::Relaxed) - 1;
-            depth_gauge.set(left);
-            (i, r)
-        });
+                let left = self.profile.pending.fetch_sub(1, Ordering::Relaxed) - 1;
+                depth_gauge.set(left);
+                (i, r)
+            },
+        );
         self.stats
             .steals
             .fetch_add(outcome.steals, Ordering::Relaxed);
@@ -719,14 +841,79 @@ impl Scheduler {
     /// transient. The retry seed differs per attempt but depends only
     /// on (hash, attempt), keeping the outcome independent of worker
     /// count and execution order.
-    fn execute_with_retry(&self, job: &JobSpec, hash: u64) -> Result<Measurement> {
+    fn execute_with_retry(
+        &self,
+        job: &JobSpec,
+        hash: u64,
+        primed: Option<&PrimedEngine>,
+    ) -> Result<Measurement> {
         let rec = obs::global();
         self.stats.executed.fetch_add(1, Ordering::Relaxed);
         rec.counter("sched.jobs_executed").inc();
-        execute_job_with_retry(job, hash, |_| {
+        execute_job_with_retry_primed(job, hash, primed, |_| {
             self.stats.retries.fetch_add(1, Ordering::Relaxed);
             rec.counter("sched.retries").inc();
         })
+    }
+
+    /// Groups the miss set by kernel shape ([`JobSpec::same_shape`])
+    /// and batch-evaluates each parameter-sweep group of ≥ 2 jobs
+    /// through one struct-of-arrays plan table, returning one optional
+    /// primed engine pair per `todo` entry (in order). Group detection
+    /// is always counted, but priming is skipped entirely while a
+    /// global recorder is live: observed runs must keep per-rep trace
+    /// emission and therefore take the interpreter path. A group whose
+    /// batch evaluation fails primes nothing, so the per-job path
+    /// reproduces the exact error.
+    fn prepare_primed(&self, todo: &[(usize, JobSpec, u64)]) -> Vec<Option<PrimedEngine>> {
+        let rec = obs::global();
+        let start = Instant::now();
+        let mut primed: Vec<Option<PrimedEngine>> = Vec::new();
+        primed.resize_with(todo.len(), || None);
+        let mut grouped = vec![false; todo.len()];
+        let (mut batches, mut batch_points, mut primed_jobs) = (0u64, 0u64, 0u64);
+        for lead in 0..todo.len() {
+            if grouped[lead] {
+                continue;
+            }
+            grouped[lead] = true;
+            let mut members = vec![lead];
+            for other in lead + 1..todo.len() {
+                if !grouped[other] && todo[lead].1.same_shape(&todo[other].1) {
+                    grouped[other] = true;
+                    members.push(other);
+                }
+            }
+            if members.len() < 2 {
+                continue;
+            }
+            batches += 1;
+            batch_points += members.len() as u64;
+            rec.histogram("plan.batch_size")
+                .observe(members.len() as u64);
+            if rec.is_enabled() {
+                continue;
+            }
+            let group: Vec<&JobSpec> = members.iter().map(|&m| &todo[m].1).collect();
+            if let Some(engines) = JobSpec::batch_prime(&group) {
+                primed_jobs += engines.len() as u64;
+                for (&m, pe) in members.iter().zip(engines) {
+                    primed[m] = Some(pe);
+                }
+            }
+        }
+        let us = start.elapsed().as_micros() as u64;
+        self.stats
+            .plan_batches
+            .fetch_add(batches, Ordering::Relaxed);
+        self.stats
+            .plan_batch_points
+            .fetch_add(batch_points, Ordering::Relaxed);
+        self.stats
+            .plan_primed_jobs
+            .fetch_add(primed_jobs, Ordering::Relaxed);
+        self.stats.plan_compile_us.fetch_add(us, Ordering::Relaxed);
+        primed
     }
 
     /// Marks the run's checkpoint complete and flushes it.
@@ -923,6 +1110,54 @@ mod tests {
         let st = SchedStats::from_snapshot(&snap);
         assert_eq!(st.jobs, 6);
         assert_eq!(st.queue_depth_peak, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cached_job_hash_matches_uncached() {
+        let mut canon = CanonicalCache::default();
+        for salt in [0u64, 7] {
+            for job in sim_jobs() {
+                assert_eq!(
+                    job_hash_with_salt_cached(&job, salt, &mut canon),
+                    job_hash_with_salt(&job, salt),
+                    "memoized canonical text must hash identically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batching_counts_groups_and_matches_direct_execution() {
+        let dir = tmp_dir("batch");
+        let s = Scheduler::new(SchedConfig::new(2).with_cache_dir(&dir));
+        let jobs = sim_jobs();
+        let got = s.run_jobs(jobs.clone()).unwrap();
+        let st = s.stats();
+        assert_eq!(st.plan_batches, 1, "three same-shape jobs form one group");
+        assert_eq!(st.plan_batch_points, 3);
+        // Priming only happens while the global recorder is disabled
+        // (another test may have installed one in this process), but
+        // either path must be byte-identical to direct execution.
+        assert!(st.plan_primed_jobs == 0 || st.plan_primed_jobs == 3);
+        let direct: Vec<Measurement> = jobs
+            .iter()
+            .map(|j| execute_job_with_retry(j, s.job_hash(j), |_| {}).unwrap())
+            .collect();
+        assert_eq!(got, direct, "batched results must match the unprimed path");
+
+        // A mixed-shape batch: the lone GPU job stays ungrouped.
+        let mut mixed = sim_jobs();
+        mixed.push(JobSpec::gpu_sim(
+            &SYSTEM3,
+            kernel::cuda_syncthreads(),
+            ExecParams::new(64).with_blocks(2).with_loops(50, 4),
+            Protocol::SIM,
+        ));
+        let s2 = Scheduler::new(SchedConfig::new(1).with_cache_dir(tmp_dir("batch2")));
+        s2.run_jobs(mixed).unwrap();
+        let st2 = s2.stats();
+        assert_eq!((st2.plan_batches, st2.plan_batch_points), (1, 3));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -385,6 +385,97 @@ proptest! {
     }
 }
 
+// ---- batched plan tables ≡ single-point traces ≡ full stepping ------
+//
+// The scheduler's sweep batching compiles one struct-of-arrays plan
+// table for a whole parameter grid and evaluates every point in one
+// lockstep pass. These properties pin the batched results to the
+// single-point engine AND to the op-by-op stepping oracle, bit for
+// bit, over random bodies × parameter grids, with and without a live
+// recorder.
+
+proptest! {
+    #[test]
+    fn cpu_batched_plan_table_bit_exact(
+        idxs in prop::collection::vec(0usize..CPU_OP_POOL.len(), 1..9),
+        grid in prop::collection::vec(1u32..24, 1..6),
+        affs in prop::collection::vec(0usize..3, 1..6),
+        reps in 1u64..200,
+        observe in proptest::bool::ANY,
+    ) {
+        let m = CpuModel::baseline();
+        let body: Vec<CpuOp> = idxs.iter().map(|&i| CPU_OP_POOL[i]).collect();
+        let placements: Vec<Placement> = grid
+            .iter()
+            .enumerate()
+            .map(|(i, &threads)| {
+                let aff = [Affinity::Spread, Affinity::Close, Affinity::SystemChoice]
+                    [affs[i % affs.len()]];
+                Placement::new(&SYSTEM3.cpu, aff, threads)
+            })
+            .collect();
+        let rec = if observe {
+            syncperf::core::obs::Recorder::enabled()
+        } else {
+            syncperf::core::obs::Recorder::disabled()
+        };
+        let batched =
+            syncperf::cpu_sim::trace::run_batch_observed(&m, &body, &placements, reps, &rec)
+                .unwrap();
+        prop_assert_eq!(batched.len(), placements.len());
+        for (p, got) in placements.iter().zip(&batched) {
+            let single =
+                syncperf::cpu_sim::engine::run_observed(&m, p, &body, reps, &rec).unwrap();
+            prop_assert_eq!(got, &single, "batched point diverges from single-point engine");
+            let full = syncperf::cpu_sim::run_full_stepping(&m, p, &body, reps, &rec).unwrap();
+            prop_assert_eq!(got, &full, "batched point diverges from the stepping oracle");
+        }
+    }
+
+    #[test]
+    fn gpu_batched_evaluation_bit_exact(
+        idxs in prop::collection::vec(0usize..GPU_OP_POOL.len(), 1..9),
+        blocks_grid in prop::collection::vec(1u32..64, 1..6),
+        threads_grid in prop::collection::vec(1u32..=256, 1..6),
+        reps in 1u64..200,
+    ) {
+        let m = syncperf::gpu_sim::GpuModel::for_spec(&SYSTEM3.gpu);
+        let body: Vec<GpuOp> = idxs.iter().map(|&i| GPU_OP_POOL[i]).collect();
+        let occs: Vec<Occupancy> = blocks_grid
+            .iter()
+            .enumerate()
+            .map(|(i, &blocks)| {
+                let threads = threads_grid[i % threads_grid.len()];
+                Occupancy::compute(&SYSTEM3.gpu, blocks, threads).unwrap()
+            })
+            .collect();
+        let rec = syncperf::core::obs::Recorder::disabled();
+        let batched = syncperf::gpu_sim::batch::run_batch(&m, &occs, &body, reps);
+        match batched {
+            Ok(results) => {
+                prop_assert_eq!(results.len(), occs.len());
+                for (o, got) in occs.iter().zip(&results) {
+                    let single =
+                        syncperf::gpu_sim::engine::run_observed(&m, o, &body, reps, &rec)
+                            .unwrap();
+                    prop_assert_eq!(got, &single);
+                }
+            }
+            // Unsupported op (e.g. a float atomicMax): every per-point
+            // path must reject the body too.
+            Err(_) => {
+                for o in &occs {
+                    prop_assert!(
+                        syncperf::gpu_sim::engine::run_observed(&m, o, &body, reps, &rec)
+                            .is_err(),
+                        "batch rejected a body the single-point engine accepts"
+                    );
+                }
+            }
+        }
+    }
+}
+
 // Real-atomics properties: concurrent updates never lose increments,
 // for any thread/iteration mix (bounded for test time).
 proptest! {
